@@ -1,0 +1,136 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+//!
+//! Criterion reports run time; the byte effects of each ablation are
+//! printed once per bench (via `eprintln!`) so `cargo bench ablation`
+//! doubles as a quantitative ablation report.
+
+use causal_clocks::PruneConfig;
+use causal_memory::{Placement, PlacementKind};
+use causal_proto::ProtocolKind;
+use causal_simnet::{run, SimConfig};
+use causal_types::SizeModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn cfg_base(n: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_partial(ProtocolKind::OptTrack, n, 0.5, 11);
+    cfg.workload.events_per_process = 60;
+    cfg
+}
+
+/// Condition-2 pruning on/off: the mechanism the paper credits for
+/// Opt-Track's near-linear metadata growth.
+fn ablation_purge(c: &mut Criterion) {
+    let n = 10;
+    let mut on = cfg_base(n);
+    on.prune = PruneConfig {
+        condition2: true,
+        keep_markers: true,
+    };
+    let mut off = cfg_base(n);
+    off.prune = PruneConfig {
+        condition2: false,
+        keep_markers: true,
+    };
+    let bytes_on = run(&on).metrics.measured.total_bytes();
+    let bytes_off = run(&off).metrics.measured.total_bytes();
+    eprintln!(
+        "[ablation_purge] n={n}: condition2 ON = {bytes_on} B, OFF = {bytes_off} B \
+         ({:.2}× inflation without PURGE)",
+        bytes_off as f64 / bytes_on as f64
+    );
+    assert!(bytes_off > bytes_on, "condition 2 must reduce metadata");
+
+    let mut g = c.benchmark_group("ablation_purge");
+    g.sample_size(10);
+    for (label, cfg) in [("condition2_on", on), ("condition2_off", off)] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run(&cfg).metrics.measured.total_bytes()))
+        });
+    }
+    g.finish();
+}
+
+/// Replica placement strategies (the paper assumes even placement).
+fn ablation_placement(c: &mut Criterion) {
+    let n = 12;
+    let p = 4;
+    let mut g = c.benchmark_group("ablation_placement");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("even", PlacementKind::Even),
+        ("hashed", PlacementKind::Hashed { seed: 3 }),
+        ("clustered", PlacementKind::Clustered),
+    ] {
+        let mut cfg = cfg_base(n);
+        cfg.placement = Arc::new(Placement::new(kind, n, p).unwrap());
+        let r = run(&cfg);
+        eprintln!(
+            "[ablation_placement] {label}: {} msgs, {} B metadata, {} remote reads",
+            r.metrics.measured.total_count(),
+            r.metrics.measured.total_bytes(),
+            r.metrics.remote_reads,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| black_box(run(cfg).metrics.measured.total_count()))
+        });
+    }
+    g.finish();
+}
+
+/// Size-model calibration: the paper's conclusions must not depend on the
+/// Java-like byte accounting.
+fn ablation_sizemodel(c: &mut Criterion) {
+    let n = 12;
+    for model in [SizeModel::java_like(), SizeModel::wire()] {
+        let mut ot = cfg_base(n);
+        ot.size_model = model;
+        let mut ft = SimConfig::paper_partial(ProtocolKind::FullTrack, n, 0.5, 11);
+        ft.workload.events_per_process = 60;
+        ft.size_model = model;
+        let ratio = run(&ot).metrics.measured.total_bytes() as f64
+            / run(&ft).metrics.measured.total_bytes() as f64;
+        eprintln!("[ablation_sizemodel] {model:?}: Opt-Track/Full-Track total ratio = {ratio:.3}");
+        assert!(ratio < 1.0, "Opt-Track must win under every calibration");
+    }
+    let mut g = c.benchmark_group("ablation_sizemodel");
+    g.sample_size(10);
+    g.bench_function("java_like_accounting", |b| {
+        let cfg = cfg_base(n);
+        b.iter(|| black_box(run(&cfg).metrics.measured.total_bytes()))
+    });
+    g.finish();
+}
+
+/// Uniform vs Zipf variable selection (extension; paper uses uniform).
+fn ablation_zipf(c: &mut Criterion) {
+    let n = 12;
+    let mut uniform = cfg_base(n);
+    uniform.workload.var_dist = causal_workload::VarDistribution::Uniform;
+    let mut zipf = cfg_base(n);
+    zipf.workload.var_dist = causal_workload::VarDistribution::Zipf { theta: 0.99 };
+    let bu = run(&uniform).metrics.measured.total_bytes();
+    let bz = run(&zipf).metrics.measured.total_bytes();
+    eprintln!(
+        "[ablation_zipf] uniform = {bu} B, zipf(0.99) = {bz} B ({:.2}× hot-key effect)",
+        bz as f64 / bu as f64
+    );
+    let mut g = c.benchmark_group("ablation_zipf");
+    g.sample_size(10);
+    for (label, cfg) in [("uniform", uniform), ("zipf", zipf)] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run(&cfg).metrics.measured.total_bytes()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_purge,
+    ablation_placement,
+    ablation_sizemodel,
+    ablation_zipf,
+);
+criterion_main!(ablations);

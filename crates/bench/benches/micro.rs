@@ -1,0 +1,225 @@
+//! Microbenchmarks of the protocol hot paths.
+
+use causal_clocks::{CrpLog, DestSet, Log, LogEntry, MatrixClock, PruneConfig, VectorClock};
+use causal_proto::{wire, Msg, Sm, SmMeta};
+use causal_simnet::{EventHeap, SimEvent};
+use causal_types::{SimTime, SiteId, VarId, VersionedValue, WriteId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn mk_log(n_origins: usize, per_origin: usize, dest_n: usize) -> Log {
+    let mut log = Log::new();
+    for o in 0..n_origins {
+        for c in 1..=per_origin {
+            let dests =
+                DestSet::from_sites((0..dest_n).map(|k| SiteId::from((o + k + c) % dest_n.max(1))));
+            log.upsert(LogEntry::new(SiteId::from(o), c as u64, dests));
+        }
+    }
+    log
+}
+
+fn log_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_merge");
+    for n in [10usize, 40] {
+        let a = mk_log(n, 3, 12);
+        let b = mk_log(n, 4, 12);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                m.merge(black_box(&b), PruneConfig::default());
+                black_box(m.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn log_record_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_record_write");
+    for n in [10usize, 40] {
+        let base = mk_log(n, 3, 12);
+        let dests = DestSet::from_sites((0..12).map(SiteId::from));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut l = base.clone();
+                l.record_write(SiteId(0), 99, black_box(dests), PruneConfig::default());
+                black_box(l.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn matrix_clock_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix_clock_merge");
+    for n in [10usize, 40] {
+        let mut a = MatrixClock::new(n);
+        let mut b = MatrixClock::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(SiteId::from(i), SiteId::from(j), (i * j) as u64);
+                b.set(SiteId::from(i), SiteId::from(j), (i + j) as u64);
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                m.merge_max(black_box(&b));
+                black_box(m.total())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn vector_clock_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vector_clock_merge");
+    let mut a = VectorClock::new(40);
+    let mut b = VectorClock::new(40);
+    for i in 0..40 {
+        a.set(SiteId::from(i), (i * 3) as u64);
+        b.set(SiteId::from(i), (120 - i * 3) as u64);
+    }
+    g.bench_function("n40", |bench| {
+        bench.iter(|| {
+            let mut m = a.clone();
+            m.merge_max(black_box(&b));
+            black_box(m.total())
+        })
+    });
+    g.finish();
+}
+
+fn crp_log_observe(c: &mut Criterion) {
+    c.bench_function("crp_log_observe", |b| {
+        b.iter(|| {
+            let mut log = CrpLog::new();
+            for i in 0..40u64 {
+                log.observe(WriteId::new(SiteId::from((i % 8) as usize), i));
+            }
+            black_box(log.len())
+        })
+    });
+}
+
+fn dest_set_ops(c: &mut Criterion) {
+    let a = DestSet::from_sites((0..64).map(|i| SiteId::from(i * 2)));
+    let b = DestSet::from_sites((0..64).map(SiteId::from));
+    c.bench_function("dest_set_ops", |bench| {
+        bench.iter(|| {
+            let x = black_box(&a).minus(black_box(&b));
+            let y = a.intersect(&b).union(&x);
+            black_box(y.len())
+        })
+    });
+}
+
+fn event_heap_throughput(c: &mut Criterion) {
+    c.bench_function("event_heap_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut h = EventHeap::new();
+            for i in 0..1000u64 {
+                h.push(
+                    SimTime::from_nanos((i * 2_654_435_761) % 1_000_000),
+                    SimEvent::OpReady {
+                        site: SiteId::from((i % 40) as usize),
+                    },
+                );
+            }
+            let mut count = 0;
+            while h.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+}
+
+fn wire_codec_roundtrip(c: &mut Criterion) {
+    let msg = Msg::Sm(Sm {
+        var: VarId(7),
+        value: VersionedValue::new(WriteId::new(SiteId(3), 42), 0xABCD),
+        meta: SmMeta::OptTrack {
+            clock: 42,
+            log: mk_log(40, 2, 12),
+        },
+    });
+    let encoded = wire::encode(&msg);
+    let mut g = c.benchmark_group("wire_codec");
+    g.bench_function("encode_opt_track_sm", |b| {
+        b.iter(|| black_box(wire::encode(black_box(&msg))))
+    });
+    g.bench_function("decode_opt_track_sm", |b| {
+        b.iter(|| black_box(wire::decode(black_box(&encoded)).unwrap()))
+    });
+    g.finish();
+}
+
+fn store_put_get(c: &mut Criterion) {
+    use causal_store::StoreBuilder;
+    c.bench_function("store_put_get_roundtrip", |b| {
+        let mut store = StoreBuilder::new()
+            .sites(6)
+            .replication(2)
+            .build()
+            .unwrap();
+        let mut writer = store.session(SiteId(0));
+        let mut reader = store.session(SiteId(4));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("k{}", i % 32);
+            writer.put(&mut store, &key, i.to_le_bytes().to_vec()).unwrap();
+            black_box(reader.get(&mut store, &key).unwrap())
+        })
+    });
+}
+
+fn ks_multicast_round(c: &mut Criterion) {
+    use causal_multicast::{CausalMulticast, KsNode, MatrixNode};
+    let n = 10;
+    let dests = DestSet::from_sites((0..4).map(SiteId::from));
+    let mut g = c.benchmark_group("multicast_round");
+    g.bench_function("ks", |b| {
+        b.iter(|| {
+            let mut nodes: Vec<KsNode> = (0..n).map(|i| KsNode::new(SiteId::from(i), n)).collect();
+            for r in 0..50u64 {
+                let s = (r % n as u64) as usize;
+                let (_, out) = nodes[s].multicast(dests, r);
+                for (to, msg) in out {
+                    black_box(nodes[to.index()].receive(SiteId::from(s), msg));
+                }
+            }
+        })
+    });
+    g.bench_function("matrix", |b| {
+        b.iter(|| {
+            let mut nodes: Vec<MatrixNode> =
+                (0..n).map(|i| MatrixNode::new(SiteId::from(i), n)).collect();
+            for r in 0..50u64 {
+                let s = (r % n as u64) as usize;
+                let (_, out) = nodes[s].multicast(dests, r);
+                for (to, msg) in out {
+                    black_box(nodes[to.index()].receive(SiteId::from(s), msg));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    log_merge,
+    log_record_write,
+    matrix_clock_merge,
+    vector_clock_merge,
+    crp_log_observe,
+    dest_set_ops,
+    event_heap_throughput,
+    wire_codec_roundtrip,
+    store_put_get,
+    ks_multicast_round,
+);
+criterion_main!(micro);

@@ -1,0 +1,149 @@
+//! One benchmark per paper table/figure.
+//!
+//! Each benchmark times the simulation work that regenerates the artifact
+//! (at reduced scale so `cargo bench` stays tractable); the full-scale
+//! numbers come from `cargo run --release -p causal-experiments --bin repro`.
+//! Benchmark names match the experiment ids in DESIGN.md's per-experiment
+//! index, so `cargo bench fig1` exercises exactly Fig. 1's pipeline.
+
+use causal_bench::quick_cell;
+use causal_proto::ProtocolKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Fig. 1 — the partial-replication total-ratio cell (both protocols).
+fn fig1_partial_total_ratio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_partial_total_ratio");
+    g.sample_size(10);
+    for n in [5usize, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let ot = quick_cell(ProtocolKind::OptTrack, n, 0.5, true, 1);
+                let ft = quick_cell(ProtocolKind::FullTrack, n, 0.5, true, 1);
+                black_box(
+                    ot.metrics.measured.total_bytes() as f64
+                        / ft.metrics.measured.total_bytes() as f64,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 2–4 / Table II — average partial-replication message sizes.
+fn fig2_4_partial_avg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_4_partial_avg");
+    g.sample_size(10);
+    for w in [0.2f64, 0.8] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| {
+                let r = quick_cell(ProtocolKind::OptTrack, 10, w, true, 2);
+                black_box(r.metrics.measured.avg_bytes(causal_types::MsgKind::Sm))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table II — the Full-Track column (matrix piggyback cost).
+fn table2_partial_avg_sm_rm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_partial_avg_sm_rm");
+    g.sample_size(10);
+    g.bench_function("full_track_n20", |b| {
+        b.iter(|| black_box(quick_cell(ProtocolKind::FullTrack, 20, 0.5, true, 3).metrics.measured))
+    });
+    g.finish();
+}
+
+/// Fig. 5 — the full-replication total-ratio cell.
+fn fig5_full_total_ratio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_full_total_ratio");
+    g.sample_size(10);
+    for n in [5usize, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let crp = quick_cell(ProtocolKind::OptTrackCrp, n, 0.5, false, 4);
+                let op = quick_cell(ProtocolKind::OptP, n, 0.5, false, 4);
+                black_box(
+                    crp.metrics.measured.total_bytes() as f64
+                        / op.metrics.measured.total_bytes() as f64,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 6–8 / Table III — average full-replication SM sizes.
+fn fig6_8_full_avg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_8_full_avg");
+    g.sample_size(10);
+    for w in [0.2f64, 0.8] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| {
+                let r = quick_cell(ProtocolKind::OptTrackCrp, 20, w, false, 5);
+                black_box(r.metrics.measured.avg_bytes(causal_types::MsgKind::Sm))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table III — the optP baseline column.
+fn table3_full_avg_sm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_full_avg_sm");
+    g.sample_size(10);
+    g.bench_function("optp_n20", |b| {
+        b.iter(|| black_box(quick_cell(ProtocolKind::OptP, 20, 0.5, false, 6).metrics.measured))
+    });
+    g.finish();
+}
+
+/// Table IV — message counts, partial vs full on the same schedule.
+fn table4_message_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_message_count");
+    g.sample_size(10);
+    for w in [0.2f64, 0.8] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| {
+                let part = quick_cell(ProtocolKind::OptTrack, 10, w, true, 7);
+                let full = quick_cell(ProtocolKind::OptTrackCrp, 10, w, false, 7);
+                black_box((
+                    part.metrics.measured.total_count(),
+                    full.metrics.measured.total_count(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Eq. (2) — the crossover validation cells.
+fn eq2_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eq2_crossover");
+    g.sample_size(10);
+    g.bench_function("n10_bracket", |b| {
+        b.iter(|| {
+            let below = quick_cell(ProtocolKind::OptTrack, 10, 0.1, true, 8);
+            let above = quick_cell(ProtocolKind::OptTrack, 10, 0.3, true, 8);
+            black_box((
+                below.metrics.measured.total_count(),
+                above.metrics.measured.total_count(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_partial_total_ratio,
+    fig2_4_partial_avg,
+    table2_partial_avg_sm_rm,
+    fig5_full_total_ratio,
+    fig6_8_full_avg,
+    table3_full_avg_sm,
+    table4_message_count,
+    eq2_crossover,
+);
+criterion_main!(figures);

@@ -1,0 +1,43 @@
+//! # causal-bench
+//!
+//! Criterion benchmark suite for the reproduction:
+//!
+//! * `benches/paper_figures.rs` — one benchmark per paper table/figure,
+//!   timing the simulation cells that regenerate it (reduced scale; the
+//!   full-scale data generator is the `repro` binary in
+//!   `causal-experiments`);
+//! * `benches/micro.rs` — microbenchmarks of the protocol hot paths: log
+//!   MERGE/PURGE, matrix/vector clock merges, activation-predicate
+//!   evaluation, event-heap throughput;
+//! * `benches/ablations.rs` — design-choice ablations called out in
+//!   DESIGN.md: condition-2 pruning on/off, placement strategies, size
+//!   models, uniform vs Zipf variable selection.
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+use causal_proto::ProtocolKind;
+use causal_simnet::{run, SimConfig, SimResult};
+
+/// Run one reduced-scale simulation cell (the benches' workhorse).
+pub fn quick_cell(protocol: ProtocolKind, n: usize, w_rate: f64, partial: bool, seed: u64) -> SimResult {
+    let mut cfg = if partial {
+        SimConfig::paper_partial(protocol, n, w_rate, seed)
+    } else {
+        SimConfig::paper_full(protocol, n, w_rate, seed)
+    };
+    cfg.workload.events_per_process = 60;
+    run(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cell_runs() {
+        let r = quick_cell(ProtocolKind::OptTrack, 5, 0.5, true, 1);
+        assert_eq!(r.final_pending, 0);
+        assert!(r.metrics.all.total_count() > 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Execution-history recording.
+
+use causal_types::{SiteId, VarId, WriteId};
+
+/// One operation in a process's local history `h_i`, in program order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpRecord {
+    /// `w_i(x)v` — the process issued a write.
+    Write {
+        /// The write's identity (`⟨site, clock⟩`).
+        write: WriteId,
+        /// The written variable.
+        var: VarId,
+    },
+    /// `r_i(x)v` — the process issued a read.
+    Read {
+        /// The read variable.
+        var: VarId,
+        /// The write whose value was returned, `None` for `⊥`.
+        read_from: Option<WriteId>,
+        /// The replica that served the read (self for local reads).
+        served_by: SiteId,
+    },
+}
+
+/// A recorded multi-site execution: per-process operation sequences plus
+/// per-site apply sequences. Drivers (the simulator, the threaded runtime
+/// and `LocalCluster`-based tests) populate this during a run and hand it to
+/// [`crate::check`] afterwards.
+#[derive(Clone, Debug)]
+pub struct History {
+    n: usize,
+    ops: Vec<Vec<OpRecord>>,
+    applies: Vec<Vec<WriteId>>,
+}
+
+impl History {
+    /// Empty history for an `n`-site system.
+    pub fn new(n: usize) -> Self {
+        History {
+            n,
+            ops: vec![Vec::new(); n],
+            applies: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of sites.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Record that `site` issued `write` on `var`.
+    pub fn record_write(&mut self, site: SiteId, write: WriteId, var: VarId) {
+        self.ops[site.index()].push(OpRecord::Write { write, var });
+    }
+
+    /// Record that `site` read `var`, observing `read_from`, served by
+    /// `served_by`.
+    pub fn record_read(
+        &mut self,
+        site: SiteId,
+        var: VarId,
+        read_from: Option<WriteId>,
+        served_by: SiteId,
+    ) {
+        self.ops[site.index()].push(OpRecord::Read {
+            var,
+            read_from,
+            served_by,
+        });
+    }
+
+    /// Record that `site` applied `write` to its replica (in apply order).
+    pub fn record_apply(&mut self, site: SiteId, write: WriteId) {
+        self.applies[site.index()].push(write);
+    }
+
+    /// Per-process operation sequences.
+    pub fn ops(&self) -> &[Vec<OpRecord>] {
+        &self.ops
+    }
+
+    /// Per-site apply sequences.
+    pub fn applies(&self) -> &[Vec<WriteId>] {
+        &self.applies
+    }
+
+    /// Fold another history's records into this one. Used by the threaded
+    /// runtime, where each site thread records its own operations and
+    /// applies into a private `History` and the coordinator combines them.
+    /// Panics if both histories recorded events for the same site.
+    pub fn absorb(&mut self, other: History) {
+        assert_eq!(self.n, other.n);
+        for (i, ops) in other.ops.into_iter().enumerate() {
+            if !ops.is_empty() {
+                assert!(
+                    self.ops[i].is_empty(),
+                    "two histories recorded ops for site {i}"
+                );
+                self.ops[i] = ops;
+            }
+        }
+        for (i, applies) in other.applies.into_iter().enumerate() {
+            if !applies.is_empty() {
+                assert!(
+                    self.applies[i].is_empty(),
+                    "two histories recorded applies for site {i}"
+                );
+                self.applies[i] = applies;
+            }
+        }
+    }
+
+    /// Total operations recorded.
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(|v| v.len()).sum()
+    }
+
+    /// Total applies recorded.
+    pub fn total_applies(&self) -> usize {
+        self.applies.iter().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_accumulates_in_order() {
+        let mut h = History::new(2);
+        let w = WriteId::new(SiteId(0), 1);
+        h.record_write(SiteId(0), w, VarId(3));
+        h.record_read(SiteId(1), VarId(3), Some(w), SiteId(1));
+        h.record_apply(SiteId(0), w);
+        h.record_apply(SiteId(1), w);
+        assert_eq!(h.total_ops(), 2);
+        assert_eq!(h.total_applies(), 2);
+        assert_eq!(h.ops()[0].len(), 1);
+        assert_eq!(h.applies()[1], vec![w]);
+    }
+}

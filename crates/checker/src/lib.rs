@@ -1,0 +1,36 @@
+//! # causal-checker
+//!
+//! An independent causal-consistency verifier for recorded executions.
+//!
+//! The protocols in `causal-proto` claim to implement causal memory: all
+//! write operations related by the causality order `≺co` (program order ∪
+//! reads-from, transitively closed) must be applied at every common
+//! destination in `≺co` order. This crate rebuilds `≺co` from an execution
+//! [`History`] — without looking at any protocol metadata — by assigning
+//! every write a vector clock, and then checks:
+//!
+//! * **FIFO**: each site applies one origin's writes in clock order;
+//! * **delivery order**: no site applies `w2` before `w1` when
+//!   `w1 ≺co w2` (the activation predicate's guarantee — a violation here
+//!   is a protocol bug);
+//! * **reads-from integrity**: every read returns a value actually written
+//!   to that variable;
+//! * **read freshness** (strict causal memory): a read never returns a value
+//!   causally overwritten in the reader's past. Remote fetches in the
+//!   partially replicated protocols *can* violate this by design (FM
+//!   messages carry no causal context — see the paper's Table I), so these
+//!   are counted separately as [`Violations::stale_reads`] rather than
+//!   lumped in with protocol bugs.
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod bruteforce;
+pub mod dot;
+pub mod history;
+pub mod verify;
+
+pub use bruteforce::delivery_inversions_bruteforce;
+pub use dot::history_to_dot;
+pub use history::{History, OpRecord};
+pub use verify::{check, Violations};

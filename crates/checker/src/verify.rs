@@ -1,0 +1,533 @@
+//! The verification pass.
+
+use crate::history::{History, OpRecord};
+use causal_types::{VarId, WriteId};
+use std::collections::HashMap;
+
+/// Violation counts found in a history, with capped human-readable examples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Violations {
+    /// A site applied one origin's writes out of clock order (FIFO bug).
+    pub fifo: u64,
+    /// A site applied `w2` before a causally preceding `w1` it also applied
+    /// — a genuine protocol bug (the activation predicate's guarantee).
+    pub delivery: u64,
+    /// A read returned a write that does not exist or wrote another
+    /// variable.
+    pub reads_from: u64,
+    /// A read returned a value causally overwritten in the reader's past
+    /// (strict causal-memory read anomaly; possible by design for remote
+    /// fetches in partially replicated protocols).
+    pub stale_reads: u64,
+    /// A site applied its *own* write before a causally preceding remote
+    /// write it later applies. Only reachable through a remote fetch whose
+    /// returned value causally depends on an update still in flight to the
+    /// fetcher: the writer then writes, and writers apply their own updates
+    /// immediately. Like [`Violations::stale_reads`] this is a property of
+    /// the published protocol (FM messages carry no causal context), not an
+    /// implementation bug; it is impossible under full replication.
+    pub own_write_races: u64,
+    /// The history could not be causally ordered (cyclic reads-from or a
+    /// read observing a write never issued) — indicates a corrupt recording.
+    pub unresolved: u64,
+    /// Up to ten human-readable descriptions of the first violations found.
+    pub examples: Vec<String>,
+}
+
+impl Violations {
+    /// `true` when the execution satisfies the protocol guarantees (FIFO +
+    /// causal delivery + reads-from integrity). Stale remote reads are
+    /// tolerated — see the crate docs.
+    pub fn protocol_clean(&self) -> bool {
+        self.fifo == 0 && self.delivery == 0 && self.reads_from == 0 && self.unresolved == 0
+    }
+
+    /// `true` when the execution additionally satisfies strict causal
+    /// memory (fresh reads, no own-write races) — guaranteed under full
+    /// replication, best-effort under partial replication.
+    pub fn strictly_clean(&self) -> bool {
+        self.protocol_clean() && self.stale_reads == 0 && self.own_write_races == 0
+    }
+
+    fn note(&mut self, msg: String) {
+        if self.examples.len() < 10 {
+            self.examples.push(msg);
+        }
+    }
+}
+
+impl std::fmt::Display for Violations {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fifo={} delivery={} reads_from={} stale_reads={} own_write_races={} unresolved={}",
+            self.fifo,
+            self.delivery,
+            self.reads_from,
+            self.stale_reads,
+            self.own_write_races,
+            self.unresolved
+        )
+    }
+}
+
+/// Per-write causal timestamp: `vc[j]` = number of writes by process `j` in
+/// the causal past of this write (inclusive of the write itself for its own
+/// origin). `w1 ≺co w2  ⟺  w2.vc[w1.site] ≥ w1.clock`.
+struct WriteInfo {
+    vc: Vec<u64>,
+    var: VarId,
+}
+
+/// Verify a recorded history. See [`Violations`] for what is checked.
+pub fn check(history: &History) -> Violations {
+    let n = history.n();
+    let mut v = Violations::default();
+
+    // ------------------------------------------------------------------
+    // Pass 1: assign vector clocks to writes by sweeping the per-process
+    // histories in causal order (a read blocks until the write it observed
+    // has its clock; program order otherwise).
+    // ------------------------------------------------------------------
+    let mut writes: HashMap<WriteId, WriteInfo> = HashMap::new();
+    // Writes per variable, for the freshness check (filled as resolved).
+    let mut writes_on: HashMap<VarId, Vec<WriteId>> = HashMap::new();
+    let mut cursor = vec![0usize; n];
+    let mut proc_vc: Vec<Vec<u64>> = vec![vec![0; n]; n];
+    // (reader, op index) of stale reads, resolved during the sweep.
+    loop {
+        let mut progressed = false;
+        let mut done = true;
+        for i in 0..n {
+            let ops = &history.ops()[i];
+            while cursor[i] < ops.len() {
+                match &ops[cursor[i]] {
+                    OpRecord::Write { write, var } => {
+                        proc_vc[i][i] += 1;
+                        if proc_vc[i][i] != write.clock {
+                            // Clocks must be the per-process write counter.
+                            v.unresolved += 1;
+                            v.note(format!(
+                                "write {write} out of clock sequence at s{i} \
+                                 (expected clock {})",
+                                proc_vc[i][i]
+                            ));
+                        }
+                        writes.insert(
+                            *write,
+                            WriteInfo {
+                                vc: proc_vc[i].clone(),
+                                var: *var,
+                            },
+                        );
+                        writes_on.entry(*var).or_default().push(*write);
+                    }
+                    OpRecord::Read {
+                        var,
+                        read_from,
+                        served_by: _,
+                    } => {
+                        if let Some(w) = read_from {
+                            let Some(info) = writes.get(w) else {
+                                if history.ops()[w.site.index()]
+                                    .iter()
+                                    .any(|o| matches!(o, OpRecord::Write { write, .. } if write == w))
+                                {
+                                    // Not yet resolved: retry later.
+                                    break;
+                                }
+                                v.reads_from += 1;
+                                v.note(format!(
+                                    "read of {var} at s{i} observed unknown write {w}"
+                                ));
+                                cursor[i] += 1;
+                                continue;
+                            };
+                            if info.var != *var {
+                                v.reads_from += 1;
+                                v.note(format!(
+                                    "read of {var} at s{i} observed {w}, which wrote {}",
+                                    info.var
+                                ));
+                            }
+                            // Freshness: no write on `var` in the reader's
+                            // causal past may causally follow the returned
+                            // write.
+                            let returned = *w;
+                            let vc_snapshot = &proc_vc[i];
+                            if let Some(candidates) = writes_on.get(var) {
+                                for w1 in candidates {
+                                    if *w1 == returned {
+                                        continue;
+                                    }
+                                    let in_past =
+                                        vc_snapshot[w1.site.index()] >= w1.clock;
+                                    if !in_past {
+                                        continue;
+                                    }
+                                    let overwrites = writes
+                                        .get(w1)
+                                        .map(|i1| i1.vc[returned.site.index()] >= returned.clock)
+                                        .unwrap_or(false);
+                                    if overwrites {
+                                        v.stale_reads += 1;
+                                        v.note(format!(
+                                            "stale read of {var} at s{i}: returned {returned} \
+                                             but {w1} (causally newer) is in the reader's past"
+                                        ));
+                                        break;
+                                    }
+                                }
+                            }
+                            // The read-from edge merges the writer's clock.
+                            let w_vc = writes.get(w).map(|x| x.vc.clone());
+                            if let Some(w_vc) = w_vc {
+                                for (a, b) in proc_vc[i].iter_mut().zip(&w_vc) {
+                                    *a = (*a).max(*b);
+                                }
+                            }
+                        } else {
+                            // ⊥ read: a violation if any write on var is in
+                            // the reader's causal past.
+                            if let Some(candidates) = writes_on.get(var) {
+                                let vc_snapshot = &proc_vc[i];
+                                if let Some(w1) = candidates
+                                    .iter()
+                                    .find(|w1| vc_snapshot[w1.site.index()] >= w1.clock)
+                                {
+                                    v.stale_reads += 1;
+                                    v.note(format!(
+                                        "⊥ read of {var} at s{i} despite {w1} in causal past"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                cursor[i] += 1;
+                progressed = true;
+            }
+            if cursor[i] < ops.len() {
+                done = false;
+            }
+        }
+        if done {
+            break;
+        }
+        if !progressed {
+            v.unresolved += 1;
+            v.note("history not causally resolvable (cyclic reads-from?)".into());
+            return v;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 2: per-site apply sequences.
+    // ------------------------------------------------------------------
+    for k in 0..n {
+        let seq = &history.applies()[k];
+        // FIFO per origin: clocks strictly increase.
+        let mut last_clock = vec![0u64; n];
+        for w in seq {
+            if w.clock <= last_clock[w.site.index()] {
+                v.fifo += 1;
+                v.note(format!(
+                    "s{k} applied {w} after clock {} from the same origin",
+                    last_clock[w.site.index()]
+                ));
+            }
+            last_clock[w.site.index()] = w.clock;
+        }
+
+        // Causal delivery: for each apply position, every causally
+        // preceding write from each origin that this site *ever* applies
+        // must already be applied. Per origin, the applied subsequence is
+        // clock-sorted (FIFO, checked above), so "how many of origin l's
+        // applied writes precede w" is a binary search over clocks, and
+        // their positions are increasing — compare the last one's position.
+        let mut per_origin: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n]; // (clock, pos)
+        for (pos, w) in seq.iter().enumerate() {
+            per_origin[w.site.index()].push((w.clock, pos));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for (pos, w) in seq.iter().enumerate() {
+            let Some(info) = writes.get(w) else {
+                v.unresolved += 1;
+                v.note(format!("s{k} applied unknown write {w}"));
+                continue;
+            };
+            for l in 0..n {
+                let bound = info.vc[l];
+                if bound == 0 {
+                    continue;
+                }
+                let col = &per_origin[l];
+                // Applied writes from l with clock ≤ bound, excluding w
+                // itself.
+                let m = col.partition_point(|&(c, _)| c <= bound);
+                if m == 0 {
+                    continue;
+                }
+                let (c_last, p_last) = col[m - 1];
+                // The applying site's own writes apply immediately by
+                // design; a miss there is the documented remote-fetch race,
+                // not a delivery bug (see `own_write_races`).
+                let own_write = w.site.index() == k;
+                if (l, c_last) == (w.site.index(), w.clock) {
+                    // w itself is the last such write; check the previous.
+                    if m >= 2 {
+                        let (_, p_prev) = col[m - 2];
+                        if p_prev > pos {
+                            if own_write {
+                                v.own_write_races += 1;
+                            } else {
+                                v.delivery += 1;
+                            }
+                            v.note(format!(
+                                "s{k} applied {w} before an earlier write from s{l}"
+                            ));
+                        }
+                    }
+                } else if p_last > pos {
+                    if own_write {
+                        v.own_write_races += 1;
+                    } else {
+                        v.delivery += 1;
+                    }
+                    v.note(format!(
+                        "s{k} applied {w} at pos {pos} before causally preceding \
+                         w(s{l},{c_last}) at pos {p_last}"
+                    ));
+                }
+            }
+        }
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_types::SiteId;
+
+    fn w(site: usize, clock: u64) -> WriteId {
+        WriteId::new(SiteId::from(site), clock)
+    }
+
+    /// w1 at s0; s1 reads it then writes w2: everyone must apply w1 < w2.
+    fn causal_chain_history(good: bool) -> History {
+        let mut h = History::new(3);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_read(SiteId(1), VarId(0), Some(w(0, 1)), SiteId(1));
+        h.record_write(SiteId(1), w(1, 1), VarId(1));
+        for k in 0..3 {
+            if good || k != 2 {
+                h.record_apply(SiteId::from(k), w(0, 1));
+                h.record_apply(SiteId::from(k), w(1, 1));
+            } else {
+                // Site 2 inverts the causal order.
+                h.record_apply(SiteId::from(k), w(1, 1));
+                h.record_apply(SiteId::from(k), w(0, 1));
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn clean_causal_chain_passes() {
+        let v = check(&causal_chain_history(true));
+        assert!(v.strictly_clean(), "{v:?}");
+    }
+
+    #[test]
+    fn inverted_apply_order_is_a_delivery_violation() {
+        let v = check(&causal_chain_history(false));
+        assert_eq!(v.delivery, 1, "{v:?}");
+        assert!(!v.protocol_clean());
+    }
+
+    #[test]
+    fn concurrent_writes_may_apply_in_any_order() {
+        // s0 and s1 write concurrently (no read between them): sites may
+        // apply them in different orders.
+        let mut h = History::new(2);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_write(SiteId(1), w(1, 1), VarId(0));
+        h.record_apply(SiteId(0), w(0, 1));
+        h.record_apply(SiteId(0), w(1, 1));
+        h.record_apply(SiteId(1), w(1, 1));
+        h.record_apply(SiteId(1), w(0, 1));
+        let v = check(&h);
+        assert!(v.strictly_clean(), "{v:?}");
+    }
+
+    #[test]
+    fn fifo_violation_detected() {
+        let mut h = History::new(2);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_write(SiteId(0), w(0, 2), VarId(0));
+        h.record_apply(SiteId(1), w(0, 2));
+        h.record_apply(SiteId(1), w(0, 1));
+        let v = check(&h);
+        assert!(v.fifo >= 1, "{v:?}");
+    }
+
+    #[test]
+    fn program_order_is_causal() {
+        // Two writes by one process must apply in order everywhere, even
+        // without reads.
+        let mut h = History::new(2);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_write(SiteId(0), w(0, 2), VarId(1));
+        h.record_apply(SiteId(1), w(0, 2));
+        h.record_apply(SiteId(1), w(0, 1));
+        let v = check(&h);
+        assert!(v.fifo + v.delivery >= 1, "{v:?}");
+    }
+
+    #[test]
+    fn transitive_dependency_detected() {
+        // w(0,1) →co w(1,1) via read; s2 applies only those two, inverted,
+        // but also w(1,1) arrived through a third write's chain — keep it
+        // minimal: inversion across a 2-hop chain.
+        let mut h = History::new(4);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_read(SiteId(1), VarId(0), Some(w(0, 1)), SiteId(1));
+        h.record_write(SiteId(1), w(1, 1), VarId(1));
+        h.record_read(SiteId(2), VarId(1), Some(w(1, 1)), SiteId(2));
+        h.record_write(SiteId(2), w(2, 1), VarId(2));
+        // Site 3 applies w(2,1) before w(0,1): transitive violation.
+        h.record_apply(SiteId(3), w(2, 1));
+        h.record_apply(SiteId(3), w(0, 1));
+        // (Other sites' applies omitted; the checker only needs s3's.)
+        let v = check(&h);
+        assert_eq!(v.delivery, 1, "{v:?}");
+    }
+
+    #[test]
+    fn stale_read_detected_but_tolerated_by_protocol_clean() {
+        // s1 reads w(0,2)'s value of x, then reads x again and sees the
+        // older w(0,1): stale.
+        let mut h = History::new(2);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_write(SiteId(0), w(0, 2), VarId(0));
+        h.record_read(SiteId(1), VarId(0), Some(w(0, 2)), SiteId(0));
+        h.record_read(SiteId(1), VarId(0), Some(w(0, 1)), SiteId(0));
+        h.record_apply(SiteId(0), w(0, 1));
+        h.record_apply(SiteId(0), w(0, 2));
+        let v = check(&h);
+        assert_eq!(v.stale_reads, 1, "{v:?}");
+        assert!(v.protocol_clean());
+        assert!(!v.strictly_clean());
+    }
+
+    #[test]
+    fn bottom_read_with_known_write_in_past_is_stale() {
+        let mut h = History::new(2);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        // Same process reads its own variable as ⊥ afterwards.
+        h.record_read(SiteId(0), VarId(0), None, SiteId(0));
+        h.record_apply(SiteId(0), w(0, 1));
+        let v = check(&h);
+        assert_eq!(v.stale_reads, 1, "{v:?}");
+    }
+
+    #[test]
+    fn bottom_read_before_any_write_is_fine() {
+        let mut h = History::new(2);
+        h.record_read(SiteId(1), VarId(0), None, SiteId(1));
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_apply(SiteId(0), w(0, 1));
+        h.record_apply(SiteId(1), w(0, 1));
+        let v = check(&h);
+        assert!(v.strictly_clean(), "{v:?}");
+    }
+
+    #[test]
+    fn read_from_wrong_variable_flagged() {
+        let mut h = History::new(2);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_read(SiteId(1), VarId(5), Some(w(0, 1)), SiteId(1));
+        let v = check(&h);
+        assert_eq!(v.reads_from, 1, "{v:?}");
+    }
+
+    #[test]
+    fn unknown_write_flagged() {
+        let mut h = History::new(2);
+        h.record_read(SiteId(1), VarId(0), Some(w(0, 9)), SiteId(1));
+        let v = check(&h);
+        assert_eq!(v.reads_from, 1, "{v:?}");
+    }
+
+    #[test]
+    fn out_of_sequence_write_clock_flagged() {
+        let mut h = History::new(1);
+        h.record_write(SiteId(0), w(0, 2), VarId(0)); // first write, clock 2
+        let v = check(&h);
+        assert!(v.unresolved >= 1, "{v:?}");
+    }
+
+    #[test]
+    fn examples_are_capped() {
+        let mut h = History::new(1);
+        // 20 bad ⊥ reads after a write.
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        for _ in 0..20 {
+            h.record_read(SiteId(0), VarId(0), None, SiteId(0));
+        }
+        h.record_apply(SiteId(0), w(0, 1));
+        let v = check(&h);
+        assert_eq!(v.stale_reads, 20);
+        assert!(v.examples.len() <= 10);
+    }
+}
+
+#[cfg(test)]
+mod own_write_race_tests {
+    use super::*;
+    use causal_types::SiteId;
+
+    fn w(site: usize, clock: u64) -> WriteId {
+        WriteId::new(SiteId::from(site), clock)
+    }
+
+    #[test]
+    fn own_write_race_classified_separately() {
+        // s1 writes to var 0. s0 remotely reads it (via some replica),
+        // then writes var 1 — applied at s0 immediately. s1's write reaches
+        // s0 only later: s0's apply order inverts a real →co edge, but the
+        // later write is s0's own → own_write_races, not delivery.
+        let mut h = History::new(3);
+        h.record_write(SiteId(1), w(1, 1), causal_types::VarId(0));
+        h.record_read(SiteId(0), causal_types::VarId(0), Some(w(1, 1)), SiteId(2));
+        h.record_write(SiteId(0), w(0, 1), causal_types::VarId(1));
+        // s0 applies its own write first, then the remote one.
+        h.record_apply(SiteId(0), w(0, 1));
+        h.record_apply(SiteId(0), w(1, 1));
+        // Other sites apply in causal order.
+        h.record_apply(SiteId(1), w(1, 1));
+        h.record_apply(SiteId(1), w(0, 1));
+        let v = check(&h);
+        assert_eq!(v.own_write_races, 1, "{v:?}");
+        assert_eq!(v.delivery, 0);
+        assert!(v.protocol_clean());
+        assert!(!v.strictly_clean());
+    }
+
+    #[test]
+    fn received_write_inversion_is_still_a_delivery_bug() {
+        // Same shape, but the inverting site is a third party applying two
+        // *received* writes out of order: that is a genuine protocol bug.
+        let mut h = History::new(3);
+        h.record_write(SiteId(1), w(1, 1), causal_types::VarId(0));
+        h.record_read(SiteId(0), causal_types::VarId(0), Some(w(1, 1)), SiteId(0));
+        h.record_write(SiteId(0), w(0, 1), causal_types::VarId(1));
+        h.record_apply(SiteId(2), w(0, 1));
+        h.record_apply(SiteId(2), w(1, 1));
+        let v = check(&h);
+        assert_eq!(v.delivery, 1, "{v:?}");
+        assert_eq!(v.own_write_races, 0);
+    }
+}

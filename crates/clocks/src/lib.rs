@@ -1,0 +1,35 @@
+//! # causal-clocks
+//!
+//! The causality-tracking data structures of the four protocols compared in
+//! *"Performance of Causal Consistency Algorithms for Partially Replicated
+//! Systems"* (Hsu & Kshemkalyani, 2016):
+//!
+//! * [`MatrixClock`] — the `Write[n][n]` matrix of **Full-Track**
+//!   (`Write[j][k]` = number of updates sent by process `j` to site `k` that
+//!   causally happened before, under the `→co` relation);
+//! * [`VectorClock`] — the size-`n` `Write` vector of **optP**
+//!   (Baldoni et al.);
+//! * [`DestSet`] — a compact set of destination sites, the `Dests` field of
+//!   a KS log entry;
+//! * [`Log`] / [`LogEntry`] — the **Opt-Track** local log
+//!   `{⟨j, clock_j, Dests⟩}` with the paper's explicit and implicit pruning
+//!   conditions (MERGE / PURGE, conditions 1 and 2 of §III-B);
+//! * [`CrpLog`] — the **Opt-Track-CRP** log of `⟨j, clock_j⟩` 2-tuples.
+//!
+//! Every structure implements [`causal_types::MetaSized`] so the simulator
+//! can account for piggybacked meta-data bytes exactly as the paper does.
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod crplog;
+pub mod dests;
+pub mod log;
+pub mod matrix;
+pub mod vector;
+
+pub use crplog::CrpLog;
+pub use dests::DestSet;
+pub use log::{Log, LogEntry, PruneConfig};
+pub use matrix::MatrixClock;
+pub use vector::VectorClock;

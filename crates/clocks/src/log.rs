@@ -1,0 +1,597 @@
+//! The Opt-Track local log `{⟨j, clock_j, Dests⟩}` (KS-algorithm style).
+//!
+//! Each entry records a write operation in the causal past together with the
+//! set of destination replicas for which "this write was sent there" is
+//! still *relevant explicit information*. The paper (§III-B) prunes this
+//! information with two implicit conditions:
+//!
+//! 1. once an update `m` is applied at site `s₂`, the fact that `s₂` is one
+//!    of `m`'s destinations is redundant in the causal future of the apply
+//!    ([`Log::remove_site`], [`Log::prune_applied`]);
+//! 2. if `send(m) →co send(m')` and both updates are sent to `s₂`, then
+//!    `s₂ ∈ m.Dests` is redundant in the causal future of `send(m')`
+//!    ([`Log::record_write`] pruning, and the same-sender normalization in
+//!    [`Log::normalize`] — same-sender sends are totally ordered by `→co`
+//!    through program order).
+//!
+//! Entries whose destination list becomes empty are purged, **except** the
+//! most recent entry per origin, which is kept as a marker: the paper notes
+//! "it is important to keep entries with empty destination list as long as
+//! they represent the most recent updates applied from some site".
+
+use crate::dests::DestSet;
+use causal_types::{MetaSized, SiteId, SizeModel, WriteId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One record of the Opt-Track log: write `⟨origin, clock⟩` was multicast to
+/// `dests`, and that fact is still relevant for the sites remaining in
+/// `dests`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// The application process that performed the write.
+    pub origin: SiteId,
+    /// The writer's local write counter for this write (1-based).
+    pub clock: u64,
+    /// Destinations for which the information is still explicit.
+    pub dests: DestSet,
+}
+
+impl LogEntry {
+    /// Construct an entry.
+    pub fn new(origin: SiteId, clock: u64, dests: DestSet) -> Self {
+        LogEntry {
+            origin,
+            clock,
+            dests,
+        }
+    }
+
+    /// The write this entry describes.
+    pub fn write_id(&self) -> WriteId {
+        WriteId::new(self.origin, self.clock)
+    }
+}
+
+/// Pruning switches. The defaults implement the full Opt-Track behaviour;
+/// the ablation benches flip individual switches to quantify their effect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PruneConfig {
+    /// Apply implicit condition 2 (supersede destination info when a later
+    /// causally-ordered send covers the same destinations). Disabling this
+    /// reproduces a naive log that only shrinks via condition 1.
+    pub condition2: bool,
+    /// Keep the newest (possibly empty) entry per origin as a marker of the
+    /// most recent known write from that origin.
+    pub keep_markers: bool,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            condition2: true,
+            keep_markers: true,
+        }
+    }
+}
+
+/// The Opt-Track local log `LOG_i` (also the piggybacked `L_w` and the
+/// per-variable `LastWriteOn⟨h⟩` structure).
+///
+/// Entries are kept sorted by `(origin, clock)`; all operations preserve the
+/// invariant. The log never contains two entries for the same write.
+#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Log {
+    entries: Vec<LogEntry>,
+}
+
+impl Log {
+    /// The empty log.
+    pub fn new() -> Self {
+        Log::default()
+    }
+
+    /// Number of entries (including empty-destination markers).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the log holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in `(origin, clock)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Entry for a specific write, if present.
+    pub fn get(&self, origin: SiteId, clock: u64) -> Option<&LogEntry> {
+        self.position(origin, clock).map(|i| &self.entries[i])
+    }
+
+    /// The newest clock this log knows for `origin` (marker entries count).
+    pub fn latest_clock(&self, origin: SiteId) -> Option<u64> {
+        // Entries are sorted by (origin, clock): scan the origin's group end.
+        let mut latest = None;
+        for e in &self.entries {
+            if e.origin == origin {
+                latest = Some(e.clock);
+            } else if e.origin > origin {
+                break;
+            }
+        }
+        latest
+    }
+
+    fn position(&self, origin: SiteId, clock: u64) -> Option<usize> {
+        self.entries
+            .binary_search_by(|e| (e.origin, e.clock).cmp(&(origin, clock)))
+            .ok()
+    }
+
+    fn insert_sorted(&mut self, entry: LogEntry) {
+        match self
+            .entries
+            .binary_search_by(|e| (e.origin, e.clock).cmp(&(entry.origin, entry.clock)))
+        {
+            Ok(i) => {
+                // Same write already present: combine knowledge (both sides'
+                // prunings are sound, so intersect).
+                let d = self.entries[i].dests.intersect(&entry.dests);
+                self.entries[i].dests = d;
+            }
+            Err(i) => self.entries.insert(i, entry),
+        }
+    }
+
+    /// Insert or combine an entry. If the same write is already present the
+    /// destination sets are intersected (both sides' prunings are sound).
+    /// Used by the protocols to attach a write's own entry to the log stored
+    /// in `LastWriteOn⟨h⟩`.
+    pub fn upsert(&mut self, entry: LogEntry) {
+        self.insert_sorted(entry);
+    }
+
+    /// Record a local write: implicit condition 2 prunes every existing
+    /// entry's destinations by the new write's destination set (the new send
+    /// is in the causal future of everything in the log), empties are purged
+    /// and the write's own entry `⟨origin, clock, dests⟩` is appended.
+    ///
+    /// Call *after* snapshotting the log for piggybacking: the paper's SM
+    /// carries "the currently stored records", i.e. the pre-write log.
+    pub fn record_write(&mut self, origin: SiteId, clock: u64, dests: DestSet, cfg: PruneConfig) {
+        if cfg.condition2 {
+            for e in &mut self.entries {
+                e.dests.subtract(&dests);
+            }
+        }
+        self.insert_sorted(LogEntry::new(origin, clock, dests));
+        self.normalize(cfg);
+    }
+
+    /// Implicit condition 1 for a single site: remove `site` from every
+    /// entry's destination set (used when `site` applies an update — its own
+    /// membership in any piggybacked destination list is now redundant,
+    /// because the activation predicate guaranteed those writes were applied
+    /// at `site` first).
+    pub fn remove_site(&mut self, site: SiteId) {
+        for e in &mut self.entries {
+            e.dests.remove(site);
+        }
+    }
+
+    /// Implicit condition 1 driven by apply knowledge: remove `site` from
+    /// every entry whose write is already applied at `site`, as witnessed by
+    /// `last_applied_clock[origin]` (the largest write-clock from `origin`
+    /// applied at `site`). Sound because multicasts from one origin reach a
+    /// given destination in clock order over FIFO channels.
+    pub fn prune_applied(&mut self, site: SiteId, last_applied_clock: &[u64]) {
+        for e in &mut self.entries {
+            if e.dests.contains(site) && e.clock <= last_applied_clock[e.origin.index()] {
+                e.dests.remove(site);
+            }
+        }
+    }
+
+    /// MERGE: fold the piggybacked log `incoming` (the `LastWriteOn⟨h⟩` of a
+    /// read value) into this local log, then normalize.
+    ///
+    /// Rules (KS-style; each side's prunings are sound, so combined
+    /// knowledge is the strongest of both):
+    ///
+    /// * same write in both logs → intersect destination sets;
+    /// * a side that knows a **strictly newer** write from an origin but no
+    ///   longer carries an older entry has, somewhere in its causal past,
+    ///   proven every destination of that older write redundant (entries
+    ///   are only ever dropped once their destination set empties, and
+    ///   emptying is justified by implicit condition 1 or 2, which are
+    ///   facts about the causal structure — once true, true forever).
+    ///   Hence: an incoming entry older than the local marker for its
+    ///   origin is skipped, and a local entry older than the incoming
+    ///   side's marker is emptied. This cross-pruning is what keeps the
+    ///   amortized log near `O(n)`; without the newest-per-origin markers
+    ///   (which witness the "knows strictly newer" fact) it would be
+    ///   unsound — which is why the paper insists on keeping them.
+    pub fn merge(&mut self, incoming: &Log, cfg: PruneConfig) {
+        if cfg.condition2 {
+            // Local entries fully superseded by the incoming side's
+            // knowledge lose their destinations (purged below).
+            for e in &mut self.entries {
+                if incoming.get(e.origin, e.clock).is_none()
+                    && incoming.latest_clock(e.origin) > Some(e.clock)
+                {
+                    e.dests = DestSet::EMPTY;
+                }
+            }
+            // Pre-merge local markers decide which incoming entries are
+            // already known-redundant here.
+            let local_latest: Vec<(SiteId, u64)> = {
+                let mut v: Vec<(SiteId, u64)> = Vec::new();
+                for e in &self.entries {
+                    match v.last_mut() {
+                        Some((o, c)) if *o == e.origin => *c = e.clock,
+                        _ => v.push((e.origin, e.clock)),
+                    }
+                }
+                v
+            };
+            let latest_of = |origin: SiteId| -> Option<u64> {
+                local_latest
+                    .binary_search_by(|(o, _)| o.cmp(&origin))
+                    .ok()
+                    .map(|i| local_latest[i].1)
+            };
+            for e in &incoming.entries {
+                if self.get(e.origin, e.clock).is_none() && latest_of(e.origin) > Some(e.clock) {
+                    continue;
+                }
+                self.insert_sorted(*e);
+            }
+        } else {
+            for e in &incoming.entries {
+                self.insert_sorted(*e);
+            }
+        }
+        self.normalize(cfg);
+    }
+
+    /// Normalization pass: same-sender condition 2 (an older entry's
+    /// destinations are pruned by every newer same-sender entry's current
+    /// destinations) followed by a purge of empty entries (keeping the
+    /// newest entry per origin as a marker when configured).
+    pub fn normalize(&mut self, cfg: PruneConfig) {
+        if cfg.condition2 {
+            // Entries are sorted by (origin, clock); walk each origin group
+            // from newest to oldest, accumulating the union of newer dests.
+            let mut group_end = self.entries.len();
+            while group_end > 0 {
+                let origin = self.entries[group_end - 1].origin;
+                let mut group_start = group_end;
+                while group_start > 0 && self.entries[group_start - 1].origin == origin {
+                    group_start -= 1;
+                }
+                let mut newer = DestSet::EMPTY;
+                for i in (group_start..group_end).rev() {
+                    self.entries[i].dests.subtract(&newer);
+                    newer = newer.union(&self.entries[i].dests);
+                }
+                group_end = group_start;
+            }
+        }
+        self.purge(cfg);
+    }
+
+    /// Drop entries with empty destination sets. With `cfg.keep_markers`,
+    /// the newest entry of each origin survives even when empty.
+    pub fn purge(&mut self, cfg: PruneConfig) {
+        let entries = &mut self.entries;
+        let len = entries.len();
+        let mut keep = Vec::with_capacity(len);
+        for i in 0..len {
+            let e = &entries[i];
+            let is_newest_of_origin = i + 1 >= len || entries[i + 1].origin != e.origin;
+            keep.push(!e.dests.is_empty() || (cfg.keep_markers && is_newest_of_origin));
+        }
+        let mut i = 0;
+        entries.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+
+    /// Total number of site ids across all destination lists (for size
+    /// accounting and diagnostics).
+    pub fn dest_id_count(&self) -> usize {
+        self.entries.iter().map(|e| e.dests.len()).sum()
+    }
+}
+
+impl fmt::Debug for Log {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Log[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "⟨{},{},{:?}⟩", e.origin, e.clock, e.dests)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl MetaSized for Log {
+    /// Each entry is transmitted as two scalars (`origin`, `clock`) plus its
+    /// destination set. The paper's Java implementation keeps the log as
+    /// three primitive lists `⟨j⟩, ⟨clock_j⟩, ⟨Dests⟩` — under the
+    /// `java_like` model each entry therefore costs three packed words;
+    /// under the `wire` model the destination set is an explicit id list.
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        let mut total = model.scalars(2 * self.len());
+        for e in &self.entries {
+            total += model.dest_set(e.dests.len());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(i: usize) -> SiteId {
+        SiteId::from(i)
+    }
+    fn d(xs: &[usize]) -> DestSet {
+        DestSet::from_sites(xs.iter().map(|&i| s(i)))
+    }
+    fn cfg() -> PruneConfig {
+        PruneConfig::default()
+    }
+
+    #[test]
+    fn record_write_appends_own_entry() {
+        let mut log = Log::new();
+        log.record_write(s(0), 1, d(&[1, 2]), cfg());
+        assert_eq!(log.len(), 1);
+        let e = log.get(s(0), 1).unwrap();
+        assert_eq!(e.dests, d(&[1, 2]));
+    }
+
+    #[test]
+    fn condition2_prunes_prior_entries_on_write() {
+        let mut log = Log::new();
+        log.record_write(s(1), 1, d(&[2, 3]), cfg());
+        // Site 0 now writes to {2, 4}: destination 2 of the older entry is
+        // superseded (a causally-later send covers it); 3 is not.
+        log.record_write(s(0), 1, d(&[2, 4]), cfg());
+        assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[3]));
+        assert_eq!(log.get(s(0), 1).unwrap().dests, d(&[2, 4]));
+    }
+
+    #[test]
+    fn condition2_disabled_keeps_everything() {
+        let no_c2 = PruneConfig {
+            condition2: false,
+            keep_markers: true,
+        };
+        let mut log = Log::new();
+        log.record_write(s(1), 1, d(&[2, 3]), no_c2);
+        log.record_write(s(0), 1, d(&[2, 3]), no_c2);
+        assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[2, 3]));
+    }
+
+    #[test]
+    fn same_sender_condition2_in_normalize() {
+        let mut log = Log::new();
+        log.insert_sorted(LogEntry::new(s(1), 1, d(&[2, 3])));
+        log.insert_sorted(LogEntry::new(s(1), 2, d(&[2, 4])));
+        log.normalize(cfg());
+        // Older same-sender entry loses dests covered by the newer one.
+        assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[3]));
+        assert_eq!(log.get(s(1), 2).unwrap().dests, d(&[2, 4]));
+    }
+
+    #[test]
+    fn purge_keeps_newest_marker_per_origin() {
+        let mut log = Log::new();
+        log.insert_sorted(LogEntry::new(s(1), 1, DestSet::EMPTY));
+        log.insert_sorted(LogEntry::new(s(1), 2, DestSet::EMPTY));
+        log.insert_sorted(LogEntry::new(s(2), 1, d(&[0])));
+        log.purge(cfg());
+        assert!(log.get(s(1), 1).is_none(), "old empty entry purged");
+        assert!(log.get(s(1), 2).is_some(), "newest kept as marker");
+        assert!(log.get(s(2), 1).is_some());
+    }
+
+    #[test]
+    fn purge_without_markers_drops_all_empties() {
+        let no_markers = PruneConfig {
+            condition2: true,
+            keep_markers: false,
+        };
+        let mut log = Log::new();
+        log.insert_sorted(LogEntry::new(s(1), 2, DestSet::EMPTY));
+        log.purge(no_markers);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn merge_intersects_common_entries() {
+        let mut a = Log::new();
+        a.insert_sorted(LogEntry::new(s(1), 1, d(&[2, 3, 4])));
+        let mut b = Log::new();
+        b.insert_sorted(LogEntry::new(s(1), 1, d(&[3, 4, 5])));
+        a.merge(&b, cfg());
+        assert_eq!(a.get(s(1), 1).unwrap().dests, d(&[3, 4]));
+    }
+
+    #[test]
+    fn merge_inserts_unknown_entries() {
+        let mut a = Log::new();
+        let mut b = Log::new();
+        b.insert_sorted(LogEntry::new(s(2), 7, d(&[0, 1])));
+        a.merge(&b, cfg());
+        assert_eq!(a.get(s(2), 7).unwrap().dests, d(&[0, 1]));
+    }
+
+    #[test]
+    fn remove_site_clears_membership_everywhere() {
+        let mut log = Log::new();
+        log.insert_sorted(LogEntry::new(s(1), 1, d(&[0, 2])));
+        log.insert_sorted(LogEntry::new(s(3), 4, d(&[0])));
+        log.remove_site(s(0));
+        assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[2]));
+        assert!(log.get(s(3), 4).unwrap().dests.is_empty());
+    }
+
+    #[test]
+    fn prune_applied_uses_clock_witness() {
+        let mut log = Log::new();
+        log.insert_sorted(LogEntry::new(s(1), 3, d(&[0, 2])));
+        log.insert_sorted(LogEntry::new(s(1), 9, d(&[0, 2])));
+        // Site 0 has applied writes from s1 up to clock 5: entry clock 3 is
+        // known applied at 0, entry clock 9 is not.
+        let mut last = vec![0u64; 4];
+        last[1] = 5;
+        log.prune_applied(s(0), &last);
+        assert_eq!(log.get(s(1), 3).unwrap().dests, d(&[2]));
+        assert_eq!(log.get(s(1), 9).unwrap().dests, d(&[0, 2]));
+    }
+
+    #[test]
+    fn latest_clock_per_origin() {
+        let mut log = Log::new();
+        log.insert_sorted(LogEntry::new(s(1), 3, d(&[0])));
+        log.insert_sorted(LogEntry::new(s(1), 7, d(&[0])));
+        log.insert_sorted(LogEntry::new(s(2), 1, d(&[0])));
+        assert_eq!(log.latest_clock(s(1)), Some(7));
+        assert_eq!(log.latest_clock(s(2)), Some(1));
+        assert_eq!(log.latest_clock(s(0)), None);
+    }
+
+    #[test]
+    fn meta_size_counts_scalars_and_dest_sets() {
+        let m = SizeModel::java_like();
+        let mut log = Log::new();
+        log.insert_sorted(LogEntry::new(s(1), 1, d(&[2, 3])));
+        log.insert_sorted(LogEntry::new(s(2), 1, d(&[4])));
+        // Packed encoding: 2 entries × 3 words × 10 B = 60.
+        assert_eq!(log.meta_size(&m), 60);
+        // Wire encoding: 2 entries × 2 scalars × 4 B + 3 ids × 2 B = 22.
+        assert_eq!(log.meta_size(&SizeModel::wire()), 22);
+    }
+
+    #[test]
+    fn duplicate_insert_is_intersection_not_duplicate() {
+        let mut log = Log::new();
+        log.insert_sorted(LogEntry::new(s(1), 1, d(&[2, 3])));
+        log.insert_sorted(LogEntry::new(s(1), 1, d(&[3, 4])));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[3]));
+    }
+
+    /// Strategy: a small random log.
+    fn arb_log() -> impl Strategy<Value = Log> {
+        proptest::collection::vec((0usize..6, 1u64..8, proptest::collection::vec(0usize..6, 0..6)), 0..12)
+            .prop_map(|items| {
+                let mut log = Log::new();
+                for (o, c, ds) in items {
+                    log.insert_sorted(LogEntry::new(s(o), c, d(&ds)));
+                }
+                log
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_normalize_is_idempotent(mut log in arb_log()) {
+            log.normalize(cfg());
+            let once = log.clone();
+            log.normalize(cfg());
+            prop_assert_eq!(log, once);
+        }
+
+        #[test]
+        fn prop_normalize_never_grows_dests(log in arb_log()) {
+            let mut n = log.clone();
+            n.normalize(cfg());
+            for e in n.iter() {
+                let before = log.get(e.origin, e.clock).unwrap();
+                prop_assert!(e.dests.is_subset(&before.dests));
+            }
+        }
+
+        #[test]
+        fn prop_merge_upper_bounds_knowledge(a in arb_log(), b in arb_log()) {
+            // After merge, every write known to either side is known to the
+            // result or was purged as empty/non-newest.
+            let mut m = a.clone();
+            m.merge(&b, cfg());
+            for e in m.iter() {
+                // Dests in the merge never exceed what either side knew.
+                let da = a.get(e.origin, e.clock).map(|x| x.dests);
+                let db = b.get(e.origin, e.clock).map(|x| x.dests);
+                let bound = match (da, db) {
+                    (Some(x), Some(y)) => x.intersect(&y),
+                    (Some(x), None) | (None, Some(x)) => x,
+                    (None, None) => DestSet::EMPTY,
+                };
+                prop_assert!(e.dests.is_subset(&bound));
+            }
+        }
+
+        #[test]
+        fn prop_entries_sorted_and_unique(a in arb_log(), b in arb_log()) {
+            let mut m = a.clone();
+            m.merge(&b, cfg());
+            let keys: Vec<_> = m.iter().map(|e| (e.origin, e.clock)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(keys, sorted);
+        }
+
+        #[test]
+        fn prop_merge_commutative_on_normalized_logs(a in arb_log(), b in arb_log()) {
+            // Two sound, normalized logs combine to the same knowledge
+            // regardless of merge direction (intersection and the
+            // newest-marker cross-pruning are both symmetric).
+            let mut a = a;
+            let mut b = b;
+            a.normalize(cfg());
+            b.normalize(cfg());
+            let mut ab = a.clone();
+            ab.merge(&b, cfg());
+            let mut ba = b.clone();
+            ba.merge(&a, cfg());
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn prop_merge_idempotent(a in arb_log()) {
+            let mut a = a;
+            a.normalize(cfg());
+            let mut aa = a.clone();
+            aa.merge(&a, cfg());
+            prop_assert_eq!(aa, a);
+        }
+
+        #[test]
+        fn prop_markers_pin_latest_clock(mut log in arb_log()) {
+            let latest_before: Vec<_> =
+                (0..6).map(|o| log.latest_clock(s(o))).collect();
+            log.normalize(cfg());
+            for (o, expected) in latest_before.iter().enumerate() {
+                // Normalization never loses track of the newest write per
+                // origin (the marker rule).
+                prop_assert_eq!(log.latest_clock(s(o)), *expected);
+            }
+        }
+    }
+}

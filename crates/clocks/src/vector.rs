@@ -1,0 +1,199 @@
+//! The size-`n` `Write` vector clock of optP (Baldoni et al. 2006).
+
+use causal_types::{MetaSized, SiteId, SizeModel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vector clock over `n` application processes.
+///
+/// In **optP**, `Write_i[j]` counts the write operations of process `ap_j`
+/// that causally happened before (under `→co`) the current state of site
+/// `s_i`. It is piggybacked on every SM message, giving optP its `O(n)`
+/// per-message overhead — the quantity Opt-Track-CRP improves to `O(d)`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock for an `n`-process system.
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            entries: vec![0; n],
+        }
+    }
+
+    /// Number of processes this clock covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the clock covers zero processes (degenerate systems only).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Component for process `j`.
+    #[inline]
+    pub fn get(&self, j: SiteId) -> u64 {
+        self.entries[j.index()]
+    }
+
+    /// Set component for process `j`.
+    #[inline]
+    pub fn set(&mut self, j: SiteId, v: u64) {
+        self.entries[j.index()] = v;
+    }
+
+    /// Increment component `j` and return the new value.
+    #[inline]
+    pub fn increment(&mut self, j: SiteId) -> u64 {
+        self.entries[j.index()] += 1;
+        self.entries[j.index()]
+    }
+
+    /// Entry-wise maximum — the merge performed when a read establishes a
+    /// `→co` edge from the write's piggybacked clock to the reader.
+    pub fn merge_max(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.len(), other.len());
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// `true` if every component of `self` is ≤ the matching component of
+    /// `other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
+    }
+
+    /// Sum of all components (total causally-known writes; used in tests).
+    pub fn total(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    /// Iterate `(process, component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, u64)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (SiteId::from(i), c))
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.entries)
+    }
+}
+
+impl MetaSized for VectorClock {
+    /// A vector clock is transmitted as `n` scalars — this is exactly the
+    /// `10·n` term in the paper's Table III optP sizes.
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        model.scalars(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(i: usize) -> SiteId {
+        SiteId::from(i)
+    }
+
+    #[test]
+    fn new_is_zero() {
+        let c = VectorClock::new(5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.total(), 0);
+        assert!((0..5).all(|i| c.get(s(i)) == 0));
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut c = VectorClock::new(3);
+        assert_eq!(c.increment(s(1)), 1);
+        assert_eq!(c.increment(s(1)), 2);
+        assert_eq!(c.get(s(1)), 2);
+        assert_eq!(c.get(s(0)), 0);
+    }
+
+    #[test]
+    fn merge_takes_pointwise_max() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.set(s(0), 5);
+        a.set(s(1), 1);
+        b.set(s(1), 4);
+        b.set(s(2), 2);
+        a.merge_max(&b);
+        assert_eq!(a.get(s(0)), 5);
+        assert_eq!(a.get(s(1)), 4);
+        assert_eq!(a.get(s(2)), 2);
+    }
+
+    #[test]
+    fn le_is_componentwise() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.set(s(0), 1);
+        b.set(s(0), 2);
+        b.set(s(1), 1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn meta_size_is_n_scalars() {
+        let m = SizeModel::java_like();
+        assert_eq!(VectorClock::new(40).meta_size(&m), 400);
+        assert_eq!(VectorClock::new(0).meta_size(&m), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_is_lub(xs in proptest::collection::vec(0u64..100, 8),
+                             ys in proptest::collection::vec(0u64..100, 8)) {
+            let mut a = VectorClock::new(8);
+            let mut b = VectorClock::new(8);
+            for i in 0..8 {
+                a.set(s(i), xs[i]);
+                b.set(s(i), ys[i]);
+            }
+            let mut m = a.clone();
+            m.merge_max(&b);
+            // The merge is an upper bound of both inputs …
+            prop_assert!(a.le(&m));
+            prop_assert!(b.le(&m));
+            // … and the least one: merging again changes nothing.
+            let mut m2 = m.clone();
+            m2.merge_max(&a);
+            m2.merge_max(&b);
+            prop_assert_eq!(m2, m);
+        }
+
+        #[test]
+        fn prop_merge_commutative(xs in proptest::collection::vec(0u64..100, 4),
+                                  ys in proptest::collection::vec(0u64..100, 4)) {
+            let mut a = VectorClock::new(4);
+            let mut b = VectorClock::new(4);
+            for i in 0..4 {
+                a.set(s(i), xs[i]);
+                b.set(s(i), ys[i]);
+            }
+            let mut ab = a.clone();
+            ab.merge_max(&b);
+            let mut ba = b.clone();
+            ba.merge_max(&a);
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|all>
+//!       [--quick] [--out <dir>]
+//! ```
+//!
+//! `--quick` runs at a reduced scale (120 events/process, 2 seeds) for smoke
+//! testing; the default is the paper's scale (600 events/process, 3 seeds).
+//! With `--out`, each artifact is also written as CSV into the directory,
+//! plus — for the figures — a gnuplot data file and script, so
+//! `gnuplot results/fig1.gp` renders the actual plot.
+
+use causal_experiments::figures;
+use causal_experiments::{Scale, Sweep};
+use causal_metrics::Table;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut subcommand = None;
+    let mut scale = Scale::Paper;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                let dir = it.next().unwrap_or_else(|| usage("missing value for --out"));
+                out = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => usage(""),
+            s if !s.starts_with('-') && subcommand.is_none() => {
+                subcommand = Some(s.to_string());
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let subcommand = subcommand.unwrap_or_else(|| usage("missing subcommand"));
+
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let mut sw = Sweep::new(scale);
+    type Job = (&'static str, fn(&mut Sweep) -> Table);
+    let jobs: Vec<Job> = vec![
+        ("fig1", figures::fig1),
+        ("fig2", |s| figures::fig2_4(s, 0.2)),
+        ("fig3", |s| figures::fig2_4(s, 0.5)),
+        ("fig4", |s| figures::fig2_4(s, 0.8)),
+        ("table2", figures::table2),
+        ("fig5", figures::fig5),
+        ("fig6", |s| figures::fig6_8(s, 0.2)),
+        ("fig7", |s| figures::fig6_8(s, 0.5)),
+        ("fig8", |s| figures::fig6_8(s, 0.8)),
+        ("table3", figures::table3),
+        ("table4", figures::table4),
+        ("eq2", figures::eq2),
+        ("falseco", figures::ext_false_causality),
+        ("logsize", figures::ext_log_size),
+        ("storage", figures::ext_storage),
+    ];
+
+    let selected: Vec<_> = if subcommand == "all" {
+        jobs
+    } else {
+        let job = jobs
+            .into_iter()
+            .find(|(name, _)| *name == subcommand)
+            .unwrap_or_else(|| usage(&format!("unknown subcommand: {subcommand}")));
+        vec![job]
+    };
+
+    for (name, gen) in selected {
+        eprintln!("[repro] generating {name} …");
+        let t0 = std::time::Instant::now();
+        let table = gen(&mut sw);
+        println!("{}", table.render());
+        if let Some(dir) = &out {
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, table.to_csv()).expect("write CSV");
+            eprintln!("[repro] wrote {}", path.display());
+            if name.starts_with("fig") {
+                write_gnuplot(dir, name, &table);
+            }
+        }
+        eprintln!("[repro] {name} done in {:.1?}\n", t0.elapsed());
+    }
+}
+
+/// Emit `<name>.dat` + `<name>.gp` for a figure whose first column is `n`
+/// and whose remaining columns are numeric series.
+fn write_gnuplot(dir: &std::path::Path, name: &str, table: &Table) {
+    let csv = table.to_csv();
+    let mut lines = csv.lines();
+    let header: Vec<String> = lines
+        .next()
+        .unwrap_or_default()
+        .split(',')
+        .map(|s| s.replace(' ', "_"))
+        .collect();
+    let mut dat = format!("# {}\n", header.join(" "));
+    for line in lines {
+        dat.push_str(&line.replace(',', " "));
+        dat.push('\n');
+    }
+    let dat_path = dir.join(format!("{name}.dat"));
+    std::fs::write(&dat_path, dat).expect("write dat");
+
+    let mut gp = String::new();
+    gp.push_str(&format!(
+        "set terminal svg size 720,480\nset output '{name}.svg'\n         set xlabel 'n (processes)'\nset key left top\nset grid\n"
+    ));
+    let plots: Vec<String> = header
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, h)| {
+            format!(
+                "'{name}.dat' using 1:{} with linespoints title '{}'",
+                i + 1,
+                h.replace('_', " ")
+            )
+        })
+        .collect();
+    gp.push_str(&format!("plot {}\n", plots.join(", \\\n     ")));
+    let gp_path = dir.join(format!("{name}.gp"));
+    std::fs::write(&gp_path, gp).expect("write gp");
+    eprintln!("[repro] wrote {} and {}", dat_path.display(), gp_path.display());
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|all> \
+         [--quick] [--out <dir>]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

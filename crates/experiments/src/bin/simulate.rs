@@ -1,0 +1,228 @@
+//! `simulate` — run one custom simulation and print its metrics.
+//!
+//! A user-facing front door to the simulator: pick a protocol, system size,
+//! write rate, latency model and optional partition, and get the paper's
+//! metrics (message counts and sizes per kind, apply latency, storage) plus
+//! an optional consistency verification.
+//!
+//! ```text
+//! simulate [--protocol full-track|opt-track|opt-track-crp|optp|hb-track]
+//!          [--n <sites>] [--w <write-rate>] [--q <variables>]
+//!          [--events <per-process>] [--seed <u64>] [--p <replicas>]
+//!          [--latency <const_us|min_us:max_us>] [--partition <start_ms:end_ms>]
+//!          [--zipf <theta>] [--wire-model] [--check]
+//!          [--dump-schedule <path>] [--schedule <path>]
+//! ```
+//!
+//! `--dump-schedule` writes the generated operation trace as CSV;
+//! `--schedule` replays a previously dumped (or hand-written) trace.
+
+use causal_checker::check;
+use causal_clocks::DestSet;
+use causal_memory::{Placement, PlacementKind};
+use causal_proto::ProtocolKind;
+use causal_simnet::{run, LatencyModel, PartitionWindow, SimConfig};
+use causal_types::{MsgKind, SimTime, SiteId, SizeModel};
+use causal_workload::VarDistribution;
+use std::sync::Arc;
+
+struct Args {
+    protocol: ProtocolKind,
+    n: usize,
+    w: f64,
+    q: usize,
+    events: usize,
+    seed: u64,
+    p: Option<usize>,
+    latency: LatencyModel,
+    partition: Option<(u64, u64)>,
+    zipf: Option<f64>,
+    wire_model: bool,
+    check: bool,
+    dump_schedule: Option<String>,
+    schedule: Option<String>,
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        protocol: ProtocolKind::OptTrack,
+        n: 10,
+        w: 0.5,
+        q: 100,
+        events: 200,
+        seed: 1,
+        p: None,
+        latency: LatencyModel::default_wan(),
+        partition: None,
+        zipf: None,
+        wire_model: false,
+        check: false,
+        dump_schedule: None,
+        schedule: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| die(&format!("missing value for {flag}")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--protocol" => {
+                a.protocol = match val().as_str() {
+                    "full-track" => ProtocolKind::FullTrack,
+                    "opt-track" => ProtocolKind::OptTrack,
+                    "opt-track-crp" => ProtocolKind::OptTrackCrp,
+                    "optp" => ProtocolKind::OptP,
+                    "hb-track" => ProtocolKind::HbTrack,
+                    other => die(&format!("unknown protocol {other}")),
+                }
+            }
+            "--n" => a.n = val().parse().unwrap_or_else(|_| die("bad --n")),
+            "--w" => a.w = val().parse().unwrap_or_else(|_| die("bad --w")),
+            "--q" => a.q = val().parse().unwrap_or_else(|_| die("bad --q")),
+            "--events" => a.events = val().parse().unwrap_or_else(|_| die("bad --events")),
+            "--seed" => a.seed = val().parse().unwrap_or_else(|_| die("bad --seed")),
+            "--p" => a.p = Some(val().parse().unwrap_or_else(|_| die("bad --p"))),
+            "--latency" => {
+                let v = val();
+                a.latency = if let Some((lo, hi)) = v.split_once(':') {
+                    LatencyModel::Uniform {
+                        min_micros: lo.parse().unwrap_or_else(|_| die("bad --latency")),
+                        max_micros: hi.parse().unwrap_or_else(|_| die("bad --latency")),
+                    }
+                } else {
+                    LatencyModel::Constant {
+                        micros: v.parse().unwrap_or_else(|_| die("bad --latency")),
+                    }
+                };
+            }
+            "--partition" => {
+                let v = val();
+                let (s, e) = v.split_once(':').unwrap_or_else(|| die("bad --partition"));
+                a.partition = Some((
+                    s.parse().unwrap_or_else(|_| die("bad --partition")),
+                    e.parse().unwrap_or_else(|_| die("bad --partition")),
+                ));
+            }
+            "--zipf" => a.zipf = Some(val().parse().unwrap_or_else(|_| die("bad --zipf"))),
+            "--wire-model" => a.wire_model = true,
+            "--check" => a.check = true,
+            "--dump-schedule" => a.dump_schedule = Some(val()),
+            "--schedule" => a.schedule = Some(val()),
+            "--help" | "-h" => {
+                eprintln!("see the module docs at the top of simulate.rs");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    a
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let a = parse();
+    let placement = if a.protocol.supports_partial() {
+        let p = a.p.unwrap_or(((0.3 * a.n as f64).round() as usize).max(1));
+        Placement::new(PlacementKind::Even, a.n, p).unwrap_or_else(|e| die(&e.to_string()))
+    } else {
+        Placement::full(a.n).unwrap_or_else(|e| die(&e.to_string()))
+    };
+    let mut cfg = SimConfig {
+        protocol: a.protocol,
+        placement: Arc::new(placement),
+        workload: causal_workload::WorkloadParams::paper(a.n, a.w, a.seed),
+        latency: a.latency,
+        size_model: if a.wire_model {
+            SizeModel::wire()
+        } else {
+            SizeModel::java_like()
+        },
+        prune: Default::default(),
+        record_history: a.check,
+        partitions: Vec::new(),
+        schedule_override: None,
+        pauses: Vec::new(),
+    };
+    cfg.workload.q = a.q;
+    cfg.workload.events_per_process = a.events;
+    if let Some(theta) = a.zipf {
+        cfg.workload.var_dist = VarDistribution::Zipf { theta };
+    }
+    if let Some(path) = &a.schedule {
+        let csv = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        let sched = causal_workload::schedule_from_csv(&csv, cfg.workload)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        cfg.schedule_override = Some(sched);
+    }
+    if let Some(path) = &a.dump_schedule {
+        let sched = cfg
+            .schedule_override
+            .clone()
+            .unwrap_or_else(|| causal_workload::generate(&cfg.workload));
+        std::fs::write(path, causal_workload::schedule_to_csv(&sched))
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        eprintln!("wrote schedule to {path}");
+    }
+    if let Some((s, e)) = a.partition {
+        cfg.partitions.push(PartitionWindow {
+            start: SimTime::from_millis(s),
+            end: SimTime::from_millis(e),
+            side_a: DestSet::from_sites((0..a.n / 2).map(SiteId::from)),
+        });
+    }
+
+    let t0 = std::time::Instant::now();
+    let r = run(&cfg);
+    let m = &r.metrics;
+
+    println!("protocol        {}", a.protocol);
+    println!("system          n={} q={} p={}", a.n, a.q, if a.protocol.supports_partial() { a.p.unwrap_or(((0.3 * a.n as f64).round() as usize).max(1)) } else { a.n });
+    println!("workload        {} events/proc, w_rate {}, seed {}", a.events, a.w, a.seed);
+    println!("virtual time    {}", r.duration);
+    println!("wall time       {:.2?}", t0.elapsed());
+    println!();
+    println!("measured ops    {} writes, {} reads ({} remote)", m.writes, m.reads, m.remote_reads);
+    for kind in [MsgKind::Sm, MsgKind::Fm, MsgKind::Rm] {
+        let c = m.measured.count(kind);
+        if c > 0 {
+            println!(
+                "{kind} messages     {c:>8}   avg meta {:>8.1} B   total {:>10.1} KB",
+                m.measured.avg_bytes(kind).unwrap_or(0.0),
+                m.measured.bytes(kind) as f64 / 1000.0,
+            );
+        }
+    }
+    println!("applies         {} (max parked {}, mean buffered apply latency {:.2} ms)",
+        m.applies, m.max_pending, m.apply_latency_ns.mean() / 1e6);
+    let storage: u64 = r.final_local_meta.iter().sum();
+    println!(
+        "storage         {:.1} KB metadata across sites at quiescence",
+        storage as f64 / 1000.0
+    );
+    assert_eq!(r.final_pending, 0, "simulation must reach quiescence");
+
+    if a.check {
+        let v = check(r.history.as_ref().expect("recorded"));
+        println!();
+        println!(
+            "consistency     fifo={} delivery={} reads_from={} stale_reads={} own_write_races={}",
+            v.fifo, v.delivery, v.reads_from, v.stale_reads, v.own_write_races
+        );
+        if v.protocol_clean() {
+            println!("verdict         causally consistent ✓");
+        } else {
+            println!("verdict         VIOLATIONS FOUND ✗");
+            for e in &v.examples {
+                println!("    {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

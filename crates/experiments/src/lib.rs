@@ -1,0 +1,31 @@
+//! # causal-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§V). Each experiment has a library entry point in
+//! [`figures`] (returning render-ready [`causal_metrics::Table`]s and raw
+//! CSV series) and a CLI subcommand in the `repro` binary:
+//!
+//! | Subcommand | Paper artifact |
+//! |------------|----------------|
+//! | `repro fig1` | Fig. 1 — total meta-data ratio, Opt-Track / Full-Track |
+//! | `repro fig2` / `fig3` / `fig4` | Figs. 2–4 — average SM/RM/FM sizes, partial replication, per write rate |
+//! | `repro table2` | Table II — average SM and RM overhead (KB) |
+//! | `repro fig5` | Fig. 5 — total SM ratio, Opt-Track-CRP / optP |
+//! | `repro fig6` / `fig7` / `fig8` | Figs. 6–8 — average SM sizes, full replication |
+//! | `repro table3` | Table III — average SM overhead for Opt-Track-CRP vs optP |
+//! | `repro table4` | Table IV — total message count, partial vs full replication |
+//! | `repro eq2` | Eq. (1)/(2) — analytic crossover `w_rate > 2/(n+1)` and its empirical check |
+//! | `repro all` | everything above, sharing simulation runs |
+//!
+//! [`analytic`] carries the closed-form complexity models of §V-A/V-B, and
+//! [`sweep`] the multi-seed simulation driver with per-invocation caching so
+//! figures that share parameter cells share runs.
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod analytic;
+pub mod figures;
+pub mod sweep;
+
+pub use sweep::{CellStats, Mode, Scale, Sweep};

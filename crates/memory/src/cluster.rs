@@ -1,0 +1,283 @@
+//! A synchronous in-process cluster.
+//!
+//! `LocalCluster` wires `n` protocol sites together with zero-latency FIFO
+//! delivery: every message is delivered and processed before the issuing
+//! operation returns. This gives a deterministic, totally ordered execution
+//! that is convenient for examples, tutorials and protocol unit tests. The
+//! discrete-event simulator in `causal-simnet` is the instrument for the
+//! paper's experiments — it models latency and reordering across senders;
+//! this cluster intentionally does not.
+
+use causal_proto::{build_site, Effect, ProtocolConfig, ProtocolKind, ProtocolSite, ReadResult, Replication};
+use causal_types::{MetaSized, MsgKind, SiteId, SizeModel, VarId, VersionedValue, WriteId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::placement::Placement;
+
+/// An observable event of a cluster execution.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ClusterEvent {
+    /// `write` was applied at `site`'s replica of `var`.
+    Applied {
+        /// The applying site.
+        site: SiteId,
+        /// The updated variable.
+        var: VarId,
+        /// The applied write.
+        write: WriteId,
+    },
+    /// A message of kind `kind` travelled `from → to` carrying `meta_bytes`
+    /// of causality meta-data.
+    Message {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+        /// SM / FM / RM.
+        kind: MsgKind,
+        /// Meta-data bytes under the cluster's size model.
+        meta_bytes: u64,
+    },
+}
+
+/// `n` protocol sites with synchronous, zero-latency FIFO delivery.
+pub struct LocalCluster {
+    sites: Vec<Box<dyn ProtocolSite>>,
+    model: SizeModel,
+    events: Vec<ClusterEvent>,
+    /// The currently fetched value, parked here by the delivery loop when a
+    /// `FetchDone` effect surfaces.
+    fetched: Option<(SiteId, VarId, Option<VersionedValue>)>,
+}
+
+impl LocalCluster {
+    /// Build a cluster of `placement.n()` sites all running `kind`.
+    pub fn new(kind: ProtocolKind, placement: Arc<Placement>, cfg: ProtocolConfig) -> Self {
+        let n = placement.n();
+        let repl: Arc<dyn causal_proto::Replication> = placement;
+        let sites = SiteId::all(n)
+            .map(|s| build_site(kind, s, repl.clone(), cfg))
+            .collect();
+        LocalCluster {
+            sites,
+            model: SizeModel::default(),
+            events: Vec::new(),
+            fetched: None,
+        }
+    }
+
+    /// Use a non-default size model for the `Message` events.
+    pub fn with_size_model(mut self, model: SizeModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Number of sites.
+    pub fn n(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Issue `w(var)data` at `site`, delivering all resulting messages
+    /// before returning.
+    pub fn write(&mut self, site: SiteId, var: VarId, data: u64) -> WriteId {
+        let (wid, effects) = self.sites[site.index()].write(var, data, 0);
+        self.route(site, effects);
+        wid
+    }
+
+    /// Issue `r(var)` at `site`. Remote fetches complete synchronously.
+    pub fn read(&mut self, site: SiteId, var: VarId) -> Option<VersionedValue> {
+        match self.sites[site.index()].read(var) {
+            ReadResult::Local(v) => v,
+            ReadResult::Fetch { target, msg } => {
+                self.route(site, vec![Effect::Send { to: target, msg }]);
+                let (who, which, value) = self
+                    .fetched
+                    .take()
+                    .expect("synchronous delivery must complete the fetch");
+                assert_eq!((who, which), (site, var), "fetch answered out of order");
+                value
+            }
+        }
+    }
+
+    /// Deliver queued effects breadth-first until quiescence.
+    fn route(&mut self, origin: SiteId, effects: Vec<Effect>) {
+        let mut queue: VecDeque<(SiteId, Effect)> =
+            effects.into_iter().map(|e| (origin, e)).collect();
+        while let Some((from, effect)) = queue.pop_front() {
+            match effect {
+                Effect::Send { to, msg } => {
+                    self.events.push(ClusterEvent::Message {
+                        from,
+                        to,
+                        kind: msg.kind(),
+                        meta_bytes: msg.meta_size(&self.model),
+                    });
+                    let next = self.sites[to.index()].on_message(from, msg);
+                    queue.extend(next.into_iter().map(|e| (to, e)));
+                }
+                Effect::Applied { var, write } => {
+                    self.events.push(ClusterEvent::Applied {
+                        site: from,
+                        var,
+                        write,
+                    });
+                }
+                Effect::FetchDone { var, value } => {
+                    assert!(self.fetched.is_none(), "one outstanding fetch at a time");
+                    self.fetched = Some((from, var, value));
+                }
+            }
+        }
+    }
+
+    /// Drain the recorded events.
+    pub fn take_events(&mut self) -> Vec<ClusterEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Direct access to a site (diagnostics, assertions).
+    pub fn site(&self, s: SiteId) -> &dyn ProtocolSite {
+        self.sites[s.index()].as_ref()
+    }
+
+    /// Total parked updates across all sites. In a synchronous cluster this
+    /// must be zero between operations — delivery is instantaneous and the
+    /// activation predicate can always be satisfied immediately.
+    pub fn total_pending(&self) -> usize {
+        self.sites.iter().map(|s| s.pending_len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementKind;
+
+    fn cluster(kind: ProtocolKind, n: usize, partial: bool) -> LocalCluster {
+        let placement = if partial {
+            Arc::new(Placement::paper_partial(n).unwrap())
+        } else {
+            Arc::new(Placement::full(n).unwrap())
+        };
+        LocalCluster::new(kind, placement, ProtocolConfig::default())
+    }
+
+    #[test]
+    fn write_then_read_everywhere_full_replication() {
+        for kind in [ProtocolKind::OptTrackCrp, ProtocolKind::OptP] {
+            let mut c = cluster(kind, 5, false);
+            let w = c.write(SiteId(0), VarId(3), 42);
+            for s in SiteId::all(5) {
+                let v = c.read(s, VarId(3)).expect("value replicated everywhere");
+                assert_eq!(v.writer, w);
+                assert_eq!(v.data, 42);
+            }
+            assert_eq!(c.total_pending(), 0);
+        }
+    }
+
+    #[test]
+    fn write_then_read_everywhere_partial_replication() {
+        for kind in [ProtocolKind::FullTrack, ProtocolKind::OptTrack] {
+            let mut c = cluster(kind, 10, true);
+            let w = c.write(SiteId(0), VarId(7), 7);
+            for s in SiteId::all(10) {
+                let v = c.read(s, VarId(7)).expect("local or fetched");
+                assert_eq!(v.writer, w, "{kind} at {s}");
+            }
+            assert_eq!(c.total_pending(), 0);
+        }
+    }
+
+    #[test]
+    fn message_counts_match_paper_formulas_for_writes() {
+        // Opt-Track write: (p-1) SMs if the writer replicates the variable,
+        // p otherwise.
+        let n = 10;
+        let mut c = cluster(ProtocolKind::OptTrack, n, true);
+        let placement = Placement::paper_partial(n).unwrap();
+        let p = placement.p();
+        for v in 0..20u32 {
+            c.take_events();
+            let writer = SiteId(0);
+            c.write(writer, VarId(v), 1);
+            let sms = c
+                .take_events()
+                .iter()
+                .filter(|e| matches!(e, ClusterEvent::Message { kind: MsgKind::Sm, .. }))
+                .count();
+            let expected = if placement.replicas(VarId(v)).contains(writer) {
+                p - 1
+            } else {
+                p
+            };
+            assert_eq!(sms, expected, "var {v}");
+        }
+    }
+
+    #[test]
+    fn remote_read_generates_fm_and_rm() {
+        let n = 10;
+        let mut c = cluster(ProtocolKind::OptTrack, n, true);
+        c.write(SiteId(0), VarId(0), 5);
+        c.take_events();
+        // Var 0 replicas are sites {0,1,2}; site 5 must fetch.
+        let v = c.read(SiteId(5), VarId(0)).unwrap();
+        assert_eq!(v.data, 5);
+        let kinds: Vec<MsgKind> = c
+            .take_events()
+            .iter()
+            .filter_map(|e| match e {
+                ClusterEvent::Message { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![MsgKind::Fm, MsgKind::Rm]);
+    }
+
+    #[test]
+    fn local_read_generates_no_messages() {
+        let n = 10;
+        let mut c = cluster(ProtocolKind::OptTrack, n, true);
+        c.write(SiteId(0), VarId(0), 5);
+        c.take_events();
+        c.read(SiteId(1), VarId(0)); // site 1 replicates var 0
+        assert!(c.take_events().is_empty());
+    }
+
+    #[test]
+    fn clustered_placement_works_end_to_end() {
+        let placement =
+            Arc::new(Placement::new(PlacementKind::Clustered, 9, 3).unwrap());
+        let mut c = LocalCluster::new(ProtocolKind::OptTrack, placement, ProtocolConfig::default());
+        let w = c.write(SiteId(4), VarId(11), 9);
+        for s in SiteId::all(9) {
+            assert_eq!(c.read(s, VarId(11)).unwrap().writer, w);
+        }
+    }
+
+    #[test]
+    fn causal_chain_visible_in_apply_events() {
+        let mut c = cluster(ProtocolKind::OptTrackCrp, 3, false);
+        let w1 = c.write(SiteId(0), VarId(0), 1);
+        c.read(SiteId(1), VarId(0));
+        let w2 = c.write(SiteId(1), VarId(1), 2);
+        // At every site, w1 must have been applied before w2.
+        let events = c.take_events();
+        for s in SiteId::all(3) {
+            let order: Vec<WriteId> = events
+                .iter()
+                .filter_map(|e| match e {
+                    ClusterEvent::Applied { site, write, .. } if *site == s => Some(*write),
+                    _ => None,
+                })
+                .collect();
+            let i1 = order.iter().position(|w| *w == w1).unwrap();
+            let i2 = order.iter().position(|w| *w == w2).unwrap();
+            assert!(i1 < i2, "site {s} applied out of causal order");
+        }
+    }
+}

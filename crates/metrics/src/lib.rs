@@ -1,0 +1,23 @@
+//! # causal-metrics
+//!
+//! Measurement infrastructure for the simulation experiments: per-kind
+//! message counters and byte accumulators ([`MessageStats`]), streaming
+//! summary statistics ([`StatAccum`]), per-run aggregates ([`RunMetrics`])
+//! and plain-text / CSV table rendering ([`Table`]).
+//!
+//! The paper's metrics (§V): total message count `m_c`, total and average
+//! message meta-data size `m_s` per message class (SM / FM / RM), measured
+//! after discarding the first 15 % of operation events as warm-up.
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod quantile;
+pub mod run;
+pub mod stats;
+pub mod table;
+
+pub use quantile::P2Quantile;
+pub use run::RunMetrics;
+pub use stats::{MessageStats, StatAccum};
+pub use table::Table;

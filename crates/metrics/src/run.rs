@@ -1,0 +1,182 @@
+//! Per-run metric aggregation.
+
+use crate::quantile::P2Quantile;
+use crate::stats::{MessageStats, StatAccum};
+use causal_types::MsgKind;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured during one simulation run.
+///
+/// Two parallel message accumulators are kept: `measured` only counts
+/// traffic attributable to post-warm-up operations (the paper stores
+/// "experimental data ... after the first 15 % operation events to eliminate
+/// the side effect in startup"), while `all` covers the entire run (used for
+/// conservation checks in tests).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Post-warm-up traffic.
+    pub measured: MessageStats,
+    /// Whole-run traffic.
+    pub all: MessageStats,
+    /// Post-warm-up write operations issued.
+    pub writes: u64,
+    /// Post-warm-up read operations issued.
+    pub reads: u64,
+    /// Post-warm-up reads that needed a remote fetch.
+    pub remote_reads: u64,
+    /// Piggybacked dependency-structure entry counts sampled per SM
+    /// (Opt-Track log entries, CRP tuples; `n`/`n²` for the clock
+    /// protocols). Diagnoses the paper's `d` parameter.
+    pub sm_entries: StatAccum,
+    /// Updates applied across all sites (whole run).
+    pub applies: u64,
+    /// Largest pending-buffer population observed at any site.
+    pub max_pending: usize,
+    /// Virtual nanoseconds between an update's receipt and its apply
+    /// (0 for updates applied on arrival). False causality — waiting on
+    /// dependencies that are not real `→co` dependencies — shows up here.
+    pub apply_latency_ns: StatAccum,
+    /// Pending-buffer population sampled after every delivery event.
+    pub pending_samples: StatAccum,
+    /// Channel transit time per message, virtual nanoseconds (simulator
+    /// runs only; reflects the latency model, partitions included).
+    pub transit_ns: StatAccum,
+    /// p99 of the apply latency (streaming P² estimate) — tail buffering
+    /// that the mean hides.
+    pub apply_latency_p99: P2Quantile,
+}
+
+impl Default for RunMetrics {
+    fn default() -> Self {
+        RunMetrics {
+            measured: MessageStats::default(),
+            all: MessageStats::default(),
+            writes: 0,
+            reads: 0,
+            remote_reads: 0,
+            sm_entries: StatAccum::default(),
+            applies: 0,
+            max_pending: 0,
+            apply_latency_ns: StatAccum::default(),
+            pending_samples: StatAccum::default(),
+            transit_ns: StatAccum::default(),
+            apply_latency_p99: P2Quantile::new(0.99),
+        }
+    }
+}
+
+impl RunMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one apply latency sample (mean + p99 together).
+    pub fn record_apply_latency(&mut self, ns: f64) {
+        self.apply_latency_ns.record(ns);
+        self.apply_latency_p99.record(ns);
+    }
+
+    /// Record a message. `measured` marks post-warm-up attribution.
+    pub fn record_msg(&mut self, kind: MsgKind, meta_bytes: u64, measured: bool) {
+        self.all.record(kind, meta_bytes);
+        if measured {
+            self.measured.record(kind, meta_bytes);
+        }
+    }
+
+    /// Record an issued operation (post-warm-up only).
+    pub fn record_op(&mut self, is_write: bool, remote: bool) {
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+            if remote {
+                self.remote_reads += 1;
+            }
+        }
+    }
+
+    /// The empirical write rate over measured operations.
+    pub fn w_rate(&self) -> f64 {
+        let total = self.writes + self.reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.writes as f64 / total as f64
+        }
+    }
+
+    /// Fold another run's metrics into this one (multi-seed averaging keeps
+    /// totals; derive means at presentation time).
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.measured.merge(&other.measured);
+        self.all.merge(&other.all);
+        self.writes += other.writes;
+        self.reads += other.reads;
+        self.remote_reads += other.remote_reads;
+        self.applies += other.applies;
+        self.max_pending = self.max_pending.max(other.max_pending);
+        // StatAccum cannot merge exactly without the raw moments; fold the
+        // other's summary as a weighted contribution.
+        for (mine, theirs) in [
+            (&mut self.sm_entries, &other.sm_entries),
+            (&mut self.apply_latency_ns, &other.apply_latency_ns),
+            (&mut self.pending_samples, &other.pending_samples),
+            (&mut self.transit_ns, &other.transit_ns),
+        ] {
+            for _ in 0..theirs.count() {
+                mine.record(theirs.mean());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_attribution() {
+        let mut m = RunMetrics::new();
+        m.record_msg(MsgKind::Sm, 100, false); // warm-up traffic
+        m.record_msg(MsgKind::Sm, 200, true);
+        assert_eq!(m.all.count(MsgKind::Sm), 2);
+        assert_eq!(m.measured.count(MsgKind::Sm), 1);
+        assert_eq!(m.measured.bytes(MsgKind::Sm), 200);
+    }
+
+    #[test]
+    fn op_bookkeeping_and_w_rate() {
+        let mut m = RunMetrics::new();
+        m.record_op(true, false);
+        m.record_op(false, true);
+        m.record_op(false, false);
+        assert_eq!(m.writes, 1);
+        assert_eq!(m.reads, 2);
+        assert_eq!(m.remote_reads, 1);
+        assert!((m.w_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunMetrics::new();
+        a.record_msg(MsgKind::Rm, 50, true);
+        a.record_op(true, false);
+        let mut b = RunMetrics::new();
+        b.record_msg(MsgKind::Rm, 70, true);
+        b.record_op(false, true);
+        b.max_pending = 9;
+        a.merge(&b);
+        assert_eq!(a.measured.count(MsgKind::Rm), 2);
+        assert_eq!(a.measured.bytes(MsgKind::Rm), 120);
+        assert_eq!(a.writes, 1);
+        assert_eq!(a.reads, 1);
+        assert_eq!(a.max_pending, 9);
+    }
+
+    #[test]
+    fn empty_w_rate_is_zero() {
+        assert_eq!(RunMetrics::new().w_rate(), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Counters and streaming statistics.
+
+use causal_types::MsgKind;
+use serde::{Deserialize, Serialize};
+
+/// Message counts and meta-data byte totals, broken down by message kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct MessageStats {
+    counts: [u64; 3],
+    meta_bytes: [u64; 3],
+}
+
+impl MessageStats {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message of `kind` carrying `bytes` of meta-data.
+    #[inline]
+    pub fn record(&mut self, kind: MsgKind, bytes: u64) {
+        self.counts[kind.index()] += 1;
+        self.meta_bytes[kind.index()] += bytes;
+    }
+
+    /// Number of messages of `kind`.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total meta-data bytes of `kind`.
+    pub fn bytes(&self, kind: MsgKind) -> u64 {
+        self.meta_bytes[kind.index()]
+    }
+
+    /// Total message count across kinds (the paper's `m_c`).
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total meta-data bytes across kinds (the paper's `m_s`, control
+    /// overhead only).
+    pub fn total_bytes(&self) -> u64 {
+        self.meta_bytes.iter().sum()
+    }
+
+    /// Average meta-data bytes per message of `kind`; `None` when no such
+    /// message was recorded.
+    pub fn avg_bytes(&self, kind: MsgKind) -> Option<f64> {
+        let c = self.count(kind);
+        (c > 0).then(|| self.bytes(kind) as f64 / c as f64)
+    }
+
+    /// Fold another accumulator into this one (multi-run aggregation).
+    pub fn merge(&mut self, other: &MessageStats) {
+        for i in 0..3 {
+            self.counts[i] += other.counts[i];
+            self.meta_bytes[i] += other.meta_bytes[i];
+        }
+    }
+}
+
+/// Streaming summary statistics (Welford's algorithm): count, mean,
+/// variance, min, max. Constant memory, numerically stable.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct StatAccum {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StatAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StatAccum {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 for < 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn message_stats_accumulate_per_kind() {
+        let mut s = MessageStats::new();
+        s.record(MsgKind::Sm, 100);
+        s.record(MsgKind::Sm, 200);
+        s.record(MsgKind::Fm, 33);
+        assert_eq!(s.count(MsgKind::Sm), 2);
+        assert_eq!(s.bytes(MsgKind::Sm), 300);
+        assert_eq!(s.avg_bytes(MsgKind::Sm), Some(150.0));
+        assert_eq!(s.avg_bytes(MsgKind::Rm), None);
+        assert_eq!(s.total_count(), 3);
+        assert_eq!(s.total_bytes(), 333);
+    }
+
+    #[test]
+    fn message_stats_merge() {
+        let mut a = MessageStats::new();
+        a.record(MsgKind::Sm, 10);
+        let mut b = MessageStats::new();
+        b.record(MsgKind::Sm, 20);
+        b.record(MsgKind::Rm, 5);
+        a.merge(&b);
+        assert_eq!(a.count(MsgKind::Sm), 2);
+        assert_eq!(a.bytes(MsgKind::Sm), 30);
+        assert_eq!(a.count(MsgKind::Rm), 1);
+    }
+
+    #[test]
+    fn stat_accum_basics() {
+        let mut s = StatAccum::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [2.0, 4.0, 6.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+        // Population std dev of {2,4,6} = sqrt(8/3).
+        assert!((s.std_dev() - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s = StatAccum::new();
+            for &x in &xs {
+                s.record(x);
+            }
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((s.std_dev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # causal-proto
+//!
+//! Transport-agnostic implementations of the four causal-consistency
+//! protocols compared in *"Performance of Causal Consistency Algorithms for
+//! Partially Replicated Systems"* (Hsu & Kshemkalyani, 2016):
+//!
+//! | Type | Replication | Metadata |
+//! |------|-------------|----------|
+//! | [`FullTrack`] | partial | `n×n` Write matrix clock |
+//! | [`OptTrack`]  | partial | KS log `{⟨j, clock_j, Dests⟩}` |
+//! | [`OptTrackCrp`] | full | log of `⟨j, clock_j⟩` 2-tuples |
+//! | [`OptP`] | full | size-`n` Write vector clock |
+//!
+//! Each protocol is a pure state machine implementing [`ProtocolSite`]: the
+//! caller (the discrete-event simulator in `causal-simnet` or the threaded
+//! runtime in `causal-runtime`) invokes [`ProtocolSite::write`],
+//! [`ProtocolSite::read`] and [`ProtocolSite::on_message`], and routes the
+//! returned [`Effect`]s over its transport. The protocols never perform I/O,
+//! which is what lets the same code run deterministically under simulation
+//! and concurrently under real threads.
+//!
+//! ## Activation predicate
+//!
+//! All four protocols implement the optimal activation predicate `A_OPT` of
+//! Baldoni et al.: an arriving update is buffered until every update that
+//! causally precedes it (under the `→co` relation — causality created by
+//! *reading* values, not by message receipt) and is destined to this site
+//! has been applied. The per-protocol predicate implementations live with
+//! each protocol; the shared buffering machinery is in [`pending`].
+//!
+//! ## A note on remote reads (partial replication)
+//!
+//! FM messages carry no causal metadata (Table I of the paper), so a remote
+//! fetch returns whatever the serving replica currently holds. The replica's
+//! *applies* are causally ordered, but the served value can be causally
+//! older than the client's context. This is a property of the published
+//! protocol, not of this implementation; `causal-checker` counts such
+//! anomalies separately from genuine delivery violations (which must never
+//! occur).
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod effect;
+pub mod factory;
+pub mod full_track;
+pub mod hb_track;
+pub mod msg;
+pub mod opt_track;
+pub mod opt_track_crp;
+pub mod optp;
+pub mod pending;
+pub mod replication;
+pub mod site;
+pub mod wire;
+
+pub use effect::{Effect, ReadResult};
+pub use factory::{build_site, ProtocolConfig, ProtocolKind};
+pub use full_track::FullTrack;
+pub use hb_track::HbTrack;
+pub use msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
+pub use opt_track::OptTrack;
+pub use opt_track_crp::OptTrackCrp;
+pub use optp::OptP;
+pub use replication::Replication;
+pub use site::ProtocolSite;
+pub use wire::{decode, encode, WireError};

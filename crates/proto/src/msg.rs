@@ -1,0 +1,240 @@
+//! Protocol messages and their meta-data size accounting.
+//!
+//! Table I of the paper defines the message structures:
+//!
+//! | | Full-Track | Opt-Track |
+//! |---|---|---|
+//! | SM (multicast)     | `x_h, v, Write`            | `x_h, v, Site_id, clock, L_w` |
+//! | FM (fetch)         | `x_h`                      | `x_h` |
+//! | RM (remote return) | `v, LastWriteOn⟨h⟩`        | `v, LastWriteOn⟨h⟩` |
+//!
+//! Full-replication protocols only use SM: `m(x_h, v, Site_id, clock, LOG)`
+//! for Opt-Track-CRP and `m(x_h, v, Write)` (a size-`n` vector) for optP.
+
+use causal_clocks::{CrpLog, Log, MatrixClock, VectorClock};
+use causal_types::{MetaSized, MsgKind, SizeModel, VarId, VersionedValue};
+
+/// The causality meta-data piggybacked on an SM (update multicast).
+#[derive(Clone, PartialEq, Debug)]
+pub enum SmMeta {
+    /// Full-Track: the writer's entire `n×n` Write matrix.
+    FullTrack {
+        /// Matrix snapshot taken *after* incrementing the writer's own row
+        /// for this write's destinations.
+        write: MatrixClock,
+    },
+    /// Opt-Track: the writer's id and local write counter, plus the local
+    /// log snapshot taken *before* the write pruned it.
+    OptTrack {
+        /// The writer's write counter for this update (1-based).
+        clock: u64,
+        /// Piggybacked causal-past records (`L_w`).
+        log: Log,
+    },
+    /// Opt-Track-CRP: as Opt-Track but with 2-tuple entries.
+    Crp {
+        /// The writer's write counter for this update (1-based).
+        clock: u64,
+        /// Piggybacked dependency tuples.
+        log: CrpLog,
+    },
+    /// optP: the writer's size-`n` Write vector, incremented for this write.
+    OptP {
+        /// Vector snapshot including this write.
+        write: VectorClock,
+    },
+}
+
+impl SmMeta {
+    /// Number of records in the piggybacked causality structure: matrix
+    /// cells for Full-Track, log entries for Opt-Track / CRP, vector
+    /// components for optP. Used to analyze the paper's `d` parameter and
+    /// the amortized log size.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            SmMeta::FullTrack { write } => write.n() * write.n(),
+            SmMeta::OptTrack { log, .. } => log.len(),
+            SmMeta::Crp { log, .. } => log.len(),
+            SmMeta::OptP { write } => write.len(),
+        }
+    }
+}
+
+impl MetaSized for SmMeta {
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        match self {
+            // `x_h` and `v` are part of the SM base in the SizeModel.
+            SmMeta::FullTrack { write } => write.meta_size(model),
+            // `Site_id` and `clock` are two scalars on top of the log.
+            SmMeta::OptTrack { log, .. } => model.scalars(2) + log.meta_size(model),
+            SmMeta::Crp { log, .. } => model.scalars(2) + log.meta_size(model),
+            SmMeta::OptP { write } => write.meta_size(model),
+        }
+    }
+}
+
+/// An update multicast message (one copy per destination replica).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Sm {
+    /// The written variable.
+    pub var: VarId,
+    /// The written value (tagged with the producing [`causal_types::WriteId`]).
+    pub value: VersionedValue,
+    /// Piggybacked causality meta-data.
+    pub meta: SmMeta,
+}
+
+/// A remote fetch request. Carries no causal meta-data (Table I): the
+/// serving replica answers from its current state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fm {
+    /// The requested variable.
+    pub var: VarId,
+}
+
+/// The `LastWriteOn⟨h⟩` meta-data returned with a remote read.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RmMeta {
+    /// Full-Track: the matrix associated with the last write applied to the
+    /// variable, or `None` if the variable is still `⊥` at the server.
+    FullTrack(Option<MatrixClock>),
+    /// Opt-Track: the log associated with the last write applied to the
+    /// variable, or `None` if the variable is still `⊥` at the server.
+    OptTrack(Option<Log>),
+}
+
+impl MetaSized for RmMeta {
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        match self {
+            RmMeta::FullTrack(m) => m.meta_size(model),
+            RmMeta::OptTrack(l) => l.meta_size(model),
+        }
+    }
+}
+
+/// A remote-return message answering an [`Fm`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Rm {
+    /// The requested variable (echoed for correlation).
+    pub var: VarId,
+    /// The server's current value, `None` for `⊥`.
+    pub value: Option<VersionedValue>,
+    /// The server's `LastWriteOn⟨h⟩`.
+    pub meta: RmMeta,
+}
+
+/// Any protocol message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Msg {
+    /// Update multicast (send event).
+    Sm(Sm),
+    /// Remote fetch (fetch event).
+    Fm(Fm),
+    /// Remote return (reply to a fetch).
+    Rm(Rm),
+}
+
+impl Msg {
+    /// This message's class.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Msg::Sm(_) => MsgKind::Sm,
+            Msg::Fm(_) => MsgKind::Fm,
+            Msg::Rm(_) => MsgKind::Rm,
+        }
+    }
+}
+
+impl MetaSized for Msg {
+    /// Full meta-data footprint: per-kind base plus piggybacked structures.
+    /// The value payload is intentionally *not* included (the paper measures
+    /// control overhead only).
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        match self {
+            Msg::Sm(sm) => model.base(MsgKind::Sm) + sm.meta.meta_size(model),
+            Msg::Fm(_) => model.base(MsgKind::Fm),
+            Msg::Rm(rm) => model.base(MsgKind::Rm) + rm.meta.meta_size(model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_types::{SiteId, WriteId};
+
+    fn value() -> VersionedValue {
+        VersionedValue::new(WriteId::new(SiteId(0), 1), 42)
+    }
+
+    #[test]
+    fn optp_sm_size_matches_table_iii() {
+        let model = SizeModel::java_like();
+        for n in [5usize, 10, 20, 30, 35, 40] {
+            let m = Msg::Sm(Sm {
+                var: VarId(0),
+                value: value(),
+                meta: SmMeta::OptP {
+                    write: VectorClock::new(n),
+                },
+            });
+            assert_eq!(m.meta_size(&model), 209 + 10 * n as u64);
+        }
+    }
+
+    #[test]
+    fn full_track_sm_is_quadratic() {
+        let model = SizeModel::java_like();
+        let m = Msg::Sm(Sm {
+            var: VarId(0),
+            value: value(),
+            meta: SmMeta::FullTrack {
+                write: MatrixClock::new(40),
+            },
+        });
+        assert_eq!(m.meta_size(&model), 209 + 10 * 1600);
+    }
+
+    #[test]
+    fn fm_is_constant_base_only() {
+        let model = SizeModel::java_like();
+        let m = Msg::Fm(Fm { var: VarId(7) });
+        assert_eq!(m.meta_size(&model), model.base(MsgKind::Fm));
+    }
+
+    #[test]
+    fn rm_with_bottom_value_has_base_size_only() {
+        let model = SizeModel::java_like();
+        let m = Msg::Rm(Rm {
+            var: VarId(0),
+            value: None,
+            meta: RmMeta::OptTrack(None),
+        });
+        assert_eq!(m.meta_size(&model), model.base(MsgKind::Rm));
+    }
+
+    #[test]
+    fn crp_sm_counts_sender_tuple_and_log() {
+        let model = SizeModel::java_like();
+        let mut log = CrpLog::new();
+        log.observe(WriteId::new(SiteId(2), 9));
+        let m = Msg::Sm(Sm {
+            var: VarId(0),
+            value: value(),
+            meta: SmMeta::Crp { clock: 1, log },
+        });
+        // base 209 + (site id + clock) 20 + one 2-tuple 20.
+        assert_eq!(m.meta_size(&model), 209 + 20 + 20);
+    }
+
+    #[test]
+    fn kind_taxonomy() {
+        assert_eq!(Msg::Fm(Fm { var: VarId(0) }).kind(), MsgKind::Fm);
+        let rm = Msg::Rm(Rm {
+            var: VarId(0),
+            value: None,
+            meta: RmMeta::FullTrack(None),
+        });
+        assert_eq!(rm.kind(), MsgKind::Rm);
+    }
+}

@@ -1,0 +1,566 @@
+//! The Opt-Track protocol (partial replication, KS-style log).
+//!
+//! §III-B of the paper: instead of Full-Track's `n×n` matrix, each site
+//! keeps a log of records `⟨j, clock_j, Dests⟩` describing write operations
+//! in the causal past whose destination information is still relevant, and
+//! piggybacks the log (not a matrix) on SM and RM messages. Redundant
+//! destination information is pruned with the KS algorithm's two implicit
+//! conditions (see `causal_clocks::log`), which is what brings the amortized
+//! per-message overhead from `O(n²)` down to roughly `O(n)` (the paper cites
+//! Chandra et al. for the amortized bound).
+//!
+//! The MERGE function runs at *read* time (the `→co` edge is created by
+//! reading), and the PURGE machinery runs at write/merge time.
+
+use crate::effect::{Effect, ReadResult};
+use crate::factory::ProtocolKind;
+use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
+use crate::pending::PendingQueues;
+use crate::replication::Replication;
+use crate::site::ProtocolSite;
+use causal_clocks::{Log, LogEntry, PruneConfig};
+#[cfg(test)]
+use causal_clocks::DestSet;
+use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A parked Opt-Track update.
+#[derive(Clone, Debug)]
+struct PendingSm {
+    var: VarId,
+    value: VersionedValue,
+    clock: u64,
+    log: Log,
+}
+
+/// State consulted and mutated by the drain loop.
+struct ApplyState {
+    me: SiteId,
+    prune: PruneConfig,
+    values: HashMap<VarId, VersionedValue>,
+    last_write_on: HashMap<VarId, Log>,
+    /// `Apply_i[j]` — number of updates from `ap_j` applied here.
+    apply: Vec<u64>,
+    /// Largest write-clock from each origin applied here. In partial
+    /// replication a site receives only a subset of an origin's writes, so
+    /// counts and clocks differ; the activation predicate needs clocks.
+    last_clock: Vec<u64>,
+    applied_effects: Vec<Effect>,
+    /// Destination sets by variable (placement is static; cached on apply).
+    repl: Arc<dyn Replication>,
+}
+
+/// One site running Opt-Track.
+pub struct OptTrack {
+    site: SiteId,
+    n: usize,
+    repl: Arc<dyn Replication>,
+    /// `clock_i` — local write counter.
+    clock: u64,
+    /// `LOG_i` — the local KS log.
+    log: Log,
+    state: ApplyState,
+    pending: PendingQueues<PendingSm>,
+    outstanding_fetch: Option<VarId>,
+    prune: PruneConfig,
+}
+
+impl OptTrack {
+    /// Create the Opt-Track state machine for `site` with default pruning.
+    pub fn new(site: SiteId, repl: Arc<dyn Replication>) -> Self {
+        Self::with_prune(site, repl, PruneConfig::default())
+    }
+
+    /// Create with an explicit [`PruneConfig`] (the `ablation_purge` bench
+    /// disables condition 2 to quantify the PURGE machinery's effect).
+    pub fn with_prune(site: SiteId, repl: Arc<dyn Replication>, prune: PruneConfig) -> Self {
+        let n = repl.n();
+        OptTrack {
+            site,
+            n,
+            repl: repl.clone(),
+            clock: 0,
+            log: Log::new(),
+            state: ApplyState {
+                me: site,
+                prune,
+                values: HashMap::new(),
+                last_write_on: HashMap::new(),
+                apply: vec![0; n],
+                last_clock: vec![0; n],
+                applied_effects: Vec::new(),
+                repl,
+            },
+            pending: PendingQueues::new(n),
+            outstanding_fetch: None,
+            prune,
+        }
+    }
+
+    /// Activation predicate `A_OPT`: every piggybacked record that lists
+    /// this site as a destination must already be applied here. Records from
+    /// the sender itself are additionally ordered by the per-sender FIFO
+    /// queue (multicast sends leave in clock order over FIFO channels).
+    fn ready(state: &ApplyState, _sender: SiteId, m: &PendingSm) -> bool {
+        m.log
+            .iter()
+            .filter(|e| e.dests.contains(state.me))
+            .all(|e| state.last_clock[e.origin.index()] >= e.clock)
+    }
+
+    fn apply_update(state: &mut ApplyState, sender: SiteId, m: PendingSm) {
+        debug_assert!(
+            state.last_clock[sender.index()] < m.clock,
+            "FIFO channels deliver one origin's writes in clock order"
+        );
+        state.values.insert(m.var, m.value);
+        state.apply[sender.index()] += 1;
+        state.last_clock[sender.index()] = m.clock;
+        state.applied_effects.push(Effect::Applied {
+            var: m.var,
+            write: m.value.writer,
+        });
+
+        // Build the log that will accompany this value out of future reads:
+        // the piggybacked records plus this write's own record, minus every
+        // mention of this site (implicit condition 1 — the predicate just
+        // guaranteed those writes are applied here, and this apply makes the
+        // write itself delivered here).
+        let mut assoc = m.log;
+        assoc.upsert(LogEntry::new(sender, m.clock, state.repl.replicas(m.var)));
+        assoc.remove_site(state.me);
+        assoc.normalize(state.prune);
+        state.last_write_on.insert(m.var, assoc);
+    }
+
+    fn drain(&mut self) -> Vec<Effect> {
+        self.pending
+            .drain(&mut self.state, Self::ready, Self::apply_update);
+        std::mem::take(&mut self.state.applied_effects)
+    }
+
+    /// Read-side MERGE: fold a value's `LastWriteOn` log into `LOG_i`,
+    /// prune what this site already knows to be applied here, normalize.
+    fn merge_on_read(&mut self, incoming: &Log) {
+        self.log.merge(incoming, self.prune);
+        self.log.prune_applied(self.site, &self.state.last_clock);
+        self.log.purge(self.prune);
+    }
+
+    /// Current log length (diagnostics; the paper discusses amortized log
+    /// size following Chandra et al.).
+    pub fn log_size(&self) -> usize {
+        self.log.len()
+    }
+}
+
+impl ProtocolSite for OptTrack {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::OptTrack
+    }
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn write(&mut self, var: VarId, data: u64, payload_len: u32) -> (WriteId, Vec<Effect>) {
+        self.clock += 1;
+        let wid = WriteId::new(self.site, self.clock);
+        let value = VersionedValue::with_payload(wid, data, payload_len);
+        let dests = self.repl.replicas(var);
+
+        // Piggyback the *pre-write* log: "the outgoing update messages will
+        // piggyback the currently stored records". Receivers thereby see the
+        // writer's causal past, including its own still-relevant writes.
+        let piggyback = self.log.clone();
+
+        let mut effects = Vec::new();
+        for k in dests.iter() {
+            if k != self.site {
+                effects.push(Effect::Send {
+                    to: k,
+                    msg: Msg::Sm(Sm {
+                        var,
+                        value,
+                        meta: SmMeta::OptTrack {
+                            clock: self.clock,
+                            log: piggyback.clone(),
+                        },
+                    }),
+                });
+            }
+        }
+
+        // Local log update: condition 2 prunes destinations covered by this
+        // causally-later send, then the write's own record is added.
+        self.log.record_write(self.site, self.clock, dests, self.prune);
+
+        if dests.contains(self.site) {
+            // Writer applies its own update immediately.
+            self.state.values.insert(var, value);
+            self.state.apply[self.site.index()] += 1;
+            self.state.last_clock[self.site.index()] = self.clock;
+            let mut assoc = piggyback;
+            assoc.upsert(LogEntry::new(self.site, self.clock, dests));
+            assoc.remove_site(self.site);
+            assoc.normalize(self.prune);
+            self.state.last_write_on.insert(var, assoc);
+            effects.push(Effect::Applied { var, write: wid });
+            effects.extend(self.drain());
+        }
+        (wid, effects)
+    }
+
+    fn read(&mut self, var: VarId) -> ReadResult {
+        if self.repl.is_replicated_at(var, self.site) {
+            if let Some(lw) = self.state.last_write_on.get(&var) {
+                let lw = lw.clone();
+                self.merge_on_read(&lw);
+            }
+            ReadResult::Local(self.state.values.get(&var).copied())
+        } else {
+            assert!(
+                self.outstanding_fetch.is_none(),
+                "application subsystem blocks on RemoteFetch"
+            );
+            self.outstanding_fetch = Some(var);
+            let target = self.repl.fetch_target(var, self.site);
+            ReadResult::Fetch {
+                target,
+                msg: Msg::Fm(Fm { var }),
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: SiteId, msg: Msg) -> Vec<Effect> {
+        match msg {
+            Msg::Sm(sm) => {
+                let SmMeta::OptTrack { clock, log } = sm.meta else {
+                    panic!("Opt-Track site received a foreign SM meta");
+                };
+                self.pending.push(
+                    from,
+                    PendingSm {
+                        var: sm.var,
+                        value: sm.value,
+                        clock,
+                        log,
+                    },
+                );
+                self.drain()
+            }
+            Msg::Fm(fm) => {
+                let value = self.state.values.get(&fm.var).copied();
+                let meta = RmMeta::OptTrack(self.state.last_write_on.get(&fm.var).cloned());
+                vec![Effect::Send {
+                    to: from,
+                    msg: Msg::Rm(Rm {
+                        var: fm.var,
+                        value,
+                        meta,
+                    }),
+                }]
+            }
+            Msg::Rm(rm) => {
+                assert_eq!(
+                    self.outstanding_fetch.take(),
+                    Some(rm.var),
+                    "RM must answer the single outstanding fetch"
+                );
+                let RmMeta::OptTrack(meta) = rm.meta else {
+                    panic!("Opt-Track site received a foreign RM meta");
+                };
+                if let Some(log) = &meta {
+                    self.merge_on_read(log);
+                }
+                vec![Effect::FetchDone {
+                    var: rm.var,
+                    value: rm.value,
+                }]
+            }
+        }
+    }
+
+    fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn local_meta_size(&self, model: &SizeModel) -> u64 {
+        let mut total = self.log.meta_size(model);
+        for l in self.state.last_write_on.values() {
+            total += l.meta_size(model);
+        }
+        total
+    }
+
+    fn value_of(&self, var: VarId) -> Option<VersionedValue> {
+        self.state.values.get(&var).copied()
+    }
+
+    fn log_len(&self) -> Option<usize> {
+        Some(self.log.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replication::FullReplication;
+
+    /// Three sites; x at {0,1}, y at {1,2}, z at {0,2}, w at {2}.
+    struct Toy;
+    impl Replication for Toy {
+        fn n(&self) -> usize {
+            3
+        }
+        fn replicas(&self, var: VarId) -> DestSet {
+            let sites: &[usize] = match var.0 {
+                0 => &[0, 1],
+                1 => &[1, 2],
+                2 => &[0, 2],
+                _ => &[2],
+            };
+            DestSet::from_sites(sites.iter().map(|&i| SiteId::from(i)))
+        }
+        fn fetch_target(&self, var: VarId, _site: SiteId) -> SiteId {
+            self.replicas(var).iter().next().expect("non-empty")
+        }
+        fn is_full(&self) -> bool {
+            false
+        }
+    }
+
+    fn toy_system() -> Vec<OptTrack> {
+        let repl = Arc::new(Toy);
+        SiteId::all(3).map(|s| OptTrack::new(s, repl.clone())).collect()
+    }
+
+    fn sends(effects: &[Effect]) -> Vec<(SiteId, Sm)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg: Msg::Sm(sm),
+                } => Some((*to, sm.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn applied(effects: &[Effect]) -> Vec<WriteId> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Applied { write, .. } => Some(*write),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_targets_only_replicas() {
+        let mut sys = toy_system();
+        // Var 3 is replicated only at site 2; writer 0 holds no replica.
+        let (wid, effects) = sys[0].write(VarId(3), 1, 0);
+        let s = sends(&effects);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, SiteId(2));
+        assert!(applied(&effects).is_empty(), "writer is not a replica");
+        assert_eq!(sys[0].value_of(VarId(3)), None);
+        assert_eq!(wid.clock, 1);
+    }
+
+    #[test]
+    fn transitive_dependency_through_partial_replicas() {
+        // s0 writes w(x3) → only s2 replicates x3 (SM delayed).
+        // s0 writes w(x1) → s1 and s2 replicate x1; deliver to s1 only.
+        //   (x1's piggyback carries ⟨s0, 1, {s2}⟩ — s0's first write.)
+        // s1 reads x1 (merge), writes x2 → {s0, s2}.
+        // s2 receives z's SM first: must park, because the piggybacked log
+        // lists s2 as an unapplied destination of s0's first write.
+        let mut sys = toy_system();
+        let (w_x3, e0) = sys[0].write(VarId(3), 10, 0);
+        let sm_x3_to_2 = sends(&e0)[0].1.clone();
+
+        let (w_x1, e1) = sys[0].write(VarId(1), 11, 0);
+        let sm_x1_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
+        let sm_x1_to_2 = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+
+        // The piggyback of the second write must still carry the first
+        // write's record with s2 listed (snapshot taken before pruning).
+        if let SmMeta::OptTrack { log, .. } = &sm_x1_to_1.meta {
+            let e = log.get(SiteId(0), 1).expect("first write in causal past");
+            assert!(e.dests.contains(SiteId(2)));
+        } else {
+            panic!("wrong meta");
+        }
+
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_x1_to_1));
+        match sys[1].read(VarId(1)) {
+            ReadResult::Local(Some(v)) => assert_eq!(v.data, 11),
+            other => panic!("expected local value, got {other:?}"),
+        }
+        let (w_x2, e2) = sys[1].write(VarId(2), 12, 0);
+        let sm_x2_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+
+        // s1's write causally depends (through the read) on s0's second
+        // write, which transitively orders it after s0's first write too.
+        let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_x2_to_2));
+        assert!(applied(&eff).is_empty(), "parked behind s0's writes");
+        assert_eq!(sys[2].pending_len(), 1);
+
+        // s0's first write unblocks nothing yet (w_x2 still waits on w_x1).
+        let eff = sys[2].on_message(SiteId(0), Msg::Sm(sm_x3_to_2));
+        assert_eq!(applied(&eff), vec![w_x3]);
+        assert_eq!(sys[2].pending_len(), 1);
+
+        // Delivering s0's second write releases the parked update, in
+        // causal order.
+        let eff = sys[2].on_message(SiteId(0), Msg::Sm(sm_x1_to_2));
+        assert_eq!(applied(&eff), vec![w_x1, w_x2]);
+        assert_eq!(sys[2].pending_len(), 0);
+    }
+
+    #[test]
+    fn no_dependency_without_read_even_with_partial_replicas() {
+        // Same shape as above but s1 does NOT read x1 before writing: s2 may
+        // apply s1's write before s0's.
+        let mut sys = toy_system();
+        let (_w_x3, e0) = sys[0].write(VarId(3), 10, 0);
+        let _delayed = sends(&e0)[0].1.clone();
+        let (_w_x1, e1) = sys[0].write(VarId(1), 11, 0);
+        let sm_x1_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_x1_to_1));
+        // No read: no →co edge.
+        let (w_x2, e2) = sys[1].write(VarId(2), 12, 0);
+        let sm_x2_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_x2_to_2));
+        assert_eq!(applied(&eff), vec![w_x2]);
+    }
+
+    #[test]
+    fn remote_fetch_round_trip() {
+        let mut sys = toy_system();
+        // s1 writes x2 (replicas {0,2}); deliver to s0.
+        let (w_x2, e1) = sys[1].write(VarId(2), 77, 0);
+        let sm_to_0 = sends(&e1).iter().find(|(t, _)| *t == SiteId(0)).unwrap().1.clone();
+        sys[0].on_message(SiteId(1), Msg::Sm(sm_to_0));
+
+        // s1 itself does not replicate x2: reading it goes remote.
+        let ReadResult::Fetch { target, msg } = sys[1].read(VarId(2)) else {
+            panic!("x2 is not replicated at s1");
+        };
+        assert_eq!(target, SiteId(0), "predesignated replica");
+
+        // Serve at s0, deliver the RM at s1.
+        let reply = sys[0].on_message(SiteId(1), msg);
+        let Effect::Send { to, msg: rm } = &reply[0] else {
+            panic!("expected RM send");
+        };
+        assert_eq!(*to, SiteId(1));
+        let eff = sys[1].on_message(SiteId(0), rm.clone());
+        match &eff[0] {
+            Effect::FetchDone { var, value } => {
+                assert_eq!(*var, VarId(2));
+                assert_eq!(value.unwrap().writer, w_x2);
+            }
+            other => panic!("expected FetchDone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_of_bottom_variable_returns_none() {
+        let mut sys = toy_system();
+        let ReadResult::Fetch { msg, .. } = sys[1].read(VarId(2)) else {
+            panic!("remote variable");
+        };
+        let reply = sys[0].on_message(SiteId(1), msg);
+        let Effect::Send { msg: rm, .. } = &reply[0] else {
+            panic!()
+        };
+        let eff = sys[1].on_message(SiteId(0), rm.clone());
+        assert_eq!(
+            eff[0],
+            Effect::FetchDone {
+                var: VarId(2),
+                value: None
+            }
+        );
+    }
+
+    #[test]
+    fn condition1_strips_own_site_from_stored_logs() {
+        let mut sys = toy_system();
+        let (_w, e0) = sys[0].write(VarId(0), 5, 0); // x0 at {0,1}
+        let sm_to_1 = sends(&e0)[0].1.clone();
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_to_1));
+        // After applying at s1, the log stored for x0 must not mention s1.
+        sys[1].read(VarId(0));
+        // s1's own LOG (post merge) must not list s1 as a pending dest.
+        assert!(sys[1]
+            .log
+            .iter()
+            .all(|e| !e.dests.contains(SiteId(1))));
+    }
+
+    #[test]
+    fn log_stays_small_under_repeated_full_replication_writes() {
+        // Under full replication every write supersedes all previous dest
+        // info: the log must stay O(1) per origin.
+        let repl = Arc::new(FullReplication::new(4));
+        let mut sites: Vec<OptTrack> =
+            SiteId::all(4).map(|s| OptTrack::new(s, repl.clone())).collect();
+        for round in 0..50u64 {
+            let (_w, effects) = sites[0].write(VarId((round % 7) as u32), round, 0);
+            for (to, sm) in sends(&effects) {
+                sites[to.index()].on_message(SiteId(0), Msg::Sm(sm));
+            }
+            for site in sites.iter_mut().skip(1) {
+                site.read(VarId((round % 7) as u32));
+            }
+        }
+        for site in &sites {
+            assert!(
+                site.log_size() <= 8,
+                "log must stay bounded, got {}",
+                site.log_size()
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_condition2_off_grows_larger_logs() {
+        let repl = Arc::new(FullReplication::new(4));
+        let loose = PruneConfig {
+            condition2: false,
+            keep_markers: true,
+        };
+        let mut tight_site = OptTrack::new(SiteId(1), repl.clone());
+        let mut loose_site = OptTrack::with_prune(SiteId(2), repl.clone(), loose);
+        let mut writer = OptTrack::new(SiteId(0), repl.clone());
+        for round in 0..30u64 {
+            let (_w, effects) = writer.write(VarId((round % 5) as u32), round, 0);
+            for (to, sm) in sends(&effects) {
+                if to == SiteId(1) {
+                    tight_site.on_message(SiteId(0), Msg::Sm(sm));
+                } else if to == SiteId(2) {
+                    loose_site.on_message(SiteId(0), Msg::Sm(sm));
+                }
+            }
+            tight_site.read(VarId((round % 5) as u32));
+            loose_site.read(VarId((round % 5) as u32));
+        }
+        assert!(
+            loose_site.log_size() > tight_site.log_size(),
+            "disabling condition 2 must inflate the log ({} vs {})",
+            loose_site.log_size(),
+            tight_site.log_size()
+        );
+    }
+}

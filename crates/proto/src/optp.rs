@@ -1,0 +1,291 @@
+//! The optP protocol of Baldoni, Milani and Tucci-Piergiovanni (full
+//! replication, size-`n` vector clock).
+//!
+//! This is the paper's full-replication baseline: the optimal
+//! propagation-based protocol of \[13\]. Each site keeps a `Write` vector of
+//! size `n` counting, per process, the writes that causally happened before
+//! under `→co`; the vector is piggybacked on every SM. Merging happens at
+//! *read* time, exactly as in Full-Track but with one dimension fewer
+//! (under full replication every process's writes reach every site, so
+//! per-destination counting is unnecessary).
+
+use crate::effect::{Effect, ReadResult};
+use crate::factory::ProtocolKind;
+use crate::msg::{Msg, Sm, SmMeta};
+use crate::pending::PendingQueues;
+use crate::replication::Replication;
+use crate::site::ProtocolSite;
+use causal_clocks::VectorClock;
+use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A parked optP update.
+#[derive(Clone, Debug)]
+struct PendingSm {
+    var: VarId,
+    value: VersionedValue,
+    write: VectorClock,
+}
+
+struct ApplyState {
+    values: HashMap<VarId, VersionedValue>,
+    last_write_on: HashMap<VarId, VectorClock>,
+    apply: Vec<u64>,
+    applied_effects: Vec<Effect>,
+}
+
+/// One site running optP.
+pub struct OptP {
+    site: SiteId,
+    n: usize,
+    /// `Write_i` — the site's vector clock.
+    write_clock: VectorClock,
+    state: ApplyState,
+    pending: PendingQueues<PendingSm>,
+}
+
+impl OptP {
+    /// Create the optP state machine for `site`. Requires full replication.
+    pub fn new(site: SiteId, repl: Arc<dyn Replication>) -> Self {
+        assert!(repl.is_full(), "optP requires full replication (p = n)");
+        let n = repl.n();
+        OptP {
+            site,
+            n,
+            write_clock: VectorClock::new(n),
+            state: ApplyState {
+                values: HashMap::new(),
+                last_write_on: HashMap::new(),
+                apply: vec![0; n],
+                applied_effects: Vec::new(),
+            },
+            pending: PendingQueues::new(n),
+        }
+    }
+
+    /// Activation predicate: all causally preceding writes counted by the
+    /// piggybacked vector must be applied; the sender's component counts the
+    /// update itself.
+    fn ready(state: &ApplyState, sender: SiteId, m: &PendingSm) -> bool {
+        m.write.iter().all(|(l, required)| {
+            let threshold = if l == sender {
+                required.saturating_sub(1)
+            } else {
+                required
+            };
+            state.apply[l.index()] >= threshold
+        })
+    }
+
+    fn apply_update(state: &mut ApplyState, sender: SiteId, m: PendingSm) {
+        state.values.insert(m.var, m.value);
+        state.apply[sender.index()] += 1;
+        state.applied_effects.push(Effect::Applied {
+            var: m.var,
+            write: m.value.writer,
+        });
+        state.last_write_on.insert(m.var, m.write);
+    }
+
+    fn drain(&mut self) -> Vec<Effect> {
+        self.pending
+            .drain(&mut self.state, Self::ready, Self::apply_update);
+        std::mem::take(&mut self.state.applied_effects)
+    }
+}
+
+impl ProtocolSite for OptP {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::OptP
+    }
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn write(&mut self, var: VarId, data: u64, payload_len: u32) -> (WriteId, Vec<Effect>) {
+        let clock = self.write_clock.increment(self.site);
+        let wid = WriteId::new(self.site, clock);
+        let value = VersionedValue::with_payload(wid, data, payload_len);
+        let snapshot = self.write_clock.clone();
+
+        let mut effects = Vec::with_capacity(self.n);
+        for k in SiteId::all(self.n) {
+            if k != self.site {
+                effects.push(Effect::Send {
+                    to: k,
+                    msg: Msg::Sm(Sm {
+                        var,
+                        value,
+                        meta: SmMeta::OptP {
+                            write: snapshot.clone(),
+                        },
+                    }),
+                });
+            }
+        }
+
+        // Local apply.
+        self.state.values.insert(var, value);
+        self.state.apply[self.site.index()] += 1;
+        self.state.last_write_on.insert(var, snapshot);
+        effects.push(Effect::Applied { var, write: wid });
+        effects.extend(self.drain());
+        (wid, effects)
+    }
+
+    fn read(&mut self, var: VarId) -> ReadResult {
+        // Reading merges the stored vector — the →co edge.
+        if let Some(w) = self.state.last_write_on.get(&var) {
+            self.write_clock.merge_max(w);
+        }
+        ReadResult::Local(self.state.values.get(&var).copied())
+    }
+
+    fn on_message(&mut self, from: SiteId, msg: Msg) -> Vec<Effect> {
+        match msg {
+            Msg::Sm(sm) => {
+                let SmMeta::OptP { write } = sm.meta else {
+                    panic!("optP site received a foreign SM meta");
+                };
+                self.pending.push(
+                    from,
+                    PendingSm {
+                        var: sm.var,
+                        value: sm.value,
+                        write,
+                    },
+                );
+                self.drain()
+            }
+            other => panic!(
+                "optP never receives {:?} messages: reads are local under \
+                 full replication",
+                other.kind()
+            ),
+        }
+    }
+
+    fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn local_meta_size(&self, model: &SizeModel) -> u64 {
+        let mut total = self.write_clock.meta_size(model);
+        for w in self.state.last_write_on.values() {
+            total += w.meta_size(model);
+        }
+        total
+    }
+
+    fn value_of(&self, var: VarId) -> Option<VersionedValue> {
+        self.state.values.get(&var).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replication::FullReplication;
+
+    fn system(n: usize) -> Vec<OptP> {
+        let repl = Arc::new(FullReplication::new(n));
+        SiteId::all(n).map(|s| OptP::new(s, repl.clone())).collect()
+    }
+
+    fn sends(effects: &[Effect]) -> Vec<(SiteId, Sm)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg: Msg::Sm(sm),
+                } => Some((*to, sm.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn applied(effects: &[Effect]) -> Vec<WriteId> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Applied { write, .. } => Some(*write),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sm_size_is_exactly_209_plus_10n() {
+        let model = SizeModel::java_like();
+        for n in [5usize, 10, 20, 30, 35, 40] {
+            let mut sys = system(n);
+            let (_w, effects) = sys[0].write(VarId(0), 1, 0);
+            let (_to, sm) = sends(&effects)[0].clone();
+            assert_eq!(
+                Msg::Sm(sm).meta_size(&model),
+                209 + 10 * n as u64,
+                "optP SM must match Table III exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn causal_order_enforced_through_reads() {
+        let mut sys = system(3);
+        let (w1, e1) = sys[0].write(VarId(0), 1, 0);
+        let sm_x_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
+        let sm_x_to_2 = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_x_to_1));
+        sys[1].read(VarId(0));
+        let (w2, e2) = sys[1].write(VarId(1), 2, 0);
+        let sm_y_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+
+        let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y_to_2));
+        assert!(applied(&eff).is_empty(), "y waits for x");
+        let eff = sys[2].on_message(SiteId(0), Msg::Sm(sm_x_to_2));
+        assert_eq!(applied(&eff), vec![w1, w2]);
+    }
+
+    #[test]
+    fn no_false_causality_without_read() {
+        let mut sys = system(3);
+        let (_w1, e1) = sys[0].write(VarId(0), 1, 0);
+        let sm_x_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_x_to_1));
+        // No read: receipt alone creates no →co edge in optP either.
+        let (w2, e2) = sys[1].write(VarId(1), 2, 0);
+        let sm_y_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y_to_2));
+        assert_eq!(applied(&eff), vec![w2]);
+    }
+
+    #[test]
+    fn reads_are_always_local() {
+        let mut sys = system(2);
+        match sys[0].read(VarId(99)) {
+            ReadResult::Local(None) => {}
+            other => panic!("expected ⊥, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vector_grows_only_through_reads() {
+        let mut sys = system(2);
+        let (_w, e) = sys[0].write(VarId(0), 1, 0);
+        let sm = sends(&e)[0].1.clone();
+        sys[1].on_message(SiteId(0), Msg::Sm(sm));
+        // Before the read the receiver's write clock must not know s0's
+        // write (receipt does not merge).
+        assert_eq!(sys[1].write_clock.get(SiteId(0)), 0);
+        sys[1].read(VarId(0));
+        assert_eq!(sys[1].write_clock.get(SiteId(0)), 1);
+    }
+}

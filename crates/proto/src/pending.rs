@@ -1,0 +1,140 @@
+//! Shared buffering machinery for the activation predicate.
+//!
+//! When an SM arrives and its activation predicate is false, the paper's
+//! system model parks it ("a new thread will be invoked to determine when to
+//! locally apply the update access ... halted until the activation predicate
+//! A becomes true"). We model the parked threads as per-sender FIFO queues:
+//!
+//! * per-sender FIFO is required for correctness — multicasts from one
+//!   sender reach a destination in write-clock order over FIFO channels, and
+//!   the protocols rely on applying them in that order;
+//! * only queue *heads* are predicate candidates; applying one update can
+//!   enable others, so the drain loop iterates to a fixpoint.
+
+use causal_types::SiteId;
+use std::collections::VecDeque;
+
+/// Per-sender FIFO queues of parked updates of type `M`.
+#[derive(Clone, Debug)]
+pub struct PendingQueues<M> {
+    queues: Vec<VecDeque<M>>,
+}
+
+impl<M> PendingQueues<M> {
+    /// Empty queues for an `n`-site system.
+    pub fn new(n: usize) -> Self {
+        PendingQueues {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Park an update from `sender`.
+    pub fn push(&mut self, sender: SiteId, m: M) {
+        self.queues[sender.index()].push_back(m);
+    }
+
+    /// Total parked updates.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// `true` when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Repeatedly scan queue heads, applying every update whose predicate
+    /// holds, until a full pass makes no progress. `ready` decides the
+    /// activation predicate for a head from a given sender; `apply` performs
+    /// the application (and thereby can enable further heads).
+    ///
+    /// Returns the number of updates applied.
+    pub fn drain<S, R, A>(&mut self, state: &mut S, mut ready: R, mut apply: A) -> usize
+    where
+        R: FnMut(&S, SiteId, &M) -> bool,
+        A: FnMut(&mut S, SiteId, M),
+    {
+        let n = self.queues.len();
+        let mut applied = 0;
+        loop {
+            let mut progressed = false;
+            for qi in 0..n {
+                let sender = SiteId::from(qi);
+                while let Some(head) = self.queues[qi].front() {
+                    if ready(state, sender, head) {
+                        let m = self.queues[qi].pop_front().expect("head exists");
+                        apply(state, sender, m);
+                        applied += 1;
+                        progressed = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if !progressed {
+                return applied;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_fifo_order_per_sender() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(2);
+        q.push(SiteId(0), 1);
+        q.push(SiteId(0), 2);
+        q.push(SiteId(1), 10);
+        let mut applied: Vec<(u16, u32)> = vec![];
+        let n = q.drain(
+            &mut applied,
+            |_, _, _| true,
+            |out, s, m| out.push((s.0, m)),
+        );
+        assert_eq!(n, 3);
+        // Sender 0's messages stay in order.
+        let s0: Vec<u32> = applied.iter().filter(|(s, _)| *s == 0).map(|&(_, m)| m).collect();
+        assert_eq!(s0, vec![1, 2]);
+    }
+
+    #[test]
+    fn blocked_head_blocks_successors_from_same_sender() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(1);
+        q.push(SiteId(0), 5); // never ready
+        q.push(SiteId(0), 6); // would be ready, but behind 5
+        let mut applied: Vec<u32> = vec![];
+        let n = q.drain(&mut applied, |_, _, &m| m == 6, |out, _, m| out.push(m));
+        assert_eq!(n, 0);
+        assert!(applied.is_empty());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn applying_one_update_can_unblock_another_sender() {
+        // Sender 0's head enables sender 1's head through shared state.
+        let mut q: PendingQueues<u32> = PendingQueues::new(2);
+        q.push(SiteId(0), 1);
+        q.push(SiteId(1), 2);
+        let mut state = 0u32; // the "applied so far" witness
+        let n = q.drain(
+            &mut state,
+            |s, _, &m| m == *s + 1, // m applies only right after m-1
+            |s, _, m| *s = m,
+        );
+        assert_eq!(n, 2);
+        assert_eq!(state, 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_counts_across_senders() {
+        let mut q: PendingQueues<()> = PendingQueues::new(3);
+        assert!(q.is_empty());
+        q.push(SiteId(0), ());
+        q.push(SiteId(2), ());
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Replica-placement abstraction.
+
+use causal_clocks::DestSet;
+use causal_types::{SiteId, VarId};
+
+/// Where each shared variable is replicated.
+///
+/// The protocols only need three facts about placement: the destination set
+/// of a write (the sites replicating the variable), whether a variable is
+/// local to a site, and which replica serves a given site's remote fetches
+/// (the paper's "predesignated site"). Concrete placement strategies —
+/// even round-robin with replication factor `p`, full replication, hashed,
+/// primary-region — live in `causal-memory`.
+pub trait Replication: Send + Sync {
+    /// Number of sites in the system.
+    fn n(&self) -> usize;
+
+    /// The set of sites replicating `var` — the destination set of every
+    /// write to `var`. Must be non-empty and stable for the lifetime of a
+    /// run.
+    fn replicas(&self, var: VarId) -> DestSet;
+
+    /// The fixed replica that serves `site`'s remote reads of `var`.
+    /// Must be a member of `replicas(var)`. Only called when
+    /// `!self.is_replicated_at(var, site)`.
+    fn fetch_target(&self, var: VarId, site: SiteId) -> SiteId;
+
+    /// Whether `site` holds a replica of `var`.
+    fn is_replicated_at(&self, var: VarId, site: SiteId) -> bool {
+        self.replicas(var).contains(site)
+    }
+
+    /// Whether this placement is full replication (every variable at every
+    /// site). Opt-Track-CRP and optP require this.
+    fn is_full(&self) -> bool;
+}
+
+/// Trivial full replication over `n` sites — every variable everywhere.
+/// Remote fetches never occur. Useful for protocol unit tests without
+/// pulling in `causal-memory`.
+#[derive(Clone, Copy, Debug)]
+pub struct FullReplication {
+    n: usize,
+}
+
+impl FullReplication {
+    /// Full replication over `n` sites.
+    pub fn new(n: usize) -> Self {
+        FullReplication { n }
+    }
+}
+
+impl Replication for FullReplication {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn replicas(&self, _var: VarId) -> DestSet {
+        DestSet::full(self.n)
+    }
+
+    fn fetch_target(&self, _var: VarId, site: SiteId) -> SiteId {
+        // Every variable is local; a fetch target is never needed. Answer
+        // the site itself to keep the contract total.
+        site
+    }
+
+    fn is_full(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_replication_covers_all_sites() {
+        let r = FullReplication::new(7);
+        let d = r.replicas(VarId(3));
+        assert_eq!(d.len(), 7);
+        assert!(r.is_full());
+        assert!(r.is_replicated_at(VarId(0), SiteId(6)));
+    }
+}

@@ -1,0 +1,65 @@
+//! The protocol-site trait implemented by all four protocols.
+
+use crate::effect::{Effect, ReadResult};
+use crate::factory::ProtocolKind;
+use crate::msg::Msg;
+use causal_types::{SiteId, SizeModel, VarId, VersionedValue, WriteId};
+
+/// One site's protocol state machine.
+///
+/// A `ProtocolSite` owns the site's replica storage, causality metadata and
+/// parked-update buffers. It is purely reactive: the driver calls the three
+/// entry points below and routes the returned [`Effect`]s. Implementations
+/// must be deterministic functions of the call sequence — all scheduling and
+/// timing lives in the driver — which is what makes simulation runs
+/// reproducible and lets the consistency checker replay histories.
+pub trait ProtocolSite: Send {
+    /// Which protocol this site runs.
+    fn kind(&self) -> ProtocolKind;
+
+    /// This site's id.
+    fn site(&self) -> SiteId;
+
+    /// System size `n`.
+    fn n(&self) -> usize;
+
+    /// Perform a local write `w(var)data`.
+    ///
+    /// Returns the new write's identity and the effects: one
+    /// [`Effect::Send`] per remote destination replica and, when this site
+    /// replicates `var`, an [`Effect::Applied`] for the local apply.
+    fn write(&mut self, var: VarId, data: u64, payload_len: u32) -> (WriteId, Vec<Effect>);
+
+    /// Perform a local read `r(var)`.
+    ///
+    /// If `var` is replicated locally the value is returned immediately
+    /// (after the protocol's read-merge of `LastWriteOn⟨var⟩`, which is what
+    /// establishes the `→co` edge). Otherwise a fetch message for the
+    /// predesignated replica is returned; the read completes when
+    /// [`ProtocolSite::on_message`] later emits [`Effect::FetchDone`].
+    ///
+    /// At most one fetch may be outstanding per site — the paper's
+    /// application subsystem blocks on `RemoteFetch`.
+    fn read(&mut self, var: VarId) -> ReadResult;
+
+    /// Deliver a transport message from `from`.
+    fn on_message(&mut self, from: SiteId, msg: Msg) -> Vec<Effect>;
+
+    /// Number of parked (received, not yet applied) updates.
+    fn pending_len(&self) -> usize;
+
+    /// Bytes of causality metadata currently held by this site (local
+    /// control-data footprint: clocks, logs, LastWriteOn structures).
+    fn local_meta_size(&self, model: &SizeModel) -> u64;
+
+    /// Current value of `var`'s local replica (`None` when `⊥` or when the
+    /// site does not replicate `var`). Diagnostic/testing accessor.
+    fn value_of(&self, var: VarId) -> Option<VersionedValue>;
+
+    /// Number of entries in the site's causality log, where applicable
+    /// (Opt-Track / Opt-Track-CRP); `None` for clock-based protocols. Used
+    /// by the `d`-parameter analysis (paper §V-B).
+    fn log_len(&self) -> Option<usize> {
+        None
+    }
+}

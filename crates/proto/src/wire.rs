@@ -1,0 +1,543 @@
+//! Binary wire codec for protocol messages.
+//!
+//! The TCP transport in `causal-runtime` frames each [`Msg`] with this
+//! codec (length-prefixed on the socket). The format is a straightforward
+//! little-endian tag-length-value encoding — no self-description, no
+//! versioning — because both ends of a run are always the same build, as in
+//! the paper's testbed. Integers are fixed-width LE; collections carry a
+//! `u32` length.
+//!
+//! Decoding is total: malformed input yields [`WireError`], never a panic,
+//! so a corrupted frame cannot take down a site.
+
+use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
+use causal_clocks::{CrpLog, DestSet, Log, LogEntry, MatrixClock, VectorClock};
+use causal_types::{SiteId, VarId, VersionedValue, WriteId};
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// An enum tag was out of range.
+    BadTag(u8),
+    /// Trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadTag(t) => write!(f, "invalid tag byte {t}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode a message to bytes.
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match msg {
+        Msg::Sm(sm) => {
+            out.push(0);
+            put_var(&mut out, sm.var);
+            put_value(&mut out, &sm.value);
+            put_sm_meta(&mut out, &sm.meta);
+        }
+        Msg::Fm(fm) => {
+            out.push(1);
+            put_var(&mut out, fm.var);
+        }
+        Msg::Rm(rm) => {
+            out.push(2);
+            put_var(&mut out, rm.var);
+            match &rm.value {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    put_value(&mut out, v);
+                }
+            }
+            put_rm_meta(&mut out, &rm.meta);
+        }
+    }
+    out
+}
+
+/// Decode a message from bytes; the whole input must be consumed.
+pub fn decode(buf: &[u8]) -> Result<Msg, WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    let msg = match r.u8()? {
+        0 => Msg::Sm(Sm {
+            var: r.var()?,
+            value: r.value()?,
+            meta: r.sm_meta()?,
+        }),
+        1 => Msg::Fm(Fm { var: r.var()? }),
+        2 => {
+            let var = r.var()?;
+            let value = match r.u8()? {
+                0 => None,
+                1 => Some(r.value()?),
+                t => return Err(WireError::BadTag(t)),
+            };
+            let meta = r.rm_meta()?;
+            Msg::Rm(Rm { var, value, meta })
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    if r.pos != buf.len() {
+        return Err(WireError::TrailingBytes(buf.len() - r.pos));
+    }
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
+
+fn put_var(out: &mut Vec<u8>, v: VarId) {
+    out.extend_from_slice(&v.0.to_le_bytes());
+}
+
+fn put_write_id(out: &mut Vec<u8>, w: WriteId) {
+    out.extend_from_slice(&w.site.0.to_le_bytes());
+    out.extend_from_slice(&w.clock.to_le_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &VersionedValue) {
+    put_write_id(out, v.writer);
+    out.extend_from_slice(&v.data.to_le_bytes());
+    out.extend_from_slice(&v.payload_len.to_le_bytes());
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &MatrixClock) {
+    out.extend_from_slice(&(m.n() as u32).to_le_bytes());
+    for j in SiteId::all(m.n()) {
+        for k in SiteId::all(m.n()) {
+            out.extend_from_slice(&m.get(j, k).to_le_bytes());
+        }
+    }
+}
+
+fn put_vector(out: &mut Vec<u8>, v: &VectorClock) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for (_, c) in v.iter() {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn put_dests(out: &mut Vec<u8>, d: &DestSet) {
+    out.extend_from_slice(&(d.len() as u32).to_le_bytes());
+    for s in d.iter() {
+        out.extend_from_slice(&s.0.to_le_bytes());
+    }
+}
+
+fn put_log(out: &mut Vec<u8>, log: &Log) {
+    out.extend_from_slice(&(log.len() as u32).to_le_bytes());
+    for e in log.iter() {
+        out.extend_from_slice(&e.origin.0.to_le_bytes());
+        out.extend_from_slice(&e.clock.to_le_bytes());
+        put_dests(out, &e.dests);
+    }
+}
+
+fn put_crp_log(out: &mut Vec<u8>, log: &CrpLog) {
+    out.extend_from_slice(&(log.len() as u32).to_le_bytes());
+    for w in log.iter() {
+        put_write_id(out, *w);
+    }
+}
+
+fn put_sm_meta(out: &mut Vec<u8>, meta: &SmMeta) {
+    match meta {
+        SmMeta::FullTrack { write } => {
+            out.push(0);
+            put_matrix(out, write);
+        }
+        SmMeta::OptTrack { clock, log } => {
+            out.push(1);
+            out.extend_from_slice(&clock.to_le_bytes());
+            put_log(out, log);
+        }
+        SmMeta::Crp { clock, log } => {
+            out.push(2);
+            out.extend_from_slice(&clock.to_le_bytes());
+            put_crp_log(out, log);
+        }
+        SmMeta::OptP { write } => {
+            out.push(3);
+            put_vector(out, write);
+        }
+    }
+}
+
+fn put_rm_meta(out: &mut Vec<u8>, meta: &RmMeta) {
+    match meta {
+        RmMeta::FullTrack(None) => out.push(0),
+        RmMeta::FullTrack(Some(m)) => {
+            out.push(1);
+            put_matrix(out, m);
+        }
+        RmMeta::OptTrack(None) => out.push(2),
+        RmMeta::OptTrack(Some(l)) => {
+            out.push(3);
+            put_log(out, l);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn var(&mut self) -> Result<VarId, WireError> {
+        Ok(VarId(self.u32()?))
+    }
+
+    fn write_id(&mut self) -> Result<WriteId, WireError> {
+        Ok(WriteId {
+            site: SiteId(self.u16()?),
+            clock: self.u64()?,
+        })
+    }
+
+    fn value(&mut self) -> Result<VersionedValue, WireError> {
+        Ok(VersionedValue {
+            writer: self.write_id()?,
+            data: self.u64()?,
+            payload_len: self.u32()?,
+        })
+    }
+
+    fn matrix(&mut self) -> Result<MatrixClock, WireError> {
+        let n = self.u32()? as usize;
+        // Cap n to the sane range before allocating n² cells from
+        // attacker-controlled input.
+        if n > causal_clocks::dests::MAX_SITES {
+            return Err(WireError::Truncated);
+        }
+        let mut m = MatrixClock::new(n);
+        for j in SiteId::all(n) {
+            for k in SiteId::all(n) {
+                m.set(j, k, self.u64()?);
+            }
+        }
+        Ok(m)
+    }
+
+    fn vector(&mut self) -> Result<VectorClock, WireError> {
+        let n = self.u32()? as usize;
+        if n > causal_clocks::dests::MAX_SITES {
+            return Err(WireError::Truncated);
+        }
+        let mut v = VectorClock::new(n);
+        for i in SiteId::all(n) {
+            let c = self.u64()?;
+            v.set(i, c);
+        }
+        Ok(v)
+    }
+
+    fn dests(&mut self) -> Result<DestSet, WireError> {
+        let n = self.u32()? as usize;
+        if n > causal_clocks::dests::MAX_SITES {
+            return Err(WireError::Truncated);
+        }
+        let mut d = DestSet::EMPTY;
+        for _ in 0..n {
+            let raw = self.u16()?;
+            if raw as usize >= causal_clocks::dests::MAX_SITES {
+                return Err(WireError::Truncated);
+            }
+            d.insert(SiteId(raw));
+        }
+        Ok(d)
+    }
+
+    fn log(&mut self) -> Result<Log, WireError> {
+        let n = self.u32()? as usize;
+        let mut log = Log::new();
+        for _ in 0..n {
+            let origin = SiteId(self.u16()?);
+            let clock = self.u64()?;
+            let dests = self.dests()?;
+            log.upsert(LogEntry::new(origin, clock, dests));
+        }
+        Ok(log)
+    }
+
+    fn crp_log(&mut self) -> Result<CrpLog, WireError> {
+        let n = self.u32()? as usize;
+        let mut log = CrpLog::new();
+        for _ in 0..n {
+            log.observe(self.write_id()?);
+        }
+        Ok(log)
+    }
+
+    fn sm_meta(&mut self) -> Result<SmMeta, WireError> {
+        Ok(match self.u8()? {
+            0 => SmMeta::FullTrack {
+                write: self.matrix()?,
+            },
+            1 => SmMeta::OptTrack {
+                clock: self.u64()?,
+                log: self.log()?,
+            },
+            2 => SmMeta::Crp {
+                clock: self.u64()?,
+                log: self.crp_log()?,
+            },
+            3 => SmMeta::OptP {
+                write: self.vector()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn rm_meta(&mut self) -> Result<RmMeta, WireError> {
+        Ok(match self.u8()? {
+            0 => RmMeta::FullTrack(None),
+            1 => RmMeta::FullTrack(Some(self.matrix()?)),
+            2 => RmMeta::OptTrack(None),
+            3 => RmMeta::OptTrack(Some(self.log()?)),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_log() -> Log {
+        let mut log = Log::new();
+        log.upsert(LogEntry::new(
+            SiteId(1),
+            7,
+            DestSet::from_sites([SiteId(0), SiteId(3)]),
+        ));
+        log.upsert(LogEntry::new(SiteId(2), 1, DestSet::EMPTY));
+        log
+    }
+
+    #[test]
+    fn roundtrip_each_variant() {
+        let value = VersionedValue::with_payload(WriteId::new(SiteId(3), 9), 42, 1000);
+        let msgs = vec![
+            Msg::Sm(Sm {
+                var: VarId(5),
+                value,
+                meta: SmMeta::FullTrack {
+                    write: MatrixClock::new(4),
+                },
+            }),
+            Msg::Sm(Sm {
+                var: VarId(5),
+                value,
+                meta: SmMeta::OptTrack {
+                    clock: 9,
+                    log: sample_log(),
+                },
+            }),
+            Msg::Sm(Sm {
+                var: VarId(5),
+                value,
+                meta: SmMeta::Crp {
+                    clock: 9,
+                    log: {
+                        let mut l = CrpLog::new();
+                        l.observe(WriteId::new(SiteId(0), 3));
+                        l
+                    },
+                },
+            }),
+            Msg::Sm(Sm {
+                var: VarId(5),
+                value,
+                meta: SmMeta::OptP {
+                    write: VectorClock::new(6),
+                },
+            }),
+            Msg::Fm(Fm { var: VarId(0) }),
+            Msg::Rm(Rm {
+                var: VarId(1),
+                value: None,
+                meta: RmMeta::OptTrack(None),
+            }),
+            Msg::Rm(Rm {
+                var: VarId(1),
+                value: Some(value),
+                meta: RmMeta::OptTrack(Some(sample_log())),
+            }),
+            Msg::Rm(Rm {
+                var: VarId(1),
+                value: Some(value),
+                meta: RmMeta::FullTrack(Some(MatrixClock::new(3))),
+            }),
+        ];
+        for msg in msgs {
+            let bytes = encode(&msg);
+            let back = decode(&bytes).expect("roundtrip");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let msg = Msg::Sm(Sm {
+            var: VarId(5),
+            value: VersionedValue::new(WriteId::new(SiteId(0), 1), 0),
+            meta: SmMeta::OptP {
+                write: VectorClock::new(8),
+            },
+        });
+        let bytes = encode(&msg);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode(&bytes[..cut]), Err(WireError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert_eq!(decode(&[9]), Err(WireError::BadTag(9)));
+        assert!(matches!(
+            decode(&[]),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&Msg::Fm(Fm { var: VarId(3) }));
+        bytes.push(0xFF);
+        assert_eq!(decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn oversized_matrix_rejected() {
+        // Tag 0 (Sm) + var + value + meta tag 0 (FullTrack) + n = 2^31.
+        let value = VersionedValue::new(WriteId::new(SiteId(0), 1), 0);
+        let mut bytes = vec![0u8];
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        super::put_value(&mut bytes, &value);
+        bytes.push(0);
+        bytes.extend_from_slice(&(1u32 << 31).to_le_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_opt_track_sm_roundtrip(
+            var in 0u32..1000,
+            clock in 1u64..1_000_000,
+            site in 0u16..40,
+            entries in proptest::collection::vec(
+                (0u16..40, 1u64..100, proptest::collection::vec(0usize..40, 0..8)),
+                0..12,
+            ),
+        ) {
+            let mut log = Log::new();
+            for (o, c, ds) in entries {
+                log.upsert(LogEntry::new(
+                    SiteId(o),
+                    c,
+                    DestSet::from_sites(ds.into_iter().map(SiteId::from)),
+                ));
+            }
+            let msg = Msg::Sm(Sm {
+                var: VarId(var),
+                value: VersionedValue::new(WriteId::new(SiteId(site), clock), clock ^ 0xABCD),
+                meta: SmMeta::OptTrack { clock, log },
+            });
+            prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_full_track_sm_roundtrip(n in 1usize..40, cells in proptest::collection::vec(0u64..1000, 1..64)) {
+            let mut m = MatrixClock::new(n);
+            for (i, &c) in cells.iter().enumerate() {
+                let j = i % n;
+                let k = (i / n) % n;
+                m.set(SiteId::from(j), SiteId::from(k), c);
+            }
+            let msg = Msg::Sm(Sm {
+                var: VarId(1),
+                value: VersionedValue::new(WriteId::new(SiteId(0), 1), 2),
+                meta: SmMeta::FullTrack { write: m },
+            });
+            prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_optp_and_crp_roundtrip(n in 1usize..40, comps in proptest::collection::vec(0u64..1000, 1..40),
+                                        tuples in proptest::collection::vec((0u16..40, 1u64..100), 0..12)) {
+            let mut v = VectorClock::new(n);
+            for (i, &c) in comps.iter().enumerate().take(n) {
+                v.set(SiteId::from(i), c);
+            }
+            let m1 = Msg::Sm(Sm {
+                var: VarId(1),
+                value: VersionedValue::new(WriteId::new(SiteId(0), 1), 2),
+                meta: SmMeta::OptP { write: v },
+            });
+            prop_assert_eq!(decode(&encode(&m1)).unwrap(), m1);
+
+            let mut log = CrpLog::new();
+            for (s, c) in tuples {
+                log.observe(WriteId::new(SiteId(s), c));
+            }
+            let m2 = Msg::Sm(Sm {
+                var: VarId(1),
+                value: VersionedValue::new(WriteId::new(SiteId(0), 1), 2),
+                meta: SmMeta::Crp { clock: 5, log },
+            });
+            prop_assert_eq!(decode(&encode(&m2)).unwrap(), m2);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Total decoding: arbitrary bytes must produce Ok or Err, never
+            // a panic or huge allocation.
+            let _ = decode(&noise);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # causal-runtime
+//!
+//! A real multi-threaded runtime for the causal-consistency protocols: one
+//! OS thread per site, crossbeam FIFO channels between them, blocking
+//! remote fetches, and wall-clock schedule replay (scaled).
+//!
+//! The paper's testbed ran each site as a JDK process over TCP; this runtime
+//! is the analogous live deployment of the *identical* protocol objects that
+//! the discrete-event simulator drives. It exists to demonstrate that the
+//! protocol state machines are genuinely transport-agnostic and correct
+//! under real concurrency — executions are nondeterministic, and every one
+//! of them must still pass the `causal-checker` verification. The simulator
+//! remains the instrument for the paper's measurements (reproducible runs);
+//! see DESIGN.md §2.
+//!
+//! ## Shutdown protocol
+//!
+//! Quiescence in a live system needs care: a site may finish its schedule
+//! while its updates are still in flight. The runtime counts in-flight
+//! messages with an atomic; when every site has finished its schedule and
+//! the in-flight count stays zero, the coordinator broadcasts `Stop` and
+//! joins the threads. A parked update at that point would be a protocol bug
+//! (reported in [`RunOutcome::final_pending`]).
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod node;
+pub mod runner;
+pub mod tcp;
+
+pub use runner::{run_threaded, RuntimeConfig, RunOutcome};
+pub use tcp::run_tcp;

@@ -1,0 +1,266 @@
+//! One site's thread: schedule replay + message service.
+
+use causal_checker::History;
+use causal_metrics::RunMetrics;
+use causal_proto::{Effect, Msg, ProtocolSite, ReadResult};
+use causal_types::{MetaSized, OpKind, ScheduledOp, SiteId, SizeModel};
+use crossbeam::channel::{Receiver, Sender};
+use causal_types::WriteId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a node's outgoing messages reach their destination. The node logic
+/// is transport-agnostic: in-process runs use [`ChannelTransport`]
+/// (crossbeam channels), the TCP runner in [`crate::tcp`] moves the same
+/// frames over loopback sockets — the paper's actual transport.
+pub trait Transport: Send + Sync {
+    /// Deliver `msg` from `from` to `to`'s inbox, reliably and in FIFO
+    /// order per ordered pair.
+    fn send(&self, from: SiteId, to: SiteId, msg: &Msg);
+}
+
+/// Crossbeam-channel transport: one unbounded channel per site.
+pub struct ChannelTransport {
+    /// Senders indexed by destination site.
+    pub peers: Vec<Sender<Wire>>,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, from: SiteId, to: SiteId, msg: &Msg) {
+        self.peers[to.index()]
+            .send(Wire::Msg {
+                from,
+                msg: msg.clone(),
+            })
+            .expect("peer thread alive until Stop");
+    }
+}
+
+/// What travels between site threads.
+pub enum Wire {
+    /// A protocol message from a peer.
+    Msg {
+        /// The sending site.
+        from: SiteId,
+        /// The payload.
+        msg: Msg,
+    },
+    /// Coordinator broadcast: drain and exit.
+    Stop,
+}
+
+/// What a site thread hands back to the coordinator when it stops.
+pub struct NodeOutcome {
+    /// The site's recorded execution fragment (own ops + own applies).
+    pub history: History,
+    /// Messages this site *sent*, with meta-data byte totals.
+    pub metrics: RunMetrics,
+    /// Updates still parked at shutdown (must be 0).
+    pub final_pending: usize,
+}
+
+/// Everything one site thread needs.
+pub struct Node {
+    /// This site's id.
+    pub site: SiteId,
+    /// The protocol state machine.
+    pub proto: Box<dyn ProtocolSite>,
+    /// The site's pre-generated schedule.
+    pub schedule: Vec<ScheduledOp>,
+    /// Virtual-to-wall-clock scale (e.g. 0.01 replays a 2 s gap in 20 ms).
+    pub time_scale: f64,
+    /// Number of sites in the system.
+    pub n: usize,
+    /// Outgoing message path.
+    pub transport: Arc<dyn Transport>,
+    /// This site's inbox (fed by the transport's receiving side and by the
+    /// coordinator's `Stop`).
+    pub inbox: Receiver<Wire>,
+    /// Global in-flight message counter (incremented before send,
+    /// decremented after the receiver processed the message).
+    pub in_flight: Arc<AtomicI64>,
+    /// Byte-accounting model for the sent-message metrics.
+    pub size_model: SizeModel,
+    /// Invoked exactly once, when the last scheduled operation has been
+    /// issued (the node keeps serving messages afterwards). The coordinator
+    /// uses this for quiescence detection.
+    pub on_schedule_done: Option<Box<dyn FnOnce() + Send>>,
+    /// Receipt instants of parked/received updates, for the apply-latency
+    /// metric. Managed internally; leave empty at construction.
+    pub receipt: HashMap<WriteId, Instant>,
+}
+
+impl Node {
+    /// Run the node to completion: replay the schedule while serving
+    /// incoming messages, then keep serving until `Stop`.
+    pub fn run(mut self) -> NodeOutcome {
+        let n = self.n;
+        let mut history = History::new(n);
+        let mut metrics = RunMetrics::new();
+        let start = Instant::now();
+        let mut next_op = 0usize;
+        debug_assert!(self.receipt.is_empty());
+
+        loop {
+            // When is the next scheduled operation due (wall clock)?
+            let due = self.schedule.get(next_op).map(|op| {
+                let virt = op.at.as_nanos() as f64 * self.time_scale;
+                Duration::from_nanos(virt as u64)
+            });
+
+            match due {
+                Some(due) => {
+                    let now = start.elapsed();
+                    if now >= due {
+                        let op = self.schedule[next_op];
+                        next_op += 1;
+                        self.issue(op, &mut history, &mut metrics);
+                    } else {
+                        // Serve messages until the op is due.
+                        match self.inbox.recv_timeout(due - now) {
+                            Ok(Wire::Msg { from, msg }) => {
+                                self.deliver(from, msg, &mut history, &mut metrics)
+                            }
+                            Ok(Wire::Stop) => break,
+                            Err(_) => {} // timeout: loop issues the op
+                        }
+                    }
+                }
+                None => {
+                    if let Some(done) = self.on_schedule_done.take() {
+                        done();
+                    }
+                    match self.inbox.recv() {
+                        Ok(Wire::Msg { from, msg }) => {
+                            self.deliver(from, msg, &mut history, &mut metrics)
+                        }
+                        Ok(Wire::Stop) | Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        NodeOutcome {
+            history,
+            metrics,
+            final_pending: self.proto.pending_len(),
+        }
+    }
+
+    fn issue(&mut self, op: ScheduledOp, history: &mut History, metrics: &mut RunMetrics) {
+        match op.kind {
+            OpKind::Write { var, data } => {
+                metrics.record_op(true, false);
+                let (wid, effects) = self.proto.write(var, data, 0);
+                history.record_write(self.site, wid, var);
+                self.route(effects, history, metrics);
+            }
+            OpKind::Read { var } => match self.proto.read(var) {
+                ReadResult::Local(v) => {
+                    metrics.record_op(false, false);
+                    history.record_read(self.site, var, v.map(|x| x.writer), self.site);
+                }
+                ReadResult::Fetch { target, msg } => {
+                    metrics.record_op(false, true);
+                    metrics.record_msg(msg.kind(), msg.meta_size(&self.size_model), true);
+                    self.send(target, msg);
+                    // Block until the fetch returns, serving (and thereby
+                    // unblocking) other messages meanwhile — the paper's
+                    // synchronous RemoteFetch.
+                    loop {
+                        match self.inbox.recv() {
+                            Ok(Wire::Msg { from, msg }) => {
+                                let done =
+                                    self.deliver_watch_fetch(from, msg, history, metrics, var);
+                                if done {
+                                    break;
+                                }
+                            }
+                            Ok(Wire::Stop) | Err(_) => {
+                                panic!("runtime stopped while a fetch was outstanding")
+                            }
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    fn send(&self, to: SiteId, msg: Msg) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.transport.send(self.site, to, &msg);
+    }
+
+    fn deliver(&mut self, from: SiteId, msg: Msg, history: &mut History, metrics: &mut RunMetrics) {
+        if let Msg::Sm(sm) = &msg {
+            self.receipt.insert(sm.value.writer, Instant::now());
+        }
+        let effects = self.proto.on_message(from, msg);
+        // Cascade sends must be counted before this message is released,
+        // or the coordinator could observe a spurious in-flight zero.
+        self.handle_effects(effects, history, metrics);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Like [`Node::deliver`], but reports whether the effects completed the
+    /// outstanding fetch of `watch_var`.
+    fn deliver_watch_fetch(
+        &mut self,
+        from: SiteId,
+        msg: Msg,
+        history: &mut History,
+        metrics: &mut RunMetrics,
+        watch_var: causal_types::VarId,
+    ) -> bool {
+        if let Msg::Sm(sm) = &msg {
+            self.receipt.insert(sm.value.writer, Instant::now());
+        }
+        let effects = self.proto.on_message(from, msg);
+        let mut done = false;
+        for e in &effects {
+            if let Effect::FetchDone { var, .. } = e {
+                assert_eq!(*var, watch_var);
+                done = true;
+            }
+        }
+        self.handle_effects(effects, history, metrics);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        done
+    }
+
+    fn route(&mut self, effects: Vec<Effect>, history: &mut History, metrics: &mut RunMetrics) {
+        self.handle_effects(effects, history, metrics);
+    }
+
+    fn handle_effects(
+        &mut self,
+        effects: Vec<Effect>,
+        history: &mut History,
+        metrics: &mut RunMetrics,
+    ) {
+        for e in effects {
+            match e {
+                Effect::Send { to, msg } => {
+                    metrics.record_msg(msg.kind(), msg.meta_size(&self.size_model), true);
+                    self.send(to, msg);
+                }
+                Effect::Applied { var: _, write } => {
+                    metrics.applies += 1;
+                    if let Some(t0) = self.receipt.remove(&write) {
+                        metrics.record_apply_latency(t0.elapsed().as_nanos() as f64);
+                    }
+                    history.record_apply(self.site, write);
+                }
+                Effect::FetchDone { var, value } => {
+                    // Recorded here; completion detection happens in
+                    // deliver_watch_fetch.
+                    let served_by = value.map(|v| v.writer.site).unwrap_or(self.site);
+                    let _ = served_by;
+                    history.record_read(self.site, var, value.map(|x| x.writer), self.site);
+                }
+            }
+        }
+    }
+}

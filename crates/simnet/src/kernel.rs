@@ -1,0 +1,153 @@
+//! The discrete-event kernel: a virtual clock and an event heap.
+
+use causal_proto::Msg;
+use causal_types::{SimTime, SiteId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event in the simulation.
+#[derive(Clone, Debug)]
+pub enum SimEvent {
+    /// The application process at `site` is due to issue its next scheduled
+    /// operation.
+    OpReady {
+        /// The site whose application subsystem fires.
+        site: SiteId,
+    },
+    /// A message completes its channel transit and is handed to the
+    /// receiver's message-receipt subsystem.
+    Deliver {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+        /// The message.
+        msg: Msg,
+        /// Whether the traffic is attributed to a post-warm-up operation.
+        measured: bool,
+        /// When the message entered the channel (for transit statistics).
+        sent_at: SimTime,
+    },
+}
+
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    ev: SimEvent,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (time, seq) pops
+        // first. `seq` breaks ties deterministically in insertion order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic event heap ordered by `(time, insertion sequence)`.
+#[derive(Default)]
+pub struct EventHeap {
+    heap: BinaryHeap<Queued>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl EventHeap {
+    /// An empty heap at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` at absolute time `at`. Scheduling in the past is a
+    /// logic error.
+    pub fn push(&mut self, at: SimTime, ev: SimEvent) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Queued {
+            at,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, SimEvent)> {
+        let q = self.heap.pop()?;
+        debug_assert!(q.at >= self.now, "clock must be monotone");
+        self.now = q.at;
+        Some((q.at, q.ev))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(site: u16) -> SimEvent {
+        SimEvent::OpReady { site: SiteId(site) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        h.push(SimTime::from_millis(30), op(3));
+        h.push(SimTime::from_millis(10), op(1));
+        h.push(SimTime::from_millis(20), op(2));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|(t, _)| t.as_millis())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut h = EventHeap::new();
+        let t = SimTime::from_millis(5);
+        h.push(t, op(0));
+        h.push(t, op(1));
+        h.push(t, op(2));
+        let sites: Vec<u16> = std::iter::from_fn(|| {
+            h.pop().map(|(_, e)| match e {
+                SimEvent::OpReady { site } => site.0,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(sites, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut h = EventHeap::new();
+        assert_eq!(h.now(), SimTime::ZERO);
+        h.push(SimTime::from_millis(7), op(0));
+        h.pop();
+        assert_eq!(h.now(), SimTime::from_millis(7));
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+    }
+}

@@ -1,0 +1,383 @@
+//! The full-system simulation driver.
+
+use crate::channel::{ChannelMatrix, LatencyModel, PartitionWindow};
+use crate::kernel::{EventHeap, SimEvent};
+use causal_checker::History;
+use causal_clocks::PruneConfig;
+use causal_memory::Placement;
+use causal_metrics::RunMetrics;
+use causal_proto::{
+    build_site, Effect, Msg, ProtocolConfig, ProtocolKind, ProtocolSite, ReadResult, Replication,
+};
+use causal_types::{MetaSized, OpKind, SimTime, SiteId, SizeModel, VarId};
+use causal_workload::{generate, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use causal_types::WriteId;
+
+/// A site pause (fail-stop with recovery): during `[start, end)` the site
+/// neither issues operations nor processes incoming messages; everything
+/// addressed to it is buffered and handled at resume, in arrival order.
+/// State survives (the paper's motivation §I: independent hardware
+/// maintenance without systematic disasters).
+#[derive(Clone, Debug)]
+pub struct PauseWindow {
+    /// The paused site.
+    pub site: SiteId,
+    /// Pause onset.
+    pub start: SimTime,
+    /// Resume instant.
+    pub end: SimTime,
+}
+
+impl PauseWindow {
+    /// If `site` is paused at `now`, the instant it resumes.
+    fn resumes(&self, site: SiteId, now: SimTime) -> Option<SimTime> {
+        (self.site == site && now >= self.start && now < self.end).then_some(self.end)
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Which protocol every site runs.
+    pub protocol: ProtocolKind,
+    /// Replica placement (partial or full).
+    pub placement: Arc<Placement>,
+    /// The operation workload.
+    pub workload: WorkloadParams,
+    /// Channel latency model.
+    pub latency: LatencyModel,
+    /// Byte-accounting calibration.
+    pub size_model: SizeModel,
+    /// Opt-Track pruning switches (ignored by the other protocols).
+    pub prune: PruneConfig,
+    /// Record a [`History`] for post-run consistency checking. Adds memory
+    /// proportional to the operation count; off for large sweeps.
+    pub record_history: bool,
+    /// Injected network partitions (empty by default).
+    pub partitions: Vec<PartitionWindow>,
+    /// Replay this exact schedule instead of generating one from
+    /// `workload` (trace-driven runs; see `causal_workload::csv`). Its
+    /// shape must match `workload.n`.
+    pub schedule_override: Option<causal_workload::Schedule>,
+    /// Injected site pauses (empty by default).
+    pub pauses: Vec<PauseWindow>,
+}
+
+impl SimConfig {
+    /// The paper's partial-replication setting (`p = 0.3·n`, even
+    /// placement) for the given protocol.
+    pub fn paper_partial(protocol: ProtocolKind, n: usize, w_rate: f64, seed: u64) -> Self {
+        assert!(protocol.supports_partial(), "{protocol} is full-replication only");
+        SimConfig {
+            protocol,
+            placement: Arc::new(Placement::paper_partial(n).expect("valid n")),
+            workload: WorkloadParams::paper(n, w_rate, seed),
+            latency: LatencyModel::default_wan(),
+            size_model: SizeModel::java_like(),
+            prune: PruneConfig::default(),
+            record_history: false,
+            partitions: Vec::new(),
+            schedule_override: None,
+            pauses: Vec::new(),
+        }
+    }
+
+    /// The paper's full-replication setting (`p = n`) for the given
+    /// protocol. Any of the four protocols can run fully replicated.
+    pub fn paper_full(protocol: ProtocolKind, n: usize, w_rate: f64, seed: u64) -> Self {
+        SimConfig {
+            protocol,
+            placement: Arc::new(Placement::full(n).expect("valid n")),
+            workload: WorkloadParams::paper(n, w_rate, seed),
+            latency: LatencyModel::default_wan(),
+            size_model: SizeModel::java_like(),
+            prune: PruneConfig::default(),
+            record_history: false,
+            partitions: Vec::new(),
+            schedule_override: None,
+            pauses: Vec::new(),
+        }
+    }
+
+    /// Shrink to a fast test-sized run (60 events per process).
+    pub fn small(mut self) -> Self {
+        self.workload.events_per_process = 60;
+        self
+    }
+
+    /// Enable history recording (for the consistency checker).
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+}
+
+/// Everything a run produces.
+pub struct SimResult {
+    /// Counters and byte totals.
+    pub metrics: RunMetrics,
+    /// The recorded execution, when requested.
+    pub history: Option<History>,
+    /// Virtual time at which the system went quiescent.
+    pub duration: SimTime,
+    /// Updates still parked at the end — **must** be zero; nonzero means an
+    /// activation predicate can never fire (a protocol bug).
+    pub final_pending: usize,
+    /// Per-site causality-metadata storage footprint at quiescence, bytes
+    /// (clocks + logs + LastWriteOn structures, under the run's size
+    /// model). The paper notes Full-Track "incurs the same storage cost"
+    /// as its piggybacks; this measures it.
+    pub final_local_meta: Vec<u64>,
+}
+
+/// Per-site application-subsystem state.
+struct AppDriver {
+    next: usize,
+    blocked: Option<BlockedFetch>,
+}
+
+struct BlockedFetch {
+    var: VarId,
+    target: SiteId,
+    measured: bool,
+}
+
+/// Run one simulation to quiescence.
+pub fn run(cfg: &SimConfig) -> SimResult {
+    let n = cfg.workload.n;
+    assert_eq!(cfg.placement.n(), n, "placement and workload disagree on n");
+    let schedule = cfg
+        .schedule_override
+        .clone()
+        .unwrap_or_else(|| generate(&cfg.workload));
+    assert_eq!(schedule.per_site.len(), n, "override schedule shape mismatch");
+    let warmup = schedule.warmup_events;
+
+    let repl: Arc<dyn Replication> = cfg.placement.clone();
+    let proto_cfg = ProtocolConfig { prune: cfg.prune };
+    let mut sites: Vec<Box<dyn ProtocolSite>> = SiteId::all(n)
+        .map(|s| build_site(cfg.protocol, s, repl.clone(), proto_cfg))
+        .collect();
+
+    let mut heap = EventHeap::new();
+    let mut channels =
+        ChannelMatrix::new(n, cfg.latency).with_partitions(cfg.partitions.clone());
+    // Independent stream for latency sampling, derived from the workload
+    // seed so a (seed, config) pair fully determines the run.
+    let mut lat_rng = StdRng::seed_from_u64(cfg.workload.seed ^ 0xC0FF_EE00_D15E_A5E5);
+    let mut metrics = RunMetrics::new();
+    let mut history = cfg.record_history.then(|| History::new(n));
+    let mut drivers: Vec<AppDriver> = (0..n)
+        .map(|_| AppDriver {
+            next: 0,
+            blocked: None,
+        })
+        .collect();
+    // Receipt time of each SM per receiver, for the apply-latency metric.
+    let mut receipt: HashMap<(SiteId, WriteId), SimTime> = HashMap::new();
+
+    // Arm the first operation of every process.
+    for (i, ops) in schedule.per_site.iter().enumerate() {
+        if let Some(op) = ops.first() {
+            heap.push(op.at, SimEvent::OpReady { site: SiteId::from(i) });
+        }
+    }
+
+    // Route a batch of protocol effects originating at `origin`.
+    // Returns through closures capturing the loop state below.
+    while let Some((now, ev)) = heap.pop() {
+        // A paused site defers everything — operations and deliveries — to
+        // its resume instant; heap insertion order preserves the original
+        // arrival order among deferred events.
+        let event_site = match &ev {
+            SimEvent::OpReady { site } => *site,
+            SimEvent::Deliver { to, .. } => *to,
+        };
+        if let Some(resume) = cfg
+            .pauses
+            .iter()
+            .filter_map(|p| p.resumes(event_site, now))
+            .max()
+        {
+            heap.push(resume, ev);
+            continue;
+        }
+        match ev {
+            SimEvent::OpReady { site } => {
+                let d = &mut drivers[site.index()];
+                debug_assert!(d.blocked.is_none(), "op issued while fetch outstanding");
+                let op = schedule.per_site[site.index()][d.next];
+                let measured = d.next >= warmup;
+                d.next += 1;
+                match op.kind {
+                    OpKind::Write { var, data } => {
+                        let (wid, effects) =
+                            sites[site.index()].write(var, data, cfg.workload.payload_len);
+                        if measured {
+                            metrics.record_op(true, false);
+                        }
+                        if let Some(h) = history.as_mut() {
+                            h.record_write(site, wid, var);
+                        }
+                        process_effects(
+                            site, effects, measured, now, &schedule, &mut heap,
+                            &mut channels, &mut lat_rng, &mut metrics, &mut history,
+                            &mut drivers, &mut receipt, &cfg.size_model,
+                        );
+                        schedule_next(site, now, &schedule, &mut drivers, &mut heap);
+                    }
+                    OpKind::Read { var } => match sites[site.index()].read(var) {
+                        ReadResult::Local(v) => {
+                            if measured {
+                                metrics.record_op(false, false);
+                            }
+                            if let Some(h) = history.as_mut() {
+                                h.record_read(site, var, v.map(|x| x.writer), site);
+                            }
+                            schedule_next(site, now, &schedule, &mut drivers, &mut heap);
+                        }
+                        ReadResult::Fetch { target, msg } => {
+                            metrics.record_msg(msg.kind(), msg.meta_size(&cfg.size_model), measured);
+                            let at = channels.delivery_time(site, target, now, &mut lat_rng);
+                            heap.push(
+                                at,
+                                SimEvent::Deliver {
+                                    from: site,
+                                    to: target,
+                                    msg,
+                                    measured,
+                                    sent_at: now,
+                                },
+                            );
+                            drivers[site.index()].blocked = Some(BlockedFetch {
+                                var,
+                                target,
+                                measured,
+                            });
+                        }
+                    },
+                }
+            }
+            SimEvent::Deliver {
+                from,
+                to,
+                msg,
+                measured,
+                sent_at,
+            } => {
+                metrics.transit_ns.record((now - sent_at).as_nanos() as f64);
+                if let Msg::Sm(sm) = &msg {
+                    receipt.insert((to, sm.value.writer), now);
+                }
+                let effects = sites[to.index()].on_message(from, msg);
+                process_effects(
+                    to, effects, measured, now, &schedule, &mut heap, &mut channels,
+                    &mut lat_rng, &mut metrics, &mut history, &mut drivers,
+                    &mut receipt, &cfg.size_model,
+                );
+                metrics.max_pending = metrics.max_pending.max(sites[to.index()].pending_len());
+                metrics.pending_samples.record(sites[to.index()].pending_len() as f64);
+            }
+        }
+    }
+
+    let final_pending = sites.iter().map(|s| s.pending_len()).sum();
+    let final_local_meta = sites
+        .iter()
+        .map(|s| s.local_meta_size(&cfg.size_model))
+        .collect();
+    SimResult {
+        metrics,
+        history,
+        duration: heap.now(),
+        final_pending,
+        final_local_meta,
+    }
+}
+
+/// Arm the next scheduled operation of `site`, honoring the schedule time
+/// (an op never fires before its planned instant, and a blocking fetch
+/// pushes it later).
+fn schedule_next(
+    site: SiteId,
+    now: SimTime,
+    schedule: &causal_workload::Schedule,
+    drivers: &mut [AppDriver],
+    heap: &mut EventHeap,
+) {
+    let d = &mut drivers[site.index()];
+    if d.next < schedule.per_site[site.index()].len() {
+        let planned = schedule.per_site[site.index()][d.next].at;
+        heap.push(planned.max(now), SimEvent::OpReady { site });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_effects(
+    origin: SiteId,
+    effects: Vec<Effect>,
+    measured: bool,
+    now: SimTime,
+    schedule: &causal_workload::Schedule,
+    heap: &mut EventHeap,
+    channels: &mut ChannelMatrix,
+    lat_rng: &mut StdRng,
+    metrics: &mut RunMetrics,
+    history: &mut Option<History>,
+    drivers: &mut [AppDriver],
+    receipt: &mut HashMap<(SiteId, WriteId), SimTime>,
+    size_model: &SizeModel,
+) {
+    for e in effects {
+        match e {
+            Effect::Send { to, msg } => {
+                metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+                if let Msg::Sm(sm) = &msg {
+                    metrics.sm_entries.record(sm.meta.entry_count() as f64);
+                }
+                let at = channels.delivery_time(origin, to, now, lat_rng);
+                heap.push(
+                    at,
+                    SimEvent::Deliver {
+                        from: origin,
+                        to,
+                        msg,
+                        measured,
+                        sent_at: now,
+                    },
+                );
+            }
+            Effect::Applied { var: _, write } => {
+                metrics.applies += 1;
+                // Own-write applies have no receipt; only received updates
+                // contribute to the apply-latency statistic.
+                if let Some(t0) = receipt.remove(&(origin, write)) {
+                    metrics.record_apply_latency((now - t0).as_nanos() as f64);
+                }
+                if let Some(h) = history.as_mut() {
+                    h.record_apply(origin, write);
+                }
+            }
+            Effect::FetchDone { var, value } => {
+                let blocked = drivers[origin.index()]
+                    .blocked
+                    .take()
+                    .expect("FetchDone without an outstanding fetch");
+                debug_assert_eq!(blocked.var, var);
+                if blocked.measured {
+                    metrics.record_op(false, true);
+                }
+                if let Some(h) = history.as_mut() {
+                    h.record_read(origin, var, value.map(|x| x.writer), blocked.target);
+                }
+                // The application subsystem resumes: its next op fires at
+                // the later of its planned time and the fetch return.
+                schedule_next(origin, now, schedule, drivers, heap);
+            }
+        }
+    }
+}

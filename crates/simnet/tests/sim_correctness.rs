@@ -1,0 +1,305 @@
+//! End-to-end correctness of the simulated protocols.
+//!
+//! Every test runs full simulations (scheduling, latency, buffering,
+//! fetches) and validates the executions with the independent checker in
+//! `causal-checker`. These are the tests that would catch a re-derivation
+//! error in any of the four protocols.
+
+use causal_checker::check;
+use causal_proto::ProtocolKind;
+use causal_simnet::{run, LatencyModel, SimConfig};
+use causal_types::MsgKind;
+
+fn small(protocol: ProtocolKind, n: usize, w_rate: f64, seed: u64, partial: bool) -> SimConfig {
+    let cfg = if partial {
+        SimConfig::paper_partial(protocol, n, w_rate, seed)
+    } else {
+        SimConfig::paper_full(protocol, n, w_rate, seed)
+    };
+    cfg.small().with_history()
+}
+
+#[test]
+fn all_protocols_reach_quiescence() {
+    for (kind, partial) in [
+        (ProtocolKind::FullTrack, true),
+        (ProtocolKind::OptTrack, true),
+        (ProtocolKind::OptTrackCrp, false),
+        (ProtocolKind::OptP, false),
+    ] {
+        let r = run(&small(kind, 6, 0.5, 1, partial));
+        assert_eq!(r.final_pending, 0, "{kind}: parked updates never applied");
+        assert!(r.duration.as_millis() > 0);
+    }
+}
+
+#[test]
+fn full_replication_protocols_are_strictly_causal() {
+    // Under full replication every read is local, so the executions must
+    // satisfy strict causal memory — across many seeds.
+    for kind in [ProtocolKind::OptTrackCrp, ProtocolKind::OptP] {
+        for seed in 0..8 {
+            for w_rate in [0.2, 0.5, 0.8] {
+                let r = run(&small(kind, 6, w_rate, seed, false));
+                let v = check(r.history.as_ref().unwrap());
+                assert!(
+                    v.strictly_clean(),
+                    "{kind} seed {seed} w {w_rate}: {:?}",
+                    v.examples
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partial_replication_protocols_deliver_causally() {
+    // The activation predicate's guarantee (causal apply order, FIFO,
+    // reads-from integrity) must hold for every seed. Stale remote reads
+    // are tolerated by `protocol_clean` (see causal-checker docs) but
+    // delivery violations never are.
+    for kind in [ProtocolKind::FullTrack, ProtocolKind::OptTrack] {
+        for seed in 0..8 {
+            for w_rate in [0.2, 0.5, 0.8] {
+                let r = run(&small(kind, 8, w_rate, seed, true));
+                assert_eq!(r.final_pending, 0, "{kind} seed {seed}");
+                let v = check(r.history.as_ref().unwrap());
+                assert!(
+                    v.protocol_clean(),
+                    "{kind} seed {seed} w {w_rate}: {:?}",
+                    v.examples
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partial_protocols_are_strict_under_benign_latency() {
+    // With constant latency and the paper's multi-second operation gaps,
+    // updates always land before dependent reads, so even the remote-read
+    // path should be strictly causal.
+    for kind in [ProtocolKind::FullTrack, ProtocolKind::OptTrack] {
+        for seed in 0..4 {
+            let mut cfg = small(kind, 6, 0.5, seed, true);
+            cfg.latency = LatencyModel::Constant { micros: 100 };
+            let r = run(&cfg);
+            let v = check(r.history.as_ref().unwrap());
+            assert!(
+                v.strictly_clean(),
+                "{kind} seed {seed}: {:?}",
+                v.examples
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for (kind, partial) in [(ProtocolKind::OptTrack, true), (ProtocolKind::OptP, false)] {
+        let a = run(&small(kind, 5, 0.5, 42, partial));
+        let b = run(&small(kind, 5, 0.5, 42, partial));
+        assert_eq!(a.metrics.measured, b.metrics.measured);
+        assert_eq!(a.metrics.all, b.metrics.all);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.metrics.applies, b.metrics.applies);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(&small(ProtocolKind::OptTrack, 5, 0.5, 1, true));
+    let b = run(&small(ProtocolKind::OptTrack, 5, 0.5, 2, true));
+    assert_ne!(a.metrics.all, b.metrics.all);
+}
+
+#[test]
+fn full_replication_generates_no_fetch_traffic() {
+    for kind in [ProtocolKind::OptTrackCrp, ProtocolKind::OptP] {
+        let r = run(&small(kind, 5, 0.5, 3, false));
+        assert_eq!(r.metrics.all.count(MsgKind::Fm), 0);
+        assert_eq!(r.metrics.all.count(MsgKind::Rm), 0);
+        assert!(r.metrics.all.count(MsgKind::Sm) > 0);
+    }
+}
+
+#[test]
+fn partial_replication_fetch_traffic_is_paired() {
+    let r = run(&small(ProtocolKind::OptTrack, 10, 0.2, 4, true));
+    assert_eq!(
+        r.metrics.all.count(MsgKind::Fm),
+        r.metrics.all.count(MsgKind::Rm),
+        "every FM gets exactly one RM"
+    );
+    assert!(r.metrics.all.count(MsgKind::Fm) > 0, "remote reads must occur");
+    assert_eq!(
+        r.metrics.remote_reads,
+        r.metrics.measured.count(MsgKind::Fm),
+        "measured remote reads correspond to measured FMs"
+    );
+}
+
+#[test]
+fn message_count_matches_paper_formula() {
+    // Paper §V-A: expected message count per write is (p-1) + (n-p)/n and
+    // per read 2(n-p)/n. Empirical counts over a full run should land close
+    // to the expectation.
+    let n = 10;
+    let r = run(&SimConfig::paper_partial(ProtocolKind::OptTrack, n, 0.5, 7).with_history());
+    let m = &r.metrics;
+    let p = 3.0;
+    let nf = n as f64;
+    let writes = m.writes as f64;
+    let reads = m.reads as f64;
+    let expected = ((p - 1.0) + (nf - p) / nf) * writes + 2.0 * reads * (nf - p) / nf;
+    let got = m.measured.total_count() as f64;
+    let rel = (got - expected).abs() / expected;
+    assert!(
+        rel < 0.05,
+        "count {got} vs formula {expected} (rel err {rel:.3})"
+    );
+}
+
+#[test]
+fn optp_average_sm_size_matches_table_iii() {
+    for n in [5usize, 10, 20] {
+        let r = run(&SimConfig::paper_full(ProtocolKind::OptP, n, 0.5, 5).small());
+        let avg = r.metrics.measured.avg_bytes(MsgKind::Sm).unwrap();
+        let expected = 209.0 + 10.0 * n as f64;
+        assert!(
+            (avg - expected).abs() < 1e-9,
+            "n={n}: avg {avg} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn full_track_sm_size_is_quadratic_constant() {
+    // Full-Track piggybacks the whole matrix on every SM: size is exactly
+    // base + 10·n² under the Java-like model.
+    let n = 8;
+    let r = run(&small(ProtocolKind::FullTrack, n, 0.5, 6, true));
+    let avg = r.metrics.measured.avg_bytes(MsgKind::Sm).unwrap();
+    assert!((avg - (209.0 + 10.0 * (n * n) as f64)).abs() < 1e-9);
+}
+
+#[test]
+fn opt_track_sm_smaller_than_full_track_at_scale() {
+    let n = 20;
+    let ot = run(&small(ProtocolKind::OptTrack, n, 0.5, 8, true));
+    let ft = run(&small(ProtocolKind::FullTrack, n, 0.5, 8, true));
+    let ot_avg = ot.metrics.measured.avg_bytes(MsgKind::Sm).unwrap();
+    let ft_avg = ft.metrics.measured.avg_bytes(MsgKind::Sm).unwrap();
+    // At this miniature scale (60 events/process) the Opt-Track log has
+    // not fully amortized; the paper's 600-event runs reach ≈0.3. Assert
+    // the direction with margin here; the experiments regenerate Table II
+    // at full scale.
+    assert!(
+        ot_avg < ft_avg * 0.75,
+        "Opt-Track {ot_avg:.0}B vs Full-Track {ft_avg:.0}B"
+    );
+}
+
+#[test]
+fn crp_sm_smaller_than_optp_at_scale() {
+    let n = 20;
+    let crp = run(&small(ProtocolKind::OptTrackCrp, n, 0.8, 9, false));
+    let optp = run(&small(ProtocolKind::OptP, n, 0.8, 9, false));
+    let a = crp.metrics.measured.avg_bytes(MsgKind::Sm).unwrap();
+    let b = optp.metrics.measured.avg_bytes(MsgKind::Sm).unwrap();
+    assert!(a < b, "CRP {a:.1}B vs optP {b:.1}B");
+}
+
+#[test]
+fn warmup_exclusion_reduces_measured_traffic() {
+    let r = run(&small(ProtocolKind::OptTrack, 6, 0.5, 10, true));
+    assert!(r.metrics.measured.total_count() < r.metrics.all.total_count());
+    // Roughly 15% of ops are warm-up; measured traffic should be within
+    // a loose band around 85% of the total.
+    let frac = r.metrics.measured.total_count() as f64 / r.metrics.all.total_count() as f64;
+    assert!((0.7..0.95).contains(&frac), "measured fraction {frac}");
+}
+
+#[test]
+fn applies_account_for_every_destination() {
+    // Every write must eventually be applied at every replica of its
+    // variable (quiescence + counting).
+    let n = 6;
+    let cfg = small(ProtocolKind::OptTrack, n, 1.0, 11, true);
+    let r = run(&cfg);
+    // With w_rate = 1.0, ops = writes; each applies at p = 2 replicas
+    // (n = 6 → p = round(1.8) = 2).
+    let writes = 6 * 60;
+    assert_eq!(r.metrics.applies, (writes * 2) as u64);
+}
+
+#[test]
+fn geo_ring_latency_still_causally_consistent() {
+    let mut cfg = small(ProtocolKind::OptTrack, 8, 0.5, 12, true);
+    cfg.latency = LatencyModel::GeoRing {
+        base_micros: 5_000,
+        per_hop_micros: 20_000,
+        jitter_micros: 10_000,
+    };
+    let r = run(&cfg);
+    assert_eq!(r.final_pending, 0);
+    let v = check(r.history.as_ref().unwrap());
+    assert!(v.protocol_clean(), "{:?}", v.examples);
+}
+
+#[test]
+fn extreme_read_only_workload() {
+    // No writes at all: no SMs, every value reads ⊥, nothing pending.
+    let r = run(&small(ProtocolKind::OptTrack, 5, 0.0, 13, true));
+    assert_eq!(r.metrics.all.count(MsgKind::Sm), 0);
+    assert_eq!(r.metrics.applies, 0);
+    assert_eq!(r.final_pending, 0);
+    let v = check(r.history.as_ref().unwrap());
+    assert!(v.strictly_clean(), "{:?}", v.examples);
+}
+
+#[test]
+fn single_site_system_degenerates_gracefully() {
+    let r = run(&small(ProtocolKind::OptTrackCrp, 1, 0.5, 14, false));
+    assert_eq!(r.metrics.all.total_count(), 0, "nobody to talk to");
+    let v = check(r.history.as_ref().unwrap());
+    assert!(v.strictly_clean());
+}
+
+#[test]
+fn hb_track_is_causal_but_slower_to_apply() {
+    // HB-Track (merge-at-receipt, Lamport's →) is a conservative superset
+    // of Full-Track's →co tracking: still causally consistent, but it
+    // parks updates behind false dependencies. Under a slow WAN the extra
+    // delay must be visible; correctness must be unaffected.
+    let mut hb = small(ProtocolKind::HbTrack, 10, 0.5, 21, true);
+    hb.latency = LatencyModel::Uniform {
+        min_micros: 100_000,
+        max_micros: 1_500_000,
+    };
+    let mut ft = small(ProtocolKind::FullTrack, 10, 0.5, 21, true);
+    ft.latency = hb.latency;
+
+    let hb_r = run(&hb);
+    let ft_r = run(&ft);
+    assert_eq!(hb_r.final_pending, 0, "false dependencies are all satisfiable");
+    let v = check(hb_r.history.as_ref().unwrap());
+    assert!(v.protocol_clean(), "{:?}", v.examples);
+
+    assert!(
+        hb_r.metrics.apply_latency_ns.mean() >= ft_r.metrics.apply_latency_ns.mean(),
+        "HB-Track must never apply faster on average ({} vs {})",
+        hb_r.metrics.apply_latency_ns.mean(),
+        ft_r.metrics.apply_latency_ns.mean()
+    );
+    // Identical message pattern and SM sizes: only the waiting differs.
+    // (RM bytes differ by design: HB-Track's remote returns always carry
+    // the full matrix, Full-Track's carry LastWriteOn⟨h⟩.)
+    for kind in [MsgKind::Sm, MsgKind::Fm, MsgKind::Rm] {
+        assert_eq!(hb_r.metrics.all.count(kind), ft_r.metrics.all.count(kind));
+    }
+    assert_eq!(
+        hb_r.metrics.all.bytes(MsgKind::Sm),
+        ft_r.metrics.all.bytes(MsgKind::Sm)
+    );
+}

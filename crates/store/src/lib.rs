@@ -1,0 +1,50 @@
+//! # causal-store
+//!
+//! A causally consistent key-value store built on the protocol stack — the
+//! adoption layer a downstream application would actually program against.
+//!
+//! The paper's protocols operate on a fixed set of integer-addressed shared
+//! variables carrying opaque values. `causal-store` lifts that to:
+//!
+//! * **string keys**, allocated to shared-memory variables on first use
+//!   (placement assigns each variable's replica set, so keys inherit the
+//!   configured replication factor);
+//! * **byte-blob values** ([`bytes::Bytes`]). The causal-consistency
+//!   protocols are control-plane algorithms: they order and track *write
+//!   identities*; the data plane ships blobs alongside. The store keeps the
+//!   blob of each write in a content table addressed by
+//!   [`causal_types::WriteId`], mirroring how the simulator models payloads
+//!   (see DESIGN.md §2);
+//! * **sessions** ([`Session`]): per-client handles bound to a site, with a
+//!   causal context that records every write the session has observed and
+//!   *verifies* session guarantees (read-your-writes, monotonic reads) on
+//!   every access;
+//! * **deletes** as tombstone writes, preserving causal ordering between a
+//!   delete and the writes it shadows.
+//!
+//! ```
+//! use causal_store::{CausalStore, StoreBuilder};
+//! use causal_proto::ProtocolKind;
+//!
+//! let mut store = StoreBuilder::new()
+//!     .sites(10)
+//!     .replication(3)
+//!     .protocol(ProtocolKind::OptTrack)
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut alice = store.session(causal_types::SiteId(0));
+//! alice.put(&mut store, "profile:alice", b"hi, i'm alice".as_ref()).unwrap();
+//! let mut bob = store.session(causal_types::SiteId(7));
+//! let v = bob.get(&mut store, "profile:alice").unwrap().unwrap();
+//! assert_eq!(&v[..], b"hi, i'm alice");
+//! ```
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod session;
+pub mod store;
+
+pub use session::{Session, SessionError};
+pub use store::{CausalStore, StoreBuilder};

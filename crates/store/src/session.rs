@@ -1,0 +1,431 @@
+//! Client sessions with verified session guarantees.
+
+use crate::store::CausalStore;
+use bytes::Bytes;
+use causal_types::{Result, SiteId, WriteId};
+use std::fmt;
+
+/// A session-guarantee violation surfaced to the client.
+///
+/// With the synchronous in-process cluster these never occur; the
+/// verification exists so the same session type can sit on asynchronous
+/// transports, where the partial-replication remote-read anomaly (see
+/// `causal-proto`'s crate docs) becomes observable — and so tests can prove
+/// the guarantees hold.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SessionError {
+    /// A read returned a value older than one this session already
+    /// observed for the same key (monotonic-reads violation).
+    NonMonotonicRead {
+        /// The key read.
+        key: String,
+        /// What the session had seen.
+        seen: WriteId,
+        /// What came back.
+        got: WriteId,
+    },
+    /// A read missed this session's own earlier write to the key
+    /// (read-your-writes violation).
+    MissedOwnWrite {
+        /// The key read.
+        key: String,
+        /// The session's own write that should have been visible.
+        own: WriteId,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NonMonotonicRead { key, seen, got } => write!(
+                f,
+                "non-monotonic read of '{key}': saw {seen}, then got {got}"
+            ),
+            SessionError::MissedOwnWrite { key, own } => {
+                write!(f, "read of '{key}' missed own write {own}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// What a session knows about one key.
+#[derive(Clone, Copy, Debug)]
+struct KeyKnowledge {
+    /// Newest write this session observed or produced for the key. Writes
+    /// by one site are clock-ordered; across sites we track the last seen
+    /// and flag regressions from the same origin (cheap, sound monotonic
+    /// check — cross-origin concurrent writes are legitimately unordered).
+    last_seen: WriteId,
+    /// Whether `last_seen` is this session's own write.
+    own: bool,
+}
+
+/// A client handle bound to one site.
+///
+/// All operations take the store as an explicit argument (the store owns
+/// the cluster; sessions are cheap, independent views — a deliberate
+/// mirror of connection-vs-client separations in real stores).
+pub struct Session {
+    site: SiteId,
+    knowledge: std::collections::HashMap<String, KeyKnowledge>,
+    reads: u64,
+    writes: u64,
+    n: usize,
+}
+
+impl Session {
+    pub(crate) fn new(site: SiteId, n: usize) -> Self {
+        Session {
+            site,
+            knowledge: std::collections::HashMap::new(),
+            reads: 0,
+            writes: 0,
+            n,
+        }
+    }
+
+    /// The site this session is bound to.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Reads performed by this session.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes performed by this session.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Store `value` under `key`. Returns the write's identity.
+    pub fn put(
+        &mut self,
+        store: &mut CausalStore,
+        key: &str,
+        value: impl Into<Bytes>,
+    ) -> Result<WriteId> {
+        self.write_internal(store, key, value.into(), false)
+    }
+
+    /// Delete `key` (a tombstone write: causally ordered like any write).
+    pub fn remove(&mut self, store: &mut CausalStore, key: &str) -> Result<WriteId> {
+        self.write_internal(store, key, Bytes::new(), true)
+    }
+
+    fn write_internal(
+        &mut self,
+        store: &mut CausalStore,
+        key: &str,
+        blob: Bytes,
+        tombstone: bool,
+    ) -> Result<WriteId> {
+        let var = store.var_for_write(key);
+        // The control-plane value is a fingerprint of the blob; the blob
+        // itself travels on the data plane (the write identity is the
+        // content address).
+        let fingerprint = blob.len() as u64;
+        let write = store.cluster_mut().write(self.site, var, fingerprint);
+        store.record_blob(write, blob, tombstone);
+        self.writes += 1;
+        self.knowledge.insert(
+            key.to_string(),
+            KeyKnowledge {
+                last_seen: write,
+                own: true,
+            },
+        );
+        Ok(write)
+    }
+
+    /// Read `key`. `Ok(None)` means the key was never written (or its
+    /// latest causally visible write is a tombstone).
+    ///
+    /// Session guarantees are verified on every read; a violation is
+    /// returned as [`causal_types::Error::ProtocolInvariant`] wrapping a
+    /// [`SessionError`] description.
+    pub fn get(&mut self, store: &mut CausalStore, key: &str) -> Result<Option<Bytes>> {
+        self.reads += 1;
+        let Some(var) = store.var_of(key) else {
+            return Ok(None);
+        };
+        let value = store.cluster_mut().read(self.site, var);
+        let Some(value) = value else {
+            // ⊥: fine unless this session has its own write outstanding.
+            if let Some(k) = self.knowledge.get(key) {
+                if k.own {
+                    return Err(causal_types::Error::ProtocolInvariant(
+                        SessionError::MissedOwnWrite {
+                            key: key.to_string(),
+                            own: k.last_seen,
+                        }
+                        .to_string(),
+                    ));
+                }
+            }
+            return Ok(None);
+        };
+
+        // Verify session guarantees against what this session knew.
+        if let Some(k) = self.knowledge.get(key) {
+            let regressed_same_origin =
+                value.writer.site == k.last_seen.site && value.writer.clock < k.last_seen.clock;
+            if regressed_same_origin {
+                return Err(causal_types::Error::ProtocolInvariant(
+                    SessionError::NonMonotonicRead {
+                        key: key.to_string(),
+                        seen: k.last_seen,
+                        got: value.writer,
+                    }
+                    .to_string(),
+                ));
+            }
+            if k.own && value.writer.site != self.site {
+                // Someone else's write is fine only if it does not shadow a
+                // missing own write: same-origin ordering above covers the
+                // own-origin case; cross-origin overwrites are legitimate
+                // (concurrent or causally later).
+            }
+        }
+        self.knowledge.insert(
+            key.to_string(),
+            KeyKnowledge {
+                last_seen: value.writer,
+                own: value.writer.site == self.site,
+            },
+        );
+        store.blob_of(value.writer)
+    }
+
+    /// `true` if `key` currently resolves to a live (non-tombstone) value
+    /// from this session's site.
+    pub fn contains(&mut self, store: &mut CausalStore, key: &str) -> Result<bool> {
+        Ok(self.get(store, key)?.is_some())
+    }
+
+    /// Number of sites in the underlying cluster.
+    pub fn cluster_size(&self) -> usize {
+        self.n
+    }
+
+    /// Read several keys in one call, in order. Missing keys yield `None`.
+    pub fn multi_get(
+        &mut self,
+        store: &mut CausalStore,
+        keys: &[&str],
+    ) -> Result<Vec<Option<Bytes>>> {
+        keys.iter().map(|k| self.get(store, k)).collect()
+    }
+
+    /// The session's causal context: for each key it has touched, the
+    /// newest write it observed. Useful for diagnostics and for handing a
+    /// client's context to another session (session migration).
+    pub fn context(&self) -> impl Iterator<Item = (&str, WriteId)> {
+        self.knowledge.iter().map(|(k, v)| (k.as_str(), v.last_seen))
+    }
+
+    /// Adopt another session's causal context (client migration between
+    /// sites): this session will then enforce monotonic reads relative to
+    /// everything the other session had observed.
+    pub fn adopt_context(&mut self, other: &Session) {
+        for (k, v) in &other.knowledge {
+            let e = self.knowledge.entry(k.clone()).or_insert(*v);
+            if v.last_seen.site == e.last_seen.site && v.last_seen.clock > e.last_seen.clock {
+                *e = *v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use causal_proto::ProtocolKind;
+
+    fn store(kind: ProtocolKind) -> CausalStore {
+        StoreBuilder::new()
+            .sites(6)
+            .replication(2)
+            .protocol(kind)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_all_protocols() {
+        for kind in [
+            ProtocolKind::FullTrack,
+            ProtocolKind::OptTrack,
+            ProtocolKind::OptTrackCrp,
+            ProtocolKind::OptP,
+        ] {
+            let mut s = store(kind);
+            let mut alice = s.session(SiteId(0));
+            alice.put(&mut s, "k", b"v1".as_ref()).unwrap();
+            let mut bob = s.session(SiteId(5));
+            let v = bob.get(&mut s, "k").unwrap().unwrap();
+            assert_eq!(&v[..], b"v1", "{kind}");
+        }
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut s = store(ProtocolKind::OptTrack);
+        let mut alice = s.session(SiteId(2));
+        alice.put(&mut s, "mine", b"x".as_ref()).unwrap();
+        let v = alice.get(&mut s, "mine").unwrap().unwrap();
+        assert_eq!(&v[..], b"x");
+        assert_eq!(alice.write_count(), 1);
+        assert_eq!(alice.read_count(), 1);
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let mut s = store(ProtocolKind::OptTrack);
+        let mut c = s.session(SiteId(0));
+        assert_eq!(c.get(&mut s, "nope").unwrap(), None);
+        assert!(!c.contains(&mut s, "nope").unwrap());
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let mut s = store(ProtocolKind::OptTrack);
+        let mut a = s.session(SiteId(0));
+        a.put(&mut s, "k", b"one".as_ref()).unwrap();
+        a.put(&mut s, "k", b"two".as_ref()).unwrap();
+        let mut b = s.session(SiteId(3));
+        assert_eq!(&b.get(&mut s, "k").unwrap().unwrap()[..], b"two");
+    }
+
+    #[test]
+    fn tombstones_delete_causally() {
+        let mut s = store(ProtocolKind::OptTrack);
+        let mut a = s.session(SiteId(0));
+        a.put(&mut s, "k", b"v".as_ref()).unwrap();
+        a.remove(&mut s, "k").unwrap();
+        let mut b = s.session(SiteId(4));
+        assert_eq!(b.get(&mut s, "k").unwrap(), None, "tombstone wins");
+        // Key still exists in the directory; a new put resurrects it.
+        a.put(&mut s, "k", b"back".as_ref()).unwrap();
+        assert_eq!(&b.get(&mut s, "k").unwrap().unwrap()[..], b"back");
+    }
+
+    #[test]
+    fn causal_chain_across_sessions() {
+        // Alice posts, Bob reads and replies, Carol reading the reply must
+        // see the post too.
+        let mut s = store(ProtocolKind::OptTrack);
+        let mut alice = s.session(SiteId(0));
+        let mut bob = s.session(SiteId(2));
+        let mut carol = s.session(SiteId(4));
+        alice.put(&mut s, "post", b"hello".as_ref()).unwrap();
+        let post = bob.get(&mut s, "post").unwrap().unwrap();
+        bob.put(&mut s, "reply", [b"re: ".as_ref(), &post].concat())
+            .unwrap();
+        let reply = carol.get(&mut s, "reply").unwrap().unwrap();
+        assert_eq!(&reply[..], b"re: hello");
+        let post_at_carol = carol.get(&mut s, "post").unwrap().unwrap();
+        assert_eq!(&post_at_carol[..], b"hello");
+    }
+
+    #[test]
+    fn monotonic_reads_per_session() {
+        let mut s = store(ProtocolKind::OptTrack);
+        let mut writer = s.session(SiteId(0));
+        let mut reader = s.session(SiteId(3));
+        for i in 0..20u32 {
+            writer.put(&mut s, "k", format!("v{i}").into_bytes()).unwrap();
+            let v = reader.get(&mut s, "k").unwrap().unwrap();
+            // Values may lag but must never regress; with the synchronous
+            // cluster they are always current.
+            assert_eq!(&v[..], format!("v{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn many_keys_spread_over_placement() {
+        let mut s = store(ProtocolKind::OptTrack);
+        let mut c = s.session(SiteId(1));
+        for i in 0..50u32 {
+            c.put(&mut s, &format!("key-{i}"), format!("{i}").into_bytes())
+                .unwrap();
+        }
+        assert_eq!(s.key_count(), 50);
+        let mut r = s.session(SiteId(5));
+        for i in 0..50u32 {
+            let v = r.get(&mut s, &format!("key-{i}")).unwrap().unwrap();
+            assert_eq!(&v[..], format!("{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn empty_value_is_not_a_tombstone() {
+        let mut s = store(ProtocolKind::OptTrack);
+        let mut a = s.session(SiteId(0));
+        a.put(&mut s, "k", Bytes::new()).unwrap();
+        let mut b = s.session(SiteId(3));
+        assert_eq!(b.get(&mut s, "k").unwrap(), Some(Bytes::new()));
+    }
+}
+
+#[cfg(test)]
+mod migration_tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use causal_proto::ProtocolKind;
+
+    #[test]
+    fn multi_get_preserves_order_and_missing_keys() {
+        let mut s = StoreBuilder::new().sites(4).protocol(ProtocolKind::OptTrack).build().unwrap();
+        let mut c = s.session(SiteId(0));
+        c.put(&mut s, "a", b"1".as_ref()).unwrap();
+        c.put(&mut s, "c", b"3".as_ref()).unwrap();
+        let got = c.multi_get(&mut s, &["a", "b", "c"]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(b"1".as_ref()));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].as_deref(), Some(b"3".as_ref()));
+    }
+
+    #[test]
+    fn context_tracks_observed_writes() {
+        let mut s = StoreBuilder::new().sites(4).build().unwrap();
+        let mut w = s.session(SiteId(0));
+        let wid = w.put(&mut s, "k", b"v".as_ref()).unwrap();
+        let mut r = s.session(SiteId(2));
+        r.get(&mut s, "k").unwrap();
+        let ctx: Vec<_> = r.context().collect();
+        assert_eq!(ctx, vec![("k", wid)]);
+    }
+
+    #[test]
+    fn migrated_session_keeps_monotonic_reads() {
+        let mut s = StoreBuilder::new().sites(6).build().unwrap();
+        let mut writer = s.session(SiteId(0));
+        writer.put(&mut s, "k", b"v1".as_ref()).unwrap();
+        let mut client_a = s.session(SiteId(1));
+        client_a.get(&mut s, "k").unwrap();
+        // The client moves to another site; the new session adopts the
+        // context and continues with the same guarantees.
+        let mut client_b = s.session(SiteId(5));
+        client_b.adopt_context(&client_a);
+        assert_eq!(client_b.context().count(), 1);
+        let v = client_b.get(&mut s, "k").unwrap().unwrap();
+        assert_eq!(&v[..], b"v1");
+    }
+
+    #[test]
+    fn store_keys_directory() {
+        let mut s = StoreBuilder::new().sites(3).build().unwrap();
+        let mut c = s.session(SiteId(0));
+        c.put(&mut s, "x", b"1".as_ref()).unwrap();
+        c.put(&mut s, "y", b"2".as_ref()).unwrap();
+        c.remove(&mut s, "x").unwrap();
+        let mut keys: Vec<&str> = s.keys().collect();
+        keys.sort();
+        assert_eq!(keys, vec!["x", "y"], "tombstoned keys stay listed");
+    }
+}

@@ -1,0 +1,210 @@
+//! The store: key allocation, blob table, cluster plumbing.
+
+use crate::session::Session;
+use bytes::Bytes;
+use causal_memory::{LocalCluster, Placement, PlacementKind};
+use causal_proto::{ProtocolConfig, ProtocolKind};
+use causal_types::{Error, Result, SiteId, VarId, WriteId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builder for a [`CausalStore`].
+#[derive(Clone, Debug)]
+pub struct StoreBuilder {
+    sites: usize,
+    replication: usize,
+    protocol: ProtocolKind,
+    placement: PlacementKind,
+}
+
+impl StoreBuilder {
+    /// Defaults: 5 sites, replication factor 2, Opt-Track, even placement.
+    pub fn new() -> Self {
+        StoreBuilder {
+            sites: 5,
+            replication: 2,
+            protocol: ProtocolKind::OptTrack,
+            placement: PlacementKind::Even,
+        }
+    }
+
+    /// Number of sites (`n`).
+    pub fn sites(mut self, n: usize) -> Self {
+        self.sites = n;
+        self
+    }
+
+    /// Replicas per key (`p`). Forced to `n` for the full-replication
+    /// protocols.
+    pub fn replication(mut self, p: usize) -> Self {
+        self.replication = p;
+        self
+    }
+
+    /// Which causal-consistency protocol runs underneath.
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Placement strategy for key replicas.
+    pub fn placement(mut self, placement: PlacementKind) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Construct the store.
+    pub fn build(self) -> Result<CausalStore> {
+        let full = !self.protocol.supports_partial();
+        let placement = if full {
+            Placement::full(self.sites)?
+        } else {
+            Placement::new(self.placement, self.sites, self.replication)?
+        };
+        let cluster = LocalCluster::new(self.protocol, Arc::new(placement), ProtocolConfig::default());
+        Ok(CausalStore {
+            cluster,
+            keys: HashMap::new(),
+            next_var: 0,
+            blobs: HashMap::new(),
+            tombstones: HashMap::new(),
+        })
+    }
+}
+
+impl Default for StoreBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A causally consistent key-value store over an in-process cluster.
+///
+/// Mutating entry points live on [`Session`]; the store owns the shared
+/// state (cluster, key directory, blob table).
+pub struct CausalStore {
+    pub(crate) cluster: LocalCluster,
+    /// Key → shared-memory variable. Keys are allocated on first write.
+    keys: HashMap<String, VarId>,
+    next_var: u32,
+    /// Content table: the data plane. Addressed by write identity; blob
+    /// contents never influence the control-plane protocols.
+    blobs: HashMap<WriteId, Bytes>,
+    /// Writes that are deletions.
+    tombstones: HashMap<WriteId, bool>,
+}
+
+impl CausalStore {
+    /// Open a builder.
+    pub fn builder() -> StoreBuilder {
+        StoreBuilder::new()
+    }
+
+    /// A session bound to `site` (the client's nearest site).
+    pub fn session(&self, site: SiteId) -> Session {
+        assert!(
+            site.index() < self.cluster.n(),
+            "session site out of range"
+        );
+        Session::new(site, self.cluster.n())
+    }
+
+    /// Number of sites.
+    pub fn n(&self) -> usize {
+        self.cluster.n()
+    }
+
+    /// Number of distinct keys ever written.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The variable backing `key`, if the key was ever written.
+    pub fn var_of(&self, key: &str) -> Option<VarId> {
+        self.keys.get(key).copied()
+    }
+
+    /// Iterate over every key ever written (directory order is
+    /// unspecified). Includes keys whose latest value is a tombstone.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.keys.keys().map(|k| k.as_str())
+    }
+
+    pub(crate) fn var_for_write(&mut self, key: &str) -> VarId {
+        if let Some(v) = self.keys.get(key) {
+            return *v;
+        }
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        self.keys.insert(key.to_string(), v);
+        v
+    }
+
+    pub(crate) fn record_blob(&mut self, write: WriteId, blob: Bytes, tombstone: bool) {
+        self.blobs.insert(write, blob);
+        self.tombstones.insert(write, tombstone);
+    }
+
+    pub(crate) fn blob_of(&self, write: WriteId) -> Result<Option<Bytes>> {
+        match self.tombstones.get(&write) {
+            Some(true) => Ok(None),
+            Some(false) => Ok(Some(
+                self.blobs
+                    .get(&write)
+                    .cloned()
+                    .ok_or_else(|| Error::ProtocolInvariant("blob table out of sync".into()))?,
+            )),
+            None => Err(Error::ProtocolInvariant(format!(
+                "read observed unknown write {write}"
+            ))),
+        }
+    }
+
+    pub(crate) fn cluster_mut(&mut self) -> &mut LocalCluster {
+        &mut self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_validation() {
+        let store = StoreBuilder::new().build().unwrap();
+        assert_eq!(store.n(), 5);
+        assert!(StoreBuilder::new().sites(0).build().is_err());
+        assert!(StoreBuilder::new().sites(4).replication(9).build().is_err());
+    }
+
+    #[test]
+    fn full_replication_protocols_force_p_equals_n() {
+        let store = StoreBuilder::new()
+            .sites(4)
+            .replication(2) // ignored for optP
+            .protocol(ProtocolKind::OptP)
+            .build()
+            .unwrap();
+        assert_eq!(store.n(), 4);
+    }
+
+    #[test]
+    fn keys_allocate_distinct_vars() {
+        let mut store = StoreBuilder::new().build().unwrap();
+        let a = store.var_for_write("a");
+        let b = store.var_for_write("b");
+        let a2 = store.var_for_write("a");
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+        assert_eq!(store.key_count(), 2);
+        assert_eq!(store.var_of("a"), Some(a));
+        assert_eq!(store.var_of("zzz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn session_site_validated() {
+        let store = StoreBuilder::new().sites(3).build().unwrap();
+        let _ = store.session(SiteId(7));
+    }
+}

@@ -1,0 +1,62 @@
+//! Workspace-wide error type.
+
+use crate::ids::{SiteId, VarId};
+use std::fmt;
+
+/// Errors surfaced by the causal-memory stack.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// A site id referenced a site outside the configured system size.
+    UnknownSite(SiteId),
+    /// A variable id referenced a variable outside the configured memory.
+    UnknownVar(VarId),
+    /// A variable has no replica anywhere (invalid placement).
+    NoReplica(VarId),
+    /// A protocol invariant was violated; carries a human-readable detail.
+    /// Surfaced instead of panicking so randomized tests can report context.
+    ProtocolInvariant(String),
+    /// Configuration rejected (e.g. replication factor larger than `n`).
+    InvalidConfig(String),
+    /// The threaded runtime lost a channel endpoint (peer shut down early).
+    ChannelClosed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownSite(s) => write!(f, "unknown site {s}"),
+            Error::UnknownVar(v) => write!(f, "unknown variable {v}"),
+            Error::NoReplica(v) => write!(f, "variable {v} has no replica"),
+            Error::ProtocolInvariant(d) => write!(f, "protocol invariant violated: {d}"),
+            Error::InvalidConfig(d) => write!(f, "invalid configuration: {d}"),
+            Error::ChannelClosed => write!(f, "communication channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Error::UnknownSite(SiteId(3)).to_string(), "unknown site s3");
+        assert_eq!(
+            Error::NoReplica(VarId(9)).to_string(),
+            "variable x9 has no replica"
+        );
+        let e = Error::InvalidConfig("p > n".into());
+        assert_eq!(e.to_string(), "invalid configuration: p > n");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::ChannelClosed);
+    }
+}

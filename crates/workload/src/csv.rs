@@ -1,0 +1,148 @@
+//! Schedule export / import.
+//!
+//! Schedules serialize to a small CSV dialect so traces can be archived,
+//! edited by hand, produced by external tooling, or replayed bit-exactly
+//! across machines (`simulate --schedule trace.csv`). One row per
+//! operation:
+//!
+//! ```text
+//! site,seq,at_ns,kind,var,data
+//! 0,0,152000000,w,37,12345
+//! 0,1,890000000,r,12,
+//! ```
+
+use crate::params::WorkloadParams;
+use crate::schedule::Schedule;
+use causal_types::{Error, OpKind, Result, ScheduledOp, SimTime, VarId};
+
+/// Render a schedule as CSV (header + one row per operation).
+pub fn schedule_to_csv(s: &Schedule) -> String {
+    let mut out = String::from("site,seq,at_ns,kind,var,data\n");
+    for (site, ops) in s.per_site.iter().enumerate() {
+        for (seq, op) in ops.iter().enumerate() {
+            match op.kind {
+                OpKind::Write { var, data } => {
+                    out.push_str(&format!(
+                        "{site},{seq},{},w,{},{data}\n",
+                        op.at.as_nanos(),
+                        var.index()
+                    ));
+                }
+                OpKind::Read { var } => {
+                    out.push_str(&format!(
+                        "{site},{seq},{},r,{},\n",
+                        op.at.as_nanos(),
+                        var.index()
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse a schedule from the CSV produced by [`schedule_to_csv`].
+///
+/// `params` supplies the run parameters the rows do not carry (`n`, `q`,
+/// warm-up fraction…); rows must stay within them. Within each site, rows
+/// must appear in `seq` order with non-decreasing timestamps.
+pub fn schedule_from_csv(csv: &str, params: WorkloadParams) -> Result<Schedule> {
+    params.validate()?;
+    let mut per_site: Vec<Vec<ScheduledOp>> = vec![Vec::new(); params.n];
+    let bad = |line_no: usize, what: &str| {
+        Error::InvalidConfig(format!("schedule CSV line {line_no}: {what}"))
+    };
+    for (line_no, line) in csv.lines().enumerate() {
+        if line_no == 0 {
+            if line.trim() != "site,seq,at_ns,kind,var,data" {
+                return Err(bad(line_no + 1, "missing or malformed header"));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 6 {
+            return Err(bad(line_no + 1, "expected 6 columns"));
+        }
+        let site: usize = cols[0].parse().map_err(|_| bad(line_no + 1, "bad site"))?;
+        if site >= params.n {
+            return Err(bad(line_no + 1, "site out of range"));
+        }
+        let seq: usize = cols[1].parse().map_err(|_| bad(line_no + 1, "bad seq"))?;
+        if seq != per_site[site].len() {
+            return Err(bad(line_no + 1, "rows out of sequence"));
+        }
+        let at_ns: u64 = cols[2].parse().map_err(|_| bad(line_no + 1, "bad at_ns"))?;
+        let at = SimTime::from_nanos(at_ns);
+        if let Some(prev) = per_site[site].last() {
+            if at < prev.at {
+                return Err(bad(line_no + 1, "timestamps must be non-decreasing"));
+            }
+        }
+        let var: usize = cols[4].parse().map_err(|_| bad(line_no + 1, "bad var"))?;
+        if var >= params.q {
+            return Err(bad(line_no + 1, "variable out of range"));
+        }
+        let kind = match cols[3] {
+            "w" => OpKind::Write {
+                var: VarId::from(var),
+                data: cols[5].parse().map_err(|_| bad(line_no + 1, "bad data"))?,
+            },
+            "r" => OpKind::Read {
+                var: VarId::from(var),
+            },
+            _ => return Err(bad(line_no + 1, "kind must be 'w' or 'r'")),
+        };
+        per_site[site].push(ScheduledOp { at, kind });
+    }
+    Ok(Schedule {
+        warmup_events: params.warmup_events(),
+        per_site,
+        params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::generate;
+
+    #[test]
+    fn roundtrip_preserves_the_schedule() {
+        let params = WorkloadParams::small(4, 0.5, 99);
+        let s = generate(&params);
+        let csv = schedule_to_csv(&s);
+        let back = schedule_from_csv(&csv, params).unwrap();
+        assert_eq!(back.per_site, s.per_site);
+        assert_eq!(back.warmup_events, s.warmup_events);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let params = WorkloadParams::small(2, 0.5, 1);
+        assert!(schedule_from_csv("nope", params).is_err());
+        let hdr = "site,seq,at_ns,kind,var,data\n";
+        assert!(schedule_from_csv(&format!("{hdr}9,0,5,w,1,2\n"), params).is_err(), "site range");
+        assert!(schedule_from_csv(&format!("{hdr}0,1,5,w,1,2\n"), params).is_err(), "seq gap");
+        assert!(schedule_from_csv(&format!("{hdr}0,0,5,x,1,2\n"), params).is_err(), "bad kind");
+        assert!(schedule_from_csv(&format!("{hdr}0,0,5,w,999,2\n"), params).is_err(), "var range");
+        assert!(
+            schedule_from_csv(&format!("{hdr}0,0,9,w,1,2\n0,1,5,r,1,\n"), params).is_err(),
+            "time regression"
+        );
+    }
+
+    #[test]
+    fn hand_written_trace_parses() {
+        let csv = "site,seq,at_ns,kind,var,data\n\
+                   0,0,1000,w,3,42\n\
+                   1,0,2000,r,3,\n";
+        let params = WorkloadParams::small(2, 0.5, 0);
+        let s = schedule_from_csv(csv, params).unwrap();
+        assert_eq!(s.per_site[0].len(), 1);
+        assert_eq!(s.per_site[1].len(), 1);
+        assert!(s.per_site[0][0].kind.is_write());
+    }
+}

@@ -1,0 +1,26 @@
+//! # causal-workload
+//!
+//! Operation-schedule generation for the simulation experiments.
+//!
+//! §IV-B/IV-C of the paper: every application process executes a
+//! pre-generated random schedule of read/write events. Each run performs
+//! `600·n` operation events in total (600 per process), the time between
+//! two events is drawn uniformly from [5 ms, 2005 ms], an operation is a
+//! write with probability `w_rate` (else a read), and the target variable is
+//! drawn uniformly from the `q = 100` variables. The first 15 % of events
+//! are treated as warm-up and excluded from measurement.
+//!
+//! Schedules are deterministic functions of a seed, so a single schedule can
+//! be replayed under different protocols (Table IV replays the *same*
+//! schedule under Opt-Track and Opt-Track-CRP) and different transports.
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod csv;
+pub mod params;
+pub mod schedule;
+
+pub use csv::{schedule_from_csv, schedule_to_csv};
+pub use params::{VarDistribution, WorkloadParams};
+pub use schedule::{generate, Schedule};

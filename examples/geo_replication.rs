@@ -1,0 +1,95 @@
+//! Geo-replication: regional placement × access locality.
+//!
+//! §V-C of the paper: "where most accesses to a user's file are located
+//! within certain geographical regions ... the improvement in the latency
+//! brought by full replication is less significant compared to the cost it
+//! imposes". Partial replication exploits that locality — but only if the
+//! placement matches the access pattern. This example runs the same
+//! geo-ring network (latency ∝ ring distance) under four combinations of
+//! placement (regional vs scattered) and workload (region-local vs
+//! uniform), using a transformed schedule replayed via `schedule_override`.
+//!
+//! ```text
+//! cargo run --release --example geo_replication
+//! ```
+
+use causal_repro::memory::PlacementKind;
+use causal_repro::prelude::*;
+use causal_repro::types::OpKind;
+use causal_repro::workload::{generate, Schedule};
+use std::sync::Arc;
+
+const N: usize = 12;
+const P: usize = 3;
+const REGIONS: usize = N / P; // Clustered placement: var v lives in region v % REGIONS.
+
+/// Remap 90 % of each site's accesses to variables homed in its own region
+/// (under clustered placement), modeling region-local users.
+fn localize(mut s: Schedule) -> Schedule {
+    for (site, ops) in s.per_site.iter_mut().enumerate() {
+        let my_region = site / P;
+        for (i, op) in ops.iter_mut().enumerate() {
+            if i % 10 == 0 {
+                continue; // 10 % of traffic stays global
+            }
+            let var = op.kind.var().index();
+            // Shift the variable to the congruence class homed here.
+            let local_var = var - (var % REGIONS) + my_region;
+            let local_var = if local_var >= s.params.q {
+                local_var - REGIONS
+            } else {
+                local_var
+            };
+            op.kind = match op.kind {
+                OpKind::Write { data, .. } => OpKind::Write {
+                    var: VarId::from(local_var),
+                    data,
+                },
+                OpKind::Read { .. } => OpKind::Read {
+                    var: VarId::from(local_var),
+                },
+            };
+        }
+    }
+    s
+}
+
+fn run_with(placement: PlacementKind, local: bool, label: &str) {
+    let mut cfg = SimConfig::paper_partial(ProtocolKind::OptTrack, N, 0.3, 555);
+    cfg.placement = Arc::new(Placement::new(placement, N, P).expect("valid"));
+    cfg.workload.events_per_process = 150;
+    cfg.latency = LatencyModel::GeoRing {
+        base_micros: 5_000,
+        per_hop_micros: 15_000,
+        jitter_micros: 5_000,
+    };
+    let base = {
+        let mut w = cfg.workload;
+        w.events_per_process = 150;
+        generate(&w)
+    };
+    cfg.schedule_override = Some(if local { localize(base) } else { base });
+    cfg.record_history = true;
+    let r = causal_repro::simnet::run(&cfg);
+    let v = check(r.history.as_ref().unwrap());
+    assert!(v.protocol_clean(), "{:?}", v.examples);
+    println!(
+        "{label:<38} {:>5} remote reads   mean transit {:>5.1} ms",
+        r.metrics.remote_reads,
+        r.metrics.transit_ns.mean() / 1e6,
+    );
+}
+
+fn main() {
+    println!(
+        "{N} sites in {REGIONS} regions on a wide-area ring, Opt-Track, p = {P}, w_rate = 0.3\n"
+    );
+    run_with(PlacementKind::Clustered, true, "regional placement × local workload");
+    run_with(PlacementKind::Clustered, false, "regional placement × uniform workload");
+    run_with(PlacementKind::Hashed { seed: 9 }, true, "scattered placement × local workload");
+    run_with(PlacementKind::Even, false, "even placement × uniform workload");
+    println!();
+    println!("when placement matches the access pattern (top row), reads are served inside");
+    println!("the region and multicasts travel 1–2 ring hops — the §V-C case for partial");
+    println!("replication. mismatched placement (row 3) squanders the workload's locality.");
+}

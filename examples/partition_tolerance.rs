@@ -1,0 +1,75 @@
+//! Availability under partition — the CAP story of the paper's §I.
+//!
+//! Severs a 8-site system down the middle for thirty virtual seconds while
+//! a mixed workload runs, then shows that (a) nobody stopped serving,
+//! (b) cross-partition updates parked and drained at heal, and (c) the
+//! execution is still causally consistent end to end.
+//!
+//! ```text
+//! cargo run --release --example partition_tolerance
+//! ```
+
+use causal_repro::clocks::DestSet;
+use causal_repro::prelude::*;
+use causal_repro::simnet::PartitionWindow;
+
+fn main() {
+    let n = 8;
+    let mut cfg = SimConfig::paper_full(ProtocolKind::OptTrackCrp, n, 0.8, 2024);
+    cfg.workload.events_per_process = 100;
+    cfg.record_history = true;
+    cfg.partitions = vec![PartitionWindow {
+        start: SimTime::from_millis(10_000),
+        end: SimTime::from_millis(40_000),
+        side_a: DestSet::from_sites((0..n / 2).map(SiteId::from)),
+    }];
+
+    println!("running {n}-site Opt-Track-CRP (full replication, write-heavy) with a 30 s mid-run partition …");
+    let parted = causal_repro::simnet::run(&cfg);
+
+    let mut baseline_cfg = cfg.clone();
+    baseline_cfg.partitions.clear();
+    let baseline = causal_repro::simnet::run(&baseline_cfg);
+
+    println!("\n                       baseline   partitioned");
+    println!(
+        "messages sent       {:>10} {:>12}",
+        baseline.metrics.all.total_count(),
+        parted.metrics.all.total_count()
+    );
+    println!(
+        "max parked updates  {:>10} {:>12}",
+        baseline.metrics.max_pending, parted.metrics.max_pending
+    );
+    println!(
+        "mean apply latency  {:>8.1}ms {:>10.1}ms",
+        baseline.metrics.apply_latency_ns.mean() / 1e6,
+        parted.metrics.apply_latency_ns.mean() / 1e6
+    );
+    println!(
+        "max apply latency   {:>8.1}ms {:>10.1}ms",
+        baseline.metrics.apply_latency_ns.max().unwrap_or(0.0) / 1e6,
+        parted.metrics.apply_latency_ns.max().unwrap_or(0.0) / 1e6
+    );
+    println!(
+        "parked at the end   {:>10} {:>12}",
+        baseline.final_pending, parted.final_pending
+    );
+
+    let v = check(parted.history.as_ref().unwrap());
+    println!(
+        "\ncausal consistency under partition: {}",
+        if v.protocol_clean() { "verified ✓" } else { "VIOLATED ✗" }
+    );
+    assert!(v.protocol_clean());
+    assert_eq!(
+        baseline.metrics.all.total_count(),
+        parted.metrics.all.total_count(),
+        "availability: the partition never blocked an operation"
+    );
+    println!(
+        "both sides kept accepting reads and writes the whole time — causal \
+         consistency trades\nconvergence delay, never availability (the AP side \
+         of CAP, as §I of the paper argues)."
+    );
+}

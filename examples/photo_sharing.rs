@@ -1,0 +1,65 @@
+//! Photo sharing across geo-replicated sites — the paper's motivating
+//! workload (§I, §V-C).
+//!
+//! Social networks ship large payloads (the paper cites a 679 KB average
+//! web page); the causality metadata rides along. This example simulates a
+//! write-heavy photo-upload workload under partial and full replication and
+//! reports the *total* bytes moved — payload replication + metadata — the
+//! trade-off §V-C argues analytically.
+//!
+//! ```text
+//! cargo run --release --example photo_sharing
+//! ```
+
+use causal_repro::prelude::*;
+
+/// The paper's cited average web page size (Johnson et al. 2012).
+const PAYLOAD: u32 = 679_000;
+
+fn total_bytes(protocol: ProtocolKind, n: usize, partial: bool, w_rate: f64) -> (u64, u64, f64) {
+    let mut cfg = if partial {
+        SimConfig::paper_partial(protocol, n, w_rate, 77)
+    } else {
+        SimConfig::paper_full(protocol, n, w_rate, 77)
+    };
+    cfg.workload.events_per_process = 150;
+    cfg.workload.payload_len = PAYLOAD;
+    let r = causal_repro::simnet::run(&cfg);
+    let meta = r.metrics.measured.total_bytes();
+    // Payload bytes: every SM carries one photo; FM/RM carry one photo back.
+    let payload = (r.metrics.measured.count(MsgKind::Sm) + r.metrics.measured.count(MsgKind::Rm))
+        * PAYLOAD as u64;
+    let avg_sm = r.metrics.measured.avg_bytes(MsgKind::Sm).unwrap_or(0.0);
+    (meta, payload, avg_sm)
+}
+
+fn main() {
+    let n = 20;
+    println!("photo-sharing workload: n = {n} sites, 679 KB photos, q = 100 albums\n");
+    println!(
+        "{:<28} {:>14} {:>16} {:>12}",
+        "configuration", "metadata", "payload moved", "avg SM meta"
+    );
+    for (label, protocol, partial, w) in [
+        ("partial / Opt-Track w=0.8", ProtocolKind::OptTrack, true, 0.8),
+        ("partial / Full-Track w=0.8", ProtocolKind::FullTrack, true, 0.8),
+        ("full / Opt-Track-CRP w=0.8", ProtocolKind::OptTrackCrp, false, 0.8),
+        ("full / optP w=0.8", ProtocolKind::OptP, false, 0.8),
+    ] {
+        let (meta, payload, avg_sm) = total_bytes(protocol, n, partial, w);
+        println!(
+            "{label:<28} {:>11.2} MB {:>13.2} MB {:>10.0} B",
+            meta as f64 / 1e6,
+            payload as f64 / 1e6,
+            avg_sm
+        );
+    }
+
+    println!();
+    println!("observations (matching the paper's §V-C):");
+    println!(" * metadata is noise next to 679 KB photos — even Full-Track's matrix;");
+    println!(" * what dominates is HOW MANY times each photo is shipped:");
+    println!("   full replication copies every upload to all {n} sites, partial to only 6;");
+    println!(" * for write-heavy sharing (w_rate > 2/(n+1) = {:.3}), partial replication", 2.0 / (n as f64 + 1.0));
+    println!("   moves a fraction of the bytes while still serving causally consistent reads.");
+}

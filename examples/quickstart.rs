@@ -1,0 +1,56 @@
+//! Quickstart: a partially replicated causal memory in thirty lines.
+//!
+//! Builds a 10-site cluster running the Opt-Track protocol with the paper's
+//! placement (`p = 0.3·n`), performs a small causal chain of operations and
+//! shows what the abstraction guarantees.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use causal_repro::memory::cluster::ClusterEvent;
+use causal_repro::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 10 sites, 100 variables, every variable on 3 replicas (p = 0.3·n).
+    let placement = Arc::new(Placement::paper_partial(10).expect("valid configuration"));
+    let mut cluster = LocalCluster::new(ProtocolKind::OptTrack, placement, Default::default());
+
+    // Alice (site 0) posts a photo reference, then links it from her feed.
+    let post = cluster.write(SiteId(0), VarId(1), 0xCAFE);
+    let feed = cluster.write(SiteId(0), VarId(2), 0xFEED);
+    println!("alice wrote {post} then {feed}");
+
+    // Bob (site 7) reads the feed, then the post. Causal consistency makes
+    // sure that if he can see the feed entry, the photo it links to is
+    // never missing — regardless of which replicas served him.
+    let feed_seen = cluster.read(SiteId(7), VarId(2)).expect("feed visible");
+    let post_seen = cluster.read(SiteId(7), VarId(1)).expect("post visible");
+    println!(
+        "bob read feed={:#x} (by {}) and post={:#x} (by {})",
+        feed_seen.data, feed_seen.writer, post_seen.data, post_seen.writer
+    );
+    assert_eq!(post_seen.writer, post);
+
+    // Bob replies; Carol (site 3) reading the reply is guaranteed to also
+    // see everything it causally depends on.
+    let reply = cluster.write(SiteId(7), VarId(3), 0xB0B);
+    let reply_seen = cluster.read(SiteId(3), VarId(3)).expect("reply visible");
+    assert_eq!(reply_seen.writer, reply);
+    let post_at_carol = cluster.read(SiteId(3), VarId(1)).expect("post visible");
+    assert_eq!(post_at_carol.writer, post);
+    println!("carol saw the reply and, necessarily, the original post");
+
+    // How much did that cost on the wire?
+    let events = cluster.take_events();
+    let (mut msgs, mut bytes) = (0u64, 0u64);
+    for e in &events {
+        if let ClusterEvent::Message { meta_bytes, .. } = e {
+            msgs += 1;
+            bytes += meta_bytes;
+        }
+    }
+    println!("total: {msgs} messages, {bytes} bytes of causality metadata");
+    println!("(compare: Full-Track would piggyback a 10×10 clock matrix — 1000 bytes per update)");
+}

@@ -1,0 +1,8 @@
+set terminal svg size 720,480
+set output 'fig1.svg'
+         set xlabel 'n (processes)'
+set key left top
+set grid
+plot 'fig1.dat' using 1:2 with linespoints title 'ratio w=0.2', \
+     'fig1.dat' using 1:3 with linespoints title 'ratio w=0.5', \
+     'fig1.dat' using 1:4 with linespoints title 'ratio w=0.8'

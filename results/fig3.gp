@@ -1,0 +1,10 @@
+set terminal svg size 720,480
+set output 'fig3.svg'
+         set xlabel 'n (processes)'
+set key left top
+set grid
+plot 'fig3.dat' using 1:2 with linespoints title 'OptTrack SM', \
+     'fig3.dat' using 1:3 with linespoints title 'OptTrack RM', \
+     'fig3.dat' using 1:4 with linespoints title 'FullTrack SM', \
+     'fig3.dat' using 1:5 with linespoints title 'FullTrack RM', \
+     'fig3.dat' using 1:6 with linespoints title 'FM (both)'

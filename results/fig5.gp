@@ -1,0 +1,8 @@
+set terminal svg size 720,480
+set output 'fig5.svg'
+         set xlabel 'n (processes)'
+set key left top
+set grid
+plot 'fig5.dat' using 1:2 with linespoints title 'ratio w=0.2', \
+     'fig5.dat' using 1:3 with linespoints title 'ratio w=0.5', \
+     'fig5.dat' using 1:4 with linespoints title 'ratio w=0.8'

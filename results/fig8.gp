@@ -1,0 +1,8 @@
+set terminal svg size 720,480
+set output 'fig8.svg'
+         set xlabel 'n (processes)'
+set key left top
+set grid
+plot 'fig8.dat' using 1:2 with linespoints title 'Opt-Track-CRP SM', \
+     'fig8.dat' using 1:3 with linespoints title 'optP SM', \
+     'fig8.dat' using 1:4 with linespoints title 'optP analytic (209+10n)'

@@ -1,0 +1,94 @@
+//! Property-based end-to-end testing: random configurations, random seeds —
+//! every execution of every protocol must satisfy its causal guarantees.
+
+use causal_repro::prelude::*;
+use proptest::prelude::*;
+
+fn verify(kind: ProtocolKind, partial: bool, n: usize, w_rate: f64, seed: u64) {
+    let mut cfg = if partial {
+        SimConfig::paper_partial(kind, n, w_rate, seed)
+    } else {
+        SimConfig::paper_full(kind, n, w_rate, seed)
+    };
+    cfg.workload.events_per_process = 40;
+    cfg.record_history = true;
+    let r = causal_repro::simnet::run(&cfg);
+    assert_eq!(r.final_pending, 0, "{kind} n={n} w={w_rate} seed={seed}");
+    let v = check(r.history.as_ref().unwrap());
+    assert!(
+        v.protocol_clean(),
+        "{kind} n={n} w={w_rate} seed={seed}: {:?}",
+        v.examples
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_opt_track_always_causal(n in 2usize..12, w in 0.05f64..0.95, seed in 0u64..10_000) {
+        verify(ProtocolKind::OptTrack, true, n, w, seed);
+    }
+
+    #[test]
+    fn prop_full_track_always_causal(n in 2usize..12, w in 0.05f64..0.95, seed in 0u64..10_000) {
+        verify(ProtocolKind::FullTrack, true, n, w, seed);
+    }
+
+    #[test]
+    fn prop_crp_always_strictly_causal(n in 2usize..12, w in 0.05f64..0.95, seed in 0u64..10_000) {
+        let mut cfg = SimConfig::paper_full(ProtocolKind::OptTrackCrp, n, w, seed);
+        cfg.workload.events_per_process = 40;
+        cfg.record_history = true;
+        let r = causal_repro::simnet::run(&cfg);
+        let v = check(r.history.as_ref().unwrap());
+        prop_assert!(v.strictly_clean(), "{:?}", v.examples);
+    }
+
+    #[test]
+    fn prop_optp_always_strictly_causal(n in 2usize..12, w in 0.05f64..0.95, seed in 0u64..10_000) {
+        let mut cfg = SimConfig::paper_full(ProtocolKind::OptP, n, w, seed);
+        cfg.workload.events_per_process = 40;
+        cfg.record_history = true;
+        let r = causal_repro::simnet::run(&cfg);
+        let v = check(r.history.as_ref().unwrap());
+        prop_assert!(v.strictly_clean(), "{:?}", v.examples);
+    }
+
+    #[test]
+    fn prop_opt_track_never_exceeds_full_track_bytes(
+        n in 6usize..16, w in 0.2f64..0.9, seed in 0u64..1_000
+    ) {
+        // At n ≥ 6 the KS log must beat the n² matrix on total metadata.
+        let run = |kind| {
+            let mut cfg = SimConfig::paper_partial(kind, n, w, seed);
+            cfg.workload.events_per_process = 60;
+            causal_repro::simnet::run(&cfg).metrics.measured.total_bytes()
+        };
+        let ot = run(ProtocolKind::OptTrack);
+        let ft = run(ProtocolKind::FullTrack);
+        prop_assert!(ot <= ft, "Opt-Track {ot} vs Full-Track {ft} (n={n}, w={w})");
+    }
+
+    #[test]
+    fn prop_ablation_placements_all_causal(
+        seed in 0u64..1_000, kind_idx in 0usize..3
+    ) {
+        use causal_repro::proto::ProtocolConfig;
+        use std::sync::Arc;
+        let placement = match kind_idx {
+            0 => Placement::new(PlacementKind::Even, 9, 3),
+            1 => Placement::new(PlacementKind::Hashed { seed }, 9, 3),
+            _ => Placement::new(PlacementKind::Clustered, 9, 3),
+        }
+        .unwrap();
+        let mut cfg = SimConfig::paper_partial(ProtocolKind::OptTrack, 9, 0.5, seed);
+        cfg.placement = Arc::new(placement);
+        cfg.workload.events_per_process = 40;
+        cfg.record_history = true;
+        let _ = ProtocolConfig::default();
+        let r = causal_repro::simnet::run(&cfg);
+        let v = check(r.history.as_ref().unwrap());
+        prop_assert!(v.protocol_clean(), "{:?}", v.examples);
+    }
+}

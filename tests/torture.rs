@@ -1,0 +1,83 @@
+//! Torture: one loop, every protocol, every fault class, many seeds.
+//!
+//! This is the catch-all regression net: random system sizes, write rates,
+//! latency models, partitions and pauses, across all five protocols, with
+//! full checker verification of every run. Any change that weakens an
+//! activation predicate, a pruning rule or the simulator's FIFO machinery
+//! shows up here even if it slips past the targeted tests.
+
+use causal_repro::clocks::DestSet;
+use causal_repro::prelude::*;
+use causal_repro::simnet::{PartitionWindow, PauseWindow};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn torture_all_protocols_all_faults() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD_BEEF);
+    let protocols = [
+        (ProtocolKind::FullTrack, true),
+        (ProtocolKind::OptTrack, true),
+        (ProtocolKind::HbTrack, true),
+        (ProtocolKind::OptTrackCrp, false),
+        (ProtocolKind::OptP, false),
+    ];
+    for round in 0..30 {
+        let (kind, partial) = protocols[round % protocols.len()];
+        let n = rng.gen_range(2..10);
+        let w = rng.gen_range(0.05..0.95);
+        let seed = rng.gen();
+        let mut cfg = if partial {
+            SimConfig::paper_partial(kind, n, w, seed)
+        } else {
+            SimConfig::paper_full(kind, n, w, seed)
+        };
+        cfg.workload.events_per_process = rng.gen_range(20..60);
+        cfg.record_history = true;
+        // Random latency regime.
+        cfg.latency = match rng.gen_range(0..3) {
+            0 => LatencyModel::Constant {
+                micros: rng.gen_range(100..50_000),
+            },
+            1 => LatencyModel::Uniform {
+                min_micros: 1_000,
+                max_micros: rng.gen_range(50_000..2_000_000),
+            },
+            _ => LatencyModel::GeoRing {
+                base_micros: 2_000,
+                per_hop_micros: rng.gen_range(1_000..30_000),
+                jitter_micros: 10_000,
+            },
+        };
+        // Random faults.
+        if rng.gen_bool(0.5) && n >= 2 {
+            cfg.partitions.push(PartitionWindow {
+                start: SimTime::from_millis(rng.gen_range(1_000..10_000)),
+                end: SimTime::from_millis(rng.gen_range(15_000..60_000)),
+                side_a: DestSet::from_sites((0..n.div_ceil(2)).map(SiteId::from)),
+            });
+        }
+        if rng.gen_bool(0.5) {
+            cfg.pauses.push(PauseWindow {
+                site: SiteId::from(rng.gen_range(0..n)),
+                start: SimTime::from_millis(rng.gen_range(1_000..10_000)),
+                end: SimTime::from_millis(rng.gen_range(15_000..60_000)),
+            });
+        }
+        if rng.gen_bool(0.3) {
+            cfg.workload.var_dist = VarDistribution::Zipf { theta: 0.99 };
+        }
+
+        let r = causal_repro::simnet::run(&cfg);
+        assert_eq!(
+            r.final_pending, 0,
+            "round {round} {kind} n={n} w={w:.2}: parked forever"
+        );
+        let v = check(r.history.as_ref().unwrap());
+        assert!(
+            v.protocol_clean(),
+            "round {round} {kind} n={n} w={w:.2} seed={seed}: {:?}",
+            v.examples
+        );
+    }
+}
