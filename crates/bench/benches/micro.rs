@@ -159,18 +159,16 @@ fn wire_codec_roundtrip(c: &mut Criterion) {
 fn store_put_get(c: &mut Criterion) {
     use causal_store::StoreBuilder;
     c.bench_function("store_put_get_roundtrip", |b| {
-        let mut store = StoreBuilder::new()
-            .sites(6)
-            .replication(2)
-            .build()
-            .unwrap();
+        let mut store = StoreBuilder::new().sites(6).replication(2).build().unwrap();
         let mut writer = store.session(SiteId(0));
         let mut reader = store.session(SiteId(4));
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
             let key = format!("k{}", i % 32);
-            writer.put(&mut store, &key, i.to_le_bytes().to_vec()).unwrap();
+            writer
+                .put(&mut store, &key, i.to_le_bytes().to_vec())
+                .unwrap();
             black_box(reader.get(&mut store, &key).unwrap())
         })
     });
@@ -195,8 +193,9 @@ fn ks_multicast_round(c: &mut Criterion) {
     });
     g.bench_function("matrix", |b| {
         b.iter(|| {
-            let mut nodes: Vec<MatrixNode> =
-                (0..n).map(|i| MatrixNode::new(SiteId::from(i), n)).collect();
+            let mut nodes: Vec<MatrixNode> = (0..n)
+                .map(|i| MatrixNode::new(SiteId::from(i), n))
+                .collect();
             for r in 0..50u64 {
                 let s = (r % n as u64) as usize;
                 let (_, out) = nodes[s].multicast(dests, r);

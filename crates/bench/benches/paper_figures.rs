@@ -50,7 +50,13 @@ fn table2_partial_avg_sm_rm(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_partial_avg_sm_rm");
     g.sample_size(10);
     g.bench_function("full_track_n20", |b| {
-        b.iter(|| black_box(quick_cell(ProtocolKind::FullTrack, 20, 0.5, true, 3).metrics.measured))
+        b.iter(|| {
+            black_box(
+                quick_cell(ProtocolKind::FullTrack, 20, 0.5, true, 3)
+                    .metrics
+                    .measured,
+            )
+        })
     });
     g.finish();
 }
@@ -94,7 +100,13 @@ fn table3_full_avg_sm(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_full_avg_sm");
     g.sample_size(10);
     g.bench_function("optp_n20", |b| {
-        b.iter(|| black_box(quick_cell(ProtocolKind::OptP, 20, 0.5, false, 6).metrics.measured))
+        b.iter(|| {
+            black_box(
+                quick_cell(ProtocolKind::OptP, 20, 0.5, false, 6)
+                    .metrics
+                    .measured,
+            )
+        })
     });
     g.finish();
 }

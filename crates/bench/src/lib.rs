@@ -13,14 +13,19 @@
 //!   DESIGN.md: condition-2 pruning on/off, placement strategies, size
 //!   models, uniform vs Zipf variable selection.
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 use causal_proto::ProtocolKind;
 use causal_simnet::{run, SimConfig, SimResult};
 
 /// Run one reduced-scale simulation cell (the benches' workhorse).
-pub fn quick_cell(protocol: ProtocolKind, n: usize, w_rate: f64, partial: bool, seed: u64) -> SimResult {
+pub fn quick_cell(
+    protocol: ProtocolKind,
+    n: usize,
+    w_rate: f64,
+    partial: bool,
+    seed: u64,
+) -> SimResult {
     let mut cfg = if partial {
         SimConfig::paper_partial(protocol, n, w_rate, seed)
     } else {

@@ -22,7 +22,6 @@
 //!   are counted separately as [`Violations::stale_reads`] rather than
 //!   lumped in with protocol bugs.
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod bruteforce;

@@ -129,17 +129,14 @@ pub fn check(history: &History) -> Violations {
                     } => {
                         if let Some(w) = read_from {
                             let Some(info) = writes.get(w) else {
-                                if history.ops()[w.site.index()]
-                                    .iter()
-                                    .any(|o| matches!(o, OpRecord::Write { write, .. } if write == w))
-                                {
+                                if history.ops()[w.site.index()].iter().any(
+                                    |o| matches!(o, OpRecord::Write { write, .. } if write == w),
+                                ) {
                                     // Not yet resolved: retry later.
                                     break;
                                 }
                                 v.reads_from += 1;
-                                v.note(format!(
-                                    "read of {var} at s{i} observed unknown write {w}"
-                                ));
+                                v.note(format!("read of {var} at s{i} observed unknown write {w}"));
                                 cursor[i] += 1;
                                 continue;
                             };
@@ -160,8 +157,7 @@ pub fn check(history: &History) -> Violations {
                                     if *w1 == returned {
                                         continue;
                                     }
-                                    let in_past =
-                                        vc_snapshot[w1.site.index()] >= w1.clock;
+                                    let in_past = vc_snapshot[w1.site.index()] >= w1.clock;
                                     if !in_past {
                                         continue;
                                     }

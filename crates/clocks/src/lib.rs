@@ -19,7 +19,6 @@
 //! Every structure implements [`causal_types::MetaSized`] so the simulator
 //! can account for piggybacked meta-data bytes exactly as the paper does.
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod crplog;

@@ -498,14 +498,21 @@ mod tests {
 
     /// Strategy: a small random log.
     fn arb_log() -> impl Strategy<Value = Log> {
-        proptest::collection::vec((0usize..6, 1u64..8, proptest::collection::vec(0usize..6, 0..6)), 0..12)
-            .prop_map(|items| {
-                let mut log = Log::new();
-                for (o, c, ds) in items {
-                    log.insert_sorted(LogEntry::new(s(o), c, d(&ds)));
-                }
-                log
-            })
+        proptest::collection::vec(
+            (
+                0usize..6,
+                1u64..8,
+                proptest::collection::vec(0usize..6, 0..6),
+            ),
+            0..12,
+        )
+        .prop_map(|items| {
+            let mut log = Log::new();
+            for (o, c, ds) in items {
+                log.insert_sorted(LogEntry::new(s(o), c, d(&ds)));
+            }
+            log
+        })
     }
 
     proptest! {

@@ -76,7 +76,10 @@ impl MatrixClock {
     /// `true` if every cell of `self` is ≤ the matching cell of `other`.
     pub fn le(&self, other: &MatrixClock) -> bool {
         debug_assert_eq!(self.n, other.n);
-        self.cells.iter().zip(other.cells.iter()).all(|(a, b)| a <= b)
+        self.cells
+            .iter()
+            .zip(other.cells.iter())
+            .all(|(a, b)| a <= b)
     }
 
     /// Sum of all cells (used in tests).

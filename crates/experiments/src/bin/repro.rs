@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|all>
+//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|all>
 //!       [--quick] [--out <dir>]
 //! ```
 //!
@@ -28,7 +28,9 @@ fn main() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--out" => {
-                let dir = it.next().unwrap_or_else(|| usage("missing value for --out"));
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --out"));
                 out = Some(PathBuf::from(dir));
             }
             "--help" | "-h" => usage(""),
@@ -62,6 +64,9 @@ fn main() {
         ("falseco", figures::ext_false_causality),
         ("logsize", figures::ext_log_size),
         ("storage", figures::ext_storage),
+        ("chaos", |s| {
+            causal_experiments::chaos::chaos_overhead(s.scale(), 10)
+        }),
     ];
 
     let selected: Vec<_> = if subcommand == "all" {
@@ -129,7 +134,11 @@ fn write_gnuplot(dir: &std::path::Path, name: &str, table: &Table) {
     gp.push_str(&format!("plot {}\n", plots.join(", \\\n     ")));
     let gp_path = dir.join(format!("{name}.gp"));
     std::fs::write(&gp_path, gp).expect("write gp");
-    eprintln!("[repro] wrote {} and {}", dat_path.display(), gp_path.display());
+    eprintln!(
+        "[repro] wrote {} and {}",
+        dat_path.display(),
+        gp_path.display()
+    );
 }
 
 fn usage(err: &str) -> ! {
@@ -137,7 +146,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|all> \
+        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|all> \
          [--quick] [--out <dir>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

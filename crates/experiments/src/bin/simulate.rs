@@ -11,17 +11,24 @@
 //!          [--events <per-process>] [--seed <u64>] [--p <replicas>]
 //!          [--latency <const_us|min_us:max_us>] [--partition <start_ms:end_ms>]
 //!          [--zipf <theta>] [--wire-model] [--check]
+//!          [--faults <drop,dup>] [--crash <site:start_ms:end_ms>]
 //!          [--dump-schedule <path>] [--schedule <path>]
 //! ```
 //!
 //! `--dump-schedule` writes the generated operation trace as CSV;
 //! `--schedule` replays a previously dumped (or hand-written) trace.
+//!
+//! `--faults 0.2,0.05` makes every channel drop 20 % and duplicate 5 % of
+//! transport frames; `--crash 3:500:900` fail-stops site 3 (with state
+//! loss) from 500 ms to 900 ms. Either flag engages the reliable-delivery
+//! transport and prints its counters (retransmissions, duplicate drops,
+//! ack/sync traffic, recovery time).
 
 use causal_checker::check;
 use causal_clocks::DestSet;
 use causal_memory::{Placement, PlacementKind};
 use causal_proto::ProtocolKind;
-use causal_simnet::{run, LatencyModel, PartitionWindow, SimConfig};
+use causal_simnet::{run, CrashWindow, FaultPlan, LatencyModel, PartitionWindow, SimConfig};
 use causal_types::{MsgKind, SimTime, SiteId, SizeModel};
 use causal_workload::VarDistribution;
 use std::sync::Arc;
@@ -39,6 +46,8 @@ struct Args {
     zipf: Option<f64>,
     wire_model: bool,
     check: bool,
+    faults: Option<(f64, f64)>,
+    crashes: Vec<(usize, u64, u64)>,
     dump_schedule: Option<String>,
     schedule: Option<String>,
 }
@@ -57,6 +66,8 @@ fn parse() -> Args {
         zipf: None,
         wire_model: false,
         check: false,
+        faults: None,
+        crashes: Vec::new(),
         dump_schedule: None,
         schedule: None,
     };
@@ -107,6 +118,26 @@ fn parse() -> Args {
                 ));
             }
             "--zipf" => a.zipf = Some(val().parse().unwrap_or_else(|_| die("bad --zipf"))),
+            "--faults" => {
+                let v = val();
+                let (d, u) = v.split_once(',').unwrap_or((v.as_str(), "0"));
+                a.faults = Some((
+                    d.parse().unwrap_or_else(|_| die("bad --faults")),
+                    u.parse().unwrap_or_else(|_| die("bad --faults")),
+                ));
+            }
+            "--crash" => {
+                let v = val();
+                let parts: Vec<&str> = v.split(':').collect();
+                let [site, start, end] = parts[..] else {
+                    die("bad --crash (want site:start_ms:end_ms)")
+                };
+                a.crashes.push((
+                    site.parse().unwrap_or_else(|_| die("bad --crash site")),
+                    start.parse().unwrap_or_else(|_| die("bad --crash start")),
+                    end.parse().unwrap_or_else(|_| die("bad --crash end")),
+                ));
+            }
             "--wire-model" => a.wire_model = true,
             "--check" => a.check = true,
             "--dump-schedule" => a.dump_schedule = Some(val()),
@@ -149,6 +180,27 @@ fn main() {
         partitions: Vec::new(),
         schedule_override: None,
         pauses: Vec::new(),
+        faults: match a.faults {
+            Some((drop, dup)) => FaultPlan::uniform(drop, dup),
+            None => FaultPlan::default(),
+        },
+        crashes: a
+            .crashes
+            .iter()
+            .map(|&(site, s, e)| {
+                if site >= a.n {
+                    die(&format!("--crash site {site} out of range (n={})", a.n));
+                }
+                if s >= e {
+                    die(&format!("--crash window {s}:{e} is empty"));
+                }
+                CrashWindow {
+                    site: SiteId::from(site),
+                    start: SimTime::from_millis(s),
+                    end: SimTime::from_millis(e),
+                }
+            })
+            .collect(),
     };
     cfg.workload.q = a.q;
     cfg.workload.events_per_process = a.events;
@@ -183,12 +235,27 @@ fn main() {
     let m = &r.metrics;
 
     println!("protocol        {}", a.protocol);
-    println!("system          n={} q={} p={}", a.n, a.q, if a.protocol.supports_partial() { a.p.unwrap_or(((0.3 * a.n as f64).round() as usize).max(1)) } else { a.n });
-    println!("workload        {} events/proc, w_rate {}, seed {}", a.events, a.w, a.seed);
+    println!(
+        "system          n={} q={} p={}",
+        a.n,
+        a.q,
+        if a.protocol.supports_partial() {
+            a.p.unwrap_or(((0.3 * a.n as f64).round() as usize).max(1))
+        } else {
+            a.n
+        }
+    );
+    println!(
+        "workload        {} events/proc, w_rate {}, seed {}",
+        a.events, a.w, a.seed
+    );
     println!("virtual time    {}", r.duration);
     println!("wall time       {:.2?}", t0.elapsed());
     println!();
-    println!("measured ops    {} writes, {} reads ({} remote)", m.writes, m.reads, m.remote_reads);
+    println!(
+        "measured ops    {} writes, {} reads ({} remote)",
+        m.writes, m.reads, m.remote_reads
+    );
     for kind in [MsgKind::Sm, MsgKind::Fm, MsgKind::Rm] {
         let c = m.measured.count(kind);
         if c > 0 {
@@ -199,13 +266,39 @@ fn main() {
             );
         }
     }
-    println!("applies         {} (max parked {}, mean buffered apply latency {:.2} ms)",
-        m.applies, m.max_pending, m.apply_latency_ns.mean() / 1e6);
+    println!(
+        "applies         {} (max parked {}, mean buffered apply latency {:.2} ms)",
+        m.applies,
+        m.max_pending,
+        m.apply_latency_ns.mean() / 1e6
+    );
     let storage: u64 = r.final_local_meta.iter().sum();
     println!(
         "storage         {:.1} KB metadata across sites at quiescence",
         storage as f64 / 1000.0
     );
+    if cfg.chaos() {
+        println!();
+        println!(
+            "transport       {} retransmissions, {} dup drops, {} fault drops, {} fault dups",
+            m.retransmissions, m.dup_drops, m.fault_drops, m.fault_dups
+        );
+        println!(
+            "                {} acks ({:.1} KB), envelopes {:.1} KB, {} crash drops",
+            m.ack_count,
+            m.ack_bytes as f64 / 1000.0,
+            m.envelope_bytes as f64 / 1000.0,
+            m.crash_drops
+        );
+        if m.sync_count > 0 {
+            println!(
+                "recovery        {} sync frames ({:.1} KB), mean recovery {:.2} ms",
+                m.sync_count,
+                m.sync_bytes as f64 / 1000.0,
+                m.recovery_ns.mean() / 1e6
+            );
+        }
+    }
     assert_eq!(r.final_pending, 0, "simulation must reach quiescence");
 
     if a.check {

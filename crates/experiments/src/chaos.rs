@@ -1,0 +1,126 @@
+//! Chaos sweeps: protocol behavior and transport overhead on lossy
+//! networks with crash/recovery.
+//!
+//! The paper measures the protocols over TCP — a lossless substrate. These
+//! sweeps ask the robustness question the paper leaves open: what does each
+//! protocol's traffic cost look like when the channel guarantees must be
+//! *paid for* (retransmissions, acks, duplicate suppression), and how
+//! expensive is rebuilding a site's causal state after a fail-stop crash
+//! with state loss? Every run still passes the causal-consistency checker —
+//! the sweep is also a large randomized correctness net for the transport.
+
+use causal_checker::check;
+use causal_metrics::Table;
+use causal_proto::ProtocolKind;
+use causal_simnet::{run, CrashWindow, FaultPlan, SimConfig};
+use causal_types::{SimTime, SiteId};
+
+use crate::Scale;
+
+/// The loss-rate grid: drop probability per transport frame; duplication
+/// rides along at one quarter of the drop rate.
+pub const LOSS_GRID: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
+
+/// The protocols compared (one partial- and one full-replication pairing,
+/// as in the paper's Table IV).
+const PROTOCOLS: [(ProtocolKind, bool); 4] = [
+    (ProtocolKind::FullTrack, true),
+    (ProtocolKind::OptTrack, true),
+    (ProtocolKind::OptTrackCrp, false),
+    (ProtocolKind::OptP, false),
+];
+
+fn chaos_cfg(
+    kind: ProtocolKind,
+    partial: bool,
+    n: usize,
+    loss: f64,
+    crash: bool,
+    events: usize,
+    seed: u64,
+) -> SimConfig {
+    let mut cfg = if partial {
+        SimConfig::paper_partial(kind, n, 0.5, seed)
+    } else {
+        SimConfig::paper_full(kind, n, 0.5, seed)
+    };
+    cfg.workload.events_per_process = events;
+    cfg.record_history = true;
+    cfg.faults = FaultPlan::uniform(loss, loss / 4.0);
+    if crash {
+        cfg.crashes = vec![CrashWindow {
+            site: SiteId(1),
+            start: SimTime::from_millis(500),
+            end: SimTime::from_millis(1_200),
+        }];
+    }
+    cfg
+}
+
+/// Transport overhead vs. loss rate: for each protocol and loss level,
+/// the retransmission fraction, duplicate drops, ack traffic and the
+/// protocol-payload vs. transport-overhead byte split. Panics if any run
+/// fails to quiesce or violates causal consistency — chaos runs are
+/// correctness tests first.
+pub fn chaos_overhead(scale: Scale, n: usize) -> Table {
+    let mut t = Table::new(
+        format!("Chaos sweep: transport overhead vs. loss rate (n={n}, w=0.5, one crash at 15% loss and above)"),
+        &[
+            "protocol", "loss", "retrans", "dup drops", "fault drops", "acks",
+            "ack KB", "envelope KB", "sync KB", "recovery ms", "virtual s",
+        ],
+    );
+    let events = scale.events().min(200);
+    for (kind, partial) in PROTOCOLS {
+        for loss in LOSS_GRID {
+            // Crashes join the sweep once the network is already hostile,
+            // so the recovery column reflects loss-degraded sync latency.
+            let crash = loss >= 0.15;
+            let cfg = chaos_cfg(kind, partial, n, loss, crash, events, 0xC4A0_5EED);
+            let r = run(&cfg);
+            assert_eq!(r.final_pending, 0, "{kind} loss={loss}: no quiescence");
+            let v = check(r.history.as_ref().expect("recorded"));
+            assert!(
+                v.protocol_clean(),
+                "{kind} loss={loss}: causal violations: {:?}",
+                v.examples
+            );
+            let m = &r.metrics;
+            t.push_row(vec![
+                kind.to_string(),
+                format!("{loss:.2}"),
+                m.retransmissions.to_string(),
+                m.dup_drops.to_string(),
+                m.fault_drops.to_string(),
+                m.ack_count.to_string(),
+                format!("{:.1}", m.ack_bytes as f64 / 1000.0),
+                format!("{:.1}", m.envelope_bytes as f64 / 1000.0),
+                format!("{:.1}", m.sync_bytes as f64 / 1000.0),
+                if m.recovery_ns.count() > 0 {
+                    format!("{:.1}", m.recovery_ns.mean() / 1e6)
+                } else {
+                    "-".to_string()
+                },
+                format!("{:.1}", r.duration.as_secs_f64()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_sweep_runs_clean_at_quick_scale() {
+        let t = chaos_overhead(Scale::Quick, 5);
+        assert_eq!(t.len(), PROTOCOLS.len() * LOSS_GRID.len());
+        let csv = t.to_csv();
+        // The zero-loss rows are pass-through: no retransmissions.
+        for line in csv.lines().skip(1).step_by(LOSS_GRID.len()) {
+            let retrans: u64 = line.split(',').nth(2).unwrap().parse().unwrap();
+            assert_eq!(retrans, 0, "loss 0.00 must be pass-through: {line}");
+        }
+    }
+}

@@ -22,8 +22,12 @@ pub fn fig1(sw: &mut Sweep) -> Table {
     for n in Sweep::N_GRID {
         let mut cells = vec![n.to_string()];
         for w in Sweep::W_GRID {
-            let ot = sw.cell(ProtocolKind::OptTrack, Mode::Partial, n, w).total_bytes;
-            let ft = sw.cell(ProtocolKind::FullTrack, Mode::Partial, n, w).total_bytes;
+            let ot = sw
+                .cell(ProtocolKind::OptTrack, Mode::Partial, n, w)
+                .total_bytes;
+            let ft = sw
+                .cell(ProtocolKind::FullTrack, Mode::Partial, n, w)
+                .total_bytes;
             cells.push(format!("{:.3}", ot / ft));
         }
         t.push_row(cells);
@@ -35,7 +39,9 @@ pub fn fig1(sw: &mut Sweep) -> Table {
 /// protocols, at one write rate.
 pub fn fig2_4(sw: &mut Sweep, w_rate: f64) -> Table {
     let mut t = Table::new(
-        format!("Figs. 2–4 — average message meta-data bytes, partial replication, w_rate = {w_rate}"),
+        format!(
+            "Figs. 2–4 — average message meta-data bytes, partial replication, w_rate = {w_rate}"
+        ),
         &[
             "n",
             "OptTrack SM",
@@ -46,8 +52,12 @@ pub fn fig2_4(sw: &mut Sweep, w_rate: f64) -> Table {
         ],
     );
     for n in Sweep::N_GRID {
-        let ot = sw.cell(ProtocolKind::OptTrack, Mode::Partial, n, w_rate).clone();
-        let ft = sw.cell(ProtocolKind::FullTrack, Mode::Partial, n, w_rate).clone();
+        let ot = sw
+            .cell(ProtocolKind::OptTrack, Mode::Partial, n, w_rate)
+            .clone();
+        let ft = sw
+            .cell(ProtocolKind::FullTrack, Mode::Partial, n, w_rate)
+            .clone();
         t.push_row(vec![
             n.to_string(),
             format!("{:.1}", ot.avg(MsgKind::Sm)),
@@ -85,7 +95,9 @@ fn table2_paper(protocol: ProtocolKind, kind: MsgKind, w: f64) -> [f64; 5] {
 pub fn table2(sw: &mut Sweep) -> Table {
     let mut t = Table::new(
         "Table II — average SM and RM meta-data (KB), partial replication (measured | paper)",
-        &["protocol", "msg", "w_rate", "n=5", "n=10", "n=20", "n=30", "n=40"],
+        &[
+            "protocol", "msg", "w_rate", "n=5", "n=10", "n=20", "n=30", "n=40",
+        ],
     );
     for protocol in [ProtocolKind::OptTrack, ProtocolKind::FullTrack] {
         for kind in [MsgKind::Sm, MsgKind::Rm] {
@@ -113,7 +125,9 @@ pub fn fig5(sw: &mut Sweep) -> Table {
     for n in Sweep::N_GRID_FULL {
         let mut cells = vec![n.to_string()];
         for w in Sweep::W_GRID {
-            let crp = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, w).total_bytes;
+            let crp = sw
+                .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, w)
+                .total_bytes;
             let op = sw.cell(ProtocolKind::OptP, Mode::Full, n, w).total_bytes;
             cells.push(format!("{:.3}", crp / op));
         }
@@ -127,11 +141,20 @@ pub fn fig5(sw: &mut Sweep) -> Table {
 pub fn fig6_8(sw: &mut Sweep, w_rate: f64) -> Table {
     let mut t = Table::new(
         format!("Figs. 6–8 — average SM meta-data bytes, full replication, w_rate = {w_rate}"),
-        &["n", "Opt-Track-CRP SM", "optP SM", "optP analytic (209+10n)"],
+        &[
+            "n",
+            "Opt-Track-CRP SM",
+            "optP SM",
+            "optP analytic (209+10n)",
+        ],
     );
     for n in Sweep::N_GRID_FULL {
-        let crp = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, w_rate).avg(MsgKind::Sm);
-        let op = sw.cell(ProtocolKind::OptP, Mode::Full, n, w_rate).avg(MsgKind::Sm);
+        let crp = sw
+            .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, w_rate)
+            .avg(MsgKind::Sm);
+        let op = sw
+            .cell(ProtocolKind::OptP, Mode::Full, n, w_rate)
+            .avg(MsgKind::Sm);
         t.push_row(vec![
             n.to_string(),
             format!("{crp:.1}"),
@@ -164,10 +187,18 @@ pub fn table3(sw: &mut Sweep) -> Table {
     );
     for n in Sweep::N_GRID_FULL {
         let (p2, p5, p8, popt) = table3_paper(n);
-        let c2 = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.2).avg(MsgKind::Sm);
-        let c5 = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.5).avg(MsgKind::Sm);
-        let c8 = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.8).avg(MsgKind::Sm);
-        let copt = sw.cell(ProtocolKind::OptP, Mode::Full, n, 0.5).avg(MsgKind::Sm);
+        let c2 = sw
+            .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.2)
+            .avg(MsgKind::Sm);
+        let c5 = sw
+            .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.5)
+            .avg(MsgKind::Sm);
+        let c8 = sw
+            .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.8)
+            .avg(MsgKind::Sm);
+        let copt = sw
+            .cell(ProtocolKind::OptP, Mode::Full, n, 0.5)
+            .avg(MsgKind::Sm);
         t.push_row(vec![
             n.to_string(),
             format!("{c2:.1} | {p2}"),
@@ -212,8 +243,12 @@ pub fn table4(sw: &mut Sweep) -> Table {
     for n in Sweep::N_GRID {
         for w in Sweep::W_GRID {
             let (pf, pp) = table4_paper(n, w);
-            let full = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, w).total_count;
-            let part = sw.cell(ProtocolKind::OptTrack, Mode::Partial, n, w).total_count;
+            let full = sw
+                .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, w)
+                .total_count;
+            let part = sw
+                .cell(ProtocolKind::OptTrack, Mode::Partial, n, w)
+                .total_count;
             t.push_row(vec![
                 n.to_string(),
                 format!("{w}"),
@@ -244,8 +279,12 @@ pub fn eq2(sw: &mut Sweep) -> Table {
         let below = (th - 0.08).max(0.02);
         let above = (th + 0.08).min(0.98);
         let ratio = |sw: &mut Sweep, w: f64| {
-            let part = sw.cell(ProtocolKind::OptTrack, Mode::Partial, n, w).total_count;
-            let full = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, w).total_count;
+            let part = sw
+                .cell(ProtocolKind::OptTrack, Mode::Partial, n, w)
+                .total_count;
+            let full = sw
+                .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, w)
+                .total_count;
             part / full
         };
         let rb = ratio(sw, below);
@@ -336,12 +375,25 @@ pub fn ext_false_causality(sw: &mut Sweep) -> Table {
 pub fn ext_log_size(sw: &mut Sweep) -> Table {
     let mut t = Table::new(
         "Extension — mean piggybacked records per SM (matrix cells / log entries / vector slots)",
-        &["n", "Full-Track (n²)", "Opt-Track", "Opt-Track / n", "CRP (d+1)", "optP (n)"],
+        &[
+            "n",
+            "Full-Track (n²)",
+            "Opt-Track",
+            "Opt-Track / n",
+            "CRP (d+1)",
+            "optP (n)",
+        ],
     );
     for n in Sweep::N_GRID {
-        let ft = sw.cell(ProtocolKind::FullTrack, Mode::Partial, n, 0.5).sm_entries;
-        let ot = sw.cell(ProtocolKind::OptTrack, Mode::Partial, n, 0.5).sm_entries;
-        let crp = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.5).sm_entries;
+        let ft = sw
+            .cell(ProtocolKind::FullTrack, Mode::Partial, n, 0.5)
+            .sm_entries;
+        let ot = sw
+            .cell(ProtocolKind::OptTrack, Mode::Partial, n, 0.5)
+            .sm_entries;
+        let crp = sw
+            .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.5)
+            .sm_entries;
         let op = sw.cell(ProtocolKind::OptP, Mode::Full, n, 0.5).sm_entries;
         t.push_row(vec![
             n.to_string(),
@@ -365,10 +417,18 @@ pub fn ext_storage(sw: &mut Sweep) -> Table {
         &["n", "Full-Track", "Opt-Track", "Opt-Track-CRP", "optP"],
     );
     for n in Sweep::N_GRID {
-        let ft = sw.cell(ProtocolKind::FullTrack, Mode::Partial, n, 0.5).local_meta_mean;
-        let ot = sw.cell(ProtocolKind::OptTrack, Mode::Partial, n, 0.5).local_meta_mean;
-        let crp = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.5).local_meta_mean;
-        let op = sw.cell(ProtocolKind::OptP, Mode::Full, n, 0.5).local_meta_mean;
+        let ft = sw
+            .cell(ProtocolKind::FullTrack, Mode::Partial, n, 0.5)
+            .local_meta_mean;
+        let ot = sw
+            .cell(ProtocolKind::OptTrack, Mode::Partial, n, 0.5)
+            .local_meta_mean;
+        let crp = sw
+            .cell(ProtocolKind::OptTrackCrp, Mode::Full, n, 0.5)
+            .local_meta_mean;
+        let op = sw
+            .cell(ProtocolKind::OptP, Mode::Full, n, 0.5)
+            .local_meta_mean;
         t.push_row(vec![
             n.to_string(),
             format!("{:.2}", ft / 1000.0),

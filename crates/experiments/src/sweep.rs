@@ -77,7 +77,12 @@ impl CellStats {
     }
 }
 
-type Key = (ProtocolKind, Mode, usize, u64 /* w_rate in per-mille */);
+type Key = (
+    ProtocolKind,
+    Mode,
+    usize,
+    u64, /* w_rate in per-mille */
+);
 
 /// A cached sweep runner: each `(protocol, mode, n, w_rate)` cell is
 /// simulated once per seed and reused across figures.
@@ -111,7 +116,13 @@ impl Sweep {
     pub const W_GRID: [f64; 3] = [0.2, 0.5, 0.8];
 
     /// Simulate (or fetch) one cell.
-    pub fn cell(&mut self, protocol: ProtocolKind, mode: Mode, n: usize, w_rate: f64) -> &CellStats {
+    pub fn cell(
+        &mut self,
+        protocol: ProtocolKind,
+        mode: Mode,
+        n: usize,
+        w_rate: f64,
+    ) -> &CellStats {
         let key = (protocol, mode, n, (w_rate * 1000.0).round() as u64);
         if !self.cache.contains_key(&key) {
             let stats = self.run_cell(protocol, mode, n, w_rate);
@@ -193,7 +204,9 @@ mod tests {
     #[test]
     fn avg_bytes_indexing_matches_kind() {
         let mut sw = Sweep::new(Scale::Quick);
-        let c = sw.cell(ProtocolKind::OptTrack, Mode::Partial, 5, 0.5).clone();
+        let c = sw
+            .cell(ProtocolKind::OptTrack, Mode::Partial, 5, 0.5)
+            .clone();
         assert!(c.avg(MsgKind::Sm) > 0.0);
         assert!(c.avg(MsgKind::Fm) > 0.0);
         assert!(c.avg(MsgKind::Rm) > c.avg(MsgKind::Fm));
@@ -204,8 +217,12 @@ mod tests {
         // The seed derivation ignores the protocol: write/read counts of
         // Opt-Track (partial) and Opt-Track-CRP (full) cells coincide.
         let mut sw = Sweep::new(Scale::Quick);
-        let a = sw.cell(ProtocolKind::OptTrack, Mode::Partial, 5, 0.5).writes;
-        let b = sw.cell(ProtocolKind::OptTrackCrp, Mode::Full, 5, 0.5).writes;
+        let a = sw
+            .cell(ProtocolKind::OptTrack, Mode::Partial, 5, 0.5)
+            .writes;
+        let b = sw
+            .cell(ProtocolKind::OptTrackCrp, Mode::Full, 5, 0.5)
+            .writes;
         assert_eq!(a, b, "Table IV replays identical schedules");
     }
 }

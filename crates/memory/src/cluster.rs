@@ -8,7 +8,9 @@
 //! paper's experiments — it models latency and reordering across senders;
 //! this cluster intentionally does not.
 
-use causal_proto::{build_site, Effect, ProtocolConfig, ProtocolKind, ProtocolSite, ReadResult, Replication};
+use causal_proto::{
+    build_site, Effect, ProtocolConfig, ProtocolKind, ProtocolSite, ReadResult, Replication,
+};
 use causal_types::{MetaSized, MsgKind, SiteId, SizeModel, VarId, VersionedValue, WriteId};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -207,7 +209,15 @@ mod tests {
             let sms = c
                 .take_events()
                 .iter()
-                .filter(|e| matches!(e, ClusterEvent::Message { kind: MsgKind::Sm, .. }))
+                .filter(|e| {
+                    matches!(
+                        e,
+                        ClusterEvent::Message {
+                            kind: MsgKind::Sm,
+                            ..
+                        }
+                    )
+                })
                 .count();
             let expected = if placement.replicas(VarId(v)).contains(writer) {
                 p - 1
@@ -250,8 +260,7 @@ mod tests {
 
     #[test]
     fn clustered_placement_works_end_to_end() {
-        let placement =
-            Arc::new(Placement::new(PlacementKind::Clustered, 9, 3).unwrap());
+        let placement = Arc::new(Placement::new(PlacementKind::Clustered, 9, 3).unwrap());
         let mut c = LocalCluster::new(ProtocolKind::OptTrack, placement, ProtocolConfig::default());
         let w = c.write(SiteId(4), VarId(11), 9);
         for s in SiteId::all(9) {

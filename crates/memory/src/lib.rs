@@ -12,7 +12,6 @@
 //! `ablation_placement` bench), and full replication for the CRP/optP
 //! protocols.
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod cluster;

@@ -9,7 +9,6 @@
 //! message meta-data size `m_s` per message class (SM / FM / RM), measured
 //! after discarding the first 15 % of operation events as warm-up.
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod quantile;

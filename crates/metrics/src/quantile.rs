@@ -115,7 +115,11 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, s: f64) -> f64 {
         let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         h + s / (np - nm)
             * ((n - nm + s) * (hp - h) / (np - n) + (np - n - s) * (h - hm) / (n - nm))
     }
@@ -157,7 +161,9 @@ mod tests {
         let mut x = 0u64;
         let mut xs = Vec::new();
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) as f64 % 1000.0;
             xs.push(v);
             p.record(v);
@@ -179,7 +185,9 @@ mod tests {
         let mut xs = Vec::new();
         let mut x = 7u64;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 11) as f64 / (1u64 << 53) as f64;
             let v = u.powi(4) * 1000.0;
             xs.push(v);

@@ -44,6 +44,33 @@ pub struct RunMetrics {
     /// p99 of the apply latency (streaming P² estimate) — tail buffering
     /// that the mean hides.
     pub apply_latency_p99: P2Quantile,
+    /// Data-frame retransmissions performed by the reliable transport
+    /// (zero on a lossless network or when the transport is bypassed).
+    pub retransmissions: u64,
+    /// Frames discarded by the receiver as duplicates (already-delivered
+    /// sequence numbers — fault-injected dups and spurious retransmits).
+    pub dup_drops: u64,
+    /// Ack frames sent by the transport.
+    pub ack_count: u64,
+    /// Wire bytes of those ack frames.
+    pub ack_bytes: u64,
+    /// Transport-envelope overhead bytes added to data frames (sequence
+    /// numbers and incarnations), original sends and retransmissions alike.
+    pub envelope_bytes: u64,
+    /// Frames destroyed in transit by the fault plan.
+    pub fault_drops: u64,
+    /// Frames duplicated in transit by the fault plan.
+    pub fault_dups: u64,
+    /// Frames dropped because their destination site was crashed or the
+    /// frame addressed a dead incarnation (stale epoch).
+    pub crash_drops: u64,
+    /// Sync-handshake frames exchanged during crash recoveries.
+    pub sync_count: u64,
+    /// Wire bytes of the sync handshake (ledgers + state snapshots).
+    pub sync_bytes: u64,
+    /// Virtual nanoseconds from each crash's recovery instant until the
+    /// recovering site finished installing peer state.
+    pub recovery_ns: StatAccum,
 }
 
 impl Default for RunMetrics {
@@ -61,6 +88,17 @@ impl Default for RunMetrics {
             pending_samples: StatAccum::default(),
             transit_ns: StatAccum::default(),
             apply_latency_p99: P2Quantile::new(0.99),
+            retransmissions: 0,
+            dup_drops: 0,
+            ack_count: 0,
+            ack_bytes: 0,
+            envelope_bytes: 0,
+            fault_drops: 0,
+            fault_dups: 0,
+            crash_drops: 0,
+            sync_count: 0,
+            sync_bytes: 0,
+            recovery_ns: StatAccum::default(),
         }
     }
 }
@@ -117,6 +155,16 @@ impl RunMetrics {
         self.remote_reads += other.remote_reads;
         self.applies += other.applies;
         self.max_pending = self.max_pending.max(other.max_pending);
+        self.retransmissions += other.retransmissions;
+        self.dup_drops += other.dup_drops;
+        self.ack_count += other.ack_count;
+        self.ack_bytes += other.ack_bytes;
+        self.envelope_bytes += other.envelope_bytes;
+        self.fault_drops += other.fault_drops;
+        self.fault_dups += other.fault_dups;
+        self.crash_drops += other.crash_drops;
+        self.sync_count += other.sync_count;
+        self.sync_bytes += other.sync_bytes;
         // StatAccum cannot merge exactly without the raw moments; fold the
         // other's summary as a weighted contribution.
         for (mine, theirs) in [
@@ -124,6 +172,7 @@ impl RunMetrics {
             (&mut self.apply_latency_ns, &other.apply_latency_ns),
             (&mut self.pending_samples, &other.pending_samples),
             (&mut self.transit_ns, &other.transit_ns),
+            (&mut self.recovery_ns, &other.recovery_ns),
         ] {
             for _ in 0..theirs.count() {
                 mine.record(theirs.mean());
@@ -178,5 +227,35 @@ mod tests {
     #[test]
     fn empty_w_rate_is_zero() {
         assert_eq!(RunMetrics::new().w_rate(), 0.0);
+    }
+
+    #[test]
+    fn transport_counters_merge() {
+        let mut a = RunMetrics::new();
+        a.retransmissions = 3;
+        a.fault_drops = 2;
+        a.sync_bytes = 100;
+        let mut b = RunMetrics::new();
+        b.retransmissions = 4;
+        b.dup_drops = 1;
+        b.ack_count = 9;
+        b.ack_bytes = 90;
+        b.envelope_bytes = 240;
+        b.fault_dups = 5;
+        b.crash_drops = 6;
+        b.sync_count = 7;
+        b.recovery_ns.record(1_000.0);
+        a.merge(&b);
+        assert_eq!(a.retransmissions, 7);
+        assert_eq!(a.dup_drops, 1);
+        assert_eq!(a.ack_count, 9);
+        assert_eq!(a.ack_bytes, 90);
+        assert_eq!(a.envelope_bytes, 240);
+        assert_eq!(a.fault_drops, 2);
+        assert_eq!(a.fault_dups, 5);
+        assert_eq!(a.crash_drops, 6);
+        assert_eq!(a.sync_count, 7);
+        assert_eq!(a.sync_bytes, 100);
+        assert_eq!(a.recovery_ns.count(), 1);
     }
 }

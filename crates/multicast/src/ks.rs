@@ -127,7 +127,8 @@ impl CausalMulticast for KsNode {
             .collect();
         // Local log update: condition 2 against the new send, then own
         // record.
-        self.log.record_write(self.me, self.clock, dests, self.prune);
+        self.log
+            .record_write(self.me, self.clock, dests, self.prune);
         if dests.contains(self.me) {
             // Self-delivery is immediate (everything in our causal past is
             // already delivered here, by definition of `→`).
@@ -200,8 +201,18 @@ mod tests {
         let mut b = KsNode::new(SiteId(1), 3);
         let mut c = KsNode::new(SiteId(2), 3);
         let (m1, out_a) = a.multicast(d(&[1, 2]), 1);
-        let to_b = out_a.iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
-        let to_c = out_a.iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let to_b = out_a
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let to_c = out_a
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         b.receive(SiteId(0), to_b);
         let (m2, out_b) = b.multicast(d(&[2]), 2);
 

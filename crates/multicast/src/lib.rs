@@ -23,7 +23,6 @@
 //! **delivery creates causality** (Lamport's `→`), so piggybacked logs are
 //! merged at delivery — there is no read step.
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod ks;

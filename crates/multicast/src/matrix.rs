@@ -159,8 +159,18 @@ mod tests {
         let mut b = MatrixNode::new(SiteId(1), 3);
         let mut c = MatrixNode::new(SiteId(2), 3);
         let (m1, out_a) = a.multicast(d(&[1, 2]), 1);
-        let to_b = out_a.iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
-        let to_c = out_a.iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let to_b = out_a
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let to_c = out_a
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         b.receive(SiteId(0), to_b);
         let (m2, out_b) = b.multicast(d(&[2]), 2);
         let got = c.receive(SiteId(1), out_b[0].1.clone());

@@ -76,11 +76,11 @@ fn run_script<N: CausalMulticast>(
     }
 
     let step = |nodes: &mut Vec<N>,
-                    channels: &mut HashMap<(usize, usize), VecDeque<N::Msg>>,
-                    delivered: &mut Vec<Vec<Delivery>>,
-                    vc: &mut Vec<Vec<u64>>,
-                    send_vc: &HashMap<WriteId, Vec<u64>>,
-                    choice: usize| {
+                channels: &mut HashMap<(usize, usize), VecDeque<N::Msg>>,
+                delivered: &mut Vec<Vec<Delivery>>,
+                vc: &mut Vec<Vec<u64>>,
+                send_vc: &HashMap<WriteId, Vec<u64>>,
+                choice: usize| {
         let mut keys: Vec<(usize, usize)> = channels
             .iter()
             .filter(|(_, q)| !q.is_empty())
@@ -119,11 +119,25 @@ fn run_script<N: CausalMulticast>(
                 .push_back(msg);
         }
         for &choice in &script.deliveries_after[i] {
-            step(&mut nodes, &mut channels, &mut delivered, &mut vc, &send_vc, choice);
+            step(
+                &mut nodes,
+                &mut channels,
+                &mut delivered,
+                &mut vc,
+                &send_vc,
+                choice,
+            );
         }
     }
     for &choice in &script.drain {
-        step(&mut nodes, &mut channels, &mut delivered, &mut vc, &send_vc, choice);
+        step(
+            &mut nodes,
+            &mut channels,
+            &mut delivered,
+            &mut vc,
+            &send_vc,
+            choice,
+        );
     }
     assert!(
         channels.values().all(|q| q.is_empty()),
@@ -161,8 +175,9 @@ fn ks_and_matrix_deliver_identically() {
         for n in [3usize, 6, 10] {
             let script = make_script(n, 60, seed);
             let ks_nodes: Vec<KsNode> = (0..n).map(|i| KsNode::new(SiteId::from(i), n)).collect();
-            let mx_nodes: Vec<MatrixNode> =
-                (0..n).map(|i| MatrixNode::new(SiteId::from(i), n)).collect();
+            let mx_nodes: Vec<MatrixNode> = (0..n)
+                .map(|i| MatrixNode::new(SiteId::from(i), n))
+                .collect();
             let (ks, ks_bytes, _) = run_script(ks_nodes, &script, &model);
             let (mx, mx_bytes, witness) = run_script(mx_nodes, &script, &model);
             assert_eq!(
@@ -192,7 +207,9 @@ fn heavy_broadcast_workload() {
         *dests = DestSet::full(n);
     }
     let ks_nodes: Vec<KsNode> = (0..n).map(|i| KsNode::new(SiteId::from(i), n)).collect();
-    let mx_nodes: Vec<MatrixNode> = (0..n).map(|i| MatrixNode::new(SiteId::from(i), n)).collect();
+    let mx_nodes: Vec<MatrixNode> = (0..n)
+        .map(|i| MatrixNode::new(SiteId::from(i), n))
+        .collect();
     let (ks, ks_bytes, witness) = run_script(ks_nodes, &script, &model);
     let (mx, mx_bytes, _) = run_script(mx_nodes, &script, &model);
     assert_eq!(ks, mx);

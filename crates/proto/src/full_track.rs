@@ -13,6 +13,7 @@ use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
 use crate::pending::PendingQueues;
+use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
 use causal_clocks::MatrixClock;
@@ -264,6 +265,91 @@ impl ProtocolSite for FullTrack {
     fn value_of(&self, var: VarId) -> Option<VersionedValue> {
         self.state.values.get(&var).copied()
     }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        let ledger = OwnLedger {
+            site: self.site,
+            own_clock: self.own_writes,
+            own_row: SiteId::all(self.n)
+                .map(|d| self.write_clock.get(self.site, d))
+                .collect(),
+            self_applied: self.state.apply[self.site.index()],
+        };
+        // Forget everything learned; re-seed what the ledger justifies.
+        self.write_clock = MatrixClock::new(self.n);
+        for d in SiteId::all(self.n) {
+            self.write_clock
+                .set(self.site, d, ledger.own_row[d.index()]);
+        }
+        self.state.values.clear();
+        self.state.last_write_on.clear();
+        self.state.apply = vec![0; self.n];
+        self.state.apply[self.site.index()] = ledger.self_applied;
+        self.state.applied_effects.clear();
+        let mut dropped = 0;
+        for s in SiteId::all(self.n) {
+            dropped += self.pending.clear_sender(s);
+        }
+        self.outstanding_fetch = None;
+        (ledger, dropped)
+    }
+
+    fn note_peer_recovery(&mut self, peer: SiteId, ledger: &OwnLedger) -> (Vec<Effect>, usize) {
+        // The peer's unacked pre-crash writes are gone forever; pretend they
+        // were applied so predicates counting them can fire. Parked updates
+        // from the peer fall inside the acked prefix the fast-forward now
+        // covers — applying them later would double-count, so drop them.
+        let dropped = self.pending.clear_sender(peer);
+        let me = self.site.index();
+        self.state.apply[peer.index()] = self.state.apply[peer.index()].max(ledger.own_row[me]);
+        (self.drain(), dropped)
+    }
+
+    fn export_sync(&self, requester: SiteId) -> SyncState {
+        let vars = self
+            .state
+            .values
+            .iter()
+            .filter(|(var, _)| self.repl.is_replicated_at(**var, requester))
+            .map(|(var, value)| {
+                let meta = self.state.last_write_on[var].clone();
+                (*var, *value, meta)
+            })
+            .collect();
+        SyncState::FullTrack {
+            clock: self.write_clock.clone(),
+            vars,
+        }
+    }
+
+    fn install_sync(&mut self, sources: &[(SiteId, PeerAckInfo, SyncState)]) {
+        let mut best: HashMap<VarId, (VersionedValue, MatrixClock)> = HashMap::new();
+        for (peer, ack, state) in sources {
+            let SyncState::FullTrack { clock, vars } = state else {
+                panic!("Full-Track site received a foreign sync snapshot");
+            };
+            // Acked SMs were received exactly once and are never redelivered;
+            // unacked ones will be. The acked count therefore IS the
+            // per-origin receive counter the crash erased.
+            self.state.apply[peer.index()] = ack.sm_count;
+            // Merging every live peer's matrix over-approximates the lost
+            // causal knowledge (each observed write is in its writer's own
+            // row) — safe: never violates →co, only adds waiting.
+            self.write_clock.merge_max(clock);
+            for (var, value, meta) in vars {
+                let replace = best.get(var).is_none_or(|(b, _)| {
+                    (value.writer.clock, value.writer.site) > (b.writer.clock, b.writer.site)
+                });
+                if replace {
+                    best.insert(*var, (*value, meta.clone()));
+                }
+            }
+        }
+        for (var, (value, meta)) in best {
+            self.state.values.insert(var, value);
+            self.state.last_write_on.insert(var, meta);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -273,7 +359,9 @@ mod tests {
 
     fn system(n: usize) -> Vec<FullTrack> {
         let repl = Arc::new(FullReplication::new(n));
-        SiteId::all(n).map(|s| FullTrack::new(s, repl.clone())).collect()
+        SiteId::all(n)
+            .map(|s| FullTrack::new(s, repl.clone()))
+            .collect()
     }
 
     /// Extract the SM sends from an effect list as `(to, Sm)` pairs.
@@ -328,8 +416,18 @@ mod tests {
         // s2 receives y's SM before x's SM: y must park until x applies.
         let mut sys = system(3);
         let (wx, e0) = sys[0].write(VarId(0), 1, 0);
-        let sm_x_to_1 = sends(&e0).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
-        let sm_x_to_2 = sends(&e0).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_x_to_1 = sends(&e0)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let sm_x_to_2 = sends(&e0)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
 
         sys[1].on_message(SiteId(0), Msg::Sm(sm_x_to_1));
         match sys[1].read(VarId(0)) {
@@ -337,7 +435,12 @@ mod tests {
             other => panic!("expected local read, got {other:?}"),
         }
         let (wy, e1) = sys[1].write(VarId(1), 2, 0);
-        let sm_y_to_2 = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_y_to_2 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
 
         // Deliver y first: it must be parked.
         let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y_to_2));
@@ -358,11 +461,21 @@ mod tests {
         // →co there is no dependency, so s2 can apply y before x.
         let mut sys = system(3);
         let (_wx, e0) = sys[0].write(VarId(0), 1, 0);
-        let sm_x_to_1 = sends(&e0).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
+        let sm_x_to_1 = sends(&e0)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
         sys[1].on_message(SiteId(0), Msg::Sm(sm_x_to_1));
         // No read here — receipt alone must not create causality.
         let (wy, e1) = sys[1].write(VarId(1), 2, 0);
-        let sm_y_to_2 = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_y_to_2 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y_to_2));
         assert_eq!(
             applied(&eff),

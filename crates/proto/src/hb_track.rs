@@ -21,6 +21,7 @@ use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
 use crate::pending::PendingQueues;
+use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
 use causal_clocks::MatrixClock;
@@ -238,6 +239,79 @@ impl ProtocolSite for HbTrack {
     fn value_of(&self, var: VarId) -> Option<VersionedValue> {
         self.state.values.get(&var).copied()
     }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        // HB-Track's own matrix row counts only own writes (peers' matrices
+        // can never know more of this row than the site itself), so the row
+        // snapshot is ledger material just as in Full-Track.
+        let ledger = OwnLedger {
+            site: self.site,
+            own_clock: self.own_writes,
+            own_row: SiteId::all(self.n)
+                .map(|d| self.state.write_clock.get(self.site, d))
+                .collect(),
+            self_applied: self.state.apply[self.site.index()],
+        };
+        self.state.write_clock = MatrixClock::new(self.n);
+        for d in SiteId::all(self.n) {
+            self.state
+                .write_clock
+                .set(self.site, d, ledger.own_row[d.index()]);
+        }
+        self.state.values.clear();
+        self.state.apply = vec![0; self.n];
+        self.state.apply[self.site.index()] = ledger.self_applied;
+        self.state.applied_effects.clear();
+        let mut dropped = 0;
+        for s in SiteId::all(self.n) {
+            dropped += self.pending.clear_sender(s);
+        }
+        self.outstanding_fetch = None;
+        (ledger, dropped)
+    }
+
+    fn note_peer_recovery(&mut self, peer: SiteId, ledger: &OwnLedger) -> (Vec<Effect>, usize) {
+        let dropped = self.pending.clear_sender(peer);
+        let me = self.site.index();
+        self.state.apply[peer.index()] = self.state.apply[peer.index()].max(ledger.own_row[me]);
+        (self.drain(), dropped)
+    }
+
+    fn export_sync(&self, requester: SiteId) -> SyncState {
+        let vars = self
+            .state
+            .values
+            .iter()
+            .filter(|(var, _)| self.repl.is_replicated_at(**var, requester))
+            .map(|(var, value)| (*var, *value))
+            .collect();
+        SyncState::HbTrack {
+            clock: self.state.write_clock.clone(),
+            vars,
+        }
+    }
+
+    fn install_sync(&mut self, sources: &[(SiteId, PeerAckInfo, SyncState)]) {
+        let mut best: HashMap<VarId, VersionedValue> = HashMap::new();
+        for (peer, ack, state) in sources {
+            let SyncState::HbTrack { clock, vars } = state else {
+                panic!("HB-Track site received a foreign sync snapshot");
+            };
+            self.state.apply[peer.index()] = ack.sm_count;
+            // Receipt-merge protocol: merging peers' matrices is exactly the
+            // HB knowledge transfer an RM reply performs, just n-wide.
+            self.state.write_clock.merge_max(clock);
+            for (var, value) in vars {
+                let replace = best.get(var).is_none_or(|b| {
+                    (value.writer.clock, value.writer.site) > (b.writer.clock, b.writer.site)
+                });
+                if replace {
+                    best.insert(*var, *value);
+                }
+            }
+        }
+        self.state.values.extend(best);
+    }
 }
 
 #[cfg(test)]
@@ -247,7 +321,9 @@ mod tests {
 
     fn system(n: usize) -> Vec<HbTrack> {
         let repl = Arc::new(FullReplication::new(n));
-        SiteId::all(n).map(|s| HbTrack::new(s, repl.clone())).collect()
+        SiteId::all(n)
+            .map(|s| HbTrack::new(s, repl.clone()))
+            .collect()
     }
 
     fn sends(effects: &[Effect]) -> Vec<(SiteId, Sm)> {
@@ -281,12 +357,27 @@ mod tests {
         // for x anyway — the false dependency.
         let mut sys = system(3);
         let (w_x, e0) = sys[0].write(VarId(0), 1, 0);
-        let sm_x_to_1 = sends(&e0).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
-        let sm_x_to_2 = sends(&e0).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_x_to_1 = sends(&e0)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let sm_x_to_2 = sends(&e0)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         sys[1].on_message(SiteId(0), Msg::Sm(sm_x_to_1));
         // No read!
         let (w_y, e1) = sys[1].write(VarId(1), 2, 0);
-        let sm_y_to_2 = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_y_to_2 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y_to_2));
         assert!(
             applied(&eff).is_empty(),
@@ -300,12 +391,27 @@ mod tests {
     fn real_dependencies_still_enforced() {
         let mut sys = system(3);
         let (w1, e0) = sys[0].write(VarId(0), 1, 0);
-        let sm_to_1 = sends(&e0).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
-        let sm_to_2 = sends(&e0).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_to_1 = sends(&e0)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let sm_to_2 = sends(&e0)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         sys[1].on_message(SiteId(0), Msg::Sm(sm_to_1));
         sys[1].read(VarId(0));
         let (w2, e1) = sys[1].write(VarId(1), 2, 0);
-        let sm_y = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_y = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y));
         assert!(applied(&eff).is_empty());
         let eff = sys[2].on_message(SiteId(0), Msg::Sm(sm_to_2));

@@ -38,7 +38,6 @@
 //! anomalies separately from genuine delivery violations (which must never
 //! occur).
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod effect;
@@ -50,6 +49,7 @@ pub mod opt_track;
 pub mod opt_track_crp;
 pub mod optp;
 pub mod pending;
+pub mod reliable;
 pub mod replication;
 pub mod site;
 pub mod wire;
@@ -62,6 +62,7 @@ pub use msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
 pub use opt_track::OptTrack;
 pub use opt_track_crp::OptTrackCrp;
 pub use optp::OptP;
+pub use reliable::{Frame, OwnLedger, PeerAckInfo, SyncState};
 pub use replication::Replication;
 pub use site::ProtocolSite;
 pub use wire::{decode, encode, WireError};

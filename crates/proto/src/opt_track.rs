@@ -16,11 +16,12 @@ use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
 use crate::pending::PendingQueues;
+use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
-use causal_clocks::{Log, LogEntry, PruneConfig};
 #[cfg(test)]
 use causal_clocks::DestSet;
+use causal_clocks::{Log, LogEntry, PruneConfig};
 use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -198,7 +199,8 @@ impl ProtocolSite for OptTrack {
 
         // Local log update: condition 2 prunes destinations covered by this
         // causally-later send, then the write's own record is added.
-        self.log.record_write(self.site, self.clock, dests, self.prune);
+        self.log
+            .record_write(self.site, self.clock, dests, self.prune);
 
         if dests.contains(self.site) {
             // Writer applies its own update immediately.
@@ -305,6 +307,97 @@ impl ProtocolSite for OptTrack {
     fn log_len(&self) -> Option<usize> {
         Some(self.log.len())
     }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        let ledger = OwnLedger {
+            site: self.site,
+            own_clock: self.clock,
+            // Opt-Track's predicate is clock-based, not count-based, so the
+            // per-destination row is only an upper bound (nothing reads it).
+            own_row: vec![self.clock; self.n],
+            self_applied: self.state.apply[self.site.index()],
+        };
+        // The write counter is the durable bit — reusing a clock would mint
+        // duplicate WriteIds. Everything learned is volatile.
+        self.log = Log::new();
+        self.state.values.clear();
+        self.state.last_write_on.clear();
+        self.state.apply = vec![0; self.n];
+        self.state.apply[self.site.index()] = ledger.self_applied;
+        self.state.last_clock = vec![0; self.n];
+        // Own self-replicated writes were applied here at write time; the
+        // clock-based fast-forward to the full own counter is safe (any own
+        // write not self-applied was not destined here at all).
+        self.state.last_clock[self.site.index()] = self.clock;
+        self.state.applied_effects.clear();
+        let mut dropped = 0;
+        for s in SiteId::all(self.n) {
+            dropped += self.pending.clear_sender(s);
+        }
+        self.outstanding_fetch = None;
+        (ledger, dropped)
+    }
+
+    fn note_peer_recovery(&mut self, peer: SiteId, ledger: &OwnLedger) -> (Vec<Effect>, usize) {
+        // The peer's unacked pre-crash writes are permanently lost:
+        // fast-forward the per-origin clock so predicates that reference
+        // them can fire, and drop updates parked from the peer (the
+        // fast-forward already covers their clocks).
+        let dropped = self.pending.clear_sender(peer);
+        let pi = peer.index();
+        self.state.last_clock[pi] = self.state.last_clock[pi].max(ledger.own_clock);
+        self.state.apply[pi] += dropped as u64;
+        self.log.prune_applied(self.site, &self.state.last_clock);
+        (self.drain(), dropped)
+    }
+
+    fn export_sync(&self, requester: SiteId) -> SyncState {
+        let vars = self
+            .state
+            .values
+            .iter()
+            .filter(|(var, _)| self.repl.is_replicated_at(**var, requester))
+            .map(|(var, value)| (*var, *value, self.state.last_write_on[var].clone()))
+            .collect();
+        SyncState::OptTrack {
+            log: self.log.clone(),
+            vars,
+        }
+    }
+
+    fn install_sync(&mut self, sources: &[(SiteId, PeerAckInfo, SyncState)]) {
+        let mut best: HashMap<VarId, (VersionedValue, Log)> = HashMap::new();
+        for (peer, ack, state) in sources {
+            let SyncState::OptTrack { log, vars } = state else {
+                panic!("Opt-Track site received a foreign sync snapshot");
+            };
+            // Acked SMs were received exactly once and never redeliver;
+            // unacked ones will be, starting right after the acked prefix
+            // (FIFO), so the acked maximum restores last_clock exactly.
+            self.state.apply[peer.index()] = ack.sm_count;
+            self.state.last_clock[peer.index()] = ack.sm_max_clock;
+            // Merge every live peer's log: a conservative over-approximation
+            // of the lost causal knowledge (each observed write lives in its
+            // writer's own log until all destinations are covered).
+            self.log.merge(log, self.prune);
+            for (var, value, meta) in vars {
+                let replace = best.get(var).is_none_or(|(b, _)| {
+                    (value.writer.clock, value.writer.site) > (b.writer.clock, b.writer.site)
+                });
+                if replace {
+                    best.insert(*var, (*value, meta.clone()));
+                }
+            }
+        }
+        self.log.prune_applied(self.site, &self.state.last_clock);
+        self.log.purge(self.prune);
+        for (var, (value, mut meta)) in best {
+            meta.remove_site(self.site);
+            meta.normalize(self.prune);
+            self.state.values.insert(var, value);
+            self.state.last_write_on.insert(var, meta);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -337,7 +430,9 @@ mod tests {
 
     fn toy_system() -> Vec<OptTrack> {
         let repl = Arc::new(Toy);
-        SiteId::all(3).map(|s| OptTrack::new(s, repl.clone())).collect()
+        SiteId::all(3)
+            .map(|s| OptTrack::new(s, repl.clone()))
+            .collect()
     }
 
     fn sends(effects: &[Effect]) -> Vec<(SiteId, Sm)> {
@@ -389,8 +484,18 @@ mod tests {
         let sm_x3_to_2 = sends(&e0)[0].1.clone();
 
         let (w_x1, e1) = sys[0].write(VarId(1), 11, 0);
-        let sm_x1_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
-        let sm_x1_to_2 = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_x1_to_1 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let sm_x1_to_2 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
 
         // The piggyback of the second write must still carry the first
         // write's record with s2 listed (snapshot taken before pruning).
@@ -407,7 +512,12 @@ mod tests {
             other => panic!("expected local value, got {other:?}"),
         }
         let (w_x2, e2) = sys[1].write(VarId(2), 12, 0);
-        let sm_x2_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_x2_to_2 = sends(&e2)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
 
         // s1's write causally depends (through the read) on s0's second
         // write, which transitively orders it after s0's first write too.
@@ -435,11 +545,21 @@ mod tests {
         let (_w_x3, e0) = sys[0].write(VarId(3), 10, 0);
         let _delayed = sends(&e0)[0].1.clone();
         let (_w_x1, e1) = sys[0].write(VarId(1), 11, 0);
-        let sm_x1_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
+        let sm_x1_to_1 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
         sys[1].on_message(SiteId(0), Msg::Sm(sm_x1_to_1));
         // No read: no →co edge.
         let (w_x2, e2) = sys[1].write(VarId(2), 12, 0);
-        let sm_x2_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_x2_to_2 = sends(&e2)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_x2_to_2));
         assert_eq!(applied(&eff), vec![w_x2]);
     }
@@ -449,7 +569,12 @@ mod tests {
         let mut sys = toy_system();
         // s1 writes x2 (replicas {0,2}); deliver to s0.
         let (w_x2, e1) = sys[1].write(VarId(2), 77, 0);
-        let sm_to_0 = sends(&e1).iter().find(|(t, _)| *t == SiteId(0)).unwrap().1.clone();
+        let sm_to_0 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(0))
+            .unwrap()
+            .1
+            .clone();
         sys[0].on_message(SiteId(1), Msg::Sm(sm_to_0));
 
         // s1 itself does not replicate x2: reading it goes remote.
@@ -503,10 +628,7 @@ mod tests {
         // After applying at s1, the log stored for x0 must not mention s1.
         sys[1].read(VarId(0));
         // s1's own LOG (post merge) must not list s1 as a pending dest.
-        assert!(sys[1]
-            .log
-            .iter()
-            .all(|e| !e.dests.contains(SiteId(1))));
+        assert!(sys[1].log.iter().all(|e| !e.dests.contains(SiteId(1))));
     }
 
     #[test]
@@ -514,8 +636,9 @@ mod tests {
         // Under full replication every write supersedes all previous dest
         // info: the log must stay O(1) per origin.
         let repl = Arc::new(FullReplication::new(4));
-        let mut sites: Vec<OptTrack> =
-            SiteId::all(4).map(|s| OptTrack::new(s, repl.clone())).collect();
+        let mut sites: Vec<OptTrack> = SiteId::all(4)
+            .map(|s| OptTrack::new(s, repl.clone()))
+            .collect();
         for round in 0..50u64 {
             let (_w, effects) = sites[0].write(VarId((round % 7) as u32), round, 0);
             for (to, sm) in sends(&effects) {

@@ -12,6 +12,7 @@ use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Msg, Sm, SmMeta};
 use crate::pending::PendingQueues;
+use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
 use causal_clocks::CrpLog;
@@ -215,6 +216,87 @@ impl ProtocolSite for OptTrackCrp {
     fn log_len(&self) -> Option<usize> {
         Some(self.log.len())
     }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        // Under full replication every own write counts toward every site,
+        // so the durable per-destination row is uniformly `clock_i`.
+        let ledger = OwnLedger {
+            site: self.site,
+            own_clock: self.clock,
+            own_row: vec![self.clock; self.n],
+            self_applied: self.state.apply[self.site.index()],
+        };
+        self.log = CrpLog::new();
+        if self.clock > 0 {
+            // Post-recovery writes causally follow the last pre-crash write;
+            // keep its tuple so the next piggyback still says so.
+            self.log.observe(WriteId::new(self.site, self.clock));
+        }
+        self.state.values.clear();
+        self.state.last_write_on.clear();
+        self.state.apply = vec![0; self.n];
+        self.state.apply[self.site.index()] = ledger.self_applied;
+        self.state.last_clock = vec![0; self.n];
+        self.state.last_clock[self.site.index()] = self.clock;
+        self.state.applied_effects.clear();
+        let mut dropped = 0;
+        for s in SiteId::all(self.n) {
+            dropped += self.pending.clear_sender(s);
+        }
+        (ledger, dropped)
+    }
+
+    fn note_peer_recovery(&mut self, peer: SiteId, ledger: &OwnLedger) -> (Vec<Effect>, usize) {
+        // The peer's unacked pre-crash writes are lost; fast-forward to its
+        // durable write counter so dependencies on them can fire, and drop
+        // parked updates from the peer — they sit inside the acked prefix
+        // the fast-forward now covers.
+        let dropped = self.pending.clear_sender(peer);
+        let p = peer.index();
+        self.state.last_clock[p] = self.state.last_clock[p].max(ledger.own_clock);
+        self.state.apply[p] = self.state.apply[p].max(ledger.own_clock);
+        (self.drain(), dropped)
+    }
+
+    fn export_sync(&self, _requester: SiteId) -> SyncState {
+        // Full replication: every variable lives everywhere.
+        SyncState::Crp {
+            log: self.log.clone(),
+            vars: self
+                .state
+                .values
+                .iter()
+                .map(|(v, val)| (*v, *val))
+                .collect(),
+        }
+    }
+
+    fn install_sync(&mut self, sources: &[(SiteId, PeerAckInfo, SyncState)]) {
+        let mut best: HashMap<VarId, VersionedValue> = HashMap::new();
+        for (peer, ack, state) in sources {
+            let SyncState::Crp { log, vars } = state else {
+                panic!("Opt-Track-CRP site received a foreign sync snapshot");
+            };
+            // Exactly the acked prefix of the peer's stream was received.
+            self.state.apply[peer.index()] = ack.sm_count;
+            self.state.last_clock[peer.index()] = ack.sm_max_clock;
+            // Merge every live peer's dependency log: a safe
+            // over-approximation of pre-crash causal knowledge.
+            self.log.merge(log);
+            for (var, value) in vars {
+                let better = best.get(var).is_none_or(|b| {
+                    (value.writer.clock, value.writer.site) > (b.writer.clock, b.writer.site)
+                });
+                if better {
+                    best.insert(*var, *value);
+                }
+            }
+        }
+        for (var, value) in best {
+            self.state.last_write_on.insert(var, value.writer);
+            self.state.values.insert(var, value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -224,7 +306,9 @@ mod tests {
 
     fn system(n: usize) -> Vec<OptTrackCrp> {
         let repl = Arc::new(FullReplication::new(n));
-        SiteId::all(n).map(|s| OptTrackCrp::new(s, repl.clone())).collect()
+        SiteId::all(n)
+            .map(|s| OptTrackCrp::new(s, repl.clone()))
+            .collect()
     }
 
     fn sends(effects: &[Effect]) -> Vec<(SiteId, Sm)> {
@@ -280,22 +364,45 @@ mod tests {
         sys[0].read(VarId(2));
         assert_eq!(sys[0].log_size(), 2);
         sys[0].read(VarId(1));
-        assert_eq!(sys[0].log_size(), 2, "re-reading the same origin adds nothing");
+        assert_eq!(
+            sys[0].log_size(),
+            2,
+            "re-reading the same origin adds nothing"
+        );
         sys[0].write(VarId(0), 5, 0);
-        assert_eq!(sys[0].log_size(), 1, "write resets the log to its own tuple");
+        assert_eq!(
+            sys[0].log_size(),
+            1,
+            "write resets the log to its own tuple"
+        );
     }
 
     #[test]
     fn causal_order_enforced_through_reads() {
         let mut sys = system(3);
         let (w1, e1) = sys[0].write(VarId(0), 1, 0);
-        let sm_x_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
-        let sm_x_to_2 = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_x_to_1 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let sm_x_to_2 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
 
         sys[1].on_message(SiteId(0), Msg::Sm(sm_x_to_1));
         sys[1].read(VarId(0));
         let (w2, e2) = sys[1].write(VarId(1), 2, 0);
-        let sm_y_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_y_to_2 = sends(&e2)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
 
         // y first: parked (its log lists ⟨s0, 1⟩, unapplied at s2).
         let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y_to_2));

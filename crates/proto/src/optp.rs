@@ -13,6 +13,7 @@ use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Msg, Sm, SmMeta};
 use crate::pending::PendingQueues;
+use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
 use causal_clocks::VectorClock;
@@ -186,6 +187,78 @@ impl ProtocolSite for OptP {
     fn value_of(&self, var: VarId) -> Option<VersionedValue> {
         self.state.values.get(&var).copied()
     }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        let own_clock = self.write_clock.get(self.site);
+        let ledger = OwnLedger {
+            site: self.site,
+            own_clock,
+            // Full replication: every own write goes to every site.
+            own_row: vec![own_clock; self.n],
+            self_applied: self.state.apply[self.site.index()],
+        };
+        self.write_clock = VectorClock::new(self.n);
+        self.write_clock.set(self.site, own_clock);
+        self.state.values.clear();
+        self.state.last_write_on.clear();
+        self.state.apply = vec![0; self.n];
+        self.state.apply[self.site.index()] = ledger.self_applied;
+        self.state.applied_effects.clear();
+        let mut dropped = 0;
+        for s in SiteId::all(self.n) {
+            dropped += self.pending.clear_sender(s);
+        }
+        (ledger, dropped)
+    }
+
+    fn note_peer_recovery(&mut self, peer: SiteId, ledger: &OwnLedger) -> (Vec<Effect>, usize) {
+        // The peer's unacked pre-crash writes died with it; count them as
+        // applied so predicates waiting on them can fire, and drop parked
+        // updates from it (the fast-forward already covers them).
+        let dropped = self.pending.clear_sender(peer);
+        self.state.apply[peer.index()] = self.state.apply[peer.index()].max(ledger.own_clock);
+        (self.drain(), dropped)
+    }
+
+    fn export_sync(&self, _requester: SiteId) -> SyncState {
+        let vars = self
+            .state
+            .values
+            .iter()
+            .map(|(var, value)| (*var, *value, self.state.last_write_on[var].clone()))
+            .collect();
+        SyncState::OptP {
+            clock: self.write_clock.clone(),
+            vars,
+        }
+    }
+
+    fn install_sync(&mut self, sources: &[(SiteId, PeerAckInfo, SyncState)]) {
+        let mut best: HashMap<VarId, (VersionedValue, VectorClock)> = HashMap::new();
+        for (peer, ack, state) in sources {
+            let SyncState::OptP { clock, vars } = state else {
+                panic!("optP site received a foreign sync snapshot");
+            };
+            // Acked SMs were received exactly once and never redeliver; the
+            // acked count restores the per-origin receive counter exactly.
+            self.state.apply[peer.index()] = ack.sm_count;
+            // Merge every live peer's vector: a safe over-approximation of
+            // the lost causal knowledge.
+            self.write_clock.merge_max(clock);
+            for (var, value, meta) in vars {
+                let replace = best.get(var).is_none_or(|(b, _)| {
+                    (value.writer.clock, value.writer.site) > (b.writer.clock, b.writer.site)
+                });
+                if replace {
+                    best.insert(*var, (*value, meta.clone()));
+                }
+            }
+        }
+        for (var, (value, meta)) in best {
+            self.state.values.insert(var, value);
+            self.state.last_write_on.insert(var, meta);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,13 +313,28 @@ mod tests {
     fn causal_order_enforced_through_reads() {
         let mut sys = system(3);
         let (w1, e1) = sys[0].write(VarId(0), 1, 0);
-        let sm_x_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
-        let sm_x_to_2 = sends(&e1).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_x_to_1 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let sm_x_to_2 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
 
         sys[1].on_message(SiteId(0), Msg::Sm(sm_x_to_1));
         sys[1].read(VarId(0));
         let (w2, e2) = sys[1].write(VarId(1), 2, 0);
-        let sm_y_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_y_to_2 = sends(&e2)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
 
         let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y_to_2));
         assert!(applied(&eff).is_empty(), "y waits for x");
@@ -258,11 +346,21 @@ mod tests {
     fn no_false_causality_without_read() {
         let mut sys = system(3);
         let (_w1, e1) = sys[0].write(VarId(0), 1, 0);
-        let sm_x_to_1 = sends(&e1).iter().find(|(t, _)| *t == SiteId(1)).unwrap().1.clone();
+        let sm_x_to_1 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
         sys[1].on_message(SiteId(0), Msg::Sm(sm_x_to_1));
         // No read: receipt alone creates no →co edge in optP either.
         let (w2, e2) = sys[1].write(VarId(1), 2, 0);
-        let sm_y_to_2 = sends(&e2).iter().find(|(t, _)| *t == SiteId(2)).unwrap().1.clone();
+        let sm_y_to_2 = sends(&e2)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
         let eff = sys[2].on_message(SiteId(1), Msg::Sm(sm_y_to_2));
         assert_eq!(applied(&eff), vec![w2]);
     }

@@ -43,6 +43,19 @@ impl<M> PendingQueues<M> {
         self.queues.iter().all(|q| q.is_empty())
     }
 
+    /// Discard everything parked from `sender`, returning the count.
+    ///
+    /// Used when `sender` crashes with state loss: its parked updates are
+    /// counted as received by the recovery fast-forward, so leaving them
+    /// queued would double-apply them (crash recovery; see
+    /// `ProtocolSite::note_peer_recovery`).
+    pub fn clear_sender(&mut self, sender: SiteId) -> usize {
+        let q = &mut self.queues[sender.index()];
+        let dropped = q.len();
+        q.clear();
+        dropped
+    }
+
     /// Repeatedly scan queue heads, applying every update whose predicate
     /// holds, until a full pass makes no progress. `ready` decides the
     /// activation predicate for a head from a given sender; `apply` performs
@@ -89,14 +102,14 @@ mod tests {
         q.push(SiteId(0), 2);
         q.push(SiteId(1), 10);
         let mut applied: Vec<(u16, u32)> = vec![];
-        let n = q.drain(
-            &mut applied,
-            |_, _, _| true,
-            |out, s, m| out.push((s.0, m)),
-        );
+        let n = q.drain(&mut applied, |_, _, _| true, |out, s, m| out.push((s.0, m)));
         assert_eq!(n, 3);
         // Sender 0's messages stay in order.
-        let s0: Vec<u32> = applied.iter().filter(|(s, _)| *s == 0).map(|&(_, m)| m).collect();
+        let s0: Vec<u32> = applied
+            .iter()
+            .filter(|(s, _)| *s == 0)
+            .map(|&(_, m)| m)
+            .collect();
         assert_eq!(s0, vec![1, 2]);
     }
 

@@ -1,0 +1,282 @@
+//! Reliable-delivery envelopes and crash-recovery state types.
+//!
+//! The paper's testbed runs over TCP, which silently provides the three
+//! channel guarantees every protocol here assumes: no loss, no duplication,
+//! FIFO order. This module defines the wire-level vocabulary that restores
+//! those guarantees over a *lossy* network — sequenced [`Frame::Data`]
+//! envelopes, cumulative [`Frame::Ack`]s — plus the state-sync handshake
+//! ([`Frame::SyncReq`] / [`Frame::SyncResp`]) a site uses to rebuild its
+//! volatile protocol state after a fail-stop crash with state loss.
+//!
+//! The transport *state machines* (retransmission timers, reorder buffers)
+//! live with the simulator in `causal-simnet::transport`; this module is
+//! only the protocol-facing vocabulary, so that the recovery entry points on
+//! [`crate::ProtocolSite`] can be expressed without a simnet dependency.
+//!
+//! ## Durability model
+//!
+//! A crashed site loses everything *learned*: clocks, logs, parked updates,
+//! replica values, `LastWriteOn` metadata. The only thing assumed durable is
+//! the site's **own-write ledger** ([`OwnLedger`]) — a tiny write-ahead
+//! record of the site's own write counter and per-destination send counts.
+//! This mirrors production systems, where a sequence number is fsync'd per
+//! write but replica state is in memory. The ledger is what prevents a
+//! recovering site from reusing `WriteId`s (which would corrupt every
+//! history downstream) and lets peers fast-forward past the crashed site's
+//! permanently-lost in-flight writes.
+
+use crate::msg::Msg;
+use causal_clocks::{CrpLog, Log, MatrixClock, VectorClock};
+use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue};
+
+/// The durable own-write ledger of one site (see module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnLedger {
+    /// The site this ledger belongs to.
+    pub site: SiteId,
+    /// Largest write clock the site ever stamped (its write counter).
+    pub own_clock: u64,
+    /// Per-destination count of the site's own writes addressed there
+    /// (Full-Track's own matrix row; for full-replication protocols every
+    /// entry equals `own_clock`).
+    pub own_row: Vec<u64>,
+    /// How many of the site's own writes it applied to its own replicas.
+    pub self_applied: u64,
+}
+
+/// What a live peer knows about the traffic it sent a crashed site:
+/// cumulative-ack bookkeeping for the `peer → crashed` channel. Acked
+/// updates were received exactly once and will never be redelivered;
+/// unacked ones will be, so together the two sets partition the stream and
+/// the recovering site can restore its per-origin apply counters exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeerAckInfo {
+    /// Number of SM frames on this channel the crashed site acknowledged.
+    pub sm_count: u64,
+    /// Largest write clock among those acknowledged SMs (0 when none).
+    pub sm_max_clock: u64,
+}
+
+/// One peer's contribution to a recovering site's state rebuild: the peer's
+/// full causal knowledge plus a snapshot of the variables both replicate.
+///
+/// Merging *every* live peer's knowledge yields a conservative
+/// over-approximation of the crashed site's pre-crash causal past (each
+/// write the site ever observed is contained in its writer's own clock/log),
+/// which is safe: extra dependencies only delay applies, they never violate
+/// causality, and every over-approximated dependency refers to a real write
+/// that will eventually arrive everywhere it is destined.
+#[derive(Clone, Debug)]
+pub enum SyncState {
+    /// Full-Track: matrix clock + per-variable `LastWriteOn` matrices.
+    FullTrack {
+        /// The peer's `Write` matrix.
+        clock: MatrixClock,
+        /// `(var, value, LastWriteOn⟨var⟩)` for shared variables.
+        vars: Vec<(VarId, VersionedValue, MatrixClock)>,
+    },
+    /// Opt-Track: KS log + per-variable `LastWriteOn` logs.
+    OptTrack {
+        /// The peer's `LOG`.
+        log: Log,
+        /// `(var, value, LastWriteOn⟨var⟩)` for shared variables.
+        vars: Vec<(VarId, VersionedValue, Log)>,
+    },
+    /// Opt-Track-CRP: 2-tuple log; `LastWriteOn` is the value's own
+    /// `WriteId`, already inside the [`VersionedValue`].
+    Crp {
+        /// The peer's tuple log.
+        log: CrpLog,
+        /// `(var, value)` pairs (full replication: all written variables).
+        vars: Vec<(VarId, VersionedValue)>,
+    },
+    /// optP: vector clock + per-variable `LastWriteOn` vectors.
+    OptP {
+        /// The peer's `Write` vector.
+        clock: VectorClock,
+        /// `(var, value, LastWriteOn⟨var⟩)` for shared variables.
+        vars: Vec<(VarId, VersionedValue, VectorClock)>,
+    },
+    /// HB-Track: a single matrix (receipt-merge protocols keep no
+    /// per-variable metadata).
+    HbTrack {
+        /// The peer's merged happened-before matrix.
+        clock: MatrixClock,
+        /// `(var, value)` pairs for shared variables.
+        vars: Vec<(VarId, VersionedValue)>,
+    },
+}
+
+impl SyncState {
+    /// Approximate wire size of this snapshot under `model` (clocks/logs via
+    /// their [`MetaSized`] accounting, plus two scalars per shipped value for
+    /// the `⟨site, clock⟩` writer tuple).
+    pub fn meta_size(&self, model: &SizeModel) -> u64 {
+        match self {
+            SyncState::FullTrack { clock, vars } => {
+                clock.meta_size(model)
+                    + vars
+                        .iter()
+                        .map(|(_, _, m)| m.meta_size(model) + model.scalars(2))
+                        .sum::<u64>()
+            }
+            SyncState::OptTrack { log, vars } => {
+                log.meta_size(model)
+                    + vars
+                        .iter()
+                        .map(|(_, _, l)| l.meta_size(model) + model.scalars(2))
+                        .sum::<u64>()
+            }
+            SyncState::Crp { log, vars } => log.meta_size(model) + model.scalars(2 * vars.len()),
+            SyncState::OptP { clock, vars } => {
+                clock.meta_size(model)
+                    + vars
+                        .iter()
+                        .map(|(_, _, v)| v.meta_size(model) + model.scalars(2))
+                        .sum::<u64>()
+            }
+            SyncState::HbTrack { clock, vars } => {
+                clock.meta_size(model) + model.scalars(2 * vars.len())
+            }
+        }
+    }
+}
+
+/// A transport-level frame on one ordered site pair.
+///
+/// Sequence numbers are per ordered pair and per *epoch*: the epoch of a
+/// channel is the receiver's incarnation number, bumped at each recovery.
+/// Frames whose epoch does not match the receiver's current incarnation are
+/// stale traffic addressed to a dead incarnation and are dropped.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// A sequenced protocol message.
+    Data {
+        /// Sender's incarnation when the frame was (re)sent.
+        src_inc: u32,
+        /// Sender's belief of the receiver's incarnation (the epoch).
+        dst_inc: u32,
+        /// Per-channel, per-epoch sequence number, starting at 1.
+        seq: u64,
+        /// The wrapped protocol message.
+        msg: Msg,
+    },
+    /// Cumulative acknowledgement: "I have received every sequence number
+    /// `≤ cum_seq` of epoch `epoch` on your channel to me."
+    Ack {
+        /// The acknowledging receiver's incarnation (the channel epoch).
+        epoch: u32,
+        /// Echo of the acknowledged frames' sender incarnation. A sender
+        /// that crashed and restarted its stream must ignore acks addressed
+        /// to its previous incarnation — they refer to dead sequence
+        /// numbers and would falsely clear new-stream frames.
+        src_inc: u32,
+        /// Highest contiguously received sequence number.
+        cum_seq: u64,
+    },
+    /// A recovering site announces its new incarnation and durable ledger;
+    /// peers fast-forward past its lost writes and answer with `SyncResp`.
+    SyncReq {
+        /// The recovering site's new incarnation.
+        inc: u32,
+        /// Its durable own-write ledger.
+        ledger: OwnLedger,
+    },
+    /// A live peer's reply to `SyncReq`.
+    SyncResp {
+        /// Echo of the recovering site's incarnation.
+        inc: u32,
+        /// Ack bookkeeping of the `peer → recovering` channel.
+        ack: PeerAckInfo,
+        /// The peer's causal knowledge + shared-variable snapshot.
+        state: SyncState,
+    },
+}
+
+impl Frame {
+    /// Transport-envelope overhead in bytes under `model` — what the frame
+    /// adds on the wire *beyond* any wrapped protocol message's metadata.
+    /// Used for the "with transport overhead" re-plots of the paper's
+    /// meta-data-size figures.
+    pub fn overhead(&self, model: &SizeModel) -> u64 {
+        match self {
+            // src_inc + dst_inc + seq.
+            Frame::Data { .. } => model.scalars(3),
+            // epoch + src_inc + cum_seq.
+            Frame::Ack { .. } => model.scalars(3),
+            // inc + own_clock + self_applied + own_row.
+            Frame::SyncReq { ledger, .. } => model.scalars(3 + ledger.own_row.len()),
+            // inc + the two PeerAckInfo scalars; the snapshot is counted
+            // separately via [`SyncState::meta_size`].
+            Frame::SyncResp { .. } => model.scalars(3),
+        }
+    }
+
+    /// `true` for the sync-handshake frames, which ride the control plane
+    /// (not subject to fault injection; see `causal-simnet::transport`).
+    pub fn is_sync(&self) -> bool {
+        matches!(self, Frame::SyncReq { .. } | Frame::SyncResp { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{Fm, Msg};
+
+    #[test]
+    fn data_overhead_is_three_scalars() {
+        let model = SizeModel::java_like();
+        let f = Frame::Data {
+            src_inc: 0,
+            dst_inc: 0,
+            seq: 9,
+            msg: Msg::Fm(Fm { var: VarId(1) }),
+        };
+        assert_eq!(f.overhead(&model), model.scalars(3));
+        assert!(!f.is_sync());
+    }
+
+    #[test]
+    fn sync_frames_are_control_plane() {
+        let model = SizeModel::java_like();
+        let req = Frame::SyncReq {
+            inc: 1,
+            ledger: OwnLedger {
+                site: SiteId(2),
+                own_clock: 7,
+                own_row: vec![3, 0, 4],
+                self_applied: 2,
+            },
+        };
+        assert!(req.is_sync());
+        assert_eq!(req.overhead(&model), model.scalars(6));
+        let resp = Frame::SyncResp {
+            inc: 1,
+            ack: PeerAckInfo::default(),
+            state: SyncState::Crp {
+                log: CrpLog::new(),
+                vars: vec![],
+            },
+        };
+        assert!(resp.is_sync());
+    }
+
+    #[test]
+    fn sync_state_sizes_count_vars() {
+        let model = SizeModel::java_like();
+        let empty = SyncState::OptP {
+            clock: VectorClock::new(4),
+            vars: vec![],
+        };
+        let one = SyncState::OptP {
+            clock: VectorClock::new(4),
+            vars: vec![(
+                VarId(0),
+                VersionedValue::new(causal_types::WriteId::new(SiteId(1), 1), 5),
+                VectorClock::new(4),
+            )],
+        };
+        assert!(one.meta_size(&model) > empty.meta_size(&model));
+    }
+}

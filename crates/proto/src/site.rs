@@ -3,6 +3,7 @@
 use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::Msg;
+use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use causal_types::{SiteId, SizeModel, VarId, VersionedValue, WriteId};
 
 /// One site's protocol state machine.
@@ -61,5 +62,50 @@ pub trait ProtocolSite: Send {
     /// by the `d`-parameter analysis (paper §V-B).
     fn log_len(&self) -> Option<usize> {
         None
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / recovery (fail-stop with state loss; see `crate::reliable`).
+    // The driver (simulator) orchestrates the handshake; the protocol only
+    // snapshots, forgets and rebuilds its own state. Every bundled protocol
+    // implements these; the defaults panic so that a third-party
+    // `ProtocolSite` that never opted into crash injection fails loudly
+    // rather than silently corrupting an execution.
+    // ------------------------------------------------------------------
+
+    /// Fail-stop: discard all volatile state (clocks, logs, values, parked
+    /// updates, outstanding fetches), keeping only what the durable
+    /// own-write ledger justifies (own write counter, own clock row).
+    /// Returns the ledger and the number of parked updates lost.
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        panic!("{} does not support crash injection", self.kind())
+    }
+
+    /// A crashed `peer` announced recovery with `ledger`: fast-forward this
+    /// site's per-origin bookkeeping past the peer's permanently-lost
+    /// pre-crash writes (its unacked transmit backlog died with it) and
+    /// discard updates parked from it, so activation predicates referring
+    /// to those writes can still fire. Returns `(drained-apply effects,
+    /// parked updates dropped)`.
+    fn note_peer_recovery(&mut self, peer: SiteId, ledger: &OwnLedger) -> (Vec<Effect>, usize) {
+        let _ = (peer, ledger);
+        panic!("{} does not support crash injection", self.kind())
+    }
+
+    /// Export this site's causal knowledge plus a snapshot of the variables
+    /// shared with `requester`, for the requester's state rebuild.
+    fn export_sync(&self, requester: SiteId) -> SyncState {
+        let _ = requester;
+        panic!("{} does not support crash injection", self.kind())
+    }
+
+    /// Rebuild after a crash from every live peer's [`SyncState`] (merge all
+    /// causal knowledge — a safe over-approximation of the lost state — and
+    /// reinstall shared-variable values) and the per-channel ack bookkeeping
+    /// (restore per-origin apply counters exactly: acked updates were
+    /// received and will never be redelivered, unacked ones will be).
+    fn install_sync(&mut self, sources: &[(SiteId, PeerAckInfo, SyncState)]) {
+        let _ = sources;
+        panic!("{} does not support crash injection", self.kind())
     }
 }

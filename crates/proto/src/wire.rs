@@ -432,17 +432,18 @@ mod tests {
         });
         let bytes = encode(&msg);
         for cut in 0..bytes.len() {
-            assert_eq!(decode(&bytes[..cut]), Err(WireError::Truncated), "cut={cut}");
+            assert_eq!(
+                decode(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "cut={cut}"
+            );
         }
     }
 
     #[test]
     fn bad_tags_rejected() {
         assert_eq!(decode(&[9]), Err(WireError::BadTag(9)));
-        assert!(matches!(
-            decode(&[]),
-            Err(WireError::Truncated)
-        ));
+        assert!(matches!(decode(&[]), Err(WireError::Truncated)));
     }
 
     #[test]

@@ -22,12 +22,11 @@
 //! joins the threads. A parked update at that point would be a protocol bug
 //! (reported in [`RunOutcome::final_pending`]).
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod node;
 pub mod runner;
 pub mod tcp;
 
-pub use runner::{run_threaded, RuntimeConfig, RunOutcome};
+pub use runner::{run_threaded, RunOutcome, RuntimeConfig};
 pub use tcp::run_tcp;

@@ -3,9 +3,9 @@
 use causal_checker::History;
 use causal_metrics::RunMetrics;
 use causal_proto::{Effect, Msg, ProtocolSite, ReadResult};
+use causal_types::WriteId;
 use causal_types::{MetaSized, OpKind, ScheduledOp, SiteId, SizeModel};
 use crossbeam::channel::{Receiver, Sender};
-use causal_types::WriteId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;

@@ -77,9 +77,8 @@ pub fn run_threaded(cfg: &RuntimeConfig) -> RunOutcome {
     let finished = Arc::new(AtomicUsize::new(0));
     let repl: Arc<dyn Replication> = cfg.placement.clone();
 
-    let transport: Arc<dyn crate::node::Transport> = Arc::new(ChannelTransport {
-        peers: txs.clone(),
-    });
+    let transport: Arc<dyn crate::node::Transport> =
+        Arc::new(ChannelTransport { peers: txs.clone() });
     let mut handles = Vec::with_capacity(n);
     for (i, inbox) in rxs.into_iter().enumerate() {
         let site = SiteId::from(i);
@@ -102,8 +101,13 @@ pub fn run_threaded(cfg: &RuntimeConfig) -> RunOutcome {
             // The node flags schedule completion by bumping the counter the
             // moment its last op is issued; Node::run keeps serving
             // messages afterwards.
-            
-            NodeRunner { node, finished, ops }.run()
+
+            NodeRunner {
+                node,
+                finished,
+                ops,
+            }
+            .run()
         }));
     }
 

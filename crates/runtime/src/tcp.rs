@@ -23,8 +23,8 @@ use causal_checker::History;
 use causal_metrics::RunMetrics;
 use causal_proto::{build_site, wire, Msg, ProtocolConfig, Replication};
 use causal_types::{Error, Result, SiteId};
-use crossbeam::channel::{unbounded, Sender};
 use causal_workload::generate;
+use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -80,10 +80,7 @@ fn reader_loop(mut stream: TcpStream, from: SiteId, inbox: Sender<Wire>) {
 
 /// Establish the full mesh. Returns, per site, the outgoing writer halves;
 /// reader threads are spawned as connections come up.
-fn build_mesh(
-    n: usize,
-    inboxes: &[Sender<Wire>],
-) -> Result<Vec<Vec<Option<Mutex<TcpStream>>>>> {
+fn build_mesh(n: usize, inboxes: &[Sender<Wire>]) -> Result<Vec<Vec<Option<Mutex<TcpStream>>>>> {
     let mut listeners = Vec::with_capacity(n);
     let mut addrs = Vec::with_capacity(n);
     for _ in 0..n {
@@ -92,9 +89,8 @@ fn build_mesh(
         listeners.push(l);
     }
 
-    let mut writers: Vec<Vec<Option<Mutex<TcpStream>>>> = (0..n)
-        .map(|_| (0..n).map(|_| None).collect())
-        .collect();
+    let mut writers: Vec<Vec<Option<Mutex<TcpStream>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
 
     // Site i dials every j > i; the accepting side reads the 2-byte hello.
     // Dialing and accepting are interleaved deterministically: for each
@@ -117,7 +113,9 @@ fn build_mesh(
             debug_assert_eq!(from, SiteId::from(i));
 
             // i → j: writer at i, reader thread feeding j.
-            writers[i][j] = Some(Mutex::new(out.try_clone().map_err(|_| Error::ChannelClosed)?));
+            writers[i][j] = Some(Mutex::new(
+                out.try_clone().map_err(|_| Error::ChannelClosed)?,
+            ));
             let inbox_j = inboxes[j].clone();
             std::thread::spawn(move || reader_loop(inc_read, from, inbox_j));
 

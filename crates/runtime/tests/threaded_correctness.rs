@@ -16,17 +16,9 @@ fn threaded_full_replication_protocols_are_causal() {
             let out = run_threaded(&cfg);
             assert_eq!(out.final_pending, 0, "{kind} seed {seed}");
             let v = check(&out.history);
-            assert!(
-                v.protocol_clean(),
-                "{kind} seed {seed}: {:?}",
-                v.examples
-            );
+            assert!(v.protocol_clean(), "{kind} seed {seed}: {:?}", v.examples);
             // Full replication + local reads: strict causal memory.
-            assert!(
-                v.strictly_clean(),
-                "{kind} seed {seed}: {:?}",
-                v.examples
-            );
+            assert!(v.strictly_clean(), "{kind} seed {seed}: {:?}", v.examples);
         }
     }
 }
@@ -39,11 +31,7 @@ fn threaded_partial_replication_protocols_are_causal() {
             let out = run_threaded(&cfg);
             assert_eq!(out.final_pending, 0, "{kind} seed {seed}");
             let v = check(&out.history);
-            assert!(
-                v.protocol_clean(),
-                "{kind} seed {seed}: {:?}",
-                v.examples
-            );
+            assert!(v.protocol_clean(), "{kind} seed {seed}: {:?}", v.examples);
         }
     }
 }

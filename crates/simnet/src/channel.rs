@@ -99,9 +99,108 @@ impl PartitionWindow {
     /// `true` when a message sent at `at` from `from` to `to` is severed by
     /// this window.
     fn cuts(&self, from: SiteId, to: SiteId, at: SimTime) -> bool {
-        at >= self.start
-            && at < self.end
-            && self.side_a.contains(from) != self.side_a.contains(to)
+        at >= self.start && at < self.end && self.side_a.contains(from) != self.side_a.contains(to)
+    }
+}
+
+/// A burst-loss window: during `[start, end)` every channel's drop
+/// probability is raised to at least `drop` (correlated loss, as produced by
+/// a congested or flapping link — the failure mode that most stresses
+/// retransmission backoff).
+#[derive(Clone, Debug)]
+pub struct BurstWindow {
+    /// Burst onset (frames departing at or after this instant are affected).
+    pub start: SimTime,
+    /// Burst end.
+    pub end: SimTime,
+    /// Drop probability during the burst (overrides the base rate when
+    /// larger).
+    pub drop: f64,
+}
+
+/// Per-ordered-pair fault override, taking precedence over the plan's base
+/// rates on that channel.
+#[derive(Clone, Debug)]
+pub struct ChannelFault {
+    /// Sending site of the affected channel.
+    pub from: SiteId,
+    /// Receiving site of the affected channel.
+    pub to: SiteId,
+    /// Drop probability on this channel.
+    pub drop: f64,
+    /// Duplication probability on this channel.
+    pub dup: f64,
+}
+
+/// A lossy-network fault plan: per-frame drop and duplication probabilities,
+/// optionally modulated by [`BurstWindow`]s and per-channel overrides.
+///
+/// The plan acts on transport *frames* (see `crate::transport`), never on
+/// protocol messages directly: a dropped frame is retransmitted until
+/// acknowledged and a duplicated frame is deduplicated by the receiver's
+/// sequence window, so the protocol layer above still observes exactly-once
+/// FIFO delivery. Sampling is driven by a dedicated fault RNG derived from
+/// the run seed, keeping runs bit-reproducible and leaving the latency
+/// stream untouched (an empty plan consumes no randomness at all).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Base probability that a frame is dropped in transit.
+    pub drop: f64,
+    /// Base probability that a delivered frame arrives a second time.
+    pub dup: f64,
+    /// Correlated burst-loss windows.
+    pub bursts: Vec<BurstWindow>,
+    /// Per-channel overrides.
+    pub overrides: Vec<ChannelFault>,
+}
+
+impl FaultPlan {
+    /// A plan with uniform base rates and no bursts or overrides.
+    pub fn uniform(drop: f64, dup: f64) -> Self {
+        FaultPlan {
+            drop,
+            dup,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// `true` when the plan can never drop or duplicate anything — the
+    /// transport layer is bypassed entirely in that case.
+    pub fn is_noop(&self) -> bool {
+        self.drop == 0.0
+            && self.dup == 0.0
+            && self.bursts.iter().all(|b| b.drop == 0.0)
+            && self.overrides.iter().all(|o| o.drop == 0.0 && o.dup == 0.0)
+    }
+
+    fn channel(&self, from: SiteId, to: SiteId) -> Option<&ChannelFault> {
+        self.overrides.iter().find(|o| o.from == from && o.to == to)
+    }
+
+    /// The drop probability for a frame departing `from → to` at `at`.
+    pub fn drop_prob(&self, from: SiteId, to: SiteId, at: SimTime) -> f64 {
+        let base = self.channel(from, to).map_or(self.drop, |o| o.drop);
+        self.bursts
+            .iter()
+            .filter(|b| at >= b.start && at < b.end)
+            .fold(base, |p, b| p.max(b.drop))
+    }
+
+    /// The duplication probability on the `from → to` channel.
+    pub fn dup_prob(&self, from: SiteId, to: SiteId) -> f64 {
+        self.channel(from, to).map_or(self.dup, |o| o.dup)
+    }
+
+    /// Sample the drop decision for one frame departure.
+    pub fn should_drop(&self, from: SiteId, to: SiteId, at: SimTime, rng: &mut StdRng) -> bool {
+        let p = self.drop_prob(from, to, at);
+        p > 0.0 && rng.gen_bool(p.min(1.0))
+    }
+
+    /// Sample the duplication decision for one delivered frame.
+    pub fn should_dup(&self, from: SiteId, to: SiteId, rng: &mut StdRng) -> bool {
+        let p = self.dup_prob(from, to);
+        p > 0.0 && rng.gen_bool(p.min(1.0))
     }
 }
 
@@ -143,10 +242,20 @@ impl ChannelMatrix {
         rng: &mut StdRng,
     ) -> SimTime {
         let idx = from.index() * self.n + to.index();
+        // Iterate to a fixpoint: pushing the departure past one window's
+        // heal can land it inside another window that appears *earlier* in
+        // the list, so a single in-order pass is not enough.
         let mut depart = now;
-        for w in &self.partitions {
-            if w.cuts(from, to, depart) {
-                depart = w.end;
+        loop {
+            let pushed = self
+                .partitions
+                .iter()
+                .filter(|w| w.cuts(from, to, depart))
+                .map(|w| w.end)
+                .max();
+            match pushed {
+                Some(end) => depart = end,
+                None => break,
             }
         }
         let transit = self.model.sample(self.n, from, to, rng);
@@ -223,12 +332,16 @@ mod tests {
     fn uniform_latency_within_bounds() {
         let mut m = ChannelMatrix::new(2, LatencyModel::default_wan());
         let mut rng = StdRng::seed_from_u64(3);
+        // Chain the sends: each departs at the previous delivery instant, so
+        // the FIFO floor never masks the freshly sampled transit and every
+        // sample is checked against the model's bounds.
+        let mut prev = SimTime::ZERO;
         for _ in 0..100 {
-            let mut m2 = ChannelMatrix::new(2, LatencyModel::default_wan());
-            let t = m2.delivery_time(SiteId(0), SiteId(1), SimTime::ZERO, &mut rng);
-            assert!(t >= SimTime::from_millis(20) && t <= SimTime::from_millis(80));
+            let t = m.delivery_time(SiteId(0), SiteId(1), prev, &mut rng);
+            assert!(t >= prev + SimDuration::from_millis(20));
+            assert!(t <= prev + SimDuration::from_millis(80));
+            prev = t;
         }
-        let _ = &mut m;
     }
 }
 
@@ -289,5 +402,82 @@ mod partition_tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let t = m.delivery_time(SiteId(0), SiteId(1), SimTime::from_millis(120), &mut rng);
         assert_eq!(t, SimTime::from_millis(301), "held by both windows in turn");
+    }
+
+    #[test]
+    fn chained_windows_apply_in_any_listed_order() {
+        // Same scenario with the windows listed in reverse: the heal of the
+        // later-listed window lands inside the earlier-listed one, which a
+        // single in-order pass would miss. The fixpoint must still find the
+        // final heal instant.
+        let mut m = ChannelMatrix::new(2, LatencyModel::Constant { micros: 1000 })
+            .with_partitions(vec![window(150, 300, &[0]), window(100, 200, &[0])]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = m.delivery_time(SiteId(0), SiteId(1), SimTime::from_millis(120), &mut rng);
+        assert_eq!(t, SimTime::from_millis(301), "window order must not matter");
+    }
+}
+
+#[cfg(test)]
+mod fault_plan_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_plan_is_noop() {
+        assert!(FaultPlan::default().is_noop());
+        assert!(FaultPlan::uniform(0.0, 0.0).is_noop());
+        assert!(!FaultPlan::uniform(0.1, 0.0).is_noop());
+        assert!(!FaultPlan::uniform(0.0, 0.1).is_noop());
+    }
+
+    #[test]
+    fn bursts_raise_the_drop_rate_inside_the_window() {
+        let plan = FaultPlan {
+            drop: 0.05,
+            bursts: vec![BurstWindow {
+                start: SimTime::from_millis(100),
+                end: SimTime::from_millis(200),
+                drop: 0.9,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_noop());
+        let (a, b) = (SiteId(0), SiteId(1));
+        assert_eq!(plan.drop_prob(a, b, SimTime::from_millis(50)), 0.05);
+        assert_eq!(plan.drop_prob(a, b, SimTime::from_millis(150)), 0.9);
+        assert_eq!(plan.drop_prob(a, b, SimTime::from_millis(200)), 0.05);
+    }
+
+    #[test]
+    fn overrides_take_precedence_per_channel() {
+        let plan = FaultPlan {
+            drop: 0.5,
+            dup: 0.5,
+            overrides: vec![ChannelFault {
+                from: SiteId(0),
+                to: SiteId(1),
+                drop: 0.0,
+                dup: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        // The overridden channel is lossless regardless of the base rates.
+        assert_eq!(plan.drop_prob(SiteId(0), SiteId(1), SimTime::ZERO), 0.0);
+        assert!(!plan.should_drop(SiteId(0), SiteId(1), SimTime::ZERO, &mut rng));
+        assert!(!plan.should_dup(SiteId(0), SiteId(1), &mut rng));
+        // Other channels keep the base rates.
+        assert_eq!(plan.drop_prob(SiteId(1), SiteId(0), SimTime::ZERO), 0.5);
+    }
+
+    #[test]
+    fn sampled_drop_rate_tracks_the_probability() {
+        let plan = FaultPlan::uniform(0.3, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let hits = (0..10_000)
+            .filter(|_| plan.should_drop(SiteId(0), SiteId(1), SimTime::ZERO, &mut rng))
+            .count();
+        assert!((2_500..3_500).contains(&hits), "drop rate skewed: {hits}");
     }
 }

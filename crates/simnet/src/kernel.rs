@@ -1,6 +1,6 @@
 //! The discrete-event kernel: a virtual clock and an event heap.
 
-use causal_proto::Msg;
+use causal_proto::{Frame, Msg};
 use causal_types::{SimTime, SiteId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -27,6 +27,47 @@ pub enum SimEvent {
         measured: bool,
         /// When the message entered the channel (for transit statistics).
         sent_at: SimTime,
+    },
+    /// A transport frame completes its channel transit (lossy-network runs
+    /// only; on the lossless path messages ride [`SimEvent::Deliver`]
+    /// directly and the transport is bypassed).
+    DeliverFrame {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+        /// The frame (boxed: frames are much larger than the other
+        /// variants and would bloat every queued event).
+        frame: Box<Frame>,
+        /// Post-warm-up attribution of the wrapped message, if any.
+        measured: bool,
+        /// When the frame entered the channel.
+        sent_at: SimTime,
+    },
+    /// A retransmission timer fires: if `seq` on the `from → to` channel is
+    /// still unacked in epoch `epoch`, resend it with backoff.
+    RetransmitCheck {
+        /// Sending site that armed the timer.
+        from: SiteId,
+        /// Receiving site of the guarded channel.
+        to: SiteId,
+        /// Channel epoch the timer was armed in.
+        epoch: u32,
+        /// Guarded sequence number.
+        seq: u64,
+        /// Retransmission attempt count (drives exponential backoff).
+        attempt: u32,
+    },
+    /// `site` fail-stops, losing all volatile state.
+    Crash {
+        /// The crashing site.
+        site: SiteId,
+    },
+    /// `site` restarts from its durable ledger and begins the sync
+    /// handshake.
+    Recover {
+        /// The recovering site.
+        site: SiteId,
     },
 }
 

@@ -23,13 +23,14 @@
 //!   routes protocol effects, gathers [`causal_metrics::RunMetrics`] and
 //!   records a [`causal_checker::History`] for post-run verification.
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod channel;
 pub mod kernel;
 pub mod sim;
+pub mod transport;
 
-pub use channel::{LatencyModel, PartitionWindow};
+pub use channel::{BurstWindow, ChannelFault, FaultPlan, LatencyModel, PartitionWindow};
 pub use kernel::{EventHeap, SimEvent};
-pub use sim::{run, PauseWindow, SimConfig, SimResult};
+pub use sim::{run, CrashWindow, PauseWindow, SimConfig, SimResult};
+pub use transport::{Transport, TransportCmd, TransportTuning};

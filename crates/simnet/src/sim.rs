@@ -1,21 +1,23 @@
 //! The full-system simulation driver.
 
-use crate::channel::{ChannelMatrix, LatencyModel, PartitionWindow};
+use crate::channel::{ChannelMatrix, FaultPlan, LatencyModel, PartitionWindow};
 use crate::kernel::{EventHeap, SimEvent};
+use crate::transport::{Transport, TransportCmd, TransportTuning};
 use causal_checker::History;
 use causal_clocks::PruneConfig;
 use causal_memory::Placement;
 use causal_metrics::RunMetrics;
 use causal_proto::{
-    build_site, Effect, Msg, ProtocolConfig, ProtocolKind, ProtocolSite, ReadResult, Replication,
+    build_site, Effect, Fm, Frame, Msg, OwnLedger, PeerAckInfo, ProtocolConfig, ProtocolKind,
+    ProtocolSite, ReadResult, Replication, SyncState,
 };
+use causal_types::WriteId;
 use causal_types::{MetaSized, OpKind, SimTime, SiteId, SizeModel, VarId};
 use causal_workload::{generate, WorkloadParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use causal_types::WriteId;
 
 /// A site pause (fail-stop with recovery): during `[start, end)` the site
 /// neither issues operations nor processes incoming messages; everything
@@ -37,6 +39,28 @@ impl PauseWindow {
     fn resumes(&self, site: SiteId, now: SimTime) -> Option<SimTime> {
         (self.site == site && now >= self.start && now < self.end).then_some(self.end)
     }
+}
+
+/// A fail-stop crash **with state loss**: at `start` the site loses all
+/// volatile state — clocks, logs, parked updates, replica values,
+/// `LastWriteOn` metadata — keeping only its durable own-write ledger. At
+/// `end` it restarts, announces a new incarnation, and rebuilds its causal
+/// knowledge through a state-sync handshake with every live replica.
+///
+/// Unlike [`PauseWindow`], messages arriving while the site is down are
+/// *lost* (the reliable transport's senders retransmit them), so crash
+/// windows require chaos mode and are orchestrated together with the
+/// [`FaultPlan`]. Windows of one run must not overlap, and each recovery's
+/// sync handshake must finish before the next crash begins (asserted at
+/// runtime).
+#[derive(Clone, Debug)]
+pub struct CrashWindow {
+    /// The crashing site.
+    pub site: SiteId,
+    /// Crash instant (fail-stop, state loss).
+    pub start: SimTime,
+    /// Restart instant (recovery + sync handshake begins).
+    pub end: SimTime,
 }
 
 /// Configuration of one simulation run.
@@ -65,13 +89,22 @@ pub struct SimConfig {
     pub schedule_override: Option<causal_workload::Schedule>,
     /// Injected site pauses (empty by default).
     pub pauses: Vec<PauseWindow>,
+    /// Lossy-network fault plan. When it is a no-op and `crashes` is empty
+    /// the reliable transport is bypassed entirely and the run takes the
+    /// exact lossless path (bit-identical metrics).
+    pub faults: FaultPlan,
+    /// Injected fail-stop crashes with state loss (empty by default).
+    pub crashes: Vec<CrashWindow>,
 }
 
 impl SimConfig {
     /// The paper's partial-replication setting (`p = 0.3·n`, even
     /// placement) for the given protocol.
     pub fn paper_partial(protocol: ProtocolKind, n: usize, w_rate: f64, seed: u64) -> Self {
-        assert!(protocol.supports_partial(), "{protocol} is full-replication only");
+        assert!(
+            protocol.supports_partial(),
+            "{protocol} is full-replication only"
+        );
         SimConfig {
             protocol,
             placement: Arc::new(Placement::paper_partial(n).expect("valid n")),
@@ -83,6 +116,8 @@ impl SimConfig {
             partitions: Vec::new(),
             schedule_override: None,
             pauses: Vec::new(),
+            faults: FaultPlan::default(),
+            crashes: Vec::new(),
         }
     }
 
@@ -100,6 +135,8 @@ impl SimConfig {
             partitions: Vec::new(),
             schedule_override: None,
             pauses: Vec::new(),
+            faults: FaultPlan::default(),
+            crashes: Vec::new(),
         }
     }
 
@@ -113,6 +150,24 @@ impl SimConfig {
     pub fn with_history(mut self) -> Self {
         self.record_history = true;
         self
+    }
+
+    /// Inject a lossy-network fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Inject fail-stop crash windows.
+    pub fn with_crashes(mut self, crashes: Vec<CrashWindow>) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    /// `true` when this run needs the reliable transport (lossy network or
+    /// crash injection).
+    pub fn chaos(&self) -> bool {
+        !self.faults.is_noop() || !self.crashes.is_empty()
     }
 }
 
@@ -146,6 +201,47 @@ struct BlockedFetch {
     measured: bool,
 }
 
+/// Liveness of a site under crash injection.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum SiteStatus {
+    /// Normal operation.
+    Up,
+    /// Crashed: operations defer, arriving data frames are lost.
+    Down,
+    /// Restarted, collecting `SyncResp`s; data frames buffer until the
+    /// protocol state is reinstalled.
+    Syncing,
+}
+
+/// One recovery's `SyncResp` collection.
+struct SyncCollect {
+    /// The recovery instant (for the recovery-time statistic).
+    started: SimTime,
+    /// The incarnation the responses must echo.
+    inc: u32,
+    /// Responses gathered so far.
+    sources: Vec<(SiteId, PeerAckInfo, SyncState)>,
+}
+
+/// Everything the lossy/crashy mode adds to a run.
+struct Chaos {
+    transport: Transport,
+    faults: FaultPlan,
+    /// Fault-decision stream, independent of the latency stream so the
+    /// fault plan never perturbs latency sampling.
+    fault_rng: StdRng,
+    status: Vec<SiteStatus>,
+    /// Events deferred while a site is down or syncing, replayed in order
+    /// at recovery completion.
+    held: Vec<Vec<SimEvent>>,
+    sync: Vec<Option<SyncCollect>>,
+    ledgers: Vec<Option<OwnLedger>>,
+    /// History-level apply dedup: a crashed site re-applies redelivered
+    /// updates it had already applied (and recorded) before losing state;
+    /// the checker's per-origin FIFO pass must see each apply once.
+    applied_seen: HashSet<(SiteId, WriteId)>,
+}
+
 /// Run one simulation to quiescence.
 pub fn run(cfg: &SimConfig) -> SimResult {
     let n = cfg.workload.n;
@@ -154,7 +250,11 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         .schedule_override
         .clone()
         .unwrap_or_else(|| generate(&cfg.workload));
-    assert_eq!(schedule.per_site.len(), n, "override schedule shape mismatch");
+    assert_eq!(
+        schedule.per_site.len(),
+        n,
+        "override schedule shape mismatch"
+    );
     let warmup = schedule.warmup_events;
 
     let repl: Arc<dyn Replication> = cfg.placement.clone();
@@ -164,8 +264,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         .collect();
 
     let mut heap = EventHeap::new();
-    let mut channels =
-        ChannelMatrix::new(n, cfg.latency).with_partitions(cfg.partitions.clone());
+    let mut channels = ChannelMatrix::new(n, cfg.latency).with_partitions(cfg.partitions.clone());
     // Independent stream for latency sampling, derived from the workload
     // seed so a (seed, config) pair fully determines the run.
     let mut lat_rng = StdRng::seed_from_u64(cfg.workload.seed ^ 0xC0FF_EE00_D15E_A5E5);
@@ -180,34 +279,77 @@ pub fn run(cfg: &SimConfig) -> SimResult {
     // Receipt time of each SM per receiver, for the apply-latency metric.
     let mut receipt: HashMap<(SiteId, WriteId), SimTime> = HashMap::new();
 
-    // Arm the first operation of every process.
-    for (i, ops) in schedule.per_site.iter().enumerate() {
-        if let Some(op) = ops.first() {
-            heap.push(op.at, SimEvent::OpReady { site: SiteId::from(i) });
+    let mut chaos: Option<Chaos> = cfg.chaos().then(|| Chaos {
+        transport: Transport::new(n, TransportTuning::default()),
+        faults: cfg.faults.clone(),
+        fault_rng: StdRng::seed_from_u64(cfg.workload.seed ^ 0xFA17_BAD0_0DD5_EED5),
+        status: vec![SiteStatus::Up; n],
+        held: (0..n).map(|_| Vec::new()).collect(),
+        sync: (0..n).map(|_| None).collect(),
+        ledgers: vec![None; n],
+        applied_seen: HashSet::new(),
+    });
+
+    // Validate and schedule the crash windows.
+    {
+        let mut sorted: Vec<&CrashWindow> = cfg.crashes.iter().collect();
+        sorted.sort_by_key(|c| c.start);
+        for w in sorted.windows(2) {
+            assert!(
+                w[0].end <= w[1].start,
+                "crash windows must not overlap: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for c in &cfg.crashes {
+            assert!(c.start < c.end, "empty crash window: {c:?}");
+            assert!(c.site.index() < n, "crash site out of range: {c:?}");
+            heap.push(c.start, SimEvent::Crash { site: c.site });
+            heap.push(c.end, SimEvent::Recover { site: c.site });
         }
     }
 
-    // Route a batch of protocol effects originating at `origin`.
-    // Returns through closures capturing the loop state below.
+    // Arm the first operation of every process.
+    for (i, ops) in schedule.per_site.iter().enumerate() {
+        if let Some(op) = ops.first() {
+            heap.push(
+                op.at,
+                SimEvent::OpReady {
+                    site: SiteId::from(i),
+                },
+            );
+        }
+    }
+
     while let Some((now, ev)) = heap.pop() {
         // A paused site defers everything — operations and deliveries — to
         // its resume instant; heap insertion order preserves the original
-        // arrival order among deferred events.
+        // arrival order among deferred events. Crash and recovery events
+        // are the fault injector's own and never defer.
         let event_site = match &ev {
-            SimEvent::OpReady { site } => *site,
-            SimEvent::Deliver { to, .. } => *to,
+            SimEvent::OpReady { site } => Some(*site),
+            SimEvent::Deliver { to, .. } => Some(*to),
+            SimEvent::DeliverFrame { to, .. } => Some(*to),
+            SimEvent::RetransmitCheck { from, .. } => Some(*from),
+            SimEvent::Crash { .. } | SimEvent::Recover { .. } => None,
         };
-        if let Some(resume) = cfg
-            .pauses
-            .iter()
-            .filter_map(|p| p.resumes(event_site, now))
-            .max()
-        {
-            heap.push(resume, ev);
-            continue;
+        if let Some(site) = event_site {
+            if let Some(resume) = cfg.pauses.iter().filter_map(|p| p.resumes(site, now)).max() {
+                heap.push(resume, ev);
+                continue;
+            }
         }
         match ev {
             SimEvent::OpReady { site } => {
+                if let Some(c) = chaos.as_mut() {
+                    if c.status[site.index()] != SiteStatus::Up {
+                        // The site is crashed: its application resumes
+                        // after recovery completes.
+                        c.held[site.index()].push(SimEvent::OpReady { site });
+                        continue;
+                    }
+                }
                 let d = &mut drivers[site.index()];
                 debug_assert!(d.blocked.is_none(), "op issued while fetch outstanding");
                 let op = schedule.per_site[site.index()][d.next];
@@ -224,9 +366,20 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             h.record_write(site, wid, var);
                         }
                         process_effects(
-                            site, effects, measured, now, &schedule, &mut heap,
-                            &mut channels, &mut lat_rng, &mut metrics, &mut history,
-                            &mut drivers, &mut receipt, &cfg.size_model,
+                            site,
+                            effects,
+                            measured,
+                            now,
+                            &schedule,
+                            &mut heap,
+                            &mut channels,
+                            &mut lat_rng,
+                            &mut metrics,
+                            &mut history,
+                            &mut drivers,
+                            &mut receipt,
+                            &cfg.size_model,
+                            &mut chaos,
                         );
                         schedule_next(site, now, &schedule, &mut drivers, &mut heap);
                     }
@@ -241,18 +394,42 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             schedule_next(site, now, &schedule, &mut drivers, &mut heap);
                         }
                         ReadResult::Fetch { target, msg } => {
-                            metrics.record_msg(msg.kind(), msg.meta_size(&cfg.size_model), measured);
-                            let at = channels.delivery_time(site, target, now, &mut lat_rng);
-                            heap.push(
-                                at,
-                                SimEvent::Deliver {
-                                    from: site,
-                                    to: target,
-                                    msg,
-                                    measured,
-                                    sent_at: now,
-                                },
+                            metrics.record_msg(
+                                msg.kind(),
+                                msg.meta_size(&cfg.size_model),
+                                measured,
                             );
+                            match chaos.as_mut() {
+                                Some(c) => {
+                                    let cmds = c.transport.send(site, target, msg, measured);
+                                    dispatch_cmds(
+                                        site,
+                                        cmds,
+                                        now,
+                                        &mut heap,
+                                        &mut channels,
+                                        &mut lat_rng,
+                                        &mut c.fault_rng,
+                                        &c.faults,
+                                        &mut metrics,
+                                        &cfg.size_model,
+                                    );
+                                }
+                                None => {
+                                    let at =
+                                        channels.delivery_time(site, target, now, &mut lat_rng);
+                                    heap.push(
+                                        at,
+                                        SimEvent::Deliver {
+                                            from: site,
+                                            to: target,
+                                            msg,
+                                            measured,
+                                            sent_at: now,
+                                        },
+                                    );
+                                }
+                            }
                             drivers[site.index()].blocked = Some(BlockedFetch {
                                 var,
                                 target,
@@ -275,12 +452,261 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                 }
                 let effects = sites[to.index()].on_message(from, msg);
                 process_effects(
-                    to, effects, measured, now, &schedule, &mut heap, &mut channels,
-                    &mut lat_rng, &mut metrics, &mut history, &mut drivers,
-                    &mut receipt, &cfg.size_model,
+                    to,
+                    effects,
+                    measured,
+                    now,
+                    &schedule,
+                    &mut heap,
+                    &mut channels,
+                    &mut lat_rng,
+                    &mut metrics,
+                    &mut history,
+                    &mut drivers,
+                    &mut receipt,
+                    &cfg.size_model,
+                    &mut chaos,
                 );
                 metrics.max_pending = metrics.max_pending.max(sites[to.index()].pending_len());
-                metrics.pending_samples.record(sites[to.index()].pending_len() as f64);
+                metrics
+                    .pending_samples
+                    .record(sites[to.index()].pending_len() as f64);
+            }
+            SimEvent::DeliverFrame {
+                from,
+                to,
+                frame,
+                measured,
+                sent_at,
+            } => {
+                // Liveness gate: a down site loses arriving traffic; a
+                // syncing site buffers data until its state is rebuilt but
+                // must process the sync handshake itself.
+                {
+                    let c = chaos.as_mut().expect("frames require chaos mode");
+                    match c.status[to.index()] {
+                        SiteStatus::Down => {
+                            metrics.crash_drops += 1;
+                            continue;
+                        }
+                        SiteStatus::Syncing if !frame.is_sync() => {
+                            c.held[to.index()].push(SimEvent::DeliverFrame {
+                                from,
+                                to,
+                                frame,
+                                measured,
+                                sent_at,
+                            });
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                match *frame {
+                    Frame::SyncReq { inc, ledger } => {
+                        handle_sync_req(
+                            to,
+                            from,
+                            inc,
+                            &ledger,
+                            now,
+                            &mut sites,
+                            &mut heap,
+                            &mut channels,
+                            &mut lat_rng,
+                            &mut metrics,
+                            &mut history,
+                            &mut drivers,
+                            &mut receipt,
+                            &schedule,
+                            &cfg.size_model,
+                            &mut chaos,
+                        );
+                    }
+                    Frame::SyncResp { inc, ack, state } => {
+                        handle_sync_resp(
+                            to,
+                            from,
+                            inc,
+                            ack,
+                            state,
+                            n,
+                            now,
+                            &mut sites,
+                            &mut heap,
+                            &mut channels,
+                            &mut lat_rng,
+                            &mut metrics,
+                            &mut history,
+                            &mut drivers,
+                            &schedule,
+                            &cfg.size_model,
+                            &mut chaos,
+                        );
+                    }
+                    data_or_ack => {
+                        if matches!(data_or_ack, Frame::Data { .. }) {
+                            metrics.transit_ns.record((now - sent_at).as_nanos() as f64);
+                        }
+                        let c = chaos.as_mut().expect("frames require chaos mode");
+                        let cmds =
+                            c.transport
+                                .on_frame(to, from, data_or_ack, measured, &mut metrics);
+                        let handoffs = dispatch_cmds(
+                            to,
+                            cmds,
+                            now,
+                            &mut heap,
+                            &mut channels,
+                            &mut lat_rng,
+                            &mut c.fault_rng,
+                            &c.faults,
+                            &mut metrics,
+                            &cfg.size_model,
+                        );
+                        for (msg, meas) in handoffs {
+                            // A fetch re-issued across a crash can be
+                            // answered twice: once by an RM that was
+                            // already in flight when the replier crashed,
+                            // once by the recovered replier. The protocols
+                            // assert a single outstanding fetch, so an RM
+                            // that no longer matches it is consumed here.
+                            if let Msg::Rm(rm) = &msg {
+                                let stale = drivers[to.index()]
+                                    .blocked
+                                    .as_ref()
+                                    .is_none_or(|b| b.var != rm.var);
+                                if stale {
+                                    metrics.dup_drops += 1;
+                                    continue;
+                                }
+                            }
+                            if let Msg::Sm(sm) = &msg {
+                                receipt.insert((to, sm.value.writer), now);
+                            }
+                            let effects = sites[to.index()].on_message(from, msg);
+                            process_effects(
+                                to,
+                                effects,
+                                meas,
+                                now,
+                                &schedule,
+                                &mut heap,
+                                &mut channels,
+                                &mut lat_rng,
+                                &mut metrics,
+                                &mut history,
+                                &mut drivers,
+                                &mut receipt,
+                                &cfg.size_model,
+                                &mut chaos,
+                            );
+                            metrics.max_pending =
+                                metrics.max_pending.max(sites[to.index()].pending_len());
+                            metrics
+                                .pending_samples
+                                .record(sites[to.index()].pending_len() as f64);
+                        }
+                    }
+                }
+            }
+            SimEvent::RetransmitCheck {
+                from,
+                to,
+                epoch,
+                seq,
+                attempt,
+            } => {
+                let c = chaos.as_mut().expect("timers require chaos mode");
+                let cmds = c.transport.retransmit_check(from, to, epoch, seq, attempt);
+                dispatch_cmds(
+                    from,
+                    cmds,
+                    now,
+                    &mut heap,
+                    &mut channels,
+                    &mut lat_rng,
+                    &mut c.fault_rng,
+                    &c.faults,
+                    &mut metrics,
+                    &cfg.size_model,
+                );
+            }
+            SimEvent::Crash { site } => {
+                let c = chaos.as_mut().expect("crashes require chaos mode");
+                assert_eq!(
+                    c.status[site.index()],
+                    SiteStatus::Up,
+                    "s{site} crashed again before its previous recovery finished"
+                );
+                c.status[site.index()] = SiteStatus::Down;
+                let (ledger, _lost_parked) = sites[site.index()].crash_volatile();
+                c.ledgers[site.index()] = Some(ledger);
+                c.transport.crash(site);
+            }
+            SimEvent::Recover { site } => {
+                let c = chaos.as_mut().expect("crashes require chaos mode");
+                assert_eq!(
+                    c.status[site.index()],
+                    SiteStatus::Down,
+                    "recover without crash"
+                );
+                for other in SiteId::all(n) {
+                    assert!(
+                        other == site || c.status[other.index()] == SiteStatus::Up,
+                        "s{site} recovering while s{other} is not up: \
+                         space the crash windows further apart"
+                    );
+                }
+                let ledger = c.ledgers[site.index()]
+                    .clone()
+                    .expect("ledger saved at crash");
+                let inc = c.transport.revive(site, &ledger);
+                c.status[site.index()] = SiteStatus::Syncing;
+                c.sync[site.index()] = Some(SyncCollect {
+                    started: now,
+                    inc,
+                    sources: Vec::new(),
+                });
+                for peer in SiteId::all(n) {
+                    if peer == site {
+                        continue;
+                    }
+                    let req = Frame::SyncReq {
+                        inc,
+                        ledger: ledger.clone(),
+                    };
+                    metrics.sync_count += 1;
+                    metrics.sync_bytes += req.overhead(&cfg.size_model);
+                    let at = channels.delivery_time(site, peer, now, &mut lat_rng);
+                    heap.push(
+                        at,
+                        SimEvent::DeliverFrame {
+                            from: site,
+                            to: peer,
+                            frame: Box::new(req),
+                            measured: false,
+                            sent_at: now,
+                        },
+                    );
+                }
+                if n == 1 {
+                    // Degenerate single-site system: nothing to sync with.
+                    finish_recovery(
+                        site,
+                        now,
+                        &mut sites,
+                        &mut heap,
+                        &mut channels,
+                        &mut lat_rng,
+                        &mut metrics,
+                        &mut history,
+                        &mut drivers,
+                        &schedule,
+                        &cfg.size_model,
+                        &mut chaos,
+                    );
+                }
             }
         }
     }
@@ -316,6 +742,308 @@ fn schedule_next(
     }
 }
 
+/// Interpret transport commands: put frames on the (lossy) wire, arm
+/// retransmission timers, and collect in-order handoffs for the caller to
+/// feed into the receiving protocol site.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_cmds(
+    origin: SiteId,
+    cmds: Vec<TransportCmd>,
+    now: SimTime,
+    heap: &mut EventHeap,
+    channels: &mut ChannelMatrix,
+    lat_rng: &mut StdRng,
+    fault_rng: &mut StdRng,
+    faults: &FaultPlan,
+    metrics: &mut RunMetrics,
+    size_model: &SizeModel,
+) -> Vec<(Msg, bool)> {
+    let mut handoffs = Vec::new();
+    for cmd in cmds {
+        match cmd {
+            TransportCmd::Emit {
+                to,
+                frame,
+                measured,
+                retransmit,
+            } => {
+                let overhead = frame.overhead(size_model);
+                match &frame {
+                    Frame::Ack { .. } => {
+                        metrics.ack_count += 1;
+                        metrics.ack_bytes += overhead;
+                    }
+                    Frame::Data { .. } => {
+                        metrics.envelope_bytes += overhead;
+                        if retransmit {
+                            metrics.retransmissions += 1;
+                        }
+                    }
+                    sync => unreachable!("transport never emits sync frames: {sync:?}"),
+                }
+                if faults.should_drop(origin, to, now, fault_rng) {
+                    metrics.fault_drops += 1;
+                    continue;
+                }
+                let copies = if faults.should_dup(origin, to, fault_rng) {
+                    metrics.fault_dups += 1;
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    let at = channels.delivery_time(origin, to, now, lat_rng);
+                    heap.push(
+                        at,
+                        SimEvent::DeliverFrame {
+                            from: origin,
+                            to,
+                            frame: Box::new(frame.clone()),
+                            measured,
+                            sent_at: now,
+                        },
+                    );
+                }
+            }
+            TransportCmd::Arm {
+                to,
+                stream_gen,
+                seq,
+                attempt,
+                after,
+            } => {
+                heap.push(
+                    now + after,
+                    SimEvent::RetransmitCheck {
+                        from: origin,
+                        to,
+                        epoch: stream_gen,
+                        seq,
+                        attempt,
+                    },
+                );
+            }
+            TransportCmd::Handoff { msg, measured } => handoffs.push((msg, measured)),
+        }
+    }
+    handoffs
+}
+
+/// A live site (`me`) handles a recovering peer's `SyncReq`: fast-forward
+/// past the peer's lost writes, renumber the SM backlog into the new
+/// epoch, re-issue a blocked fetch that was addressed to the dead
+/// incarnation, and answer with a state snapshot.
+#[allow(clippy::too_many_arguments)]
+fn handle_sync_req(
+    me: SiteId,
+    peer: SiteId,
+    inc: u32,
+    ledger: &OwnLedger,
+    now: SimTime,
+    sites: &mut [Box<dyn ProtocolSite>],
+    heap: &mut EventHeap,
+    channels: &mut ChannelMatrix,
+    lat_rng: &mut StdRng,
+    metrics: &mut RunMetrics,
+    history: &mut Option<History>,
+    drivers: &mut [AppDriver],
+    receipt: &mut HashMap<(SiteId, WriteId), SimTime>,
+    schedule: &causal_workload::Schedule,
+    size_model: &SizeModel,
+    chaos: &mut Option<Chaos>,
+) {
+    let (ack_info, renumbered) = {
+        let c = chaos.as_mut().expect("sync requires chaos mode");
+        c.transport.peer_recovered(me, peer, inc)
+    };
+    {
+        let c = chaos.as_mut().expect("chaos");
+        dispatch_cmds(
+            me,
+            renumbered,
+            now,
+            heap,
+            channels,
+            lat_rng,
+            &mut c.fault_rng,
+            &c.faults,
+            metrics,
+            size_model,
+        );
+    }
+    // A fetch blocked on the dead incarnation would wait forever: its FM
+    // (or the RM reply) died with the peer's volatile state. Re-issue it
+    // on the new epoch; a duplicate reply is ignored at completion.
+    if let Some(b) = drivers[me.index()].blocked.as_ref() {
+        if b.target == peer {
+            let msg = Msg::Fm(Fm { var: b.var });
+            let measured = b.measured;
+            metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+            let c = chaos.as_mut().expect("chaos");
+            let cmds = c.transport.send(me, peer, msg, measured);
+            dispatch_cmds(
+                me,
+                cmds,
+                now,
+                heap,
+                channels,
+                lat_rng,
+                &mut c.fault_rng,
+                &c.faults,
+                metrics,
+                size_model,
+            );
+        }
+    }
+    // Protocol-level fast-forward: lost writes count as applied, parked
+    // updates from the dead incarnation are discarded, and anything that
+    // was waiting only on the lost writes drains now.
+    let (effects, _dropped) = sites[me.index()].note_peer_recovery(peer, ledger);
+    process_effects(
+        me, effects, false, now, schedule, heap, channels, lat_rng, metrics, history, drivers,
+        receipt, size_model, chaos,
+    );
+    // Answer with this site's causal knowledge and shared-variable values.
+    let state = sites[me.index()].export_sync(peer);
+    let state_bytes = state.meta_size(size_model);
+    let resp = Frame::SyncResp {
+        inc,
+        ack: ack_info,
+        state,
+    };
+    metrics.sync_count += 1;
+    metrics.sync_bytes += resp.overhead(size_model) + state_bytes;
+    let at = channels.delivery_time(me, peer, now, lat_rng);
+    heap.push(
+        at,
+        SimEvent::DeliverFrame {
+            from: me,
+            to: peer,
+            frame: Box::new(resp),
+            measured: false,
+            sent_at: now,
+        },
+    );
+}
+
+/// The recovering site collects one `SyncResp`; once every live peer has
+/// answered, the snapshot union is installed and the site goes back up.
+#[allow(clippy::too_many_arguments)]
+fn handle_sync_resp(
+    me: SiteId,
+    peer: SiteId,
+    inc: u32,
+    ack: PeerAckInfo,
+    state: SyncState,
+    n: usize,
+    now: SimTime,
+    sites: &mut [Box<dyn ProtocolSite>],
+    heap: &mut EventHeap,
+    channels: &mut ChannelMatrix,
+    lat_rng: &mut StdRng,
+    metrics: &mut RunMetrics,
+    history: &mut Option<History>,
+    drivers: &mut [AppDriver],
+    schedule: &causal_workload::Schedule,
+    size_model: &SizeModel,
+    chaos: &mut Option<Chaos>,
+) {
+    let complete = {
+        let c = chaos.as_mut().expect("sync requires chaos mode");
+        let Some(col) = c.sync[me.index()].as_mut() else {
+            return; // stale response for an already-finished recovery
+        };
+        if col.inc != inc {
+            return;
+        }
+        col.sources.push((peer, ack, state));
+        col.sources.len() == n - 1
+    };
+    if complete {
+        finish_recovery(
+            me, now, sites, heap, channels, lat_rng, metrics, history, drivers, schedule,
+            size_model, chaos,
+        );
+    }
+}
+
+/// Install the collected peer snapshots, mark the site up, replay buffered
+/// events and re-issue the site's own interrupted fetch.
+#[allow(clippy::too_many_arguments)]
+fn finish_recovery(
+    me: SiteId,
+    now: SimTime,
+    sites: &mut [Box<dyn ProtocolSite>],
+    heap: &mut EventHeap,
+    channels: &mut ChannelMatrix,
+    lat_rng: &mut StdRng,
+    metrics: &mut RunMetrics,
+    history: &mut Option<History>,
+    drivers: &mut [AppDriver],
+    schedule: &causal_workload::Schedule,
+    size_model: &SizeModel,
+    chaos: &mut Option<Chaos>,
+) {
+    let (col, held) = {
+        let c = chaos.as_mut().expect("chaos");
+        let col = c.sync[me.index()].take().expect("sync in progress");
+        c.status[me.index()] = SiteStatus::Up;
+        (col, std::mem::take(&mut c.held[me.index()]))
+    };
+    sites[me.index()].install_sync(&col.sources);
+    metrics
+        .recovery_ns
+        .record((now - col.started).as_nanos() as f64);
+    for ev in held {
+        heap.push(now, ev);
+    }
+    // The site's own in-flight fetch died with its old incarnation (the FM
+    // may never have left, or the RM reply now addresses a dead epoch).
+    // Re-issue through `read()` — not a hand-built FM — because the crash
+    // also cleared the protocol's own outstanding-fetch state, which the
+    // RM handler asserts against.
+    if let Some(b) = drivers[me.index()].blocked.as_ref() {
+        let (var, measured) = (b.var, b.measured);
+        match sites[me.index()].read(var) {
+            ReadResult::Fetch { target, msg } => {
+                drivers[me.index()].blocked = Some(BlockedFetch {
+                    var,
+                    target,
+                    measured,
+                });
+                metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+                let c = chaos.as_mut().expect("chaos");
+                let cmds = c.transport.send(me, target, msg, measured);
+                dispatch_cmds(
+                    me,
+                    cmds,
+                    now,
+                    heap,
+                    channels,
+                    lat_rng,
+                    &mut c.fault_rng,
+                    &c.faults,
+                    metrics,
+                    size_model,
+                );
+            }
+            // Unreachable in practice (the variable was not locally
+            // replicated or the fetch would never have been issued), but
+            // if the protocol can answer locally now, just complete.
+            ReadResult::Local(v) => {
+                drivers[me.index()].blocked = None;
+                if measured {
+                    metrics.record_op(false, true);
+                }
+                if let Some(h) = history.as_mut() {
+                    h.record_read(me, var, v.map(|x| x.writer), me);
+                }
+                schedule_next(me, now, schedule, drivers, heap);
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn process_effects(
     origin: SiteId,
@@ -331,6 +1059,7 @@ fn process_effects(
     drivers: &mut [AppDriver],
     receipt: &mut HashMap<(SiteId, WriteId), SimTime>,
     size_model: &SizeModel,
+    chaos: &mut Option<Chaos>,
 ) {
     for e in effects {
         match e {
@@ -339,17 +1068,36 @@ fn process_effects(
                 if let Msg::Sm(sm) = &msg {
                     metrics.sm_entries.record(sm.meta.entry_count() as f64);
                 }
-                let at = channels.delivery_time(origin, to, now, lat_rng);
-                heap.push(
-                    at,
-                    SimEvent::Deliver {
-                        from: origin,
-                        to,
-                        msg,
-                        measured,
-                        sent_at: now,
-                    },
-                );
+                match chaos.as_mut() {
+                    Some(c) => {
+                        let cmds = c.transport.send(origin, to, msg, measured);
+                        dispatch_cmds(
+                            origin,
+                            cmds,
+                            now,
+                            heap,
+                            channels,
+                            lat_rng,
+                            &mut c.fault_rng,
+                            &c.faults,
+                            metrics,
+                            size_model,
+                        );
+                    }
+                    None => {
+                        let at = channels.delivery_time(origin, to, now, lat_rng);
+                        heap.push(
+                            at,
+                            SimEvent::Deliver {
+                                from: origin,
+                                to,
+                                msg,
+                                measured,
+                                sent_at: now,
+                            },
+                        );
+                    }
+                }
             }
             Effect::Applied { var: _, write } => {
                 metrics.applies += 1;
@@ -358,16 +1106,33 @@ fn process_effects(
                 if let Some(t0) = receipt.remove(&(origin, write)) {
                     metrics.record_apply_latency((now - t0).as_nanos() as f64);
                 }
-                if let Some(h) = history.as_mut() {
-                    h.record_apply(origin, write);
+                // After a crash a site re-applies redelivered updates it
+                // already recorded before losing state; the history must
+                // keep each apply once.
+                let first_apply = chaos
+                    .as_mut()
+                    .is_none_or(|c| c.applied_seen.insert((origin, write)));
+                if first_apply {
+                    if let Some(h) = history.as_mut() {
+                        h.record_apply(origin, write);
+                    }
                 }
             }
             Effect::FetchDone { var, value } => {
+                let matches_blocked = drivers[origin.index()]
+                    .blocked
+                    .as_ref()
+                    .is_some_and(|b| b.var == var);
+                if !matches_blocked {
+                    // Duplicate RM from a fetch re-issued across a crash;
+                    // impossible on the lossless path.
+                    assert!(chaos.is_some(), "FetchDone without an outstanding fetch");
+                    continue;
+                }
                 let blocked = drivers[origin.index()]
                     .blocked
                     .take()
-                    .expect("FetchDone without an outstanding fetch");
-                debug_assert_eq!(blocked.var, var);
+                    .expect("checked above");
                 if blocked.measured {
                     metrics.record_op(false, true);
                 }

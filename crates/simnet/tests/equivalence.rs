@@ -22,8 +22,16 @@ fn applies(history: &History) -> Vec<Vec<WriteId>> {
     history.applies().to_vec()
 }
 
-fn run_partial(kind: ProtocolKind, n: usize, w: f64, seed: u64, prune: PruneConfig) -> Vec<Vec<WriteId>> {
-    let mut cfg = SimConfig::paper_partial(kind, n, w, seed).small().with_history();
+fn run_partial(
+    kind: ProtocolKind,
+    n: usize,
+    w: f64,
+    seed: u64,
+    prune: PruneConfig,
+) -> Vec<Vec<WriteId>> {
+    let mut cfg = SimConfig::paper_partial(kind, n, w, seed)
+        .small()
+        .with_history();
     cfg.prune = prune;
     let r = run(&cfg);
     assert_eq!(r.final_pending, 0);
@@ -31,7 +39,9 @@ fn run_partial(kind: ProtocolKind, n: usize, w: f64, seed: u64, prune: PruneConf
 }
 
 fn run_full(kind: ProtocolKind, n: usize, w: f64, seed: u64) -> Vec<Vec<WriteId>> {
-    let cfg = SimConfig::paper_full(kind, n, w, seed).small().with_history();
+    let cfg = SimConfig::paper_full(kind, n, w, seed)
+        .small()
+        .with_history();
     let r = run(&cfg);
     assert_eq!(r.final_pending, 0);
     applies(r.history.as_ref().unwrap())

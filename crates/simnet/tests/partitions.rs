@@ -180,7 +180,10 @@ mod pauses {
             r.metrics.all.total_count(),
             normal.metrics.all.total_count()
         );
-        assert!(r.duration > normal.duration, "the run stretches past the pause");
+        assert!(
+            r.duration > normal.duration,
+            "the run stretches past the pause"
+        );
     }
 
     #[test]

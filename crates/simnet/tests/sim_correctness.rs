@@ -85,11 +85,7 @@ fn partial_protocols_are_strict_under_benign_latency() {
             cfg.latency = LatencyModel::Constant { micros: 100 };
             let r = run(&cfg);
             let v = check(r.history.as_ref().unwrap());
-            assert!(
-                v.strictly_clean(),
-                "{kind} seed {seed}: {:?}",
-                v.examples
-            );
+            assert!(v.strictly_clean(), "{kind} seed {seed}: {:?}", v.examples);
         }
     }
 }
@@ -131,7 +127,10 @@ fn partial_replication_fetch_traffic_is_paired() {
         r.metrics.all.count(MsgKind::Rm),
         "every FM gets exactly one RM"
     );
-    assert!(r.metrics.all.count(MsgKind::Fm) > 0, "remote reads must occur");
+    assert!(
+        r.metrics.all.count(MsgKind::Fm) > 0,
+        "remote reads must occur"
+    );
     assert_eq!(
         r.metrics.remote_reads,
         r.metrics.measured.count(MsgKind::Fm),
@@ -282,7 +281,10 @@ fn hb_track_is_causal_but_slower_to_apply() {
 
     let hb_r = run(&hb);
     let ft_r = run(&ft);
-    assert_eq!(hb_r.final_pending, 0, "false dependencies are all satisfiable");
+    assert_eq!(
+        hb_r.final_pending, 0,
+        "false dependencies are all satisfiable"
+    );
     let v = check(hb_r.history.as_ref().unwrap());
     assert!(v.protocol_clean(), "{:?}", v.examples);
 

@@ -40,7 +40,6 @@
 //! assert_eq!(&v[..], b"hi, i'm alice");
 //! ```
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod session;

@@ -224,7 +224,9 @@ impl Session {
     /// newest write it observed. Useful for diagnostics and for handing a
     /// client's context to another session (session migration).
     pub fn context(&self) -> impl Iterator<Item = (&str, WriteId)> {
-        self.knowledge.iter().map(|(k, v)| (k.as_str(), v.last_seen))
+        self.knowledge
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.last_seen))
     }
 
     /// Adopt another session's causal context (client migration between
@@ -338,7 +340,9 @@ mod tests {
         let mut writer = s.session(SiteId(0));
         let mut reader = s.session(SiteId(3));
         for i in 0..20u32 {
-            writer.put(&mut s, "k", format!("v{i}").into_bytes()).unwrap();
+            writer
+                .put(&mut s, "k", format!("v{i}").into_bytes())
+                .unwrap();
             let v = reader.get(&mut s, "k").unwrap().unwrap();
             // Values may lag but must never regress; with the synchronous
             // cluster they are always current.
@@ -380,7 +384,11 @@ mod migration_tests {
 
     #[test]
     fn multi_get_preserves_order_and_missing_keys() {
-        let mut s = StoreBuilder::new().sites(4).protocol(ProtocolKind::OptTrack).build().unwrap();
+        let mut s = StoreBuilder::new()
+            .sites(4)
+            .protocol(ProtocolKind::OptTrack)
+            .build()
+            .unwrap();
         let mut c = s.session(SiteId(0));
         c.put(&mut s, "a", b"1".as_ref()).unwrap();
         c.put(&mut s, "c", b"3".as_ref()).unwrap();

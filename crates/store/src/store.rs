@@ -61,7 +61,11 @@ impl StoreBuilder {
         } else {
             Placement::new(self.placement, self.sites, self.replication)?
         };
-        let cluster = LocalCluster::new(self.protocol, Arc::new(placement), ProtocolConfig::default());
+        let cluster = LocalCluster::new(
+            self.protocol,
+            Arc::new(placement),
+            ProtocolConfig::default(),
+        );
         Ok(CausalStore {
             cluster,
             keys: HashMap::new(),
@@ -102,10 +106,7 @@ impl CausalStore {
 
     /// A session bound to `site` (the client's nearest site).
     pub fn session(&self, site: SiteId) -> Session {
-        assert!(
-            site.index() < self.cluster.n(),
-            "session site out of range"
-        );
+        assert!(site.index() < self.cluster.n(), "session site out of range");
         Session::new(site, self.cluster.n())
     }
 
@@ -148,12 +149,9 @@ impl CausalStore {
     pub(crate) fn blob_of(&self, write: WriteId) -> Result<Option<Bytes>> {
         match self.tombstones.get(&write) {
             Some(true) => Ok(None),
-            Some(false) => Ok(Some(
-                self.blobs
-                    .get(&write)
-                    .cloned()
-                    .ok_or_else(|| Error::ProtocolInvariant("blob table out of sync".into()))?,
-            )),
+            Some(false) => Ok(Some(self.blobs.get(&write).cloned().ok_or_else(|| {
+                Error::ProtocolInvariant("blob table out of sync".into())
+            })?)),
             None => Err(Error::ProtocolInvariant(format!(
                 "read observed unknown write {write}"
             ))),

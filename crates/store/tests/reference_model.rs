@@ -23,8 +23,11 @@ enum Op {
 
 fn arb_op(sessions: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..sessions, 0u8..12, any::<u16>())
-            .prop_map(|(session, key, value)| Op::Put { session, key, value }),
+        (0..sessions, 0u8..12, any::<u16>()).prop_map(|(session, key, value)| Op::Put {
+            session,
+            key,
+            value
+        }),
         (0..sessions, 0u8..12).prop_map(|(session, key)| Op::Get { session, key }),
         (0..sessions, 0u8..12).prop_map(|(session, key)| Op::Remove { session, key }),
     ]
@@ -46,7 +49,11 @@ fn run_model(kind: ProtocolKind, ops: &[Op]) {
 
     for op in ops {
         match *op {
-            Op::Put { session, key, value } => {
+            Op::Put {
+                session,
+                key,
+                value,
+            } => {
                 let blob = value.to_le_bytes().to_vec();
                 sessions[session]
                     .put(&mut store, &format!("k{key}"), blob.clone())
@@ -60,7 +67,9 @@ fn run_model(kind: ProtocolKind, ops: &[Op]) {
                 reference.insert(key, None);
             }
             Op::Get { session, key } => {
-                let got = sessions[session].get(&mut store, &format!("k{key}")).unwrap();
+                let got = sessions[session]
+                    .get(&mut store, &format!("k{key}"))
+                    .unwrap();
                 let expect = reference.get(&key).cloned().flatten();
                 assert_eq!(
                     got.as_deref(),

@@ -20,7 +20,6 @@
 //! * [`SizeModel`] — the byte-accounting calibration used to measure message
 //!   meta-data overheads (see `DESIGN.md` §5, "Size model calibration").
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod error;

@@ -10,9 +10,7 @@ use std::time::Duration;
 /// The paper schedules operation events with inter-event delays drawn
 /// uniformly from [5 ms, 2005 ms]; nanosecond resolution keeps channel
 /// latencies and tie-breaking well below that granularity.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -77,9 +75,7 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of virtual time, with nanosecond resolution.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {

@@ -124,10 +124,22 @@ mod tests {
         let params = WorkloadParams::small(2, 0.5, 1);
         assert!(schedule_from_csv("nope", params).is_err());
         let hdr = "site,seq,at_ns,kind,var,data\n";
-        assert!(schedule_from_csv(&format!("{hdr}9,0,5,w,1,2\n"), params).is_err(), "site range");
-        assert!(schedule_from_csv(&format!("{hdr}0,1,5,w,1,2\n"), params).is_err(), "seq gap");
-        assert!(schedule_from_csv(&format!("{hdr}0,0,5,x,1,2\n"), params).is_err(), "bad kind");
-        assert!(schedule_from_csv(&format!("{hdr}0,0,5,w,999,2\n"), params).is_err(), "var range");
+        assert!(
+            schedule_from_csv(&format!("{hdr}9,0,5,w,1,2\n"), params).is_err(),
+            "site range"
+        );
+        assert!(
+            schedule_from_csv(&format!("{hdr}0,1,5,w,1,2\n"), params).is_err(),
+            "seq gap"
+        );
+        assert!(
+            schedule_from_csv(&format!("{hdr}0,0,5,x,1,2\n"), params).is_err(),
+            "bad kind"
+        );
+        assert!(
+            schedule_from_csv(&format!("{hdr}0,0,5,w,999,2\n"), params).is_err(),
+            "var range"
+        );
         assert!(
             schedule_from_csv(&format!("{hdr}0,0,9,w,1,2\n0,1,5,r,1,\n"), params).is_err(),
             "time regression"

@@ -14,7 +14,6 @@
 //! be replayed under different protocols (Table IV replays the *same*
 //! schedule under Opt-Track and Opt-Track-CRP) and different transports.
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod csv;

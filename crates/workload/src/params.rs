@@ -90,9 +90,7 @@ impl WorkloadParams {
             ));
         }
         if !(0.0..1.0).contains(&self.warmup_frac) {
-            return Err(Error::InvalidConfig(
-                "warmup_frac must be in [0, 1)".into(),
-            ));
+            return Err(Error::InvalidConfig("warmup_frac must be in [0, 1)".into()));
         }
         if let VarDistribution::Zipf { theta } = self.var_dist {
             if theta.is_nan() || theta < 0.0 {

@@ -149,10 +149,7 @@ mod tests {
             let p = WorkloadParams::paper(10, target, 11);
             let s = generate(&p);
             let got = s.empirical_w_rate();
-            assert!(
-                (got - target).abs() < 0.03,
-                "target {target}, got {got}"
-            );
+            assert!((got - target).abs() < 0.03, "target {target}, got {got}");
         }
     }
 

@@ -84,10 +84,26 @@ fn main() {
     println!(
         "{N} sites in {REGIONS} regions on a wide-area ring, Opt-Track, p = {P}, w_rate = 0.3\n"
     );
-    run_with(PlacementKind::Clustered, true, "regional placement × local workload");
-    run_with(PlacementKind::Clustered, false, "regional placement × uniform workload");
-    run_with(PlacementKind::Hashed { seed: 9 }, true, "scattered placement × local workload");
-    run_with(PlacementKind::Even, false, "even placement × uniform workload");
+    run_with(
+        PlacementKind::Clustered,
+        true,
+        "regional placement × local workload",
+    );
+    run_with(
+        PlacementKind::Clustered,
+        false,
+        "regional placement × uniform workload",
+    );
+    run_with(
+        PlacementKind::Hashed { seed: 9 },
+        true,
+        "scattered placement × local workload",
+    );
+    run_with(
+        PlacementKind::Even,
+        false,
+        "even placement × uniform workload",
+    );
     println!();
     println!("when placement matches the access pattern (top row), reads are served inside");
     println!("the region and multicasts travel 1–2 ring hops — the §V-C case for partial");

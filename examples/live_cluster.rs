@@ -53,7 +53,11 @@ fn main() {
         "TCP mesh (Opt-Track, 6 sites): {} msgs over real sockets in {:?} — {}",
         out.metrics.all.total_count(),
         out.elapsed,
-        if v.protocol_clean() { "causally consistent ✓" } else { "VIOLATIONS ✗" }
+        if v.protocol_clean() {
+            "causally consistent ✓"
+        } else {
+            "VIOLATIONS ✗"
+        }
     );
     assert!(v.protocol_clean());
 }

@@ -59,7 +59,11 @@ fn main() {
     let v = check(parted.history.as_ref().unwrap());
     println!(
         "\ncausal consistency under partition: {}",
-        if v.protocol_clean() { "verified ✓" } else { "VIOLATED ✗" }
+        if v.protocol_clean() {
+            "verified ✓"
+        } else {
+            "VIOLATED ✗"
+        }
     );
     assert!(v.protocol_clean());
     assert_eq!(

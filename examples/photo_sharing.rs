@@ -41,9 +41,24 @@ fn main() {
         "configuration", "metadata", "payload moved", "avg SM meta"
     );
     for (label, protocol, partial, w) in [
-        ("partial / Opt-Track w=0.8", ProtocolKind::OptTrack, true, 0.8),
-        ("partial / Full-Track w=0.8", ProtocolKind::FullTrack, true, 0.8),
-        ("full / Opt-Track-CRP w=0.8", ProtocolKind::OptTrackCrp, false, 0.8),
+        (
+            "partial / Opt-Track w=0.8",
+            ProtocolKind::OptTrack,
+            true,
+            0.8,
+        ),
+        (
+            "partial / Full-Track w=0.8",
+            ProtocolKind::FullTrack,
+            true,
+            0.8,
+        ),
+        (
+            "full / Opt-Track-CRP w=0.8",
+            ProtocolKind::OptTrackCrp,
+            false,
+            0.8,
+        ),
         ("full / optP w=0.8", ProtocolKind::OptP, false, 0.8),
     ] {
         let (meta, payload, avg_sm) = total_bytes(protocol, n, partial, w);
@@ -60,6 +75,9 @@ fn main() {
     println!(" * metadata is noise next to 679 KB photos — even Full-Track's matrix;");
     println!(" * what dominates is HOW MANY times each photo is shipped:");
     println!("   full replication copies every upload to all {n} sites, partial to only 6;");
-    println!(" * for write-heavy sharing (w_rate > 2/(n+1) = {:.3}), partial replication", 2.0 / (n as f64 + 1.0));
+    println!(
+        " * for write-heavy sharing (w_rate > 2/(n+1) = {:.3}), partial replication",
+        2.0 / (n as f64 + 1.0)
+    );
     println!("   moves a fraction of the bytes while still serving causally consistent reads.");
 }

@@ -59,15 +59,27 @@ fn main() {
     let (pc, pb) = simulate(n, w_rate, true);
     let (fc, fb) = simulate(n, w_rate, false);
     println!("simulated  (Opt-Track vs Opt-Track-CRP):");
-    println!("  partial: {pc:.0} messages, {:.1} KB metadata", pb / 1000.0);
-    println!("  full:    {fc:.0} messages, {:.1} KB metadata", fb / 1000.0);
+    println!(
+        "  partial: {pc:.0} messages, {:.1} KB metadata",
+        pb / 1000.0
+    );
+    println!(
+        "  full:    {fc:.0} messages, {:.1} KB metadata",
+        fb / 1000.0
+    );
 
     println!();
     if analytic::partial_wins(n, w_rate) {
         println!("recommendation: PARTIAL replication (p = {p})");
-        println!(" * fewer messages ({:.0}% of full replication's)", 100.0 * pc / fc);
+        println!(
+            " * fewer messages ({:.0}% of full replication's)",
+            100.0 * pc / fc
+        );
         println!(" * each value stored on {p} sites instead of {n} — large payloads");
-        println!("   (photos, videos) are shipped and stored {0:.1}× less", n as f64 / p as f64);
+        println!(
+            "   (photos, videos) are shipped and stored {0:.1}× less",
+            n as f64 / p as f64
+        );
         println!(" * cost: reads of non-local variables pay one fetch round trip");
     } else {
         println!("recommendation: FULL replication");

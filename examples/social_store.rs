@@ -26,21 +26,37 @@ fn main() {
 
     // Alice posts; the post is replicated to 3 of the 10 sites.
     alice
-        .put(&mut store, "post:1", b"just deployed causal-partial!".as_ref())
+        .put(
+            &mut store,
+            "post:1",
+            b"just deployed causal-partial!".as_ref(),
+        )
         .unwrap();
-    alice.put(&mut store, "feed:alice", b"post:1".as_ref()).unwrap();
+    alice
+        .put(&mut store, "feed:alice", b"post:1".as_ref())
+        .unwrap();
 
     // Bob follows the feed pointer to the post — causal consistency
     // guarantees the dereference never dangles.
-    let head = bob.get(&mut store, "feed:alice").unwrap().expect("feed visible");
+    let head = bob
+        .get(&mut store, "feed:alice")
+        .unwrap()
+        .expect("feed visible");
     let key = String::from_utf8(head.to_vec()).unwrap();
     let post = bob.get(&mut store, &key).unwrap().expect("post visible");
     println!("bob sees: {:?}", String::from_utf8_lossy(&post));
 
     // Bob comments; Carol reads the comment and must also see the post.
-    bob.put(&mut store, "comment:1", b"congrats!".as_ref()).unwrap();
-    let comment = carol.get(&mut store, "comment:1").unwrap().expect("comment visible");
-    let post_at_carol = carol.get(&mut store, "post:1").unwrap().expect("post visible");
+    bob.put(&mut store, "comment:1", b"congrats!".as_ref())
+        .unwrap();
+    let comment = carol
+        .get(&mut store, "comment:1")
+        .unwrap()
+        .expect("comment visible");
+    let post_at_carol = carol
+        .get(&mut store, "post:1")
+        .unwrap()
+        .expect("post visible");
     println!(
         "carol sees: {:?} on {:?}",
         String::from_utf8_lossy(&comment),

@@ -17,15 +17,14 @@
 //! assert_eq!(v.writer, w);
 //! ```
 
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub use causal_checker as checker;
 pub use causal_clocks as clocks;
 pub use causal_experiments as experiments;
 pub use causal_memory as memory;
-pub use causal_multicast as multicast;
 pub use causal_metrics as metrics;
+pub use causal_multicast as multicast;
 pub use causal_proto as proto;
 pub use causal_runtime as runtime;
 pub use causal_simnet as simnet;
@@ -39,7 +38,7 @@ pub mod prelude {
     pub use causal_memory::{LocalCluster, Placement, PlacementKind};
     pub use causal_proto::{ProtocolConfig, ProtocolKind};
     pub use causal_runtime::{run_threaded, RuntimeConfig};
-    pub use causal_simnet::{run, LatencyModel, SimConfig};
+    pub use causal_simnet::{run, CrashWindow, FaultPlan, LatencyModel, SimConfig};
     pub use causal_types::{MsgKind, SimTime, SiteId, SizeModel, VarId, VersionedValue, WriteId};
     pub use causal_workload::{VarDistribution, WorkloadParams};
 }

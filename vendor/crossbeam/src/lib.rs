@@ -1,0 +1,38 @@
+//! Offline stand-in for `crossbeam`: the unbounded MPSC channel API this
+//! workspace uses, backed by `std::sync::mpsc` (whose `Sender` has been
+//! `Sync + Clone` since Rust 1.72, covering every sharing pattern the
+//! runtime relies on).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer single-consumer FIFO channels.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
+        assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+    }
+}

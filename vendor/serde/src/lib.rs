@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as `#[derive(Serialize, Deserialize)]`
+//! annotations — nothing ever serializes through the traits (there is no
+//! `serde_json` or other format crate in the dependency tree). Since the
+//! build environment has no crates.io access, this crate supplies marker
+//! traits and inert derive macros so the annotations compile to nothing.
+//! If a future change actually needs serialization, replace this with the
+//! real crate (or a wire format like `causal-proto::wire`).
+
+#![forbid(unsafe_code)]
+
+/// Marker for types annotated `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker for types annotated `#[derive(Deserialize)]`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Inert `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in: they accept the annotation (including `#[serde(...)]` helper
+//! attributes) and emit no code. See `vendor/serde` for the rationale.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
