@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|all>
+//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|all>
 //!       [--quick] [--out <dir>]
 //! ```
 //!
@@ -66,6 +66,9 @@ fn main() {
         ("storage", figures::ext_storage),
         ("chaos", |s| {
             causal_experiments::chaos::chaos_overhead(s.scale(), 10)
+        }),
+        ("durability", |s| {
+            causal_experiments::durability::durability_sweep(s.scale(), 10)
         }),
     ];
 
@@ -146,7 +149,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|all> \
+        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|all> \
          [--quick] [--out <dir>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -11,7 +11,8 @@
 //!          [--events <per-process>] [--seed <u64>] [--p <replicas>]
 //!          [--latency <const_us|min_us:max_us>] [--partition <start_ms:end_ms>]
 //!          [--zipf <theta>] [--wire-model] [--check]
-//!          [--faults <drop,dup>] [--crash <site:start_ms:end_ms>]
+//!          [--faults <drop,dup>] [--crash <site:start_ms:end_ms[:media]>]
+//!          [--wal] [--checkpoint-interval <ms>] [--fetch-deadline <ms>]
 //!          [--dump-schedule <path>] [--schedule <path>]
 //! ```
 //!
@@ -22,14 +23,26 @@
 //! transport frames; `--crash 3:500:900` fail-stops site 3 (with state
 //! loss) from 500 ms to 900 ms. Either flag engages the reliable-delivery
 //! transport and prints its counters (retransmissions, duplicate drops,
-//! ack/sync traffic, recovery time).
+//! ack/sync traffic, recovery time). Crash windows of different sites may
+//! overlap (a correlated failure); windows of one site must not.
+//!
+//! `--wal` gives every site a durable write-ahead log, so recovery replays
+//! local state and asks peers only for the delta; `--checkpoint-interval
+//! 250` snapshots each live site's protocol state every 250 ms of virtual
+//! time and truncates its log. A trailing `:media` on `--crash` destroys
+//! that site's durable medium too (recovery falls back to the full peer
+//! rebuild). `--fetch-deadline 150` makes a blocked remote read fail over
+//! to the next replica after 150 ms instead of waiting indefinitely, and
+//! give up as a degraded read once the candidates are exhausted.
 
 use causal_checker::check;
 use causal_clocks::DestSet;
 use causal_memory::{Placement, PlacementKind};
 use causal_proto::ProtocolKind;
-use causal_simnet::{run, CrashWindow, FaultPlan, LatencyModel, PartitionWindow, SimConfig};
-use causal_types::{MsgKind, SimTime, SiteId, SizeModel};
+use causal_simnet::{
+    run, CrashWindow, DurabilityPlan, FaultPlan, LatencyModel, PartitionWindow, SimConfig,
+};
+use causal_types::{MsgKind, SimDuration, SimTime, SiteId, SizeModel};
 use causal_workload::VarDistribution;
 use std::sync::Arc;
 
@@ -47,7 +60,10 @@ struct Args {
     wire_model: bool,
     check: bool,
     faults: Option<(f64, f64)>,
-    crashes: Vec<(usize, u64, u64)>,
+    crashes: Vec<(usize, u64, u64, bool)>,
+    wal: bool,
+    checkpoint_interval: Option<u64>,
+    fetch_deadline: Option<u64>,
     dump_schedule: Option<String>,
     schedule: Option<String>,
 }
@@ -68,6 +84,9 @@ fn parse() -> Args {
         check: false,
         faults: None,
         crashes: Vec::new(),
+        wal: false,
+        checkpoint_interval: None,
+        fetch_deadline: None,
         dump_schedule: None,
         schedule: None,
     };
@@ -129,14 +148,32 @@ fn parse() -> Args {
             "--crash" => {
                 let v = val();
                 let parts: Vec<&str> = v.split(':').collect();
-                let [site, start, end] = parts[..] else {
-                    die("bad --crash (want site:start_ms:end_ms)")
+                let (site, start, end, media) = match parts[..] {
+                    [site, start, end] => (site, start, end, false),
+                    [site, start, end, "media"] => (site, start, end, true),
+                    _ => die("bad --crash (want site:start_ms:end_ms[:media])"),
                 };
                 a.crashes.push((
                     site.parse().unwrap_or_else(|_| die("bad --crash site")),
                     start.parse().unwrap_or_else(|_| die("bad --crash start")),
                     end.parse().unwrap_or_else(|_| die("bad --crash end")),
+                    media,
                 ));
+            }
+            "--wal" => a.wal = true,
+            "--checkpoint-interval" => {
+                a.checkpoint_interval = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --checkpoint-interval (want milliseconds)")),
+                )
+            }
+            "--fetch-deadline" => {
+                a.fetch_deadline = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --fetch-deadline (want milliseconds)")),
+                )
             }
             "--wire-model" => a.wire_model = true,
             "--check" => a.check = true,
@@ -149,7 +186,33 @@ fn parse() -> Args {
             other => die(&format!("unknown flag {other}")),
         }
     }
+    validate(&a);
     a
+}
+
+/// Cross-flag sanity checks, each with a message naming the fix.
+fn validate(a: &Args) {
+    if a.checkpoint_interval == Some(0) {
+        die("--checkpoint-interval must be positive (0 would checkpoint never-endingly at t=0; omit the flag to disable checkpoints)");
+    }
+    if a.checkpoint_interval.is_some() && !a.wal {
+        die("--checkpoint-interval requires --wal (checkpoints live in the write-ahead log's durable store)");
+    }
+    if a.crashes.iter().any(|c| c.3) && !a.wal {
+        die("--crash ...:media requires --wal (without a durable medium there is nothing to lose)");
+    }
+    let mut windows = a.crashes.clone();
+    windows.sort_by_key(|&(site, start, _, _)| (site, start));
+    for w in windows.windows(2) {
+        let (s0, a0, b0, _) = w[0];
+        let (s1, a1, _, _) = w[1];
+        if s0 == s1 && a1 < b0 {
+            die(&format!(
+                "--crash windows on site {s0} overlap ({a0}:{b0} vs {a1}:..): \
+                 a site cannot crash while already down; merge the windows or move one"
+            ));
+        }
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -187,7 +250,7 @@ fn main() {
         crashes: a
             .crashes
             .iter()
-            .map(|&(site, s, e)| {
+            .map(|&(site, s, e, _)| {
                 if site >= a.n {
                     die(&format!("--crash site {site} out of range (n={})", a.n));
                 }
@@ -201,6 +264,17 @@ fn main() {
                 }
             })
             .collect(),
+        durability: DurabilityPlan {
+            wal: a.wal,
+            checkpoint_every: a.checkpoint_interval.map(SimDuration::from_millis),
+            fetch_deadline: a.fetch_deadline.map(SimDuration::from_millis),
+            lose_media: a
+                .crashes
+                .iter()
+                .filter(|c| c.3)
+                .map(|c| SiteId::from(c.0))
+                .collect(),
+        },
     };
     cfg.workload.q = a.q;
     cfg.workload.events_per_process = a.events;
@@ -296,6 +370,26 @@ fn main() {
                 m.sync_count,
                 m.sync_bytes as f64 / 1000.0,
                 m.recovery_ns.mean() / 1e6
+            );
+        }
+        if a.wal {
+            println!(
+                "durability      {} WAL appends ({:.1} KB), {} checkpoints ({:.1} KB)",
+                m.wal_appends,
+                m.wal_bytes as f64 / 1000.0,
+                m.checkpoints,
+                m.checkpoint_bytes as f64 / 1000.0,
+            );
+            println!(
+                "                {} local replays, {:.1} KB delta-sync savings",
+                m.recovery_replays,
+                m.delta_sync_saved_bytes as f64 / 1000.0,
+            );
+        }
+        if m.fetch_failovers + m.degraded_reads + m.degraded_recoveries > 0 {
+            println!(
+                "degradation     {} fetch failovers, {} degraded reads, {} degraded recoveries",
+                m.fetch_failovers, m.degraded_reads, m.degraded_recoveries
             );
         }
     }

@@ -16,18 +16,22 @@
 //! | `repro table4` | Table IV — total message count, partial vs full replication |
 //! | `repro eq2` | Eq. (1)/(2) — analytic crossover `w_rate > 2/(n+1)` and its empirical check |
 //! | `repro chaos` | extension — transport overhead vs. loss rate under fault injection |
+//! | `repro durability` | extension — WAL/checkpoint recovery vs. full rebuild under overlapping crashes |
 //! | `repro all` | everything above, sharing simulation runs |
 //!
 //! [`analytic`] carries the closed-form complexity models of §V-A/V-B, and
 //! [`sweep`] the multi-seed simulation driver with per-invocation caching so
 //! figures that share parameter cells share runs. [`chaos`] goes beyond the
 //! paper: it re-runs the protocols over lossy channels with crash injection
-//! and measures what the (there-free) TCP guarantees cost.
+//! and measures what the (there-free) TCP guarantees cost. [`durability`]
+//! goes further still, comparing write-ahead-log + checkpoint recovery
+//! against the full peer rebuild under correlated failures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod analytic;
 pub mod chaos;
+pub mod durability;
 pub mod figures;
 pub mod sweep;
 

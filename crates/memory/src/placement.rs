@@ -111,6 +111,17 @@ impl Placement {
         let d = (to + self.n - from) % self.n;
         d.min(self.n - d)
     }
+
+    /// All replicas of `var` ordered by fetch preference for `site`:
+    /// ascending ring distance, ties towards lower site ids. The first
+    /// entry is exactly [`Replication::fetch_target`]; the rest are the
+    /// failover order a degraded read walks when the predesignated replica
+    /// does not answer within its deadline.
+    pub fn fetch_candidates(&self, var: VarId, site: SiteId) -> Vec<SiteId> {
+        let mut candidates: Vec<SiteId> = self.replicas(var).iter().collect();
+        candidates.sort_by_key(|r| (self.ring_distance(site.index(), r.index()), *r));
+        candidates
+    }
 }
 
 impl Replication for Placement {
@@ -222,7 +233,38 @@ mod tests {
         assert!(Placement::new(PlacementKind::Even, 500, 3).is_err());
     }
 
+    #[test]
+    fn fetch_candidates_lead_with_the_predesignated_replica() {
+        let pl = Placement::new(PlacementKind::Even, 10, 3).unwrap();
+        // var 0 → replicas {0, 1, 2}; from site 9 the order is 0, 1, 2.
+        assert_eq!(
+            pl.fetch_candidates(VarId(0), SiteId(9)),
+            vec![SiteId(0), SiteId(1), SiteId(2)]
+        );
+        // From site 4 the nearest is 2, then 1, then 0.
+        assert_eq!(
+            pl.fetch_candidates(VarId(0), SiteId(4)),
+            vec![SiteId(2), SiteId(1), SiteId(0)]
+        );
+    }
+
     proptest! {
+        #[test]
+        fn prop_fetch_candidates_cover_replicas_and_agree_with_target(
+            n in 2usize..50,
+            v in 0u32..200,
+            s in 0usize..50,
+        ) {
+            prop_assume!(s < n);
+            let pl = Placement::paper_partial(n).unwrap();
+            let cands = pl.fetch_candidates(VarId(v), SiteId::from(s));
+            prop_assert_eq!(cands.len(), pl.p());
+            prop_assert_eq!(cands[0], pl.fetch_target(VarId(v), SiteId::from(s)));
+            for c in &cands {
+                prop_assert!(pl.replicas(VarId(v)).contains(*c));
+            }
+        }
+
         #[test]
         fn prop_replica_count_is_p(n in 1usize..60, pfrac in 0.05f64..1.0, v in 0u32..500) {
             let p = ((n as f64 * pfrac).ceil() as usize).clamp(1, n);

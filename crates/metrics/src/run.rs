@@ -71,6 +71,29 @@ pub struct RunMetrics {
     /// Virtual nanoseconds from each crash's recovery instant until the
     /// recovering site finished installing peer state.
     pub recovery_ns: StatAccum,
+    /// Records appended to write-ahead logs (durable-storage model).
+    pub wal_appends: u64,
+    /// Modeled bytes of those WAL records.
+    pub wal_bytes: u64,
+    /// Protocol-state checkpoints taken.
+    pub checkpoints: u64,
+    /// Modeled bytes of checkpoint images written.
+    pub checkpoint_bytes: u64,
+    /// Recoveries that rebuilt state locally by WAL replay (checkpoint +
+    /// log) instead of the full peer rebuild.
+    pub recovery_replays: u64,
+    /// Snapshot bytes *saved* by delta sync: full-snapshot size minus the
+    /// delta actually shipped, summed over all delta-sync responses.
+    pub delta_sync_saved_bytes: u64,
+    /// Remote fetches re-issued to an alternate replica after the serving
+    /// replica missed the fetch deadline.
+    pub fetch_failovers: u64,
+    /// Reads abandoned after every candidate replica missed the deadline —
+    /// the run degrades (the read returns nothing) instead of hanging.
+    pub degraded_reads: u64,
+    /// Recoveries finished in degraded mode: a sync deadline expired before
+    /// every expected peer responded (correlated-failure overlap).
+    pub degraded_recoveries: u64,
 }
 
 impl Default for RunMetrics {
@@ -99,6 +122,15 @@ impl Default for RunMetrics {
             sync_count: 0,
             sync_bytes: 0,
             recovery_ns: StatAccum::default(),
+            wal_appends: 0,
+            wal_bytes: 0,
+            checkpoints: 0,
+            checkpoint_bytes: 0,
+            recovery_replays: 0,
+            delta_sync_saved_bytes: 0,
+            fetch_failovers: 0,
+            degraded_reads: 0,
+            degraded_recoveries: 0,
         }
     }
 }
@@ -165,6 +197,15 @@ impl RunMetrics {
         self.crash_drops += other.crash_drops;
         self.sync_count += other.sync_count;
         self.sync_bytes += other.sync_bytes;
+        self.wal_appends += other.wal_appends;
+        self.wal_bytes += other.wal_bytes;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.recovery_replays += other.recovery_replays;
+        self.delta_sync_saved_bytes += other.delta_sync_saved_bytes;
+        self.fetch_failovers += other.fetch_failovers;
+        self.degraded_reads += other.degraded_reads;
+        self.degraded_recoveries += other.degraded_recoveries;
         // StatAccum cannot merge exactly without the raw moments; fold the
         // other's summary as a weighted contribution.
         for (mine, theirs) in [
@@ -257,5 +298,31 @@ mod tests {
         assert_eq!(a.sync_count, 7);
         assert_eq!(a.sync_bytes, 100);
         assert_eq!(a.recovery_ns.count(), 1);
+    }
+
+    #[test]
+    fn durability_counters_merge() {
+        let mut a = RunMetrics::new();
+        a.wal_appends = 10;
+        a.checkpoints = 2;
+        a.fetch_failovers = 1;
+        let mut b = RunMetrics::new();
+        b.wal_appends = 5;
+        b.wal_bytes = 500;
+        b.checkpoint_bytes = 400;
+        b.recovery_replays = 1;
+        b.delta_sync_saved_bytes = 123;
+        b.degraded_reads = 2;
+        b.degraded_recoveries = 1;
+        a.merge(&b);
+        assert_eq!(a.wal_appends, 15);
+        assert_eq!(a.wal_bytes, 500);
+        assert_eq!(a.checkpoints, 2);
+        assert_eq!(a.checkpoint_bytes, 400);
+        assert_eq!(a.recovery_replays, 1);
+        assert_eq!(a.delta_sync_saved_bytes, 123);
+        assert_eq!(a.fetch_failovers, 1);
+        assert_eq!(a.degraded_reads, 2);
+        assert_eq!(a.degraded_recoveries, 1);
     }
 }

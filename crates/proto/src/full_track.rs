@@ -30,6 +30,7 @@ struct PendingSm {
 }
 
 /// Mutable state shared between the drain loop and the apply action.
+#[derive(Clone)]
 struct ApplyState {
     values: HashMap<VarId, VersionedValue>,
     last_write_on: HashMap<VarId, MatrixClock>,
@@ -38,6 +39,7 @@ struct ApplyState {
 }
 
 /// One site running Full-Track.
+#[derive(Clone)]
 pub struct FullTrack {
     site: SiteId,
     n: usize,
@@ -330,8 +332,10 @@ impl ProtocolSite for FullTrack {
             };
             // Acked SMs were received exactly once and are never redelivered;
             // unacked ones will be. The acked count therefore IS the
-            // per-origin receive counter the crash erased.
-            self.state.apply[peer.index()] = ack.sm_count;
+            // per-origin receive counter the crash erased. Never regress: a
+            // WAL-replayed site may already count logged-but-unacked ones.
+            let apply = &mut self.state.apply[peer.index()];
+            *apply = (*apply).max(ack.sm_count);
             // Merging every live peer's matrix over-approximates the lost
             // causal knowledge (each observed write is in its writer's own
             // row) — safe: never violates →co, only adds waiting.
@@ -346,9 +350,28 @@ impl ProtocolSite for FullTrack {
             }
         }
         for (var, (value, meta)) in best {
-            self.state.values.insert(var, value);
-            self.state.last_write_on.insert(var, meta);
+            // Install only values strictly newer than the local replica (a
+            // delta snapshot must not roll a WAL-replayed state back).
+            let newer = self.state.values.get(&var).is_none_or(|cur| {
+                (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
+            });
+            if newer {
+                self.state.values.insert(var, value);
+                self.state.last_write_on.insert(var, meta);
+            }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProtocolSite> {
+        Box::new(self.clone())
+    }
+
+    fn abort_fetch(&mut self, var: VarId) {
+        assert_eq!(
+            self.outstanding_fetch.take(),
+            Some(var),
+            "abort of a fetch that is not outstanding"
+        );
     }
 }
 

@@ -37,6 +37,7 @@ struct PendingSm {
     write: MatrixClock,
 }
 
+#[derive(Clone)]
 struct ApplyState {
     values: HashMap<VarId, VersionedValue>,
     apply: Vec<u64>,
@@ -47,6 +48,7 @@ struct ApplyState {
 }
 
 /// One site running HB-Track.
+#[derive(Clone)]
 pub struct HbTrack {
     site: SiteId,
     n: usize,
@@ -297,7 +299,10 @@ impl ProtocolSite for HbTrack {
             let SyncState::HbTrack { clock, vars } = state else {
                 panic!("HB-Track site received a foreign sync snapshot");
             };
-            self.state.apply[peer.index()] = ack.sm_count;
+            // Never regress: a WAL-replayed site may already count
+            // logged-but-unacked deliveries beyond the acked prefix.
+            let apply = &mut self.state.apply[peer.index()];
+            *apply = (*apply).max(ack.sm_count);
             // Receipt-merge protocol: merging peers' matrices is exactly the
             // HB knowledge transfer an RM reply performs, just n-wide.
             self.state.write_clock.merge_max(clock);
@@ -310,7 +315,28 @@ impl ProtocolSite for HbTrack {
                 }
             }
         }
-        self.state.values.extend(best);
+        for (var, value) in best {
+            // Install only values strictly newer than the local replica (a
+            // delta snapshot must not roll a WAL-replayed state back).
+            let newer = self.state.values.get(&var).is_none_or(|cur| {
+                (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
+            });
+            if newer {
+                self.state.values.insert(var, value);
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProtocolSite> {
+        Box::new(self.clone())
+    }
+
+    fn abort_fetch(&mut self, var: VarId) {
+        assert_eq!(
+            self.outstanding_fetch.take(),
+            Some(var),
+            "abort of a fetch that is not outstanding"
+        );
     }
 }
 

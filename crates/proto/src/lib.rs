@@ -52,6 +52,7 @@ pub mod pending;
 pub mod reliable;
 pub mod replication;
 pub mod site;
+pub mod wal;
 pub mod wire;
 
 pub use effect::{Effect, ReadResult};
@@ -65,4 +66,5 @@ pub use optp::OptP;
 pub use reliable::{Frame, OwnLedger, PeerAckInfo, SyncState};
 pub use replication::Replication;
 pub use site::ProtocolSite;
+pub use wal::{DurableStore, WalRecord};
 pub use wire::{decode, encode, WireError};

@@ -36,6 +36,7 @@ struct PendingSm {
 }
 
 /// State consulted and mutated by the drain loop.
+#[derive(Clone)]
 struct ApplyState {
     me: SiteId,
     prune: PruneConfig,
@@ -53,6 +54,7 @@ struct ApplyState {
 }
 
 /// One site running Opt-Track.
+#[derive(Clone)]
 pub struct OptTrack {
     site: SiteId,
     n: usize,
@@ -374,8 +376,12 @@ impl ProtocolSite for OptTrack {
             // Acked SMs were received exactly once and never redeliver;
             // unacked ones will be, starting right after the acked prefix
             // (FIFO), so the acked maximum restores last_clock exactly.
-            self.state.apply[peer.index()] = ack.sm_count;
-            self.state.last_clock[peer.index()] = ack.sm_max_clock;
+            // Never regress: a WAL-replayed site may already count unacked
+            // (logged but never re-acked) deliveries beyond the acked prefix.
+            let apply = &mut self.state.apply[peer.index()];
+            *apply = (*apply).max(ack.sm_count);
+            let last = &mut self.state.last_clock[peer.index()];
+            *last = (*last).max(ack.sm_max_clock);
             // Merge every live peer's log: a conservative over-approximation
             // of the lost causal knowledge (each observed write lives in its
             // writer's own log until all destinations are covered).
@@ -392,11 +398,31 @@ impl ProtocolSite for OptTrack {
         self.log.prune_applied(self.site, &self.state.last_clock);
         self.log.purge(self.prune);
         for (var, (value, mut meta)) in best {
-            meta.remove_site(self.site);
-            meta.normalize(self.prune);
-            self.state.values.insert(var, value);
-            self.state.last_write_on.insert(var, meta);
+            // Install only values strictly newer than the local replica: a
+            // WAL-replayed state already holds everything up to its durable
+            // point, and a delta snapshot must not roll it back.
+            let newer = self.state.values.get(&var).is_none_or(|cur| {
+                (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
+            });
+            if newer {
+                meta.remove_site(self.site);
+                meta.normalize(self.prune);
+                self.state.values.insert(var, value);
+                self.state.last_write_on.insert(var, meta);
+            }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProtocolSite> {
+        Box::new(self.clone())
+    }
+
+    fn abort_fetch(&mut self, var: VarId) {
+        assert_eq!(
+            self.outstanding_fetch.take(),
+            Some(var),
+            "abort of a fetch that is not outstanding"
+        );
     }
 }
 

@@ -29,6 +29,7 @@ struct PendingSm {
     log: CrpLog,
 }
 
+#[derive(Clone)]
 struct ApplyState {
     values: HashMap<VarId, VersionedValue>,
     /// `LastWriteOn⟨h⟩` — under CRP only the applied write's own tuple is
@@ -43,6 +44,7 @@ struct ApplyState {
 }
 
 /// One site running Opt-Track-CRP.
+#[derive(Clone)]
 pub struct OptTrackCrp {
     site: SiteId,
     n: usize,
@@ -278,8 +280,12 @@ impl ProtocolSite for OptTrackCrp {
                 panic!("Opt-Track-CRP site received a foreign sync snapshot");
             };
             // Exactly the acked prefix of the peer's stream was received.
-            self.state.apply[peer.index()] = ack.sm_count;
-            self.state.last_clock[peer.index()] = ack.sm_max_clock;
+            // Never regress: a WAL-replayed site may already count
+            // logged-but-unacked deliveries beyond the acked prefix.
+            let apply = &mut self.state.apply[peer.index()];
+            *apply = (*apply).max(ack.sm_count);
+            let last = &mut self.state.last_clock[peer.index()];
+            *last = (*last).max(ack.sm_max_clock);
             // Merge every live peer's dependency log: a safe
             // over-approximation of pre-crash causal knowledge.
             self.log.merge(log);
@@ -293,9 +299,20 @@ impl ProtocolSite for OptTrackCrp {
             }
         }
         for (var, value) in best {
-            self.state.last_write_on.insert(var, value.writer);
-            self.state.values.insert(var, value);
+            // Install only values strictly newer than the local replica (a
+            // delta snapshot must not roll a WAL-replayed state back).
+            let newer = self.state.values.get(&var).is_none_or(|cur| {
+                (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
+            });
+            if newer {
+                self.state.last_write_on.insert(var, value.writer);
+                self.state.values.insert(var, value);
+            }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProtocolSite> {
+        Box::new(self.clone())
     }
 }
 

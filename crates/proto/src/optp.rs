@@ -29,6 +29,7 @@ struct PendingSm {
     write: VectorClock,
 }
 
+#[derive(Clone)]
 struct ApplyState {
     values: HashMap<VarId, VersionedValue>,
     last_write_on: HashMap<VarId, VectorClock>,
@@ -37,6 +38,7 @@ struct ApplyState {
 }
 
 /// One site running optP.
+#[derive(Clone)]
 pub struct OptP {
     site: SiteId,
     n: usize,
@@ -241,7 +243,10 @@ impl ProtocolSite for OptP {
             };
             // Acked SMs were received exactly once and never redeliver; the
             // acked count restores the per-origin receive counter exactly.
-            self.state.apply[peer.index()] = ack.sm_count;
+            // Never regress: a WAL-replayed site may already count
+            // logged-but-unacked deliveries beyond the acked prefix.
+            let apply = &mut self.state.apply[peer.index()];
+            *apply = (*apply).max(ack.sm_count);
             // Merge every live peer's vector: a safe over-approximation of
             // the lost causal knowledge.
             self.write_clock.merge_max(clock);
@@ -255,9 +260,20 @@ impl ProtocolSite for OptP {
             }
         }
         for (var, (value, meta)) in best {
-            self.state.values.insert(var, value);
-            self.state.last_write_on.insert(var, meta);
+            // Install only values strictly newer than the local replica (a
+            // delta snapshot must not roll a WAL-replayed state back).
+            let newer = self.state.values.get(&var).is_none_or(|cur| {
+                (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
+            });
+            if newer {
+                self.state.values.insert(var, value);
+                self.state.last_write_on.insert(var, meta);
+            }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProtocolSite> {
+        Box::new(self.clone())
     }
 }
 

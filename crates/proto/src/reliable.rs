@@ -66,7 +66,7 @@ pub struct PeerAckInfo {
 /// which is safe: extra dependencies only delay applies, they never violate
 /// causality, and every over-approximated dependency refers to a real write
 /// that will eventually arrive everywhere it is destined.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SyncState {
     /// Full-Track: matrix clock + per-variable `LastWriteOn` matrices.
     FullTrack {
@@ -140,6 +140,42 @@ impl SyncState {
             }
         }
     }
+
+    /// Restrict the shared-variable snapshot to values the requester has
+    /// *not* durably applied: keep a value iff its writer's clock exceeds
+    /// `applied[writer]`, the requester's per-origin applied-write
+    /// high-water mark (recovered from its WAL). Causal knowledge (clock /
+    /// log) is shipped in full — it is the cheap part and merging it is
+    /// always safe; only the value payloads are delta-filtered.
+    pub fn filter_delta(&self, applied: &[u64]) -> SyncState {
+        let fresh = |v: &VersionedValue| {
+            applied
+                .get(v.writer.site.index())
+                .is_none_or(|&hw| v.writer.clock > hw)
+        };
+        match self {
+            SyncState::FullTrack { clock, vars } => SyncState::FullTrack {
+                clock: clock.clone(),
+                vars: vars.iter().filter(|(_, v, _)| fresh(v)).cloned().collect(),
+            },
+            SyncState::OptTrack { log, vars } => SyncState::OptTrack {
+                log: log.clone(),
+                vars: vars.iter().filter(|(_, v, _)| fresh(v)).cloned().collect(),
+            },
+            SyncState::Crp { log, vars } => SyncState::Crp {
+                log: log.clone(),
+                vars: vars.iter().filter(|(_, v)| fresh(v)).cloned().collect(),
+            },
+            SyncState::OptP { clock, vars } => SyncState::OptP {
+                clock: clock.clone(),
+                vars: vars.iter().filter(|(_, v, _)| fresh(v)).cloned().collect(),
+            },
+            SyncState::HbTrack { clock, vars } => SyncState::HbTrack {
+                clock: clock.clone(),
+                vars: vars.iter().filter(|(_, v)| fresh(v)).cloned().collect(),
+            },
+        }
+    }
 }
 
 /// A transport-level frame on one ordered site pair.
@@ -181,6 +217,13 @@ pub enum Frame {
         inc: u32,
         /// Its durable own-write ledger.
         ledger: OwnLedger,
+        /// Per-origin applied-write high-water marks recovered from the
+        /// site's WAL (`applied[j]` = largest write clock of site `j` whose
+        /// update this site has durably applied). `Some` requests a *delta*
+        /// sync — peers filter their snapshot with
+        /// [`SyncState::filter_delta`]; `None` requests the full rebuild
+        /// (no durable log, or the log was truncated/lost).
+        applied: Option<Vec<u64>>,
     },
     /// A live peer's reply to `SyncReq`.
     SyncResp {
@@ -204,8 +247,11 @@ impl Frame {
             Frame::Data { .. } => model.scalars(3),
             // epoch + src_inc + cum_seq.
             Frame::Ack { .. } => model.scalars(3),
-            // inc + own_clock + self_applied + own_row.
-            Frame::SyncReq { ledger, .. } => model.scalars(3 + ledger.own_row.len()),
+            // inc + own_clock + self_applied + own_row (+ the delta-sync
+            // high-water vector when present).
+            Frame::SyncReq {
+                ledger, applied, ..
+            } => model.scalars(3 + ledger.own_row.len() + applied.as_ref().map_or(0, |a| a.len())),
             // inc + the two PeerAckInfo scalars; the snapshot is counted
             // separately via [`SyncState::meta_size`].
             Frame::SyncResp { .. } => model.scalars(3),
@@ -248,9 +294,21 @@ mod tests {
                 own_row: vec![3, 0, 4],
                 self_applied: 2,
             },
+            applied: None,
         };
         assert!(req.is_sync());
         assert_eq!(req.overhead(&model), model.scalars(6));
+        let delta = Frame::SyncReq {
+            inc: 1,
+            ledger: OwnLedger {
+                site: SiteId(2),
+                own_clock: 7,
+                own_row: vec![3, 0, 4],
+                self_applied: 2,
+            },
+            applied: Some(vec![1, 7, 0]),
+        };
+        assert_eq!(delta.overhead(&model), model.scalars(9));
         let resp = Frame::SyncResp {
             inc: 1,
             ack: PeerAckInfo::default(),
@@ -260,6 +318,28 @@ mod tests {
             },
         };
         assert!(resp.is_sync());
+    }
+
+    #[test]
+    fn delta_filter_keeps_only_values_past_the_high_water() {
+        let w = |site: usize, clock: u64| {
+            VersionedValue::new(causal_types::WriteId::new(SiteId::from(site), clock), 0)
+        };
+        let state = SyncState::Crp {
+            log: CrpLog::new(),
+            vars: vec![
+                (VarId(0), w(0, 3)), // applied: 3 ≤ 3
+                (VarId(1), w(0, 4)), // fresh: 4 > 3
+                (VarId(2), w(1, 1)), // fresh: 1 > 0
+            ],
+        };
+        let SyncState::Crp { vars, .. } = state.filter_delta(&[3, 0]) else {
+            unreachable!()
+        };
+        assert_eq!(
+            vars.iter().map(|(v, _)| v.0).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]

@@ -64,6 +64,28 @@ pub trait ProtocolSite: Send {
         None
     }
 
+    /// Deep-copy this site's complete state as a checkpoint image.
+    ///
+    /// The durable-storage model (`crate::wal`) snapshots a site by cloning
+    /// the whole state machine: the clone *is* the protocol state the paper
+    /// names — Full-Track's `n×n` matrix, Opt-Track's KS log, Opt-Track-CRP's
+    /// 2-tuple log, optP's vector clock — plus replica values, parked
+    /// updates and `LastWriteOn` metadata, so checkpoint + WAL replay
+    /// reproduces the pre-crash state exactly. The default panics so that a
+    /// third-party site that never opted into durability fails loudly.
+    fn clone_box(&self) -> Box<dyn ProtocolSite> {
+        panic!("{} does not support checkpointing", self.kind())
+    }
+
+    /// Abandon the single outstanding remote fetch (degraded read): the
+    /// driver gave up on every candidate replica before a deadline. Clears
+    /// the fetch slot so later reads can proceed; a straggling RM for the
+    /// abandoned variable is filtered by the driver. No-op for protocols
+    /// whose reads are always local (full replication).
+    fn abort_fetch(&mut self, var: VarId) {
+        let _ = var;
+    }
+
     // ------------------------------------------------------------------
     // Crash / recovery (fail-stop with state loss; see `crate::reliable`).
     // The driver (simulator) orchestrates the handshake; the protocol only

@@ -1,7 +1,7 @@
 //! The discrete-event kernel: a virtual clock and an event heap.
 
 use causal_proto::{Frame, Msg};
-use causal_types::{SimTime, SiteId};
+use causal_types::{SimTime, SiteId, VarId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -69,6 +69,31 @@ pub enum SimEvent {
         /// The recovering site.
         site: SiteId,
     },
+    /// The fetch deadline of `site`'s outstanding remote read expires: if
+    /// the read is still blocked on attempt `attempt`, fail over to the
+    /// next candidate replica (or abandon the read as degraded).
+    FetchDeadline {
+        /// The fetching site.
+        site: SiteId,
+        /// The fetched variable (guards against a stale timer after the
+        /// read completed and another began).
+        var: VarId,
+        /// Failover attempt the timer was armed for.
+        attempt: u32,
+    },
+    /// The sync deadline of `site`'s recovery (incarnation `inc`) expires:
+    /// if the site is still collecting `SyncResp`s, finish recovery in
+    /// degraded mode with whatever arrived (correlated crashes can leave an
+    /// expected responder dead past our whole sync window).
+    SyncTimeout {
+        /// The recovering site.
+        site: SiteId,
+        /// Incarnation the timer was armed for.
+        inc: u32,
+    },
+    /// Periodic durability tick: checkpoint every live site's protocol
+    /// state into its durable store and truncate its WAL.
+    CheckpointTick,
 }
 
 struct Queued {

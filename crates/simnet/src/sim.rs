@@ -8,11 +8,11 @@ use causal_clocks::PruneConfig;
 use causal_memory::Placement;
 use causal_metrics::RunMetrics;
 use causal_proto::{
-    build_site, Effect, Fm, Frame, Msg, OwnLedger, PeerAckInfo, ProtocolConfig, ProtocolKind,
-    ProtocolSite, ReadResult, Replication, SyncState,
+    build_site, DurableStore, Effect, Fm, Frame, Msg, OwnLedger, PeerAckInfo, ProtocolConfig,
+    ProtocolKind, ProtocolSite, ReadResult, Replication, SyncState, WalRecord,
 };
 use causal_types::WriteId;
-use causal_types::{MetaSized, OpKind, SimTime, SiteId, SizeModel, VarId};
+use causal_types::{MetaSized, OpKind, SimDuration, SimTime, SiteId, SizeModel, VarId};
 use causal_workload::{generate, WorkloadParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,9 +50,11 @@ impl PauseWindow {
 /// Unlike [`PauseWindow`], messages arriving while the site is down are
 /// *lost* (the reliable transport's senders retransmit them), so crash
 /// windows require chaos mode and are orchestrated together with the
-/// [`FaultPlan`]. Windows of one run must not overlap, and each recovery's
-/// sync handshake must finish before the next crash begins (asserted at
-/// runtime).
+/// [`FaultPlan`]. Windows of one *site* must not overlap (asserted at
+/// runtime). Windows of different sites may overlap — a correlated
+/// failure — which a [`DurabilityPlan`] WAL recovery survives with full
+/// state, and which otherwise completes in degraded mode once the sync
+/// deadline expires.
 #[derive(Clone, Debug)]
 pub struct CrashWindow {
     /// The crashing site.
@@ -61,6 +63,33 @@ pub struct CrashWindow {
     pub start: SimTime,
     /// Restart instant (recovery + sync handshake begins).
     pub end: SimTime,
+}
+
+/// Durability and graceful-degradation switches of one run.
+///
+/// `Default` is all-off: the own-write ledger is the only durable state,
+/// recovery is a full peer rebuild, and a blocked remote read waits for its
+/// predesignated replica indefinitely. Enabling `wal` gives every site a
+/// [`DurableStore`] and implies chaos mode (the reliable transport), since
+/// crash recovery is its only consumer.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityPlan {
+    /// Per-site write-ahead log: recovery replays checkpoint + log locally
+    /// and asks peers only for the delta past its replayed high-water
+    /// marks, which makes overlapping crashes and a crash inside a
+    /// partition recoverable.
+    pub wal: bool,
+    /// Periodic checkpoint interval (requires `wal` and must be positive).
+    /// `None` never checkpoints: replay re-drives the whole log.
+    pub checkpoint_every: Option<SimDuration>,
+    /// Deadline after which a blocked remote read fails over to the next
+    /// candidate replica, and after `2·p` expired attempts is abandoned as
+    /// a degraded read. `None` blocks indefinitely.
+    pub fetch_deadline: Option<SimDuration>,
+    /// Sites whose crash also destroys the durable medium
+    /// ([`DurableStore::wipe`]): their recovery falls back to the full
+    /// peer rebuild.
+    pub lose_media: Vec<SiteId>,
 }
 
 /// Configuration of one simulation run.
@@ -95,6 +124,8 @@ pub struct SimConfig {
     pub faults: FaultPlan,
     /// Injected fail-stop crashes with state loss (empty by default).
     pub crashes: Vec<CrashWindow>,
+    /// Durability and graceful-degradation switches (all-off by default).
+    pub durability: DurabilityPlan,
 }
 
 impl SimConfig {
@@ -118,6 +149,7 @@ impl SimConfig {
             pauses: Vec::new(),
             faults: FaultPlan::default(),
             crashes: Vec::new(),
+            durability: DurabilityPlan::default(),
         }
     }
 
@@ -137,6 +169,7 @@ impl SimConfig {
             pauses: Vec::new(),
             faults: FaultPlan::default(),
             crashes: Vec::new(),
+            durability: DurabilityPlan::default(),
         }
     }
 
@@ -164,10 +197,16 @@ impl SimConfig {
         self
     }
 
-    /// `true` when this run needs the reliable transport (lossy network or
-    /// crash injection).
+    /// Install a durability plan (WAL, checkpoints, fetch deadlines).
+    pub fn with_durability(mut self, durability: DurabilityPlan) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// `true` when this run needs the reliable transport (lossy network,
+    /// crash injection, or WAL-backed durability).
     pub fn chaos(&self) -> bool {
-        !self.faults.is_noop() || !self.crashes.is_empty()
+        !self.faults.is_noop() || !self.crashes.is_empty() || self.durability.wal
     }
 }
 
@@ -199,7 +238,16 @@ struct BlockedFetch {
     var: VarId,
     target: SiteId,
     measured: bool,
+    /// Issue counter for this logical read: bumped on every failover or
+    /// crash-recovery re-issue so that stale [`SimEvent::FetchDeadline`]
+    /// timers are recognized and ignored.
+    attempt: u32,
 }
+
+/// How long a recovering site waits for its expected `SyncResp`s before
+/// coming up in degraded mode (2 s of virtual time — correlated crashes
+/// can take an expected responder down mid-handshake).
+const SYNC_DEADLINE: SimDuration = SimDuration(2_000_000_000);
 
 /// Liveness of a site under crash injection.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -219,6 +267,14 @@ struct SyncCollect {
     started: SimTime,
     /// The incarnation the responses must echo.
     inc: u32,
+    /// Peers that were up when the recovery began — the response set the
+    /// recovery waits for. Down peers cannot answer; their own later
+    /// recovery fast-forwards this site past anything missed.
+    expected: Vec<SiteId>,
+    /// Whether the local WAL replay succeeded. If so, the replay restored
+    /// the protocol's outstanding-fetch slot, and recovery completion must
+    /// re-send a raw FM instead of calling `read()` again.
+    via_wal: bool,
     /// Responses gathered so far.
     sources: Vec<(SiteId, PeerAckInfo, SyncState)>,
 }
@@ -236,6 +292,9 @@ struct Chaos {
     held: Vec<Vec<SimEvent>>,
     sync: Vec<Option<SyncCollect>>,
     ledgers: Vec<Option<OwnLedger>>,
+    /// Per-site durable stores (WAL + checkpoint images), present iff the
+    /// run's [`DurabilityPlan::wal`] is on.
+    stores: Option<Vec<DurableStore>>,
     /// History-level apply dedup: a crashed site re-applies redelivered
     /// updates it had already applied (and recorded) before losing state;
     /// the checker's per-origin FIFO pass must see each apply once.
@@ -287,17 +346,24 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         held: (0..n).map(|_| Vec::new()).collect(),
         sync: (0..n).map(|_| None).collect(),
         ledgers: vec![None; n],
+        stores: cfg
+            .durability
+            .wal
+            .then(|| (0..n).map(|_| DurableStore::new(n)).collect()),
         applied_seen: HashSet::new(),
     });
 
-    // Validate and schedule the crash windows.
+    // Validate and schedule the crash windows. Windows of one site must
+    // not overlap; windows of different sites may (a correlated failure),
+    // which WAL recovery survives and which otherwise completes degraded.
     {
         let mut sorted: Vec<&CrashWindow> = cfg.crashes.iter().collect();
-        sorted.sort_by_key(|c| c.start);
+        sorted.sort_by_key(|c| (c.site, c.start));
         for w in sorted.windows(2) {
             assert!(
-                w[0].end <= w[1].start,
-                "crash windows must not overlap: {:?} vs {:?}",
+                w[0].site != w[1].site || w[0].end <= w[1].start,
+                "crash windows on s{} overlap: {:?} vs {:?}",
+                w[0].site,
                 w[0],
                 w[1]
             );
@@ -307,6 +373,26 @@ pub fn run(cfg: &SimConfig) -> SimResult {
             assert!(c.site.index() < n, "crash site out of range: {c:?}");
             heap.push(c.start, SimEvent::Crash { site: c.site });
             heap.push(c.end, SimEvent::Recover { site: c.site });
+        }
+    }
+
+    // Validate the durability plan and arm the checkpoint cadence.
+    {
+        let d = &cfg.durability;
+        if let Some(every) = d.checkpoint_every {
+            assert!(d.wal, "checkpoint interval requires the WAL");
+            assert!(
+                every > SimDuration::ZERO,
+                "checkpoint interval must be positive"
+            );
+            heap.push(SimTime::ZERO + every, SimEvent::CheckpointTick);
+        }
+        assert!(
+            d.lose_media.is_empty() || d.wal,
+            "media loss requires the WAL"
+        );
+        for s in &d.lose_media {
+            assert!(s.index() < n, "lose-media site out of range: s{s}");
         }
     }
 
@@ -332,7 +418,11 @@ pub fn run(cfg: &SimConfig) -> SimResult {
             SimEvent::Deliver { to, .. } => Some(*to),
             SimEvent::DeliverFrame { to, .. } => Some(*to),
             SimEvent::RetransmitCheck { from, .. } => Some(*from),
-            SimEvent::Crash { .. } | SimEvent::Recover { .. } => None,
+            SimEvent::FetchDeadline { site, .. } => Some(*site),
+            SimEvent::Crash { .. }
+            | SimEvent::Recover { .. }
+            | SimEvent::SyncTimeout { .. }
+            | SimEvent::CheckpointTick => None,
         };
         if let Some(site) = event_site {
             if let Some(resume) = cfg.pauses.iter().filter_map(|p| p.resumes(site, now)).max() {
@@ -357,6 +447,18 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                 d.next += 1;
                 match op.kind {
                     OpKind::Write { var, data } => {
+                        // WAL fiction: the record is durable before the
+                        // transition is externally visible.
+                        if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                            stores[site.index()].append(
+                                WalRecord::OwnWrite {
+                                    var,
+                                    data,
+                                    payload_len: cfg.workload.payload_len,
+                                },
+                                &cfg.size_model,
+                            );
+                        }
                         let (wid, effects) =
                             sites[site.index()].write(var, data, cfg.workload.payload_len);
                         if measured {
@@ -385,6 +487,10 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     }
                     OpKind::Read { var } => match sites[site.index()].read(var) {
                         ReadResult::Local(v) => {
+                            if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                                stores[site.index()]
+                                    .append(WalRecord::LocalRead { var }, &cfg.size_model);
+                            }
                             if measured {
                                 metrics.record_op(false, false);
                             }
@@ -394,6 +500,10 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             schedule_next(site, now, &schedule, &mut drivers, &mut heap);
                         }
                         ReadResult::Fetch { target, msg } => {
+                            if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                                stores[site.index()]
+                                    .append(WalRecord::FetchIssued { var }, &cfg.size_model);
+                            }
                             metrics.record_msg(
                                 msg.kind(),
                                 msg.meta_size(&cfg.size_model),
@@ -434,7 +544,20 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                                 var,
                                 target,
                                 measured,
+                                attempt: 0,
                             });
+                            if chaos.is_some() {
+                                if let Some(deadline) = cfg.durability.fetch_deadline {
+                                    heap.push(
+                                        now + deadline,
+                                        SimEvent::FetchDeadline {
+                                            site,
+                                            var,
+                                            attempt: 0,
+                                        },
+                                    );
+                                }
+                            }
                         }
                     },
                 }
@@ -503,12 +626,17 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     }
                 }
                 match *frame {
-                    Frame::SyncReq { inc, ledger } => {
+                    Frame::SyncReq {
+                        inc,
+                        ledger,
+                        applied,
+                    } => {
                         handle_sync_req(
                             to,
                             from,
                             inc,
                             &ledger,
+                            applied,
                             now,
                             &mut sites,
                             &mut heap,
@@ -520,6 +648,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             &mut receipt,
                             &schedule,
                             &cfg.size_model,
+                            &cfg.durability,
                             &mut chaos,
                         );
                     }
@@ -530,7 +659,6 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             inc,
                             ack,
                             state,
-                            n,
                             now,
                             &mut sites,
                             &mut heap,
@@ -541,6 +669,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             &mut drivers,
                             &schedule,
                             &cfg.size_model,
+                            &cfg.durability,
                             &mut chaos,
                         );
                     }
@@ -580,6 +709,24 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                                     metrics.dup_drops += 1;
                                     continue;
                                 }
+                            }
+                            // WAL mode: a replayed site has already counted
+                            // the transport's redelivered updates, and every
+                            // delivery it does take is journaled before the
+                            // protocol sees it.
+                            if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                                let store = &mut stores[to.index()];
+                                if store.already_seen(&msg) {
+                                    metrics.dup_drops += 1;
+                                    continue;
+                                }
+                                store.append(
+                                    WalRecord::Recv {
+                                        from,
+                                        msg: msg.clone(),
+                                    },
+                                    &cfg.size_model,
+                                );
                             }
                             if let Msg::Sm(sm) = &msg {
                                 receipt.insert((to, sm.value.writer), now);
@@ -643,6 +790,10 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                 let (ledger, _lost_parked) = sites[site.index()].crash_volatile();
                 c.ledgers[site.index()] = Some(ledger);
                 c.transport.crash(site);
+                if cfg.durability.lose_media.contains(&site) {
+                    let stores = c.stores.as_mut().expect("media loss requires the WAL");
+                    stores[site.index()].wipe();
+                }
             }
             SimEvent::Recover { site } => {
                 let c = chaos.as_mut().expect("crashes require chaos mode");
@@ -651,21 +802,37 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     SiteStatus::Down,
                     "recover without crash"
                 );
-                for other in SiteId::all(n) {
-                    assert!(
-                        other == site || c.status[other.index()] == SiteStatus::Up,
-                        "s{site} recovering while s{other} is not up: \
-                         space the crash windows further apart"
-                    );
-                }
                 let ledger = c.ledgers[site.index()]
                     .clone()
                     .expect("ledger saved at crash");
                 let inc = c.transport.revive(site, &ledger);
                 c.status[site.index()] = SiteStatus::Syncing;
+                // Local-first recovery: rebuild the state machine from the
+                // durable store, so peers only need to fill in the delta.
+                // Media loss (or running without the WAL) falls back to
+                // the full peer rebuild from the cleared state machine.
+                let mut applied = None;
+                let mut via_wal = false;
+                if let Some(stores) = c.stores.as_ref() {
+                    let store = &stores[site.index()];
+                    if let Some(replayed) =
+                        store.replay(|| build_site(cfg.protocol, site, repl.clone(), proto_cfg))
+                    {
+                        sites[site.index()] = replayed;
+                        metrics.recovery_replays += 1;
+                        applied = Some(store.applied_high_water(site, ledger.own_clock));
+                        via_wal = true;
+                    }
+                }
+                let expected: Vec<SiteId> = SiteId::all(n)
+                    .filter(|p| *p != site && c.status[p.index()] == SiteStatus::Up)
+                    .collect();
+                let nothing_expected = expected.is_empty();
                 c.sync[site.index()] = Some(SyncCollect {
                     started: now,
                     inc,
+                    expected,
+                    via_wal,
                     sources: Vec::new(),
                 });
                 for peer in SiteId::all(n) {
@@ -675,6 +842,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     let req = Frame::SyncReq {
                         inc,
                         ledger: ledger.clone(),
+                        applied: applied.clone(),
                     };
                     metrics.sync_count += 1;
                     metrics.sync_bytes += req.overhead(&cfg.size_model);
@@ -690,8 +858,12 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         },
                     );
                 }
-                if n == 1 {
-                    // Degenerate single-site system: nothing to sync with.
+                heap.push(now + SYNC_DEADLINE, SimEvent::SyncTimeout { site, inc });
+                if nothing_expected {
+                    // Nothing to wait for: a single-site system, or every
+                    // peer is down too (correlated failure) — the WAL
+                    // replay (or, without it, the bare ledger) is all the
+                    // state there is.
                     finish_recovery(
                         site,
                         now,
@@ -704,13 +876,150 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         &mut drivers,
                         &schedule,
                         &cfg.size_model,
+                        &cfg.durability,
                         &mut chaos,
                     );
+                }
+            }
+            SimEvent::FetchDeadline { site, var, attempt } => {
+                let deadline = cfg
+                    .durability
+                    .fetch_deadline
+                    .expect("fetch-deadline timer without a deadline");
+                // Stale timer: the read completed, or a failover /
+                // crash-recovery re-issue already bumped the attempt.
+                let live = drivers[site.index()]
+                    .blocked
+                    .as_ref()
+                    .is_some_and(|b| b.var == var && b.attempt == attempt);
+                if !live {
+                    continue;
+                }
+                {
+                    let c = chaos.as_mut().expect("fetch deadlines require chaos mode");
+                    if c.status[site.index()] != SiteStatus::Up {
+                        // The reader itself crashed while blocked; its
+                        // recovery re-issues the fetch and re-arms.
+                        continue;
+                    }
+                }
+                let candidates = cfg.placement.fetch_candidates(var, site);
+                let budget = 2 * candidates.len() as u32;
+                if attempt + 1 >= budget {
+                    // Degraded read: give up rather than hang. The protocol
+                    // releases its fetch slot (journaled, so a WAL replay
+                    // does not resurrect it); no history record is written
+                    // since the operation returned no value.
+                    if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                        stores[site.index()]
+                            .append(WalRecord::FetchAborted { var }, &cfg.size_model);
+                    }
+                    sites[site.index()].abort_fetch(var);
+                    drivers[site.index()].blocked = None;
+                    metrics.degraded_reads += 1;
+                    schedule_next(site, now, &schedule, &mut drivers, &mut heap);
+                } else {
+                    // Fail over: re-address the FM to the next candidate
+                    // replica in ring-preference order, cycling.
+                    let next = candidates[(attempt as usize + 1) % candidates.len()];
+                    let (measured, next_attempt) = {
+                        let b = drivers[site.index()].blocked.as_mut().expect("live above");
+                        b.target = next;
+                        b.attempt = attempt + 1;
+                        (b.measured, b.attempt)
+                    };
+                    metrics.fetch_failovers += 1;
+                    let msg = Msg::Fm(Fm { var });
+                    metrics.record_msg(msg.kind(), msg.meta_size(&cfg.size_model), measured);
+                    let c = chaos.as_mut().expect("chaos");
+                    let cmds = c.transport.send(site, next, msg, measured);
+                    dispatch_cmds(
+                        site,
+                        cmds,
+                        now,
+                        &mut heap,
+                        &mut channels,
+                        &mut lat_rng,
+                        &mut c.fault_rng,
+                        &c.faults,
+                        &mut metrics,
+                        &cfg.size_model,
+                    );
+                    heap.push(
+                        now + deadline,
+                        SimEvent::FetchDeadline {
+                            site,
+                            var,
+                            attempt: next_attempt,
+                        },
+                    );
+                }
+            }
+            SimEvent::SyncTimeout { site, inc } => {
+                let stale = {
+                    let c = chaos.as_mut().expect("sync timers require chaos mode");
+                    c.status[site.index()] != SiteStatus::Syncing
+                        || c.sync[site.index()]
+                            .as_ref()
+                            .is_none_or(|col| col.inc != inc)
+                };
+                if stale {
+                    continue;
+                }
+                // An expected responder died mid-handshake: stop waiting
+                // and come up with whatever arrived (plus the WAL replay).
+                metrics.degraded_recoveries += 1;
+                finish_recovery(
+                    site,
+                    now,
+                    &mut sites,
+                    &mut heap,
+                    &mut channels,
+                    &mut lat_rng,
+                    &mut metrics,
+                    &mut history,
+                    &mut drivers,
+                    &schedule,
+                    &cfg.size_model,
+                    &cfg.durability,
+                    &mut chaos,
+                );
+            }
+            SimEvent::CheckpointTick => {
+                let every = cfg
+                    .durability
+                    .checkpoint_every
+                    .expect("checkpoint tick without an interval");
+                {
+                    let c = chaos.as_mut().expect("checkpoints require chaos mode");
+                    let stores = c.stores.as_mut().expect("checkpoints require the WAL");
+                    for s in SiteId::all(n) {
+                        // Only a live site's state is consistent; a crashed
+                        // or syncing site checkpoints right after its
+                        // recovery completes instead.
+                        if c.status[s.index()] == SiteStatus::Up {
+                            stores[s.index()]
+                                .take_checkpoint(sites[s.index()].as_ref(), &cfg.size_model);
+                        }
+                    }
+                }
+                // Keep ticking only while the run is otherwise live, so
+                // the cadence never keeps a quiescent system awake.
+                if !heap.is_empty() {
+                    heap.push(now + every, SimEvent::CheckpointTick);
                 }
             }
         }
     }
 
+    if let Some(stores) = chaos.as_ref().and_then(|c| c.stores.as_ref()) {
+        for st in stores {
+            metrics.wal_appends += st.appends;
+            metrics.wal_bytes += st.append_bytes;
+            metrics.checkpoints += st.checkpoints;
+            metrics.checkpoint_bytes += st.checkpoint_bytes;
+        }
+    }
     let final_pending = sites.iter().map(|s| s.pending_len()).sum();
     let final_local_meta = sites
         .iter()
@@ -839,6 +1148,7 @@ fn handle_sync_req(
     peer: SiteId,
     inc: u32,
     ledger: &OwnLedger,
+    applied: Option<Vec<u64>>,
     now: SimTime,
     sites: &mut [Box<dyn ProtocolSite>],
     heap: &mut EventHeap,
@@ -850,6 +1160,7 @@ fn handle_sync_req(
     receipt: &mut HashMap<(SiteId, WriteId), SimTime>,
     schedule: &causal_workload::Schedule,
     size_model: &SizeModel,
+    durability: &DurabilityPlan,
     chaos: &mut Option<Chaos>,
 ) {
     let (ack_info, renumbered) = {
@@ -873,38 +1184,69 @@ fn handle_sync_req(
     }
     // A fetch blocked on the dead incarnation would wait forever: its FM
     // (or the RM reply) died with the peer's volatile state. Re-issue it
-    // on the new epoch; a duplicate reply is ignored at completion.
-    if let Some(b) = drivers[me.index()].blocked.as_ref() {
-        if b.target == peer {
-            let msg = Msg::Fm(Fm { var: b.var });
-            let measured = b.measured;
-            metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
-            let c = chaos.as_mut().expect("chaos");
-            let cmds = c.transport.send(me, peer, msg, measured);
-            dispatch_cmds(
-                me,
-                cmds,
-                now,
-                heap,
-                channels,
-                lat_rng,
-                &mut c.fault_rng,
-                &c.faults,
-                metrics,
-                size_model,
+    // on the new epoch; a duplicate reply is ignored at completion. The
+    // attempt bump invalidates any armed fetch-deadline timer.
+    let reissue = drivers[me.index()].blocked.as_mut().and_then(|b| {
+        (b.target == peer).then(|| {
+            b.attempt += 1;
+            (b.var, b.measured, b.attempt)
+        })
+    });
+    if let Some((var, measured, attempt)) = reissue {
+        let msg = Msg::Fm(Fm { var });
+        metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+        let c = chaos.as_mut().expect("chaos");
+        let cmds = c.transport.send(me, peer, msg, measured);
+        dispatch_cmds(
+            me,
+            cmds,
+            now,
+            heap,
+            channels,
+            lat_rng,
+            &mut c.fault_rng,
+            &c.faults,
+            metrics,
+            size_model,
+        );
+        if let Some(deadline) = durability.fetch_deadline {
+            heap.push(
+                now + deadline,
+                SimEvent::FetchDeadline {
+                    site: me,
+                    var,
+                    attempt,
+                },
             );
         }
     }
     // Protocol-level fast-forward: lost writes count as applied, parked
     // updates from the dead incarnation are discarded, and anything that
-    // was waiting only on the lost writes drains now.
+    // was waiting only on the lost writes drains now. Journaled first, so
+    // a later replay of this site re-drives the same fast-forward.
+    if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+        stores[me.index()].append(
+            WalRecord::PeerRecovered {
+                peer,
+                ledger: ledger.clone(),
+            },
+            size_model,
+        );
+    }
     let (effects, _dropped) = sites[me.index()].note_peer_recovery(peer, ledger);
     process_effects(
         me, effects, false, now, schedule, heap, channels, lat_rng, metrics, history, drivers,
         receipt, size_model, chaos,
     );
-    // Answer with this site's causal knowledge and shared-variable values.
-    let state = sites[me.index()].export_sync(peer);
+    // Answer with this site's causal knowledge and shared-variable values —
+    // filtered down to the delta past the requester's replayed per-origin
+    // high-water marks when it recovered from its WAL.
+    let mut state = sites[me.index()].export_sync(peer);
+    if let Some(applied) = &applied {
+        let full = state.meta_size(size_model);
+        state = state.filter_delta(applied);
+        metrics.delta_sync_saved_bytes += full - state.meta_size(size_model);
+    }
     let state_bytes = state.meta_size(size_model);
     let resp = Frame::SyncResp {
         inc,
@@ -926,8 +1268,10 @@ fn handle_sync_req(
     );
 }
 
-/// The recovering site collects one `SyncResp`; once every live peer has
-/// answered, the snapshot union is installed and the site goes back up.
+/// The recovering site collects one `SyncResp`; once every peer that was
+/// up at recovery start has answered, the snapshot union is installed and
+/// the site goes back up. (A concurrently recovering peer may answer too —
+/// its extra snapshot is folded in but never waited for.)
 #[allow(clippy::too_many_arguments)]
 fn handle_sync_resp(
     me: SiteId,
@@ -935,7 +1279,6 @@ fn handle_sync_resp(
     inc: u32,
     ack: PeerAckInfo,
     state: SyncState,
-    n: usize,
     now: SimTime,
     sites: &mut [Box<dyn ProtocolSite>],
     heap: &mut EventHeap,
@@ -946,6 +1289,7 @@ fn handle_sync_resp(
     drivers: &mut [AppDriver],
     schedule: &causal_workload::Schedule,
     size_model: &SizeModel,
+    durability: &DurabilityPlan,
     chaos: &mut Option<Chaos>,
 ) {
     let complete = {
@@ -957,12 +1301,14 @@ fn handle_sync_resp(
             return;
         }
         col.sources.push((peer, ack, state));
-        col.sources.len() == n - 1
+        col.expected
+            .iter()
+            .all(|e| col.sources.iter().any(|(s, _, _)| s == e))
     };
     if complete {
         finish_recovery(
             me, now, sites, heap, channels, lat_rng, metrics, history, drivers, schedule,
-            size_model, chaos,
+            size_model, durability, chaos,
         );
     }
 }
@@ -982,6 +1328,7 @@ fn finish_recovery(
     drivers: &mut [AppDriver],
     schedule: &causal_workload::Schedule,
     size_model: &SizeModel,
+    durability: &DurabilityPlan,
     chaos: &mut Option<Chaos>,
 ) {
     let (col, held) = {
@@ -991,6 +1338,12 @@ fn finish_recovery(
         (col, std::mem::take(&mut c.held[me.index()]))
     };
     sites[me.index()].install_sync(&col.sources);
+    // Re-establish durability at the recovered state: a fresh checkpoint
+    // folds in the installed snapshots (which are not journaled) and
+    // truncates the log — and re-arms a wiped medium.
+    if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+        stores[me.index()].take_checkpoint(sites[me.index()].as_ref(), size_model);
+    }
     metrics
         .recovery_ns
         .record((now - col.started).as_nanos() as f64);
@@ -999,46 +1352,100 @@ fn finish_recovery(
     }
     // The site's own in-flight fetch died with its old incarnation (the FM
     // may never have left, or the RM reply now addresses a dead epoch).
-    // Re-issue through `read()` — not a hand-built FM — because the crash
-    // also cleared the protocol's own outstanding-fetch state, which the
-    // RM handler asserts against.
-    if let Some(b) = drivers[me.index()].blocked.as_ref() {
-        let (var, measured) = (b.var, b.measured);
-        match sites[me.index()].read(var) {
-            ReadResult::Fetch { target, msg } => {
-                drivers[me.index()].blocked = Some(BlockedFetch {
-                    var,
-                    target,
-                    measured,
-                });
-                metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
-                let c = chaos.as_mut().expect("chaos");
-                let cmds = c.transport.send(me, target, msg, measured);
-                dispatch_cmds(
-                    me,
-                    cmds,
-                    now,
-                    heap,
-                    channels,
-                    lat_rng,
-                    &mut c.fault_rng,
-                    &c.faults,
-                    metrics,
-                    size_model,
+    // The attempt bump invalidates any armed fetch-deadline timer.
+    let pending = drivers[me.index()].blocked.as_mut().map(|b| {
+        b.attempt += 1;
+        (b.var, b.target, b.measured, b.attempt)
+    });
+    if let Some((var, target, measured, attempt)) = pending {
+        if col.via_wal {
+            // The WAL replay restored the protocol's outstanding-fetch
+            // slot (`read()` would assert a double fetch), so re-send a
+            // raw FM on the new epoch to the already-recorded target.
+            let msg = Msg::Fm(Fm { var });
+            metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+            let c = chaos.as_mut().expect("chaos");
+            let cmds = c.transport.send(me, target, msg, measured);
+            dispatch_cmds(
+                me,
+                cmds,
+                now,
+                heap,
+                channels,
+                lat_rng,
+                &mut c.fault_rng,
+                &c.faults,
+                metrics,
+                size_model,
+            );
+            if let Some(deadline) = durability.fetch_deadline {
+                heap.push(
+                    now + deadline,
+                    SimEvent::FetchDeadline {
+                        site: me,
+                        var,
+                        attempt,
+                    },
                 );
             }
-            // Unreachable in practice (the variable was not locally
-            // replicated or the fetch would never have been issued), but
-            // if the protocol can answer locally now, just complete.
-            ReadResult::Local(v) => {
-                drivers[me.index()].blocked = None;
-                if measured {
-                    metrics.record_op(false, true);
+        } else {
+            // Full rebuild: the crash cleared the protocol's own
+            // outstanding-fetch state (which the RM handler asserts
+            // against), so re-issue through `read()`, journaling the call
+            // like any other.
+            match sites[me.index()].read(var) {
+                ReadResult::Fetch { target, msg } => {
+                    if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                        stores[me.index()].append(WalRecord::FetchIssued { var }, size_model);
+                    }
+                    drivers[me.index()].blocked = Some(BlockedFetch {
+                        var,
+                        target,
+                        measured,
+                        attempt,
+                    });
+                    metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+                    let c = chaos.as_mut().expect("chaos");
+                    let cmds = c.transport.send(me, target, msg, measured);
+                    dispatch_cmds(
+                        me,
+                        cmds,
+                        now,
+                        heap,
+                        channels,
+                        lat_rng,
+                        &mut c.fault_rng,
+                        &c.faults,
+                        metrics,
+                        size_model,
+                    );
+                    if let Some(deadline) = durability.fetch_deadline {
+                        heap.push(
+                            now + deadline,
+                            SimEvent::FetchDeadline {
+                                site: me,
+                                var,
+                                attempt,
+                            },
+                        );
+                    }
                 }
-                if let Some(h) = history.as_mut() {
-                    h.record_read(me, var, v.map(|x| x.writer), me);
+                // Unreachable in practice (the variable was not locally
+                // replicated or the fetch would never have been issued),
+                // but if the protocol can answer locally now, complete.
+                ReadResult::Local(v) => {
+                    if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                        stores[me.index()].append(WalRecord::LocalRead { var }, size_model);
+                    }
+                    drivers[me.index()].blocked = None;
+                    if measured {
+                        metrics.record_op(false, true);
+                    }
+                    if let Some(h) = history.as_mut() {
+                        h.record_read(me, var, v.map(|x| x.writer), me);
+                    }
+                    schedule_next(me, now, schedule, drivers, heap);
                 }
-                schedule_next(me, now, schedule, drivers, heap);
             }
         }
     }
