@@ -142,7 +142,7 @@ fn wire_codec_roundtrip(c: &mut Criterion) {
         value: VersionedValue::new(WriteId::new(SiteId(3), 42), 0xABCD),
         meta: SmMeta::OptTrack {
             clock: 42,
-            log: mk_log(40, 2, 12),
+            log: std::sync::Arc::new(mk_log(40, 2, 12)),
         },
     });
     let encoded = wire::encode(&msg);

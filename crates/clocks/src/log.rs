@@ -217,6 +217,9 @@ impl Log {
     ///   (which witness the "knows strictly newer" fact) it would be
     ///   unsound — which is why the paper insists on keeping them.
     pub fn merge(&mut self, incoming: &Log, cfg: PruneConfig) {
+        // Worst case every incoming entry is new; reserving up front keeps
+        // the per-entry `insert_sorted` calls from re-growing the vector.
+        self.entries.reserve(incoming.entries.len());
         if cfg.condition2 {
             // Local entries fully superseded by the incoming side's
             // knowledge lose their destinations (purged below).

@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|all>
-//!       [--quick] [--out <dir>]
+//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|bench|all>
+//!       [--quick] [--out <dir>] [--jobs <n>] [--no-cache]
 //! ```
 //!
 //! `--quick` runs at a reduced scale (120 events/process, 2 seeds) for smoke
@@ -12,17 +12,30 @@
 //! With `--out`, each artifact is also written as CSV into the directory,
 //! plus — for the figures — a gnuplot data file and script, so
 //! `gnuplot results/fig1.gp` renders the actual plot.
+//!
+//! `--jobs <n>` executes the selection's simulation cells as per-seed run
+//! units on `n` worker threads; the output is byte-identical to `--jobs 1`
+//! (results are merged in deterministic order). Finished cells persist in a
+//! content-addressed cache (`<out>/cache`, default `results/cache`) and are
+//! reloaded bit-exactly on the next invocation; `--no-cache` disables both
+//! reading and writing it.
+//!
+//! `bench` times one n = 40, w = 0.5 cell per protocol — sequentially, in
+//! parallel, and cold vs warm cache — and writes `BENCH_PR3.json`.
 
 use causal_experiments::figures;
-use causal_experiments::{Scale, Sweep};
+use causal_experiments::{Mode, Scale, Sweep};
 use causal_metrics::Table;
-use std::path::PathBuf;
+use causal_proto::ProtocolKind;
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut subcommand = None;
     let mut scale = Scale::Paper;
     let mut out: Option<PathBuf> = None;
+    let mut jobs = 1usize;
+    let mut no_cache = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -33,6 +46,18 @@ fn main() {
                     .unwrap_or_else(|| usage("missing value for --out"));
                 out = Some(PathBuf::from(dir));
             }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --jobs"));
+                jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad value for --jobs: {v}")));
+                if jobs == 0 {
+                    usage("--jobs must be at least 1");
+                }
+            }
+            "--no-cache" => no_cache = true,
             "--help" | "-h" => usage(""),
             s if !s.starts_with('-') && subcommand.is_none() => {
                 subcommand = Some(s.to_string());
@@ -46,43 +71,76 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
+    if subcommand == "bench" {
+        bench(scale, jobs, out.as_deref());
+        return;
+    }
+
     let mut sw = Sweep::new(scale);
-    type Job = (&'static str, fn(&mut Sweep) -> Table);
-    let jobs: Vec<Job> = vec![
-        ("fig1", figures::fig1),
-        ("fig2", |s| figures::fig2_4(s, 0.2)),
-        ("fig3", |s| figures::fig2_4(s, 0.5)),
-        ("fig4", |s| figures::fig2_4(s, 0.8)),
-        ("table2", figures::table2),
-        ("fig5", figures::fig5),
-        ("fig6", |s| figures::fig6_8(s, 0.2)),
-        ("fig7", |s| figures::fig6_8(s, 0.5)),
-        ("fig8", |s| figures::fig6_8(s, 0.8)),
-        ("table3", figures::table3),
-        ("table4", figures::table4),
-        ("eq2", figures::eq2),
-        ("falseco", figures::ext_false_causality),
-        ("logsize", figures::ext_log_size),
-        ("storage", figures::ext_storage),
-        ("chaos", |s| {
-            causal_experiments::chaos::chaos_overhead(s.scale(), 10)
-        }),
-        ("durability", |s| {
-            causal_experiments::durability::durability_sweep(s.scale(), 10)
-        }),
+    sw.set_jobs(jobs);
+    if !no_cache {
+        let root = out.clone().unwrap_or_else(|| PathBuf::from("results"));
+        sw.set_disk_cache(Some(root.join("cache")));
+    }
+
+    // The third field marks generators that go through the sweep's cell
+    // cache; only those benefit from (and are safe under) the planning
+    // pass — the others run their own simulations directly.
+    type Job = (&'static str, fn(&mut Sweep) -> Table, bool);
+    let jobs_table: Vec<Job> = vec![
+        ("fig1", figures::fig1, true),
+        ("fig2", |s| figures::fig2_4(s, 0.2), true),
+        ("fig3", |s| figures::fig2_4(s, 0.5), true),
+        ("fig4", |s| figures::fig2_4(s, 0.8), true),
+        ("table2", figures::table2, true),
+        ("fig5", figures::fig5, true),
+        ("fig6", |s| figures::fig6_8(s, 0.2), true),
+        ("fig7", |s| figures::fig6_8(s, 0.5), true),
+        ("fig8", |s| figures::fig6_8(s, 0.8), true),
+        ("table3", figures::table3, true),
+        ("table4", figures::table4, true),
+        ("eq2", figures::eq2, true),
+        ("falseco", figures::ext_false_causality, false),
+        ("logsize", figures::ext_log_size, true),
+        ("storage", figures::ext_storage, true),
+        (
+            "chaos",
+            |s| causal_experiments::chaos::chaos_overhead(s.scale(), 10),
+            false,
+        ),
+        (
+            "durability",
+            |s| causal_experiments::durability::durability_sweep(s.scale(), 10),
+            false,
+        ),
     ];
 
     let selected: Vec<_> = if subcommand == "all" {
-        jobs
+        jobs_table
     } else {
-        let job = jobs
+        let job = jobs_table
             .into_iter()
-            .find(|(name, _)| *name == subcommand)
+            .find(|(name, _, _)| *name == subcommand)
             .unwrap_or_else(|| usage(&format!("unknown subcommand: {subcommand}")));
         vec![job]
     };
 
-    for (name, gen) in selected {
+    if jobs > 1 {
+        // Dry pass: discover every cell the selection needs, then run all
+        // of their per-seed units on the worker pool at once.
+        eprintln!("[repro] planning cells for {jobs} workers …");
+        sw.plan_begin();
+        for (_, gen, uses_cells) in &selected {
+            if *uses_cells {
+                let _ = gen(&mut sw);
+            }
+        }
+        let t0 = std::time::Instant::now();
+        sw.plan_execute();
+        eprintln!("[repro] cell pool drained in {:.1?}\n", t0.elapsed());
+    }
+
+    for (name, gen, _) in selected {
         eprintln!("[repro] generating {name} …");
         let t0 = std::time::Instant::now();
         let table = gen(&mut sw);
@@ -97,6 +155,99 @@ fn main() {
         }
         eprintln!("[repro] {name} done in {:.1?}\n", t0.elapsed());
     }
+}
+
+/// `bench` subcommand: wall-clock the n = 40, w = 0.5 cell of each protocol
+/// (the paper's largest point), then the same four cells through the
+/// parallel pool, then a cold-vs-warm persistent-cache pass; results land
+/// in `BENCH_PR3.json` (in `--out` or the working directory).
+fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let grid: [(ProtocolKind, Mode); 4] = [
+        (ProtocolKind::FullTrack, Mode::Partial),
+        (ProtocolKind::OptTrack, Mode::Partial),
+        (ProtocolKind::OptTrackCrp, Mode::Full),
+        (ProtocolKind::OptP, Mode::Full),
+    ];
+    let (n, w) = (40usize, 0.5f64);
+    let scratch = std::env::temp_dir().join(format!("repro-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Sequential pass, storing into a scratch cache: per-protocol cold
+    // timings and the `--jobs 1` baseline.
+    let mut protocol_lines = String::new();
+    let mut seq_s = 0.0f64;
+    let mut cold = Sweep::new(scale);
+    cold.set_disk_cache(Some(scratch.clone()));
+    for (i, &(kind, mode)) in grid.iter().enumerate() {
+        eprintln!("[bench] {kind} n={n} w={w} (sequential) …");
+        let t0 = Instant::now();
+        let _ = cold.cell(kind, mode, n, w);
+        let dt = t0.elapsed().as_secs_f64();
+        seq_s += dt;
+        let _ = writeln!(
+            protocol_lines,
+            "    {{ \"protocol\": \"{kind}\", \"mode\": \"{}\", \"n\": {n}, \"w_rate\": {w}, \
+             \"wall_ms\": {:.1}, \"cells_per_sec\": {:.4} }}{}",
+            mode.name(),
+            dt * 1e3,
+            1.0 / dt,
+            if i + 1 < grid.len() { "," } else { "" },
+        );
+    }
+
+    // Warm pass: same cells from the scratch cache.
+    let t0 = Instant::now();
+    let mut warm = Sweep::new(scale);
+    warm.set_disk_cache(Some(scratch.clone()));
+    for &(kind, mode) in &grid {
+        let _ = warm.cell(kind, mode, n, w);
+    }
+    let warm_s = t0.elapsed().as_secs_f64();
+
+    // Parallel pass: all per-seed units of the four cells on the pool,
+    // no cache, so the speedup over the sequential pass is honest.
+    eprintln!("[bench] same 4 cells on {jobs} worker(s) …");
+    let t0 = Instant::now();
+    let mut par = Sweep::new(scale);
+    par.set_jobs(jobs);
+    par.plan_begin();
+    for &(kind, mode) in &grid {
+        let _ = par.cell(kind, mode, n, w);
+    }
+    par.plan_execute();
+    let par_s = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let scale_name = match scale {
+        Scale::Paper => "paper",
+        Scale::Quick => "quick",
+    };
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"events_per_process\": {},\n  \
+         \"seeds_per_cell\": {},\n  \"protocol_cells\": [\n{}  ],\n  \
+         \"pool\": {{ \"jobs\": {jobs}, \"cells\": {}, \"sequential_ms\": {:.1}, \
+         \"parallel_ms\": {:.1}, \"speedup\": {:.3} }},\n  \
+         \"cache\": {{ \"cold_ms\": {:.1}, \"warm_ms\": {:.1}, \"cold_over_warm\": {:.1} }}\n}}\n",
+        scale.events(),
+        scale.seeds(),
+        protocol_lines,
+        grid.len(),
+        seq_s * 1e3,
+        par_s * 1e3,
+        seq_s / par_s,
+        seq_s * 1e3,
+        warm_s * 1e3,
+        seq_s / warm_s,
+    );
+    let path = out
+        .map(|d| d.join("BENCH_PR3.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_PR3.json"));
+    std::fs::write(&path, &json).expect("write BENCH_PR3.json");
+    print!("{json}");
+    eprintln!("[bench] wrote {}", path.display());
 }
 
 /// Emit `<name>.dat` + `<name>.gp` for a figure whose first column is `n`
@@ -120,7 +271,7 @@ fn write_gnuplot(dir: &std::path::Path, name: &str, table: &Table) {
 
     let mut gp = String::new();
     gp.push_str(&format!(
-        "set terminal svg size 720,480\nset output '{name}.svg'\n         set xlabel 'n (processes)'\nset key left top\nset grid\n"
+        "set terminal svg size 720,480\nset output '{name}.svg'\nset xlabel 'n (processes)'\nset key left top\nset grid\n"
     ));
     let plots: Vec<String> = header
         .iter()
@@ -149,8 +300,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|all> \
-         [--quick] [--out <dir>]"
+        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|bench|all> \
+         [--quick] [--out <dir>] [--jobs <n>] [--no-cache]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -14,7 +14,14 @@
 //!          [--faults <drop,dup>] [--crash <site:start_ms:end_ms[:media]>]
 //!          [--wal] [--checkpoint-interval <ms>] [--fetch-deadline <ms>]
 //!          [--dump-schedule <path>] [--schedule <path>]
+//!          [--seeds <k>] [--jobs <n>]
 //! ```
+//!
+//! `--seeds 8` runs eight simulations (seeds `seed .. seed+7`) and prints
+//! one summary line per seed plus seed-averaged message statistics;
+//! `--jobs 4` spreads those runs over four worker threads. The per-seed
+//! results are printed in seed order, so the output does not depend on
+//! the job count.
 //!
 //! `--dump-schedule` writes the generated operation trace as CSV;
 //! `--schedule` replays a previously dumped (or hand-written) trace.
@@ -66,6 +73,8 @@ struct Args {
     fetch_deadline: Option<u64>,
     dump_schedule: Option<String>,
     schedule: Option<String>,
+    seeds: usize,
+    jobs: usize,
 }
 
 fn parse() -> Args {
@@ -89,6 +98,8 @@ fn parse() -> Args {
         fetch_deadline: None,
         dump_schedule: None,
         schedule: None,
+        seeds: 1,
+        jobs: 1,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -175,6 +186,18 @@ fn parse() -> Args {
                         .unwrap_or_else(|_| die("bad --fetch-deadline (want milliseconds)")),
                 )
             }
+            "--seeds" => {
+                a.seeds = val().parse().unwrap_or_else(|_| die("bad --seeds"));
+                if a.seeds == 0 {
+                    die("--seeds must be at least 1");
+                }
+            }
+            "--jobs" => {
+                a.jobs = val().parse().unwrap_or_else(|_| die("bad --jobs"));
+                if a.jobs == 0 {
+                    die("--jobs must be at least 1");
+                }
+            }
             "--wire-model" => a.wire_model = true,
             "--check" => a.check = true,
             "--dump-schedule" => a.dump_schedule = Some(val()),
@@ -192,6 +215,9 @@ fn parse() -> Args {
 
 /// Cross-flag sanity checks, each with a message naming the fix.
 fn validate(a: &Args) {
+    if a.seeds > 1 && (a.check || a.dump_schedule.is_some() || a.schedule.is_some()) {
+        die("--seeds > 1 is incompatible with --check / --dump-schedule / --schedule (those operate on one concrete run; drop --seeds or run them per seed)");
+    }
     if a.checkpoint_interval == Some(0) {
         die("--checkpoint-interval must be positive (0 would checkpoint never-endingly at t=0; omit the flag to disable checkpoints)");
     }
@@ -218,6 +244,57 @@ fn validate(a: &Args) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// `--seeds k`: run the configured simulation for `k` consecutive seeds on
+/// the worker pool and print per-seed lines (in seed order) plus
+/// seed-averaged message statistics.
+fn multi_seed(a: &Args, cfg: &SimConfig) {
+    use causal_experiments::pool;
+    use causal_metrics::MessageStats;
+
+    let t0 = std::time::Instant::now();
+    let runs = pool::run_indexed(a.jobs, a.seeds, |i| {
+        let mut c = cfg.clone();
+        c.workload.seed = a.seed + i as u64;
+        let r = run(&c);
+        assert_eq!(r.final_pending, 0, "simulation must reach quiescence");
+        r
+    });
+    println!("protocol        {}", a.protocol);
+    println!(
+        "seeds           {}..{} on {} worker(s)",
+        a.seed,
+        a.seed + a.seeds as u64 - 1,
+        a.jobs
+    );
+    println!("wall time       {:.2?}", t0.elapsed());
+    println!();
+    let mut agg = MessageStats::new();
+    for (i, r) in runs.iter().enumerate() {
+        let m = &r.metrics;
+        println!(
+            "seed {:<6} {:>8} msgs  {:>10.1} KB meta  apply {:>7.2} ms  vtime {}",
+            a.seed + i as u64,
+            m.measured.total_count(),
+            m.measured.total_bytes() as f64 / 1000.0,
+            m.apply_latency_ns.mean() / 1e6,
+            r.duration
+        );
+        agg.merge(&m.measured);
+    }
+    println!();
+    let sf = a.seeds as f64;
+    for kind in [MsgKind::Sm, MsgKind::Fm, MsgKind::Rm] {
+        if agg.count(kind) > 0 {
+            println!(
+                "{kind} mean/seed    {:>10.1} msgs   avg meta {:>8.1} B   total {:>10.1} KB",
+                agg.count(kind) as f64 / sf,
+                agg.avg_bytes(kind).unwrap_or(0.0),
+                agg.bytes(kind) as f64 / sf / 1000.0
+            );
+        }
+    }
 }
 
 fn main() {
@@ -302,6 +379,11 @@ fn main() {
             end: SimTime::from_millis(e),
             side_a: DestSet::from_sites((0..a.n / 2).map(SiteId::from)),
         });
+    }
+
+    if a.seeds > 1 {
+        multi_seed(&a, &cfg);
+        return;
     }
 
     let t0 = std::time::Instant::now();

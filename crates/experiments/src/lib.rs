@@ -30,9 +30,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod analytic;
+pub mod cache;
 pub mod chaos;
 pub mod durability;
 pub mod figures;
+pub mod pool;
 pub mod sweep;
 
 pub use sweep::{CellStats, Mode, Scale, Sweep};

@@ -1,10 +1,23 @@
-//! Multi-seed simulation sweeps with per-invocation caching.
+//! Multi-seed simulation sweeps: a work-queue of per-seed run units with
+//! in-memory and persistent caching and an optional parallel worker pool.
+//!
+//! Each `(protocol, mode, n, w_rate)` cell expands into one run unit per
+//! seed. Units execute on [`crate::pool::run_indexed`] — sequentially for
+//! `jobs = 1`, on scoped worker threads otherwise — and are folded back
+//! into [`CellStats`] **in seed order** with the exact floating-point
+//! operation sequence of the sequential code, so every figure and CSV is
+//! byte-identical whatever the job count. A [`crate::cache::DiskCache`]
+//! can additionally persist finished cells across invocations.
 
+use crate::cache::{CacheKey, DiskCache};
+use crate::pool;
 use causal_metrics::MessageStats;
 use causal_proto::ProtocolKind;
 use causal_simnet::{run, SimConfig};
-use causal_types::MsgKind;
-use std::collections::HashMap;
+use causal_types::{MsgKind, SizeModel};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 
 /// Run scale: paper-size or reduced for smoke tests and CI.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,6 +58,16 @@ pub enum Mode {
     Full,
 }
 
+impl Mode {
+    /// Stable name used in the persistent cache key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Partial => "partial",
+            Mode::Full => "full",
+        }
+    }
+}
+
 /// Seed-averaged measurements of one `(protocol, mode, n, w_rate)` cell.
 #[derive(Clone, Debug)]
 pub struct CellStats {
@@ -75,6 +98,57 @@ impl CellStats {
     pub fn avg(&self, kind: MsgKind) -> f64 {
         self.avg_bytes[kind.index()].unwrap_or(0.0)
     }
+
+    /// Every field as raw bits, for bitwise identity checks (parallel vs
+    /// sequential, cold vs warm cache).
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut v = vec![self.total_count.to_bits(), self.total_bytes.to_bits()];
+        for a in self.avg_bytes {
+            v.push(a.map_or(u64::MAX, f64::to_bits));
+            v.push(a.is_some() as u64);
+        }
+        for k in self.kind_bytes {
+            v.push(k.to_bits());
+        }
+        v.extend([
+            self.sm_entries.to_bits(),
+            self.writes.to_bits(),
+            self.reads.to_bits(),
+            self.apply_latency_ms.to_bits(),
+            self.max_pending as u64,
+            self.local_meta_mean.to_bits(),
+        ]);
+        v
+    }
+
+    fn zero() -> Self {
+        CellStats {
+            total_count: 0.0,
+            total_bytes: 0.0,
+            avg_bytes: [None; 3],
+            kind_bytes: [0.0; 3],
+            sm_entries: 0.0,
+            writes: 0.0,
+            reads: 0.0,
+            apply_latency_ms: 0.0,
+            max_pending: 0,
+            local_meta_mean: 0.0,
+        }
+    }
+}
+
+/// The raw yield of one `(protocol, mode, n, w_rate, seed)` run unit —
+/// exactly the quantities the sequential per-seed loop accumulated, so
+/// folding a slice of these in seed order reproduces its arithmetic.
+#[derive(Clone, Debug)]
+pub struct SeedRun {
+    measured: MessageStats,
+    sm_entries_mean: f64,
+    writes: f64,
+    reads: f64,
+    apply_latency_ms: f64,
+    max_pending: usize,
+    local_meta_mean: f64,
 }
 
 type Key = (
@@ -84,28 +158,61 @@ type Key = (
     u64, /* w_rate in per-mille */
 );
 
+/// A cell's full parameters, kept alongside the [`Key`] because re-running
+/// needs the original `w_rate` as the exact f64 the caller passed.
+type CellParams = (ProtocolKind, Mode, usize, f64);
+
 /// A cached sweep runner: each `(protocol, mode, n, w_rate)` cell is
-/// simulated once per seed and reused across figures.
+/// simulated once per seed and reused across figures — within one
+/// invocation via a memory cache, across invocations via an optional
+/// persistent [`DiskCache`].
 pub struct Sweep {
     scale: Scale,
     cache: HashMap<Key, CellStats>,
     /// Base seed; cell seeds derive from it deterministically.
     pub base_seed: u64,
+    jobs: usize,
+    disk: Option<DiskCache>,
+    /// In planning mode, `cell` records its parameters here (first-seen
+    /// order, deduplicated) instead of simulating.
+    plan: Option<(Vec<CellParams>, HashSet<Key>)>,
+    dummy: CellStats,
 }
 
 impl Sweep {
-    /// New sweep at the given scale.
+    /// New sweep at the given scale: one job, no persistent cache.
     pub fn new(scale: Scale) -> Self {
         Sweep {
             scale,
             cache: HashMap::new(),
             base_seed: 0xCA05_A11B,
+            jobs: 1,
+            disk: None,
+            plan: None,
+            dummy: CellStats::zero(),
         }
     }
 
     /// The scale this sweep runs at.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Set the worker-thread count for run-unit execution (≥ 1).
+    pub fn set_jobs(&mut self, jobs: usize) {
+        assert!(jobs >= 1, "jobs must be at least 1");
+        self.jobs = jobs;
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Attach (or detach, with `None`) a persistent cell cache rooted at
+    /// `dir`.
+    pub fn set_disk_cache(&mut self, dir: Option<PathBuf>) {
+        self.disk = dir.map(DiskCache::new);
     }
 
     /// The paper's `n` grid.
@@ -115,7 +222,27 @@ impl Sweep {
     /// The paper's write-rate grid.
     pub const W_GRID: [f64; 3] = [0.2, 0.5, 0.8];
 
-    /// Simulate (or fetch) one cell.
+    fn key_of(protocol: ProtocolKind, mode: Mode, n: usize, w_rate: f64) -> Key {
+        (protocol, mode, n, (w_rate * 1000.0).round() as u64)
+    }
+
+    fn cache_key(&self, protocol: ProtocolKind, mode: Mode, n: usize, w_rate: f64) -> CacheKey {
+        CacheKey {
+            protocol: protocol.to_string(),
+            mode: mode.name(),
+            n,
+            w_per_mille: (w_rate * 1000.0).round() as u64,
+            events: self.scale.events(),
+            seeds: self.scale.seeds(),
+            base_seed: self.base_seed,
+            // The paper presets pin the calibration; fingerprint it so a
+            // calibration change can never resurrect stale cells.
+            size_model: format!("{:?}", SizeModel::java_like()),
+        }
+    }
+
+    /// Simulate (or fetch) one cell. In planning mode this only records
+    /// the request and returns zeroed placeholder stats.
     pub fn cell(
         &mut self,
         protocol: ProtocolKind,
@@ -123,16 +250,142 @@ impl Sweep {
         n: usize,
         w_rate: f64,
     ) -> &CellStats {
-        let key = (protocol, mode, n, (w_rate * 1000.0).round() as u64);
-        if !self.cache.contains_key(&key) {
-            let stats = self.run_cell(protocol, mode, n, w_rate);
-            self.cache.insert(key, stats);
+        let key = Self::key_of(protocol, mode, n, w_rate);
+        if let Some((order, seen)) = &mut self.plan {
+            if !self.cache.contains_key(&key) && seen.insert(key) {
+                order.push((protocol, mode, n, w_rate));
+            }
+            return &self.dummy;
         }
-        &self.cache[&key]
+        let scale = self.scale;
+        let base_seed = self.base_seed;
+        let jobs = self.jobs;
+        let ckey = self.cache_key(protocol, mode, n, w_rate);
+        let disk = self.disk.as_ref();
+        match self.cache.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                let stats = disk.and_then(|d| d.load(&ckey)).unwrap_or_else(|| {
+                    let stats =
+                        Self::compute_cell(scale, base_seed, jobs, protocol, mode, n, w_rate);
+                    if let Some(d) = disk {
+                        d.store(&ckey, &stats);
+                    }
+                    stats
+                });
+                v.insert(stats)
+            }
+        }
     }
 
-    fn run_cell(&self, protocol: ProtocolKind, mode: Mode, n: usize, w_rate: f64) -> CellStats {
-        let seeds = self.scale.seeds();
+    /// Enter planning mode: subsequent [`Sweep::cell`] calls record their
+    /// parameters (returning placeholder stats) instead of simulating, so
+    /// a cheap dry pass over the figure generators discovers every cell a
+    /// selection needs.
+    pub fn plan_begin(&mut self) {
+        self.plan = Some((Vec::new(), HashSet::new()));
+    }
+
+    /// `true` while in planning mode.
+    pub fn planning(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Leave planning mode and execute every recorded cell: disk-cached
+    /// cells load directly; the rest expand into per-seed run units on the
+    /// worker pool and aggregate in deterministic `(cell, seed)` order.
+    pub fn plan_execute(&mut self) {
+        let Some((order, _)) = self.plan.take() else {
+            return;
+        };
+        let mut to_run: Vec<CellParams> = Vec::new();
+        for params in order {
+            let (protocol, mode, n, w_rate) = params;
+            let key = Self::key_of(protocol, mode, n, w_rate);
+            if self.cache.contains_key(&key) {
+                continue;
+            }
+            let ckey = self.cache_key(protocol, mode, n, w_rate);
+            if let Some(stats) = self.disk.as_ref().and_then(|d| d.load(&ckey)) {
+                self.cache.insert(key, stats);
+                continue;
+            }
+            to_run.push(params);
+        }
+        let seeds = self.scale.seeds() as usize;
+        let units: Vec<(CellParams, u64)> = to_run
+            .iter()
+            .flat_map(|&p| (0..seeds as u64).map(move |s| (p, s)))
+            .collect();
+        let (scale, base_seed) = (self.scale, self.base_seed);
+        let runs = pool::run_indexed(self.jobs, units.len(), |i| {
+            let ((protocol, mode, n, w_rate), s) = units[i];
+            Self::run_seed(scale, base_seed, protocol, mode, n, w_rate, s)
+        });
+        for (ci, &(protocol, mode, n, w_rate)) in to_run.iter().enumerate() {
+            let stats = Self::aggregate(&runs[ci * seeds..(ci + 1) * seeds]);
+            if let Some(d) = self.disk.as_ref() {
+                d.store(&self.cache_key(protocol, mode, n, w_rate), &stats);
+            }
+            self.cache
+                .insert(Self::key_of(protocol, mode, n, w_rate), stats);
+        }
+    }
+
+    fn compute_cell(
+        scale: Scale,
+        base_seed: u64,
+        jobs: usize,
+        protocol: ProtocolKind,
+        mode: Mode,
+        n: usize,
+        w_rate: f64,
+    ) -> CellStats {
+        let seeds = scale.seeds() as usize;
+        let runs = pool::run_indexed(jobs, seeds, |s| {
+            Self::run_seed(scale, base_seed, protocol, mode, n, w_rate, s as u64)
+        });
+        Self::aggregate(&runs)
+    }
+
+    /// Execute one run unit.
+    fn run_seed(
+        scale: Scale,
+        base_seed: u64,
+        protocol: ProtocolKind,
+        mode: Mode,
+        n: usize,
+        w_rate: f64,
+        s: u64,
+    ) -> SeedRun {
+        // Seed depends on (n, w_rate, replica mode) but NOT on the
+        // protocol: Table IV compares protocols on identical schedules.
+        let seed = base_seed
+            .wrapping_add(s)
+            .wrapping_add((n as u64) << 16)
+            .wrapping_add(((w_rate * 1000.0) as u64) << 32);
+        let mut cfg = match mode {
+            Mode::Partial => SimConfig::paper_partial(protocol, n, w_rate, seed),
+            Mode::Full => SimConfig::paper_full(protocol, n, w_rate, seed),
+        };
+        cfg.workload.events_per_process = scale.events();
+        let r = run(&cfg);
+        assert_eq!(r.final_pending, 0, "simulation must reach quiescence");
+        SeedRun {
+            measured: r.metrics.measured,
+            sm_entries_mean: r.metrics.sm_entries.mean(),
+            writes: r.metrics.writes as f64,
+            reads: r.metrics.reads as f64,
+            apply_latency_ms: r.metrics.apply_latency_ns.mean() / 1e6,
+            max_pending: r.metrics.max_pending,
+            local_meta_mean: r.final_local_meta.iter().sum::<u64>() as f64
+                / r.final_local_meta.len().max(1) as f64,
+        }
+    }
+
+    /// Fold per-seed results, in seed order, with the same operation
+    /// sequence the sequential loop used.
+    fn aggregate(runs: &[SeedRun]) -> CellStats {
         let mut agg = MessageStats::new();
         let mut sm_entries = 0.0;
         let mut writes = 0.0;
@@ -140,31 +393,16 @@ impl Sweep {
         let mut apply_latency = 0.0;
         let mut max_pending = 0usize;
         let mut local_meta = 0.0;
-        for s in 0..seeds {
-            // Seed depends on (n, w_rate, replica mode) but NOT on the
-            // protocol: Table IV compares protocols on identical schedules.
-            let seed = self
-                .base_seed
-                .wrapping_add(s)
-                .wrapping_add((n as u64) << 16)
-                .wrapping_add(((w_rate * 1000.0) as u64) << 32);
-            let mut cfg = match mode {
-                Mode::Partial => SimConfig::paper_partial(protocol, n, w_rate, seed),
-                Mode::Full => SimConfig::paper_full(protocol, n, w_rate, seed),
-            };
-            cfg.workload.events_per_process = self.scale.events();
-            let r = run(&cfg);
-            assert_eq!(r.final_pending, 0, "simulation must reach quiescence");
-            agg.merge(&r.metrics.measured);
-            sm_entries += r.metrics.sm_entries.mean();
-            writes += r.metrics.writes as f64;
-            reads += r.metrics.reads as f64;
-            apply_latency += r.metrics.apply_latency_ns.mean() / 1e6;
-            max_pending = max_pending.max(r.metrics.max_pending);
-            local_meta += r.final_local_meta.iter().sum::<u64>() as f64
-                / r.final_local_meta.len().max(1) as f64;
+        for r in runs {
+            agg.merge(&r.measured);
+            sm_entries += r.sm_entries_mean;
+            writes += r.writes;
+            reads += r.reads;
+            apply_latency += r.apply_latency_ms;
+            max_pending = max_pending.max(r.max_pending);
+            local_meta += r.local_meta_mean;
         }
-        let sf = seeds as f64;
+        let sf = runs.len() as f64;
         CellStats {
             total_count: agg.total_count() as f64 / sf,
             total_bytes: agg.total_bytes() as f64 / sf,
@@ -224,5 +462,80 @@ mod tests {
             .cell(ProtocolKind::OptTrackCrp, Mode::Full, 5, 0.5)
             .writes;
         assert_eq!(a, b, "Table IV replays identical schedules");
+    }
+
+    /// The acceptance property of the parallel engine: `jobs = 4` produces
+    /// bit-for-bit the `jobs = 1` stats, both through direct `cell` calls
+    /// and through the plan/execute path.
+    #[test]
+    fn parallel_cells_bitwise_match_sequential() {
+        let grid: [(ProtocolKind, Mode); 4] = [
+            (ProtocolKind::FullTrack, Mode::Partial),
+            (ProtocolKind::OptTrack, Mode::Partial),
+            (ProtocolKind::OptTrackCrp, Mode::Full),
+            (ProtocolKind::OptP, Mode::Full),
+        ];
+        let mut seq = Sweep::new(Scale::Quick);
+        let mut par = Sweep::new(Scale::Quick);
+        par.set_jobs(4);
+        par.plan_begin();
+        for &(p, m) in &grid {
+            let _ = par.cell(p, m, 10, 0.5);
+        }
+        assert!(par.planning());
+        par.plan_execute();
+        assert!(!par.planning());
+        for &(p, m) in &grid {
+            let s = seq.cell(p, m, 10, 0.5).fingerprint();
+            let q = par.cell(p, m, 10, 0.5).fingerprint();
+            assert_eq!(s, q, "{p} {m:?}: parallel stats must be bit-identical");
+        }
+    }
+
+    /// Cold run == warm (disk-cache) rerun == uncached run, bit for bit.
+    #[test]
+    fn disk_cache_roundtrip_is_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("causal-sweep-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cold = Sweep::new(Scale::Quick);
+        cold.set_disk_cache(Some(dir.clone()));
+        let a = cold
+            .cell(ProtocolKind::OptTrack, Mode::Partial, 5, 0.2)
+            .fingerprint();
+
+        let mut warm = Sweep::new(Scale::Quick);
+        warm.set_disk_cache(Some(dir.clone()));
+        let b = warm
+            .cell(ProtocolKind::OptTrack, Mode::Partial, 5, 0.2)
+            .fingerprint();
+
+        let mut uncached = Sweep::new(Scale::Quick);
+        let c = uncached
+            .cell(ProtocolKind::OptTrack, Mode::Partial, 5, 0.2)
+            .fingerprint();
+
+        assert_eq!(a, b, "warm load must reproduce the cold run bit-for-bit");
+        assert_eq!(a, c, "cached and uncached runs must agree bit-for-bit");
+        assert!(
+            std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0) > 0,
+            "cache directory must contain the stored cell"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn planning_records_without_running() {
+        let mut sw = Sweep::new(Scale::Quick);
+        sw.plan_begin();
+        let zero = sw.cell(ProtocolKind::OptP, Mode::Full, 5, 0.5).total_count;
+        assert_eq!(zero, 0.0, "planning returns placeholder stats");
+        let dup = sw.cell(ProtocolKind::OptP, Mode::Full, 5, 0.5).total_count;
+        assert_eq!(dup, 0.0);
+        let (order, _) = sw.plan.as_ref().unwrap();
+        assert_eq!(order.len(), 1, "duplicate requests plan once");
+        sw.plan_execute();
+        assert_eq!(sw.cache.len(), 1, "execution fills the cell");
+        assert!(sw.cell(ProtocolKind::OptP, Mode::Full, 5, 0.5).total_count > 0.0);
     }
 }

@@ -1,0 +1,149 @@
+//! CLI contract tests for the `repro` and `simulate` binaries: argument
+//! validation exits with code 2 and a usage message, and parallel runs
+//! produce byte-identical artifacts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn simulate(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .args(args)
+        .output()
+        .expect("spawn simulate")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn repro_rejects_jobs_zero() {
+    let out = repro(&["fig1", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs must be at least 1"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn repro_rejects_non_numeric_jobs() {
+    let out = repro(&["fig1", "--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad value for --jobs"));
+}
+
+#[test]
+fn repro_rejects_unknown_subcommand() {
+    let out = repro(&["fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand: fig99"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn repro_rejects_missing_subcommand_and_unknown_flag() {
+    let out = repro(&["--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing subcommand"));
+
+    let out = repro(&["fig1", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument: --frobnicate"));
+}
+
+#[test]
+fn repro_help_exits_zero() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+/// The parallel engine's acceptance property, end to end through the
+/// binary: stdout and the written CSV of `--jobs 4` are byte-identical to
+/// `--jobs 1`.
+#[test]
+fn repro_csv_identical_across_jobs() {
+    let d1 = tmp_dir("seq");
+    let d4 = tmp_dir("par");
+    let seq = repro(&[
+        "logsize",
+        "--quick",
+        "--no-cache",
+        "--jobs",
+        "1",
+        "--out",
+        d1.to_str().unwrap(),
+    ]);
+    assert!(seq.status.success(), "sequential run failed");
+    let par = repro(&[
+        "logsize",
+        "--quick",
+        "--no-cache",
+        "--jobs",
+        "4",
+        "--out",
+        d4.to_str().unwrap(),
+    ]);
+    assert!(par.status.success(), "parallel run failed");
+    assert_eq!(
+        seq.stdout, par.stdout,
+        "rendered table must be byte-identical across job counts"
+    );
+    let c1 = std::fs::read(d1.join("logsize.csv")).expect("sequential CSV");
+    let c4 = std::fs::read(d4.join("logsize.csv")).expect("parallel CSV");
+    assert_eq!(c1, c4, "CSV must be byte-identical across job counts");
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}
+
+#[test]
+fn simulate_rejects_bad_parallel_flags() {
+    let out = simulate(&["--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs must be at least 1"));
+
+    let out = simulate(&["--seeds", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seeds must be at least 1"));
+
+    let out = simulate(&["--seeds", "2", "--check"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
+}
+
+#[test]
+fn simulate_multi_seed_runs_in_seed_order() {
+    let run = |jobs: &str| {
+        let out = simulate(&[
+            "--n", "4", "--events", "40", "--seeds", "3", "--jobs", jobs, "--seed", "7",
+        ]);
+        assert!(out.status.success(), "multi-seed run failed");
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let seq = run("1");
+    let par = run("3");
+    assert!(seq.contains("seeds           7..9"), "stdout: {seq}");
+    // Everything below the wall-time line is deterministic and ordered.
+    let tail = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("seed "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        tail(&seq),
+        tail(&par),
+        "per-seed output must not depend on --jobs"
+    );
+    assert!(seq.contains("seed 7"), "stdout: {seq}");
+    assert!(seq.contains("seed 9"), "stdout: {seq}");
+}

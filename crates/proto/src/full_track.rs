@@ -21,19 +21,20 @@ use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId}
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A parked Full-Track update.
+/// A parked Full-Track update. The matrix snapshot stays shared (`Arc`)
+/// all the way from the writer's fan-out into the receiver's stash.
 #[derive(Clone, Debug)]
 struct PendingSm {
     var: VarId,
     value: VersionedValue,
-    write: MatrixClock,
+    write: Arc<MatrixClock>,
 }
 
 /// Mutable state shared between the drain loop and the apply action.
 #[derive(Clone)]
 struct ApplyState {
     values: HashMap<VarId, VersionedValue>,
-    last_write_on: HashMap<VarId, MatrixClock>,
+    last_write_on: HashMap<VarId, Arc<MatrixClock>>,
     apply: Vec<u64>,
     applied_effects: Vec<Effect>,
 }
@@ -140,11 +141,12 @@ impl ProtocolSite for FullTrack {
         let value = VersionedValue::with_payload(wid, data, payload_len);
         let dests = self.repl.replicas(var);
 
-        // Count this write towards every destination replica, then snapshot.
+        // Count this write towards every destination replica, then snapshot
+        // once; every destination's SM shares the same immutable matrix.
         for k in dests.iter() {
             self.write_clock.increment(self.site, k);
         }
-        let snapshot = self.write_clock.clone();
+        let snapshot = Arc::new(self.write_clock.clone());
 
         let mut effects = Vec::new();
         for k in dests.iter() {
@@ -155,7 +157,7 @@ impl ProtocolSite for FullTrack {
                         var,
                         value,
                         meta: SmMeta::FullTrack {
-                            write: snapshot.clone(),
+                            write: Arc::clone(&snapshot),
                         },
                     }),
                 });
@@ -314,7 +316,7 @@ impl ProtocolSite for FullTrack {
             .iter()
             .filter(|(var, _)| self.repl.is_replicated_at(**var, requester))
             .map(|(var, value)| {
-                let meta = self.state.last_write_on[var].clone();
+                let meta = self.state.last_write_on[var].as_ref().clone();
                 (*var, *value, meta)
             })
             .collect();
@@ -357,7 +359,7 @@ impl ProtocolSite for FullTrack {
             });
             if newer {
                 self.state.values.insert(var, value);
-                self.state.last_write_on.insert(var, meta);
+                self.state.last_write_on.insert(var, Arc::new(meta));
             }
         }
     }

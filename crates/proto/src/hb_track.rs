@@ -29,12 +29,12 @@ use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId}
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A parked HB-Track update.
+/// A parked HB-Track update (shared matrix snapshot, as in Full-Track).
 #[derive(Clone, Debug)]
 struct PendingSm {
     var: VarId,
     value: VersionedValue,
-    write: MatrixClock,
+    write: Arc<MatrixClock>,
 }
 
 #[derive(Clone)]
@@ -143,7 +143,7 @@ impl ProtocolSite for HbTrack {
         for k in dests.iter() {
             self.state.write_clock.increment(self.site, k);
         }
-        let snapshot = self.state.write_clock.clone();
+        let snapshot = Arc::new(self.state.write_clock.clone());
         let mut effects = Vec::new();
         for k in dests.iter() {
             if k != self.site {
@@ -153,7 +153,7 @@ impl ProtocolSite for HbTrack {
                         var,
                         value,
                         meta: SmMeta::FullTrack {
-                            write: snapshot.clone(),
+                            write: Arc::clone(&snapshot),
                         },
                     }),
                 });
@@ -204,7 +204,7 @@ impl ProtocolSite for HbTrack {
                 // The server answers with its whole matrix (HB semantics:
                 // the reply transfers the server's knowledge wholesale).
                 let value = self.state.values.get(&fm.var).copied();
-                let meta = RmMeta::FullTrack(Some(self.state.write_clock.clone()));
+                let meta = RmMeta::FullTrack(Some(Arc::new(self.state.write_clock.clone())));
                 vec![Effect::Send {
                     to: from,
                     msg: Msg::Rm(Rm {

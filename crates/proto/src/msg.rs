@@ -13,15 +13,23 @@
 
 use causal_clocks::{CrpLog, Log, MatrixClock, VectorClock};
 use causal_types::{MetaSized, MsgKind, SizeModel, VarId, VersionedValue};
+use std::sync::Arc;
 
 /// The causality meta-data piggybacked on an SM (update multicast).
+///
+/// The piggybacked structures are behind `Arc`: a multicast write produces
+/// one SM per destination replica carrying the *same immutable* snapshot, so
+/// the fan-out shares one allocation instead of deep-cloning an `O(n²)`
+/// matrix (or an `O(n)` log) per destination. Receivers that need a private
+/// mutable copy (Opt-Track's `assoc` construction) unwrap-or-clone at apply
+/// time.
 #[derive(Clone, PartialEq, Debug)]
 pub enum SmMeta {
     /// Full-Track: the writer's entire `n×n` Write matrix.
     FullTrack {
         /// Matrix snapshot taken *after* incrementing the writer's own row
         /// for this write's destinations.
-        write: MatrixClock,
+        write: Arc<MatrixClock>,
     },
     /// Opt-Track: the writer's id and local write counter, plus the local
     /// log snapshot taken *before* the write pruned it.
@@ -29,19 +37,19 @@ pub enum SmMeta {
         /// The writer's write counter for this update (1-based).
         clock: u64,
         /// Piggybacked causal-past records (`L_w`).
-        log: Log,
+        log: Arc<Log>,
     },
     /// Opt-Track-CRP: as Opt-Track but with 2-tuple entries.
     Crp {
         /// The writer's write counter for this update (1-based).
         clock: u64,
         /// Piggybacked dependency tuples.
-        log: CrpLog,
+        log: Arc<CrpLog>,
     },
     /// optP: the writer's size-`n` Write vector, incremented for this write.
     OptP {
         /// Vector snapshot including this write.
-        write: VectorClock,
+        write: Arc<VectorClock>,
     },
 }
 
@@ -93,14 +101,17 @@ pub struct Fm {
 }
 
 /// The `LastWriteOn⟨h⟩` meta-data returned with a remote read.
+///
+/// Shares the server's stored snapshot via `Arc` — serving a fetch does not
+/// deep-clone the stashed matrix/log.
 #[derive(Clone, PartialEq, Debug)]
 pub enum RmMeta {
     /// Full-Track: the matrix associated with the last write applied to the
     /// variable, or `None` if the variable is still `⊥` at the server.
-    FullTrack(Option<MatrixClock>),
+    FullTrack(Option<Arc<MatrixClock>>),
     /// Opt-Track: the log associated with the last write applied to the
     /// variable, or `None` if the variable is still `⊥` at the server.
-    OptTrack(Option<Log>),
+    OptTrack(Option<Arc<Log>>),
 }
 
 impl MetaSized for RmMeta {
@@ -175,7 +186,7 @@ mod tests {
                 var: VarId(0),
                 value: value(),
                 meta: SmMeta::OptP {
-                    write: VectorClock::new(n),
+                    write: Arc::new(VectorClock::new(n)),
                 },
             });
             assert_eq!(m.meta_size(&model), 209 + 10 * n as u64);
@@ -189,7 +200,7 @@ mod tests {
             var: VarId(0),
             value: value(),
             meta: SmMeta::FullTrack {
-                write: MatrixClock::new(40),
+                write: Arc::new(MatrixClock::new(40)),
             },
         });
         assert_eq!(m.meta_size(&model), 209 + 10 * 1600);
@@ -221,7 +232,10 @@ mod tests {
         let m = Msg::Sm(Sm {
             var: VarId(0),
             value: value(),
-            meta: SmMeta::Crp { clock: 1, log },
+            meta: SmMeta::Crp {
+                clock: 1,
+                log: Arc::new(log),
+            },
         });
         // base 209 + (site id + clock) 20 + one 2-tuple 20.
         assert_eq!(m.meta_size(&model), 209 + 20 + 20);

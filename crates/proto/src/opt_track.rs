@@ -26,13 +26,15 @@ use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId}
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A parked Opt-Track update.
+/// A parked Opt-Track update. The piggybacked log is shared across the
+/// multicast fan-out; apply unwraps it (or clones, if still shared) when it
+/// needs the private mutable copy for `assoc`.
 #[derive(Clone, Debug)]
 struct PendingSm {
     var: VarId,
     value: VersionedValue,
     clock: u64,
-    log: Log,
+    log: Arc<Log>,
 }
 
 /// State consulted and mutated by the drain loop.
@@ -41,7 +43,7 @@ struct ApplyState {
     me: SiteId,
     prune: PruneConfig,
     values: HashMap<VarId, VersionedValue>,
-    last_write_on: HashMap<VarId, Log>,
+    last_write_on: HashMap<VarId, Arc<Log>>,
     /// `Apply_i[j]` — number of updates from `ap_j` applied here.
     apply: Vec<u64>,
     /// Largest write-clock from each origin applied here. In partial
@@ -129,12 +131,13 @@ impl OptTrack {
         // the piggybacked records plus this write's own record, minus every
         // mention of this site (implicit condition 1 — the predicate just
         // guaranteed those writes are applied here, and this apply makes the
-        // write itself delivered here).
-        let mut assoc = m.log;
+        // write itself delivered here). The last destination to apply gets
+        // the shared snapshot without a copy.
+        let mut assoc = Arc::try_unwrap(m.log).unwrap_or_else(|shared| (*shared).clone());
         assoc.upsert(LogEntry::new(sender, m.clock, state.repl.replicas(m.var)));
         assoc.remove_site(state.me);
         assoc.normalize(state.prune);
-        state.last_write_on.insert(m.var, assoc);
+        state.last_write_on.insert(m.var, Arc::new(assoc));
     }
 
     fn drain(&mut self) -> Vec<Effect> {
@@ -180,7 +183,8 @@ impl ProtocolSite for OptTrack {
         // Piggyback the *pre-write* log: "the outgoing update messages will
         // piggyback the currently stored records". Receivers thereby see the
         // writer's causal past, including its own still-relevant writes.
-        let piggyback = self.log.clone();
+        // One shared snapshot serves the whole fan-out.
+        let piggyback = Arc::new(self.log.clone());
 
         let mut effects = Vec::new();
         for k in dests.iter() {
@@ -192,7 +196,7 @@ impl ProtocolSite for OptTrack {
                         value,
                         meta: SmMeta::OptTrack {
                             clock: self.clock,
-                            log: piggyback.clone(),
+                            log: Arc::clone(&piggyback),
                         },
                     }),
                 });
@@ -209,11 +213,11 @@ impl ProtocolSite for OptTrack {
             self.state.values.insert(var, value);
             self.state.apply[self.site.index()] += 1;
             self.state.last_clock[self.site.index()] = self.clock;
-            let mut assoc = piggyback;
+            let mut assoc = Arc::try_unwrap(piggyback).unwrap_or_else(|shared| (*shared).clone());
             assoc.upsert(LogEntry::new(self.site, self.clock, dests));
             assoc.remove_site(self.site);
             assoc.normalize(self.prune);
-            self.state.last_write_on.insert(var, assoc);
+            self.state.last_write_on.insert(var, Arc::new(assoc));
             effects.push(Effect::Applied { var, write: wid });
             effects.extend(self.drain());
         }
@@ -359,7 +363,7 @@ impl ProtocolSite for OptTrack {
             .values
             .iter()
             .filter(|(var, _)| self.repl.is_replicated_at(**var, requester))
-            .map(|(var, value)| (*var, *value, self.state.last_write_on[var].clone()))
+            .map(|(var, value)| (*var, *value, self.state.last_write_on[var].as_ref().clone()))
             .collect();
         SyncState::OptTrack {
             log: self.log.clone(),
@@ -408,7 +412,7 @@ impl ProtocolSite for OptTrack {
                 meta.remove_site(self.site);
                 meta.normalize(self.prune);
                 self.state.values.insert(var, value);
-                self.state.last_write_on.insert(var, meta);
+                self.state.last_write_on.insert(var, Arc::new(meta));
             }
         }
     }

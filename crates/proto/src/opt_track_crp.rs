@@ -20,13 +20,13 @@ use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId}
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A parked Opt-Track-CRP update.
+/// A parked Opt-Track-CRP update (shared tuple-log snapshot).
 #[derive(Clone, Debug)]
 struct PendingSm {
     var: VarId,
     value: VersionedValue,
     clock: u64,
-    log: CrpLog,
+    log: Arc<CrpLog>,
 }
 
 #[derive(Clone)]
@@ -136,8 +136,9 @@ impl ProtocolSite for OptTrackCrp {
         let value = VersionedValue::with_payload(wid, data, payload_len);
 
         // Piggyback the pre-write log (own previous write tuple + one tuple
-        // per distinct origin read since then).
-        let piggyback = self.log.clone();
+        // per distinct origin read since then); one shared snapshot serves
+        // the whole fan-out.
+        let piggyback = Arc::new(self.log.clone());
         let mut effects = Vec::with_capacity(self.n);
         for k in SiteId::all(self.n) {
             if k != self.site {
@@ -148,7 +149,7 @@ impl ProtocolSite for OptTrackCrp {
                         value,
                         meta: SmMeta::Crp {
                             clock: self.clock,
-                            log: piggyback.clone(),
+                            log: Arc::clone(&piggyback),
                         },
                     }),
                 });

@@ -21,18 +21,18 @@ use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId}
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A parked optP update.
+/// A parked optP update (shared vector snapshot).
 #[derive(Clone, Debug)]
 struct PendingSm {
     var: VarId,
     value: VersionedValue,
-    write: VectorClock,
+    write: Arc<VectorClock>,
 }
 
 #[derive(Clone)]
 struct ApplyState {
     values: HashMap<VarId, VersionedValue>,
-    last_write_on: HashMap<VarId, VectorClock>,
+    last_write_on: HashMap<VarId, Arc<VectorClock>>,
     apply: Vec<u64>,
     applied_effects: Vec<Effect>,
 }
@@ -115,7 +115,7 @@ impl ProtocolSite for OptP {
         let clock = self.write_clock.increment(self.site);
         let wid = WriteId::new(self.site, clock);
         let value = VersionedValue::with_payload(wid, data, payload_len);
-        let snapshot = self.write_clock.clone();
+        let snapshot = Arc::new(self.write_clock.clone());
 
         let mut effects = Vec::with_capacity(self.n);
         for k in SiteId::all(self.n) {
@@ -126,7 +126,7 @@ impl ProtocolSite for OptP {
                         var,
                         value,
                         meta: SmMeta::OptP {
-                            write: snapshot.clone(),
+                            write: Arc::clone(&snapshot),
                         },
                     }),
                 });
@@ -227,7 +227,7 @@ impl ProtocolSite for OptP {
             .state
             .values
             .iter()
-            .map(|(var, value)| (*var, *value, self.state.last_write_on[var].clone()))
+            .map(|(var, value)| (*var, *value, self.state.last_write_on[var].as_ref().clone()))
             .collect();
         SyncState::OptP {
             clock: self.write_clock.clone(),
@@ -267,7 +267,7 @@ impl ProtocolSite for OptP {
             });
             if newer {
                 self.state.values.insert(var, value);
-                self.state.last_write_on.insert(var, meta);
+                self.state.last_write_on.insert(var, Arc::new(meta));
             }
         }
     }

@@ -184,6 +184,22 @@ impl DurableStore {
         self.checkpoint_bytes += site.local_meta_size(model);
     }
 
+    /// Periodic-checkpoint variant of [`DurableStore::take_checkpoint`]:
+    /// skips the deep `clone_box` when the log is empty and a checkpoint
+    /// image already exists, because replay from that image would rebuild
+    /// the exact same state. Returns whether a checkpoint was taken.
+    ///
+    /// Not safe after recovery: `install_sync` is applied directly to the
+    /// live site and never journaled, so the post-recovery checkpoint must
+    /// use the unconditional [`DurableStore::take_checkpoint`].
+    pub fn take_checkpoint_if_dirty(&mut self, site: &dyn ProtocolSite, model: &SizeModel) -> bool {
+        if self.log.is_empty() && self.checkpoint.is_some() && !self.lost {
+            return false;
+        }
+        self.take_checkpoint(site, model);
+        true
+    }
+
     /// Media loss: discard checkpoint, log and high-water marks. Recovery
     /// from this store must use the full peer rebuild.
     pub fn wipe(&mut self) {
@@ -544,7 +560,7 @@ mod tests {
                 var: VarId(0),
                 value: VersionedValue::new(WriteId::new(SiteId(1), clock), 0),
                 meta: SmMeta::OptP {
-                    write: VectorClock::new(n),
+                    write: Arc::new(VectorClock::new(n)),
                 },
             })
         };

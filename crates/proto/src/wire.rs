@@ -14,6 +14,7 @@ use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
 use causal_clocks::{CrpLog, DestSet, Log, LogEntry, MatrixClock, VectorClock};
 use causal_types::{SiteId, VarId, VersionedValue, WriteId};
 use std::fmt;
+use std::sync::Arc;
 
 /// Decoding failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -315,18 +316,18 @@ impl Reader<'_> {
     fn sm_meta(&mut self) -> Result<SmMeta, WireError> {
         Ok(match self.u8()? {
             0 => SmMeta::FullTrack {
-                write: self.matrix()?,
+                write: Arc::new(self.matrix()?),
             },
             1 => SmMeta::OptTrack {
                 clock: self.u64()?,
-                log: self.log()?,
+                log: Arc::new(self.log()?),
             },
             2 => SmMeta::Crp {
                 clock: self.u64()?,
-                log: self.crp_log()?,
+                log: Arc::new(self.crp_log()?),
             },
             3 => SmMeta::OptP {
-                write: self.vector()?,
+                write: Arc::new(self.vector()?),
             },
             t => return Err(WireError::BadTag(t)),
         })
@@ -335,9 +336,9 @@ impl Reader<'_> {
     fn rm_meta(&mut self) -> Result<RmMeta, WireError> {
         Ok(match self.u8()? {
             0 => RmMeta::FullTrack(None),
-            1 => RmMeta::FullTrack(Some(self.matrix()?)),
+            1 => RmMeta::FullTrack(Some(Arc::new(self.matrix()?))),
             2 => RmMeta::OptTrack(None),
-            3 => RmMeta::OptTrack(Some(self.log()?)),
+            3 => RmMeta::OptTrack(Some(Arc::new(self.log()?))),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -367,7 +368,7 @@ mod tests {
                 var: VarId(5),
                 value,
                 meta: SmMeta::FullTrack {
-                    write: MatrixClock::new(4),
+                    write: Arc::new(MatrixClock::new(4)),
                 },
             }),
             Msg::Sm(Sm {
@@ -375,7 +376,7 @@ mod tests {
                 value,
                 meta: SmMeta::OptTrack {
                     clock: 9,
-                    log: sample_log(),
+                    log: Arc::new(sample_log()),
                 },
             }),
             Msg::Sm(Sm {
@@ -383,18 +384,18 @@ mod tests {
                 value,
                 meta: SmMeta::Crp {
                     clock: 9,
-                    log: {
+                    log: Arc::new({
                         let mut l = CrpLog::new();
                         l.observe(WriteId::new(SiteId(0), 3));
                         l
-                    },
+                    }),
                 },
             }),
             Msg::Sm(Sm {
                 var: VarId(5),
                 value,
                 meta: SmMeta::OptP {
-                    write: VectorClock::new(6),
+                    write: Arc::new(VectorClock::new(6)),
                 },
             }),
             Msg::Fm(Fm { var: VarId(0) }),
@@ -406,12 +407,12 @@ mod tests {
             Msg::Rm(Rm {
                 var: VarId(1),
                 value: Some(value),
-                meta: RmMeta::OptTrack(Some(sample_log())),
+                meta: RmMeta::OptTrack(Some(Arc::new(sample_log()))),
             }),
             Msg::Rm(Rm {
                 var: VarId(1),
                 value: Some(value),
-                meta: RmMeta::FullTrack(Some(MatrixClock::new(3))),
+                meta: RmMeta::FullTrack(Some(Arc::new(MatrixClock::new(3)))),
             }),
         ];
         for msg in msgs {
@@ -427,7 +428,7 @@ mod tests {
             var: VarId(5),
             value: VersionedValue::new(WriteId::new(SiteId(0), 1), 0),
             meta: SmMeta::OptP {
-                write: VectorClock::new(8),
+                write: Arc::new(VectorClock::new(8)),
             },
         });
         let bytes = encode(&msg);
@@ -487,7 +488,10 @@ mod tests {
             let msg = Msg::Sm(Sm {
                 var: VarId(var),
                 value: VersionedValue::new(WriteId::new(SiteId(site), clock), clock ^ 0xABCD),
-                meta: SmMeta::OptTrack { clock, log },
+                meta: SmMeta::OptTrack {
+                    clock,
+                    log: Arc::new(log),
+                },
             });
             prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
         }
@@ -503,7 +507,7 @@ mod tests {
             let msg = Msg::Sm(Sm {
                 var: VarId(1),
                 value: VersionedValue::new(WriteId::new(SiteId(0), 1), 2),
-                meta: SmMeta::FullTrack { write: m },
+                meta: SmMeta::FullTrack { write: Arc::new(m) },
             });
             prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
         }
@@ -518,7 +522,7 @@ mod tests {
             let m1 = Msg::Sm(Sm {
                 var: VarId(1),
                 value: VersionedValue::new(WriteId::new(SiteId(0), 1), 2),
-                meta: SmMeta::OptP { write: v },
+                meta: SmMeta::OptP { write: Arc::new(v) },
             });
             prop_assert_eq!(decode(&encode(&m1)).unwrap(), m1);
 
@@ -529,7 +533,10 @@ mod tests {
             let m2 = Msg::Sm(Sm {
                 var: VarId(1),
                 value: VersionedValue::new(WriteId::new(SiteId(0), 1), 2),
-                meta: SmMeta::Crp { clock: 5, log },
+                meta: SmMeta::Crp {
+                    clock: 5,
+                    log: Arc::new(log),
+                },
             });
             prop_assert_eq!(decode(&encode(&m2)).unwrap(), m2);
         }

@@ -217,3 +217,27 @@ mod tests {
         assert_eq!(h.len(), 0);
     }
 }
+
+#[cfg(test)]
+mod size_regression {
+    use super::*;
+
+    /// Every queued event is moved through the [`EventHeap`] many times
+    /// (push, sift, pop), so `SimEvent` must stay register-friendly. The
+    /// dominant variant is `Deliver`, whose inline `Msg` shrank to a couple
+    /// of words once the piggybacked clocks/logs moved behind `Arc`s;
+    /// boxing it (as `DeliverFrame` does with the much larger `Frame`)
+    /// would trade these 88 bytes for a heap allocation per delivered
+    /// message on the hot path, which is the worse deal. If this grows,
+    /// find what fattened `Msg` — or box the new payload.
+    #[test]
+    fn sim_event_stays_small() {
+        let sz = std::mem::size_of::<SimEvent>();
+        assert!(sz <= 96, "SimEvent grew to {sz} bytes; re-evaluate boxing");
+        let msg = std::mem::size_of::<causal_proto::Msg>();
+        assert!(
+            msg <= 80,
+            "Msg grew to {msg} bytes; piggybacks must stay Arc-shared"
+        );
+    }
+}

@@ -9,7 +9,7 @@ use causal_memory::Placement;
 use causal_metrics::RunMetrics;
 use causal_proto::{
     build_site, DurableStore, Effect, Fm, Frame, Msg, OwnLedger, PeerAckInfo, ProtocolConfig,
-    ProtocolKind, ProtocolSite, ReadResult, Replication, SyncState, WalRecord,
+    ProtocolKind, ProtocolSite, ReadResult, Replication, SmMeta, SyncState, WalRecord,
 };
 use causal_types::WriteId;
 use causal_types::{MetaSized, OpKind, SimDuration, SimTime, SiteId, SizeModel, VarId};
@@ -998,8 +998,12 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         // or syncing site checkpoints right after its
                         // recovery completes instead.
                         if c.status[s.index()] == SiteStatus::Up {
-                            stores[s.index()]
-                                .take_checkpoint(sites[s.index()].as_ref(), &cfg.size_model);
+                            // Skips the deep state clone when nothing was
+                            // journaled since the last image.
+                            stores[s.index()].take_checkpoint_if_dirty(
+                                sites[s.index()].as_ref(),
+                                &cfg.size_model,
+                            );
                         }
                     }
                 }
@@ -1451,6 +1455,19 @@ fn finish_recovery(
     }
 }
 
+/// True when two SM metas share the same `Arc`'d snapshot (one multicast's
+/// fan-out). Pointer equality implies value equality; distinct writes always
+/// carry distinct allocations, so this never conflates different snapshots.
+fn sm_meta_shares_snapshot(a: &SmMeta, b: &SmMeta) -> bool {
+    match (a, b) {
+        (SmMeta::FullTrack { write: x }, SmMeta::FullTrack { write: y }) => Arc::ptr_eq(x, y),
+        (SmMeta::OptTrack { log: x, .. }, SmMeta::OptTrack { log: y, .. }) => Arc::ptr_eq(x, y),
+        (SmMeta::Crp { log: x, .. }, SmMeta::Crp { log: y, .. }) => Arc::ptr_eq(x, y),
+        (SmMeta::OptP { write: x }, SmMeta::OptP { write: y }) => Arc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn process_effects(
     origin: SiteId,
@@ -1468,10 +1485,26 @@ fn process_effects(
     size_model: &SizeModel,
     chaos: &mut Option<Chaos>,
 ) {
+    // A multicast write fans out one `Effect::Send` per destination, all
+    // sharing the same `Arc`'d piggyback snapshot. Sizing the piggyback is
+    // `O(entries)`, so memoize it per distinct snapshot: the fan-out is
+    // sized once instead of once per destination.
+    let mut meta_memo: Option<(SmMeta, u64)> = None;
     for e in effects {
         match e {
             Effect::Send { to, msg } => {
-                metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+                let size = match &msg {
+                    Msg::Sm(sm) => match &meta_memo {
+                        Some((cached, sz)) if sm_meta_shares_snapshot(cached, &sm.meta) => *sz,
+                        _ => {
+                            let sz = msg.meta_size(size_model);
+                            meta_memo = Some((sm.meta.clone(), sz));
+                            sz
+                        }
+                    },
+                    _ => msg.meta_size(size_model),
+                };
+                metrics.record_msg(msg.kind(), size, measured);
                 if let Msg::Sm(sm) = &msg {
                     metrics.sm_entries.record(sm.meta.entry_count() as f64);
                 }

@@ -525,7 +525,7 @@ mod tests {
             value: VersionedValue::new(WriteId::new(SiteId(site), clock), 1),
             meta: SmMeta::Crp {
                 clock,
-                log: causal_clocks::CrpLog::new(),
+                log: std::sync::Arc::new(causal_clocks::CrpLog::new()),
             },
         })
     }

@@ -142,6 +142,12 @@ impl<T: MetaSized> MetaSized for Option<T> {
     }
 }
 
+impl<T: MetaSized> MetaSized for std::sync::Arc<T> {
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        self.as_ref().meta_size(model)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

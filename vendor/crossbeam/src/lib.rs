@@ -1,7 +1,8 @@
-//! Offline stand-in for `crossbeam`: the unbounded MPSC channel API this
-//! workspace uses, backed by `std::sync::mpsc` (whose `Sender` has been
-//! `Sync + Clone` since Rust 1.72, covering every sharing pattern the
-//! runtime relies on).
+//! Offline stand-in for `crossbeam`: the unbounded MPSC channel API and the
+//! scoped-thread API this workspace uses, backed by `std::sync::mpsc` (whose
+//! `Sender` has been `Sync + Clone` since Rust 1.72) and `std::thread::scope`
+//! (stable since Rust 1.63), covering every sharing pattern the runtime
+//! relies on.
 
 #![forbid(unsafe_code)]
 
@@ -21,10 +22,79 @@ pub mod channel {
     }
 }
 
+/// Scoped threads: spawned threads may borrow from the enclosing stack
+/// frame and are all joined before `scope` returns.
+pub mod thread {
+    /// Handle passed to the `scope` closure; spawns borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        #[allow(clippy::missing_errors_doc)]
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to `'env`; crossbeam's closure also takes
+        /// the scope itself, so nested spawns keep working.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads it spawns are joined
+    /// before this returns. Unlike upstream crossbeam this cannot observe
+    /// a child panic as an `Err` (std propagates it), so the result is
+    /// always `Ok` when it returns.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::unbounded;
     use std::time::Duration;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::SeqCst);
+                    sum
+                }));
+            }
+            let joined: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(joined, 10);
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 10);
+    }
 
     #[test]
     fn fifo_and_timeout() {
