@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|bench|all>
-//!       [--quick] [--out <dir>] [--jobs <n>] [--no-cache]
+//!       [--quick] [--out <dir>] [--jobs <n>] [--no-cache] [--trace-dir <dir>]
 //! ```
 //!
 //! `--quick` runs at a reduced scale (120 events/process, 2 seeds) for smoke
@@ -19,6 +19,10 @@
 //! content-addressed cache (`<out>/cache`, default `results/cache`) and are
 //! reloaded bit-exactly on the next invocation; `--no-cache` disables both
 //! reading and writing it.
+//!
+//! `--trace-dir <dir>` writes one structured JSONL trace per chaos /
+//! durability run into `dir` (see `docs/OBSERVABILITY.md`); traces are
+//! byte-identical across `--jobs` settings.
 //!
 //! `bench` times one n = 40, w = 0.5 cell per protocol — sequentially, in
 //! parallel, and cold vs warm cache — and writes `BENCH_PR3.json`.
@@ -36,6 +40,7 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut jobs = 1usize;
     let mut no_cache = false;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -45,6 +50,12 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("missing value for --out"));
                 out = Some(PathBuf::from(dir));
+            }
+            "--trace-dir" => {
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --trace-dir"));
+                trace_dir = Some(PathBuf::from(dir));
             }
             "--jobs" => {
                 let v = it
@@ -70,6 +81,9 @@ fn main() {
     if let Some(dir) = &out {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace directory");
+    }
 
     if subcommand == "bench" {
         bench(scale, jobs, out.as_deref());
@@ -85,32 +99,74 @@ fn main() {
 
     // The third field marks generators that go through the sweep's cell
     // cache; only those benefit from (and are safe under) the planning
-    // pass — the others run their own simulations directly.
-    type Job = (&'static str, fn(&mut Sweep) -> Table, bool);
+    // pass — the others run their own simulations directly. Boxed because
+    // the chaos/durability closures capture the worker count and trace
+    // directory.
+    type Job = (&'static str, Box<dyn Fn(&mut Sweep) -> Table>, bool);
+    let chaos_trace = trace_dir.clone();
+    let dur_trace = trace_dir.clone();
     let jobs_table: Vec<Job> = vec![
-        ("fig1", figures::fig1, true),
-        ("fig2", |s| figures::fig2_4(s, 0.2), true),
-        ("fig3", |s| figures::fig2_4(s, 0.5), true),
-        ("fig4", |s| figures::fig2_4(s, 0.8), true),
-        ("table2", figures::table2, true),
-        ("fig5", figures::fig5, true),
-        ("fig6", |s| figures::fig6_8(s, 0.2), true),
-        ("fig7", |s| figures::fig6_8(s, 0.5), true),
-        ("fig8", |s| figures::fig6_8(s, 0.8), true),
-        ("table3", figures::table3, true),
-        ("table4", figures::table4, true),
-        ("eq2", figures::eq2, true),
-        ("falseco", figures::ext_false_causality, false),
-        ("logsize", figures::ext_log_size, true),
-        ("storage", figures::ext_storage, true),
+        ("fig1", Box::new(figures::fig1), true),
+        (
+            "fig2",
+            Box::new(|s: &mut Sweep| figures::fig2_4(s, 0.2)),
+            true,
+        ),
+        (
+            "fig3",
+            Box::new(|s: &mut Sweep| figures::fig2_4(s, 0.5)),
+            true,
+        ),
+        (
+            "fig4",
+            Box::new(|s: &mut Sweep| figures::fig2_4(s, 0.8)),
+            true,
+        ),
+        ("table2", Box::new(figures::table2), true),
+        ("fig5", Box::new(figures::fig5), true),
+        (
+            "fig6",
+            Box::new(|s: &mut Sweep| figures::fig6_8(s, 0.2)),
+            true,
+        ),
+        (
+            "fig7",
+            Box::new(|s: &mut Sweep| figures::fig6_8(s, 0.5)),
+            true,
+        ),
+        (
+            "fig8",
+            Box::new(|s: &mut Sweep| figures::fig6_8(s, 0.8)),
+            true,
+        ),
+        ("table3", Box::new(figures::table3), true),
+        ("table4", Box::new(figures::table4), true),
+        ("eq2", Box::new(figures::eq2), true),
+        ("falseco", Box::new(figures::ext_false_causality), false),
+        ("logsize", Box::new(figures::ext_log_size), true),
+        ("storage", Box::new(figures::ext_storage), true),
         (
             "chaos",
-            |s| causal_experiments::chaos::chaos_overhead(s.scale(), 10),
+            Box::new(move |s: &mut Sweep| {
+                causal_experiments::chaos::chaos_overhead(
+                    s.scale(),
+                    10,
+                    jobs,
+                    chaos_trace.as_deref(),
+                )
+            }),
             false,
         ),
         (
             "durability",
-            |s| causal_experiments::durability::durability_sweep(s.scale(), 10),
+            Box::new(move |s: &mut Sweep| {
+                causal_experiments::durability::durability_sweep(
+                    s.scale(),
+                    10,
+                    jobs,
+                    dur_trace.as_deref(),
+                )
+            }),
             false,
         ),
     ];
@@ -301,7 +357,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|bench|all> \
-         [--quick] [--out <dir>] [--jobs <n>] [--no-cache]"
+         [--quick] [--out <dir>] [--jobs <n>] [--no-cache] [--trace-dir <dir>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -15,6 +15,7 @@
 //!          [--wal] [--checkpoint-interval <ms>] [--fetch-deadline <ms>]
 //!          [--dump-schedule <path>] [--schedule <path>]
 //!          [--seeds <k>] [--jobs <n>]
+//!          [--trace <path>] [--verify-trace]
 //! ```
 //!
 //! `--seeds 8` runs eight simulations (seeds `seed .. seed+7`) and prints
@@ -41,13 +42,25 @@
 //! rebuild). `--fetch-deadline 150` makes a blocked remote read fail over
 //! to the next replica after 150 ms instead of waiting indefinitely, and
 //! give up as a degraded read once the candidates are exhausted.
+//!
+//! `--trace out.jsonl` records a structured event trace (one JSON object
+//! per line, stamped with virtual time — see `docs/OBSERVABILITY.md`) and
+//! writes it atomically at the end of the run. `--verify-trace`
+//! reconstructs the execution history purely from the trace's
+//! write/apply/read events and runs the causal-consistency checker on the
+//! reconstruction — an end-to-end self-test that the trace is complete and
+//! correctly ordered. Both operate on one concrete run, so they are
+//! incompatible with `--seeds > 1`.
 
 use causal_checker::check;
 use causal_clocks::DestSet;
+use causal_experiments::trace::{check_trace, write_trace};
 use causal_memory::{Placement, PlacementKind};
+use causal_obs::BufTracer;
 use causal_proto::ProtocolKind;
 use causal_simnet::{
-    run, CrashWindow, DurabilityPlan, FaultPlan, LatencyModel, PartitionWindow, SimConfig,
+    run, run_traced, CrashWindow, DurabilityPlan, FaultPlan, LatencyModel, PartitionWindow,
+    SimConfig,
 };
 use causal_types::{MsgKind, SimDuration, SimTime, SiteId, SizeModel};
 use causal_workload::VarDistribution;
@@ -75,6 +88,8 @@ struct Args {
     schedule: Option<String>,
     seeds: usize,
     jobs: usize,
+    trace: Option<String>,
+    verify_trace: bool,
 }
 
 fn parse() -> Args {
@@ -100,6 +115,8 @@ fn parse() -> Args {
         schedule: None,
         seeds: 1,
         jobs: 1,
+        trace: None,
+        verify_trace: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -200,6 +217,8 @@ fn parse() -> Args {
             }
             "--wire-model" => a.wire_model = true,
             "--check" => a.check = true,
+            "--trace" => a.trace = Some(val()),
+            "--verify-trace" => a.verify_trace = true,
             "--dump-schedule" => a.dump_schedule = Some(val()),
             "--schedule" => a.schedule = Some(val()),
             "--help" | "-h" => {
@@ -217,6 +236,9 @@ fn parse() -> Args {
 fn validate(a: &Args) {
     if a.seeds > 1 && (a.check || a.dump_schedule.is_some() || a.schedule.is_some()) {
         die("--seeds > 1 is incompatible with --check / --dump-schedule / --schedule (those operate on one concrete run; drop --seeds or run them per seed)");
+    }
+    if a.seeds > 1 && (a.trace.is_some() || a.verify_trace) {
+        die("--seeds > 1 is incompatible with --trace / --verify-trace (a trace records one concrete run; drop --seeds or trace each seed separately)");
     }
     if a.checkpoint_interval == Some(0) {
         die("--checkpoint-interval must be positive (0 would checkpoint never-endingly at t=0; omit the flag to disable checkpoints)");
@@ -386,8 +408,14 @@ fn main() {
         return;
     }
 
+    let tracing = a.trace.is_some() || a.verify_trace;
     let t0 = std::time::Instant::now();
-    let r = run(&cfg);
+    let mut tracer = BufTracer::default();
+    let r = if tracing {
+        run_traced(&cfg, &mut tracer)
+    } else {
+        run(&cfg)
+    };
     let m = &r.metrics;
 
     println!("protocol        {}", a.protocol);
@@ -476,6 +504,28 @@ fn main() {
         }
     }
     assert_eq!(r.final_pending, 0, "simulation must reach quiescence");
+
+    if tracing {
+        println!();
+        println!("trace           {} events recorded", tracer.events.len());
+    }
+    if let Some(path) = &a.trace {
+        write_trace(std::path::Path::new(path), &tracer.events)
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        println!("                written to {path}");
+    }
+    if a.verify_trace {
+        let v = check_trace(&tracer.events, a.n);
+        if v.protocol_clean() {
+            println!("                reconstructed causal chains pass the checker ✓");
+        } else {
+            println!("                TRACE RECONSTRUCTION VIOLATIONS ✗");
+            for e in &v.examples {
+                println!("    {e}");
+            }
+            std::process::exit(1);
+        }
+    }
 
     if a.check {
         let v = check(r.history.as_ref().expect("recorded"));

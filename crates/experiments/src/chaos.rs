@@ -8,14 +8,22 @@
 //! expensive is rebuilding a site's causal state after a fail-stop crash
 //! with state loss? Every run still passes the causal-consistency checker —
 //! the sweep is also a large randomized correctness net for the transport.
+//!
+//! The grid's runs are independent, so they fan out across `jobs` worker
+//! threads ([`crate::pool`]); results fold in input order, keeping the
+//! table — and any `--trace-dir` JSONL traces — byte-identical to a
+//! sequential run.
 
 use causal_checker::check;
 use causal_metrics::Table;
+use causal_obs::{BufTracer, TraceEvent};
 use causal_proto::ProtocolKind;
-use causal_simnet::{run, CrashWindow, FaultPlan, SimConfig};
+use causal_simnet::{run_traced, CrashWindow, FaultPlan, SimConfig, SimResult};
 use causal_types::{SimTime, SiteId};
+use std::path::Path;
 
-use crate::Scale;
+use crate::trace::write_trace;
+use crate::{pool, Scale};
 
 /// The loss-rate grid: drop probability per transport frame; duplication
 /// rides along at one quarter of the drop rate.
@@ -57,53 +65,88 @@ fn chaos_cfg(
     cfg
 }
 
+/// A lowercase, filename-safe protocol slug (`opt-track-crp` etc.).
+fn slug(kind: ProtocolKind) -> String {
+    kind.to_string().to_lowercase().replace(' ', "-")
+}
+
 /// Transport overhead vs. loss rate: for each protocol and loss level,
-/// the retransmission fraction, duplicate drops, ack traffic and the
-/// protocol-payload vs. transport-overhead byte split. Panics if any run
-/// fails to quiesce or violates causal consistency — chaos runs are
-/// correctness tests first.
-pub fn chaos_overhead(scale: Scale, n: usize) -> Table {
+/// the retransmission fraction, duplicate drops, ack traffic, the
+/// protocol-payload vs. transport-overhead byte split, and the per-site
+/// registry's P² tails (apply dwell, fetch RTT) with the buffered-update
+/// total. Runs fan out over `jobs` threads; with a `trace_dir`, each run's
+/// structured trace lands there as `chaos-<protocol>-<loss>.jsonl`. Panics
+/// if any run fails to quiesce or violates causal consistency — chaos runs
+/// are correctness tests first.
+pub fn chaos_overhead(scale: Scale, n: usize, jobs: usize, trace_dir: Option<&Path>) -> Table {
     let mut t = Table::new(
         format!("Chaos sweep: transport overhead vs. loss rate (n={n}, w=0.5, one crash at 15% loss and above)"),
         &[
             "protocol", "loss", "retrans", "dup drops", "fault drops", "acks",
             "ack KB", "envelope KB", "sync KB", "recovery ms", "virtual s",
+            "apply p99 ms", "rtt p99 ms", "buffered",
         ],
     );
     let events = scale.events().min(200);
-    for (kind, partial) in PROTOCOLS {
-        for loss in LOSS_GRID {
-            // Crashes join the sweep once the network is already hostile,
-            // so the recovery column reflects loss-degraded sync latency.
-            let crash = loss >= 0.15;
-            let cfg = chaos_cfg(kind, partial, n, loss, crash, events, 0xC4A0_5EED);
-            let r = run(&cfg);
-            assert_eq!(r.final_pending, 0, "{kind} loss={loss}: no quiescence");
-            let v = check(r.history.as_ref().expect("recorded"));
-            assert!(
-                v.protocol_clean(),
-                "{kind} loss={loss}: causal violations: {:?}",
-                v.examples
-            );
-            let m = &r.metrics;
-            t.push_row(vec![
-                kind.to_string(),
-                format!("{loss:.2}"),
-                m.retransmissions.to_string(),
-                m.dup_drops.to_string(),
-                m.fault_drops.to_string(),
-                m.ack_count.to_string(),
-                format!("{:.1}", m.ack_bytes as f64 / 1000.0),
-                format!("{:.1}", m.envelope_bytes as f64 / 1000.0),
-                format!("{:.1}", m.sync_bytes as f64 / 1000.0),
-                if m.recovery_ns.count() > 0 {
-                    format!("{:.1}", m.recovery_ns.mean() / 1e6)
-                } else {
-                    "-".to_string()
-                },
-                format!("{:.1}", r.duration.as_secs_f64()),
-            ]);
+    let units: Vec<(ProtocolKind, bool, f64)> = PROTOCOLS
+        .iter()
+        .flat_map(|&(kind, partial)| LOSS_GRID.iter().map(move |&loss| (kind, partial, loss)))
+        .collect();
+    let tracing = trace_dir.is_some();
+    let results: Vec<(SimResult, Vec<TraceEvent>)> = pool::run_indexed(jobs, units.len(), |i| {
+        let (kind, partial, loss) = units[i];
+        // Crashes join the sweep once the network is already hostile,
+        // so the recovery column reflects loss-degraded sync latency.
+        let crash = loss >= 0.15;
+        let cfg = chaos_cfg(kind, partial, n, loss, crash, events, 0xC4A0_5EED);
+        let mut tracer = BufTracer::default();
+        if tracing {
+            (run_traced(&cfg, &mut tracer), tracer.events)
+        } else {
+            (causal_simnet::run(&cfg), Vec::new())
         }
+    });
+    for ((kind, _, loss), (r, events)) in units.iter().zip(results) {
+        let kind = *kind;
+        let loss = *loss;
+        assert_eq!(r.final_pending, 0, "{kind} loss={loss}: no quiescence");
+        let v = check(r.history.as_ref().expect("recorded"));
+        assert!(
+            v.protocol_clean(),
+            "{kind} loss={loss}: causal violations: {:?}",
+            v.examples
+        );
+        if let Some(dir) = trace_dir {
+            let path = dir.join(format!("chaos-{}-{loss:.2}.jsonl", slug(kind)));
+            write_trace(&path, &events).expect("trace write");
+        }
+        let m = &r.metrics;
+        t.push_row(vec![
+            kind.to_string(),
+            format!("{loss:.2}"),
+            m.retransmissions.to_string(),
+            m.dup_drops.to_string(),
+            m.fault_drops.to_string(),
+            m.ack_count.to_string(),
+            format!("{:.1}", m.ack_bytes as f64 / 1000.0),
+            format!("{:.1}", m.envelope_bytes as f64 / 1000.0),
+            format!("{:.1}", m.sync_bytes as f64 / 1000.0),
+            if m.recovery_ns.count() > 0 {
+                format!("{:.1}", m.recovery_ns.mean() / 1e6)
+            } else {
+                "-".to_string()
+            },
+            format!("{:.1}", r.duration.as_secs_f64()),
+            match m.apply_latency_p99.estimate() {
+                Some(p) => format!("{:.1}", p / 1e6),
+                None => "-".to_string(),
+            },
+            match m.fetch_rtt_p99.estimate() {
+                Some(p) => format!("{:.1}", p / 1e6),
+                None => "-".to_string(),
+            },
+            m.per_site.total_buffered().to_string(),
+        ]);
     }
     t
 }
@@ -114,7 +157,7 @@ mod tests {
 
     #[test]
     fn chaos_sweep_runs_clean_at_quick_scale() {
-        let t = chaos_overhead(Scale::Quick, 5);
+        let t = chaos_overhead(Scale::Quick, 5, 1, None);
         assert_eq!(t.len(), PROTOCOLS.len() * LOSS_GRID.len());
         let csv = t.to_csv();
         // The zero-loss rows are pass-through: no retransmissions.
@@ -122,5 +165,30 @@ mod tests {
             let retrans: u64 = line.split(',').nth(2).unwrap().parse().unwrap();
             assert_eq!(retrans, 0, "loss 0.00 must be pass-through: {line}");
         }
+    }
+
+    #[test]
+    fn parallel_chaos_sweep_is_byte_identical_to_sequential() {
+        let dir = std::env::temp_dir().join(format!("causal-chaos-par-{}", std::process::id()));
+        let seq_dir = dir.join("seq");
+        let par_dir = dir.join("par");
+        std::fs::create_dir_all(&seq_dir).unwrap();
+        std::fs::create_dir_all(&par_dir).unwrap();
+        let seq = chaos_overhead(Scale::Quick, 5, 1, Some(&seq_dir));
+        let par = chaos_overhead(Scale::Quick, 5, 4, Some(&par_dir));
+        assert_eq!(seq.to_csv(), par.to_csv(), "tables diverge across jobs");
+        let mut names: Vec<_> = std::fs::read_dir(&seq_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), PROTOCOLS.len() * LOSS_GRID.len());
+        for name in names {
+            let a = std::fs::read(seq_dir.join(&name)).unwrap();
+            let b = std::fs::read(par_dir.join(&name)).unwrap();
+            assert!(!a.is_empty(), "{name:?}: empty trace");
+            assert_eq!(a, b, "{name:?}: traces diverge across jobs");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

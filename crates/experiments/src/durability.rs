@@ -14,11 +14,14 @@
 
 use causal_checker::check;
 use causal_metrics::Table;
+use causal_obs::{BufTracer, TraceEvent};
 use causal_proto::ProtocolKind;
-use causal_simnet::{run, CrashWindow, DurabilityPlan, SimConfig};
+use causal_simnet::{run, run_traced, CrashWindow, DurabilityPlan, SimConfig, SimResult};
 use causal_types::{SimDuration, SimTime, SiteId};
+use std::path::Path;
 
-use crate::Scale;
+use crate::trace::write_trace;
+use crate::{pool, Scale};
 
 /// The recovery modes compared: `(label, wal, checkpoint interval)`.
 pub const MODES: [(&str, bool, Option<u64>); 4] = [
@@ -77,11 +80,19 @@ fn durability_cfg(
     cfg
 }
 
+/// A lowercase, filename-safe protocol slug.
+fn slug(kind: ProtocolKind) -> String {
+    kind.to_string().to_lowercase().replace(' ', "-")
+}
+
 /// Recovery cost vs. durability mode under two overlapping crashes: for
 /// each protocol and mode, the bytes spent on the WAL and on checkpoints
-/// against the sync traffic avoided and the recovery latency. Panics if
-/// any run fails to quiesce or violates causal consistency.
-pub fn durability_sweep(scale: Scale, n: usize) -> Table {
+/// against the sync traffic avoided and the recovery latency, plus the
+/// per-site registry's P² tails and buffered-update total. Runs fan out
+/// over `jobs` threads; with a `trace_dir`, each run's structured trace
+/// lands there as `durability-<protocol>-<mode>.jsonl`. Panics if any run
+/// fails to quiesce or violates causal consistency.
+pub fn durability_sweep(scale: Scale, n: usize, jobs: usize, trace_dir: Option<&Path>) -> Table {
     let mut t = Table::new(
         format!(
             "Durability sweep: WAL/checkpoint recovery vs. full rebuild \
@@ -99,39 +110,71 @@ pub fn durability_sweep(scale: Scale, n: usize) -> Table {
             "failovers",
             "degraded",
             "virtual s",
+            "apply p99 ms",
+            "rtt p99 ms",
+            "buffered",
         ],
     );
     let events = scale.events().min(200);
-    for (kind, partial) in PROTOCOLS {
-        for (label, wal, ckpt_ms) in MODES {
-            let cfg = durability_cfg(kind, partial, n, wal, ckpt_ms, events, 0xD04A_B1E5);
-            let r = run(&cfg);
-            assert_eq!(r.final_pending, 0, "{kind} {label}: no quiescence");
-            let v = check(r.history.as_ref().expect("recorded"));
-            assert!(
-                v.protocol_clean(),
-                "{kind} {label}: causal violations: {:?}",
-                v.examples
-            );
-            let m = &r.metrics;
-            t.push_row(vec![
-                kind.to_string(),
-                label.to_string(),
-                if m.recovery_ns.count() > 0 {
-                    format!("{:.1}", m.recovery_ns.mean() / 1e6)
-                } else {
-                    "-".to_string()
-                },
-                format!("{:.1}", m.sync_bytes as f64 / 1000.0),
-                format!("{:.1}", m.delta_sync_saved_bytes as f64 / 1000.0),
-                format!("{:.1}", m.wal_bytes as f64 / 1000.0),
-                format!("{:.1}", m.checkpoint_bytes as f64 / 1000.0),
-                m.recovery_replays.to_string(),
-                m.fetch_failovers.to_string(),
-                (m.degraded_reads + m.degraded_recoveries).to_string(),
-                format!("{:.1}", r.duration.as_secs_f64()),
-            ]);
+    let units: Vec<(ProtocolKind, bool, &'static str, bool, Option<u64>)> = PROTOCOLS
+        .iter()
+        .flat_map(|&(kind, partial)| {
+            MODES
+                .iter()
+                .map(move |&(label, wal, ckpt)| (kind, partial, label, wal, ckpt))
+        })
+        .collect();
+    let tracing = trace_dir.is_some();
+    let results: Vec<(SimResult, Vec<TraceEvent>)> = pool::run_indexed(jobs, units.len(), |i| {
+        let (kind, partial, _, wal, ckpt_ms) = units[i];
+        let cfg = durability_cfg(kind, partial, n, wal, ckpt_ms, events, 0xD04A_B1E5);
+        let mut tracer = BufTracer::default();
+        if tracing {
+            (run_traced(&cfg, &mut tracer), tracer.events)
+        } else {
+            (run(&cfg), Vec::new())
         }
+    });
+    for ((kind, _, label, _, _), (r, events)) in units.iter().zip(results) {
+        let kind = *kind;
+        assert_eq!(r.final_pending, 0, "{kind} {label}: no quiescence");
+        let v = check(r.history.as_ref().expect("recorded"));
+        assert!(
+            v.protocol_clean(),
+            "{kind} {label}: causal violations: {:?}",
+            v.examples
+        );
+        if let Some(dir) = trace_dir {
+            let path = dir.join(format!("durability-{}-{label}.jsonl", slug(kind)));
+            write_trace(&path, &events).expect("trace write");
+        }
+        let m = &r.metrics;
+        t.push_row(vec![
+            kind.to_string(),
+            label.to_string(),
+            if m.recovery_ns.count() > 0 {
+                format!("{:.1}", m.recovery_ns.mean() / 1e6)
+            } else {
+                "-".to_string()
+            },
+            format!("{:.1}", m.sync_bytes as f64 / 1000.0),
+            format!("{:.1}", m.delta_sync_saved_bytes as f64 / 1000.0),
+            format!("{:.1}", m.wal_bytes as f64 / 1000.0),
+            format!("{:.1}", m.checkpoint_bytes as f64 / 1000.0),
+            m.recovery_replays.to_string(),
+            m.fetch_failovers.to_string(),
+            (m.degraded_reads + m.degraded_recoveries).to_string(),
+            format!("{:.1}", r.duration.as_secs_f64()),
+            match m.apply_latency_p99.estimate() {
+                Some(p) => format!("{:.1}", p / 1e6),
+                None => "-".to_string(),
+            },
+            match m.fetch_rtt_p99.estimate() {
+                Some(p) => format!("{:.1}", p / 1e6),
+                None => "-".to_string(),
+            },
+            m.per_site.total_buffered().to_string(),
+        ]);
     }
     t
 }
@@ -142,7 +185,7 @@ mod tests {
 
     #[test]
     fn durability_sweep_runs_clean_at_quick_scale() {
-        let t = durability_sweep(Scale::Quick, 5);
+        let t = durability_sweep(Scale::Quick, 5, 1, None);
         assert_eq!(t.len(), PROTOCOLS.len() * MODES.len());
         let csv = t.to_csv();
         for (i, line) in csv.lines().skip(1).enumerate() {

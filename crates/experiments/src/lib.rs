@@ -36,5 +36,6 @@ pub mod durability;
 pub mod figures;
 pub mod pool;
 pub mod sweep;
+pub mod trace;
 
 pub use sweep::{CellStats, Mode, Scale, Sweep};

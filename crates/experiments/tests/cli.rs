@@ -105,6 +105,132 @@ fn repro_csv_identical_across_jobs() {
     let _ = std::fs::remove_dir_all(&d4);
 }
 
+/// The cache's fail-soft contract, end to end through the binary: a
+/// corrupted cell file under `<out>/cache` must not fail (or skew) the next
+/// run — it is treated as a miss, recomputed, and atomically rewritten.
+#[test]
+fn repro_survives_a_corrupted_cache_entry() {
+    let dir = tmp_dir("cache-corrupt");
+    let args = [
+        "logsize",
+        "--quick",
+        "--jobs",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ];
+    let cold = repro(&args);
+    assert!(cold.status.success(), "cold run failed");
+    let cache = dir.join("cache");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&cache)
+        .expect("cache directory populated")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "cold run must populate the cache");
+    let victim = &entries[0];
+    let original = std::fs::read(victim).unwrap();
+    std::fs::write(victim, b"{ \"key\": \"garbage, not a cell\"").unwrap();
+
+    let warm = repro(&args);
+    assert!(warm.status.success(), "corrupt cache entry failed the run");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "recomputed cell must reproduce the cold output bit-for-bit"
+    );
+    let rewritten = std::fs::read(victim).unwrap();
+    assert_eq!(
+        rewritten, original,
+        "corrupt entry must be recomputed and rewritten in place"
+    );
+    assert!(
+        std::fs::read_dir(&cache).unwrap().all(|e| e
+            .unwrap()
+            .path()
+            .extension()
+            .is_some_and(|x| x == "json")),
+        "atomic rewrite must not leave temp files behind"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tracing acceptance property, end to end through the binary: the
+/// chaos sweep's table and every JSONL trace of `--jobs 4` are
+/// byte-identical to `--jobs 1`.
+#[test]
+fn repro_chaos_traces_identical_across_jobs() {
+    let run = |jobs: &str, tag: &str| {
+        let traces = tmp_dir(tag);
+        std::fs::create_dir_all(&traces).unwrap();
+        let out = repro(&[
+            "chaos",
+            "--quick",
+            "--jobs",
+            jobs,
+            "--trace-dir",
+            traces.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "chaos run (--jobs {jobs}) failed");
+        (out.stdout, traces)
+    };
+    let (seq_out, seq_dir) = run("1", "chaos-seq");
+    let (par_out, par_dir) = run("4", "chaos-par");
+    assert_eq!(
+        seq_out, par_out,
+        "chaos table must be byte-identical across job counts"
+    );
+    let mut names: Vec<_> = std::fs::read_dir(&seq_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "traces must be written");
+    for name in names {
+        let a = std::fs::read(seq_dir.join(&name)).unwrap();
+        let b = std::fs::read(par_dir.join(&name)).unwrap();
+        assert!(!a.is_empty(), "{name:?}: empty trace");
+        assert_eq!(a, b, "{name:?}: traces diverge across job counts");
+    }
+    let _ = std::fs::remove_dir_all(&seq_dir);
+    let _ = std::fs::remove_dir_all(&par_dir);
+}
+
+/// `--trace` + `--verify-trace` close the loop on a single run: the trace
+/// is written as JSONL and its reconstructed causal chains pass the
+/// checker.
+#[test]
+fn simulate_writes_and_verifies_a_trace() {
+    let dir = tmp_dir("sim-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    let out = simulate(&[
+        "--protocol",
+        "opt-track",
+        "--n",
+        "6",
+        "--events",
+        "40",
+        "--trace",
+        path.to_str().unwrap(),
+        "--verify-trace",
+    ]);
+    assert!(out.status.success(), "traced run failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pass the checker"), "stdout: {stdout}");
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    assert!(!text.is_empty(), "trace must not be empty");
+    assert!(
+        text.lines().all(|l| l.starts_with("{\"t\":")),
+        "every line must be a JSON object led by the timestamp"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = simulate(&["--seeds", "2", "--verify-trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
+}
+
 #[test]
 fn simulate_rejects_bad_parallel_flags() {
     let out = simulate(&["--jobs", "0"]);

@@ -12,11 +12,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod quantile;
+pub mod registry;
 pub mod run;
 pub mod stats;
 pub mod table;
 
 pub use quantile::P2Quantile;
+pub use registry::{SiteMetrics, SiteRegistry};
 pub use run::RunMetrics;
 pub use stats::{MessageStats, StatAccum};
 pub use table::Table;

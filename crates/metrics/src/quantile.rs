@@ -42,13 +42,16 @@ impl P2Quantile {
         self.count
     }
 
-    /// Current estimate (`None` until five samples arrived; exact for the
-    /// first five).
+    /// Current estimate (exact for the first five samples, P² marker
+    /// approximation afterwards; `None` before the first sample).
     pub fn estimate(&self) -> Option<f64> {
         match self.count {
             0 => None,
-            1..=4 => {
-                // Exact small-sample quantile from the sorted prefix.
+            // Exact small-sample quantile from the sorted prefix. This must
+            // cover count == 5 too: the markers are initialized but not yet
+            // adjusted there, and the P² answer (`heights[2]`, the median)
+            // would ignore `q` entirely.
+            1..=5 => {
                 let mut v: Vec<f64> = self.heights[..self.count as usize].to_vec();
                 v.sort_by(|a, b| a.total_cmp(b));
                 let idx = (self.q * (v.len() - 1) as f64).round() as usize;
@@ -199,10 +202,29 @@ mod tests {
         assert!(rel < 0.1, "P² p99 {est} vs exact {exact} (rel {rel:.2})");
     }
 
+    /// Regression: at exactly five samples the old `estimate()` fell through
+    /// to the P² marker path and returned `heights[2]` — the median — for
+    /// any q. A q = 0.99 estimator over five samples must return the max.
+    #[test]
+    fn p99_exact_at_five_samples() {
+        let mut p = P2Quantile::new(0.99);
+        for x in [10.0, 50.0, 20.0, 40.0, 30.0] {
+            p.record(x);
+        }
+        assert_eq!(p.count(), 5);
+        assert_eq!(p.estimate(), Some(50.0), "q=0.99 of 5 samples is the max");
+
+        let mut lo = P2Quantile::new(0.01);
+        for x in [10.0, 50.0, 20.0, 40.0, 30.0] {
+            lo.record(x);
+        }
+        assert_eq!(lo.estimate(), Some(10.0), "q=0.01 of 5 samples is the min");
+    }
+
     proptest! {
         #[test]
         fn prop_estimate_within_observed_range(
-            xs in proptest::collection::vec(-1e4f64..1e4, 5..400),
+            xs in proptest::collection::vec(-1e4f64..1e4, 1..400),
             q in 0.05f64..0.95,
         ) {
             let mut p = P2Quantile::new(q);
@@ -214,6 +236,23 @@ mod tests {
             let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9,
                 "estimate {est} outside [{lo}, {hi}]");
+        }
+
+        /// Across the whole exact-path regime — including the count == 5
+        /// boundary — the estimate must equal the exact sorted-rank
+        /// quantile of the samples seen so far.
+        #[test]
+        fn prop_small_sample_estimates_are_exact(
+            xs in proptest::collection::vec(-1e4f64..1e4, 1..=5),
+            q in 0.01f64..0.99,
+        ) {
+            let mut p = P2Quantile::new(q);
+            for &x in &xs {
+                p.record(x);
+            }
+            let est = p.estimate().unwrap();
+            let exact = exact_quantile(&xs, q);
+            prop_assert_eq!(est, exact, "count {}", xs.len());
         }
 
         #[test]

@@ -1,6 +1,7 @@
 //! Per-run metric aggregation.
 
 use crate::quantile::P2Quantile;
+use crate::registry::SiteRegistry;
 use crate::stats::{MessageStats, StatAccum};
 use causal_types::MsgKind;
 use serde::{Deserialize, Serialize};
@@ -94,6 +95,14 @@ pub struct RunMetrics {
     /// Recoveries finished in degraded mode: a sync deadline expired before
     /// every expected peer responded (correlated-failure overlap).
     pub degraded_recoveries: u64,
+    /// Remote-fetch round-trip time, virtual nanoseconds (issue → return,
+    /// including failover re-issues' tail).
+    pub fetch_rtt_ns: StatAccum,
+    /// p99 of the fetch RTT (streaming P² estimate).
+    pub fetch_rtt_p99: P2Quantile,
+    /// Per-site breakdown of the counters above (sends, delivers, applies,
+    /// buffering, retransmits, dwell, fetch RTT).
+    pub per_site: SiteRegistry,
 }
 
 impl Default for RunMetrics {
@@ -131,6 +140,9 @@ impl Default for RunMetrics {
             fetch_failovers: 0,
             degraded_reads: 0,
             degraded_recoveries: 0,
+            fetch_rtt_ns: StatAccum::default(),
+            fetch_rtt_p99: P2Quantile::new(0.99),
+            per_site: SiteRegistry::new(),
         }
     }
 }
@@ -145,6 +157,13 @@ impl RunMetrics {
     pub fn record_apply_latency(&mut self, ns: f64) {
         self.apply_latency_ns.record(ns);
         self.apply_latency_p99.record(ns);
+    }
+
+    /// Record one remote-fetch round trip (run total + per-site, mean + p99).
+    pub fn record_fetch_rtt(&mut self, site_index: usize, ns: f64) {
+        self.fetch_rtt_ns.record(ns);
+        self.fetch_rtt_p99.record(ns);
+        self.per_site.site_mut(site_index).fetch_rtt_ns.record(ns);
     }
 
     /// Record a message. `measured` marks post-warm-up attribution.
@@ -206,6 +225,7 @@ impl RunMetrics {
         self.fetch_failovers += other.fetch_failovers;
         self.degraded_reads += other.degraded_reads;
         self.degraded_recoveries += other.degraded_recoveries;
+        self.per_site.merge(&other.per_site);
         // StatAccum cannot merge exactly without the raw moments; fold the
         // other's summary as a weighted contribution.
         for (mine, theirs) in [
@@ -214,6 +234,7 @@ impl RunMetrics {
             (&mut self.pending_samples, &other.pending_samples),
             (&mut self.transit_ns, &other.transit_ns),
             (&mut self.recovery_ns, &other.recovery_ns),
+            (&mut self.fetch_rtt_ns, &other.fetch_rtt_ns),
         ] {
             for _ in 0..theirs.count() {
                 mine.record(theirs.mean());
@@ -298,6 +319,26 @@ mod tests {
         assert_eq!(a.sync_count, 7);
         assert_eq!(a.sync_bytes, 100);
         assert_eq!(a.recovery_ns.count(), 1);
+    }
+
+    #[test]
+    fn fetch_rtt_lands_in_totals_and_per_site() {
+        let mut m = RunMetrics::new();
+        m.record_fetch_rtt(2, 1_000.0);
+        m.record_fetch_rtt(2, 3_000.0);
+        m.record_fetch_rtt(0, 500.0);
+        assert_eq!(m.fetch_rtt_ns.count(), 3);
+        assert_eq!(m.fetch_rtt_p99.estimate(), Some(3_000.0));
+        assert_eq!(m.per_site.site(2).unwrap().fetch_rtt_ns.count(), 2);
+        assert_eq!(m.per_site.site(0).unwrap().fetch_rtt_ns.count(), 1);
+
+        let mut other = RunMetrics::new();
+        other.record_fetch_rtt(1, 2_000.0);
+        other.per_site.site_mut(1).sends = 4;
+        m.merge(&other);
+        assert_eq!(m.fetch_rtt_ns.count(), 4);
+        assert_eq!(m.per_site.site(1).unwrap().fetch_rtt_ns.count(), 1);
+        assert_eq!(m.per_site.site(1).unwrap().sends, 4);
     }
 
     #[test]

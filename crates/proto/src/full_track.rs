@@ -12,7 +12,7 @@
 use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
-use crate::pending::PendingQueues;
+use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
@@ -54,6 +54,7 @@ pub struct FullTrack {
     own_writes: u64,
     pending: PendingQueues<PendingSm>,
     outstanding_fetch: Option<VarId>,
+    trace: ProtoTrace,
 }
 
 impl FullTrack {
@@ -74,6 +75,7 @@ impl FullTrack {
             own_writes: 0,
             pending: PendingQueues::new(n),
             outstanding_fetch: None,
+            trace: ProtoTrace::default(),
         }
     }
 
@@ -85,6 +87,18 @@ impl FullTrack {
     /// * the sender's row counts this very update, hence
     ///   `Apply_k[sender] ≥ W[sender][k] − 1`.
     fn ready(state: &ApplyState, me: SiteId, sender: SiteId, m: &PendingSm) -> bool {
+        Self::blocking_dep(state, me, sender, m).is_none()
+    }
+
+    /// The first unsatisfied dependency of `m` at this site, as
+    /// `(site, required apply count)` — `None` when `A_OPT` holds. `ready`
+    /// is this predicate's emptiness; the trace records the witness.
+    fn blocking_dep(
+        state: &ApplyState,
+        me: SiteId,
+        sender: SiteId,
+        m: &PendingSm,
+    ) -> Option<(SiteId, u64)> {
         let n = state.apply.len();
         for l in SiteId::all(n) {
             let required = m.write.get(l, me);
@@ -94,10 +108,10 @@ impl FullTrack {
                 required
             };
             if state.apply[l.index()] < threshold {
-                return false;
+                return Some((l, threshold));
             }
         }
-        true
+        None
     }
 
     fn apply_update(state: &mut ApplyState, sender: SiteId, m: PendingSm) {
@@ -209,14 +223,25 @@ impl ProtocolSite for FullTrack {
                 let SmMeta::FullTrack { write } = sm.meta else {
                     panic!("Full-Track site received a foreign SM meta");
                 };
-                self.pending.push(
-                    from,
-                    PendingSm {
-                        var: sm.var,
-                        value: sm.value,
-                        write,
-                    },
-                );
+                let m = PendingSm {
+                    var: sm.var,
+                    value: sm.value,
+                    write,
+                };
+                if self.trace.enabled() {
+                    if let Some((dep_site, dep_clock)) =
+                        Self::blocking_dep(&self.state, self.site, from, &m)
+                    {
+                        self.trace.emit(ProtoTraceEvent::Buffered {
+                            origin: m.value.writer.site,
+                            clock: m.value.writer.clock,
+                            var: m.var,
+                            dep_site,
+                            dep_clock,
+                        });
+                    }
+                }
+                self.pending.push(from, m);
                 self.drain()
             }
             Msg::Fm(fm) => {
@@ -374,6 +399,14 @@ impl ProtocolSite for FullTrack {
             Some(var),
             "abort of a fetch that is not outstanding"
         );
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    fn take_trace(&mut self) -> Vec<ProtoTraceEvent> {
+        self.trace.take()
     }
 }
 

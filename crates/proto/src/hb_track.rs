@@ -20,7 +20,7 @@
 use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
-use crate::pending::PendingQueues;
+use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
@@ -57,6 +57,7 @@ pub struct HbTrack {
     own_writes: u64,
     pending: PendingQueues<PendingSm>,
     outstanding_fetch: Option<VarId>,
+    trace: ProtoTrace,
 }
 
 impl HbTrack {
@@ -76,6 +77,7 @@ impl HbTrack {
             own_writes: 0,
             pending: PendingQueues::new(n),
             outstanding_fetch: None,
+            trace: ProtoTrace::default(),
         }
     }
 
@@ -84,6 +86,18 @@ impl HbTrack {
     /// before under `→`, not `→co`: the site waits for more than causality
     /// requires.
     fn ready(state: &ApplyState, me: SiteId, sender: SiteId, m: &PendingSm) -> bool {
+        Self::blocking_dep(state, me, sender, m).is_none()
+    }
+
+    /// First unsatisfied dependency (witness for the trace); under HB
+    /// semantics it may well be a *false* one — that is the point of the
+    /// `falseco` experiment.
+    fn blocking_dep(
+        state: &ApplyState,
+        me: SiteId,
+        sender: SiteId,
+        m: &PendingSm,
+    ) -> Option<(SiteId, u64)> {
         let n = state.apply.len();
         for l in SiteId::all(n) {
             let required = m.write.get(l, me);
@@ -93,10 +107,10 @@ impl HbTrack {
                 required
             };
             if state.apply[l.index()] < threshold {
-                return false;
+                return Some((l, threshold));
             }
         }
-        true
+        None
     }
 
     fn apply_update(state: &mut ApplyState, sender: SiteId, m: PendingSm) {
@@ -190,14 +204,25 @@ impl ProtocolSite for HbTrack {
                 let SmMeta::FullTrack { write } = sm.meta else {
                     panic!("HB-Track site received a foreign SM meta");
                 };
-                self.pending.push(
-                    from,
-                    PendingSm {
-                        var: sm.var,
-                        value: sm.value,
-                        write,
-                    },
-                );
+                let m = PendingSm {
+                    var: sm.var,
+                    value: sm.value,
+                    write,
+                };
+                if self.trace.enabled() {
+                    if let Some((dep_site, dep_clock)) =
+                        Self::blocking_dep(&self.state, self.site, from, &m)
+                    {
+                        self.trace.emit(ProtoTraceEvent::Buffered {
+                            origin: m.value.writer.site,
+                            clock: m.value.writer.clock,
+                            var: m.var,
+                            dep_site,
+                            dep_clock,
+                        });
+                    }
+                }
+                self.pending.push(from, m);
                 self.drain()
             }
             Msg::Fm(fm) => {
@@ -337,6 +362,14 @@ impl ProtocolSite for HbTrack {
             Some(var),
             "abort of a fetch that is not outstanding"
         );
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    fn take_trace(&mut self) -> Vec<ProtoTraceEvent> {
+        self.trace.take()
     }
 }
 

@@ -63,6 +63,7 @@ pub use msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
 pub use opt_track::OptTrack;
 pub use opt_track_crp::OptTrackCrp;
 pub use optp::OptP;
+pub use pending::{ProtoTrace, ProtoTraceEvent};
 pub use reliable::{Frame, OwnLedger, PeerAckInfo, SyncState};
 pub use replication::Replication;
 pub use site::ProtocolSite;

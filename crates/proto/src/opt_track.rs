@@ -15,7 +15,7 @@
 use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
-use crate::pending::PendingQueues;
+use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
@@ -69,6 +69,7 @@ pub struct OptTrack {
     pending: PendingQueues<PendingSm>,
     outstanding_fetch: Option<VarId>,
     prune: PruneConfig,
+    trace: ProtoTrace,
 }
 
 impl OptTrack {
@@ -100,6 +101,7 @@ impl OptTrack {
             pending: PendingQueues::new(n),
             outstanding_fetch: None,
             prune,
+            trace: ProtoTrace::default(),
         }
     }
 
@@ -108,10 +110,17 @@ impl OptTrack {
     /// the sender itself are additionally ordered by the per-sender FIFO
     /// queue (multicast sends leave in clock order over FIFO channels).
     fn ready(state: &ApplyState, _sender: SiteId, m: &PendingSm) -> bool {
+        Self::blocking_dep(state, m).is_none()
+    }
+
+    /// The first piggybacked record that still blocks `m` here, as
+    /// `(origin, clock)` — `None` when `A_OPT` holds.
+    fn blocking_dep(state: &ApplyState, m: &PendingSm) -> Option<(SiteId, u64)> {
         m.log
             .iter()
             .filter(|e| e.dests.contains(state.me))
-            .all(|e| state.last_clock[e.origin.index()] >= e.clock)
+            .find(|e| state.last_clock[e.origin.index()] < e.clock)
+            .map(|e| (e.origin, e.clock))
     }
 
     fn apply_update(state: &mut ApplyState, sender: SiteId, m: PendingSm) {
@@ -150,8 +159,16 @@ impl OptTrack {
     /// prune what this site already knows to be applied here, normalize.
     fn merge_on_read(&mut self, incoming: &Log) {
         self.log.merge(incoming, self.prune);
+        let merged = self.log.len();
         self.log.prune_applied(self.site, &self.state.last_clock);
         self.log.purge(self.prune);
+        let remaining = self.log.len();
+        if merged > remaining {
+            self.trace.emit(ProtoTraceEvent::LogPruned {
+                removed: merged - remaining,
+                remaining,
+            });
+        }
     }
 
     /// Current log length (diagnostics; the paper discusses amortized log
@@ -251,15 +268,24 @@ impl ProtocolSite for OptTrack {
                 let SmMeta::OptTrack { clock, log } = sm.meta else {
                     panic!("Opt-Track site received a foreign SM meta");
                 };
-                self.pending.push(
-                    from,
-                    PendingSm {
-                        var: sm.var,
-                        value: sm.value,
-                        clock,
-                        log,
-                    },
-                );
+                let m = PendingSm {
+                    var: sm.var,
+                    value: sm.value,
+                    clock,
+                    log,
+                };
+                if self.trace.enabled() {
+                    if let Some((dep_site, dep_clock)) = Self::blocking_dep(&self.state, &m) {
+                        self.trace.emit(ProtoTraceEvent::Buffered {
+                            origin: m.value.writer.site,
+                            clock: m.value.writer.clock,
+                            var: m.var,
+                            dep_site,
+                            dep_clock,
+                        });
+                    }
+                }
+                self.pending.push(from, m);
                 self.drain()
             }
             Msg::Fm(fm) => {
@@ -428,6 +454,14 @@ impl ProtocolSite for OptTrack {
             "abort of a fetch that is not outstanding"
         );
     }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    fn take_trace(&mut self) -> Vec<ProtoTraceEvent> {
+        self.trace.take()
+    }
 }
 
 #[cfg(test)]
@@ -565,6 +599,52 @@ mod tests {
         let eff = sys[2].on_message(SiteId(0), Msg::Sm(sm_x1_to_2));
         assert_eq!(applied(&eff), vec![w_x1, w_x2]);
         assert_eq!(sys[2].pending_len(), 0);
+    }
+
+    #[test]
+    fn trace_records_buffering_with_blocking_dependency() {
+        // Same causal shape as `transitive_dependency_through_partial_replicas`,
+        // with tracing on at the parking site: the Buffered event must name
+        // the write that parks and the dependency that blocks it.
+        let mut sys = toy_system();
+        sys[2].set_tracing(true);
+        let (_w_x3, e0) = sys[0].write(VarId(3), 10, 0);
+        let sm_x3_to_2 = sends(&e0)[0].1.clone();
+        let (_w_x1, e1) = sys[0].write(VarId(1), 11, 0);
+        let sm_x1_to_1 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_x1_to_1));
+        sys[1].read(VarId(1));
+        let (w_x2, e2) = sys[1].write(VarId(2), 12, 0);
+        let sm_x2_to_2 = sends(&e2)
+            .iter()
+            .find(|(t, _)| *t == SiteId(2))
+            .unwrap()
+            .1
+            .clone();
+
+        sys[2].on_message(SiteId(1), Msg::Sm(sm_x2_to_2));
+        let evs = sys[2].take_trace();
+        assert_eq!(
+            evs,
+            vec![ProtoTraceEvent::Buffered {
+                origin: w_x2.site,
+                clock: w_x2.clock,
+                var: VarId(2),
+                dep_site: SiteId(0),
+                dep_clock: 2,
+            }],
+            "the parked write waits on s0's writes; the witness found is \
+             s0's second write (x1, clock 2), the one s1 actually read"
+        );
+
+        // An update that applies on arrival emits nothing.
+        sys[2].on_message(SiteId(0), Msg::Sm(sm_x3_to_2));
+        assert!(sys[2].take_trace().is_empty());
     }
 
     #[test]

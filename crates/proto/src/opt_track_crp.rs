@@ -11,7 +11,7 @@
 use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Msg, Sm, SmMeta};
-use crate::pending::PendingQueues;
+use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
@@ -54,6 +54,7 @@ pub struct OptTrackCrp {
     log: CrpLog,
     state: ApplyState,
     pending: PendingQueues<PendingSm>,
+    trace: ProtoTrace,
 }
 
 impl OptTrackCrp {
@@ -78,15 +79,23 @@ impl OptTrackCrp {
                 applied_effects: Vec::new(),
             },
             pending: PendingQueues::new(n),
+            trace: ProtoTrace::default(),
         }
     }
 
     /// Activation predicate: every dependency tuple must be applied here.
     /// The sender's own tuples are additionally covered by per-sender FIFO.
     fn ready(state: &ApplyState, _sender: SiteId, m: &PendingSm) -> bool {
+        Self::blocking_dep(state, m).is_none()
+    }
+
+    /// The first dependency tuple not yet applied here (trace witness);
+    /// `None` when the predicate holds.
+    fn blocking_dep(state: &ApplyState, m: &PendingSm) -> Option<(SiteId, u64)> {
         m.log
             .iter()
-            .all(|w| state.last_clock[w.site.index()] >= w.clock)
+            .find(|w| state.last_clock[w.site.index()] < w.clock)
+            .map(|w| (w.site, w.clock))
     }
 
     fn apply_update(state: &mut ApplyState, sender: SiteId, m: PendingSm) {
@@ -184,15 +193,24 @@ impl ProtocolSite for OptTrackCrp {
                 let SmMeta::Crp { clock, log } = sm.meta else {
                     panic!("Opt-Track-CRP site received a foreign SM meta");
                 };
-                self.pending.push(
-                    from,
-                    PendingSm {
-                        var: sm.var,
-                        value: sm.value,
-                        clock,
-                        log,
-                    },
-                );
+                let m = PendingSm {
+                    var: sm.var,
+                    value: sm.value,
+                    clock,
+                    log,
+                };
+                if self.trace.enabled() {
+                    if let Some((dep_site, dep_clock)) = Self::blocking_dep(&self.state, &m) {
+                        self.trace.emit(ProtoTraceEvent::Buffered {
+                            origin: m.value.writer.site,
+                            clock: m.value.writer.clock,
+                            var: m.var,
+                            dep_site,
+                            dep_clock,
+                        });
+                    }
+                }
+                self.pending.push(from, m);
                 self.drain()
             }
             other => panic!(
@@ -314,6 +332,14 @@ impl ProtocolSite for OptTrackCrp {
 
     fn clone_box(&self) -> Box<dyn ProtocolSite> {
         Box::new(self.clone())
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    fn take_trace(&mut self) -> Vec<ProtoTraceEvent> {
+        self.trace.take()
     }
 }
 

@@ -12,7 +12,7 @@
 use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::{Msg, Sm, SmMeta};
-use crate::pending::PendingQueues;
+use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
 use crate::site::ProtocolSite;
@@ -46,6 +46,7 @@ pub struct OptP {
     write_clock: VectorClock,
     state: ApplyState,
     pending: PendingQueues<PendingSm>,
+    trace: ProtoTrace,
 }
 
 impl OptP {
@@ -64,6 +65,7 @@ impl OptP {
                 applied_effects: Vec::new(),
             },
             pending: PendingQueues::new(n),
+            trace: ProtoTrace::default(),
         }
     }
 
@@ -71,14 +73,23 @@ impl OptP {
     /// piggybacked vector must be applied; the sender's component counts the
     /// update itself.
     fn ready(state: &ApplyState, sender: SiteId, m: &PendingSm) -> bool {
-        m.write.iter().all(|(l, required)| {
-            let threshold = if l == sender {
-                required.saturating_sub(1)
-            } else {
-                required
-            };
-            state.apply[l.index()] >= threshold
-        })
+        Self::blocking_dep(state, sender, m).is_none()
+    }
+
+    /// The first vector component still short of its threshold (trace
+    /// witness); `None` when the predicate holds.
+    fn blocking_dep(state: &ApplyState, sender: SiteId, m: &PendingSm) -> Option<(SiteId, u64)> {
+        m.write
+            .iter()
+            .map(|(l, required)| {
+                let threshold = if l == sender {
+                    required.saturating_sub(1)
+                } else {
+                    required
+                };
+                (l, threshold)
+            })
+            .find(|&(l, threshold)| state.apply[l.index()] < threshold)
     }
 
     fn apply_update(state: &mut ApplyState, sender: SiteId, m: PendingSm) {
@@ -156,14 +167,23 @@ impl ProtocolSite for OptP {
                 let SmMeta::OptP { write } = sm.meta else {
                     panic!("optP site received a foreign SM meta");
                 };
-                self.pending.push(
-                    from,
-                    PendingSm {
-                        var: sm.var,
-                        value: sm.value,
-                        write,
-                    },
-                );
+                let m = PendingSm {
+                    var: sm.var,
+                    value: sm.value,
+                    write,
+                };
+                if self.trace.enabled() {
+                    if let Some((dep_site, dep_clock)) = Self::blocking_dep(&self.state, from, &m) {
+                        self.trace.emit(ProtoTraceEvent::Buffered {
+                            origin: m.value.writer.site,
+                            clock: m.value.writer.clock,
+                            var: m.var,
+                            dep_site,
+                            dep_clock,
+                        });
+                    }
+                }
+                self.pending.push(from, m);
                 self.drain()
             }
             other => panic!(
@@ -274,6 +294,14 @@ impl ProtocolSite for OptP {
 
     fn clone_box(&self) -> Box<dyn ProtocolSite> {
         Box::new(self.clone())
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    fn take_trace(&mut self) -> Vec<ProtoTraceEvent> {
+        self.trace.take()
     }
 }
 

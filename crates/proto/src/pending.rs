@@ -11,8 +11,79 @@
 //! * only queue *heads* are predicate candidates; applying one update can
 //!   enable others, so the drain loop iterates to a fixpoint.
 
-use causal_types::SiteId;
+use causal_types::{SiteId, VarId};
 use std::collections::VecDeque;
+
+/// A protocol-level trace event: what the activation predicate and log
+/// maintenance decided, with enough identity to explain *why*. The driver
+/// drains these via `ProtocolSite::take_trace` and maps them onto its own
+/// trace stream (protocols have no access to simulated time, so events are
+/// timestamped at drain).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoTraceEvent {
+    /// An arriving update failed the activation predicate and was parked:
+    /// the write `(origin, clock)` on `var` waits for `dep_site` to reach
+    /// `dep_clock` (the first unsatisfied dependency found).
+    Buffered {
+        /// The parked write's origin site.
+        origin: SiteId,
+        /// The parked write's clock at its origin.
+        clock: u64,
+        /// Variable the parked write targets.
+        var: VarId,
+        /// Origin of the first unsatisfied dependency.
+        dep_site: SiteId,
+        /// Required clock (or per-site write count) from `dep_site`.
+        dep_clock: u64,
+    },
+    /// Opt-Track log maintenance pruned entries (conditions 1/2 + PURGE).
+    LogPruned {
+        /// Entries removed.
+        removed: usize,
+        /// Entries remaining afterwards.
+        remaining: usize,
+    },
+}
+
+/// A tiny opt-in event buffer each protocol embeds. Disabled (and
+/// allocation-free) by default; the driver switches it on per run.
+#[derive(Clone, Debug, Default)]
+pub struct ProtoTrace {
+    buf: Option<Vec<ProtoTraceEvent>>,
+}
+
+impl ProtoTrace {
+    /// Whether events should be recorded.
+    pub fn enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Turn recording on or off (off discards anything buffered).
+    pub fn set_enabled(&mut self, on: bool) {
+        if on {
+            if self.buf.is_none() {
+                self.buf = Some(Vec::new());
+            }
+        } else {
+            self.buf = None;
+        }
+    }
+
+    /// Record one event (no-op when disabled).
+    pub fn emit(&mut self, ev: ProtoTraceEvent) {
+        if let Some(buf) = &mut self.buf {
+            buf.push(ev);
+        }
+    }
+
+    /// Drain everything recorded since the last take.
+    pub fn take(&mut self) -> Vec<ProtoTraceEvent> {
+        match &mut self.buf {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+}
 
 /// Per-sender FIFO queues of parked updates of type `M`.
 #[derive(Clone, Debug)]
@@ -94,6 +165,37 @@ impl<M> PendingQueues<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_buffer_is_opt_in() {
+        let mut t = ProtoTrace::default();
+        assert!(!t.enabled());
+        t.emit(ProtoTraceEvent::LogPruned {
+            removed: 1,
+            remaining: 0,
+        });
+        assert!(t.take().is_empty(), "disabled trace records nothing");
+
+        t.set_enabled(true);
+        t.emit(ProtoTraceEvent::Buffered {
+            origin: SiteId(1),
+            clock: 3,
+            var: VarId(0),
+            dep_site: SiteId(0),
+            dep_clock: 2,
+        });
+        let evs = t.take();
+        assert_eq!(evs.len(), 1);
+        assert!(t.take().is_empty(), "take drains");
+        assert!(t.enabled(), "take keeps recording on");
+
+        t.emit(ProtoTraceEvent::LogPruned {
+            removed: 2,
+            remaining: 5,
+        });
+        t.set_enabled(false);
+        assert!(t.take().is_empty(), "disabling discards the buffer");
+    }
 
     #[test]
     fn drains_in_fifo_order_per_sender() {

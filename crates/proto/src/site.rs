@@ -3,6 +3,7 @@
 use crate::effect::{Effect, ReadResult};
 use crate::factory::ProtocolKind;
 use crate::msg::Msg;
+use crate::pending::ProtoTraceEvent;
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use causal_types::{SiteId, SizeModel, VarId, VersionedValue, WriteId};
 
@@ -75,6 +76,20 @@ pub trait ProtocolSite: Send {
     /// third-party site that never opted into durability fails loudly.
     fn clone_box(&self) -> Box<dyn ProtocolSite> {
         panic!("{} does not support checkpointing", self.kind())
+    }
+
+    /// Switch protocol-level trace recording on or off (buffering and log
+    /// pruning decisions, drained via [`ProtocolSite::take_trace`]). Off by
+    /// default; the no-op default keeps third-party sites working — they
+    /// simply emit no events.
+    fn set_tracing(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drain the protocol-level trace events recorded since the last take.
+    /// Empty unless [`ProtocolSite::set_tracing`] enabled recording.
+    fn take_trace(&mut self) -> Vec<ProtoTraceEvent> {
+        Vec::new()
     }
 
     /// Abandon the single outstanding remote fetch (degraded read): the

@@ -149,8 +149,9 @@ impl DurableStore {
     }
 
     /// Append one record (fsync'd before the transition is externally
-    /// visible, in the durability fiction of the model).
-    pub fn append(&mut self, rec: WalRecord, model: &SizeModel) {
+    /// visible, in the durability fiction of the model). Returns the
+    /// record's modeled size in bytes.
+    pub fn append(&mut self, rec: WalRecord, model: &SizeModel) -> u64 {
         if let WalRecord::Recv {
             msg: Msg::Sm(sm), ..
         } = &rec
@@ -159,9 +160,11 @@ impl DurableStore {
             let hw = &mut self.seen[w.site.index()];
             *hw = (*hw).max(w.clock);
         }
+        let bytes = rec.meta_size(model);
         self.appends += 1;
-        self.append_bytes += rec.meta_size(model);
+        self.append_bytes += bytes;
         self.log.push(rec);
+        bytes
     }
 
     /// `true` when `msg` is an update this store already durably received —
@@ -175,29 +178,35 @@ impl DurableStore {
 
     /// Snapshot `site` as the new checkpoint image and truncate the log.
     /// `seen` is *not* reset (see module docs). Re-establishes durability
-    /// after media loss.
-    pub fn take_checkpoint(&mut self, site: &dyn ProtocolSite, model: &SizeModel) {
+    /// after media loss. Returns the image's modeled size in bytes.
+    pub fn take_checkpoint(&mut self, site: &dyn ProtocolSite, model: &SizeModel) -> u64 {
         self.checkpoint = Some(site.clone_box());
         self.log.clear();
         self.lost = false;
+        let bytes = site.local_meta_size(model);
         self.checkpoints += 1;
-        self.checkpoint_bytes += site.local_meta_size(model);
+        self.checkpoint_bytes += bytes;
+        bytes
     }
 
     /// Periodic-checkpoint variant of [`DurableStore::take_checkpoint`]:
     /// skips the deep `clone_box` when the log is empty and a checkpoint
     /// image already exists, because replay from that image would rebuild
-    /// the exact same state. Returns whether a checkpoint was taken.
+    /// the exact same state. Returns the image's modeled size when a
+    /// checkpoint was taken, `None` when skipped.
     ///
     /// Not safe after recovery: `install_sync` is applied directly to the
     /// live site and never journaled, so the post-recovery checkpoint must
     /// use the unconditional [`DurableStore::take_checkpoint`].
-    pub fn take_checkpoint_if_dirty(&mut self, site: &dyn ProtocolSite, model: &SizeModel) -> bool {
+    pub fn take_checkpoint_if_dirty(
+        &mut self,
+        site: &dyn ProtocolSite,
+        model: &SizeModel,
+    ) -> Option<u64> {
         if self.log.is_empty() && self.checkpoint.is_some() && !self.lost {
-            return false;
+            return None;
         }
-        self.take_checkpoint(site, model);
-        true
+        Some(self.take_checkpoint(site, model))
     }
 
     /// Media loss: discard checkpoint, log and high-water marks. Recovery

@@ -32,5 +32,5 @@ pub mod transport;
 
 pub use channel::{BurstWindow, ChannelFault, FaultPlan, LatencyModel, PartitionWindow};
 pub use kernel::{EventHeap, SimEvent};
-pub use sim::{run, CrashWindow, DurabilityPlan, PauseWindow, SimConfig, SimResult};
+pub use sim::{run, run_traced, CrashWindow, DurabilityPlan, PauseWindow, SimConfig, SimResult};
 pub use transport::{Transport, TransportCmd, TransportTuning};

@@ -7,9 +7,11 @@ use causal_checker::History;
 use causal_clocks::PruneConfig;
 use causal_memory::Placement;
 use causal_metrics::RunMetrics;
+use causal_obs::{EventKind, NoopTracer, TraceEvent, Tracer};
 use causal_proto::{
-    build_site, DurableStore, Effect, Fm, Frame, Msg, OwnLedger, PeerAckInfo, ProtocolConfig,
-    ProtocolKind, ProtocolSite, ReadResult, Replication, SmMeta, SyncState, WalRecord,
+    build_site, DurableStore, Effect, Fm, Frame, Msg, OwnLedger, PeerAckInfo, ProtoTraceEvent,
+    ProtocolConfig, ProtocolKind, ProtocolSite, ReadResult, Replication, SmMeta, SyncState,
+    WalRecord,
 };
 use causal_types::WriteId;
 use causal_types::{MetaSized, OpKind, SimDuration, SimTime, SiteId, SizeModel, VarId};
@@ -242,6 +244,8 @@ struct BlockedFetch {
     /// crash-recovery re-issue so that stale [`SimEvent::FetchDeadline`]
     /// timers are recognized and ignored.
     attempt: u32,
+    /// Issue instant of the current attempt, for the fetch-RTT statistic.
+    issued_at: SimTime,
 }
 
 /// How long a recovering site waits for its expected `SyncResp`s before
@@ -303,6 +307,14 @@ struct Chaos {
 
 /// Run one simulation to quiescence.
 pub fn run(cfg: &SimConfig) -> SimResult {
+    run_traced(cfg, &mut NoopTracer)
+}
+
+/// Run one simulation to quiescence, emitting structured trace events into
+/// `tracer`. With a disabled tracer ([`NoopTracer`]) this is exactly
+/// [`run`]: every emission site is gated on `tracer.enabled()` and the
+/// protocol-side trace buffers are never allocated.
+pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
     let n = cfg.workload.n;
     assert_eq!(cfg.placement.n(), n, "placement and workload disagree on n");
     let schedule = cfg
@@ -321,6 +333,11 @@ pub fn run(cfg: &SimConfig) -> SimResult {
     let mut sites: Vec<Box<dyn ProtocolSite>> = SiteId::all(n)
         .map(|s| build_site(cfg.protocol, s, repl.clone(), proto_cfg))
         .collect();
+    if tracer.enabled() {
+        for s in sites.iter_mut() {
+            s.set_tracing(true);
+        }
+    }
 
     let mut heap = EventHeap::new();
     let mut channels = ChannelMatrix::new(n, cfg.latency).with_partitions(cfg.partitions.clone());
@@ -328,6 +345,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
     // seed so a (seed, config) pair fully determines the run.
     let mut lat_rng = StdRng::seed_from_u64(cfg.workload.seed ^ 0xC0FF_EE00_D15E_A5E5);
     let mut metrics = RunMetrics::new();
+    metrics.per_site.ensure(n);
     let mut history = cfg.record_history.then(|| History::new(n));
     let mut drivers: Vec<AppDriver> = (0..n)
         .map(|_| AppDriver {
@@ -450,7 +468,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         // WAL fiction: the record is durable before the
                         // transition is externally visible.
                         if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-                            stores[site.index()].append(
+                            let bytes = stores[site.index()].append(
                                 WalRecord::OwnWrite {
                                     var,
                                     data,
@@ -458,9 +476,21 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                                 },
                                 &cfg.size_model,
                             );
+                            emit(tracer, now, site, EventKind::WalAppend { bytes });
                         }
                         let (wid, effects) =
                             sites[site.index()].write(var, data, cfg.workload.payload_len);
+                        if tracer.enabled() {
+                            emit(
+                                tracer,
+                                now,
+                                site,
+                                EventKind::Write {
+                                    var,
+                                    clock: wid.clock,
+                                },
+                            );
+                        }
                         if measured {
                             metrics.record_op(true, false);
                         }
@@ -482,33 +512,41 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             &mut receipt,
                             &cfg.size_model,
                             &mut chaos,
+                            tracer,
                         );
                         schedule_next(site, now, &schedule, &mut drivers, &mut heap);
                     }
                     OpKind::Read { var } => match sites[site.index()].read(var) {
                         ReadResult::Local(v) => {
                             if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-                                stores[site.index()]
+                                let bytes = stores[site.index()]
                                     .append(WalRecord::LocalRead { var }, &cfg.size_model);
+                                emit(tracer, now, site, EventKind::WalAppend { bytes });
                             }
                             if measured {
                                 metrics.record_op(false, false);
                             }
+                            let writer = v.map(|x| x.writer);
+                            if tracer.enabled() {
+                                emit(tracer, now, site, EventKind::ReadLocal { var, writer });
+                            }
                             if let Some(h) = history.as_mut() {
-                                h.record_read(site, var, v.map(|x| x.writer), site);
+                                h.record_read(site, var, writer, site);
                             }
                             schedule_next(site, now, &schedule, &mut drivers, &mut heap);
                         }
                         ReadResult::Fetch { target, msg } => {
                             if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-                                stores[site.index()]
+                                let bytes = stores[site.index()]
                                     .append(WalRecord::FetchIssued { var }, &cfg.size_model);
+                                emit(tracer, now, site, EventKind::WalAppend { bytes });
                             }
                             metrics.record_msg(
                                 msg.kind(),
                                 msg.meta_size(&cfg.size_model),
                                 measured,
                             );
+                            metrics.per_site.site_mut(site.index()).sends += 1;
                             match chaos.as_mut() {
                                 Some(c) => {
                                     let cmds = c.transport.send(site, target, msg, measured);
@@ -523,6 +561,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                                         &c.faults,
                                         &mut metrics,
                                         &cfg.size_model,
+                                        tracer,
                                     );
                                 }
                                 None => {
@@ -545,7 +584,20 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                                 target,
                                 measured,
                                 attempt: 0,
+                                issued_at: now,
                             });
+                            if tracer.enabled() {
+                                emit(
+                                    tracer,
+                                    now,
+                                    site,
+                                    EventKind::FetchIssue {
+                                        var,
+                                        target,
+                                        attempt: 0,
+                                    },
+                                );
+                            }
                             if chaos.is_some() {
                                 if let Some(deadline) = cfg.durability.fetch_deadline {
                                     heap.push(
@@ -573,6 +625,24 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                 if let Msg::Sm(sm) = &msg {
                     receipt.insert((to, sm.value.writer), now);
                 }
+                if tracer.enabled() {
+                    let writer = match &msg {
+                        Msg::Sm(sm) => Some(sm.value.writer),
+                        _ => None,
+                    };
+                    emit(
+                        tracer,
+                        now,
+                        to,
+                        EventKind::Deliver {
+                            from,
+                            kind: msg.kind(),
+                            writer,
+                        },
+                    );
+                }
+                metrics.per_site.site_mut(to.index()).delivers += 1;
+                let pend_before = sites[to.index()].pending_len();
                 let effects = sites[to.index()].on_message(from, msg);
                 process_effects(
                     to,
@@ -589,11 +659,16 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     &mut receipt,
                     &cfg.size_model,
                     &mut chaos,
+                    tracer,
                 );
-                metrics.max_pending = metrics.max_pending.max(sites[to.index()].pending_len());
-                metrics
-                    .pending_samples
-                    .record(sites[to.index()].pending_len() as f64);
+                let pend_after = sites[to.index()].pending_len();
+                if pend_after > pend_before {
+                    metrics.per_site.site_mut(to.index()).buffered +=
+                        (pend_after - pend_before) as u64;
+                }
+                drain_proto(sites[to.index()].as_mut(), to, now, tracer);
+                metrics.max_pending = metrics.max_pending.max(pend_after);
+                metrics.pending_samples.record(pend_after as f64);
             }
             SimEvent::DeliverFrame {
                 from,
@@ -650,6 +725,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             &cfg.size_model,
                             &cfg.durability,
                             &mut chaos,
+                            tracer,
                         );
                     }
                     Frame::SyncResp { inc, ack, state } => {
@@ -671,6 +747,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             &cfg.size_model,
                             &cfg.durability,
                             &mut chaos,
+                            tracer,
                         );
                     }
                     data_or_ack => {
@@ -692,6 +769,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             &c.faults,
                             &mut metrics,
                             &cfg.size_model,
+                            tracer,
                         );
                         for (msg, meas) in handoffs {
                             // A fetch re-issued across a crash can be
@@ -720,17 +798,36 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                                     metrics.dup_drops += 1;
                                     continue;
                                 }
-                                store.append(
+                                let bytes = store.append(
                                     WalRecord::Recv {
                                         from,
                                         msg: msg.clone(),
                                     },
                                     &cfg.size_model,
                                 );
+                                emit(tracer, now, to, EventKind::WalAppend { bytes });
                             }
                             if let Msg::Sm(sm) = &msg {
                                 receipt.insert((to, sm.value.writer), now);
                             }
+                            if tracer.enabled() {
+                                let writer = match &msg {
+                                    Msg::Sm(sm) => Some(sm.value.writer),
+                                    _ => None,
+                                };
+                                emit(
+                                    tracer,
+                                    now,
+                                    to,
+                                    EventKind::Deliver {
+                                        from,
+                                        kind: msg.kind(),
+                                        writer,
+                                    },
+                                );
+                            }
+                            metrics.per_site.site_mut(to.index()).delivers += 1;
+                            let pend_before = sites[to.index()].pending_len();
                             let effects = sites[to.index()].on_message(from, msg);
                             process_effects(
                                 to,
@@ -747,12 +844,16 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                                 &mut receipt,
                                 &cfg.size_model,
                                 &mut chaos,
+                                tracer,
                             );
-                            metrics.max_pending =
-                                metrics.max_pending.max(sites[to.index()].pending_len());
-                            metrics
-                                .pending_samples
-                                .record(sites[to.index()].pending_len() as f64);
+                            let pend_after = sites[to.index()].pending_len();
+                            if pend_after > pend_before {
+                                metrics.per_site.site_mut(to.index()).buffered +=
+                                    (pend_after - pend_before) as u64;
+                            }
+                            drain_proto(sites[to.index()].as_mut(), to, now, tracer);
+                            metrics.max_pending = metrics.max_pending.max(pend_after);
+                            metrics.pending_samples.record(pend_after as f64);
                         }
                     }
                 }
@@ -777,9 +878,11 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     &c.faults,
                     &mut metrics,
                     &cfg.size_model,
+                    tracer,
                 );
             }
             SimEvent::Crash { site } => {
+                emit(tracer, now, site, EventKind::Crash);
                 let c = chaos.as_mut().expect("crashes require chaos mode");
                 assert_eq!(
                     c.status[site.index()],
@@ -806,6 +909,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     .clone()
                     .expect("ledger saved at crash");
                 let inc = c.transport.revive(site, &ledger);
+                emit(tracer, now, site, EventKind::Recover { inc });
                 c.status[site.index()] = SiteStatus::Syncing;
                 // Local-first recovery: rebuild the state machine from the
                 // durable store, so peers only need to fill in the delta.
@@ -819,6 +923,12 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         store.replay(|| build_site(cfg.protocol, site, repl.clone(), proto_cfg))
                     {
                         sites[site.index()] = replayed;
+                        // The replayed site may carry a trace buffer cloned
+                        // from the live site at checkpoint time (stale
+                        // replay-era events): discard it, then restore the
+                        // run's tracing mode.
+                        let _ = sites[site.index()].take_trace();
+                        sites[site.index()].set_tracing(tracer.enabled());
                         metrics.recovery_replays += 1;
                         applied = Some(store.applied_high_water(site, ledger.own_clock));
                         via_wal = true;
@@ -846,6 +956,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     };
                     metrics.sync_count += 1;
                     metrics.sync_bytes += req.overhead(&cfg.size_model);
+                    emit(tracer, now, site, EventKind::SyncReq { to: peer });
                     let at = channels.delivery_time(site, peer, now, &mut lat_rng);
                     heap.push(
                         at,
@@ -878,6 +989,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         &cfg.size_model,
                         &cfg.durability,
                         &mut chaos,
+                        tracer,
                     );
                 }
             }
@@ -911,12 +1023,14 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     // does not resurrect it); no history record is written
                     // since the operation returned no value.
                     if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-                        stores[site.index()]
+                        let bytes = stores[site.index()]
                             .append(WalRecord::FetchAborted { var }, &cfg.size_model);
+                        emit(tracer, now, site, EventKind::WalAppend { bytes });
                     }
                     sites[site.index()].abort_fetch(var);
                     drivers[site.index()].blocked = None;
                     metrics.degraded_reads += 1;
+                    emit(tracer, now, site, EventKind::DegradedRead { var });
                     schedule_next(site, now, &schedule, &mut drivers, &mut heap);
                 } else {
                     // Fail over: re-address the FM to the next candidate
@@ -926,11 +1040,34 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         let b = drivers[site.index()].blocked.as_mut().expect("live above");
                         b.target = next;
                         b.attempt = attempt + 1;
+                        b.issued_at = now;
                         (b.measured, b.attempt)
                     };
                     metrics.fetch_failovers += 1;
+                    if tracer.enabled() {
+                        emit(
+                            tracer,
+                            now,
+                            site,
+                            EventKind::FetchFailover {
+                                var,
+                                attempt: next_attempt,
+                            },
+                        );
+                        emit(
+                            tracer,
+                            now,
+                            site,
+                            EventKind::FetchIssue {
+                                var,
+                                target: next,
+                                attempt: next_attempt,
+                            },
+                        );
+                    }
                     let msg = Msg::Fm(Fm { var });
                     metrics.record_msg(msg.kind(), msg.meta_size(&cfg.size_model), measured);
+                    metrics.per_site.site_mut(site.index()).sends += 1;
                     let c = chaos.as_mut().expect("chaos");
                     let cmds = c.transport.send(site, next, msg, measured);
                     dispatch_cmds(
@@ -944,6 +1081,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         &c.faults,
                         &mut metrics,
                         &cfg.size_model,
+                        tracer,
                     );
                     heap.push(
                         now + deadline,
@@ -983,6 +1121,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     &cfg.size_model,
                     &cfg.durability,
                     &mut chaos,
+                    tracer,
                 );
             }
             SimEvent::CheckpointTick => {
@@ -1000,10 +1139,12 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         if c.status[s.index()] == SiteStatus::Up {
                             // Skips the deep state clone when nothing was
                             // journaled since the last image.
-                            stores[s.index()].take_checkpoint_if_dirty(
+                            if let Some(bytes) = stores[s.index()].take_checkpoint_if_dirty(
                                 sites[s.index()].as_ref(),
                                 &cfg.size_model,
-                            );
+                            ) {
+                                emit(tracer, now, s, EventKind::Checkpoint { bytes });
+                            }
                         }
                     }
                 }
@@ -1055,6 +1196,46 @@ fn schedule_next(
     }
 }
 
+/// Emit one trace event. Inlined so the disabled-tracer path folds to a
+/// single branch.
+#[inline]
+fn emit(tracer: &mut dyn Tracer, now: SimTime, site: SiteId, kind: EventKind) {
+    if tracer.enabled() {
+        tracer.emit(TraceEvent::at(now, site, kind));
+    }
+}
+
+/// Drain the protocol-side trace buffer of `site` into the tracer. The
+/// protocols have no notion of simulated time, so their events are
+/// timestamped here, at the driver instant that triggered them.
+fn drain_proto(site: &mut dyn ProtocolSite, s: SiteId, now: SimTime, tracer: &mut dyn Tracer) {
+    if !tracer.enabled() {
+        return;
+    }
+    for ev in site.take_trace() {
+        let kind = match ev {
+            ProtoTraceEvent::Buffered {
+                origin,
+                clock,
+                var,
+                dep_site,
+                dep_clock,
+            } => EventKind::Buffer {
+                origin,
+                clock,
+                var,
+                dep_site,
+                dep_clock,
+            },
+            ProtoTraceEvent::LogPruned { removed, remaining } => EventKind::LogPrune {
+                removed: removed as u64,
+                remaining: remaining as u64,
+            },
+        };
+        tracer.emit(TraceEvent::at(now, s, kind));
+    }
+}
+
 /// Interpret transport commands: put frames on the (lossy) wire, arm
 /// retransmission timers, and collect in-order handoffs for the caller to
 /// feed into the receiving protocol site.
@@ -1070,6 +1251,7 @@ fn dispatch_cmds(
     faults: &FaultPlan,
     metrics: &mut RunMetrics,
     size_model: &SizeModel,
+    tracer: &mut dyn Tracer,
 ) -> Vec<(Msg, bool)> {
     let mut handoffs = Vec::new();
     for cmd in cmds {
@@ -1086,10 +1268,12 @@ fn dispatch_cmds(
                         metrics.ack_count += 1;
                         metrics.ack_bytes += overhead;
                     }
-                    Frame::Data { .. } => {
+                    Frame::Data { seq, .. } => {
                         metrics.envelope_bytes += overhead;
                         if retransmit {
                             metrics.retransmissions += 1;
+                            metrics.per_site.site_mut(origin.index()).retransmits += 1;
+                            emit(tracer, now, origin, EventKind::Retransmit { to, seq: *seq });
                         }
                     }
                     sync => unreachable!("transport never emits sync frames: {sync:?}"),
@@ -1125,6 +1309,21 @@ fn dispatch_cmds(
                 attempt,
                 after,
             } => {
+                // `attempt == 1` is the initial RTO timer armed with every
+                // send; only re-arms after a retransmission are backoffs.
+                if attempt > 1 {
+                    emit(
+                        tracer,
+                        now,
+                        origin,
+                        EventKind::Backoff {
+                            to,
+                            seq,
+                            attempt,
+                            after_ns: after.as_nanos(),
+                        },
+                    );
+                }
                 heap.push(
                     now + after,
                     SimEvent::RetransmitCheck {
@@ -1166,6 +1365,7 @@ fn handle_sync_req(
     size_model: &SizeModel,
     durability: &DurabilityPlan,
     chaos: &mut Option<Chaos>,
+    tracer: &mut dyn Tracer,
 ) {
     let (ack_info, renumbered) = {
         let c = chaos.as_mut().expect("sync requires chaos mode");
@@ -1184,6 +1384,7 @@ fn handle_sync_req(
             &c.faults,
             metrics,
             size_model,
+            tracer,
         );
     }
     // A fetch blocked on the dead incarnation would wait forever: its FM
@@ -1193,12 +1394,24 @@ fn handle_sync_req(
     let reissue = drivers[me.index()].blocked.as_mut().and_then(|b| {
         (b.target == peer).then(|| {
             b.attempt += 1;
+            b.issued_at = now;
             (b.var, b.measured, b.attempt)
         })
     });
     if let Some((var, measured, attempt)) = reissue {
+        emit(
+            tracer,
+            now,
+            me,
+            EventKind::FetchIssue {
+                var,
+                target: peer,
+                attempt,
+            },
+        );
         let msg = Msg::Fm(Fm { var });
         metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+        metrics.per_site.site_mut(me.index()).sends += 1;
         let c = chaos.as_mut().expect("chaos");
         let cmds = c.transport.send(me, peer, msg, measured);
         dispatch_cmds(
@@ -1212,6 +1425,7 @@ fn handle_sync_req(
             &c.faults,
             metrics,
             size_model,
+            tracer,
         );
         if let Some(deadline) = durability.fetch_deadline {
             heap.push(
@@ -1229,19 +1443,21 @@ fn handle_sync_req(
     // was waiting only on the lost writes drains now. Journaled first, so
     // a later replay of this site re-drives the same fast-forward.
     if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-        stores[me.index()].append(
+        let bytes = stores[me.index()].append(
             WalRecord::PeerRecovered {
                 peer,
                 ledger: ledger.clone(),
             },
             size_model,
         );
+        emit(tracer, now, me, EventKind::WalAppend { bytes });
     }
     let (effects, _dropped) = sites[me.index()].note_peer_recovery(peer, ledger);
     process_effects(
         me, effects, false, now, schedule, heap, channels, lat_rng, metrics, history, drivers,
-        receipt, size_model, chaos,
+        receipt, size_model, chaos, tracer,
     );
+    drain_proto(sites[me.index()].as_mut(), me, now, tracer);
     // Answer with this site's causal knowledge and shared-variable values —
     // filtered down to the delta past the requester's replayed per-origin
     // high-water marks when it recovered from its WAL.
@@ -1259,6 +1475,15 @@ fn handle_sync_req(
     };
     metrics.sync_count += 1;
     metrics.sync_bytes += resp.overhead(size_model) + state_bytes;
+    emit(
+        tracer,
+        now,
+        me,
+        EventKind::SyncResp {
+            to: peer,
+            bytes: state_bytes,
+        },
+    );
     let at = channels.delivery_time(me, peer, now, lat_rng);
     heap.push(
         at,
@@ -1295,6 +1520,7 @@ fn handle_sync_resp(
     size_model: &SizeModel,
     durability: &DurabilityPlan,
     chaos: &mut Option<Chaos>,
+    tracer: &mut dyn Tracer,
 ) {
     let complete = {
         let c = chaos.as_mut().expect("sync requires chaos mode");
@@ -1312,7 +1538,7 @@ fn handle_sync_resp(
     if complete {
         finish_recovery(
             me, now, sites, heap, channels, lat_rng, metrics, history, drivers, schedule,
-            size_model, durability, chaos,
+            size_model, durability, chaos, tracer,
         );
     }
 }
@@ -1334,6 +1560,7 @@ fn finish_recovery(
     size_model: &SizeModel,
     durability: &DurabilityPlan,
     chaos: &mut Option<Chaos>,
+    tracer: &mut dyn Tracer,
 ) {
     let (col, held) = {
         let c = chaos.as_mut().expect("chaos");
@@ -1346,11 +1573,20 @@ fn finish_recovery(
     // folds in the installed snapshots (which are not journaled) and
     // truncates the log — and re-arms a wiped medium.
     if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-        stores[me.index()].take_checkpoint(sites[me.index()].as_ref(), size_model);
+        let bytes = stores[me.index()].take_checkpoint(sites[me.index()].as_ref(), size_model);
+        emit(tracer, now, me, EventKind::Checkpoint { bytes });
     }
     metrics
         .recovery_ns
         .record((now - col.started).as_nanos() as f64);
+    emit(
+        tracer,
+        now,
+        me,
+        EventKind::RecoveryDone {
+            dur_ns: (now - col.started).as_nanos(),
+        },
+    );
     for ev in held {
         heap.push(now, ev);
     }
@@ -1359,6 +1595,7 @@ fn finish_recovery(
     // The attempt bump invalidates any armed fetch-deadline timer.
     let pending = drivers[me.index()].blocked.as_mut().map(|b| {
         b.attempt += 1;
+        b.issued_at = now;
         (b.var, b.target, b.measured, b.attempt)
     });
     if let Some((var, target, measured, attempt)) = pending {
@@ -1366,8 +1603,19 @@ fn finish_recovery(
             // The WAL replay restored the protocol's outstanding-fetch
             // slot (`read()` would assert a double fetch), so re-send a
             // raw FM on the new epoch to the already-recorded target.
+            emit(
+                tracer,
+                now,
+                me,
+                EventKind::FetchIssue {
+                    var,
+                    target,
+                    attempt,
+                },
+            );
             let msg = Msg::Fm(Fm { var });
             metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+            metrics.per_site.site_mut(me.index()).sends += 1;
             let c = chaos.as_mut().expect("chaos");
             let cmds = c.transport.send(me, target, msg, measured);
             dispatch_cmds(
@@ -1381,6 +1629,7 @@ fn finish_recovery(
                 &c.faults,
                 metrics,
                 size_model,
+                tracer,
             );
             if let Some(deadline) = durability.fetch_deadline {
                 heap.push(
@@ -1400,15 +1649,29 @@ fn finish_recovery(
             match sites[me.index()].read(var) {
                 ReadResult::Fetch { target, msg } => {
                     if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-                        stores[me.index()].append(WalRecord::FetchIssued { var }, size_model);
+                        let bytes =
+                            stores[me.index()].append(WalRecord::FetchIssued { var }, size_model);
+                        emit(tracer, now, me, EventKind::WalAppend { bytes });
                     }
                     drivers[me.index()].blocked = Some(BlockedFetch {
                         var,
                         target,
                         measured,
                         attempt,
+                        issued_at: now,
                     });
+                    emit(
+                        tracer,
+                        now,
+                        me,
+                        EventKind::FetchIssue {
+                            var,
+                            target,
+                            attempt,
+                        },
+                    );
                     metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+                    metrics.per_site.site_mut(me.index()).sends += 1;
                     let c = chaos.as_mut().expect("chaos");
                     let cmds = c.transport.send(me, target, msg, measured);
                     dispatch_cmds(
@@ -1422,6 +1685,7 @@ fn finish_recovery(
                         &c.faults,
                         metrics,
                         size_model,
+                        tracer,
                     );
                     if let Some(deadline) = durability.fetch_deadline {
                         heap.push(
@@ -1439,14 +1703,20 @@ fn finish_recovery(
                 // but if the protocol can answer locally now, complete.
                 ReadResult::Local(v) => {
                     if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-                        stores[me.index()].append(WalRecord::LocalRead { var }, size_model);
+                        let bytes =
+                            stores[me.index()].append(WalRecord::LocalRead { var }, size_model);
+                        emit(tracer, now, me, EventKind::WalAppend { bytes });
                     }
                     drivers[me.index()].blocked = None;
                     if measured {
                         metrics.record_op(false, true);
                     }
+                    let writer = v.map(|x| x.writer);
+                    if tracer.enabled() {
+                        emit(tracer, now, me, EventKind::ReadLocal { var, writer });
+                    }
                     if let Some(h) = history.as_mut() {
-                        h.record_read(me, var, v.map(|x| x.writer), me);
+                        h.record_read(me, var, writer, me);
                     }
                     schedule_next(me, now, schedule, drivers, heap);
                 }
@@ -1484,6 +1754,7 @@ fn process_effects(
     receipt: &mut HashMap<(SiteId, WriteId), SimTime>,
     size_model: &SizeModel,
     chaos: &mut Option<Chaos>,
+    tracer: &mut dyn Tracer,
 ) {
     // A multicast write fans out one `Effect::Send` per destination, all
     // sharing the same `Arc`'d piggyback snapshot. Sizing the piggyback is
@@ -1505,8 +1776,26 @@ fn process_effects(
                     _ => msg.meta_size(size_model),
                 };
                 metrics.record_msg(msg.kind(), size, measured);
+                metrics.per_site.site_mut(origin.index()).sends += 1;
                 if let Msg::Sm(sm) = &msg {
                     metrics.sm_entries.record(sm.meta.entry_count() as f64);
+                }
+                if tracer.enabled() {
+                    let writer = match &msg {
+                        Msg::Sm(sm) => Some(sm.value.writer),
+                        _ => None,
+                    };
+                    emit(
+                        tracer,
+                        now,
+                        origin,
+                        EventKind::Send {
+                            to,
+                            kind: msg.kind(),
+                            bytes: size,
+                            writer,
+                        },
+                    );
                 }
                 match chaos.as_mut() {
                     Some(c) => {
@@ -1522,6 +1811,7 @@ fn process_effects(
                             &c.faults,
                             metrics,
                             size_model,
+                            tracer,
                         );
                     }
                     None => {
@@ -1539,12 +1829,19 @@ fn process_effects(
                     }
                 }
             }
-            Effect::Applied { var: _, write } => {
+            Effect::Applied { var, write } => {
                 metrics.applies += 1;
+                metrics.per_site.site_mut(origin.index()).applies += 1;
                 // Own-write applies have no receipt; only received updates
-                // contribute to the apply-latency statistic.
+                // contribute to the apply-latency (dwell) statistic.
+                let mut dwell_ns = 0u64;
                 if let Some(t0) = receipt.remove(&(origin, write)) {
-                    metrics.record_apply_latency((now - t0).as_nanos() as f64);
+                    dwell_ns = (now - t0).as_nanos();
+                    metrics.record_apply_latency(dwell_ns as f64);
+                    metrics
+                        .per_site
+                        .site_mut(origin.index())
+                        .record_dwell(dwell_ns as f64);
                 }
                 // After a crash a site re-applies redelivered updates it
                 // already recorded before losing state; the history must
@@ -1555,6 +1852,19 @@ fn process_effects(
                 if first_apply {
                     if let Some(h) = history.as_mut() {
                         h.record_apply(origin, write);
+                    }
+                    if tracer.enabled() {
+                        emit(
+                            tracer,
+                            now,
+                            origin,
+                            EventKind::Apply {
+                                origin: write.site,
+                                clock: write.clock,
+                                var,
+                                dwell_ns,
+                            },
+                        );
                     }
                 }
             }
@@ -1573,11 +1883,27 @@ fn process_effects(
                     .blocked
                     .take()
                     .expect("checked above");
+                let rtt_ns = (now - blocked.issued_at).as_nanos();
+                metrics.record_fetch_rtt(origin.index(), rtt_ns as f64);
                 if blocked.measured {
                     metrics.record_op(false, true);
                 }
+                let writer = value.map(|x| x.writer);
+                if tracer.enabled() {
+                    emit(
+                        tracer,
+                        now,
+                        origin,
+                        EventKind::FetchDone {
+                            var,
+                            served_by: blocked.target,
+                            rtt_ns,
+                            writer,
+                        },
+                    );
+                }
                 if let Some(h) = history.as_mut() {
-                    h.record_read(origin, var, value.map(|x| x.writer), blocked.target);
+                    h.record_read(origin, var, writer, blocked.target);
                 }
                 // The application subsystem resumes: its next op fires at
                 // the later of its planned time and the fetch return.
