@@ -1,0 +1,147 @@
+//! Microbenchmarks of the Opt-Track hot paths reworked in the indexed-log
+//! overhaul: KS-log merge/prune against the retained naive reference,
+//! copy-on-write piggyback snapshots, incremental meta-size accounting, and
+//! one end-to-end Opt-Track simulation cell.
+//!
+//! Under the vendored criterion shim each bench runs once as a smoke pass;
+//! with the real crate these become proper statistical benchmarks. The
+//! naive-vs-indexed pairs share identical inputs so their reports are
+//! directly comparable.
+
+use causal_clocks::{DestSet, Log, LogEntry, NaiveLog, PruneConfig};
+use causal_experiments::{Mode, Scale, Sweep};
+use causal_proto::ProtocolKind;
+use causal_types::{MetaSized, SiteId, SizeModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A log shaped like a busy Opt-Track site's: `n_origins` runs, `per_origin`
+/// entries each, destination sets of ~`dest_n` sites.
+fn mk_indexed(n_origins: usize, per_origin: usize, dest_n: usize) -> Log {
+    let mut log = Log::new();
+    for o in 0..n_origins {
+        for c in 1..=per_origin {
+            let dests =
+                DestSet::from_sites((0..dest_n).map(|k| SiteId::from((o + k + c) % dest_n.max(1))));
+            log.upsert(LogEntry::new(SiteId::from(o), c as u64, dests));
+        }
+    }
+    log
+}
+
+fn mk_naive(n_origins: usize, per_origin: usize, dest_n: usize) -> NaiveLog {
+    let mut log = NaiveLog::new();
+    for e in mk_indexed(n_origins, per_origin, dest_n).iter() {
+        log.upsert(*e);
+    }
+    log
+}
+
+/// MERGE, indexed vs naive, on identical inputs (the apply/read hot path).
+fn merge_indexed_vs_naive(c: &mut Criterion) {
+    let cfg = PruneConfig::default();
+    let mut g = c.benchmark_group("hotpath_merge");
+    for n in [10usize, 40] {
+        let (ai, bi) = (mk_indexed(n, 3, 12), mk_indexed(n, 4, 12));
+        let (an, bn) = (mk_naive(n, 3, 12), mk_naive(n, 4, 12));
+        g.bench_with_input(BenchmarkId::new("indexed", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut m = ai.clone();
+                m.merge(black_box(&bi), cfg);
+                black_box(m.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut m = an.clone();
+                m.merge(black_box(&bn), cfg);
+                black_box(m.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Implicit condition 1 (`prune_applied`) + PURGE, indexed vs naive.
+fn prune_indexed_vs_naive(c: &mut Criterion) {
+    let cfg = PruneConfig::default();
+    let n = 40usize;
+    let applied: Vec<u64> = (0..n as u64).map(|o| 2 + (o % 3)).collect();
+    let li = mk_indexed(n, 4, 12);
+    let ln = mk_naive(n, 4, 12);
+    let mut g = c.benchmark_group("hotpath_prune");
+    g.bench_function("indexed", |bench| {
+        bench.iter(|| {
+            let mut l = li.clone();
+            l.prune_applied(SiteId(0), black_box(&applied));
+            l.purge(cfg);
+            black_box(l.len())
+        })
+    });
+    g.bench_function("naive", |bench| {
+        bench.iter(|| {
+            let mut l = ln.clone();
+            l.prune_applied(SiteId(0), black_box(&applied));
+            l.purge(cfg);
+            black_box(l.len())
+        })
+    });
+    g.finish();
+}
+
+/// Taking a piggyback snapshot: the copy-on-write refcount bump every SM
+/// fan-out now pays, against the deep clone it replaced.
+fn piggyback_snapshot(c: &mut Criterion) {
+    let log = Arc::new(mk_indexed(40, 3, 12));
+    let mut g = c.benchmark_group("piggyback_snapshot");
+    g.bench_function("arc_clone", |bench| {
+        bench.iter(|| black_box(Arc::clone(black_box(&log))))
+    });
+    g.bench_function("deep_clone", |bench| {
+        bench.iter(|| black_box((*black_box(&log)).clone()))
+    });
+    g.finish();
+}
+
+/// Meta-size accounting: the indexed log answers from two counters; the
+/// naive log walks every entry.
+fn meta_size_accounting(c: &mut Criterion) {
+    let model = SizeModel::java_like();
+    let li = mk_indexed(40, 4, 12);
+    let ln = mk_naive(40, 4, 12);
+    let mut g = c.benchmark_group("meta_size");
+    g.bench_function("indexed_o1", |bench| {
+        bench.iter(|| black_box(black_box(&li).meta_size(&model)))
+    });
+    g.bench_function("naive_recount", |bench| {
+        bench.iter(|| black_box(black_box(&ln).meta_size(&model)))
+    });
+    g.finish();
+}
+
+/// One end-to-end Opt-Track simulation cell at quick scale — the unit the
+/// `repro bench` wall-clock target (n = 40, w = 0.5) is made of. Everything
+/// above composes into this number.
+fn opt_track_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt_track_cell");
+    g.sample_size(10);
+    g.bench_function("quick_n40_w05", |bench| {
+        bench.iter(|| {
+            let mut sw = Sweep::new(Scale::Quick);
+            let cell = sw.cell(ProtocolKind::OptTrack, Mode::Partial, 40, 0.5);
+            black_box(cell.total_bytes)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hotpath,
+    merge_indexed_vs_naive,
+    prune_indexed_vs_naive,
+    piggyback_snapshot,
+    meta_size_accounting,
+    opt_track_cell,
+);
+criterion_main!(hotpath);

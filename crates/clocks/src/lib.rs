@@ -25,10 +25,12 @@ pub mod crplog;
 pub mod dests;
 pub mod log;
 pub mod matrix;
+pub mod reference;
 pub mod vector;
 
 pub use crplog::CrpLog;
 pub use dests::DestSet;
 pub use log::{Log, LogEntry, PruneConfig};
 pub use matrix::MatrixClock;
+pub use reference::NaiveLog;
 pub use vector::VectorClock;

@@ -18,6 +18,41 @@
 //! most recent entry per origin, which is kept as a marker: the paper notes
 //! "it is important to keep entries with empty destination list as long as
 //! they represent the most recent updates applied from some site".
+//!
+//! # Indexed layout
+//!
+//! The log is stored as **per-origin runs**: entries sorted by
+//! `(origin, clock)` in one contiguous vector, so each origin's run is a
+//! clock-sorted slice and run boundaries are origin changes. The grouping
+//! mirrors the paper's structure directly — both implicit conditions are
+//! *per-origin* facts:
+//!
+//! * condition 1 compares an entry's clock against the destination's
+//!   last-applied clock **from that origin** ([`Log::prune_applied`] does
+//!   destination-set work only on each run's applied prefix);
+//! * the same-sender half of condition 2 orders entries **within one run**
+//!   ([`Log::normalize`] accumulates newer destinations newest→oldest per
+//!   run, never across runs);
+//! * MERGE's cross-pruning rule ("a side that knows a strictly newer write
+//!   from an origin has proven every destination of the older write
+//!   redundant") compares clocks against the **newest-per-origin marker**,
+//!   which is simply a run's last element.
+//!
+//! [`Log::merge`] therefore advances both logs in `(origin, clock)` order,
+//! reading each side's marker at the run boundary and merging matching runs
+//! clock-by-clock — `O(|a| + |b|)` with one allocation, where the reference
+//! implementation ([`crate::reference::NaiveLog`]) pays a per-entry origin
+//! scan and is `O(|a|·|b|)` in the worst case. Keeping the runs contiguous
+//! (rather than one vector per origin) keeps `clone()` a single memcpy —
+//! the piggyback fan-out clones the log once per destination, so clone cost
+//! is as hot as merge cost.
+//!
+//! The log also keeps its total destination-set member count as an
+//! aggregate counter updated **incrementally** on every insert and prune,
+//! so [`MetaSized::meta_size`] is O(1) instead of a full walk per
+//! piggyback/snapshot. `NaiveLog` recomputes it from scratch; the
+//! differential proptests (`tests/log_differential.rs`) hold the two
+//! implementations to identical observable state after every operation.
 
 use crate::dests::DestSet;
 use causal_types::{MetaSized, SiteId, SizeModel, WriteId};
@@ -78,11 +113,19 @@ impl Default for PruneConfig {
 /// The Opt-Track local log `LOG_i` (also the piggybacked `L_w` and the
 /// per-variable `LastWriteOn⟨h⟩` structure).
 ///
-/// Entries are kept sorted by `(origin, clock)`; all operations preserve the
-/// invariant. The log never contains two entries for the same write.
+/// Entries are stored in one flat vector sorted by `(origin, clock)` — i.e.
+/// per-origin sorted-by-clock **runs laid out contiguously** (see the module
+/// docs for why the per-origin grouping mirrors the paper's pruning rules).
+/// The contiguous layout keeps `clone()` a single memcpy, which matters as
+/// much as merge complexity: every multicast destination derives its
+/// `LastWriteOn⟨h⟩` from a clone of the piggybacked snapshot. The log never
+/// contains two entries for the same write.
 #[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Log {
+    /// Entries sorted by `(origin, clock)`.
     entries: Vec<LogEntry>,
+    /// Total destination-set members across entries (incremental).
+    dest_ids: usize,
 }
 
 impl Log {
@@ -110,41 +153,19 @@ impl Log {
 
     /// Entry for a specific write, if present.
     pub fn get(&self, origin: SiteId, clock: u64) -> Option<&LogEntry> {
-        self.position(origin, clock).map(|i| &self.entries[i])
-    }
-
-    /// The newest clock this log knows for `origin` (marker entries count).
-    pub fn latest_clock(&self, origin: SiteId) -> Option<u64> {
-        // Entries are sorted by (origin, clock): scan the origin's group end.
-        let mut latest = None;
-        for e in &self.entries {
-            if e.origin == origin {
-                latest = Some(e.clock);
-            } else if e.origin > origin {
-                break;
-            }
-        }
-        latest
-    }
-
-    fn position(&self, origin: SiteId, clock: u64) -> Option<usize> {
         self.entries
             .binary_search_by(|e| (e.origin, e.clock).cmp(&(origin, clock)))
             .ok()
+            .map(|i| &self.entries[i])
     }
 
-    fn insert_sorted(&mut self, entry: LogEntry) {
-        match self
-            .entries
-            .binary_search_by(|e| (e.origin, e.clock).cmp(&(entry.origin, entry.clock)))
-        {
-            Ok(i) => {
-                // Same write already present: combine knowledge (both sides'
-                // prunings are sound, so intersect).
-                let d = self.entries[i].dests.intersect(&entry.dests);
-                self.entries[i].dests = d;
-            }
-            Err(i) => self.entries.insert(i, entry),
+    /// The newest clock this log knows for `origin` (marker entries count).
+    /// One binary search to the end of the origin's run — no scan.
+    pub fn latest_clock(&self, origin: SiteId) -> Option<u64> {
+        let end = self.entries.partition_point(|e| e.origin <= origin);
+        match end.checked_sub(1).map(|i| &self.entries[i]) {
+            Some(e) if e.origin == origin => Some(e.clock),
+            _ => None,
         }
     }
 
@@ -153,7 +174,23 @@ impl Log {
     /// Used by the protocols to attach a write's own entry to the log stored
     /// in `LastWriteOn⟨h⟩`.
     pub fn upsert(&mut self, entry: LogEntry) {
-        self.insert_sorted(entry);
+        match self
+            .entries
+            .binary_search_by(|e| (e.origin, e.clock).cmp(&(entry.origin, entry.clock)))
+        {
+            Ok(i) => {
+                // Same write already present: combine knowledge (both
+                // sides' prunings are sound, so intersect).
+                let before = self.entries[i].dests.len();
+                let d = self.entries[i].dests.intersect(&entry.dests);
+                self.entries[i].dests = d;
+                self.dest_ids -= before - d.len();
+            }
+            Err(i) => {
+                self.entries.insert(i, entry);
+                self.dest_ids += entry.dests.len();
+            }
+        }
     }
 
     /// Record a local write: implicit condition 2 prunes every existing
@@ -165,11 +202,15 @@ impl Log {
     /// carries "the currently stored records", i.e. the pre-write log.
     pub fn record_write(&mut self, origin: SiteId, clock: u64, dests: DestSet, cfg: PruneConfig) {
         if cfg.condition2 {
+            let mut removed = 0;
             for e in &mut self.entries {
+                let before = e.dests.len();
                 e.dests.subtract(&dests);
+                removed += before - e.dests.len();
             }
+            self.dest_ids -= removed;
         }
-        self.insert_sorted(LogEntry::new(origin, clock, dests));
+        self.upsert(LogEntry::new(origin, clock, dests));
         self.normalize(cfg);
     }
 
@@ -179,9 +220,13 @@ impl Log {
     /// because the activation predicate guaranteed those writes were applied
     /// at `site` first).
     pub fn remove_site(&mut self, site: SiteId) {
+        let mut removed = 0;
         for e in &mut self.entries {
-            e.dests.remove(site);
+            if e.dests.remove(site) {
+                removed += 1;
+            }
         }
+        self.dest_ids -= removed;
     }
 
     /// Implicit condition 1 driven by apply knowledge: remove `site` from
@@ -189,12 +234,32 @@ impl Log {
     /// `last_applied_clock[origin]` (the largest write-clock from `origin`
     /// applied at `site`). Sound because multicasts from one origin reach a
     /// given destination in clock order over FIFO channels.
+    ///
+    /// Entries within a run are clock-sorted, so only each run's applied
+    /// prefix does destination-set work; the rest of the run is skipped with
+    /// a plain origin comparison.
     pub fn prune_applied(&mut self, site: SiteId, last_applied_clock: &[u64]) {
-        for e in &mut self.entries {
-            if e.dests.contains(site) && e.clock <= last_applied_clock[e.origin.index()] {
-                e.dests.remove(site);
+        let mut removed = 0;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let origin = self.entries[i].origin;
+            let cap = last_applied_clock[origin.index()];
+            // Applied prefix of this origin's run.
+            while i < self.entries.len()
+                && self.entries[i].origin == origin
+                && self.entries[i].clock <= cap
+            {
+                if self.entries[i].dests.remove(site) {
+                    removed += 1;
+                }
+                i += 1;
+            }
+            // Skip the unapplied remainder of the run.
+            while i < self.entries.len() && self.entries[i].origin == origin {
+                i += 1;
             }
         }
+        self.dest_ids -= removed;
     }
 
     /// MERGE: fold the piggybacked log `incoming` (the `LastWriteOn⟨h⟩` of a
@@ -216,49 +281,74 @@ impl Log {
     ///   amortized log near `O(n)`; without the newest-per-origin markers
     ///   (which witness the "knows strictly newer" fact) it would be
     ///   unsound — which is why the paper insists on keeping them.
+    ///
+    /// One pass over both logs in `(origin, clock)` order: each origin run's
+    /// newest marker is read at the run boundary, and matching runs merge
+    /// clock-by-clock — `O(|self| + |incoming|)` with a single allocation.
     pub fn merge(&mut self, incoming: &Log, cfg: PruneConfig) {
-        // Worst case every incoming entry is new; reserving up front keeps
-        // the per-entry `insert_sorted` calls from re-growing the vector.
-        self.entries.reserve(incoming.entries.len());
-        if cfg.condition2 {
-            // Local entries fully superseded by the incoming side's
-            // knowledge lose their destinations (purged below).
-            for e in &mut self.entries {
-                if incoming.get(e.origin, e.clock).is_none()
-                    && incoming.latest_clock(e.origin) > Some(e.clock)
-                {
-                    e.dests = DestSet::EMPTY;
-                }
+        if !cfg.condition2 {
+            for e in incoming.iter() {
+                self.upsert(*e);
             }
-            // Pre-merge local markers decide which incoming entries are
-            // already known-redundant here.
-            let local_latest: Vec<(SiteId, u64)> = {
-                let mut v: Vec<(SiteId, u64)> = Vec::new();
-                for e in &self.entries {
-                    match v.last_mut() {
-                        Some((o, c)) if *o == e.origin => *c = e.clock,
-                        _ => v.push((e.origin, e.clock)),
+            self.normalize(cfg);
+            return;
+        }
+        let a = &self.entries;
+        let b = &incoming.entries;
+        let mut out: Vec<LogEntry> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            // Next origin run in merged order, with both sides' pre-merge
+            // newest markers for it (None when a side lacks the origin).
+            let origin = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => x.origin.min(y.origin),
+                (Some(x), None) => x.origin,
+                (None, Some(y)) => y.origin,
+                (None, None) => unreachable!("loop condition"),
+            };
+            let ai_end = i + a[i..].partition_point(|e| e.origin == origin);
+            let bj_end = j + b[j..].partition_point(|e| e.origin == origin);
+            let a_latest = (ai_end > i).then(|| a[ai_end - 1].clock);
+            let b_latest = (bj_end > j).then(|| b[bj_end - 1].clock);
+            // Two-pointer clock merge of the two runs.
+            while i < ai_end || j < bj_end {
+                let take_a = match (a.get(i), (j < bj_end).then(|| &b[j])) {
+                    (Some(x), Some(y)) if i < ai_end => {
+                        if x.clock == y.clock {
+                            let mut e = *x;
+                            e.dests = e.dests.intersect(&y.dests);
+                            out.push(e);
+                            i += 1;
+                            j += 1;
+                            continue;
+                        }
+                        x.clock < y.clock
                     }
+                    _ => i < ai_end,
+                };
+                if take_a {
+                    let mut e = a[i];
+                    if b_latest > Some(e.clock) {
+                        // Local-only entry older than the incoming marker:
+                        // the incoming side proved it redundant.
+                        e.dests = DestSet::EMPTY;
+                    }
+                    out.push(e);
+                    i += 1;
+                } else {
+                    let e = b[j];
+                    j += 1;
+                    if a_latest > Some(e.clock) {
+                        // Incoming-only entry older than the local marker:
+                        // already known-redundant here.
+                        continue;
+                    }
+                    out.push(e);
                 }
-                v
-            };
-            let latest_of = |origin: SiteId| -> Option<u64> {
-                local_latest
-                    .binary_search_by(|(o, _)| o.cmp(&origin))
-                    .ok()
-                    .map(|i| local_latest[i].1)
-            };
-            for e in &incoming.entries {
-                if self.get(e.origin, e.clock).is_none() && latest_of(e.origin) > Some(e.clock) {
-                    continue;
-                }
-                self.insert_sorted(*e);
-            }
-        } else {
-            for e in &incoming.entries {
-                self.insert_sorted(*e);
             }
         }
+        self.entries = out;
+        self.dest_ids = self.entries.iter().map(|e| e.dests.len()).sum();
         self.normalize(cfg);
     }
 
@@ -268,8 +358,9 @@ impl Log {
     /// newest entry per origin as a marker when configured).
     pub fn normalize(&mut self, cfg: PruneConfig) {
         if cfg.condition2 {
-            // Entries are sorted by (origin, clock); walk each origin group
-            // from newest to oldest, accumulating the union of newer dests.
+            // Within each origin run, walk newest to oldest accumulating
+            // the union of newer destinations.
+            let mut removed = 0;
             let mut group_end = self.entries.len();
             while group_end > 0 {
                 let origin = self.entries[group_end - 1].origin;
@@ -278,46 +369,48 @@ impl Log {
                     group_start -= 1;
                 }
                 let mut newer = DestSet::EMPTY;
-                for i in (group_start..group_end).rev() {
-                    self.entries[i].dests.subtract(&newer);
-                    newer = newer.union(&self.entries[i].dests);
+                for e in self.entries[group_start..group_end].iter_mut().rev() {
+                    let before = e.dests.len();
+                    e.dests.subtract(&newer);
+                    removed += before - e.dests.len();
+                    newer = newer.union(&e.dests);
                 }
                 group_end = group_start;
             }
+            self.dest_ids -= removed;
         }
         self.purge(cfg);
     }
 
     /// Drop entries with empty destination sets. With `cfg.keep_markers`,
-    /// the newest entry of each origin survives even when empty.
+    /// the newest entry of each origin (its run's tail) survives even when
+    /// empty. Purged entries have empty destination sets, so the
+    /// destination-member counter is unchanged.
     pub fn purge(&mut self, cfg: PruneConfig) {
-        let entries = &mut self.entries;
-        let len = entries.len();
-        let mut keep = Vec::with_capacity(len);
-        for i in 0..len {
-            let e = &entries[i];
-            let is_newest_of_origin = i + 1 >= len || entries[i + 1].origin != e.origin;
-            keep.push(!e.dests.is_empty() || (cfg.keep_markers && is_newest_of_origin));
+        let len = self.entries.len();
+        let mut w = 0;
+        for r in 0..len {
+            let e = self.entries[r];
+            let is_run_tail = r + 1 >= len || self.entries[r + 1].origin != e.origin;
+            if !e.dests.is_empty() || (cfg.keep_markers && is_run_tail) {
+                self.entries[w] = e;
+                w += 1;
+            }
         }
-        let mut i = 0;
-        entries.retain(|_| {
-            let k = keep[i];
-            i += 1;
-            k
-        });
+        self.entries.truncate(w);
     }
 
     /// Total number of site ids across all destination lists (for size
-    /// accounting and diagnostics).
+    /// accounting and diagnostics). O(1) — maintained incrementally.
     pub fn dest_id_count(&self) -> usize {
-        self.entries.iter().map(|e| e.dests.len()).sum()
+        self.dest_ids
     }
 }
 
 impl fmt::Debug for Log {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Log[")?;
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -333,12 +426,11 @@ impl MetaSized for Log {
     /// three primitive lists `⟨j⟩, ⟨clock_j⟩, ⟨Dests⟩` — under the
     /// `java_like` model each entry therefore costs three packed words;
     /// under the `wire` model the destination set is an explicit id list.
+    ///
+    /// O(1): the total destination-member count is maintained incrementally
+    /// on insert/prune (module docs).
     fn meta_size(&self, model: &SizeModel) -> u64 {
-        let mut total = model.scalars(2 * self.len());
-        for e in &self.entries {
-            total += model.dest_set(e.dests.len());
-        }
-        total
+        model.scalars(2 * self.entries.len()) + model.dest_sets(self.entries.len(), self.dest_ids)
     }
 }
 
@@ -357,6 +449,30 @@ mod tests {
         PruneConfig::default()
     }
 
+    /// The incremental counters must always equal a full recount.
+    fn assert_counters(log: &Log) {
+        assert_eq!(log.len(), log.iter().count(), "len counter drifted");
+        assert_eq!(
+            log.dest_id_count(),
+            log.iter().map(|e| e.dests.len()).sum::<usize>(),
+            "dest_ids counter drifted"
+        );
+    }
+
+    /// The flat layout's clone-is-a-memcpy property rests on `LogEntry`
+    /// being `Copy` and word-sized; a non-`Copy` field (or a fat one) would
+    /// silently turn every piggyback snapshot into a per-entry deep clone.
+    #[test]
+    fn log_entry_stays_copy_and_small() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<LogEntry>();
+        let sz = std::mem::size_of::<LogEntry>();
+        assert!(
+            sz <= 32,
+            "LogEntry grew to {sz} bytes; clone cost scales with it"
+        );
+    }
+
     #[test]
     fn record_write_appends_own_entry() {
         let mut log = Log::new();
@@ -364,6 +480,7 @@ mod tests {
         assert_eq!(log.len(), 1);
         let e = log.get(s(0), 1).unwrap();
         assert_eq!(e.dests, d(&[1, 2]));
+        assert_counters(&log);
     }
 
     #[test]
@@ -375,6 +492,7 @@ mod tests {
         log.record_write(s(0), 1, d(&[2, 4]), cfg());
         assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[3]));
         assert_eq!(log.get(s(0), 1).unwrap().dests, d(&[2, 4]));
+        assert_counters(&log);
     }
 
     #[test]
@@ -392,24 +510,26 @@ mod tests {
     #[test]
     fn same_sender_condition2_in_normalize() {
         let mut log = Log::new();
-        log.insert_sorted(LogEntry::new(s(1), 1, d(&[2, 3])));
-        log.insert_sorted(LogEntry::new(s(1), 2, d(&[2, 4])));
+        log.upsert(LogEntry::new(s(1), 1, d(&[2, 3])));
+        log.upsert(LogEntry::new(s(1), 2, d(&[2, 4])));
         log.normalize(cfg());
         // Older same-sender entry loses dests covered by the newer one.
         assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[3]));
         assert_eq!(log.get(s(1), 2).unwrap().dests, d(&[2, 4]));
+        assert_counters(&log);
     }
 
     #[test]
     fn purge_keeps_newest_marker_per_origin() {
         let mut log = Log::new();
-        log.insert_sorted(LogEntry::new(s(1), 1, DestSet::EMPTY));
-        log.insert_sorted(LogEntry::new(s(1), 2, DestSet::EMPTY));
-        log.insert_sorted(LogEntry::new(s(2), 1, d(&[0])));
+        log.upsert(LogEntry::new(s(1), 1, DestSet::EMPTY));
+        log.upsert(LogEntry::new(s(1), 2, DestSet::EMPTY));
+        log.upsert(LogEntry::new(s(2), 1, d(&[0])));
         log.purge(cfg());
         assert!(log.get(s(1), 1).is_none(), "old empty entry purged");
         assert!(log.get(s(1), 2).is_some(), "newest kept as marker");
         assert!(log.get(s(2), 1).is_some());
+        assert_counters(&log);
     }
 
     #[test]
@@ -419,45 +539,74 @@ mod tests {
             keep_markers: false,
         };
         let mut log = Log::new();
-        log.insert_sorted(LogEntry::new(s(1), 2, DestSet::EMPTY));
+        log.upsert(LogEntry::new(s(1), 2, DestSet::EMPTY));
         log.purge(no_markers);
         assert!(log.is_empty());
+        assert_counters(&log);
     }
 
     #[test]
     fn merge_intersects_common_entries() {
         let mut a = Log::new();
-        a.insert_sorted(LogEntry::new(s(1), 1, d(&[2, 3, 4])));
+        a.upsert(LogEntry::new(s(1), 1, d(&[2, 3, 4])));
         let mut b = Log::new();
-        b.insert_sorted(LogEntry::new(s(1), 1, d(&[3, 4, 5])));
+        b.upsert(LogEntry::new(s(1), 1, d(&[3, 4, 5])));
         a.merge(&b, cfg());
         assert_eq!(a.get(s(1), 1).unwrap().dests, d(&[3, 4]));
+        assert_counters(&a);
     }
 
     #[test]
     fn merge_inserts_unknown_entries() {
         let mut a = Log::new();
         let mut b = Log::new();
-        b.insert_sorted(LogEntry::new(s(2), 7, d(&[0, 1])));
+        b.upsert(LogEntry::new(s(2), 7, d(&[0, 1])));
         a.merge(&b, cfg());
         assert_eq!(a.get(s(2), 7).unwrap().dests, d(&[0, 1]));
+        assert_counters(&a);
+    }
+
+    #[test]
+    fn merge_cross_prunes_against_markers() {
+        // Local knows ⟨1,1⟩ only; incoming's marker for origin 1 is clock 3:
+        // the local entry empties (and survives only as a marker candidate).
+        let mut a = Log::new();
+        a.upsert(LogEntry::new(s(1), 1, d(&[2, 3])));
+        let mut b = Log::new();
+        b.upsert(LogEntry::new(s(1), 3, d(&[4])));
+        // Incoming also carries a stale ⟨1,2⟩... which the local side has
+        // never seen but whose clock is older than nothing local — adopted.
+        a.merge(&b, cfg());
+        assert!(a.get(s(1), 1).is_none(), "superseded local entry purged");
+        assert_eq!(a.get(s(1), 3).unwrap().dests, d(&[4]));
+
+        // Symmetrically: incoming entries older than the local marker skip.
+        let mut c = Log::new();
+        c.upsert(LogEntry::new(s(1), 5, d(&[0])));
+        let mut old = Log::new();
+        old.upsert(LogEntry::new(s(1), 2, d(&[6, 7])));
+        c.merge(&old, cfg());
+        assert!(c.get(s(1), 2).is_none(), "stale incoming entry skipped");
+        assert_eq!(c.get(s(1), 5).unwrap().dests, d(&[0]));
+        assert_counters(&c);
     }
 
     #[test]
     fn remove_site_clears_membership_everywhere() {
         let mut log = Log::new();
-        log.insert_sorted(LogEntry::new(s(1), 1, d(&[0, 2])));
-        log.insert_sorted(LogEntry::new(s(3), 4, d(&[0])));
+        log.upsert(LogEntry::new(s(1), 1, d(&[0, 2])));
+        log.upsert(LogEntry::new(s(3), 4, d(&[0])));
         log.remove_site(s(0));
         assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[2]));
         assert!(log.get(s(3), 4).unwrap().dests.is_empty());
+        assert_counters(&log);
     }
 
     #[test]
     fn prune_applied_uses_clock_witness() {
         let mut log = Log::new();
-        log.insert_sorted(LogEntry::new(s(1), 3, d(&[0, 2])));
-        log.insert_sorted(LogEntry::new(s(1), 9, d(&[0, 2])));
+        log.upsert(LogEntry::new(s(1), 3, d(&[0, 2])));
+        log.upsert(LogEntry::new(s(1), 9, d(&[0, 2])));
         // Site 0 has applied writes from s1 up to clock 5: entry clock 3 is
         // known applied at 0, entry clock 9 is not.
         let mut last = vec![0u64; 4];
@@ -465,25 +614,42 @@ mod tests {
         log.prune_applied(s(0), &last);
         assert_eq!(log.get(s(1), 3).unwrap().dests, d(&[2]));
         assert_eq!(log.get(s(1), 9).unwrap().dests, d(&[0, 2]));
+        assert_counters(&log);
     }
 
     #[test]
     fn latest_clock_per_origin() {
         let mut log = Log::new();
-        log.insert_sorted(LogEntry::new(s(1), 3, d(&[0])));
-        log.insert_sorted(LogEntry::new(s(1), 7, d(&[0])));
-        log.insert_sorted(LogEntry::new(s(2), 1, d(&[0])));
+        log.upsert(LogEntry::new(s(1), 3, d(&[0])));
+        log.upsert(LogEntry::new(s(1), 7, d(&[0])));
+        log.upsert(LogEntry::new(s(2), 1, d(&[0])));
         assert_eq!(log.latest_clock(s(1)), Some(7));
         assert_eq!(log.latest_clock(s(2)), Some(1));
         assert_eq!(log.latest_clock(s(0)), None);
     }
 
     #[test]
+    fn iteration_order_is_origin_then_clock() {
+        let mut log = Log::new();
+        // Insert out of order on purpose.
+        log.upsert(LogEntry::new(s(2), 1, d(&[0])));
+        log.upsert(LogEntry::new(s(0), 9, d(&[1])));
+        log.upsert(LogEntry::new(s(0), 2, d(&[1])));
+        log.upsert(LogEntry::new(s(1), 4, d(&[2])));
+        let keys: Vec<_> = log.iter().map(|e| (e.origin, e.clock)).collect();
+        assert_eq!(
+            keys,
+            vec![(s(0), 2), (s(0), 9), (s(1), 4), (s(2), 1)],
+            "flattened runs must read in (origin, clock) order"
+        );
+    }
+
+    #[test]
     fn meta_size_counts_scalars_and_dest_sets() {
         let m = SizeModel::java_like();
         let mut log = Log::new();
-        log.insert_sorted(LogEntry::new(s(1), 1, d(&[2, 3])));
-        log.insert_sorted(LogEntry::new(s(2), 1, d(&[4])));
+        log.upsert(LogEntry::new(s(1), 1, d(&[2, 3])));
+        log.upsert(LogEntry::new(s(2), 1, d(&[4])));
         // Packed encoding: 2 entries × 3 words × 10 B = 60.
         assert_eq!(log.meta_size(&m), 60);
         // Wire encoding: 2 entries × 2 scalars × 4 B + 3 ids × 2 B = 22.
@@ -493,10 +659,11 @@ mod tests {
     #[test]
     fn duplicate_insert_is_intersection_not_duplicate() {
         let mut log = Log::new();
-        log.insert_sorted(LogEntry::new(s(1), 1, d(&[2, 3])));
-        log.insert_sorted(LogEntry::new(s(1), 1, d(&[3, 4])));
+        log.upsert(LogEntry::new(s(1), 1, d(&[2, 3])));
+        log.upsert(LogEntry::new(s(1), 1, d(&[3, 4])));
         assert_eq!(log.len(), 1);
         assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[3]));
+        assert_counters(&log);
     }
 
     /// Strategy: a small random log.
@@ -512,7 +679,7 @@ mod tests {
         .prop_map(|items| {
             let mut log = Log::new();
             for (o, c, ds) in items {
-                log.insert_sorted(LogEntry::new(s(o), c, d(&ds)));
+                log.upsert(LogEntry::new(s(o), c, d(&ds)));
             }
             log
         })
@@ -602,6 +769,25 @@ mod tests {
                 // origin (the marker rule).
                 prop_assert_eq!(log.latest_clock(s(o)), *expected);
             }
+        }
+
+        #[test]
+        fn prop_counters_track_contents(a in arb_log(), b in arb_log()) {
+            // The incremental len/dest_ids counters survive every public
+            // mutation path.
+            let mut m = a.clone();
+            assert_counters(&m);
+            m.merge(&b, cfg());
+            assert_counters(&m);
+            m.record_write(s(0), 99, d(&[1, 2, 3]), cfg());
+            assert_counters(&m);
+            m.remove_site(s(2));
+            assert_counters(&m);
+            let last = vec![4u64; 6];
+            m.prune_applied(s(1), &last);
+            assert_counters(&m);
+            m.purge(cfg());
+            assert_counters(&m);
         }
     }
 }

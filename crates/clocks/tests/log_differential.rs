@@ -1,0 +1,228 @@
+//! Differential proptests: the indexed [`Log`] against the retained naive
+//! flat-vector reference [`NaiveLog`].
+//!
+//! Both implementations claim the same MERGE / PURGE / implicit-pruning
+//! semantics (paper §III-B); `NaiveLog` is the executable specification (a
+//! direct transcription of the rules), `Log` is the per-origin indexed
+//! structure the simulator runs. These tests replay arbitrary operation
+//! interleavings against both and require identical observable state after
+//! **every** step: entry sequences (origin, clock, dests), `len`,
+//! `dest_id_count`, `latest_clock` per origin, and `meta_size` under both
+//! [`SizeModel`] calibrations (which also pins the indexed log's incremental
+//! accounting to the reference's recompute-from-scratch answer).
+
+use causal_clocks::{DestSet, Log, LogEntry, NaiveLog, PruneConfig};
+use causal_types::{MetaSized, SiteId, SizeModel};
+use proptest::prelude::*;
+
+const SITES: usize = 8;
+
+/// One operation of the shared Log API, applied to both implementations.
+#[derive(Clone, Debug)]
+enum Op {
+    Upsert {
+        origin: usize,
+        clock: u64,
+        dests: Vec<usize>,
+    },
+    RecordWrite {
+        origin: usize,
+        clock: u64,
+        dests: Vec<usize>,
+    },
+    RemoveSite {
+        site: usize,
+    },
+    PruneApplied {
+        site: usize,
+        last: Vec<u64>,
+    },
+    /// Merge in a foreign log built from (origin, clock, dests) triples.
+    Merge {
+        entries: Vec<(usize, u64, Vec<usize>)>,
+    },
+    Normalize,
+    Purge,
+}
+
+fn dset(ids: &[usize]) -> DestSet {
+    DestSet::from_sites(ids.iter().map(|&i| SiteId::from(i)))
+}
+
+fn arb_dests() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..SITES, 0..SITES)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..SITES, 1u64..10, arb_dests()).prop_map(|(origin, clock, dests)| Op::Upsert {
+            origin,
+            clock,
+            dests
+        }),
+        (0usize..SITES, 1u64..10, arb_dests()).prop_map(|(origin, clock, dests)| Op::RecordWrite {
+            origin,
+            clock,
+            dests
+        }),
+        (0usize..SITES).prop_map(|site| Op::RemoveSite { site }),
+        (
+            0usize..SITES,
+            proptest::collection::vec(0u64..10, SITES..=SITES)
+        )
+            .prop_map(|(site, last)| Op::PruneApplied { site, last }),
+        proptest::collection::vec((0usize..SITES, 1u64..10, arb_dests()), 0..10)
+            .prop_map(|entries| Op::Merge { entries }),
+        any::<bool>().prop_map(|_| Op::Normalize),
+        any::<bool>().prop_map(|_| Op::Purge),
+    ]
+}
+
+fn arb_cfg() -> impl Strategy<Value = PruneConfig> {
+    (any::<bool>(), any::<bool>()).prop_map(|(condition2, keep_markers)| PruneConfig {
+        condition2,
+        keep_markers,
+    })
+}
+
+/// Apply one op to both logs.
+fn apply(op: &Op, indexed: &mut Log, naive: &mut NaiveLog, cfg: PruneConfig) {
+    match op {
+        Op::Upsert {
+            origin,
+            clock,
+            dests,
+        } => {
+            let e = LogEntry::new(SiteId::from(*origin), *clock, dset(dests));
+            indexed.upsert(e);
+            naive.upsert(e);
+        }
+        Op::RecordWrite {
+            origin,
+            clock,
+            dests,
+        } => {
+            let o = SiteId::from(*origin);
+            indexed.record_write(o, *clock, dset(dests), cfg);
+            naive.record_write(o, *clock, dset(dests), cfg);
+        }
+        Op::RemoveSite { site } => {
+            indexed.remove_site(SiteId::from(*site));
+            naive.remove_site(SiteId::from(*site));
+        }
+        Op::PruneApplied { site, last } => {
+            indexed.prune_applied(SiteId::from(*site), last);
+            naive.prune_applied(SiteId::from(*site), last);
+        }
+        Op::Merge { entries } => {
+            // Build the same foreign knowledge in both representations. A
+            // real piggyback is a normalized log, so normalize it first —
+            // both implementations' merge cross-pruning assumes sound,
+            // marker-bearing inputs.
+            let mut fi = Log::new();
+            let mut fa = NaiveLog::new();
+            for (o, c, ds) in entries {
+                let e = LogEntry::new(SiteId::from(*o), *c, dset(ds));
+                fi.upsert(e);
+                fa.upsert(e);
+            }
+            fi.normalize(cfg);
+            fa.normalize(cfg);
+            indexed.merge(&fi, cfg);
+            naive.merge(&fa, cfg);
+        }
+        Op::Normalize => {
+            indexed.normalize(cfg);
+            naive.normalize(cfg);
+        }
+        Op::Purge => {
+            indexed.purge(cfg);
+            naive.purge(cfg);
+        }
+    }
+}
+
+/// Every observable of the two logs must agree (panics on divergence — the
+/// vendored proptest stub reports the unshrunk failing case).
+fn assert_equivalent(indexed: &Log, naive: &NaiveLog) {
+    let a: Vec<_> = indexed
+        .iter()
+        .map(|e| (e.origin, e.clock, e.dests))
+        .collect();
+    let b: Vec<_> = naive.iter().map(|e| (e.origin, e.clock, e.dests)).collect();
+    assert_eq!(&a, &b, "entry sequences diverged");
+    assert_eq!(indexed.len(), naive.len());
+    assert_eq!(indexed.is_empty(), naive.is_empty());
+    assert_eq!(indexed.dest_id_count(), naive.dest_id_count());
+    for o in 0..SITES {
+        let o = SiteId::from(o);
+        assert_eq!(indexed.latest_clock(o), naive.latest_clock(o));
+        for c in 1..10 {
+            assert_eq!(indexed.get(o, c), naive.get(o, c));
+        }
+    }
+    for model in [SizeModel::java_like(), SizeModel::wire()] {
+        assert_eq!(indexed.meta_size(&model), naive.meta_size(&model));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary op interleavings under the default (full Opt-Track)
+    /// pruning configuration.
+    #[test]
+    fn indexed_matches_reference_default_cfg(
+        ops in proptest::collection::vec(arb_op(), 0..24)
+    ) {
+        let cfg = PruneConfig::default();
+        let mut indexed = Log::new();
+        let mut naive = NaiveLog::new();
+        for op in &ops {
+            apply(op, &mut indexed, &mut naive, cfg);
+            assert_equivalent(&indexed, &naive);
+        }
+    }
+
+    /// Same, under every pruning-switch combination (ablation configs).
+    #[test]
+    fn indexed_matches_reference_any_cfg(
+        cfg in arb_cfg(),
+        ops in proptest::collection::vec(arb_op(), 0..24)
+    ) {
+        let mut indexed = Log::new();
+        let mut naive = NaiveLog::new();
+        for op in &ops {
+            apply(op, &mut indexed, &mut naive, cfg);
+            assert_equivalent(&indexed, &naive);
+        }
+    }
+
+    /// The write → piggyback → merge-on-read cycle the simulator actually
+    /// drives, checked step for step.
+    #[test]
+    fn writer_reader_cycle_matches(
+        writes in proptest::collection::vec((0usize..SITES, arb_dests()), 1..16)
+    ) {
+        let cfg = PruneConfig::default();
+        let mut wi = Log::new();
+        let mut wn = NaiveLog::new();
+        let mut ri = Log::new();
+        let mut rn = NaiveLog::new();
+        let mut clocks = [0u64; SITES];
+        for (origin, dests) in &writes {
+            clocks[*origin] += 1;
+            let o = SiteId::from(*origin);
+            // Writer snapshots (the piggyback), then records its write.
+            let pi = wi.clone();
+            let pn = wn.clone();
+            wi.record_write(o, clocks[*origin], dset(dests), cfg);
+            wn.record_write(o, clocks[*origin], dset(dests), cfg);
+            assert_equivalent(&wi, &wn);
+            // Reader merges the piggyback, as merge_on_read does.
+            ri.merge(&pi, cfg);
+            rn.merge(&pn, cfg);
+            assert_equivalent(&ri, &rn);
+        }
+    }
+}

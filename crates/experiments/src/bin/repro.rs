@@ -24,8 +24,10 @@
 //! durability run into `dir` (see `docs/OBSERVABILITY.md`); traces are
 //! byte-identical across `--jobs` settings.
 //!
-//! `bench` times one n = 40, w = 0.5 cell per protocol — sequentially, in
-//! parallel, and cold vs warm cache — and writes `BENCH_PR3.json`.
+//! `bench` times one n = 40, w = 0.5 cell per protocol — sequentially, at
+//! every pool width up to `--jobs`, and cold vs warm cache — and writes
+//! `BENCH_PR5.json` (including the host's available parallelism, so a
+//! recorded run documents the hardware it came from).
 
 use causal_experiments::figures;
 use causal_experiments::{Mode, Scale, Sweep};
@@ -215,8 +217,10 @@ fn main() {
 
 /// `bench` subcommand: wall-clock the n = 40, w = 0.5 cell of each protocol
 /// (the paper's largest point), then the same four cells through the
-/// parallel pool, then a cold-vs-warm persistent-cache pass; results land
-/// in `BENCH_PR3.json` (in `--out` or the working directory).
+/// parallel pool at every width from 1 to `--jobs` (powers of two), then a
+/// cold-vs-warm persistent-cache pass; results land in `BENCH_PR5.json`
+/// (in `--out` or the working directory) together with the host's
+/// available parallelism and the job count actually used.
 fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
     use std::fmt::Write as _;
     use std::time::Instant;
@@ -263,29 +267,50 @@ fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
     }
     let warm_s = t0.elapsed().as_secs_f64();
 
-    // Parallel pass: all per-seed units of the four cells on the pool,
-    // no cache, so the speedup over the sequential pass is honest.
-    eprintln!("[bench] same 4 cells on {jobs} worker(s) …");
-    let t0 = Instant::now();
-    let mut par = Sweep::new(scale);
-    par.set_jobs(jobs);
-    par.plan_begin();
-    for &(kind, mode) in &grid {
-        let _ = par.cell(kind, mode, n, w);
+    // Pool scaling: all per-seed units of the four cells at every pool
+    // width (powers of two up to --jobs, always including --jobs itself),
+    // no cache, so each width's speedup over the sequential pass is honest.
+    let mut widths: Vec<usize> = std::iter::successors(Some(1usize), |&j| Some(j * 2))
+        .take_while(|&j| j < jobs)
+        .collect();
+    widths.push(jobs);
+    let mut scaling_lines = String::new();
+    let mut par_s = seq_s;
+    for (i, &width) in widths.iter().enumerate() {
+        eprintln!("[bench] same 4 cells on {width} worker(s) …");
+        let t0 = Instant::now();
+        let mut par = Sweep::new(scale);
+        par.set_jobs(width);
+        par.plan_begin();
+        for &(kind, mode) in &grid {
+            let _ = par.cell(kind, mode, n, w);
+        }
+        par.plan_execute();
+        let dt = t0.elapsed().as_secs_f64();
+        if width == jobs {
+            par_s = dt;
+        }
+        let _ = writeln!(
+            scaling_lines,
+            "      {{ \"jobs\": {width}, \"wall_ms\": {:.1}, \"speedup\": {:.3} }}{}",
+            dt * 1e3,
+            seq_s / dt,
+            if i + 1 < widths.len() { "," } else { "" },
+        );
     }
-    par.plan_execute();
-    let par_s = t0.elapsed().as_secs_f64();
     let _ = std::fs::remove_dir_all(&scratch);
 
     let scale_name = match scale {
         Scale::Paper => "paper",
         Scale::Quick => "quick",
     };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
     let json = format!(
         "{{\n  \"scale\": \"{scale_name}\",\n  \"events_per_process\": {},\n  \
-         \"seeds_per_cell\": {},\n  \"protocol_cells\": [\n{}  ],\n  \
+         \"seeds_per_cell\": {},\n  \"host\": {{ \"available_parallelism\": {host_parallelism} }},\n  \
+         \"protocol_cells\": [\n{}  ],\n  \
          \"pool\": {{ \"jobs\": {jobs}, \"cells\": {}, \"sequential_ms\": {:.1}, \
-         \"parallel_ms\": {:.1}, \"speedup\": {:.3} }},\n  \
+         \"parallel_ms\": {:.1}, \"speedup\": {:.3},\n    \"scaling\": [\n{}    ] }},\n  \
          \"cache\": {{ \"cold_ms\": {:.1}, \"warm_ms\": {:.1}, \"cold_over_warm\": {:.1} }}\n}}\n",
         scale.events(),
         scale.seeds(),
@@ -294,14 +319,15 @@ fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
         seq_s * 1e3,
         par_s * 1e3,
         seq_s / par_s,
+        scaling_lines,
         seq_s * 1e3,
         warm_s * 1e3,
         seq_s / warm_s,
     );
     let path = out
-        .map(|d| d.join("BENCH_PR3.json"))
-        .unwrap_or_else(|| PathBuf::from("BENCH_PR3.json"));
-    std::fs::write(&path, &json).expect("write BENCH_PR3.json");
+        .map(|d| d.join("BENCH_PR5.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_PR5.json"));
+    std::fs::write(&path, &json).expect("write BENCH_PR5.json");
     print!("{json}");
     eprintln!("[bench] wrote {}", path.display());
 }

@@ -105,6 +105,38 @@ fn repro_csv_identical_across_jobs() {
     let _ = std::fs::remove_dir_all(&d4);
 }
 
+/// Byte-identity guard against committed goldens: the quick-scale sweep
+/// tables (paper figure 1, chaos, durability) must reproduce the committed
+/// output exactly. These goldens were captured before the indexed-log /
+/// copy-on-write overhaul, so any numeric drift in them means a protocol
+/// semantics change, not a refactor — regenerate them only with a
+/// documented simulation-behaviour change.
+#[test]
+fn repro_quick_tables_match_committed_goldens() {
+    let cases: [(&str, &[&str]); 3] = [
+        ("fig1_quick.txt", &["fig1", "--quick", "--no-cache"]),
+        ("chaos_quick.txt", &["chaos", "--quick"]),
+        ("durability_quick.txt", &["durability", "--quick"]),
+    ];
+    for (golden_name, args) in cases {
+        let out = repro(args);
+        assert!(out.status.success(), "{args:?} failed");
+        let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(golden_name);
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+        let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+        // Sweep tables go to stdout; progress lines go to stderr. Only
+        // trailing-newline count is normalized — every table byte counts.
+        assert_eq!(
+            stdout.trim_end_matches('\n'),
+            golden.trim_end_matches('\n'),
+            "{golden_name}: output diverged from the committed golden"
+        );
+    }
+}
+
 /// The cache's fail-soft contract, end to end through the binary: a
 /// corrupted cell file under `<out>/cache` must not fail (or skew) the next
 /// run — it is treated as a miss, recomputed, and atomically rewritten.

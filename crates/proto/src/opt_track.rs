@@ -37,13 +37,81 @@ struct PendingSm {
     log: Arc<Log>,
 }
 
+/// The `LastWriteOn⟨h⟩` slot: the log that will accompany this variable's
+/// value out of future reads — the piggybacked records plus the write's own
+/// record, minus every mention of this site (implicit condition 1), then
+/// normalized.
+///
+/// Constructed **lazily**: most applied values are overwritten before ever
+/// being read, so the apply path just stores the shared piggyback snapshot
+/// and the write's own record, and the read / fetch-reply / sync paths
+/// materialize on first use. Materialization never mutates the shared
+/// snapshot (copy-on-write via `Arc::try_unwrap`-or-clone), so piggybacks
+/// still in flight are never aliased by a mutated log.
+#[derive(Clone, Debug)]
+struct LastWrite {
+    log: Arc<Log>,
+    /// The write's own record, still to be folded in; `None` once
+    /// materialized.
+    own: Option<LogEntry>,
+}
+
+impl LastWrite {
+    /// Freshly applied: the shared piggyback plus the pending own record.
+    fn applied(log: Arc<Log>, own: LogEntry) -> Self {
+        LastWrite {
+            log,
+            own: Some(own),
+        }
+    }
+
+    /// Already materialized (sync install path).
+    fn materialized(log: Arc<Log>) -> Self {
+        LastWrite { log, own: None }
+    }
+
+    /// The assoc log, materializing in place on first use. The stored
+    /// snapshot is deep-cloned only if still shared with in-flight
+    /// messages or other sites' slots.
+    fn materialize(&mut self, me: SiteId, prune: PruneConfig) -> &Arc<Log> {
+        if let Some(own) = self.own.take() {
+            let mut log = Arc::try_unwrap(std::mem::take(&mut self.log))
+                .unwrap_or_else(|shared| (*shared).clone());
+            log.upsert(own);
+            log.remove_site(me);
+            log.normalize(prune);
+            self.log = Arc::new(log);
+        }
+        &self.log
+    }
+
+    /// Owned materialized log without caching (for `&self` paths: sync
+    /// export and size accounting).
+    fn materialize_owned(&self, me: SiteId, prune: PruneConfig) -> Log {
+        let mut log = (*self.log).clone();
+        if let Some(own) = self.own {
+            log.upsert(own);
+            log.remove_site(me);
+            log.normalize(prune);
+        }
+        log
+    }
+
+    /// Size of the materialized log — what this slot will weigh once read.
+    fn meta_size(&self, model: &SizeModel, me: SiteId, prune: PruneConfig) -> u64 {
+        match self.own {
+            None => self.log.meta_size(model),
+            Some(_) => self.materialize_owned(me, prune).meta_size(model),
+        }
+    }
+}
+
 /// State consulted and mutated by the drain loop.
 #[derive(Clone)]
 struct ApplyState {
     me: SiteId,
-    prune: PruneConfig,
     values: HashMap<VarId, VersionedValue>,
-    last_write_on: HashMap<VarId, Arc<Log>>,
+    last_write_on: HashMap<VarId, LastWrite>,
     /// `Apply_i[j]` — number of updates from `ap_j` applied here.
     apply: Vec<u64>,
     /// Largest write-clock from each origin applied here. In partial
@@ -63,8 +131,12 @@ pub struct OptTrack {
     repl: Arc<dyn Replication>,
     /// `clock_i` — local write counter.
     clock: u64,
-    /// `LOG_i` — the local KS log.
-    log: Log,
+    /// `LOG_i` — the local KS log, behind shared ownership so a write's
+    /// fan-out piggybacks the snapshot by refcount alone. Mutations go
+    /// through [`Arc::make_mut`]: the deep clone is paid only when the log
+    /// actually changes while a piggyback of it is still in flight
+    /// (copy-on-write), never per destination and never per send.
+    log: Arc<Log>,
     state: ApplyState,
     pending: PendingQueues<PendingSm>,
     outstanding_fetch: Option<VarId>,
@@ -87,10 +159,9 @@ impl OptTrack {
             n,
             repl: repl.clone(),
             clock: 0,
-            log: Log::new(),
+            log: Arc::new(Log::new()),
             state: ApplyState {
                 me: site,
-                prune,
                 values: HashMap::new(),
                 last_write_on: HashMap::new(),
                 apply: vec![0; n],
@@ -136,17 +207,14 @@ impl OptTrack {
             write: m.value.writer,
         });
 
-        // Build the log that will accompany this value out of future reads:
-        // the piggybacked records plus this write's own record, minus every
-        // mention of this site (implicit condition 1 — the predicate just
-        // guaranteed those writes are applied here, and this apply makes the
-        // write itself delivered here). The last destination to apply gets
-        // the shared snapshot without a copy.
-        let mut assoc = Arc::try_unwrap(m.log).unwrap_or_else(|shared| (*shared).clone());
-        assoc.upsert(LogEntry::new(sender, m.clock, state.repl.replicas(m.var)));
-        assoc.remove_site(state.me);
-        assoc.normalize(state.prune);
-        state.last_write_on.insert(m.var, Arc::new(assoc));
+        // Park the ingredients of the assoc log (see [`LastWrite`]): the
+        // shared piggyback and this write's own record. Implicit condition 1
+        // (minus every mention of this site — the predicate just guaranteed
+        // those writes are applied here) folds in lazily on first read.
+        let own = LogEntry::new(sender, m.clock, state.repl.replicas(m.var));
+        state
+            .last_write_on
+            .insert(m.var, LastWrite::applied(m.log, own));
     }
 
     fn drain(&mut self) -> Vec<Effect> {
@@ -158,11 +226,12 @@ impl OptTrack {
     /// Read-side MERGE: fold a value's `LastWriteOn` log into `LOG_i`,
     /// prune what this site already knows to be applied here, normalize.
     fn merge_on_read(&mut self, incoming: &Log) {
-        self.log.merge(incoming, self.prune);
-        let merged = self.log.len();
-        self.log.prune_applied(self.site, &self.state.last_clock);
-        self.log.purge(self.prune);
-        let remaining = self.log.len();
+        let log = Arc::make_mut(&mut self.log);
+        log.merge(incoming, self.prune);
+        let merged = log.len();
+        log.prune_applied(self.site, &self.state.last_clock);
+        log.purge(self.prune);
+        let remaining = log.len();
         if merged > remaining {
             self.trace.emit(ProtoTraceEvent::LogPruned {
                 removed: merged - remaining,
@@ -200,8 +269,9 @@ impl ProtocolSite for OptTrack {
         // Piggyback the *pre-write* log: "the outgoing update messages will
         // piggyback the currently stored records". Receivers thereby see the
         // writer's causal past, including its own still-relevant writes.
-        // One shared snapshot serves the whole fan-out.
-        let piggyback = Arc::new(self.log.clone());
+        // One shared snapshot serves the whole fan-out — taking it is a
+        // refcount bump; `record_write` below pays the copy-on-write clone.
+        let piggyback = Arc::clone(&self.log);
 
         let mut effects = Vec::new();
         for k in dests.iter() {
@@ -222,19 +292,17 @@ impl ProtocolSite for OptTrack {
 
         // Local log update: condition 2 prunes destinations covered by this
         // causally-later send, then the write's own record is added.
-        self.log
-            .record_write(self.site, self.clock, dests, self.prune);
+        Arc::make_mut(&mut self.log).record_write(self.site, self.clock, dests, self.prune);
 
         if dests.contains(self.site) {
             // Writer applies its own update immediately.
             self.state.values.insert(var, value);
             self.state.apply[self.site.index()] += 1;
             self.state.last_clock[self.site.index()] = self.clock;
-            let mut assoc = Arc::try_unwrap(piggyback).unwrap_or_else(|shared| (*shared).clone());
-            assoc.upsert(LogEntry::new(self.site, self.clock, dests));
-            assoc.remove_site(self.site);
-            assoc.normalize(self.prune);
-            self.state.last_write_on.insert(var, Arc::new(assoc));
+            let own = LogEntry::new(self.site, self.clock, dests);
+            self.state
+                .last_write_on
+                .insert(var, LastWrite::applied(piggyback, own));
             effects.push(Effect::Applied { var, write: wid });
             effects.extend(self.drain());
         }
@@ -243,9 +311,9 @@ impl ProtocolSite for OptTrack {
 
     fn read(&mut self, var: VarId) -> ReadResult {
         if self.repl.is_replicated_at(var, self.site) {
-            if let Some(lw) = self.state.last_write_on.get(&var) {
-                let lw = lw.clone();
-                self.merge_on_read(&lw);
+            if let Some(lw) = self.state.last_write_on.get_mut(&var) {
+                let log = Arc::clone(lw.materialize(self.site, self.prune));
+                self.merge_on_read(&log);
             }
             ReadResult::Local(self.state.values.get(&var).copied())
         } else {
@@ -290,7 +358,14 @@ impl ProtocolSite for OptTrack {
             }
             Msg::Fm(fm) => {
                 let value = self.state.values.get(&fm.var).copied();
-                let meta = RmMeta::OptTrack(self.state.last_write_on.get(&fm.var).cloned());
+                let site = self.site;
+                let prune = self.prune;
+                let meta = RmMeta::OptTrack(
+                    self.state
+                        .last_write_on
+                        .get_mut(&fm.var)
+                        .map(|lw| Arc::clone(lw.materialize(site, prune))),
+                );
                 vec![Effect::Send {
                     to: from,
                     msg: Msg::Rm(Rm {
@@ -327,7 +402,7 @@ impl ProtocolSite for OptTrack {
     fn local_meta_size(&self, model: &SizeModel) -> u64 {
         let mut total = self.log.meta_size(model);
         for l in self.state.last_write_on.values() {
-            total += l.meta_size(model);
+            total += l.meta_size(model, self.site, self.prune);
         }
         total
     }
@@ -351,7 +426,7 @@ impl ProtocolSite for OptTrack {
         };
         // The write counter is the durable bit — reusing a clock would mint
         // duplicate WriteIds. Everything learned is volatile.
-        self.log = Log::new();
+        self.log = Arc::new(Log::new());
         self.state.values.clear();
         self.state.last_write_on.clear();
         self.state.apply = vec![0; self.n];
@@ -379,7 +454,7 @@ impl ProtocolSite for OptTrack {
         let pi = peer.index();
         self.state.last_clock[pi] = self.state.last_clock[pi].max(ledger.own_clock);
         self.state.apply[pi] += dropped as u64;
-        self.log.prune_applied(self.site, &self.state.last_clock);
+        Arc::make_mut(&mut self.log).prune_applied(self.site, &self.state.last_clock);
         (self.drain(), dropped)
     }
 
@@ -389,10 +464,13 @@ impl ProtocolSite for OptTrack {
             .values
             .iter()
             .filter(|(var, _)| self.repl.is_replicated_at(**var, requester))
-            .map(|(var, value)| (*var, *value, self.state.last_write_on[var].as_ref().clone()))
+            .map(|(var, value)| {
+                let lw = &self.state.last_write_on[var];
+                (*var, *value, lw.materialize_owned(self.site, self.prune))
+            })
             .collect();
         SyncState::OptTrack {
-            log: self.log.clone(),
+            log: (*self.log).clone(),
             vars,
         }
     }
@@ -415,7 +493,7 @@ impl ProtocolSite for OptTrack {
             // Merge every live peer's log: a conservative over-approximation
             // of the lost causal knowledge (each observed write lives in its
             // writer's own log until all destinations are covered).
-            self.log.merge(log, self.prune);
+            Arc::make_mut(&mut self.log).merge(log, self.prune);
             for (var, value, meta) in vars {
                 let replace = best.get(var).is_none_or(|(b, _)| {
                     (value.writer.clock, value.writer.site) > (b.writer.clock, b.writer.site)
@@ -425,8 +503,9 @@ impl ProtocolSite for OptTrack {
                 }
             }
         }
-        self.log.prune_applied(self.site, &self.state.last_clock);
-        self.log.purge(self.prune);
+        let local = Arc::make_mut(&mut self.log);
+        local.prune_applied(self.site, &self.state.last_clock);
+        local.purge(self.prune);
         for (var, (value, mut meta)) in best {
             // Install only values strictly newer than the local replica: a
             // WAL-replayed state already holds everything up to its durable
@@ -438,7 +517,9 @@ impl ProtocolSite for OptTrack {
                 meta.remove_site(self.site);
                 meta.normalize(self.prune);
                 self.state.values.insert(var, value);
-                self.state.last_write_on.insert(var, Arc::new(meta));
+                self.state
+                    .last_write_on
+                    .insert(var, LastWrite::materialized(Arc::new(meta)));
             }
         }
     }
@@ -794,6 +875,50 @@ mod tests {
             "disabling condition 2 must inflate the log ({} vs {})",
             loose_site.log_size(),
             tight_site.log_size()
+        );
+    }
+
+    #[test]
+    fn piggyback_snapshot_never_aliases_mutated_log() {
+        // Regression test for the copy-on-write sharing: a captured
+        // piggyback is an immutable snapshot. Neither later writes at the
+        // writer (which fork `LOG_i` via `Arc::make_mut`) nor lazy
+        // materialization of a receiver's `LastWriteOn` slot (the
+        // `Arc::try_unwrap`-or-clone path) may alter the snapshot in place
+        // while an in-flight message still holds it.
+        let mut sys = toy_system();
+        let snapshot_of = |sm: &Sm| -> Arc<Log> {
+            let SmMeta::OptTrack { log, .. } = &sm.meta else {
+                panic!("wrong meta");
+            };
+            Arc::clone(log)
+        };
+        let contents = |l: &Log| -> Vec<(SiteId, u64, DestSet)> {
+            l.iter().map(|e| (e.origin, e.clock, e.dests)).collect()
+        };
+
+        sys[0].write(VarId(0), 1, 0); // x at {0,1}: log gains ⟨s0,1,{0,1}⟩
+        let (_w2, e2) = sys[0].write(VarId(2), 2, 0); // z at {0,2}
+        let sm_z = sends(&e2)[0].1.clone();
+        let held = snapshot_of(&sm_z);
+        let expected = contents(&held);
+        assert!(!expected.is_empty(), "snapshot must carry the causal past");
+
+        // Writer keeps going: record_write + merge-on-read must fork, not
+        // mutate the shared snapshot.
+        sys[0].write(VarId(0), 3, 0);
+        sys[0].read(VarId(0));
+        assert_eq!(contents(&held), expected, "writer mutated a live snapshot");
+
+        // Receiver applies the update, then materializes and merges the
+        // parked slot on read, then overwrites it with its own write.
+        sys[2].on_message(SiteId(0), Msg::Sm(sm_z));
+        sys[2].read(VarId(2));
+        sys[2].write(VarId(2), 9, 0);
+        assert_eq!(
+            contents(&held),
+            expected,
+            "receiver mutated a live snapshot"
         );
     }
 }

@@ -16,9 +16,9 @@ use causal_proto::{
 use causal_types::WriteId;
 use causal_types::{MetaSized, OpKind, SimDuration, SimTime, SiteId, SizeModel, VarId};
 use causal_workload::{generate, WorkloadParams};
+use fxhash::{FxHashMap, FxHashSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A site pause (fail-stop with recovery): during `[start, end)` the site
@@ -302,7 +302,7 @@ struct Chaos {
     /// History-level apply dedup: a crashed site re-applies redelivered
     /// updates it had already applied (and recorded) before losing state;
     /// the checker's per-origin FIFO pass must see each apply once.
-    applied_seen: HashSet<(SiteId, WriteId)>,
+    applied_seen: FxHashSet<(SiteId, WriteId)>,
 }
 
 /// Run one simulation to quiescence.
@@ -354,7 +354,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
         })
         .collect();
     // Receipt time of each SM per receiver, for the apply-latency metric.
-    let mut receipt: HashMap<(SiteId, WriteId), SimTime> = HashMap::new();
+    let mut receipt: FxHashMap<(SiteId, WriteId), SimTime> = FxHashMap::default();
 
     let mut chaos: Option<Chaos> = cfg.chaos().then(|| Chaos {
         transport: Transport::new(n, TransportTuning::default()),
@@ -368,7 +368,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
             .durability
             .wal
             .then(|| (0..n).map(|_| DurableStore::new(n)).collect()),
-        applied_seen: HashSet::new(),
+        applied_seen: FxHashSet::default(),
     });
 
     // Validate and schedule the crash windows. Windows of one site must
@@ -1360,7 +1360,7 @@ fn handle_sync_req(
     metrics: &mut RunMetrics,
     history: &mut Option<History>,
     drivers: &mut [AppDriver],
-    receipt: &mut HashMap<(SiteId, WriteId), SimTime>,
+    receipt: &mut FxHashMap<(SiteId, WriteId), SimTime>,
     schedule: &causal_workload::Schedule,
     size_model: &SizeModel,
     durability: &DurabilityPlan,
@@ -1751,7 +1751,7 @@ fn process_effects(
     metrics: &mut RunMetrics,
     history: &mut Option<History>,
     drivers: &mut [AppDriver],
-    receipt: &mut HashMap<(SiteId, WriteId), SimTime>,
+    receipt: &mut FxHashMap<(SiteId, WriteId), SimTime>,
     size_model: &SizeModel,
     chaos: &mut Option<Chaos>,
     tracer: &mut dyn Tracer,

@@ -115,6 +115,18 @@ impl SizeModel {
             DestsEncoding::PerSiteId => self.site_ids(members),
         }
     }
+
+    /// Bytes for `sets` destination sets holding `members` site ids in
+    /// total. Algebraically equal to summing [`SizeModel::dest_set`] over
+    /// the individual sets, but computable in O(1) from aggregate counters —
+    /// the indexed Opt-Track log sizes its piggybacks this way.
+    #[inline]
+    pub fn dest_sets(&self, sets: usize, members: usize) -> u64 {
+        match self.dests {
+            DestsEncoding::PackedWord => self.scalars(sets),
+            DestsEncoding::PerSiteId => self.site_ids(members),
+        }
+    }
 }
 
 impl Default for SizeModel {
@@ -171,6 +183,17 @@ mod tests {
         }
         assert!(w.scalars(100) < j.scalars(100));
         assert!(w.site_ids(100) < j.site_ids(100));
+    }
+
+    #[test]
+    fn dest_sets_matches_per_set_sum() {
+        for model in [SizeModel::java_like(), SizeModel::wire()] {
+            let members = [3usize, 0, 7, 1];
+            let total: usize = members.iter().sum();
+            let per_set: u64 = members.iter().map(|&m| model.dest_set(m)).sum();
+            assert_eq!(model.dest_sets(members.len(), total), per_set);
+        }
+        assert_eq!(SizeModel::java_like().dest_sets(0, 0), 0);
     }
 
     #[test]
