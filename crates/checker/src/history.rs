@@ -32,6 +32,10 @@ pub struct History {
     n: usize,
     ops: Vec<Vec<OpRecord>>,
     applies: Vec<Vec<WriteId>>,
+    /// Per-site `(ops, applies)` lengths at the moment the site left the
+    /// membership view (`None` = never left). Records past the watermark
+    /// are out-of-view activity the checker flags.
+    sealed: Vec<Option<(usize, usize)>>,
 }
 
 impl History {
@@ -41,6 +45,7 @@ impl History {
             n,
             ops: vec![Vec::new(); n],
             applies: vec![Vec::new(); n],
+            sealed: vec![None; n],
         }
     }
 
@@ -75,6 +80,22 @@ impl History {
         self.applies[site.index()].push(write);
     }
 
+    /// Seal `site`'s history at its current length: the site left the
+    /// membership view, so any operation or apply recorded after this point
+    /// is out-of-view activity (a departed site still mutating state). The
+    /// first seal wins — a site cannot rejoin under the churn model.
+    pub fn seal_site(&mut self, site: SiteId) {
+        let i = site.index();
+        if self.sealed[i].is_none() {
+            self.sealed[i] = Some((self.ops[i].len(), self.applies[i].len()));
+        }
+    }
+
+    /// Per-site seal watermarks (`None` = the site never left the view).
+    pub fn sealed(&self) -> &[Option<(usize, usize)>] {
+        &self.sealed
+    }
+
     /// Per-process operation sequences.
     pub fn ops(&self) -> &[Vec<OpRecord>] {
         &self.ops
@@ -107,6 +128,11 @@ impl History {
                     "two histories recorded applies for site {i}"
                 );
                 self.applies[i] = applies;
+            }
+        }
+        for (i, seal) in other.sealed.into_iter().enumerate() {
+            if self.sealed[i].is_none() {
+                self.sealed[i] = seal;
             }
         }
     }

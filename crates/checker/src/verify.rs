@@ -30,6 +30,10 @@ pub struct Violations {
     /// The history could not be causally ordered (cyclic reads-from or a
     /// read observing a write never issued) — indicates a corrupt recording.
     pub unresolved: u64,
+    /// Operations or applies recorded for a site *after* its departure seal
+    /// ([`History::seal_site`]) — a departed member kept mutating state,
+    /// which the view-change quiescence protocol must prevent.
+    pub out_of_view: u64,
     /// Up to ten human-readable descriptions of the first violations found.
     pub examples: Vec<String>,
 }
@@ -39,7 +43,11 @@ impl Violations {
     /// causal delivery + reads-from integrity). Stale remote reads are
     /// tolerated — see the crate docs.
     pub fn protocol_clean(&self) -> bool {
-        self.fifo == 0 && self.delivery == 0 && self.reads_from == 0 && self.unresolved == 0
+        self.fifo == 0
+            && self.delivery == 0
+            && self.reads_from == 0
+            && self.unresolved == 0
+            && self.out_of_view == 0
     }
 
     /// `true` when the execution additionally satisfies strict causal
@@ -60,13 +68,15 @@ impl std::fmt::Display for Violations {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "fifo={} delivery={} reads_from={} stale_reads={} own_write_races={} unresolved={}",
+            "fifo={} delivery={} reads_from={} stale_reads={} own_write_races={} unresolved={} \
+             out_of_view={}",
             self.fifo,
             self.delivery,
             self.reads_from,
             self.stale_reads,
             self.own_write_races,
-            self.unresolved
+            self.unresolved,
+            self.out_of_view
         )
     }
 }
@@ -299,6 +309,25 @@ pub fn check(history: &History) -> Violations {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Pass 3: departure seals. Anything a site recorded after leaving the
+    // view is activity the quiescence protocol failed to stop.
+    // ------------------------------------------------------------------
+    for (k, seal) in history.sealed().iter().enumerate() {
+        let Some((ops_mark, applies_mark)) = seal else {
+            continue;
+        };
+        let late_ops = history.ops()[k].len().saturating_sub(*ops_mark);
+        let late_applies = history.applies()[k].len().saturating_sub(*applies_mark);
+        if late_ops + late_applies > 0 {
+            v.out_of_view += (late_ops + late_applies) as u64;
+            v.note(format!(
+                "s{k} recorded {late_ops} op(s) and {late_applies} apply(ies) \
+                 after leaving the view"
+            ));
+        }
+    }
+
     v
 }
 
@@ -463,6 +492,27 @@ mod tests {
         h.record_write(SiteId(0), w(0, 2), VarId(0)); // first write, clock 2
         let v = check(&h);
         assert!(v.unresolved >= 1, "{v:?}");
+    }
+
+    #[test]
+    fn activity_after_departure_seal_is_out_of_view() {
+        let mut h = History::new(2);
+        h.record_write(SiteId(0), w(0, 1), VarId(0));
+        h.record_apply(SiteId(0), w(0, 1));
+        h.record_apply(SiteId(1), w(0, 1));
+        h.seal_site(SiteId(0));
+        let v = check(&h);
+        assert_eq!(v.out_of_view, 0, "{v:?}");
+        assert!(v.protocol_clean());
+        // The departed site writes and applies again: both flagged.
+        h.record_write(SiteId(0), w(0, 2), VarId(0));
+        h.record_apply(SiteId(0), w(0, 2));
+        let v = check(&h);
+        assert_eq!(v.out_of_view, 2, "{v:?}");
+        assert!(!v.protocol_clean());
+        // Sealing is idempotent: a second seal keeps the first watermark.
+        h.seal_site(SiteId(0));
+        assert_eq!(check(&h).out_of_view, 2);
     }
 
     #[test]

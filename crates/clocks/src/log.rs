@@ -262,6 +262,30 @@ impl Log {
         self.dest_ids -= removed;
     }
 
+    /// A site left the system for good: drop every entry it originated
+    /// (no survivor's activation predicate waits on a departed sender —
+    /// the membership layer fast-forwards per-origin bookkeeping past its
+    /// lost traffic) and remove it from every remaining destination set
+    /// (it will never apply anything again, so its membership in a
+    /// destination list can never constrain a future delivery). A later
+    /// `merge` with a peer that has not yet forgotten the site may
+    /// reintroduce entries; that is sound — merely wasteful until the
+    /// peer forgets too — because forgotten entries carry no obligations.
+    pub fn forget_site(&mut self, departed: SiteId, cfg: PruneConfig) {
+        let mut removed = 0;
+        self.entries.retain(|e| {
+            if e.origin == departed {
+                removed += e.dests.len();
+                false
+            } else {
+                true
+            }
+        });
+        self.dest_ids -= removed;
+        self.remove_site(departed);
+        self.normalize(cfg);
+    }
+
     /// MERGE: fold the piggybacked log `incoming` (the `LastWriteOn⟨h⟩` of a
     /// read value) into this local log, then normalize.
     ///
@@ -517,6 +541,33 @@ mod tests {
         assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[3]));
         assert_eq!(log.get(s(1), 2).unwrap().dests, d(&[2, 4]));
         assert_counters(&log);
+    }
+
+    #[test]
+    fn forget_site_drops_origin_and_dest_membership() {
+        let mut log = Log::new();
+        log.upsert(LogEntry::new(s(1), 1, d(&[2, 3])));
+        log.upsert(LogEntry::new(s(1), 2, d(&[0, 2])));
+        log.upsert(LogEntry::new(s(2), 1, d(&[1, 3])));
+        log.upsert(LogEntry::new(s(3), 1, d(&[0])));
+        let mut naive = crate::reference::NaiveLog::new();
+        for e in log.iter() {
+            naive.upsert(*e);
+        }
+        log.forget_site(s(1), cfg());
+        naive.forget_site(s(1), cfg());
+        // Site 1's own entries are gone; its membership in other entries'
+        // destination sets is gone; unrelated entries survive.
+        assert!(log.get(s(1), 1).is_none());
+        assert!(log.get(s(1), 2).is_none());
+        assert_eq!(log.get(s(2), 1).unwrap().dests, d(&[3]));
+        assert_eq!(log.get(s(3), 1).unwrap().dests, d(&[0]));
+        assert_counters(&log);
+        // Reference implementation agrees entry-for-entry.
+        assert_eq!(
+            log.iter().copied().collect::<Vec<_>>(),
+            naive.iter().copied().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -131,6 +131,15 @@ impl NaiveLog {
         }
     }
 
+    /// A site left the system for good: drop its originated entries and
+    /// remove it from every remaining destination set. See
+    /// `crate::Log::forget_site` for the soundness argument.
+    pub fn forget_site(&mut self, departed: SiteId, cfg: PruneConfig) {
+        self.entries.retain(|e| e.origin != departed);
+        self.remove_site(departed);
+        self.normalize(cfg);
+    }
+
     /// MERGE: fold the piggybacked log `incoming` into this local log, then
     /// normalize. See `crate::Log::merge` for the rule derivation.
     pub fn merge(&mut self, incoming: &NaiveLog, cfg: PruneConfig) {

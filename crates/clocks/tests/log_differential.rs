@@ -33,6 +33,9 @@ enum Op {
     RemoveSite {
         site: usize,
     },
+    ForgetSite {
+        site: usize,
+    },
     PruneApplied {
         site: usize,
         last: Vec<u64>,
@@ -66,6 +69,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
             dests
         }),
         (0usize..SITES).prop_map(|site| Op::RemoveSite { site }),
+        (0usize..SITES).prop_map(|site| Op::ForgetSite { site }),
         (
             0usize..SITES,
             proptest::collection::vec(0u64..10, SITES..=SITES)
@@ -109,6 +113,10 @@ fn apply(op: &Op, indexed: &mut Log, naive: &mut NaiveLog, cfg: PruneConfig) {
         Op::RemoveSite { site } => {
             indexed.remove_site(SiteId::from(*site));
             naive.remove_site(SiteId::from(*site));
+        }
+        Op::ForgetSite { site } => {
+            indexed.forget_site(SiteId::from(*site), cfg);
+            naive.forget_site(SiteId::from(*site), cfg);
         }
         Op::PruneApplied { site, last } => {
             indexed.prune_applied(SiteId::from(*site), last);

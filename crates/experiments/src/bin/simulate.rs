@@ -13,6 +13,7 @@
 //!          [--zipf <theta>] [--wire-model] [--check]
 //!          [--faults <drop,dup>] [--crash <site:start_ms:end_ms[:media]>]
 //!          [--wal] [--checkpoint-interval <ms>] [--fetch-deadline <ms>]
+//!          [--churn <spec>]
 //!          [--dump-schedule <path>] [--schedule <path>]
 //!          [--seeds <k>] [--jobs <n>]
 //!          [--trace <path>] [--verify-trace]
@@ -42,6 +43,15 @@
 //! rebuild). `--fetch-deadline 150` makes a blocked remote read fail over
 //! to the next replica after 150 ms instead of waiting indefinitely, and
 //! give up as a degraded read once the candidates are exhausted.
+//!
+//! `--churn "join:5@2s;migrate:12:4->5@4s;leave:1@6s"` runs the simulation
+//! under dynamic membership: each `;`-separated event proposes a view
+//! change (`join:SITE@TIME`, `leave:SITE@TIME`, `crash-leave:SITE@TIME`,
+//! `migrate:VAR:FROM->TO@TIME`) that quiesces and installs at an epoch
+//! boundary. Sites that join later start outside the view and bootstrap by
+//! state transfer. The plan is validated before the run (ids in range, a
+//! join precedes its leave, migrations target members) and a bad plan
+//! exits 2 with the offending event named.
 //!
 //! `--trace out.jsonl` records a structured event trace (one JSON object
 //! per line, stamped with virtual time — see `docs/OBSERVABILITY.md`) and
@@ -86,6 +96,7 @@ struct Args {
     fetch_deadline: Option<u64>,
     dump_schedule: Option<String>,
     schedule: Option<String>,
+    churn: Option<String>,
     seeds: usize,
     jobs: usize,
     trace: Option<String>,
@@ -113,6 +124,7 @@ fn parse() -> Args {
         fetch_deadline: None,
         dump_schedule: None,
         schedule: None,
+        churn: None,
         seeds: 1,
         jobs: 1,
         trace: None,
@@ -219,6 +231,7 @@ fn parse() -> Args {
             "--check" => a.check = true,
             "--trace" => a.trace = Some(val()),
             "--verify-trace" => a.verify_trace = true,
+            "--churn" => a.churn = Some(val()),
             "--dump-schedule" => a.dump_schedule = Some(val()),
             "--schedule" => a.schedule = Some(val()),
             "--help" | "-h" => {
@@ -373,10 +386,18 @@ fn main() {
                 .filter(|c| c.3)
                 .map(|c| SiteId::from(c.0))
                 .collect(),
+            torn_tail: Vec::new(),
         },
+        churn: None,
     };
     cfg.workload.q = a.q;
     cfg.workload.events_per_process = a.events;
+    if let Some(spec) = &a.churn {
+        let plan = causal_workload::ChurnPlan::parse(spec).unwrap_or_else(|e| die(&e.to_string()));
+        plan.validate(a.n, a.q)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        cfg.churn = Some(plan);
+    }
     if let Some(theta) = a.zipf {
         cfg.workload.var_dist = VarDistribution::Zipf { theta };
     }
@@ -500,6 +521,18 @@ fn main() {
             println!(
                 "degradation     {} fetch failovers, {} degraded reads, {} degraded recoveries",
                 m.fetch_failovers, m.degraded_reads, m.degraded_recoveries
+            );
+        }
+        if cfg.churn.is_some() {
+            println!(
+                "membership      {} view changes ({} forced), {} joins, {} leaves, {} migrations",
+                m.view_changes, m.views_forced, m.joins, m.leaves, m.migrations
+            );
+            println!(
+                "                transfer {:.1} KB ({} degraded), mean view change {:.2} ms",
+                m.churn_transfer_bytes as f64 / 1000.0,
+                m.churn_transfers_degraded,
+                m.view_change_ns.mean() / 1e6
             );
         }
     }

@@ -76,6 +76,7 @@ fn durability_cfg(
         checkpoint_every: ckpt_ms.map(SimDuration::from_millis),
         fetch_deadline: Some(SimDuration::from_millis(150)),
         lose_media: Vec::new(),
+        torn_tail: Vec::new(),
     };
     cfg
 }

@@ -32,6 +32,7 @@
 pub mod analytic;
 pub mod cache;
 pub mod chaos;
+pub mod churn;
 pub mod durability;
 pub mod figures;
 pub mod pool;

@@ -278,6 +278,63 @@ fn simulate_rejects_bad_parallel_flags() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
 }
 
+/// `--churn` validation: malformed specs and causally impossible plans
+/// exit 2 before the run starts, naming the offending event.
+#[test]
+fn simulate_rejects_bad_churn_plans() {
+    // Parse error: not an event spec at all.
+    let out = simulate(&["--churn", "explode:3@5s"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown kind"));
+
+    // Parse error: missing time suffix.
+    let out = simulate(&["--churn", "join:3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing @TIME"));
+
+    // A join scheduled after the same site's leave: rejected as a re-join
+    // (the site starts in the view, drains out, and may not come back).
+    let out = simulate(&["--n", "6", "--churn", "leave:5@2s;join:5@5s"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("may join at most once"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Migration to a site that has already left the view.
+    let out = simulate(&["--n", "6", "--churn", "leave:2@5s;migrate:1:0->2@8s"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a member"));
+
+    // Out-of-range ids against the configured system size.
+    let out = simulate(&["--n", "4", "--churn", "join:9@5s"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out-of-range"));
+}
+
+/// A valid churn spec runs end to end, reports membership metrics, and
+/// passes the causal checker.
+#[test]
+fn simulate_runs_a_churned_workload_clean() {
+    let out = simulate(&[
+        "--protocol",
+        "opt-track",
+        "--n",
+        "6",
+        "--events",
+        "40",
+        "--churn",
+        "join:5@5s;leave:1@30s",
+        "--check",
+    ]);
+    assert!(out.status.success(), "churned run failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("membership"), "stdout: {stdout}");
+    assert!(stdout.contains("1 joins, 1 leaves"), "stdout: {stdout}");
+    assert!(stdout.contains("causally consistent"), "stdout: {stdout}");
+}
+
 #[test]
 fn simulate_multi_seed_runs_in_seed_order() {
     let run = |jobs: &str| {

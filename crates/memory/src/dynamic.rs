@@ -1,0 +1,359 @@
+//! View-aware replica placement for reconfigurable clusters.
+//!
+//! [`DynamicPlacement`] wraps a static [`Placement`] with an epoch'd *view*:
+//! a member set plus per-variable replica-set overrides. The simulator's
+//! membership layer installs view changes (joins, leaves, migrations) at
+//! epoch boundaries; between changes the placement answers the
+//! [`Replication`] queries exactly like the base placement restricted to
+//! the current members, so protocol sites need no churn-specific code.
+//!
+//! Interior mutability is deliberate: protocol sites hold the placement as
+//! `Arc<dyn Replication>` and must observe installed views immediately,
+//! without rebuilding every site. A `RwLock` keeps the type `Sync` for the
+//! parallel sweep runner; the simulator itself is single-threaded per run,
+//! so the lock is never contended.
+
+use crate::placement::Placement;
+use causal_clocks::DestSet;
+use causal_proto::Replication;
+use causal_types::{SiteId, VarId};
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+/// The mutable part of a [`DynamicPlacement`]: one installed view.
+#[derive(Clone, Debug)]
+struct ViewState {
+    /// Monotone view number, bumped at every install.
+    epoch: u64,
+    /// Current members.
+    members: DestSet,
+    /// Per-variable replica-set overrides (migrations); variables absent
+    /// here use the base placement's replica set.
+    overrides: BTreeMap<VarId, DestSet>,
+}
+
+/// An epoch'd, reconfigurable placement over a fixed universe of `n` site
+/// slots. See the module docs.
+#[derive(Debug)]
+pub struct DynamicPlacement {
+    base: Placement,
+    view: RwLock<ViewState>,
+}
+
+impl DynamicPlacement {
+    /// Wrap `base` with an initial member set (epoch 1). Panics when no
+    /// site is a member.
+    pub fn new(base: Placement, initial_members: &[bool]) -> Self {
+        assert_eq!(initial_members.len(), base.n(), "member mask must cover n");
+        let members = DestSet::from_sites(
+            initial_members
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| SiteId::from(i)),
+        );
+        assert!(!members.is_empty(), "initial view must have a member");
+        DynamicPlacement {
+            base,
+            view: RwLock::new(ViewState {
+                epoch: 1,
+                members,
+                overrides: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// The wrapped static placement.
+    pub fn base(&self) -> &Placement {
+        &self.base
+    }
+
+    /// Current view epoch.
+    pub fn epoch(&self) -> u64 {
+        self.view.read().unwrap().epoch
+    }
+
+    /// Current member set.
+    pub fn members(&self) -> DestSet {
+        self.view.read().unwrap().members
+    }
+
+    /// Whether `site` is in the current view.
+    pub fn is_member(&self, site: SiteId) -> bool {
+        self.members().contains(site)
+    }
+
+    /// Install a join: `site` becomes a member. Returns the new epoch.
+    pub fn install_join(&self, site: SiteId) -> u64 {
+        let mut v = self.view.write().unwrap();
+        v.members.insert(site);
+        v.epoch += 1;
+        v.epoch
+    }
+
+    /// Install a leave: `site` is removed from the view. Returns the new
+    /// epoch. Panics when the view would become empty.
+    pub fn install_leave(&self, site: SiteId) -> u64 {
+        let mut v = self.view.write().unwrap();
+        v.members.remove(site);
+        assert!(!v.members.is_empty(), "view must keep at least one member");
+        v.epoch += 1;
+        v.epoch
+    }
+
+    /// Install a replica-set override for `var` (a migration's cutover).
+    /// Returns the new epoch.
+    pub fn install_override(&self, var: VarId, replicas: DestSet) -> u64 {
+        assert!(!replicas.is_empty(), "override must keep a replica");
+        let mut v = self.view.write().unwrap();
+        v.overrides.insert(var, replicas);
+        v.epoch += 1;
+        v.epoch
+    }
+
+    /// Re-home every variable in `0..q` whose replica set has no
+    /// current-view member. Each orphan gets an override placing it on the
+    /// member nearest its first raw replica (ascending base ring distance,
+    /// ties towards lower ids), so the choice is deterministic. Called once
+    /// at construction when the initial view excludes sites that solely
+    /// home some variables; the epoch is not bumped — this is part of view
+    /// 1, not a change to it. Returns how many variables moved.
+    pub fn rehome_orphans(&self, q: usize) -> usize {
+        let mut v = self.view.write().unwrap();
+        let mut moved = 0;
+        for var in VarId::all(q) {
+            let raw = v
+                .overrides
+                .get(&var)
+                .copied()
+                .unwrap_or_else(|| self.base.replicas(var));
+            if !raw.intersect(&v.members).is_empty() {
+                continue;
+            }
+            let anchor = raw.iter().next().expect("base replica set is non-empty");
+            let target = v
+                .members
+                .iter()
+                .min_by_key(|m| (self.base.ring_distance(anchor.index(), m.index()), *m))
+                .expect("view has a member");
+            v.overrides.insert(var, DestSet::from_sites([target]));
+            moved += 1;
+        }
+        moved
+    }
+
+    /// The replica set of `var` *before* member filtering: the override if
+    /// one was installed, else the base placement's set. Migration planning
+    /// starts from this.
+    pub fn raw_replicas(&self, var: VarId) -> DestSet {
+        self.view
+            .read()
+            .unwrap()
+            .overrides
+            .get(&var)
+            .copied()
+            .unwrap_or_else(|| self.base.replicas(var))
+    }
+
+    /// All current-view replicas of `var` ordered by fetch preference for
+    /// `site` (ascending base ring distance, ties towards lower ids), with
+    /// the requester itself excluded. The view-aware analogue of
+    /// [`Placement::fetch_candidates`].
+    pub fn fetch_candidates(&self, var: VarId, site: SiteId) -> Vec<SiteId> {
+        let mut candidates: Vec<SiteId> =
+            self.replicas(var).iter().filter(|&r| r != site).collect();
+        candidates.sort_by_key(|r| (self.base.ring_distance(site.index(), r.index()), *r));
+        candidates
+    }
+}
+
+impl Replication for DynamicPlacement {
+    fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    fn replicas(&self, var: VarId) -> DestSet {
+        let v = self.view.read().unwrap();
+        let raw = v
+            .overrides
+            .get(&var)
+            .copied()
+            .unwrap_or_else(|| self.base.replicas(var));
+        let r = raw.intersect(&v.members);
+        // The membership layer keeps every variable replicated somewhere
+        // (orphans are re-homed in the same view change that would empty
+        // their set), so an empty intersection is a driver bug.
+        debug_assert!(!r.is_empty(), "variable {var} lost all replicas");
+        r
+    }
+
+    fn fetch_target(&self, var: VarId, site: SiteId) -> SiteId {
+        self.fetch_candidates(var, site)
+            .first()
+            .copied()
+            .unwrap_or(site)
+    }
+
+    fn is_full(&self) -> bool {
+        self.base.is_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementKind;
+    use proptest::prelude::*;
+
+    fn dynamic(n: usize) -> DynamicPlacement {
+        DynamicPlacement::new(Placement::paper_partial(n).unwrap(), &vec![true; n])
+    }
+
+    #[test]
+    fn matches_base_placement_before_any_view_change() {
+        let n = 10;
+        let d = dynamic(n);
+        let base = Placement::paper_partial(n).unwrap();
+        assert_eq!(d.epoch(), 1);
+        for v in VarId::all(60) {
+            assert_eq!(d.replicas(v), base.replicas(v));
+            for s in SiteId::all(n) {
+                if !base.is_replicated_at(v, s) {
+                    assert_eq!(d.fetch_target(v, s), base.fetch_target(v, s));
+                    assert_eq!(d.fetch_candidates(v, s), base.fetch_candidates(v, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_and_leave_bump_the_epoch_and_filter_members() {
+        let d = DynamicPlacement::new(
+            Placement::paper_partial(6).unwrap(),
+            &[true, true, true, true, true, false],
+        );
+        assert!(!d.is_member(SiteId(5)));
+        assert_eq!(d.install_join(SiteId(5)), 2);
+        assert!(d.is_member(SiteId(5)));
+        assert_eq!(d.install_leave(SiteId(1)), 3);
+        assert!(!d.is_member(SiteId(1)));
+        for v in VarId::all(40) {
+            assert!(
+                !d.replicas(v).contains(SiteId(1)),
+                "departed site serves {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn overrides_rehome_a_variable() {
+        let d = dynamic(10);
+        let var = VarId(0);
+        let before = d.replicas(var);
+        let mut target = before;
+        let from = before.iter().next().unwrap();
+        target.remove(from);
+        target.insert(SiteId(7));
+        d.install_override(var, target);
+        assert_eq!(d.replicas(var), target);
+        assert_eq!(d.raw_replicas(var), target);
+        // Other variables are untouched.
+        assert_eq!(d.replicas(VarId(1)), dynamic(10).replicas(VarId(1)));
+    }
+
+    #[test]
+    fn orphans_are_rehomed_onto_the_nearest_member() {
+        // n = 3, p = 1: each var lives on exactly one site. With site 2 not
+        // yet joined, every var homed on 2 starts orphaned and must be
+        // re-homed deterministically onto a member.
+        let base = Placement::paper_partial(3).unwrap();
+        let d = DynamicPlacement::new(base.clone(), &[true, true, false]);
+        let q = 30;
+        let orphans: Vec<VarId> = VarId::all(q)
+            .filter(|&v| base.replicas(v).intersect(&d.members()).is_empty())
+            .collect();
+        assert!(!orphans.is_empty(), "p = 1 must orphan site 2's vars");
+        let moved = d.rehome_orphans(q);
+        assert_eq!(moved, orphans.len());
+        assert_eq!(d.epoch(), 1, "initial re-homing is part of view 1");
+        for v in VarId::all(q) {
+            let r = d.replicas(v);
+            assert!(!r.is_empty(), "{v} still orphaned");
+            assert!(r.iter().all(|s| d.members().contains(s)));
+        }
+        // Idempotent: nothing left to move.
+        assert_eq!(d.rehome_orphans(q), 0);
+    }
+
+    #[test]
+    fn fetch_candidates_skip_departed_members() {
+        // n = 10, p = 3, var 0 → base replicas {0, 1, 2}.
+        let d = dynamic(10);
+        d.install_leave(SiteId(0));
+        assert_eq!(
+            d.fetch_candidates(VarId(0), SiteId(9)),
+            vec![SiteId(1), SiteId(2)]
+        );
+    }
+
+    proptest! {
+        /// Satellite property: under arbitrary placements and view sizes,
+        /// fetch candidates are always current-view members, never the
+        /// requester, and cover every member replica of the variable.
+        #[test]
+        fn prop_candidates_are_members_cover_replicas_never_requester(
+            n in 3usize..40,
+            p in 1usize..12,
+            kind_pick in 0usize..3,
+            var in 0u32..200,
+            s in 0usize..40,
+            out_a in 0usize..40,
+            out_b in 0usize..40,
+        ) {
+            prop_assume!(s < n);
+            let p = p.min(n);
+            let kind = [
+                PlacementKind::Even,
+                PlacementKind::Hashed { seed: 11 },
+                PlacementKind::Clustered,
+            ][kind_pick];
+            let d = DynamicPlacement::new(
+                Placement::new(kind, n, p).unwrap(),
+                &vec![true; n],
+            );
+            // Shrink the view by up to two leaves, never below two members
+            // and never removing every replica of the probed variable.
+            for out in [out_a % n, out_b % n] {
+                let out = SiteId::from(out);
+                let still_replicated = !d
+                    .replicas(VarId(var))
+                    .minus(&DestSet::from_sites([out]))
+                    .is_empty();
+                if d.members().len() > 2 && d.members().contains(out) && still_replicated {
+                    d.install_leave(out);
+                }
+            }
+            let site = SiteId::from(s);
+            let members = d.members();
+            let cands = d.fetch_candidates(VarId(var), site);
+            let replicas = d.replicas(VarId(var));
+            for c in &cands {
+                prop_assert!(members.contains(*c), "candidate {c} not a member");
+                prop_assert!(replicas.contains(*c), "candidate {c} not a replica");
+                prop_assert_ne!(*c, site, "candidate is the requester");
+            }
+            // Coverage: every member replica other than the requester is a
+            // candidate, exactly once.
+            let expected: Vec<SiteId> =
+                replicas.iter().filter(|&r| r != site).collect();
+            prop_assert_eq!(cands.len(), expected.len());
+            let mut sorted = cands.clone();
+            sorted.sort();
+            prop_assert_eq!(sorted, expected);
+            // And the predesignated target is the head of the failover walk.
+            if !cands.is_empty() {
+                prop_assert_eq!(d.fetch_target(VarId(var), site), cands[0]);
+            }
+        }
+    }
+}

@@ -15,7 +15,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod cluster;
+pub mod dynamic;
 pub mod placement;
 
 pub use cluster::LocalCluster;
+pub use dynamic::DynamicPlacement;
 pub use placement::{Placement, PlacementKind};

@@ -106,8 +106,9 @@ impl Placement {
     }
 
     /// Ring distance from `from` to `to` over `n` sites (used to pick the
-    /// predesignated fetch replica).
-    fn ring_distance(&self, from: usize, to: usize) -> usize {
+    /// predesignated fetch replica; also by [`crate::DynamicPlacement`] to
+    /// keep view-aware failover orders consistent with the static ones).
+    pub(crate) fn ring_distance(&self, from: usize, to: usize) -> usize {
         let d = (to + self.n - from) % self.n;
         d.min(self.n - d)
     }

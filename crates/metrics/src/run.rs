@@ -95,6 +95,29 @@ pub struct RunMetrics {
     /// Recoveries finished in degraded mode: a sync deadline expired before
     /// every expected peer responded (correlated-failure overlap).
     pub degraded_recoveries: u64,
+    /// Records dropped by fail-soft WAL loads (torn-tail truncation).
+    pub wal_truncated: u64,
+    /// Membership view changes installed (epoch bumps: joins, leaves,
+    /// migrations).
+    pub view_changes: u64,
+    /// View changes force-installed at the quiescence deadline (in-flight
+    /// deliveries still pending — availability was chosen over waiting).
+    pub views_forced: u64,
+    /// Sites that joined the view (state-transfer bootstraps).
+    pub joins: u64,
+    /// Sites that left the view (graceful drains and fail-stop leaves).
+    pub leaves: u64,
+    /// Variables whose replica set was migrated live.
+    pub migrations: u64,
+    /// Modeled wire bytes of membership state transfers (join bootstraps
+    /// and migration snapshots).
+    pub churn_transfer_bytes: u64,
+    /// Membership transfers that completed degraded: the donor died
+    /// mid-transfer and no replacement held the state.
+    pub churn_transfers_degraded: u64,
+    /// Virtual nanoseconds from each view-change proposal to its install
+    /// (the quiescence window).
+    pub view_change_ns: StatAccum,
     /// Remote-fetch round-trip time, virtual nanoseconds (issue → return,
     /// including failover re-issues' tail).
     pub fetch_rtt_ns: StatAccum,
@@ -140,6 +163,15 @@ impl Default for RunMetrics {
             fetch_failovers: 0,
             degraded_reads: 0,
             degraded_recoveries: 0,
+            wal_truncated: 0,
+            view_changes: 0,
+            views_forced: 0,
+            joins: 0,
+            leaves: 0,
+            migrations: 0,
+            churn_transfer_bytes: 0,
+            churn_transfers_degraded: 0,
+            view_change_ns: StatAccum::default(),
             fetch_rtt_ns: StatAccum::default(),
             fetch_rtt_p99: P2Quantile::new(0.99),
             per_site: SiteRegistry::new(),
@@ -225,6 +257,14 @@ impl RunMetrics {
         self.fetch_failovers += other.fetch_failovers;
         self.degraded_reads += other.degraded_reads;
         self.degraded_recoveries += other.degraded_recoveries;
+        self.wal_truncated += other.wal_truncated;
+        self.view_changes += other.view_changes;
+        self.views_forced += other.views_forced;
+        self.joins += other.joins;
+        self.leaves += other.leaves;
+        self.migrations += other.migrations;
+        self.churn_transfer_bytes += other.churn_transfer_bytes;
+        self.churn_transfers_degraded += other.churn_transfers_degraded;
         self.per_site.merge(&other.per_site);
         // StatAccum cannot merge exactly without the raw moments; fold the
         // other's summary as a weighted contribution.
@@ -234,6 +274,7 @@ impl RunMetrics {
             (&mut self.pending_samples, &other.pending_samples),
             (&mut self.transit_ns, &other.transit_ns),
             (&mut self.recovery_ns, &other.recovery_ns),
+            (&mut self.view_change_ns, &other.view_change_ns),
             (&mut self.fetch_rtt_ns, &other.fetch_rtt_ns),
         ] {
             for _ in 0..theirs.count() {
@@ -365,5 +406,34 @@ mod tests {
         assert_eq!(a.fetch_failovers, 1);
         assert_eq!(a.degraded_reads, 2);
         assert_eq!(a.degraded_recoveries, 1);
+    }
+
+    #[test]
+    fn churn_counters_merge() {
+        let mut a = RunMetrics::new();
+        a.wal_truncated = 2;
+        a.view_changes = 3;
+        a.joins = 1;
+        a.view_change_ns.record(5_000.0);
+        let mut b = RunMetrics::new();
+        b.wal_truncated = 1;
+        b.view_changes = 2;
+        b.views_forced = 1;
+        b.joins = 1;
+        b.leaves = 2;
+        b.migrations = 4;
+        b.churn_transfer_bytes = 1_234;
+        b.churn_transfers_degraded = 1;
+        b.view_change_ns.record(7_000.0);
+        a.merge(&b);
+        assert_eq!(a.wal_truncated, 3);
+        assert_eq!(a.view_changes, 5);
+        assert_eq!(a.views_forced, 1);
+        assert_eq!(a.joins, 2);
+        assert_eq!(a.leaves, 2);
+        assert_eq!(a.migrations, 4);
+        assert_eq!(a.churn_transfer_bytes, 1_234);
+        assert_eq!(a.churn_transfers_degraded, 1);
+        assert_eq!(a.view_change_ns.count(), 2);
     }
 }

@@ -186,6 +186,15 @@ pub enum EventKind {
         /// Modeled bytes of the snapshot shipped.
         bytes: u64,
     },
+    /// A membership view change was installed at this site's simulator
+    /// (attributed to the joining/leaving/migrated-to site).
+    ViewChange {
+        /// The newly installed epoch.
+        epoch: u64,
+        /// 1 when the install was forced at the view deadline instead of
+        /// reached by quiescence, else 0.
+        forced: u64,
+    },
     /// Opt-Track pruned its causality log (conditions 1/2 + PURGE).
     LogPrune {
         /// Entries removed by this prune.
@@ -440,6 +449,10 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
             tag(&mut s, "sync_resp");
             let _ = write!(s, ",\"to\":{},\"bytes\":{bytes}", to.0);
         }
+        EventKind::ViewChange { epoch, forced } => {
+            tag(&mut s, "view_change");
+            let _ = write!(s, ",\"epoch\":{epoch},\"forced\":{forced}");
+        }
         EventKind::LogPrune { removed, remaining } => {
             tag(&mut s, "log_prune");
             let _ = write!(s, ",\"removed\":{removed},\"remaining\":{remaining}");
@@ -627,6 +640,10 @@ pub fn event_from_json(line: &str) -> Result<TraceEvent, String> {
             to: f.site("to")?,
             bytes: f.num("bytes")?,
         },
+        "view_change" => EventKind::ViewChange {
+            epoch: f.num("epoch")?,
+            forced: f.num("forced")?,
+        },
         "log_prune" => EventKind::LogPrune {
             removed: f.num("removed")?,
             remaining: f.num("remaining")?,
@@ -737,6 +754,10 @@ mod tests {
             EventKind::SyncResp {
                 to: SiteId(3),
                 bytes: 900,
+            },
+            EventKind::ViewChange {
+                epoch: 2,
+                forced: 1,
             },
             EventKind::LogPrune {
                 removed: 12,

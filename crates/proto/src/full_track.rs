@@ -295,15 +295,37 @@ impl ProtocolSite for FullTrack {
         self.state.values.get(&var).copied()
     }
 
-    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
-        let ledger = OwnLedger {
+    fn own_ledger(&self) -> OwnLedger {
+        OwnLedger {
             site: self.site,
             own_clock: self.own_writes,
             own_row: SiteId::all(self.n)
                 .map(|d| self.write_clock.get(self.site, d))
                 .collect(),
             self_applied: self.state.apply[self.site.index()],
-        };
+        }
+    }
+
+    fn drop_var(&mut self, var: VarId) {
+        self.state.values.remove(&var);
+        self.state.last_write_on.remove(&var);
+    }
+
+    fn restore_own_ledger(&mut self, ledger: &OwnLedger) {
+        self.own_writes = self.own_writes.max(ledger.own_clock);
+        for d in SiteId::all(self.n) {
+            let row = self
+                .write_clock
+                .get(self.site, d)
+                .max(ledger.own_row[d.index()]);
+            self.write_clock.set(self.site, d, row);
+        }
+        let applied = &mut self.state.apply[self.site.index()];
+        *applied = (*applied).max(ledger.self_applied);
+    }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        let ledger = self.own_ledger();
         // Forget everything learned; re-seed what the ledger justifies.
         self.write_clock = MatrixClock::new(self.n);
         for d in SiteId::all(self.n) {

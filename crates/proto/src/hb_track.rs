@@ -267,18 +267,40 @@ impl ProtocolSite for HbTrack {
         self.state.values.get(&var).copied()
     }
 
-    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+    fn own_ledger(&self) -> OwnLedger {
         // HB-Track's own matrix row counts only own writes (peers' matrices
         // can never know more of this row than the site itself), so the row
         // snapshot is ledger material just as in Full-Track.
-        let ledger = OwnLedger {
+        OwnLedger {
             site: self.site,
             own_clock: self.own_writes,
             own_row: SiteId::all(self.n)
                 .map(|d| self.state.write_clock.get(self.site, d))
                 .collect(),
             self_applied: self.state.apply[self.site.index()],
-        };
+        }
+    }
+
+    fn drop_var(&mut self, var: VarId) {
+        self.state.values.remove(&var);
+    }
+
+    fn restore_own_ledger(&mut self, ledger: &OwnLedger) {
+        self.own_writes = self.own_writes.max(ledger.own_clock);
+        for d in SiteId::all(self.n) {
+            let row = self
+                .state
+                .write_clock
+                .get(self.site, d)
+                .max(ledger.own_row[d.index()]);
+            self.state.write_clock.set(self.site, d, row);
+        }
+        let applied = &mut self.state.apply[self.site.index()];
+        *applied = (*applied).max(ledger.self_applied);
+    }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        let ledger = self.own_ledger();
         self.state.write_clock = MatrixClock::new(self.n);
         for d in SiteId::all(self.n) {
             self.state

@@ -415,15 +415,47 @@ impl ProtocolSite for OptTrack {
         Some(self.log.len())
     }
 
-    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
-        let ledger = OwnLedger {
+    fn own_ledger(&self) -> OwnLedger {
+        OwnLedger {
             site: self.site,
             own_clock: self.clock,
             // Opt-Track's predicate is clock-based, not count-based, so the
             // per-destination row is only an upper bound (nothing reads it).
             own_row: vec![self.clock; self.n],
             self_applied: self.state.apply[self.site.index()],
-        };
+        }
+    }
+
+    fn note_peer_departed(&mut self, peer: SiteId, ledger: &OwnLedger) -> (Vec<Effect>, usize) {
+        // Same fast-forward as a recovery announcement, plus: the peer is
+        // gone for good, so its KS-log entries (as origin or destination)
+        // can never constrain a future delivery — forget them.
+        let dropped = self.pending.clear_sender(peer);
+        let pi = peer.index();
+        self.state.last_clock[pi] = self.state.last_clock[pi].max(ledger.own_clock);
+        self.state.apply[pi] += dropped as u64;
+        let log = Arc::make_mut(&mut self.log);
+        log.prune_applied(self.site, &self.state.last_clock);
+        log.forget_site(peer, self.prune);
+        (self.drain(), dropped)
+    }
+
+    fn drop_var(&mut self, var: VarId) {
+        self.state.values.remove(&var);
+        self.state.last_write_on.remove(&var);
+    }
+
+    fn restore_own_ledger(&mut self, ledger: &OwnLedger) {
+        // Fail-soft WAL truncation may have replayed fewer own writes than
+        // the durable ledger records; never reuse a clock (= WriteId).
+        self.clock = self.clock.max(ledger.own_clock);
+        let me = self.site.index();
+        self.state.last_clock[me] = self.state.last_clock[me].max(self.clock);
+        self.state.apply[me] = self.state.apply[me].max(ledger.self_applied);
+    }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        let ledger = self.own_ledger();
         // The write counter is the durable bit — reusing a clock would mint
         // duplicate WriteIds. Everything learned is volatile.
         self.log = Arc::new(Log::new());

@@ -48,6 +48,7 @@ struct ApplyState {
 pub struct OptTrackCrp {
     site: SiteId,
     n: usize,
+    repl: Arc<dyn Replication>,
     /// `clock_i` — local write counter.
     clock: u64,
     /// The local dependency log (`≤ d + 1` tuples).
@@ -69,6 +70,7 @@ impl OptTrackCrp {
         OptTrackCrp {
             site,
             n,
+            repl,
             clock: 0,
             log: CrpLog::new(),
             state: ApplyState {
@@ -147,9 +149,11 @@ impl ProtocolSite for OptTrackCrp {
         // Piggyback the pre-write log (own previous write tuple + one tuple
         // per distinct origin read since then); one shared snapshot serves
         // the whole fan-out.
+        // "Full replication" means every *member* of the current view; a
+        // dynamic placement excludes departed or not-yet-joined slots.
         let piggyback = Arc::new(self.log.clone());
         let mut effects = Vec::with_capacity(self.n);
-        for k in SiteId::all(self.n) {
+        for k in self.repl.replicas(var).iter() {
             if k != self.site {
                 effects.push(Effect::Send {
                     to: k,
@@ -238,15 +242,33 @@ impl ProtocolSite for OptTrackCrp {
         Some(self.log.len())
     }
 
-    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+    fn own_ledger(&self) -> OwnLedger {
         // Under full replication every own write counts toward every site,
         // so the durable per-destination row is uniformly `clock_i`.
-        let ledger = OwnLedger {
+        OwnLedger {
             site: self.site,
             own_clock: self.clock,
             own_row: vec![self.clock; self.n],
             self_applied: self.state.apply[self.site.index()],
-        };
+        }
+    }
+
+    fn drop_var(&mut self, var: VarId) {
+        self.state.values.remove(&var);
+        self.state.last_write_on.remove(&var);
+    }
+
+    fn restore_own_ledger(&mut self, ledger: &OwnLedger) {
+        // Fail-soft WAL truncation may have replayed fewer own writes than
+        // the durable ledger records; never reuse a clock (= WriteId).
+        self.clock = self.clock.max(ledger.own_clock);
+        let me = self.site.index();
+        self.state.last_clock[me] = self.state.last_clock[me].max(self.clock);
+        self.state.apply[me] = self.state.apply[me].max(ledger.self_applied);
+    }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        let ledger = self.own_ledger();
         self.log = CrpLog::new();
         if self.clock > 0 {
             // Post-recovery writes causally follow the last pre-crash write;

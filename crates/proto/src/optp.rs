@@ -42,6 +42,10 @@ struct ApplyState {
 pub struct OptP {
     site: SiteId,
     n: usize,
+    /// Placement handle — full replication, but consulted per write so a
+    /// dynamic view (members joining/leaving) narrows the fan-out without
+    /// protocol changes.
+    repl: Arc<dyn Replication>,
     /// `Write_i` — the site's vector clock.
     write_clock: VectorClock,
     state: ApplyState,
@@ -57,6 +61,7 @@ impl OptP {
         OptP {
             site,
             n,
+            repl,
             write_clock: VectorClock::new(n),
             state: ApplyState {
                 values: HashMap::new(),
@@ -129,7 +134,7 @@ impl ProtocolSite for OptP {
         let snapshot = Arc::new(self.write_clock.clone());
 
         let mut effects = Vec::with_capacity(self.n);
-        for k in SiteId::all(self.n) {
+        for k in self.repl.replicas(var).iter() {
             if k != self.site {
                 effects.push(Effect::Send {
                     to: k,
@@ -210,15 +215,32 @@ impl ProtocolSite for OptP {
         self.state.values.get(&var).copied()
     }
 
-    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+    fn own_ledger(&self) -> OwnLedger {
         let own_clock = self.write_clock.get(self.site);
-        let ledger = OwnLedger {
+        OwnLedger {
             site: self.site,
             own_clock,
             // Full replication: every own write goes to every site.
             own_row: vec![own_clock; self.n],
             self_applied: self.state.apply[self.site.index()],
-        };
+        }
+    }
+
+    fn drop_var(&mut self, var: VarId) {
+        self.state.values.remove(&var);
+        self.state.last_write_on.remove(&var);
+    }
+
+    fn restore_own_ledger(&mut self, ledger: &OwnLedger) {
+        let own = self.write_clock.get(self.site).max(ledger.own_clock);
+        self.write_clock.set(self.site, own);
+        let applied = &mut self.state.apply[self.site.index()];
+        *applied = (*applied).max(ledger.self_applied);
+    }
+
+    fn crash_volatile(&mut self) -> (OwnLedger, usize) {
+        let own_clock = self.write_clock.get(self.site);
+        let ledger = self.own_ledger();
         self.write_clock = VectorClock::new(self.n);
         self.write_clock.set(self.site, own_clock);
         self.state.values.clear();

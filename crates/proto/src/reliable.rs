@@ -176,6 +176,36 @@ impl SyncState {
             },
         }
     }
+
+    /// Restrict the shared-variable snapshot to `vars` (live placement
+    /// migration ships exactly the migrating variables). As with
+    /// [`SyncState::filter_delta`], the causal knowledge is kept in full —
+    /// the receiving replica max-merges it, which is always safe.
+    pub fn retain_vars(&self, keep: &[VarId]) -> SyncState {
+        let want = |var: &VarId| keep.contains(var);
+        match self {
+            SyncState::FullTrack { clock, vars } => SyncState::FullTrack {
+                clock: clock.clone(),
+                vars: vars.iter().filter(|(v, _, _)| want(v)).cloned().collect(),
+            },
+            SyncState::OptTrack { log, vars } => SyncState::OptTrack {
+                log: log.clone(),
+                vars: vars.iter().filter(|(v, _, _)| want(v)).cloned().collect(),
+            },
+            SyncState::Crp { log, vars } => SyncState::Crp {
+                log: log.clone(),
+                vars: vars.iter().filter(|(v, _)| want(v)).cloned().collect(),
+            },
+            SyncState::OptP { clock, vars } => SyncState::OptP {
+                clock: clock.clone(),
+                vars: vars.iter().filter(|(v, _, _)| want(v)).cloned().collect(),
+            },
+            SyncState::HbTrack { clock, vars } => SyncState::HbTrack {
+                clock: clock.clone(),
+                vars: vars.iter().filter(|(v, _)| want(v)).cloned().collect(),
+            },
+        }
+    }
 }
 
 /// A transport-level frame on one ordered site pair.

@@ -145,4 +145,48 @@ pub trait ProtocolSite: Send {
         let _ = sources;
         panic!("{} does not support crash injection", self.kind())
     }
+
+    // ------------------------------------------------------------------
+    // Membership (epoch'd view changes; see the simulator's churn layer).
+    // Built on the crash/recovery machinery: a join is a peer rebuild from
+    // scratch, a leave is a permanent crash whose ledger lets survivors
+    // fast-forward, a migration is a targeted state transfer.
+    // ------------------------------------------------------------------
+
+    /// Snapshot the durable own-write ledger *without* crashing: what
+    /// [`ProtocolSite::crash_volatile`] would return, but leaving all
+    /// volatile state intact. View changes hand this to joiners (so their
+    /// activation predicates fast-forward past history they will receive
+    /// via state transfer instead) and to survivors of a graceful leave.
+    fn own_ledger(&self) -> OwnLedger {
+        panic!("{} does not support membership changes", self.kind())
+    }
+
+    /// `peer` left the view for good (graceful drain or fail-stop): forget
+    /// it. The default delegates to [`ProtocolSite::note_peer_recovery`] —
+    /// the bookkeeping is the same fast-forward past traffic that will
+    /// never arrive — and implementations may additionally drop metadata
+    /// that only mattered while the peer could still return (e.g.
+    /// Opt-Track's KS-log entries whose remaining destinations all
+    /// departed).
+    fn note_peer_departed(&mut self, peer: SiteId, ledger: &OwnLedger) -> (Vec<Effect>, usize) {
+        self.note_peer_recovery(peer, ledger)
+    }
+
+    /// Stop replicating `var`: discard its local value and per-variable
+    /// metadata (migration cutover on the vacated replica). Causal
+    /// knowledge about past writes of `var` is retained — it may still
+    /// guard other applies. No-op by default.
+    fn drop_var(&mut self, var: VarId) {
+        let _ = var;
+    }
+
+    /// Reconcile this site's own-write bookkeeping with a durable `ledger`
+    /// after a WAL replay that may have lost trailing records (fail-soft
+    /// torn-tail truncation): raise the own write counter / clock rows to
+    /// at least the ledger's values so no `WriteId` is ever reused. No-op
+    /// when the replayed state already covers the ledger.
+    fn restore_own_ledger(&mut self, ledger: &OwnLedger) {
+        let _ = ledger;
+    }
 }

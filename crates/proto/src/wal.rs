@@ -90,6 +90,16 @@ pub enum WalRecord {
         /// The peer's announced durable ledger.
         ledger: OwnLedger,
     },
+    /// A peer left the membership view for good:
+    /// `note_peer_departed(peer, ledger)` fast-forwarded this site past the
+    /// departed peer's undelivered traffic and dropped metadata that only
+    /// mattered while the peer could still return.
+    PeerDeparted {
+        /// The departed peer.
+        peer: SiteId,
+        /// The peer's final durable ledger.
+        ledger: OwnLedger,
+    },
 }
 
 impl MetaSized for WalRecord {
@@ -102,7 +112,9 @@ impl MetaSized for WalRecord {
             WalRecord::LocalRead { .. }
             | WalRecord::FetchIssued { .. }
             | WalRecord::FetchAborted { .. } => model.scalars(1),
-            WalRecord::PeerRecovered { ledger, .. } => model.scalars(3 + ledger.own_row.len()),
+            WalRecord::PeerRecovered { ledger, .. } | WalRecord::PeerDeparted { ledger, .. } => {
+                model.scalars(3 + ledger.own_row.len())
+            }
         }
     }
 }
@@ -120,6 +132,10 @@ pub struct DurableStore {
     /// Per-origin high-water mark of received update clocks; survives
     /// checkpoints (see module docs).
     seen: Vec<u64>,
+    /// `seen` as of the last checkpoint — the rollback floor for torn-tail
+    /// truncation ([`DurableStore::tear_tail`]): marks justified by records
+    /// at or before the checkpoint can never be torn off.
+    seen_at_ckpt: Vec<u64>,
     /// Media loss: the store's contents are gone and recovery must fall
     /// back to the full peer rebuild. Cleared by the next checkpoint.
     lost: bool,
@@ -131,6 +147,8 @@ pub struct DurableStore {
     pub checkpoints: u64,
     /// Modeled bytes of checkpoint images written.
     pub checkpoint_bytes: u64,
+    /// Number of records dropped by fail-soft torn-tail truncation.
+    pub truncated: u64,
 }
 
 impl DurableStore {
@@ -140,11 +158,13 @@ impl DurableStore {
             checkpoint: None,
             log: Vec::new(),
             seen: vec![0; n],
+            seen_at_ckpt: vec![0; n],
             lost: false,
             appends: 0,
             append_bytes: 0,
             checkpoints: 0,
             checkpoint_bytes: 0,
+            truncated: 0,
         }
     }
 
@@ -182,6 +202,7 @@ impl DurableStore {
     pub fn take_checkpoint(&mut self, site: &dyn ProtocolSite, model: &SizeModel) -> u64 {
         self.checkpoint = Some(site.clone_box());
         self.log.clear();
+        self.seen_at_ckpt.copy_from_slice(&self.seen);
         self.lost = false;
         let bytes = site.local_meta_size(model);
         self.checkpoints += 1;
@@ -215,7 +236,38 @@ impl DurableStore {
         self.checkpoint = None;
         self.log.clear();
         self.seen.iter_mut().for_each(|s| *s = 0);
+        self.seen_at_ckpt.iter_mut().for_each(|s| *s = 0);
         self.lost = true;
+    }
+
+    /// Fail-soft load of a corrupt log tail: the last `k` records failed
+    /// their checksum (a crash mid-append tore them) and are dropped rather
+    /// than failing the whole load. The redelivery high-water marks are
+    /// rolled back to what the surviving prefix justifies — a mark covering
+    /// a torn-off receipt would make [`DurableStore::already_seen`] filter
+    /// the transport's redelivery of an update the replayed state never
+    /// applied, silently losing it. Returns the number of records dropped.
+    ///
+    /// The caller must reconcile the replayed site with the durable
+    /// [`OwnLedger`] afterwards ([`ProtocolSite::restore_own_ledger`]): a
+    /// torn [`WalRecord::OwnWrite`] must not let the replayed state mint an
+    /// already-used `WriteId`.
+    pub fn tear_tail(&mut self, k: usize) -> usize {
+        let dropped = k.min(self.log.len());
+        self.log.truncate(self.log.len() - dropped);
+        self.truncated += dropped as u64;
+        self.seen.copy_from_slice(&self.seen_at_ckpt);
+        for rec in &self.log {
+            if let WalRecord::Recv {
+                msg: Msg::Sm(sm), ..
+            } = rec
+            {
+                let w = sm.value.writer;
+                let hw = &mut self.seen[w.site.index()];
+                *hw = (*hw).max(w.clock);
+            }
+        }
+        dropped
     }
 
     /// `true` after [`DurableStore::wipe`], until the next checkpoint.
@@ -280,6 +332,9 @@ impl DurableStore {
                 WalRecord::FetchAborted { var } => site.abort_fetch(*var),
                 WalRecord::PeerRecovered { peer, ledger } => {
                     let _ = site.note_peer_recovery(*peer, ledger);
+                }
+                WalRecord::PeerDeparted { peer, ledger } => {
+                    let _ = site.note_peer_departed(*peer, ledger);
                 }
             }
         }
@@ -597,6 +652,82 @@ mod tests {
         assert_eq!(store.log_len(), 0);
         assert!(store.already_seen(&sm(2)));
         assert_eq!(store.applied_high_water(SiteId(0), 5), vec![5, 2, 0]);
+    }
+
+    #[test]
+    fn torn_tail_truncation_rolls_back_marks_and_never_reuses_write_ids() {
+        let n = 3;
+        let mut mini = Mini::new(ProtocolKind::OptP, n);
+        // Interleave own writes and receipts so the tail holds one of each:
+        //   rec 1: OwnWrite(v0)   rec 2: Recv(SM s1@1)
+        //   rec 3: OwnWrite(v1)   rec 4: Recv(SM s1@2)   <- torn
+        mini.write(0, VarId(0), 10);
+        mini.write(1, VarId(0), 11);
+        mini.write(0, VarId(1), 12);
+        mini.write(1, VarId(1), 13);
+        let ledger = mini.sites[0].own_ledger();
+        assert_eq!(ledger.own_clock, 2);
+
+        let sm_from_1 = |clock: u64| {
+            Msg::Sm(Sm {
+                var: VarId(1),
+                value: VersionedValue::new(WriteId::new(SiteId(1), clock), 13),
+                meta: SmMeta::OptP {
+                    write: Arc::new(VectorClock::new(n)),
+                },
+            })
+        };
+        assert!(mini.store.already_seen(&sm_from_1(2)));
+
+        // The crash tore the last two records off the log tail.
+        assert_eq!(mini.store.tear_tail(2), 2);
+        assert_eq!(mini.store.truncated, 2);
+        assert_eq!(mini.store.log_len(), 2);
+        // The mark covering the torn receipt must roll back, or the
+        // transport's redelivery of s1@2 would be filtered and lost.
+        assert!(mini.store.already_seen(&sm_from_1(1)));
+        assert!(!mini.store.already_seen(&sm_from_1(2)));
+
+        // Replay the surviving prefix; the torn own write is gone, so the
+        // durable ledger must be reimposed or WriteId (s0, 2) is minted
+        // twice.
+        let repl = repl_for(ProtocolKind::OptP, n);
+        let mut replayed = mini
+            .store
+            .replay(|| {
+                build_site(
+                    ProtocolKind::OptP,
+                    SiteId(0),
+                    repl.clone(),
+                    ProtocolConfig::default(),
+                )
+            })
+            .expect("medium not lost");
+        replayed.restore_own_ledger(&ledger);
+        let (wid, _) = replayed.write(VarId(2), 14, 0);
+        assert_eq!(
+            wid,
+            WriteId::new(SiteId(0), 3),
+            "post-truncation write must advance past the durable counter"
+        );
+
+        // Tearing more than the log holds drops everything that is there;
+        // marks floor at the checkpoint snapshot.
+        let (site0, store) = (&mini.sites[0], &mut mini.store);
+        store.take_checkpoint(site0.as_ref(), &mini.model);
+        mini.store.append(
+            WalRecord::Recv {
+                from: SiteId(1),
+                msg: sm_from_1(2),
+            },
+            &mini.model,
+        );
+        assert_eq!(mini.store.tear_tail(10), 1);
+        assert_eq!(mini.store.log_len(), 0);
+        assert!(
+            mini.store.already_seen(&sm_from_1(1)),
+            "checkpoint-covered marks survive any truncation"
+        );
     }
 
     #[test]

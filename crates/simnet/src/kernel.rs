@@ -94,6 +94,19 @@ pub enum SimEvent {
     /// Periodic durability tick: checkpoint every live site's protocol
     /// state into its durable store and truncate its WAL.
     CheckpointTick,
+    /// Churn event `idx` of the run's plan reaches its scheduled time: the
+    /// view change is proposed and the system starts quiescing (new
+    /// operations hold, in-flight deliveries drain).
+    ViewPropose {
+        /// Index into the churn plan's event list.
+        idx: usize,
+    },
+    /// Periodic poll while view change `idx` quiesces: install the view
+    /// once the wire is drained, or force the install at the view deadline.
+    ViewQuiesceCheck {
+        /// Index into the churn plan's event list.
+        idx: usize,
+    },
 }
 
 struct Queued {
@@ -169,6 +182,13 @@ impl EventHeap {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Iterate over the queued events in unspecified order. Used by the
+    /// membership layer's quiescence scan ("is any data frame still in
+    /// flight?"), which only needs existence, not ordering.
+    pub fn events(&self) -> impl Iterator<Item = &SimEvent> + '_ {
+        self.heap.iter().map(|q| &q.ev)
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +224,28 @@ mod tests {
         })
         .collect();
         assert_eq!(sites, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn events_iterates_everything_queued_without_draining() {
+        let mut h = EventHeap::new();
+        h.push(SimTime::from_millis(3), op(0));
+        h.push(SimTime::from_millis(1), op(1));
+        h.push(SimTime::from_millis(2), SimEvent::ViewPropose { idx: 7 });
+        let mut sites = 0;
+        let mut proposals = 0;
+        for ev in h.events() {
+            match ev {
+                SimEvent::OpReady { .. } => sites += 1,
+                SimEvent::ViewPropose { idx } => {
+                    assert_eq!(*idx, 7);
+                    proposals += 1;
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!((sites, proposals), (2, 1));
+        assert_eq!(h.len(), 3, "the scan must not consume events");
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::channel::{ChannelMatrix, FaultPlan, LatencyModel, PartitionWindow};
 use crate::kernel::{EventHeap, SimEvent};
 use crate::transport::{Transport, TransportCmd, TransportTuning};
 use causal_checker::History;
-use causal_clocks::PruneConfig;
-use causal_memory::Placement;
+use causal_clocks::{DestSet, PruneConfig};
+use causal_memory::{DynamicPlacement, Placement};
 use causal_metrics::RunMetrics;
 use causal_obs::{EventKind, NoopTracer, TraceEvent, Tracer};
 use causal_proto::{
@@ -15,10 +15,11 @@ use causal_proto::{
 };
 use causal_types::WriteId;
 use causal_types::{MetaSized, OpKind, SimDuration, SimTime, SiteId, SizeModel, VarId};
-use causal_workload::{generate, WorkloadParams};
+use causal_workload::{generate, ChurnOp, ChurnPlan, WorkloadParams};
 use fxhash::{FxHashMap, FxHashSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// A site pause (fail-stop with recovery): during `[start, end)` the site
@@ -92,6 +93,13 @@ pub struct DurabilityPlan {
     /// ([`DurableStore::wipe`]): their recovery falls back to the full
     /// peer rebuild.
     pub lose_media: Vec<SiteId>,
+    /// Sites whose WAL loads fail-soft at every recovery: the crash tore
+    /// the final log record, so replay truncates it
+    /// ([`DurableStore::tear_tail`]), rolls the redelivery marks back to
+    /// the checkpoint floor, and reconciles the replayed state against the
+    /// durable own-write ledger so no `WriteId` is ever reused. Requires
+    /// `wal`.
+    pub torn_tail: Vec<SiteId>,
 }
 
 /// Configuration of one simulation run.
@@ -128,6 +136,12 @@ pub struct SimConfig {
     pub crashes: Vec<CrashWindow>,
     /// Durability and graceful-degradation switches (all-off by default).
     pub durability: DurabilityPlan,
+    /// Scheduled membership and placement changes — joins bootstrapped by
+    /// state transfer, graceful and fail-stop leaves, variable migrations —
+    /// executed as epoch'd two-phase view changes while the workload runs.
+    /// `None` keeps the placement static. A churn plan implies chaos mode
+    /// (the reliable transport).
+    pub churn: Option<ChurnPlan>,
 }
 
 impl SimConfig {
@@ -152,6 +166,7 @@ impl SimConfig {
             faults: FaultPlan::default(),
             crashes: Vec::new(),
             durability: DurabilityPlan::default(),
+            churn: None,
         }
     }
 
@@ -172,6 +187,7 @@ impl SimConfig {
             faults: FaultPlan::default(),
             crashes: Vec::new(),
             durability: DurabilityPlan::default(),
+            churn: None,
         }
     }
 
@@ -205,10 +221,19 @@ impl SimConfig {
         self
     }
 
+    /// Install a churn plan (membership and placement changes).
+    pub fn with_churn(mut self, churn: ChurnPlan) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
     /// `true` when this run needs the reliable transport (lossy network,
-    /// crash injection, or WAL-backed durability).
+    /// crash injection, WAL-backed durability, or membership churn).
     pub fn chaos(&self) -> bool {
-        !self.faults.is_noop() || !self.crashes.is_empty() || self.durability.wal
+        !self.faults.is_noop()
+            || !self.crashes.is_empty()
+            || self.durability.wal
+            || self.churn.as_ref().is_some_and(|p| !p.is_empty())
     }
 }
 
@@ -253,6 +278,14 @@ struct BlockedFetch {
 /// can take an expected responder down mid-handshake).
 const SYNC_DEADLINE: SimDuration = SimDuration(2_000_000_000);
 
+/// How long a proposed view change waits for full quiescence before it is
+/// installed *forced* (2 s of virtual time, mirroring [`SYNC_DEADLINE`]):
+/// a member crashing mid-drain must degrade the view change, not wedge it.
+const VIEW_DEADLINE: SimDuration = SimDuration(2_000_000_000);
+
+/// Poll cadence of the quiescence test while a view change drains.
+const VIEW_POLL: SimDuration = SimDuration(100_000_000);
+
 /// Liveness of a site under crash injection.
 #[derive(Clone, Copy, PartialEq, Debug)]
 enum SiteStatus {
@@ -263,6 +296,38 @@ enum SiteStatus {
     /// Restarted, collecting `SyncResp`s; data frames buffer until the
     /// protocol state is reinstalled.
     Syncing,
+    /// Not in the membership view: either not yet joined or departed for
+    /// good. Operations are dropped, arriving frames are lost.
+    Out,
+}
+
+/// A proposed view change draining toward its install.
+struct PendingView {
+    /// Index into the churn plan's event list.
+    idx: usize,
+    /// Proposal instant (for the view-change-latency statistic and the
+    /// forced-install deadline).
+    proposed_at: SimTime,
+}
+
+/// Everything the membership layer adds to a run.
+struct ChurnState {
+    /// The validated reconfiguration schedule.
+    plan: ChurnPlan,
+    /// The epoch'd view the protocol sites share (via `Arc<dyn
+    /// Replication>`): installs become visible to every site at once.
+    dynp: Arc<DynamicPlacement>,
+    /// The view change currently quiescing, if any. View changes install
+    /// strictly in plan order.
+    pending: Option<PendingView>,
+    /// Proposals that reached their scheduled time while another view
+    /// change was still in flight, FIFO.
+    queued: VecDeque<usize>,
+    /// Operations held during quiescence, replayed at install.
+    view_held: Vec<SimEvent>,
+    /// Sites that joined the view and are still bootstrapping by state
+    /// transfer.
+    joining: Vec<bool>,
 }
 
 /// One recovery's `SyncResp` collection.
@@ -328,7 +393,35 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
     );
     let warmup = schedule.warmup_events;
 
-    let repl: Arc<dyn Replication> = cfg.placement.clone();
+    // A churn plan swaps the static placement for a shared dynamic view:
+    // every site holds the same `Arc`, so an installed view change is
+    // visible to all of them at once.
+    let (repl, mut churn): (Arc<dyn Replication>, Option<ChurnState>) = match &cfg.churn {
+        Some(plan) if !plan.is_empty() => {
+            plan.validate(n, cfg.workload.q)
+                .expect("invalid churn plan (validate before running)");
+            let dynp = Arc::new(DynamicPlacement::new(
+                (*cfg.placement).clone(),
+                &plan.initial_members(n),
+            ));
+            // Variables homed solely on not-yet-joined sites start orphaned;
+            // re-home them onto view-1 members so every read and write has a
+            // replica from the first event on.
+            dynp.rehome_orphans(cfg.workload.q);
+            (
+                dynp.clone() as Arc<dyn Replication>,
+                Some(ChurnState {
+                    plan: plan.clone(),
+                    dynp,
+                    pending: None,
+                    queued: VecDeque::new(),
+                    view_held: Vec::new(),
+                    joining: vec![false; n],
+                }),
+            )
+        }
+        _ => (cfg.placement.clone() as Arc<dyn Replication>, None),
+    };
     let proto_cfg = ProtocolConfig { prune: cfg.prune };
     let mut sites: Vec<Box<dyn ProtocolSite>> = SiteId::all(n)
         .map(|s| build_site(cfg.protocol, s, repl.clone(), proto_cfg))
@@ -371,6 +464,20 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
         applied_seen: FxHashSet::default(),
     });
 
+    // Seed the initial view: sites whose first churn event is a join start
+    // outside the membership, and each plan event proposes at its time.
+    if let Some(ch) = &churn {
+        let c = chaos.as_mut().expect("churn implies chaos mode");
+        for (i, member) in ch.plan.initial_members(n).iter().enumerate() {
+            if !member {
+                c.status[i] = SiteStatus::Out;
+            }
+        }
+        for (idx, ev) in ch.plan.events.iter().enumerate() {
+            heap.push(ev.at, SimEvent::ViewPropose { idx });
+        }
+    }
+
     // Validate and schedule the crash windows. Windows of one site must
     // not overlap; windows of different sites may (a correlated failure),
     // which WAL recovery survives and which otherwise completes degraded.
@@ -412,10 +519,24 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
         for s in &d.lose_media {
             assert!(s.index() < n, "lose-media site out of range: s{s}");
         }
+        assert!(
+            d.torn_tail.is_empty() || d.wal,
+            "torn-tail injection requires the WAL"
+        );
+        for s in &d.torn_tail {
+            assert!(s.index() < n, "torn-tail site out of range: s{s}");
+        }
     }
 
-    // Arm the first operation of every process.
+    // Arm the first operation of every process in the initial view; a
+    // joiner's application starts when its view change installs.
     for (i, ops) in schedule.per_site.iter().enumerate() {
+        let out = chaos
+            .as_ref()
+            .is_some_and(|c| c.status[i] == SiteStatus::Out);
+        if out {
+            continue;
+        }
         if let Some(op) = ops.first() {
             heap.push(
                 op.at,
@@ -440,7 +561,9 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
             SimEvent::Crash { .. }
             | SimEvent::Recover { .. }
             | SimEvent::SyncTimeout { .. }
-            | SimEvent::CheckpointTick => None,
+            | SimEvent::CheckpointTick
+            | SimEvent::ViewPropose { .. }
+            | SimEvent::ViewQuiesceCheck { .. } => None,
         };
         if let Some(site) = event_site {
             if let Some(resume) = cfg.pauses.iter().filter_map(|p| p.resumes(site, now)).max() {
@@ -451,10 +574,23 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
         match ev {
             SimEvent::OpReady { site } => {
                 if let Some(c) = chaos.as_mut() {
-                    if c.status[site.index()] != SiteStatus::Up {
-                        // The site is crashed: its application resumes
+                    match c.status[site.index()] {
+                        SiteStatus::Up => {}
+                        // A departed site never issues again.
+                        SiteStatus::Out => continue,
+                        // Crashed or syncing: the application resumes
                         // after recovery completes.
-                        c.held[site.index()].push(SimEvent::OpReady { site });
+                        SiteStatus::Down | SiteStatus::Syncing => {
+                            c.held[site.index()].push(SimEvent::OpReady { site });
+                            continue;
+                        }
+                    }
+                }
+                // Quiesce: while a view change drains, no new operation
+                // starts; held operations replay at install.
+                if let Some(ch) = churn.as_mut() {
+                    if ch.pending.is_some() {
+                        ch.view_held.push(SimEvent::OpReady { site });
                         continue;
                     }
                 }
@@ -683,7 +819,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                 {
                     let c = chaos.as_mut().expect("frames require chaos mode");
                     match c.status[to.index()] {
-                        SiteStatus::Down => {
+                        SiteStatus::Down | SiteStatus::Out => {
                             metrics.crash_drops += 1;
                             continue;
                         }
@@ -747,6 +883,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                             &cfg.size_model,
                             &cfg.durability,
                             &mut chaos,
+                            &mut churn,
                             tracer,
                         );
                     }
@@ -917,8 +1054,15 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                 // the full peer rebuild from the cleared state machine.
                 let mut applied = None;
                 let mut via_wal = false;
-                if let Some(stores) = c.stores.as_ref() {
-                    let store = &stores[site.index()];
+                if let Some(stores) = c.stores.as_mut() {
+                    let store = &mut stores[site.index()];
+                    // Fail-soft load: a torn final record is truncated
+                    // rather than aborting the replay; the redelivery
+                    // marks roll back to the checkpoint floor so the lost
+                    // suffix is re-driven by the transport.
+                    if cfg.durability.torn_tail.contains(&site) {
+                        store.tear_tail(1);
+                    }
                     if let Some(replayed) =
                         store.replay(|| build_site(cfg.protocol, site, repl.clone(), proto_cfg))
                     {
@@ -929,6 +1073,10 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                         // run's tracing mode.
                         let _ = sites[site.index()].take_trace();
                         sites[site.index()].set_tracing(tracer.enabled());
+                        // A truncated tail may have lost the site's latest
+                        // own writes: raise the replayed state to the
+                        // durable ledger so no WriteId is ever reused.
+                        sites[site.index()].restore_own_ledger(&ledger);
                         metrics.recovery_replays += 1;
                         applied = Some(store.applied_high_water(site, ledger.own_clock));
                         via_wal = true;
@@ -946,7 +1094,9 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     sources: Vec::new(),
                 });
                 for peer in SiteId::all(n) {
-                    if peer == site {
+                    // Departed members never answer (and their channels were
+                    // forgotten): don't waste sync traffic on them.
+                    if peer == site || c.status[peer.index()] == SiteStatus::Out {
                         continue;
                     }
                     let req = Frame::SyncReq {
@@ -989,6 +1139,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                         &cfg.size_model,
                         &cfg.durability,
                         &mut chaos,
+                        &mut churn,
                         tracer,
                     );
                 }
@@ -1015,7 +1166,12 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                         continue;
                     }
                 }
-                let candidates = cfg.placement.fetch_candidates(var, site);
+                // View-aware failover: under churn the candidate walk must
+                // skip departed members and honor installed migrations.
+                let candidates = match churn.as_ref() {
+                    Some(ch) => ch.dynp.fetch_candidates(var, site),
+                    None => cfg.placement.fetch_candidates(var, site),
+                };
                 let budget = 2 * candidates.len() as u32;
                 if attempt + 1 >= budget {
                     // Degraded read: give up rather than hang. The protocol
@@ -1121,6 +1277,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     &cfg.size_model,
                     &cfg.durability,
                     &mut chaos,
+                    &mut churn,
                     tracer,
                 );
             }
@@ -1154,6 +1311,70 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     heap.push(now + every, SimEvent::CheckpointTick);
                 }
             }
+            SimEvent::ViewPropose { idx } => {
+                churn
+                    .as_mut()
+                    .expect("view events require a churn plan")
+                    .queued
+                    .push_back(idx);
+                propose_next_view(now, &mut sites, &mut heap, &mut chaos, &mut churn, tracer);
+            }
+            SimEvent::ViewQuiesceCheck { idx } => {
+                let proposed_at = {
+                    let ch = churn.as_ref().expect("view events require a churn plan");
+                    match &ch.pending {
+                        Some(p) if p.idx == idx => p.proposed_at,
+                        _ => continue, // stale poll for an installed view
+                    }
+                };
+                // Quiescent: no data frame is in flight or unsettled
+                // between live sites, and no recovery handshake is open.
+                // Held operations guarantee no *new* traffic starts, so
+                // the test is monotone until the install.
+                let quiet = {
+                    let c = chaos.as_ref().expect("churn requires chaos mode");
+                    let up: Vec<bool> = c.status.iter().map(|s| *s == SiteStatus::Up).collect();
+                    !c.status.contains(&SiteStatus::Syncing)
+                        && c.transport.quiescent(&up)
+                        && !heap.events().any(|e| match e {
+                            SimEvent::DeliverFrame { to, frame, .. } => {
+                                matches!(**frame, Frame::Data { .. }) && up[to.index()]
+                            }
+                            SimEvent::Deliver { to, .. } => up[to.index()],
+                            _ => false,
+                        })
+                };
+                let forced = !quiet && now >= proposed_at + VIEW_DEADLINE;
+                if quiet || forced {
+                    if forced {
+                        metrics.views_forced += 1;
+                    }
+                    install_view(
+                        idx,
+                        now,
+                        proposed_at,
+                        forced,
+                        n,
+                        cfg.workload.q,
+                        &mut sites,
+                        &mut heap,
+                        &mut channels,
+                        &mut lat_rng,
+                        &mut metrics,
+                        &mut history,
+                        &mut drivers,
+                        &mut receipt,
+                        &schedule,
+                        &cfg.size_model,
+                        &cfg.durability,
+                        &mut chaos,
+                        &mut churn,
+                        tracer,
+                    );
+                } else {
+                    heap.push(now + VIEW_POLL, SimEvent::ViewQuiesceCheck { idx });
+                }
+            }
         }
     }
 
@@ -1163,6 +1384,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
             metrics.wal_bytes += st.append_bytes;
             metrics.checkpoints += st.checkpoints;
             metrics.checkpoint_bytes += st.checkpoint_bytes;
+            metrics.wal_truncated += st.truncated;
         }
     }
     let final_pending = sites.iter().map(|s| s.pending_len()).sum();
@@ -1520,6 +1742,7 @@ fn handle_sync_resp(
     size_model: &SizeModel,
     durability: &DurabilityPlan,
     chaos: &mut Option<Chaos>,
+    churn: &mut Option<ChurnState>,
     tracer: &mut dyn Tracer,
 ) {
     let complete = {
@@ -1538,7 +1761,7 @@ fn handle_sync_resp(
     if complete {
         finish_recovery(
             me, now, sites, heap, channels, lat_rng, metrics, history, drivers, schedule,
-            size_model, durability, chaos, tracer,
+            size_model, durability, chaos, churn, tracer,
         );
     }
 }
@@ -1560,6 +1783,7 @@ fn finish_recovery(
     size_model: &SizeModel,
     durability: &DurabilityPlan,
     chaos: &mut Option<Chaos>,
+    churn: &mut Option<ChurnState>,
     tracer: &mut dyn Tracer,
 ) {
     let (col, held) = {
@@ -1568,6 +1792,24 @@ fn finish_recovery(
         c.status[me.index()] = SiteStatus::Up;
         (col, std::mem::take(&mut c.held[me.index()]))
     };
+    // A join bootstrap rides the recovery handshake verbatim; account its
+    // transfer cost (and whether any donor never answered) to the churn
+    // metrics before installing.
+    if let Some(ch) = churn.as_mut() {
+        if ch.joining[me.index()] {
+            ch.joining[me.index()] = false;
+            for (_, _, st) in &col.sources {
+                metrics.churn_transfer_bytes += st.meta_size(size_model);
+            }
+            if col
+                .expected
+                .iter()
+                .any(|e| !col.sources.iter().any(|(s, _, _)| s == e))
+            {
+                metrics.churn_transfers_degraded += 1;
+            }
+        }
+    }
     sites[me.index()].install_sync(&col.sources);
     // Re-establish durability at the recovered state: a fresh checkpoint
     // folds in the installed snapshots (which are not journaled) and
@@ -1723,6 +1965,479 @@ fn finish_recovery(
             }
         }
     }
+}
+
+/// Start quiescing the next queued view change, if none is in flight.
+/// View changes install strictly in plan order; a proposal that arrives
+/// while another is quiescing waits its turn in the FIFO.
+fn propose_next_view(
+    now: SimTime,
+    sites: &mut [Box<dyn ProtocolSite>],
+    heap: &mut EventHeap,
+    chaos: &mut Option<Chaos>,
+    churn: &mut Option<ChurnState>,
+    tracer: &mut dyn Tracer,
+) {
+    let Some(ch) = churn.as_mut() else { return };
+    if ch.pending.is_some() {
+        return;
+    }
+    let Some(idx) = ch.queued.pop_front() else {
+        return;
+    };
+    ch.pending = Some(PendingView {
+        idx,
+        proposed_at: now,
+    });
+    // A fail-stop leave crashes at the *proposal* — the volatile state is
+    // lost the instant the failure happens; the view change only ratifies
+    // the departure at the epoch boundary. (Skipped when a fault-plan
+    // crash already took the site down: its ledger is saved either way.)
+    if let ChurnOp::CrashLeave(s) = ch.plan.events[idx].op {
+        let c = chaos.as_mut().expect("churn requires chaos mode");
+        if c.status[s.index()] == SiteStatus::Up {
+            emit(tracer, now, s, EventKind::Crash);
+            c.status[s.index()] = SiteStatus::Down;
+            let (ledger, _lost_parked) = sites[s.index()].crash_volatile();
+            c.ledgers[s.index()] = Some(ledger);
+            c.transport.crash(s);
+        }
+    }
+    heap.push(now, SimEvent::ViewQuiesceCheck { idx });
+}
+
+/// Re-address every blocked remote fetch whose target replica just left
+/// the view (or stopped replicating `only_var`): fail over to the best
+/// candidate under the new placement, or abandon the read as degraded when
+/// no candidate remains.
+#[allow(clippy::too_many_arguments)]
+fn retarget_blocked_fetches(
+    old_target: SiteId,
+    only_var: Option<VarId>,
+    now: SimTime,
+    sites: &mut [Box<dyn ProtocolSite>],
+    heap: &mut EventHeap,
+    channels: &mut ChannelMatrix,
+    lat_rng: &mut StdRng,
+    metrics: &mut RunMetrics,
+    drivers: &mut [AppDriver],
+    schedule: &causal_workload::Schedule,
+    size_model: &SizeModel,
+    durability: &DurabilityPlan,
+    chaos: &mut Option<Chaos>,
+    churn: &ChurnState,
+    tracer: &mut dyn Tracer,
+) {
+    let n = drivers.len();
+    for s in SiteId::all(n) {
+        if chaos.as_ref().expect("churn requires chaos mode").status[s.index()] != SiteStatus::Up {
+            continue; // a crashed reader's recovery re-issues its own fetch
+        }
+        // The attempt bump invalidates any armed fetch-deadline timer.
+        let hit = drivers[s.index()].blocked.as_mut().and_then(|b| {
+            (b.target == old_target && only_var.is_none_or(|v| v == b.var)).then(|| {
+                b.attempt += 1;
+                b.issued_at = now;
+                (b.var, b.measured, b.attempt)
+            })
+        });
+        let Some((var, measured, attempt)) = hit else {
+            continue;
+        };
+        match churn.dynp.fetch_candidates(var, s).first().copied() {
+            Some(next) => {
+                drivers[s.index()]
+                    .blocked
+                    .as_mut()
+                    .expect("hit above")
+                    .target = next;
+                metrics.fetch_failovers += 1;
+                if tracer.enabled() {
+                    emit(tracer, now, s, EventKind::FetchFailover { var, attempt });
+                    emit(
+                        tracer,
+                        now,
+                        s,
+                        EventKind::FetchIssue {
+                            var,
+                            target: next,
+                            attempt,
+                        },
+                    );
+                }
+                let msg = Msg::Fm(Fm { var });
+                metrics.record_msg(msg.kind(), msg.meta_size(size_model), measured);
+                metrics.per_site.site_mut(s.index()).sends += 1;
+                let c = chaos.as_mut().expect("chaos");
+                let cmds = c.transport.send(s, next, msg, measured);
+                dispatch_cmds(
+                    s,
+                    cmds,
+                    now,
+                    heap,
+                    channels,
+                    lat_rng,
+                    &mut c.fault_rng,
+                    &c.faults,
+                    metrics,
+                    size_model,
+                    tracer,
+                );
+                if let Some(deadline) = durability.fetch_deadline {
+                    heap.push(
+                        now + deadline,
+                        SimEvent::FetchDeadline {
+                            site: s,
+                            var,
+                            attempt,
+                        },
+                    );
+                }
+            }
+            None => {
+                // No replica is reachable under the new view: degraded
+                // read, journaled so a WAL replay does not resurrect the
+                // fetch slot.
+                if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                    let bytes =
+                        stores[s.index()].append(WalRecord::FetchAborted { var }, size_model);
+                    emit(tracer, now, s, EventKind::WalAppend { bytes });
+                }
+                sites[s.index()].abort_fetch(var);
+                drivers[s.index()].blocked = None;
+                metrics.degraded_reads += 1;
+                emit(tracer, now, s, EventKind::DegradedRead { var });
+                schedule_next(s, now, schedule, drivers, heap);
+            }
+        }
+    }
+}
+
+/// Install view change `idx`: apply the membership/placement mutation,
+/// run its state transfers, bump the epoch, release held operations, and
+/// start the next queued proposal.
+#[allow(clippy::too_many_arguments)]
+fn install_view(
+    idx: usize,
+    now: SimTime,
+    proposed_at: SimTime,
+    forced: bool,
+    n: usize,
+    q: usize,
+    sites: &mut [Box<dyn ProtocolSite>],
+    heap: &mut EventHeap,
+    channels: &mut ChannelMatrix,
+    lat_rng: &mut StdRng,
+    metrics: &mut RunMetrics,
+    history: &mut Option<History>,
+    drivers: &mut [AppDriver],
+    receipt: &mut FxHashMap<(SiteId, WriteId), SimTime>,
+    schedule: &causal_workload::Schedule,
+    size_model: &SizeModel,
+    durability: &DurabilityPlan,
+    chaos: &mut Option<Chaos>,
+    churn: &mut Option<ChurnState>,
+    tracer: &mut dyn Tracer,
+) {
+    let mut finish_join: Option<SiteId> = None;
+    {
+        let ch = churn.as_mut().expect("install requires a churn plan");
+        let op = ch.plan.events[idx].op;
+        let subject = match op {
+            ChurnOp::Join(s) => {
+                ch.dynp.install_join(s);
+                ch.joining[s.index()] = true;
+                // A join is a recovery from nothing: revive the transport
+                // endpoint, then bootstrap by the digest/pull handshake —
+                // peers renumber their (empty) streams, ship snapshots,
+                // and the collected union becomes the joiner's state.
+                let (inc, expected) = {
+                    let c = chaos.as_mut().expect("churn requires chaos mode");
+                    assert_eq!(
+                        c.status[s.index()],
+                        SiteStatus::Out,
+                        "join of an in-view site (validate should have caught this)"
+                    );
+                    let ledger = sites[s.index()].own_ledger();
+                    let inc = c.transport.revive(s, &ledger);
+                    emit(tracer, now, s, EventKind::Recover { inc });
+                    c.status[s.index()] = SiteStatus::Syncing;
+                    let expected: Vec<SiteId> = SiteId::all(n)
+                        .filter(|p| *p != s && c.status[p.index()] == SiteStatus::Up)
+                        .collect();
+                    c.sync[s.index()] = Some(SyncCollect {
+                        started: now,
+                        inc,
+                        expected: expected.clone(),
+                        via_wal: false,
+                        sources: Vec::new(),
+                    });
+                    for peer in SiteId::all(n) {
+                        if peer == s || c.status[peer.index()] == SiteStatus::Out {
+                            continue;
+                        }
+                        let req = Frame::SyncReq {
+                            inc,
+                            ledger: ledger.clone(),
+                            applied: None,
+                        };
+                        metrics.sync_count += 1;
+                        metrics.sync_bytes += req.overhead(size_model);
+                        emit(tracer, now, s, EventKind::SyncReq { to: peer });
+                        let at = channels.delivery_time(s, peer, now, lat_rng);
+                        heap.push(
+                            at,
+                            SimEvent::DeliverFrame {
+                                from: s,
+                                to: peer,
+                                frame: Box::new(req),
+                                measured: false,
+                                sent_at: now,
+                            },
+                        );
+                    }
+                    (inc, expected)
+                };
+                // Seed the joiner's per-origin delivery state from every
+                // live peer's ledger: writes up to a peer's current clock
+                // were multicast to the *old* view and will never arrive on
+                // the joiner's fresh channels, while everything after this
+                // install is addressed to it and arrives contiguously.
+                // Without the seed, count/FIFO predicates (Opt-Track-CRP)
+                // park every post-join write behind pre-join tuples the
+                // joiner can never receive.
+                for peer in &expected {
+                    let ledger = sites[peer.index()].own_ledger();
+                    let (eff, _) = sites[s.index()].note_peer_recovery(*peer, &ledger);
+                    debug_assert!(eff.is_empty(), "a fresh joiner has nothing parked");
+                }
+                heap.push(now + SYNC_DEADLINE, SimEvent::SyncTimeout { site: s, inc });
+                // Arm the joiner's first workload operation; it is held
+                // while the bootstrap runs and replayed at completion.
+                schedule_next(s, now, schedule, drivers, heap);
+                metrics.joins += 1;
+                if expected.is_empty() {
+                    finish_join = Some(s);
+                }
+                s
+            }
+            ChurnOp::Leave(s) | ChurnOp::CrashLeave(s) => {
+                let crashed = matches!(op, ChurnOp::CrashLeave(_));
+                // The departure ledger survivors fast-forward past: the
+                // durable one saved at the crash, or the live one drained
+                // at the epoch boundary for a graceful leave.
+                let ledger = {
+                    let c = chaos.as_mut().expect("churn requires chaos mode");
+                    if crashed || c.status[s.index()] != SiteStatus::Up {
+                        c.ledgers[s.index()].clone().expect("ledger saved at crash")
+                    } else {
+                        sites[s.index()].own_ledger()
+                    }
+                };
+                // The checker must not demand deliveries at the departed
+                // site past this point.
+                if let Some(h) = history.as_mut() {
+                    h.seal_site(s);
+                }
+                // Re-home every variable whose replica set would empty,
+                // *before* the member list shrinks: a graceful leaver
+                // donates its copy; a crashed one cannot (degraded).
+                let members_after = {
+                    let mut m = ch.dynp.members();
+                    m.remove(s);
+                    m
+                };
+                for var in VarId::all(q) {
+                    let raw = ch.dynp.raw_replicas(var);
+                    if !raw.contains(s) || !raw.intersect(&members_after).is_empty() {
+                        continue;
+                    }
+                    let target = {
+                        let c = chaos.as_ref().expect("chaos");
+                        members_after
+                            .iter()
+                            .find(|m| c.status[m.index()] == SiteStatus::Up)
+                            .or_else(|| members_after.iter().next())
+                            .expect("a view never empties")
+                    };
+                    if !crashed {
+                        let state = sites[s.index()].export_sync(target).retain_vars(&[var]);
+                        let bytes = state.meta_size(size_model);
+                        // Pure max-merge: installing into a live site only
+                        // adds knowledge, never rolls anything back.
+                        sites[target.index()].install_sync(&[(s, PeerAckInfo::default(), state)]);
+                        metrics.churn_transfer_bytes += bytes;
+                        if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                            let b = stores[target.index()]
+                                .take_checkpoint(sites[target.index()].as_ref(), size_model);
+                            emit(tracer, now, target, EventKind::Checkpoint { bytes: b });
+                        }
+                    } else {
+                        metrics.churn_transfers_degraded += 1;
+                    }
+                    ch.dynp.install_override(var, DestSet::from_sites([target]));
+                }
+                ch.dynp.install_leave(s);
+                {
+                    let c = chaos.as_mut().expect("chaos");
+                    c.status[s.index()] = SiteStatus::Out;
+                    c.held[s.index()].clear();
+                    c.sync[s.index()] = None;
+                    // Kills survivors' retransmission timers toward the
+                    // departed site — there is no future incarnation to
+                    // renumber their backlog for.
+                    c.transport.forget(s);
+                }
+                drivers[s.index()].blocked = None;
+                // Survivors prune their causal metadata of the departed
+                // site — journaled first, so a later WAL replay re-drives
+                // the same pruning. Syncing sites are deliberately
+                // skipped: a joiner mid-bootstrap waiting on the leaver
+                // times out into a degraded transfer instead.
+                for m in SiteId::all(n) {
+                    if m == s || chaos.as_ref().expect("chaos").status[m.index()] != SiteStatus::Up
+                    {
+                        continue;
+                    }
+                    if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                        let bytes = stores[m.index()].append(
+                            WalRecord::PeerDeparted {
+                                peer: s,
+                                ledger: ledger.clone(),
+                            },
+                            size_model,
+                        );
+                        emit(tracer, now, m, EventKind::WalAppend { bytes });
+                    }
+                    let (effects, _dropped) = sites[m.index()].note_peer_departed(s, &ledger);
+                    process_effects(
+                        m, effects, false, now, schedule, heap, channels, lat_rng, metrics,
+                        history, drivers, receipt, size_model, chaos, tracer,
+                    );
+                    drain_proto(sites[m.index()].as_mut(), m, now, tracer);
+                }
+                retarget_blocked_fetches(
+                    s, None, now, sites, heap, channels, lat_rng, metrics, drivers, schedule,
+                    size_model, durability, chaos, &*ch, tracer,
+                );
+                metrics.leaves += 1;
+                s
+            }
+            ChurnOp::Migrate { var, from, to } => {
+                if ch.dynp.base().is_full() {
+                    // Under full replication every member already holds
+                    // `var`, and the count-based delivery predicates
+                    // (Full-Track's expected-count, CRP's per-sender FIFO
+                    // contiguity) assume full fan-out: shrinking the
+                    // destination set would starve them. The migration is
+                    // an epoch bump and nothing else.
+                } else {
+                    let raw = ch.dynp.raw_replicas(var);
+                    if !raw.contains(to) {
+                        // Seed the new replica with a one-variable state
+                        // transfer, preferring the vacated replica as
+                        // donor and failing over to any live one.
+                        let donor = {
+                            let c = chaos.as_ref().expect("chaos");
+                            if c.status[to.index()] != SiteStatus::Up {
+                                None
+                            } else if raw.contains(from) && c.status[from.index()] == SiteStatus::Up
+                            {
+                                Some(from)
+                            } else {
+                                let live = raw.intersect(&ch.dynp.members());
+                                let d = live
+                                    .iter()
+                                    .find(|d| *d != to && c.status[d.index()] == SiteStatus::Up);
+                                d
+                            }
+                        };
+                        match donor {
+                            Some(d) => {
+                                let state = sites[d.index()].export_sync(to).retain_vars(&[var]);
+                                let bytes = state.meta_size(size_model);
+                                sites[to.index()].install_sync(&[(
+                                    d,
+                                    PeerAckInfo::default(),
+                                    state,
+                                )]);
+                                metrics.churn_transfer_bytes += bytes;
+                                if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut())
+                                {
+                                    let b = stores[to.index()]
+                                        .take_checkpoint(sites[to.index()].as_ref(), size_model);
+                                    emit(tracer, now, to, EventKind::Checkpoint { bytes: b });
+                                }
+                            }
+                            None => metrics.churn_transfers_degraded += 1,
+                        }
+                    }
+                    let mut replicas = raw;
+                    let vacated = replicas.remove(from);
+                    replicas.insert(to);
+                    ch.dynp.install_override(var, replicas);
+                    if vacated
+                        && chaos.as_ref().expect("chaos").status[from.index()] == SiteStatus::Up
+                    {
+                        sites[from.index()].drop_var(var);
+                        if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                            let b = stores[from.index()]
+                                .take_checkpoint(sites[from.index()].as_ref(), size_model);
+                            emit(tracer, now, from, EventKind::Checkpoint { bytes: b });
+                        }
+                        // A fetch already addressed to the vacated replica
+                        // would find the variable dropped: re-aim it.
+                        retarget_blocked_fetches(
+                            from,
+                            Some(var),
+                            now,
+                            sites,
+                            heap,
+                            channels,
+                            lat_rng,
+                            metrics,
+                            drivers,
+                            schedule,
+                            size_model,
+                            durability,
+                            chaos,
+                            &*ch,
+                            tracer,
+                        );
+                    }
+                }
+                metrics.migrations += 1;
+                to
+            }
+        };
+        metrics.view_changes += 1;
+        metrics
+            .view_change_ns
+            .record((now - proposed_at).as_nanos() as f64);
+        emit(
+            tracer,
+            now,
+            subject,
+            EventKind::ViewChange {
+                epoch: ch.dynp.epoch(),
+                forced: forced as u64,
+            },
+        );
+        ch.pending = None;
+        // Release the operations held during quiescence in their original
+        // order (same-time heap ties break by insertion sequence).
+        for ev in std::mem::take(&mut ch.view_held) {
+            heap.push(now, ev);
+        }
+    }
+    if let Some(s) = finish_join {
+        // Single-member (or fully-crashed) view: nothing to wait for.
+        finish_recovery(
+            s, now, sites, heap, channels, lat_rng, metrics, history, drivers, schedule,
+            size_model, durability, chaos, churn, tracer,
+        );
+    }
+    propose_next_view(now, sites, heap, chaos, churn, tracer);
 }
 
 /// True when two SM metas share the same `Arc`'d snapshot (one multicast's

@@ -54,6 +54,19 @@ impl Default for TransportTuning {
     }
 }
 
+/// Absolute ceiling on the retransmission timeout, microseconds. Equals the
+/// default tuning's `base << rto_max_shift` (250 ms × 2⁵ = 8 s), so default
+/// runs are unaffected; its job is to keep pathological tunings (a huge
+/// base, `rto_max_shift` ≥ 64) from overflowing the shift into a
+/// near-zero timeout — which would turn backoff into a retransmission storm
+/// that starves every other channel.
+pub const MAX_RTO_MICROS: u64 = 8_000_000;
+
+/// The deterministic jitter spans `base / RTO_JITTER_DIVISOR` microseconds
+/// (a quarter of the base timeout), enough to stagger synchronized
+/// retransmission storms without materially stretching the backoff.
+pub const RTO_JITTER_DIVISOR: u64 = 4;
+
 /// What the simulator must do on the transport's behalf.
 #[derive(Debug)]
 pub enum TransportCmd {
@@ -197,9 +210,18 @@ impl Transport {
 
     /// Retransmission timeout for the given attempt, with deterministic
     /// per-(channel, seq, attempt) jitter of up to a quarter of the base.
+    /// Clamped to [`MAX_RTO_MICROS`]: the exponential must saturate, never
+    /// wrap (a wrapped shift yields a near-zero timeout and a storm).
     fn rto(&self, from: SiteId, to: SiteId, seq: u64, attempt: u32) -> SimDuration {
         let shift = attempt.saturating_sub(1).min(self.tuning.rto_max_shift);
-        let base = self.tuning.rto_base_micros << shift;
+        let base = if shift >= u64::BITS {
+            MAX_RTO_MICROS
+        } else {
+            self.tuning
+                .rto_base_micros
+                .checked_mul(1 << shift)
+                .map_or(MAX_RTO_MICROS, |b| b.min(MAX_RTO_MICROS))
+        };
         let mut key = (from.index() as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(to.index() as u64)
@@ -210,8 +232,11 @@ impl Transport {
         key ^= key >> 31;
         key = key.wrapping_mul(0xD6E8_FEB8_6659_FD93);
         key ^= key >> 32;
-        let jitter = key % (self.tuning.rto_base_micros / 4).max(1);
-        SimDuration::from_micros(base + jitter)
+        // The jitter span is clamped alongside the base: an overflowing
+        // tuning must not smuggle an unbounded addend past the RTO ceiling.
+        let span = (self.tuning.rto_base_micros / RTO_JITTER_DIVISOR)
+            .clamp(1, MAX_RTO_MICROS / RTO_JITTER_DIVISOR);
+        SimDuration::from_micros(base.saturating_add(key % span))
     }
 
     fn emit_in_flight(
@@ -288,7 +313,10 @@ impl Transport {
         let Some(f) = self.tx[i].unacked.iter().find(|f| f.seq == seq) else {
             return Vec::new(); // acked in the meantime
         };
-        let next = attempt + 1;
+        // Saturate: a frame stuck behind a long outage can accumulate an
+        // unbounded attempt count; wrapping to 0 would reset the backoff
+        // and re-arm the storm the cap exists to prevent.
+        let next = attempt.saturating_add(1);
         vec![
             TransportCmd::Emit {
                 to,
@@ -468,6 +496,54 @@ impl Transport {
             self.rx[r] = RxChannel::fresh(self.inc[peer.index()]);
         }
         self.inc[site.index()]
+    }
+
+    /// `site` left the membership view for good: wipe the channel state of
+    /// **both** directions of every pair involving it and bump the stream
+    /// generations, so armed retransmission timers toward the departed site
+    /// die silently instead of re-emitting forever (which would keep the
+    /// event loop alive past quiescence). Unlike [`Transport::crash`], the
+    /// survivors' sender-side backlog toward the site is discarded too —
+    /// there is no future incarnation to renumber it for.
+    pub fn forget(&mut self, site: SiteId) {
+        for peer in SiteId::all(self.n) {
+            if peer == site {
+                continue;
+            }
+            let o = self.idx(site, peer);
+            self.gens[o] += 1;
+            self.tx[o] = TxChannel::fresh(self.inc[peer.index()]);
+            self.rx[o] = RxChannel::fresh(self.inc[site.index()]);
+            let i = self.idx(peer, site);
+            self.gens[i] += 1;
+            self.tx[i] = TxChannel::fresh(self.inc[site.index()]);
+            self.rx[i] = RxChannel::fresh(self.inc[peer.index()]);
+        }
+    }
+
+    /// `true` when no frame is unacked or backlogged on any channel whose
+    /// **both** endpoints are marked up in `up`. Channels touching a down
+    /// (or departed) site are excluded: their traffic can never settle and
+    /// is handled by the caller's crash/forget machinery. This is the
+    /// transport half of the membership layer's quiescence test; the other
+    /// half (frames already on the wire) is the event-heap scan.
+    pub fn quiescent(&self, up: &[bool]) -> bool {
+        assert_eq!(up.len(), self.n, "liveness mask must cover n");
+        for a in 0..self.n {
+            if !up[a] {
+                continue;
+            }
+            for (b, &b_up) in up.iter().enumerate() {
+                if a == b || !b_up {
+                    continue;
+                }
+                let t = &self.tx[a * self.n + b];
+                if !t.unacked.is_empty() || !t.backlog.is_empty() {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// A live site (`me`) learns `peer` recovered with incarnation
@@ -668,6 +744,47 @@ mod tests {
     }
 
     #[test]
+    fn backoff_saturates_at_the_cap_under_pathological_tunings() {
+        // A tuning that would overflow `base << shift` must clamp to the
+        // ceiling, not wrap to a near-zero timeout (retransmission storm).
+        let pathological = TransportTuning {
+            window: 32,
+            rto_base_micros: u64::MAX / 2,
+            rto_max_shift: u32::MAX,
+        };
+        let mut t = Transport::new(2, pathological);
+        t.send(SiteId(0), SiteId(1), fm(1), false);
+        for attempt in [1, 2, 63, 64, 1_000, u32::MAX] {
+            let cmds = t.retransmit_check(SiteId(0), SiteId(1), 0, 1, attempt);
+            let TransportCmd::Arm {
+                attempt: next,
+                after,
+                ..
+            } = &cmds[1]
+            else {
+                panic!("expected rearm at attempt {attempt}");
+            };
+            assert_eq!(*next, attempt.saturating_add(1), "attempt must saturate");
+            let micros = after.as_nanos() / 1_000;
+            assert!(
+                micros >= MAX_RTO_MICROS,
+                "attempt {attempt}: timeout collapsed to {micros} µs"
+            );
+        }
+        // Default tuning: the cap coincides with `base << rto_max_shift`,
+        // so deep backoff sits exactly at the ceiling (plus jitter < base/4).
+        let mut t = Transport::new(2, TransportTuning::default());
+        t.send(SiteId(0), SiteId(1), fm(1), false);
+        let cmds = t.retransmit_check(SiteId(0), SiteId(1), 0, 1, 40);
+        let TransportCmd::Arm { after, .. } = &cmds[1] else {
+            panic!("expected rearm");
+        };
+        let micros = after.as_nanos() / 1_000;
+        assert!(micros >= MAX_RTO_MICROS);
+        assert!(micros < MAX_RTO_MICROS + 250_000 / RTO_JITTER_DIVISOR);
+    }
+
+    #[test]
     fn window_limits_in_flight_and_acks_release_backlog() {
         let tuning = TransportTuning {
             window: 2,
@@ -791,6 +908,42 @@ mod tests {
             assert_eq!(*seq, k as u64 + 1);
             assert!(matches!(msg, Msg::Sm(_)));
         }
+    }
+
+    #[test]
+    fn forget_kills_timers_and_clears_both_directions() {
+        let mut t = Transport::new(3, TransportTuning::default());
+        // Traffic in both directions involving site 1, left unacked.
+        t.send(SiteId(0), SiteId(1), sm(0, 1), false);
+        t.send(SiteId(1), SiteId(2), sm(1, 1), false);
+        assert!(!t.quiescent(&[true, true, true]));
+        t.forget(SiteId(1));
+        // Armed timers for the wiped streams die silently (generation bump).
+        assert!(t.retransmit_check(SiteId(0), SiteId(1), 0, 1, 1).is_empty());
+        assert!(t.retransmit_check(SiteId(1), SiteId(2), 0, 1, 1).is_empty());
+        // With the departed site out of the mask — or even still in it,
+        // since its channels were wiped — the transport is quiescent.
+        assert!(t.quiescent(&[true, false, true]));
+        assert!(t.quiescent(&[true, true, true]));
+    }
+
+    #[test]
+    fn quiescent_ignores_channels_touching_down_sites() {
+        let mut t = Transport::new(3, TransportTuning::default());
+        t.send(SiteId(0), SiteId(2), fm(1), false);
+        assert!(!t.quiescent(&[true, true, true]));
+        // The unsettled frame targets site 2: masking site 2 out excludes
+        // the channel from the test.
+        assert!(t.quiescent(&[true, true, false]));
+        // Acking it settles the full mask too.
+        let mut m = RunMetrics::new();
+        let ack = Frame::Ack {
+            epoch: 0,
+            src_inc: 0,
+            cum_seq: 1,
+        };
+        t.on_frame(SiteId(0), SiteId(2), ack, false, &mut m);
+        assert!(t.quiescent(&[true, true, true]));
     }
 
     #[test]

@@ -110,6 +110,7 @@ fn chaos_runs_trace_faults_and_recovery() {
         checkpoint_every: Some(SimDuration::from_millis(250)),
         fetch_deadline: Some(SimDuration::from_millis(150)),
         lose_media: Vec::new(),
+        torn_tail: Vec::new(),
     };
     let (r, tracer) = traced(&cfg);
     assert_eq!(r.final_pending, 0);

@@ -1,0 +1,437 @@
+//! Churn plans: scheduled membership and placement changes.
+//!
+//! A [`ChurnPlan`] is a time-ordered list of reconfiguration events — sites
+//! joining, leaving (gracefully or by fail-stop) and variables being
+//! re-homed — that the simulator executes as epoch'd view changes while the
+//! workload runs. Plans are either scripted (parsed from a compact spec
+//! string, see [`ChurnPlan::parse`]) or drawn from a Poisson process
+//! ([`ChurnPlan::poisson`]); both are deterministic functions of their
+//! inputs so churned runs replay bit-exactly.
+
+use causal_types::{Error, Result, SimDuration, SimTime, SiteId, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One reconfiguration operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChurnOp {
+    /// A new site joins the view and bootstraps by state transfer.
+    Join(SiteId),
+    /// A member drains in-flight traffic and leaves gracefully.
+    Leave(SiteId),
+    /// A member fail-stops and is removed from the view without draining
+    /// (crash semantics: volatile state is lost at the instant of the
+    /// event, the view change completes at the epoch boundary).
+    CrashLeave(SiteId),
+    /// Re-home `var`: remove `from` from its replica set (when it is one)
+    /// and add `to`, with a state transfer seeding the new replica.
+    Migrate {
+        /// The migrated variable.
+        var: VarId,
+        /// The replica being vacated.
+        from: SiteId,
+        /// The site gaining the replica. Must be a view member.
+        to: SiteId,
+    },
+}
+
+/// A churn operation scheduled at a virtual time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChurnEvent {
+    /// When the view change is proposed.
+    pub at: SimTime,
+    /// What changes.
+    pub op: ChurnOp,
+}
+
+/// A validated, time-ordered reconfiguration schedule.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ChurnPlan {
+    /// Events sorted by proposal time (ties keep spec order).
+    pub events: Vec<ChurnEvent>,
+}
+
+fn parse_time(s: &str) -> Result<SimTime> {
+    let bad = || Error::InvalidConfig(format!("bad churn time {s:?} (use e.g. 2000ms, 4s, 5ns)"));
+    let (digits, mult) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000u64)
+    } else if let Some(d) = s.strip_suffix("ns") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        return Err(bad());
+    };
+    let v: u64 = digits.parse().map_err(|_| bad())?;
+    v.checked_mul(mult).map(SimTime::from_nanos).ok_or_else(bad)
+}
+
+impl ChurnPlan {
+    /// A plan from explicit events; sorts them by time (stable, so ties
+    /// keep their given order).
+    pub fn scripted(mut events: Vec<ChurnEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        ChurnPlan { events }
+    }
+
+    /// Parse the compact `--churn` spec: `;`-separated events, each
+    /// `join:SITE@TIME`, `leave:SITE@TIME`, `crash-leave:SITE@TIME` or
+    /// `migrate:VAR:FROM->TO@TIME` with `TIME` in `ns`/`ms`/`s`.
+    ///
+    /// ```text
+    /// join:5@2000ms;migrate:12:4->5@4s;leave:1@6s
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self> {
+        let mut events = Vec::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let bad = |what: &str| Error::InvalidConfig(format!("churn event {part:?}: {what}"));
+            let (body, at) = part
+                .rsplit_once('@')
+                .ok_or_else(|| bad("missing @TIME suffix"))?;
+            let at = parse_time(at)?;
+            let (kind, rest) = body
+                .split_once(':')
+                .ok_or_else(|| bad("expected KIND:ARGS"))?;
+            let site = |s: &str| -> Result<SiteId> {
+                s.parse::<u16>().map(SiteId).map_err(|_| bad("bad site id"))
+            };
+            let op = match kind {
+                "join" => ChurnOp::Join(site(rest)?),
+                "leave" => ChurnOp::Leave(site(rest)?),
+                "crash-leave" => ChurnOp::CrashLeave(site(rest)?),
+                "migrate" => {
+                    let (var, pair) = rest
+                        .split_once(':')
+                        .ok_or_else(|| bad("expected migrate:VAR:FROM->TO"))?;
+                    let var: usize = var.parse().map_err(|_| bad("bad variable id"))?;
+                    let (from, to) = pair
+                        .split_once("->")
+                        .ok_or_else(|| bad("expected FROM->TO"))?;
+                    ChurnOp::Migrate {
+                        var: VarId::from(var),
+                        from: site(from)?,
+                        to: site(to)?,
+                    }
+                }
+                _ => return Err(bad("unknown kind (join/leave/crash-leave/migrate)")),
+            };
+            events.push(ChurnEvent { at, op });
+        }
+        Ok(Self::scripted(events))
+    }
+
+    /// Draw a plan from a Poisson process with `rate` events per virtual
+    /// second over `[0, horizon)`. Events are valid by construction: the
+    /// generator tracks the membership timeline, lets at most one site be
+    /// out-of-view initially (it joins first), and only schedules leaves
+    /// while more than two members remain. Deterministic in `seed`.
+    pub fn poisson(seed: u64, n: usize, q: usize, rate: f64, horizon: SimTime) -> Self {
+        // Dedicated stream, decorrelated from workload/latency RNGs.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4_52_0F_EE_D0_0D_F0_0Du64.rotate_left(9));
+        let mut events = Vec::new();
+        if n < 3 || q == 0 || rate <= 0.0 {
+            return ChurnPlan { events };
+        }
+        // The highest site id starts out and joins as the first event.
+        let joiner = n - 1;
+        let mut members: Vec<bool> = (0..n).map(|i| i != joiner).collect();
+        let mut joined = false;
+        let mut left: Vec<bool> = vec![false; n];
+        let mut t = SimTime::ZERO;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap_ns = (-u.ln() / rate * 1e9).min(1e15) as u64;
+            t += SimDuration::from_nanos(gap_ns.max(1));
+            if t >= horizon {
+                break;
+            }
+            let member_ids =
+                |members: &Vec<bool>| -> Vec<usize> { (0..n).filter(|&i| members[i]).collect() };
+            let alive = member_ids(&members);
+            let roll = rng.gen_range(0u32..10);
+            let op = if !joined && roll < 3 {
+                joined = true;
+                members[joiner] = true;
+                ChurnOp::Join(SiteId::from(joiner))
+            } else if roll < 2 && alive.len() > 2 {
+                // Leave someone who can still leave (never the whole view).
+                let cands: Vec<usize> = alive.iter().copied().filter(|&i| !left[i]).collect();
+                if cands.is_empty() {
+                    continue;
+                }
+                let s = cands[rng.gen_range(0..cands.len())];
+                members[s] = false;
+                left[s] = true;
+                if rng.gen_bool(0.5) {
+                    ChurnOp::CrashLeave(SiteId::from(s))
+                } else {
+                    ChurnOp::Leave(SiteId::from(s))
+                }
+            } else {
+                let var = VarId::from(rng.gen_range(0..q));
+                let from = alive[rng.gen_range(0..alive.len())];
+                let others: Vec<usize> = alive.iter().copied().filter(|&i| i != from).collect();
+                let to = others[rng.gen_range(0..others.len())];
+                ChurnOp::Migrate {
+                    var,
+                    from: SiteId::from(from),
+                    to: SiteId::from(to),
+                }
+            };
+            events.push(ChurnEvent { at: t, op });
+        }
+        ChurnPlan { events }
+    }
+
+    /// Which sites are in the initial view: everyone except sites whose
+    /// first event is a [`ChurnOp::Join`].
+    pub fn initial_members(&self, n: usize) -> Vec<bool> {
+        let mut members = vec![true; n];
+        let mut decided = vec![false; n];
+        for ev in &self.events {
+            let s = match ev.op {
+                ChurnOp::Join(s) | ChurnOp::Leave(s) | ChurnOp::CrashLeave(s) => s,
+                ChurnOp::Migrate { .. } => continue,
+            };
+            if s.index() >= n {
+                continue; // out-of-range ids are validate()'s business
+            }
+            if matches!(ev.op, ChurnOp::Join(_)) && !decided[s.index()] {
+                members[s.index()] = false;
+            }
+            decided[s.index()] = true;
+        }
+        members
+    }
+
+    /// Validate the plan against an `n`-site, `q`-variable system: ids in
+    /// range, events time-sorted, at most one join and one leave per site
+    /// with the join preceding the leave, no leave below two members, and
+    /// migrations target current members.
+    pub fn validate(&self, n: usize, q: usize) -> Result<()> {
+        let bad = |what: String| Err(Error::InvalidConfig(format!("churn plan: {what}")));
+        for w in self.events.windows(2) {
+            if w[1].at < w[0].at {
+                return bad("events must be sorted by time".into());
+            }
+        }
+        let mut members = self.initial_members(n);
+        let mut joined = vec![false; n];
+        let mut left = vec![false; n];
+        let in_range = |s: SiteId| s.index() < n;
+        for ev in &self.events {
+            match ev.op {
+                ChurnOp::Join(s) => {
+                    if !in_range(s) {
+                        return bad(format!("join of out-of-range site {s}"));
+                    }
+                    if members[s.index()] {
+                        return bad(format!("join of {s}, already a member"));
+                    }
+                    if joined[s.index()] || left[s.index()] {
+                        return bad(format!("{s} may join at most once (no re-join)"));
+                    }
+                    joined[s.index()] = true;
+                    members[s.index()] = true;
+                }
+                ChurnOp::Leave(s) | ChurnOp::CrashLeave(s) => {
+                    if !in_range(s) {
+                        return bad(format!("leave of out-of-range site {s}"));
+                    }
+                    if !members[s.index()] {
+                        return bad(format!(
+                            "leave of {s}, not a member at that time \
+                             (a join must precede its leave)"
+                        ));
+                    }
+                    if members.iter().filter(|&&m| m).count() <= 2 {
+                        return bad(format!("leave of {s} would drop the view below 2 members"));
+                    }
+                    left[s.index()] = true;
+                    members[s.index()] = false;
+                }
+                ChurnOp::Migrate { var, from, to } => {
+                    if var.index() >= q {
+                        return bad(format!("migrate of out-of-range variable {var}"));
+                    }
+                    if !in_range(from) || !in_range(to) {
+                        return bad(format!("migrate {var}: site out of range"));
+                    }
+                    if from == to {
+                        return bad(format!("migrate {var}: from == to ({from})"));
+                    }
+                    if !members[to.index()] {
+                        return bad(format!("migrate {var} to {to}, not a member at that time"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_kinds_and_times() {
+        let p = ChurnPlan::parse("join:5@2000ms; migrate:12:4->5@4s ;leave:1@6s").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.events[0],
+            ChurnEvent {
+                at: SimTime::from_millis(2000),
+                op: ChurnOp::Join(SiteId(5)),
+            }
+        );
+        assert_eq!(
+            p.events[1].op,
+            ChurnOp::Migrate {
+                var: VarId(12),
+                from: SiteId(4),
+                to: SiteId(5),
+            }
+        );
+        assert_eq!(p.events[2].at, SimTime::from_millis(6000));
+        assert!(matches!(p.events[2].op, ChurnOp::Leave(SiteId(1))));
+        let crash = ChurnPlan::parse("crash-leave:2@1500000000ns").unwrap();
+        assert_eq!(crash.events[0].at, SimTime::from_millis(1500));
+        assert!(matches!(crash.events[0].op, ChurnOp::CrashLeave(SiteId(2))));
+    }
+
+    #[test]
+    fn parse_sorts_out_of_order_specs() {
+        let p = ChurnPlan::parse("leave:1@6s;join:5@2s").unwrap();
+        assert!(matches!(p.events[0].op, ChurnOp::Join(_)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for spec in [
+            "join:5",                        // missing time
+            "join:5@2000",                   // missing unit
+            "join:x@2s",                     // bad site
+            "migrate:12:4@2s",               // missing ->TO
+            "migrate:a:4->5@2s",             // bad var
+            "frobnicate:1@2s",               // unknown kind
+            "join@2s",                       // missing args
+            "leave:1@99999999999999999999s", // overflow
+        ] {
+            assert!(ChurnPlan::parse(spec).is_err(), "accepted {spec:?}");
+        }
+    }
+
+    #[test]
+    fn initial_members_excludes_first_time_joiners() {
+        let p = ChurnPlan::parse("join:5@2s;leave:1@6s").unwrap();
+        let m = p.initial_members(6);
+        assert_eq!(m, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn validate_accepts_a_sane_plan() {
+        let p = ChurnPlan::parse("join:5@2s;migrate:3:0->5@4s;crash-leave:1@6s").unwrap();
+        assert!(p.validate(6, 10).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_join_after_leave_and_rejoin() {
+        // Leave precedes the join for site 2: site 2 starts out-of-view
+        // (its first event is the join? no — the leave is first), so the
+        // leave hits a non-member.
+        let p = ChurnPlan::parse("leave:2@1s;join:2@3s").unwrap();
+        assert!(p.validate(6, 10).is_err());
+        // Join → leave → join again is a re-join.
+        let p = ChurnPlan::scripted(vec![
+            ChurnEvent {
+                at: SimTime::from_millis(1000),
+                op: ChurnOp::Join(SiteId(5)),
+            },
+            ChurnEvent {
+                at: SimTime::from_millis(2000),
+                op: ChurnOp::Leave(SiteId(5)),
+            },
+            ChurnEvent {
+                at: SimTime::from_millis(3000),
+                op: ChurnOp::Join(SiteId(5)),
+            },
+        ]);
+        assert!(p.validate(6, 10).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_migrate_to_non_member() {
+        // Site 5 is a first-time joiner at 4s; migrating to it at 2s
+        // targets a non-member.
+        let p = ChurnPlan::parse("migrate:3:0->5@2s;join:5@4s").unwrap();
+        assert!(p.validate(6, 10).is_err());
+        // After the join it is fine.
+        let p = ChurnPlan::parse("join:5@2s;migrate:3:0->5@4s").unwrap();
+        assert!(p.validate(6, 10).is_ok());
+        // Migrating to a departed site is rejected too.
+        let p = ChurnPlan::parse("leave:1@2s;migrate:3:0->1@4s").unwrap();
+        assert!(p.validate(6, 10).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_self_migration() {
+        assert!(ChurnPlan::parse("join:9@2s")
+            .unwrap()
+            .validate(6, 10)
+            .is_err());
+        assert!(ChurnPlan::parse("migrate:42:0->1@2s")
+            .unwrap()
+            .validate(6, 10)
+            .is_err());
+        assert!(ChurnPlan::parse("migrate:3:1->1@2s")
+            .unwrap()
+            .validate(6, 10)
+            .is_err());
+    }
+
+    #[test]
+    fn validate_keeps_two_members_alive() {
+        let p = ChurnPlan::parse("leave:0@1s;leave:1@2s").unwrap();
+        assert!(p.validate(3, 10).is_err());
+        assert!(p.validate(4, 10).is_ok());
+    }
+
+    #[test]
+    fn poisson_plans_are_deterministic_and_valid() {
+        let horizon = SimTime::from_millis(60_000);
+        let a = ChurnPlan::poisson(7, 8, 20, 0.5, horizon);
+        let b = ChurnPlan::poisson(7, 8, 20, 0.5, horizon);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "0.5 ev/s over 60 s should draw events");
+        a.validate(8, 20)
+            .expect("poisson plans are valid by construction");
+        let c = ChurnPlan::poisson(8, 8, 20, 0.5, horizon);
+        assert_ne!(a, c, "different seed, different plan");
+        for ev in &a.events {
+            assert!(ev.at < horizon);
+        }
+    }
+
+    #[test]
+    fn poisson_degenerate_inputs_yield_empty_plans() {
+        let h = SimTime::from_millis(1000);
+        assert!(ChurnPlan::poisson(1, 2, 10, 1.0, h).is_empty());
+        assert!(ChurnPlan::poisson(1, 8, 0, 1.0, h).is_empty());
+        assert!(ChurnPlan::poisson(1, 8, 10, 0.0, h).is_empty());
+    }
+}

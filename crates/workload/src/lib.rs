@@ -16,10 +16,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+pub mod churn;
 pub mod csv;
 pub mod params;
 pub mod schedule;
 
+pub use churn::{ChurnEvent, ChurnOp, ChurnPlan};
 pub use csv::{schedule_from_csv, schedule_to_csv};
 pub use params::{VarDistribution, WorkloadParams};
 pub use schedule::{generate, Schedule};

@@ -16,6 +16,7 @@ fn durable(mut cfg: SimConfig) -> SimConfig {
         checkpoint_every: Some(SimDuration::from_millis(400)),
         fetch_deadline: Some(SimDuration::from_millis(150)),
         lose_media: Vec::new(),
+        torn_tail: Vec::new(),
     };
     cfg
 }
