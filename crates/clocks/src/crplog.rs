@@ -86,6 +86,17 @@ impl CrpLog {
             self.observe(*w);
         }
     }
+
+    /// Causal-stability GC: drop every 2-tuple at or below the stable
+    /// `frontier` — a stable write is applied at every live site, so the
+    /// delivery constraint its tuple would piggyback is vacuous everywhere.
+    /// Returns the number of tuples removed.
+    pub fn prune_stable(&mut self, frontier: &[u64]) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| frontier.get(e.site.index()).is_none_or(|&f| e.clock > f));
+        before - self.entries.len()
+    }
 }
 
 impl fmt::Debug for CrpLog {
@@ -151,6 +162,19 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.clock_of(SiteId(1)), Some(7));
         assert_eq!(a.clock_of(SiteId(2)), Some(2));
+    }
+
+    #[test]
+    fn prune_stable_drops_covered_tuples() {
+        let mut log = CrpLog::new();
+        log.observe(w(0, 4));
+        log.observe(w(1, 2));
+        log.observe(w(2, 9));
+        // Origin 0 stable through 4, origin 1 through 1, origin 2 through 8.
+        assert_eq!(log.prune_stable(&[4, 1, 8]), 1);
+        assert_eq!(log.clock_of(SiteId(0)), None, "⟨0,4⟩ is stable");
+        assert_eq!(log.clock_of(SiteId(1)), Some(2), "above frontier");
+        assert_eq!(log.clock_of(SiteId(2)), Some(9), "above frontier");
     }
 
     #[test]

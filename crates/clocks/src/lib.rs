@@ -26,6 +26,7 @@ pub mod dests;
 pub mod log;
 pub mod matrix;
 pub mod reference;
+pub mod stability;
 pub mod vector;
 
 pub use crplog::CrpLog;
@@ -33,4 +34,5 @@ pub use dests::DestSet;
 pub use log::{Log, LogEntry, PruneConfig};
 pub use matrix::MatrixClock;
 pub use reference::NaiveLog;
+pub use stability::{NaiveStability, StabilityTracker};
 pub use vector::VectorClock;

@@ -424,6 +424,35 @@ impl Log {
         self.entries.truncate(w);
     }
 
+    /// Causal-stability GC: empty the destination set of every entry whose
+    /// write is at or below the stable `frontier` (per-origin: every live
+    /// site has applied all of that origin's writes destined to it up to
+    /// `frontier[origin]`), then purge. A stable write's destination
+    /// constraints are vacuous — the activation predicate at every
+    /// destination is already satisfied — so dropping them cannot block or
+    /// reorder any future delivery. Each origin's newest entry survives as
+    /// a marker (under `cfg.keep_markers`), preserving the MERGE
+    /// cross-pruning power of [`Log::latest_clock`]; a peer that has not yet
+    /// pruned may reintroduce a stable entry via merge, which is sound
+    /// (forgotten entries carry no obligations) and bounded by that peer's
+    /// own GC. Returns the number of entries removed.
+    pub fn prune_stable(&mut self, frontier: &[u64], cfg: PruneConfig) -> usize {
+        let mut removed_ids = 0;
+        for e in &mut self.entries {
+            let stable = frontier
+                .get(e.origin.index())
+                .is_some_and(|&f| e.clock <= f);
+            if stable && !e.dests.is_empty() {
+                removed_ids += e.dests.len();
+                e.dests = DestSet::EMPTY;
+            }
+        }
+        self.dest_ids -= removed_ids;
+        let before = self.entries.len();
+        self.purge(cfg);
+        before - self.entries.len()
+    }
+
     /// Total number of site ids across all destination lists (for size
     /// accounting and diagnostics). O(1) — maintained incrementally.
     pub fn dest_id_count(&self) -> usize {
@@ -666,6 +695,37 @@ mod tests {
         assert_eq!(log.get(s(1), 3).unwrap().dests, d(&[2]));
         assert_eq!(log.get(s(1), 9).unwrap().dests, d(&[0, 2]));
         assert_counters(&log);
+    }
+
+    #[test]
+    fn prune_stable_empties_stable_entries_and_keeps_markers() {
+        let mut log = Log::new();
+        log.upsert(LogEntry::new(s(1), 2, d(&[0, 2])));
+        log.upsert(LogEntry::new(s(1), 5, d(&[0])));
+        log.upsert(LogEntry::new(s(2), 1, d(&[3])));
+        // Frontier: origin 1 stable through clock 3, origin 2 through 1.
+        let mut frontier = vec![0u64; 4];
+        frontier[1] = 3;
+        frontier[2] = 1;
+        let removed = log.prune_stable(&frontier, cfg());
+        // ⟨1,2⟩ was stable and not its run's tail: gone. ⟨1,5⟩ is above the
+        // frontier: untouched. ⟨2,1⟩ was stable but is its origin's newest:
+        // kept as an empty marker so latest_clock survives for MERGE.
+        assert_eq!(removed, 1);
+        assert!(log.get(s(1), 2).is_none());
+        assert_eq!(log.get(s(1), 5).unwrap().dests, d(&[0]));
+        assert!(log.get(s(2), 1).unwrap().dests.is_empty());
+        assert_eq!(log.latest_clock(s(2)), Some(1));
+        assert_counters(&log);
+    }
+
+    #[test]
+    fn prune_stable_at_zero_frontier_is_a_noop() {
+        let mut log = Log::new();
+        log.upsert(LogEntry::new(s(1), 1, d(&[0, 2])));
+        let before = log.clone();
+        assert_eq!(log.prune_stable(&[0, 0, 0], cfg()), 0);
+        assert_eq!(log, before);
     }
 
     #[test]

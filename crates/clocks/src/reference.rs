@@ -230,6 +230,23 @@ impl NaiveLog {
         });
     }
 
+    /// Causal-stability GC (spec of `crate::Log::prune_stable`): empty the
+    /// destinations of entries at or below the stable frontier, then purge.
+    /// Returns the number of entries removed.
+    pub fn prune_stable(&mut self, frontier: &[u64], cfg: PruneConfig) -> usize {
+        for e in &mut self.entries {
+            if frontier
+                .get(e.origin.index())
+                .is_some_and(|&f| e.clock <= f)
+            {
+                e.dests = DestSet::EMPTY;
+            }
+        }
+        let before = self.entries.len();
+        self.purge(cfg);
+        before - self.entries.len()
+    }
+
     /// Total number of site ids across all destination lists.
     pub fn dest_id_count(&self) -> usize {
         self.entries.iter().map(|e| e.dests.len()).sum()

@@ -77,6 +77,16 @@ impl VectorClock {
         self.entries.iter().sum()
     }
 
+    /// `true` if every component is ≤ the matching slot of a raw frontier
+    /// vector — the stability test for optP, whose full replication makes
+    /// per-origin write clocks and destination counts the same number.
+    pub fn le_frontier(&self, frontier: &[u64]) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(j, &c)| frontier.get(j).is_some_and(|&f| c <= f))
+    }
+
     /// Iterate `(process, component)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SiteId, u64)> + '_ {
         self.entries

@@ -44,6 +44,10 @@ enum Op {
     Merge {
         entries: Vec<(usize, u64, Vec<usize>)>,
     },
+    /// Stability GC behind a per-origin frontier.
+    PruneStable {
+        frontier: Vec<u64>,
+    },
     Normalize,
     Purge,
 }
@@ -77,6 +81,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
             .prop_map(|(site, last)| Op::PruneApplied { site, last }),
         proptest::collection::vec((0usize..SITES, 1u64..10, arb_dests()), 0..10)
             .prop_map(|entries| Op::Merge { entries }),
+        proptest::collection::vec(0u64..10, SITES..=SITES)
+            .prop_map(|frontier| Op::PruneStable { frontier }),
         any::<bool>().prop_map(|_| Op::Normalize),
         any::<bool>().prop_map(|_| Op::Purge),
     ]
@@ -138,6 +144,11 @@ fn apply(op: &Op, indexed: &mut Log, naive: &mut NaiveLog, cfg: PruneConfig) {
             fa.normalize(cfg);
             indexed.merge(&fi, cfg);
             naive.merge(&fa, cfg);
+        }
+        Op::PruneStable { frontier } => {
+            let a = indexed.prune_stable(frontier, cfg);
+            let b = naive.prune_stable(frontier, cfg);
+            assert_eq!(a, b, "prune_stable removal counts diverged");
         }
         Op::Normalize => {
             indexed.normalize(cfg);

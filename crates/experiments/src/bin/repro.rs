@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|bench|all>
+//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|soak|bench|all>
 //!       [--quick] [--out <dir>] [--jobs <n>] [--no-cache] [--trace-dir <dir>]
 //! ```
 //!
@@ -174,6 +174,11 @@ fn main() {
         (
             "churn",
             Box::new(move |s: &mut Sweep| causal_experiments::churn::churn_sweep(s.scale(), jobs)),
+            false,
+        ),
+        (
+            "soak",
+            Box::new(move |s: &mut Sweep| causal_experiments::soak::soak_sweep(s.scale(), jobs)),
             false,
         ),
     ];
@@ -387,7 +392,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|bench|all> \
+        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|soak|bench|all> \
          [--quick] [--out <dir>] [--jobs <n>] [--no-cache] [--trace-dir <dir>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -14,6 +14,8 @@
 //!          [--faults <drop,dup>] [--crash <site:start_ms:end_ms[:media]>]
 //!          [--wal] [--checkpoint-interval <ms>] [--fetch-deadline <ms>]
 //!          [--churn <spec>]
+//!          [--stability] [--stability-heartbeat <ms>] [--no-gc]
+//!          [--overdue-after <ms>] [--soft-meta-cap <bytes>]
 //!          [--dump-schedule <path>] [--schedule <path>]
 //!          [--seeds <k>] [--jobs <n>]
 //!          [--trace <path>] [--verify-trace]
@@ -53,6 +55,18 @@
 //! join precedes its leave, migrations target members) and a bad plan
 //! exits 2 with the offending event named.
 //!
+//! `--stability` turns on causal-stability tracking: sites gossip
+//! per-origin delivery watermarks (piggybacked on app messages plus a
+//! heartbeat, default every 50 ms of virtual time — tune it with
+//! `--stability-heartbeat`), a Last-Stable-Vector frontier advances behind
+//! the slowest member, and everything at or below it is garbage-collected
+//! (protocol logs, `LastWriteOn` slots, stable WAL segments). `--no-gc`
+//! keeps the tracker but disables the collectors — the measurement-only
+//! baseline. `--overdue-after 5000` reports any update buffered longer
+//! than 5 s (`buffered_overdue`); `--soft-meta-cap 500000` defers writers
+//! while retained metadata exceeds 500 KB. The three tuning flags require
+//! `--stability`.
+//!
 //! `--trace out.jsonl` records a structured event trace (one JSON object
 //! per line, stamped with virtual time — see `docs/OBSERVABILITY.md`) and
 //! writes it atomically at the end of the run. `--verify-trace`
@@ -70,7 +84,7 @@ use causal_obs::BufTracer;
 use causal_proto::ProtocolKind;
 use causal_simnet::{
     run, run_traced, CrashWindow, DurabilityPlan, FaultPlan, LatencyModel, PartitionWindow,
-    SimConfig,
+    SimConfig, StabilityPlan,
 };
 use causal_types::{MsgKind, SimDuration, SimTime, SiteId, SizeModel};
 use causal_workload::VarDistribution;
@@ -97,6 +111,11 @@ struct Args {
     dump_schedule: Option<String>,
     schedule: Option<String>,
     churn: Option<String>,
+    stability: bool,
+    stability_heartbeat: Option<u64>,
+    no_gc: bool,
+    overdue_after: Option<u64>,
+    soft_meta_cap: Option<u64>,
     seeds: usize,
     jobs: usize,
     trace: Option<String>,
@@ -125,6 +144,11 @@ fn parse() -> Args {
         dump_schedule: None,
         schedule: None,
         churn: None,
+        stability: false,
+        stability_heartbeat: None,
+        no_gc: false,
+        overdue_after: None,
+        soft_meta_cap: None,
         seeds: 1,
         jobs: 1,
         trace: None,
@@ -232,6 +256,29 @@ fn parse() -> Args {
             "--trace" => a.trace = Some(val()),
             "--verify-trace" => a.verify_trace = true,
             "--churn" => a.churn = Some(val()),
+            "--stability" => a.stability = true,
+            "--stability-heartbeat" => {
+                a.stability_heartbeat = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --stability-heartbeat (want milliseconds)")),
+                );
+            }
+            "--no-gc" => a.no_gc = true,
+            "--overdue-after" => {
+                a.overdue_after = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --overdue-after (want milliseconds)")),
+                );
+            }
+            "--soft-meta-cap" => {
+                a.soft_meta_cap = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --soft-meta-cap (want bytes)")),
+                );
+            }
             "--dump-schedule" => a.dump_schedule = Some(val()),
             "--schedule" => a.schedule = Some(val()),
             "--help" | "-h" => {
@@ -261,6 +308,23 @@ fn validate(a: &Args) {
     }
     if a.crashes.iter().any(|c| c.3) && !a.wal {
         die("--crash ...:media requires --wal (without a durable medium there is nothing to lose)");
+    }
+    if a.stability_heartbeat == Some(0) {
+        die("--stability-heartbeat must be positive");
+    }
+    if !a.stability {
+        if a.stability_heartbeat.is_some() {
+            die("--stability-heartbeat requires --stability");
+        }
+        if a.no_gc {
+            die("--no-gc requires --stability (there is no collector to disable)");
+        }
+        if a.overdue_after.is_some() {
+            die("--overdue-after requires --stability (the watchdog runs on its tick)");
+        }
+        if a.soft_meta_cap.is_some() {
+            die("--soft-meta-cap requires --stability (backpressure reads its retained gauge)");
+        }
     }
     let mut windows = a.crashes.clone();
     windows.sort_by_key(|&(site, start, _, _)| (site, start));
@@ -389,6 +453,7 @@ fn main() {
             torn_tail: Vec::new(),
         },
         churn: None,
+        stability: None,
     };
     cfg.workload.q = a.q;
     cfg.workload.events_per_process = a.events;
@@ -400,6 +465,22 @@ fn main() {
     }
     if let Some(theta) = a.zipf {
         cfg.workload.var_dist = VarDistribution::Zipf { theta };
+    }
+    if a.stability {
+        let mut plan = StabilityPlan::default();
+        if let Some(ms) = a.stability_heartbeat {
+            plan.heartbeat_every = SimDuration::from_millis(ms);
+        }
+        if a.no_gc {
+            plan = plan.without_gc();
+        }
+        if let Some(ms) = a.overdue_after {
+            plan = plan.with_overdue_after(SimDuration::from_millis(ms));
+        }
+        if let Some(bytes) = a.soft_meta_cap {
+            plan = plan.with_soft_meta_cap(bytes);
+        }
+        cfg.stability = Some(plan);
     }
     if let Some(path) = &a.schedule {
         let csv = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
@@ -533,6 +614,41 @@ fn main() {
                 m.churn_transfer_bytes as f64 / 1000.0,
                 m.churn_transfers_degraded,
                 m.view_change_ns.mean() / 1e6
+            );
+        }
+    }
+    if a.stability {
+        println!();
+        let p99 = m
+            .stability_lag_p99
+            .estimate()
+            .map_or("-".to_string(), |v| format!("{v:.0}"));
+        println!(
+            "stability       lag mean {:.1} / p99 {} writes, unstable peak {}, retained peak {:.1} KB",
+            m.stability_lag.mean(),
+            p99,
+            m.unstable_peak,
+            m.retained_meta_peak as f64 / 1000.0,
+        );
+        println!(
+            "                gossip {} rows ({:.1} KB), gc {} log entries + {} slots, {} stalled ticks",
+            m.gossip_rows,
+            m.gossip_bytes as f64 / 1000.0,
+            m.gc_log_entries,
+            m.gc_slots,
+            m.gc_stalled_ticks,
+        );
+        if a.wal {
+            println!(
+                "                wal {} segments sealed, {:.1} KB deleted behind the frontier",
+                m.wal_segments_sealed,
+                m.wal_deleted_bytes as f64 / 1000.0,
+            );
+        }
+        if m.buffered_overdue + m.backpressure_events > 0 {
+            println!(
+                "                {} overdue buffered updates, {} backpressure deferrals",
+                m.buffered_overdue, m.backpressure_events,
             );
         }
     }

@@ -36,6 +36,7 @@ pub mod churn;
 pub mod durability;
 pub mod figures;
 pub mod pool;
+pub mod soak;
 pub mod sweep;
 pub mod trace;
 

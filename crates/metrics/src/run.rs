@@ -123,6 +123,36 @@ pub struct RunMetrics {
     pub fetch_rtt_ns: StatAccum,
     /// p99 of the fetch RTT (streaming P² estimate).
     pub fetch_rtt_p99: P2Quantile,
+    /// Updates flagged by the stuck-buffer watchdog: parked past the
+    /// overdue deadline without applying (each counted once).
+    pub buffered_overdue: u64,
+    /// Stability watermark rows exchanged (piggybacks + heartbeats).
+    pub gossip_rows: u64,
+    /// Modeled bytes of those rows (`8n` per row).
+    pub gossip_bytes: u64,
+    /// KS-log entries reclaimed behind the stable frontier.
+    pub gc_log_entries: u64,
+    /// Materialized `LastWriteOn` slots reclaimed behind the frontier.
+    pub gc_slots: u64,
+    /// Stability ticks where the frontier could not advance while some
+    /// member was down — the expected GC pause under failure.
+    pub gc_stalled_ticks: u64,
+    /// Writes deferred because retained metadata exceeded the soft cap.
+    pub backpressure_events: u64,
+    /// Peak retained metadata estimate (protocol state + WAL bytes)
+    /// sampled at stability ticks.
+    pub retained_meta_peak: u64,
+    /// Peak count of writes issued but not yet globally stable.
+    pub unstable_peak: u64,
+    /// WAL segments sealed (filled past the segment size limit).
+    pub wal_segments_sealed: u64,
+    /// Bytes of fully-checkpointed WAL segments deleted by truncation.
+    pub wal_deleted_bytes: u64,
+    /// Stability lag — max over origins of (issued − stable frontier) —
+    /// sampled at every stability tick.
+    pub stability_lag: StatAccum,
+    /// p99 of the stability lag (streaming P² estimate).
+    pub stability_lag_p99: P2Quantile,
     /// Per-site breakdown of the counters above (sends, delivers, applies,
     /// buffering, retransmits, dwell, fetch RTT).
     pub per_site: SiteRegistry,
@@ -174,6 +204,19 @@ impl Default for RunMetrics {
             view_change_ns: StatAccum::default(),
             fetch_rtt_ns: StatAccum::default(),
             fetch_rtt_p99: P2Quantile::new(0.99),
+            buffered_overdue: 0,
+            gossip_rows: 0,
+            gossip_bytes: 0,
+            gc_log_entries: 0,
+            gc_slots: 0,
+            gc_stalled_ticks: 0,
+            backpressure_events: 0,
+            retained_meta_peak: 0,
+            unstable_peak: 0,
+            wal_segments_sealed: 0,
+            wal_deleted_bytes: 0,
+            stability_lag: StatAccum::default(),
+            stability_lag_p99: P2Quantile::new(0.99),
             per_site: SiteRegistry::new(),
         }
     }
@@ -189,6 +232,12 @@ impl RunMetrics {
     pub fn record_apply_latency(&mut self, ns: f64) {
         self.apply_latency_ns.record(ns);
         self.apply_latency_p99.record(ns);
+    }
+
+    /// Record one stability-lag sample (mean + p99 together).
+    pub fn record_stability_lag(&mut self, lag: f64) {
+        self.stability_lag.record(lag);
+        self.stability_lag_p99.record(lag);
     }
 
     /// Record one remote-fetch round trip (run total + per-site, mean + p99).
@@ -265,6 +314,17 @@ impl RunMetrics {
         self.migrations += other.migrations;
         self.churn_transfer_bytes += other.churn_transfer_bytes;
         self.churn_transfers_degraded += other.churn_transfers_degraded;
+        self.buffered_overdue += other.buffered_overdue;
+        self.gossip_rows += other.gossip_rows;
+        self.gossip_bytes += other.gossip_bytes;
+        self.gc_log_entries += other.gc_log_entries;
+        self.gc_slots += other.gc_slots;
+        self.gc_stalled_ticks += other.gc_stalled_ticks;
+        self.backpressure_events += other.backpressure_events;
+        self.retained_meta_peak = self.retained_meta_peak.max(other.retained_meta_peak);
+        self.unstable_peak = self.unstable_peak.max(other.unstable_peak);
+        self.wal_segments_sealed += other.wal_segments_sealed;
+        self.wal_deleted_bytes += other.wal_deleted_bytes;
         self.per_site.merge(&other.per_site);
         // StatAccum cannot merge exactly without the raw moments; fold the
         // other's summary as a weighted contribution.
@@ -276,6 +336,7 @@ impl RunMetrics {
             (&mut self.recovery_ns, &other.recovery_ns),
             (&mut self.view_change_ns, &other.view_change_ns),
             (&mut self.fetch_rtt_ns, &other.fetch_rtt_ns),
+            (&mut self.stability_lag, &other.stability_lag),
         ] {
             for _ in 0..theirs.count() {
                 mine.record(theirs.mean());
@@ -406,6 +467,43 @@ mod tests {
         assert_eq!(a.fetch_failovers, 1);
         assert_eq!(a.degraded_reads, 2);
         assert_eq!(a.degraded_recoveries, 1);
+    }
+
+    #[test]
+    fn stability_counters_merge() {
+        let mut a = RunMetrics::new();
+        a.buffered_overdue = 1;
+        a.gossip_rows = 10;
+        a.retained_meta_peak = 900;
+        a.unstable_peak = 5;
+        a.record_stability_lag(4.0);
+        let mut b = RunMetrics::new();
+        b.buffered_overdue = 2;
+        b.gossip_rows = 20;
+        b.gossip_bytes = 640;
+        b.gc_log_entries = 30;
+        b.gc_slots = 12;
+        b.gc_stalled_ticks = 3;
+        b.backpressure_events = 1;
+        b.retained_meta_peak = 700;
+        b.unstable_peak = 8;
+        b.wal_segments_sealed = 4;
+        b.wal_deleted_bytes = 4_096;
+        b.record_stability_lag(6.0);
+        a.merge(&b);
+        assert_eq!(a.buffered_overdue, 3);
+        assert_eq!(a.gossip_rows, 30);
+        assert_eq!(a.gossip_bytes, 640);
+        assert_eq!(a.gc_log_entries, 30);
+        assert_eq!(a.gc_slots, 12);
+        assert_eq!(a.gc_stalled_ticks, 3);
+        assert_eq!(a.backpressure_events, 1);
+        assert_eq!(a.retained_meta_peak, 900, "peaks max, not sum");
+        assert_eq!(a.unstable_peak, 8);
+        assert_eq!(a.wal_segments_sealed, 4);
+        assert_eq!(a.wal_deleted_bytes, 4_096);
+        assert_eq!(a.stability_lag.count(), 2);
+        assert!((a.stability_lag.mean() - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -202,6 +202,34 @@ pub enum EventKind {
         /// Entries remaining afterwards.
         remaining: u64,
     },
+    /// The global stable frontier advanced for writes of this site
+    /// (every member has applied its writes through `clock`).
+    FrontierAdvance {
+        /// The new stable clock for this origin.
+        clock: u64,
+    },
+    /// A stability tick garbage-collected state behind this site's
+    /// known-stable frontier.
+    GcRun {
+        /// Causality-log entries reclaimed.
+        log_entries: u64,
+        /// Materialized `LastWriteOn` slots reclaimed.
+        slots: u64,
+    },
+    /// The stuck-buffer watchdog flagged an update parked past the
+    /// overdue deadline at this site.
+    BufferedOverdue {
+        /// The overdue write's origin site.
+        origin: SiteId,
+        /// The overdue write's clock at its origin.
+        clock: u64,
+    },
+    /// Retained metadata crossed the soft cap: writers back off until the
+    /// frontier catches up.
+    Backpressure {
+        /// The retained-bytes estimate that tripped the cap.
+        retained: u64,
+    },
 }
 
 /// One structured trace event: what happened, where, and when (virtual
@@ -457,6 +485,22 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
             tag(&mut s, "log_prune");
             let _ = write!(s, ",\"removed\":{removed},\"remaining\":{remaining}");
         }
+        EventKind::FrontierAdvance { clock } => {
+            tag(&mut s, "frontier_advance");
+            let _ = write!(s, ",\"clock\":{clock}");
+        }
+        EventKind::GcRun { log_entries, slots } => {
+            tag(&mut s, "gc_run");
+            let _ = write!(s, ",\"log_entries\":{log_entries},\"slots\":{slots}");
+        }
+        EventKind::BufferedOverdue { origin, clock } => {
+            tag(&mut s, "buffered_overdue");
+            let _ = write!(s, ",\"origin\":{},\"clock\":{clock}", origin.0);
+        }
+        EventKind::Backpressure { retained } => {
+            tag(&mut s, "backpressure");
+            let _ = write!(s, ",\"retained\":{retained}");
+        }
     }
     s.push('}');
     s
@@ -648,6 +692,20 @@ pub fn event_from_json(line: &str) -> Result<TraceEvent, String> {
             removed: f.num("removed")?,
             remaining: f.num("remaining")?,
         },
+        "frontier_advance" => EventKind::FrontierAdvance {
+            clock: f.num("clock")?,
+        },
+        "gc_run" => EventKind::GcRun {
+            log_entries: f.num("log_entries")?,
+            slots: f.num("slots")?,
+        },
+        "buffered_overdue" => EventKind::BufferedOverdue {
+            origin: f.site("origin")?,
+            clock: f.num("clock")?,
+        },
+        "backpressure" => EventKind::Backpressure {
+            retained: f.num("retained")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(TraceEvent {
@@ -763,6 +821,16 @@ mod tests {
                 removed: 12,
                 remaining: 3,
             },
+            EventKind::FrontierAdvance { clock: 42 },
+            EventKind::GcRun {
+                log_entries: 18,
+                slots: 6,
+            },
+            EventKind::BufferedOverdue {
+                origin: SiteId(4),
+                clock: 11,
+            },
+            EventKind::Backpressure { retained: 70_000 },
         ];
         kinds
             .into_iter()

@@ -15,7 +15,7 @@ use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
 use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
-use crate::site::ProtocolSite;
+use crate::site::{GcStats, ProtocolSite, StableCut};
 use causal_clocks::MatrixClock;
 use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId};
 use std::collections::HashMap;
@@ -295,6 +295,20 @@ impl ProtocolSite for FullTrack {
         self.state.values.get(&var).copied()
     }
 
+    fn gc_stable(&mut self, cut: &StableCut) -> GcStats {
+        // A stashed `LastWriteOn` matrix wholly within the stable cut
+        // describes only writes already applied at every live member: a
+        // future read's merge of it could never raise the local matrix
+        // above knowledge whose constraints are vacuous everywhere, so the
+        // stash can go. The value itself stays — only the metadata is GC'd.
+        let before = self.state.last_write_on.len();
+        self.state.last_write_on.retain(|_, w| !w.le(cut.counts));
+        GcStats {
+            log_entries: 0,
+            slots: before - self.state.last_write_on.len(),
+        }
+    }
+
     fn own_ledger(&self) -> OwnLedger {
         OwnLedger {
             site: self.site,
@@ -363,7 +377,15 @@ impl ProtocolSite for FullTrack {
             .iter()
             .filter(|(var, _)| self.repl.is_replicated_at(**var, requester))
             .map(|(var, value)| {
-                let meta = self.state.last_write_on[var].as_ref().clone();
+                // A stash collected by `gc_stable` means the variable's last
+                // write is stable at every member — its dependency
+                // constraints are vacuous, so the zero matrix is exact.
+                let meta = self
+                    .state
+                    .last_write_on
+                    .get(var)
+                    .map(|w| w.as_ref().clone())
+                    .unwrap_or_else(|| MatrixClock::new(self.n));
                 (*var, *value, meta)
             })
             .collect();
@@ -593,5 +615,51 @@ mod tests {
         let sys = system(5);
         let model = SizeModel::java_like();
         assert_eq!(sys[0].local_meta_size(&model), 250, "n² scalars");
+    }
+
+    #[test]
+    fn gc_stable_drops_covered_last_write_on_stashes() {
+        let mut sys = system(3);
+        let (_w, e0) = sys[0].write(VarId(0), 42, 0);
+        let sm_to_1 = sends(&e0)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_to_1));
+
+        let model = SizeModel::java_like();
+        let before = sys[1].local_meta_size(&model);
+
+        // Not yet stable (zero counts): the stash must survive.
+        let cut = StableCut {
+            clocks: &[0, 0, 0],
+            counts: &MatrixClock::new(3),
+        };
+        assert!(sys[1].gc_stable(&cut).is_empty());
+        assert_eq!(sys[1].local_meta_size(&model), before);
+
+        // s0's first write (1 per destination) stable everywhere: the
+        // stashed matrix is wholly within the cut and goes.
+        let mut counts = MatrixClock::new(3);
+        for k in SiteId::all(3) {
+            counts.set(SiteId(0), k, 1);
+        }
+        let cut = StableCut {
+            clocks: &[1, 0, 0],
+            counts: &counts,
+        };
+        let stats = sys[1].gc_stable(&cut);
+        assert_eq!(stats.slots, 1, "stats: {stats:?}");
+        assert!(sys[1].local_meta_size(&model) < before);
+        assert!(sys[1].gc_stable(&cut).is_empty(), "idempotent");
+
+        // The value itself is untouched — only metadata was reclaimed.
+        assert_eq!(sys[1].value_of(VarId(0)).unwrap().data, 42);
+        match sys[1].read(VarId(0)) {
+            ReadResult::Local(Some(v)) => assert_eq!(v.data, 42),
+            other => panic!("expected local value, got {other:?}"),
+        }
     }
 }

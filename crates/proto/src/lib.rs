@@ -66,6 +66,6 @@ pub use optp::OptP;
 pub use pending::{ProtoTrace, ProtoTraceEvent};
 pub use reliable::{Frame, OwnLedger, PeerAckInfo, SyncState};
 pub use replication::Replication;
-pub use site::ProtocolSite;
+pub use site::{GcStats, ProtocolSite, StableCut};
 pub use wal::{DurableStore, WalRecord};
 pub use wire::{decode, encode, WireError};

@@ -18,7 +18,7 @@ use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
 use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
-use crate::site::ProtocolSite;
+use crate::site::{GcStats, ProtocolSite, StableCut};
 #[cfg(test)]
 use causal_clocks::DestSet;
 use causal_clocks::{Log, LogEntry, PruneConfig};
@@ -413,6 +413,40 @@ impl ProtocolSite for OptTrack {
 
     fn log_len(&self) -> Option<usize> {
         Some(self.log.len())
+    }
+
+    fn gc_stable(&mut self, cut: &StableCut) -> GcStats {
+        let mut stats = GcStats::default();
+        // The main KS log: entries at or below the cut are applied at every
+        // destination, so their (now vacuous) constraints can go. Run-tail
+        // markers survive per PruneConfig, keeping merge cross-pruning power.
+        // An empty-dest entry is a kept run-tail marker; only entries still
+        // carrying destinations (or stale non-tail records) need the pass.
+        let has_stale = |log: &Log| {
+            log.iter().any(|e| {
+                !e.dests.is_empty()
+                    && cut
+                        .clocks
+                        .get(e.origin.index())
+                        .is_some_and(|&f| e.clock <= f)
+            })
+        };
+        if has_stale(&self.log) {
+            stats.log_entries += Arc::make_mut(&mut self.log).prune_stable(cut.clocks, self.prune);
+        }
+        // Slot piggyback logs: prune only already-materialized slots.
+        // Unmaterialized slots still alias the shared in-flight snapshot —
+        // forcing materialization to GC them would *grow* memory, and their
+        // Arc is usually dropped wholesale on overwrite anyway.
+        for lw in self.state.last_write_on.values_mut() {
+            if lw.own.is_some() {
+                continue;
+            }
+            if has_stale(&lw.log) {
+                stats.slots += Arc::make_mut(&mut lw.log).prune_stable(cut.clocks, self.prune);
+            }
+        }
+        stats
     }
 
     fn own_ledger(&self) -> OwnLedger {
@@ -952,5 +986,62 @@ mod tests {
             expected,
             "receiver mutated a live snapshot"
         );
+    }
+
+    #[test]
+    fn gc_stable_prunes_log_and_materialized_slots() {
+        use causal_clocks::MatrixClock;
+        let mut sys = toy_system();
+        // s0: w1(x1) → {1,2}, then w2(x0) → {0,1}; deliver both to s1 in
+        // order, and have s1 read x0 so its slot materializes with s0's
+        // two-entry causal past and its main log absorbs the piggyback.
+        let (_w1, e1) = sys[0].write(VarId(1), 11, 0);
+        let sm_w1 = sends(&e1)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        let (_w2, e2) = sys[0].write(VarId(0), 12, 0);
+        let sm_w2 = sends(&e2)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_w1));
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_w2));
+        sys[1].read(VarId(0));
+
+        let model = SizeModel::java_like();
+        let before = sys[1].local_meta_size(&model);
+        let counts = MatrixClock::new(3);
+        // Nothing stable: GC must not touch anything.
+        let cut = StableCut {
+            clocks: &[0, 0, 0],
+            counts: &counts,
+        };
+        assert!(sys[1].gc_stable(&cut).is_empty());
+        assert_eq!(sys[1].local_meta_size(&model), before);
+
+        // Both of s0's writes stable: the older entry goes from both the
+        // main log and the materialized slot (the newest survives as a
+        // marker per PruneConfig).
+        let cut = StableCut {
+            clocks: &[2, 0, 0],
+            counts: &counts,
+        };
+        let stats = sys[1].gc_stable(&cut);
+        assert!(stats.log_entries >= 1, "stats: {stats:?}");
+        assert!(stats.slots >= 1, "stats: {stats:?}");
+        assert!(sys[1].local_meta_size(&model) < before);
+        // Idempotent: a second pass finds nothing left.
+        assert!(sys[1].gc_stable(&cut).is_empty());
+
+        // GC is invisible to reads.
+        match sys[1].read(VarId(1)) {
+            ReadResult::Local(Some(v)) => assert_eq!(v.data, 11),
+            other => panic!("expected local value, got {other:?}"),
+        }
     }
 }

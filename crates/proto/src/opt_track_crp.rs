@@ -14,7 +14,7 @@ use crate::msg::{Msg, Sm, SmMeta};
 use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
-use crate::site::ProtocolSite;
+use crate::site::{GcStats, ProtocolSite, StableCut};
 use causal_clocks::CrpLog;
 use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId};
 use std::collections::HashMap;
@@ -197,6 +197,14 @@ impl ProtocolSite for OptTrackCrp {
                 let SmMeta::Crp { clock, log } = sm.meta else {
                     panic!("Opt-Track-CRP site received a foreign SM meta");
                 };
+                // Post-recovery duplicate suppression: an SM at or below
+                // the per-origin delivery high-water is a retransmission
+                // whose effect is already folded into the installed sync
+                // snapshot (or covered by a peer-recovery fast-forward);
+                // re-applying it would roll the variable backwards.
+                if clock <= self.state.last_clock[from.index()] {
+                    return Vec::new();
+                }
                 let m = PendingSm {
                     var: sm.var,
                     value: sm.value,
@@ -240,6 +248,21 @@ impl ProtocolSite for OptTrackCrp {
 
     fn log_len(&self) -> Option<usize> {
         Some(self.log.len())
+    }
+
+    fn gc_stable(&mut self, cut: &StableCut) -> GcStats {
+        // Tuples at or below the stable frontier piggyback constraints that
+        // are vacuous at every live member; likewise a stable stored
+        // `LastWriteOn` tuple would only ever feed such a vacuous observe.
+        let log_entries = self.log.prune_stable(cut.clocks);
+        let before = self.state.last_write_on.len();
+        self.state
+            .last_write_on
+            .retain(|_, w| cut.clocks.get(w.site.index()).is_none_or(|&f| w.clock > f));
+        GcStats {
+            log_entries,
+            slots: before - self.state.last_write_on.len(),
+        }
     }
 
     fn own_ledger(&self) -> OwnLedger {
@@ -305,6 +328,7 @@ impl ProtocolSite for OptTrackCrp {
         // Full replication: every variable lives everywhere.
         SyncState::Crp {
             log: self.log.clone(),
+            applied: self.state.last_clock.clone(),
             vars: self
                 .state
                 .values
@@ -314,41 +338,79 @@ impl ProtocolSite for OptTrackCrp {
         }
     }
 
+    fn applied_horizon(&self) -> Option<Vec<u64>> {
+        Some(self.state.last_clock.clone())
+    }
+
     fn install_sync(&mut self, sources: &[(SiteId, PeerAckInfo, SyncState)]) {
-        let mut best: HashMap<VarId, VersionedValue> = HashMap::new();
+        // Donor `known` vector attests `w`: the donor applied the write, so
+        // its effect is folded into every value the donor exports.
+        let knows =
+            |known: &[u64], w: WriteId| known.get(w.site.index()).is_some_and(|&hw| hw >= w.clock);
+        // The snapshot horizon: per origin, the highest clock any donor has
+        // applied (plus the acked prefix of each donor's own stream). The
+        // installed values reflect exactly this causally-closed cut, so the
+        // delivery counters must fast-forward all the way to it: stopping at
+        // the acked prefix would let the unacked remainder redeliver and
+        // roll the installed values backwards, and would let fresh writes
+        // whose transitive dependencies sit inside the skipped prefix apply
+        // before those dependencies (the d+1-tuple log cannot re-park them).
+        let mut horizon = vec![0u64; self.n];
+        let mut best: HashMap<VarId, (VersionedValue, &[u64])> = HashMap::new();
         for (peer, ack, state) in sources {
-            let SyncState::Crp { log, vars } = state else {
+            let SyncState::Crp { log, applied, vars } = state else {
                 panic!("Opt-Track-CRP site received a foreign sync snapshot");
             };
-            // Exactly the acked prefix of the peer's stream was received.
-            // Never regress: a WAL-replayed site may already count
-            // logged-but-unacked deliveries beyond the acked prefix.
-            let apply = &mut self.state.apply[peer.index()];
-            *apply = (*apply).max(ack.sm_count);
-            let last = &mut self.state.last_clock[peer.index()];
-            *last = (*last).max(ack.sm_max_clock);
+            horizon[peer.index()] = horizon[peer.index()].max(ack.sm_max_clock);
+            for (j, hw) in applied.iter().enumerate() {
+                horizon[j] = horizon[j].max(*hw);
+            }
             // Merge every live peer's dependency log: a safe
             // over-approximation of pre-crash causal knowledge.
             self.log.merge(log);
+            // Per variable, prefer the value whose donor provably applied
+            // the rival's write and still kept this one; the bare
+            // `(clock, site)` order can resurrect a causally-overwritten
+            // value whose overwriter carries a smaller clock.
             for (var, value) in vars {
-                let better = best.get(var).is_none_or(|b| {
-                    (value.writer.clock, value.writer.site) > (b.writer.clock, b.writer.site)
-                });
+                let better = match best.get(var) {
+                    None => true,
+                    Some((b, b_known)) => {
+                        let v_covers_b = knows(applied, b.writer);
+                        let b_covers_v = knows(b_known, value.writer);
+                        if v_covers_b != b_covers_v {
+                            v_covers_b
+                        } else {
+                            (value.writer.clock, value.writer.site)
+                                > (b.writer.clock, b.writer.site)
+                        }
+                    }
+                };
                 if better {
-                    best.insert(*var, *value);
+                    best.insert(*var, (*value, applied.as_slice()));
                 }
             }
         }
-        for (var, value) in best {
-            // Install only values strictly newer than the local replica (a
-            // delta snapshot must not roll a WAL-replayed state back).
+        for (var, (value, known)) in best {
+            // Install unless it would roll a WAL-replayed local state back:
+            // the donor attesting the local write makes its value at least
+            // as fresh; otherwise fall back to the writer-pair order.
             let newer = self.state.values.get(&var).is_none_or(|cur| {
-                (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
+                knows(known, cur.writer)
+                    || (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
             });
             if newer {
                 self.state.last_write_on.insert(var, value.writer);
                 self.state.values.insert(var, value);
             }
+        }
+        // Never regress: a WAL-replayed site may already count deliveries
+        // beyond any donor's horizon.
+        for (j, hw) in horizon.iter().enumerate() {
+            let apply = &mut self.state.apply[j];
+            *apply = (*apply).max(*hw);
+            let last = &mut self.state.last_clock[j];
+            *last = (*last).max(*hw);
         }
     }
 
@@ -502,6 +564,50 @@ mod tests {
         // just sanity-check the absolute bound: base + sender tuple + ≤ 6
         // log tuples.
         assert!(max_sm <= 209 + 20 + 6 * 20, "max SM was {max_sm}");
+    }
+
+    #[test]
+    fn gc_stable_prunes_tuples_and_stored_last_writes() {
+        use causal_clocks::MatrixClock;
+        let mut sys = system(3);
+        // Seed values from two origins, read both at s0 so its log carries
+        // one tuple per origin and LastWriteOn holds both tuples.
+        let (_w1, e1) = sys[1].write(VarId(1), 10, 0);
+        let (_w2, e2) = sys[2].write(VarId(2), 20, 0);
+        for (to, sm) in sends(&e1) {
+            if to == SiteId(0) {
+                sys[0].on_message(SiteId(1), Msg::Sm(sm));
+            }
+        }
+        for (to, sm) in sends(&e2) {
+            if to == SiteId(0) {
+                sys[0].on_message(SiteId(2), Msg::Sm(sm));
+            }
+        }
+        sys[0].read(VarId(1));
+        sys[0].read(VarId(2));
+        assert_eq!(sys[0].log_size(), 2);
+
+        let counts = MatrixClock::new(3);
+        // Only origin 1's write is stable: its tuple and stored last-write
+        // go; origin 2's stay.
+        let cut = StableCut {
+            clocks: &[0, 1, 0],
+            counts: &counts,
+        };
+        let stats = sys[0].gc_stable(&cut);
+        assert_eq!(stats.log_entries, 1, "stats: {stats:?}");
+        assert_eq!(stats.slots, 1, "stats: {stats:?}");
+        assert_eq!(sys[0].log_size(), 1);
+        assert!(sys[0].gc_stable(&cut).is_empty(), "idempotent");
+
+        // Values survive; re-reading a GC'd variable is still fine (the
+        // vacuous observe is simply skipped).
+        match sys[0].read(VarId(1)) {
+            ReadResult::Local(Some(v)) => assert_eq!(v.data, 10),
+            other => panic!("expected local value, got {other:?}"),
+        }
+        assert_eq!(sys[0].log_size(), 1, "no tuple re-materializes");
     }
 
     #[test]

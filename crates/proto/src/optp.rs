@@ -15,7 +15,7 @@ use crate::msg::{Msg, Sm, SmMeta};
 use crate::pending::{PendingQueues, ProtoTrace, ProtoTraceEvent};
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
 use crate::replication::Replication;
-use crate::site::ProtocolSite;
+use crate::site::{GcStats, ProtocolSite, StableCut};
 use causal_clocks::VectorClock;
 use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId};
 use std::collections::HashMap;
@@ -172,6 +172,14 @@ impl ProtocolSite for OptP {
                 let SmMeta::OptP { write } = sm.meta else {
                     panic!("optP site received a foreign SM meta");
                 };
+                // Post-recovery duplicate suppression: an SM at or below
+                // the per-origin receive counter is a retransmission whose
+                // effect is already folded into the installed sync snapshot
+                // (or covered by a peer-recovery fast-forward); re-applying
+                // it would roll the variable backwards.
+                if sm.value.writer.clock <= self.state.apply[from.index()] {
+                    return Vec::new();
+                }
                 let m = PendingSm {
                     var: sm.var,
                     value: sm.value,
@@ -213,6 +221,22 @@ impl ProtocolSite for OptP {
 
     fn value_of(&self, var: VarId) -> Option<VersionedValue> {
         self.state.values.get(&var).copied()
+    }
+
+    fn gc_stable(&mut self, cut: &StableCut) -> GcStats {
+        // Full replication makes per-origin write clocks and destination
+        // counts the same number, so the clock frontier is directly the
+        // stability test for a stashed vector: a `LastWriteOn` clock wholly
+        // below it only names writes applied at every live member, and the
+        // read-merge it feeds can no longer influence any delivery.
+        let before = self.state.last_write_on.len();
+        self.state
+            .last_write_on
+            .retain(|_, w| !w.le_frontier(cut.clocks));
+        GcStats {
+            log_entries: 0,
+            slots: before - self.state.last_write_on.len(),
+        }
     }
 
     fn own_ledger(&self) -> OwnLedger {
@@ -269,48 +293,102 @@ impl ProtocolSite for OptP {
             .state
             .values
             .iter()
-            .map(|(var, value)| (*var, *value, self.state.last_write_on[var].as_ref().clone()))
+            .map(|(var, value)| {
+                // A stash collected by `gc_stable` means the variable's last
+                // write is stable at every member — its dependency
+                // constraints are vacuous, so the zero clock is exact.
+                let meta = self
+                    .state
+                    .last_write_on
+                    .get(var)
+                    .map(|w| w.as_ref().clone())
+                    .unwrap_or_else(|| VectorClock::new(self.n));
+                (*var, *value, meta)
+            })
             .collect();
         SyncState::OptP {
             clock: self.write_clock.clone(),
+            applied: self.state.apply.clone(),
             vars,
         }
     }
 
+    fn applied_horizon(&self) -> Option<Vec<u64>> {
+        // Full replication: the per-origin receive counters are clocks.
+        Some(self.state.apply.clone())
+    }
+
     fn install_sync(&mut self, sources: &[(SiteId, PeerAckInfo, SyncState)]) {
-        let mut best: HashMap<VarId, (VersionedValue, VectorClock)> = HashMap::new();
+        // Donor `known` counters attest `w`: the donor applied the write, so
+        // its effect is folded into every value the donor exports.
+        let knows =
+            |known: &[u64], w: WriteId| known.get(w.site.index()).is_some_and(|&hw| hw >= w.clock);
+        // The snapshot horizon: per origin, the highest write any donor has
+        // applied (full replication: counters are clocks), plus the acked
+        // prefix of each donor's own stream. The installed values reflect
+        // exactly this causally-closed cut, so the receive counters must
+        // fast-forward all the way to it — stopping at the acked prefix
+        // would let the unacked remainder redeliver and roll the installed
+        // values backwards.
+        let mut horizon = vec![0u64; self.n];
+        let mut best: HashMap<VarId, (VersionedValue, &VectorClock, &[u64])> = HashMap::new();
         for (peer, ack, state) in sources {
-            let SyncState::OptP { clock, vars } = state else {
+            let SyncState::OptP {
+                clock,
+                applied,
+                vars,
+            } = state
+            else {
                 panic!("optP site received a foreign sync snapshot");
             };
-            // Acked SMs were received exactly once and never redeliver; the
-            // acked count restores the per-origin receive counter exactly.
-            // Never regress: a WAL-replayed site may already count
-            // logged-but-unacked deliveries beyond the acked prefix.
-            let apply = &mut self.state.apply[peer.index()];
-            *apply = (*apply).max(ack.sm_count);
+            horizon[peer.index()] = horizon[peer.index()].max(ack.sm_max_clock);
+            for (j, hw) in applied.iter().enumerate() {
+                horizon[j] = horizon[j].max(*hw);
+            }
             // Merge every live peer's vector: a safe over-approximation of
             // the lost causal knowledge.
             self.write_clock.merge_max(clock);
+            // Per variable, prefer the value whose donor provably applied
+            // the rival's write and still kept this one; the bare
+            // `(clock, site)` order can resurrect a causally-overwritten
+            // value whose overwriter carries a smaller clock.
             for (var, value, meta) in vars {
-                let replace = best.get(var).is_none_or(|(b, _)| {
-                    (value.writer.clock, value.writer.site) > (b.writer.clock, b.writer.site)
-                });
+                let replace = match best.get(var) {
+                    None => true,
+                    Some((b, _, b_known)) => {
+                        let v_covers_b = knows(applied, b.writer);
+                        let b_covers_v = knows(b_known, value.writer);
+                        if v_covers_b != b_covers_v {
+                            v_covers_b
+                        } else {
+                            (value.writer.clock, value.writer.site)
+                                > (b.writer.clock, b.writer.site)
+                        }
+                    }
+                };
                 if replace {
-                    best.insert(*var, (*value, meta.clone()));
+                    best.insert(*var, (*value, meta, applied.as_slice()));
                 }
             }
         }
-        for (var, (value, meta)) in best {
-            // Install only values strictly newer than the local replica (a
-            // delta snapshot must not roll a WAL-replayed state back).
+        for (var, (value, meta, known)) in best {
+            // Install unless it would roll a WAL-replayed local state back:
+            // the donor attesting the local write makes its value at least
+            // as fresh; otherwise fall back to the writer-pair order.
             let newer = self.state.values.get(&var).is_none_or(|cur| {
-                (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
+                knows(known, cur.writer)
+                    || (value.writer.clock, value.writer.site) > (cur.writer.clock, cur.writer.site)
             });
             if newer {
                 self.state.values.insert(var, value);
-                self.state.last_write_on.insert(var, Arc::new(meta));
+                self.state.last_write_on.insert(var, Arc::new(meta.clone()));
             }
+        }
+        // Never regress: a WAL-replayed site may already count deliveries
+        // beyond any donor's horizon.
+        for (j, hw) in horizon.iter().enumerate() {
+            let apply = &mut self.state.apply[j];
+            *apply = (*apply).max(*hw);
         }
     }
 
@@ -451,5 +529,40 @@ mod tests {
         assert_eq!(sys[1].write_clock.get(SiteId(0)), 0);
         sys[1].read(VarId(0));
         assert_eq!(sys[1].write_clock.get(SiteId(0)), 1);
+    }
+
+    #[test]
+    fn gc_stable_drops_covered_vector_stashes() {
+        use causal_clocks::MatrixClock;
+        let mut sys = system(3);
+        let (_w, e) = sys[0].write(VarId(0), 5, 0);
+        let sm_to_1 = sends(&e)
+            .iter()
+            .find(|(t, _)| *t == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        sys[1].on_message(SiteId(0), Msg::Sm(sm_to_1));
+
+        let counts = MatrixClock::new(3);
+        // Frontier below the stashed vector: survives.
+        let cut = StableCut {
+            clocks: &[0, 0, 0],
+            counts: &counts,
+        };
+        assert!(sys[1].gc_stable(&cut).is_empty());
+
+        // Frontier covers it: the stash goes, the value stays readable.
+        let cut = StableCut {
+            clocks: &[1, 0, 0],
+            counts: &counts,
+        };
+        let stats = sys[1].gc_stable(&cut);
+        assert_eq!(stats.slots, 1, "stats: {stats:?}");
+        assert!(sys[1].gc_stable(&cut).is_empty(), "idempotent");
+        match sys[1].read(VarId(0)) {
+            ReadResult::Local(Some(v)) => assert_eq!(v.data, 5),
+            other => panic!("expected local value, got {other:?}"),
+        }
     }
 }

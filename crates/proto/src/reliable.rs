@@ -87,6 +87,12 @@ pub enum SyncState {
     Crp {
         /// The peer's tuple log.
         log: CrpLog,
+        /// The peer's per-origin applied-clock vector. The shipped values
+        /// reflect exactly the writes at or below this cut, so the
+        /// recovering site must fast-forward its delivery counters to the
+        /// merged cut — stopping at the acked prefix would let the unacked
+        /// remainder redeliver and roll installed values backwards.
+        applied: Vec<u64>,
         /// `(var, value)` pairs (full replication: all written variables).
         vars: Vec<(VarId, VersionedValue)>,
     },
@@ -94,6 +100,9 @@ pub enum SyncState {
     OptP {
         /// The peer's `Write` vector.
         clock: VectorClock,
+        /// The peer's per-origin applied-write counters (equal to clocks
+        /// under full replication); see [`SyncState::Crp::applied`].
+        applied: Vec<u64>,
         /// `(var, value, LastWriteOn⟨var⟩)` for shared variables.
         vars: Vec<(VarId, VersionedValue, VectorClock)>,
     },
@@ -127,9 +136,16 @@ impl SyncState {
                         .map(|(_, _, l)| l.meta_size(model) + model.scalars(2))
                         .sum::<u64>()
             }
-            SyncState::Crp { log, vars } => log.meta_size(model) + model.scalars(2 * vars.len()),
-            SyncState::OptP { clock, vars } => {
+            SyncState::Crp { log, applied, vars } => {
+                log.meta_size(model) + model.scalars(applied.len() + 2 * vars.len())
+            }
+            SyncState::OptP {
+                clock,
+                applied,
+                vars,
+            } => {
                 clock.meta_size(model)
+                    + model.scalars(applied.len())
                     + vars
                         .iter()
                         .map(|(_, _, v)| v.meta_size(model) + model.scalars(2))
@@ -162,12 +178,18 @@ impl SyncState {
                 log: log.clone(),
                 vars: vars.iter().filter(|(_, v, _)| fresh(v)).cloned().collect(),
             },
-            SyncState::Crp { log, vars } => SyncState::Crp {
+            SyncState::Crp { log, applied, vars } => SyncState::Crp {
                 log: log.clone(),
+                applied: applied.clone(),
                 vars: vars.iter().filter(|(_, v)| fresh(v)).cloned().collect(),
             },
-            SyncState::OptP { clock, vars } => SyncState::OptP {
+            SyncState::OptP {
+                clock,
+                applied,
+                vars,
+            } => SyncState::OptP {
                 clock: clock.clone(),
+                applied: applied.clone(),
                 vars: vars.iter().filter(|(_, v, _)| fresh(v)).cloned().collect(),
             },
             SyncState::HbTrack { clock, vars } => SyncState::HbTrack {
@@ -192,12 +214,18 @@ impl SyncState {
                 log: log.clone(),
                 vars: vars.iter().filter(|(v, _, _)| want(v)).cloned().collect(),
             },
-            SyncState::Crp { log, vars } => SyncState::Crp {
+            SyncState::Crp { log, applied, vars } => SyncState::Crp {
                 log: log.clone(),
+                applied: applied.clone(),
                 vars: vars.iter().filter(|(v, _)| want(v)).cloned().collect(),
             },
-            SyncState::OptP { clock, vars } => SyncState::OptP {
+            SyncState::OptP {
+                clock,
+                applied,
+                vars,
+            } => SyncState::OptP {
                 clock: clock.clone(),
+                applied: applied.clone(),
                 vars: vars.iter().filter(|(v, _, _)| want(v)).cloned().collect(),
             },
             SyncState::HbTrack { clock, vars } => SyncState::HbTrack {
@@ -344,6 +372,7 @@ mod tests {
             ack: PeerAckInfo::default(),
             state: SyncState::Crp {
                 log: CrpLog::new(),
+                applied: vec![0; 3],
                 vars: vec![],
             },
         };
@@ -357,6 +386,7 @@ mod tests {
         };
         let state = SyncState::Crp {
             log: CrpLog::new(),
+            applied: vec![3, 1],
             vars: vec![
                 (VarId(0), w(0, 3)), // applied: 3 ≤ 3
                 (VarId(1), w(0, 4)), // fresh: 4 > 3
@@ -377,10 +407,12 @@ mod tests {
         let model = SizeModel::java_like();
         let empty = SyncState::OptP {
             clock: VectorClock::new(4),
+            applied: vec![0; 4],
             vars: vec![],
         };
         let one = SyncState::OptP {
             clock: VectorClock::new(4),
+            applied: vec![0; 4],
             vars: vec![(
                 VarId(0),
                 VersionedValue::new(causal_types::WriteId::new(SiteId(1), 1), 5),

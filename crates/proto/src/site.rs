@@ -5,7 +5,41 @@ use crate::factory::ProtocolKind;
 use crate::msg::Msg;
 use crate::pending::ProtoTraceEvent;
 use crate::reliable::{OwnLedger, PeerAckInfo, SyncState};
+use causal_clocks::MatrixClock;
 use causal_types::{SiteId, SizeModel, VarId, VersionedValue, WriteId};
+
+/// A causal-stability cut: everything at or below it is applied at every
+/// live member, so delivery constraints that refer to it are vacuous.
+///
+/// `clocks[j]` is the stable frontier of origin `j` in write-clock terms
+/// (every write `⟨j, c⟩` with `c ≤ clocks[j]` is stable). `counts[j][k]`
+/// is the number of `j`'s writes *destined to* `k` within that frontier —
+/// the currency of the counting protocols (Full-Track's matrices compare
+/// against counts, not clocks, under partial replication). Both views
+/// describe the same cut; each protocol consults the one its metadata
+/// speaks.
+pub struct StableCut<'a> {
+    /// Per-origin stable write clocks.
+    pub clocks: &'a [u64],
+    /// `counts[j][k]`: stable writes of `j` destined to `k`.
+    pub counts: &'a MatrixClock,
+}
+
+/// What one [`ProtocolSite::gc_stable`] pass reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Causality-log entries removed (KS-log / CRP tuples).
+    pub log_entries: usize,
+    /// `LastWriteOn` slots or slot-piggyback entries released.
+    pub slots: usize,
+}
+
+impl GcStats {
+    /// `true` when the pass reclaimed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.log_entries == 0 && self.slots == 0
+    }
+}
 
 /// One site's protocol state machine.
 ///
@@ -179,6 +213,31 @@ pub trait ProtocolSite: Send {
     /// guard other applies. No-op by default.
     fn drop_var(&mut self, var: VarId) {
         let _ = var;
+    }
+
+    /// Garbage-collect causality metadata that a stability `cut` proves
+    /// redundant: every write at or below the cut is applied at every live
+    /// member, so log entries and `LastWriteOn` records describing it can
+    /// never again block or constrain a delivery. Implementations must only
+    /// drop state — never mutate clocks or counters — so a GC pass is
+    /// invisible to the protocol's observable behaviour. The no-op default
+    /// suits protocols whose metadata is already O(n²)-bounded (HB-Track's
+    /// fixed matrix) and third-party sites that never opted in.
+    fn gc_stable(&mut self, cut: &StableCut) -> GcStats {
+        let _ = cut;
+        GcStats::default()
+    }
+
+    /// The per-origin applied-clock vector, for protocols whose delivery
+    /// counters are clock-valued (the full-replication pair). After
+    /// [`ProtocolSite::install_sync`] this is the snapshot horizon the site
+    /// fast-forwarded to; writes at or below it were folded in wholesale and
+    /// will never raise an individual apply effect, so the driver's
+    /// stability ground truth must settle them from here. `None` for the
+    /// partially-replicated protocols, whose counters count destined SMs
+    /// rather than clocks.
+    fn applied_horizon(&self) -> Option<Vec<u64>> {
+        None
     }
 
     /// Reconcile this site's own-write bookkeeping with a durable `ledger`

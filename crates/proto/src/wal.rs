@@ -36,10 +36,11 @@
 //! before handing them to the replayed state machine. Per-channel write
 //! clocks are strictly monotone, so a single scalar per origin suffices.
 
+use crate::effect::Effect;
 use crate::msg::Msg;
 use crate::reliable::OwnLedger;
 use crate::site::ProtocolSite;
-use causal_types::{MetaSized, SiteId, SizeModel, VarId};
+use causal_types::{MetaSized, SiteId, SizeModel, VarId, WriteId};
 
 /// One entry of the write-ahead log: an externally caused protocol
 /// transition, recorded as the entry-point call that produced it.
@@ -119,16 +120,60 @@ impl MetaSized for WalRecord {
     }
 }
 
-/// One site's simulated-durable storage: checkpoint image, write-ahead
-/// log, and redelivery high-water marks. It survives
+/// Modeled segment-rotation threshold: the active segment seals once it
+/// crosses this many modeled bytes. Small enough that a busy inter-checkpoint
+/// window spans several segments (so sealing/deletion accounting is
+/// exercised), large enough that sealing stays off the per-append hot path.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 16 * 1024;
+
+/// One contiguous run of WAL records. Each record is stored with its modeled
+/// size so torn-tail truncation and deletion accounting stay exact without a
+/// re-walk under a [`SizeModel`].
+#[derive(Default)]
+struct Segment {
+    records: Vec<(WalRecord, u64)>,
+    bytes: u64,
+}
+
+impl Segment {
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn push(&mut self, rec: WalRecord, bytes: u64) {
+        self.bytes += bytes;
+        self.records.push((rec, bytes));
+    }
+
+    fn pop(&mut self) -> Option<(WalRecord, u64)> {
+        let e = self.records.pop();
+        if let Some((_, b)) = &e {
+            self.bytes -= b;
+        }
+        e
+    }
+}
+
+/// One site's simulated-durable storage: checkpoint image, segmented
+/// write-ahead log, and redelivery high-water marks. It survives
 /// [`crate::ProtocolSite::crash_volatile`] and is destroyed only by media
 /// loss ([`DurableStore::wipe`]).
+///
+/// The journal rotates: records append into an active segment that seals at
+/// a size threshold, and a checkpoint *deletes* every segment it covers
+/// (they re-derive from the image) instead of letting the journal file grow
+/// forever between checkpoints. [`DurableStore::retained_bytes`] is the
+/// modeled durable footprint the deletion keeps bounded.
 pub struct DurableStore {
     /// Deep-cloned protocol state as of the last checkpoint (`None` before
     /// the first checkpoint: replay starts from a fresh site).
     checkpoint: Option<Box<dyn ProtocolSite>>,
-    /// Records appended since the last checkpoint.
-    log: Vec<WalRecord>,
+    /// Sealed segments since the last checkpoint, oldest first.
+    sealed: Vec<Segment>,
+    /// The open segment receiving appends.
+    active: Segment,
+    /// Seal threshold in modeled bytes.
+    segment_limit: u64,
     /// Per-origin high-water mark of received update clocks; survives
     /// checkpoints (see module docs).
     seen: Vec<u64>,
@@ -149,6 +194,14 @@ pub struct DurableStore {
     pub checkpoint_bytes: u64,
     /// Number of records dropped by fail-soft torn-tail truncation.
     pub truncated: u64,
+    /// Number of segments sealed (cumulative; unsealing by torn-tail
+    /// truncation does not subtract).
+    pub segments_sealed: u64,
+    /// Modeled bytes of fully-checkpointed segments deleted.
+    pub deleted_bytes: u64,
+    /// Modeled size of the current checkpoint image (part of the retained
+    /// durable footprint).
+    image_bytes: u64,
 }
 
 impl DurableStore {
@@ -156,7 +209,9 @@ impl DurableStore {
     pub fn new(n: usize) -> Self {
         DurableStore {
             checkpoint: None,
-            log: Vec::new(),
+            sealed: Vec::new(),
+            active: Segment::default(),
+            segment_limit: DEFAULT_SEGMENT_BYTES,
             seen: vec![0; n],
             seen_at_ckpt: vec![0; n],
             lost: false,
@@ -165,7 +220,15 @@ impl DurableStore {
             checkpoints: 0,
             checkpoint_bytes: 0,
             truncated: 0,
+            segments_sealed: 0,
+            deleted_bytes: 0,
+            image_bytes: 0,
         }
+    }
+
+    /// Override the segment-rotation threshold (modeled bytes).
+    pub fn set_segment_limit(&mut self, bytes: u64) {
+        self.segment_limit = bytes.max(1);
     }
 
     /// Append one record (fsync'd before the transition is externally
@@ -183,7 +246,11 @@ impl DurableStore {
         let bytes = rec.meta_size(model);
         self.appends += 1;
         self.append_bytes += bytes;
-        self.log.push(rec);
+        self.active.push(rec, bytes);
+        if self.active.bytes >= self.segment_limit {
+            self.sealed.push(std::mem::take(&mut self.active));
+            self.segments_sealed += 1;
+        }
         bytes
     }
 
@@ -196,17 +263,22 @@ impl DurableStore {
         }
     }
 
-    /// Snapshot `site` as the new checkpoint image and truncate the log.
+    /// Snapshot `site` as the new checkpoint image and **delete** every
+    /// journal segment — the image now covers them all, so keeping them
+    /// would be the unbounded-growth bug this rotation exists to fix.
     /// `seen` is *not* reset (see module docs). Re-establishes durability
     /// after media loss. Returns the image's modeled size in bytes.
     pub fn take_checkpoint(&mut self, site: &dyn ProtocolSite, model: &SizeModel) -> u64 {
         self.checkpoint = Some(site.clone_box());
-        self.log.clear();
+        self.deleted_bytes += self.retained_log_bytes();
+        self.sealed.clear();
+        self.active = Segment::default();
         self.seen_at_ckpt.copy_from_slice(&self.seen);
         self.lost = false;
         let bytes = site.local_meta_size(model);
         self.checkpoints += 1;
         self.checkpoint_bytes += bytes;
+        self.image_bytes = bytes;
         bytes
     }
 
@@ -224,17 +296,20 @@ impl DurableStore {
         site: &dyn ProtocolSite,
         model: &SizeModel,
     ) -> Option<u64> {
-        if self.log.is_empty() && self.checkpoint.is_some() && !self.lost {
+        if self.log_len() == 0 && self.checkpoint.is_some() && !self.lost {
             return None;
         }
         Some(self.take_checkpoint(site, model))
     }
 
     /// Media loss: discard checkpoint, log and high-water marks. Recovery
-    /// from this store must use the full peer rebuild.
+    /// from this store must use the full peer rebuild. The vanished bytes
+    /// are *not* counted as deleted — they were lost, not reclaimed.
     pub fn wipe(&mut self) {
         self.checkpoint = None;
-        self.log.clear();
+        self.sealed.clear();
+        self.active = Segment::default();
+        self.image_bytes = 0;
         self.seen.iter_mut().for_each(|s| *s = 0);
         self.seen_at_ckpt.iter_mut().for_each(|s| *s = 0);
         self.lost = true;
@@ -253,21 +328,41 @@ impl DurableStore {
     /// torn [`WalRecord::OwnWrite`] must not let the replayed state mint an
     /// already-used `WriteId`.
     pub fn tear_tail(&mut self, k: usize) -> usize {
-        let dropped = k.min(self.log.len());
-        self.log.truncate(self.log.len() - dropped);
+        let mut dropped = 0;
+        while dropped < k {
+            if self.active.pop().is_some() {
+                dropped += 1;
+                continue;
+            }
+            // The tear reaches back into sealed territory: the newest
+            // sealed segment becomes the (torn) active one.
+            match self.sealed.pop() {
+                Some(seg) => self.active = seg,
+                None => break,
+            }
+        }
         self.truncated += dropped as u64;
-        self.seen.copy_from_slice(&self.seen_at_ckpt);
-        for rec in &self.log {
+        let mut seen = self.seen_at_ckpt.clone();
+        for (rec, _) in self.records() {
             if let WalRecord::Recv {
                 msg: Msg::Sm(sm), ..
             } = rec
             {
                 let w = sm.value.writer;
-                let hw = &mut self.seen[w.site.index()];
+                let hw = &mut seen[w.site.index()];
                 *hw = (*hw).max(w.clock);
             }
         }
+        self.seen = seen;
         dropped
+    }
+
+    /// All journal records in append order (sealed segments, then active).
+    fn records(&self) -> impl Iterator<Item = &(WalRecord, u64)> {
+        self.sealed
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .chain(self.active.records.iter())
     }
 
     /// `true` after [`DurableStore::wipe`], until the next checkpoint.
@@ -277,7 +372,26 @@ impl DurableStore {
 
     /// Number of records currently in the log (since the last checkpoint).
     pub fn log_len(&self) -> usize {
-        self.log.len()
+        self.sealed.iter().map(Segment::len).sum::<usize>() + self.active.len()
+    }
+
+    /// Number of sealed segments currently retained (not yet deleted by a
+    /// checkpoint).
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Modeled bytes of journal records currently retained.
+    pub fn retained_log_bytes(&self) -> u64 {
+        self.sealed.iter().map(|s| s.bytes).sum::<u64>() + self.active.bytes
+    }
+
+    /// Modeled durable footprint: retained journal bytes plus the current
+    /// checkpoint image. This — not [`DurableStore::append_bytes`], which
+    /// only ever grows — is what stable-frontier checkpointing keeps
+    /// bounded.
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_log_bytes() + self.image_bytes
     }
 
     /// Whether a checkpoint image exists.
@@ -297,13 +411,18 @@ impl DurableStore {
 
     /// Rebuild the protocol state machine from the checkpoint image plus the
     /// log: clone the checkpoint (or build a fresh site with `fresh`) and
-    /// re-drive every logged entry-point call, discarding the effects — they
-    /// already happened before the crash. Returns `None` when the medium was
-    /// lost and the caller must fall back to the full peer rebuild.
+    /// re-drive every logged entry-point call. The effects already happened
+    /// before the crash and are discarded — except the [`Effect::Applied`]
+    /// witnesses, which are returned so the caller can reconcile bookkeeping
+    /// keyed on applied writes (the stability driver's outstanding sets)
+    /// against *exactly* what the rebuilt state has applied, rather than
+    /// guessing from watermarks (which over-count updates the replay merely
+    /// re-parked). Returns `None` when the medium was lost and the caller
+    /// must fall back to the full peer rebuild.
     ///
     /// Replay is a pure function of the store (idempotent): replaying twice
-    /// yields identical state machines.
-    pub fn replay<F>(&self, fresh: F) -> Option<Box<dyn ProtocolSite>>
+    /// yields identical state machines and identical applied sets.
+    pub fn replay<F>(&self, fresh: F) -> Option<(Box<dyn ProtocolSite>, Vec<WriteId>)>
     where
         F: FnOnce() -> Box<dyn ProtocolSite>,
     {
@@ -314,31 +433,42 @@ impl DurableStore {
             Some(cp) => cp.clone_box(),
             None => fresh(),
         };
-        for rec in &self.log {
+        let mut applied = Vec::new();
+        let mut note = |effects: Vec<Effect>| {
+            for e in effects {
+                if let Effect::Applied { write, .. } = e {
+                    applied.push(write);
+                }
+            }
+        };
+        for (rec, _) in self.records() {
             match rec {
                 WalRecord::OwnWrite {
                     var,
                     data,
                     payload_len,
                 } => {
-                    let _ = site.write(*var, *data, *payload_len);
+                    let (_, effects) = site.write(*var, *data, *payload_len);
+                    note(effects);
                 }
                 WalRecord::Recv { from, msg } => {
-                    let _ = site.on_message(*from, msg.clone());
+                    note(site.on_message(*from, msg.clone()));
                 }
                 WalRecord::LocalRead { var } | WalRecord::FetchIssued { var } => {
                     let _ = site.read(*var);
                 }
                 WalRecord::FetchAborted { var } => site.abort_fetch(*var),
                 WalRecord::PeerRecovered { peer, ledger } => {
-                    let _ = site.note_peer_recovery(*peer, ledger);
+                    let (effects, _) = site.note_peer_recovery(*peer, ledger);
+                    note(effects);
                 }
                 WalRecord::PeerDeparted { peer, ledger } => {
-                    let _ = site.note_peer_departed(*peer, ledger);
+                    let (effects, _) = site.note_peer_departed(*peer, ledger);
+                    note(effects);
                 }
             }
         }
-        Some(site)
+        Some((site, applied))
     }
 }
 
@@ -563,10 +693,11 @@ mod tests {
                 }
                 let repl = repl_for(kind, n);
                 let fresh = || build_site(kind, SiteId(0), repl.clone(), ProtocolConfig::default());
-                let replayed = mini.store.replay(fresh).expect("medium not lost");
+                let (replayed, applied) = mini.store.replay(fresh).expect("medium not lost");
                 assert_same_state(replayed.as_ref(), mini.sites[0].as_ref(), n);
-                let again = mini.store.replay(fresh).expect("medium not lost");
+                let (again, applied_again) = mini.store.replay(fresh).expect("medium not lost");
                 assert_same_state(replayed.as_ref(), again.as_ref(), n);
+                assert_eq!(applied, applied_again, "replay's applied set is deterministic");
             }
         }
     }
@@ -581,7 +712,7 @@ mod tests {
         }
         assert!(!mini.store.has_checkpoint());
         let repl = repl_for(ProtocolKind::OptP, n);
-        let replayed = mini
+        let (replayed, applied) = mini
             .store
             .replay(|| {
                 build_site(
@@ -593,6 +724,10 @@ mod tests {
             })
             .unwrap();
         assert_same_state(replayed.as_ref(), mini.sites[0].as_ref(), n);
+        assert!(
+            applied.iter().any(|w| w.site == SiteId(0)),
+            "own writes re-apply during replay"
+        );
     }
 
     #[test]
@@ -692,7 +827,7 @@ mod tests {
         // durable ledger must be reimposed or WriteId (s0, 2) is minted
         // twice.
         let repl = repl_for(ProtocolKind::OptP, n);
-        let mut replayed = mini
+        let (mut replayed, _) = mini
             .store
             .replay(|| {
                 build_site(
@@ -746,5 +881,101 @@ mod tests {
         assert!(read.meta_size(&model) > 0);
         assert!(write.meta_size(&model) > read.meta_size(&model));
         assert!(recv.meta_size(&model) > read.meta_size(&model));
+    }
+
+    #[test]
+    fn segments_seal_at_the_limit_and_checkpoints_delete_them() {
+        let model = SizeModel::java_like();
+        let mut store = DurableStore::new(3);
+        let rec_bytes = WalRecord::LocalRead { var: VarId(0) }.meta_size(&model);
+        // Three records per segment.
+        store.set_segment_limit(3 * rec_bytes);
+        for _ in 0..7 {
+            store.append(WalRecord::LocalRead { var: VarId(0) }, &model);
+        }
+        assert_eq!(store.segments_sealed, 2);
+        assert_eq!(store.sealed_segments(), 2);
+        assert_eq!(store.log_len(), 7);
+        assert_eq!(store.retained_log_bytes(), 7 * rec_bytes);
+        assert_eq!(store.deleted_bytes, 0);
+
+        // The checkpoint covers every segment: all are deleted, and the
+        // retained footprint collapses to the image.
+        let repl: Arc<dyn Replication> = Arc::new(FullReplication::new(3));
+        let site = build_site(
+            ProtocolKind::OptP,
+            SiteId(0),
+            repl,
+            ProtocolConfig::default(),
+        );
+        let image = store.take_checkpoint(site.as_ref(), &model);
+        assert_eq!(store.deleted_bytes, 7 * rec_bytes);
+        assert_eq!(store.sealed_segments(), 0);
+        assert_eq!(store.log_len(), 0);
+        assert_eq!(store.retained_bytes(), image);
+        // Cumulative counters are unaffected by the deletion.
+        assert_eq!(store.appends, 7);
+        assert_eq!(store.append_bytes, 7 * rec_bytes);
+    }
+
+    #[test]
+    fn torn_tail_reaches_back_through_sealed_segments() {
+        let n = 3;
+        let model = SizeModel::java_like();
+        let mut mini = Mini::new(ProtocolKind::OptP, n);
+        // Force a seal between the two records of site 0's journal:
+        // OwnWrite then Recv, with the limit below one OwnWrite.
+        mini.store.set_segment_limit(1);
+        mini.write(0, VarId(0), 10);
+        mini.write(1, VarId(0), 11);
+        assert_eq!(mini.store.log_len(), 2);
+        assert_eq!(mini.store.sealed_segments(), 2);
+
+        // Tearing both records must cross the segment boundary.
+        assert_eq!(mini.store.tear_tail(5), 2);
+        assert_eq!(mini.store.log_len(), 0);
+        assert_eq!(mini.store.retained_log_bytes(), 0);
+        assert_eq!(mini.store.truncated, 2);
+
+        // Marks rolled back with the torn receipt.
+        let sm = Msg::Sm(Sm {
+            var: VarId(0),
+            value: VersionedValue::new(WriteId::new(SiteId(1), 1), 11),
+            meta: SmMeta::OptP {
+                write: Arc::new(VectorClock::new(n)),
+            },
+        });
+        assert!(!mini.store.already_seen(&sm));
+        let _ = model;
+    }
+
+    #[test]
+    fn replay_spans_segment_boundaries() {
+        let n = 3;
+        let mut mini = Mini::new(ProtocolKind::OptP, n);
+        mini.store.set_segment_limit(1); // every record seals a segment
+        for i in 0..6u64 {
+            mini.write(0, VarId::from((i % Q as u64) as usize), i);
+            mini.write(1, VarId::from(((i + 1) % Q as u64) as usize), i);
+        }
+        assert!(mini.store.sealed_segments() > 1);
+        let repl = repl_for(ProtocolKind::OptP, n);
+        let (replayed, applied) = mini
+            .store
+            .replay(|| {
+                build_site(
+                    ProtocolKind::OptP,
+                    SiteId(0),
+                    repl,
+                    ProtocolConfig::default(),
+                )
+            })
+            .unwrap();
+        assert_same_state(replayed.as_ref(), mini.sites[0].as_ref(), n);
+        assert_eq!(
+            applied.len(),
+            12,
+            "six own writes + six received updates re-applied"
+        );
     }
 }

@@ -94,6 +94,10 @@ pub enum SimEvent {
     /// Periodic durability tick: checkpoint every live site's protocol
     /// state into its durable store and truncate its WAL.
     CheckpointTick,
+    /// Periodic causal-stability tick: heartbeat-gossip delivery watermarks
+    /// between live sites, advance the stable frontier, and garbage-collect
+    /// everything behind it (KS logs, `LastWriteOn` slots, WAL segments).
+    StabilityTick,
     /// Churn event `idx` of the run's plan reaches its scheduled time: the
     /// view change is proposed and the system starts quiescing (new
     /// operations hold, in-flight deliveries drain).

@@ -28,9 +28,11 @@
 pub mod channel;
 pub mod kernel;
 pub mod sim;
+pub mod stability;
 pub mod transport;
 
 pub use channel::{BurstWindow, ChannelFault, FaultPlan, LatencyModel, PartitionWindow};
 pub use kernel::{EventHeap, SimEvent};
 pub use sim::{run, run_traced, CrashWindow, DurabilityPlan, PauseWindow, SimConfig, SimResult};
+pub use stability::StabilityPlan;
 pub use transport::{Transport, TransportCmd, TransportTuning};

@@ -2,6 +2,7 @@
 
 use crate::channel::{ChannelMatrix, FaultPlan, LatencyModel, PartitionWindow};
 use crate::kernel::{EventHeap, SimEvent};
+use crate::stability::{StabilityPlan, StabilityState};
 use crate::transport::{Transport, TransportCmd, TransportTuning};
 use causal_checker::History;
 use causal_clocks::{DestSet, PruneConfig};
@@ -10,8 +11,8 @@ use causal_metrics::RunMetrics;
 use causal_obs::{EventKind, NoopTracer, TraceEvent, Tracer};
 use causal_proto::{
     build_site, DurableStore, Effect, Fm, Frame, Msg, OwnLedger, PeerAckInfo, ProtoTraceEvent,
-    ProtocolConfig, ProtocolKind, ProtocolSite, ReadResult, Replication, SmMeta, SyncState,
-    WalRecord,
+    ProtocolConfig, ProtocolKind, ProtocolSite, ReadResult, Replication, SmMeta, StableCut,
+    SyncState, WalRecord,
 };
 use causal_types::WriteId;
 use causal_types::{MetaSized, OpKind, SimDuration, SimTime, SiteId, SizeModel, VarId};
@@ -142,6 +143,11 @@ pub struct SimConfig {
     /// `None` keeps the placement static. A churn plan implies chaos mode
     /// (the reliable transport).
     pub churn: Option<ChurnPlan>,
+    /// Causal-stability tracking and stable-frontier garbage collection.
+    /// `None` (the default) disables the subsystem entirely — no stability
+    /// tick is ever scheduled, keeping such runs byte-identical to builds
+    /// that predate it.
+    pub stability: Option<StabilityPlan>,
 }
 
 impl SimConfig {
@@ -167,6 +173,7 @@ impl SimConfig {
             crashes: Vec::new(),
             durability: DurabilityPlan::default(),
             churn: None,
+            stability: None,
         }
     }
 
@@ -188,6 +195,7 @@ impl SimConfig {
             crashes: Vec::new(),
             durability: DurabilityPlan::default(),
             churn: None,
+            stability: None,
         }
     }
 
@@ -224,6 +232,13 @@ impl SimConfig {
     /// Install a churn plan (membership and placement changes).
     pub fn with_churn(mut self, churn: ChurnPlan) -> Self {
         self.churn = Some(churn);
+        self
+    }
+
+    /// Install a causal-stability plan (watermark gossip, stable-frontier
+    /// GC, overdue watchdog, soft-cap backpressure).
+    pub fn with_stability(mut self, stability: StabilityPlan) -> Self {
+        self.stability = Some(stability);
         self
     }
 
@@ -464,6 +479,23 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
         applied_seen: FxHashSet::default(),
     });
 
+    // The stability subsystem starts with the run's initial membership and
+    // arms its heartbeat/GC tick; without a plan, nothing below allocates
+    // or schedules and the run is byte-identical to a stability-free build.
+    let mut stability: Option<StabilityState> = cfg.stability.as_ref().map(|plan| {
+        let members: Vec<bool> = match &cfg.churn {
+            Some(p) if !p.is_empty() => p.initial_members(n),
+            _ => vec![true; n],
+        };
+        StabilityState::new(n, plan.clone(), &members)
+    });
+    if let Some(plan) = &cfg.stability {
+        heap.push(
+            SimTime::ZERO + plan.heartbeat_every,
+            SimEvent::StabilityTick,
+        );
+    }
+
     // Seed the initial view: sites whose first churn event is a join start
     // outside the membership, and each plan event proposes at its time.
     if let Some(ch) = &churn {
@@ -562,6 +594,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
             | SimEvent::Recover { .. }
             | SimEvent::SyncTimeout { .. }
             | SimEvent::CheckpointTick
+            | SimEvent::StabilityTick
             | SimEvent::ViewPropose { .. }
             | SimEvent::ViewQuiesceCheck { .. } => None,
         };
@@ -594,6 +627,21 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                         continue;
                     }
                 }
+                // Soft-cap backpressure: while retained metadata exceeds the
+                // stability plan's cap, the next *write* defers one heartbeat
+                // at a time (bounded — see `MAX_WRITE_DEFERRALS`) instead of
+                // growing the unstable window further. Reads always proceed.
+                if let Some(stab) = stability.as_mut() {
+                    let next = drivers[site.index()].next;
+                    let is_write = matches!(
+                        schedule.per_site[site.index()][next].kind,
+                        OpKind::Write { .. }
+                    );
+                    if is_write && stab.defer_write(site) {
+                        heap.push(now + stab.plan.heartbeat_every, SimEvent::OpReady { site });
+                        continue;
+                    }
+                }
                 let d = &mut drivers[site.index()];
                 debug_assert!(d.blocked.is_none(), "op issued while fetch outstanding");
                 let op = schedule.per_site[site.index()][d.next];
@@ -616,6 +664,26 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                         }
                         let (wid, effects) =
                             sites[site.index()].write(var, data, cfg.workload.payload_len);
+                        // Register the write with every site that must apply
+                        // it — the SM fan-out plus the origin's own apply —
+                        // *before* the effects run, so the own-apply below
+                        // settles against an existing registration.
+                        if let Some(stab) = stability.as_mut() {
+                            let mut dests = DestSet::EMPTY;
+                            for e in &effects {
+                                match e {
+                                    Effect::Send {
+                                        to,
+                                        msg: Msg::Sm(_),
+                                    } => dests.insert(*to),
+                                    Effect::Applied { write, .. } if *write == wid => {
+                                        dests.insert(site)
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            stab.on_write(site, wid, dests);
+                        }
                         if tracer.enabled() {
                             emit(
                                 tracer,
@@ -647,6 +715,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                             &mut drivers,
                             &mut receipt,
                             &cfg.size_model,
+                            &mut stability,
                             &mut chaos,
                             tracer,
                         );
@@ -761,6 +830,15 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                 if let Msg::Sm(sm) = &msg {
                     receipt.insert((to, sm.value.writer), now);
                 }
+                // Every app message piggybacks the sender's delivery row;
+                // an arriving update also arms the stuck-buffer watchdog
+                // (its apply disarms it).
+                if let Some(stab) = stability.as_mut() {
+                    stab.on_deliver(from, to);
+                    if let Msg::Sm(sm) = &msg {
+                        stab.note_receipt(to, sm.value.writer, now);
+                    }
+                }
                 if tracer.enabled() {
                     let writer = match &msg {
                         Msg::Sm(sm) => Some(sm.value.writer),
@@ -794,6 +872,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     &mut drivers,
                     &mut receipt,
                     &cfg.size_model,
+                    &mut stability,
                     &mut chaos,
                     tracer,
                 );
@@ -860,6 +939,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                             &schedule,
                             &cfg.size_model,
                             &cfg.durability,
+                            &mut stability,
                             &mut chaos,
                             tracer,
                         );
@@ -882,6 +962,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                             &schedule,
                             &cfg.size_model,
                             &cfg.durability,
+                            &mut stability,
                             &mut chaos,
                             &mut churn,
                             tracer,
@@ -947,6 +1028,12 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                             if let Msg::Sm(sm) = &msg {
                                 receipt.insert((to, sm.value.writer), now);
                             }
+                            if let Some(stab) = stability.as_mut() {
+                                stab.on_deliver(from, to);
+                                if let Msg::Sm(sm) = &msg {
+                                    stab.note_receipt(to, sm.value.writer, now);
+                                }
+                            }
                             if tracer.enabled() {
                                 let writer = match &msg {
                                     Msg::Sm(sm) => Some(sm.value.writer),
@@ -980,6 +1067,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                                 &mut drivers,
                                 &mut receipt,
                                 &cfg.size_model,
+                                &mut stability,
                                 &mut chaos,
                                 tracer,
                             );
@@ -1030,6 +1118,9 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                 let (ledger, _lost_parked) = sites[site.index()].crash_volatile();
                 c.ledgers[site.index()] = Some(ledger);
                 c.transport.crash(site);
+                if let Some(stab) = stability.as_mut() {
+                    stab.on_crash(site);
+                }
                 if cfg.durability.lose_media.contains(&site) {
                     let stores = c.stores.as_mut().expect("media loss requires the WAL");
                     stores[site.index()].wipe();
@@ -1063,10 +1154,19 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     if cfg.durability.torn_tail.contains(&site) {
                         store.tear_tail(1);
                     }
-                    if let Some(replayed) =
+                    if let Some((replayed, replay_applied)) =
                         store.replay(|| build_site(cfg.protocol, site, repl.clone(), proto_cfg))
                     {
                         sites[site.index()] = replayed;
+                        if let Some(stab) = stability.as_mut() {
+                            // The rebuilt state has applied exactly the
+                            // checkpoint's applies plus these replayed ones;
+                            // anything else from the volatile window is
+                            // re-parked, not applied, and stays outstanding.
+                            for w in &replay_applied {
+                                stab.applied(site, *w);
+                            }
+                        }
                         // The replayed site may carry a trace buffer cloned
                         // from the live site at checkpoint time (stale
                         // replay-era events): discard it, then restore the
@@ -1138,6 +1238,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                         &schedule,
                         &cfg.size_model,
                         &cfg.durability,
+                        &mut stability,
                         &mut chaos,
                         &mut churn,
                         tracer,
@@ -1276,6 +1377,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     &schedule,
                     &cfg.size_model,
                     &cfg.durability,
+                    &mut stability,
                     &mut chaos,
                     &mut churn,
                     tracer,
@@ -1311,13 +1413,145 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     heap.push(now + every, SimEvent::CheckpointTick);
                 }
             }
+            SimEvent::StabilityTick => {
+                let stab = stability.as_mut().expect("stability tick without a plan");
+                let up: Vec<bool> = match chaos.as_ref() {
+                    Some(c) => c.status.iter().map(|s| *s == SiteStatus::Up).collect(),
+                    None => vec![true; n],
+                };
+                stab.heartbeat(&up);
+                let advanced = stab.advance();
+                if tracer.enabled() {
+                    for (origin, clock) in &advanced {
+                        emit(
+                            tracer,
+                            now,
+                            *origin,
+                            EventKind::FrontierAdvance { clock: *clock },
+                        );
+                    }
+                }
+                metrics.record_stability_lag(stab.lag() as f64);
+                if stab.plan.gc {
+                    // Each live member collects behind *its own* — gossip-
+                    // lagged, hence always ≤ true — frontier; the stable
+                    // counts are global (exact), which is safe for the same
+                    // reason: both only ever under-approximate stability.
+                    for s in SiteId::all(n) {
+                        if !up[s.index()] {
+                            continue;
+                        }
+                        let stats = {
+                            let cut = StableCut {
+                                clocks: stab.site_frontier(s),
+                                counts: stab.stable_counts(),
+                            };
+                            sites[s.index()].gc_stable(&cut)
+                        };
+                        if !stats.is_empty() {
+                            stab.gc_log_entries += stats.log_entries as u64;
+                            stab.gc_slots += stats.slots as u64;
+                            emit(
+                                tracer,
+                                now,
+                                s,
+                                EventKind::GcRun {
+                                    log_entries: stats.log_entries as u64,
+                                    slots: stats.slots as u64,
+                                },
+                            );
+                        }
+                    }
+                    // A frontier advance licenses stable checkpoints: the
+                    // fresh image folds the just-collected state and every
+                    // WAL segment behind it is deleted, so the durable
+                    // footprint tracks the unstable window too.
+                    if !advanced.is_empty() {
+                        if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
+                            for s in SiteId::all(n) {
+                                if !up[s.index()] {
+                                    continue;
+                                }
+                                if let Some(bytes) = stores[s.index()].take_checkpoint_if_dirty(
+                                    sites[s.index()].as_ref(),
+                                    &cfg.size_model,
+                                ) {
+                                    emit(tracer, now, s, EventKind::Checkpoint { bytes });
+                                }
+                            }
+                        }
+                    }
+                    // Driver-side retention maps keyed on stable writes can
+                    // go too — except the apply-dedup set while a checker
+                    // history is recorded, because a post-crash redelivery
+                    // of even a stable write re-applies and must stay
+                    // deduplicated in the history.
+                    let gf = stab.global_frontier();
+                    if history.is_none() {
+                        if let Some(c) = chaos.as_mut() {
+                            c.applied_seen.retain(|(_, w)| w.clock > gf[w.site.index()]);
+                        }
+                        receipt.retain(|(_, w), _| w.clock > gf[w.site.index()]);
+                    }
+                    if advanced.is_empty()
+                        && stab
+                            .members()
+                            .iter()
+                            .zip(&up)
+                            .any(|(&m, &alive)| m && !alive)
+                    {
+                        stab.gc_stalled_ticks += 1;
+                    }
+                }
+                // Retained-metadata estimate (protocol meta + WAL): feeds
+                // the peak gauge and the soft-cap backpressure decision.
+                let mut retained: u64 = sites
+                    .iter()
+                    .map(|s| s.local_meta_size(&cfg.size_model))
+                    .sum();
+                if let Some(stores) = chaos.as_ref().and_then(|c| c.stores.as_ref()) {
+                    retained += stores.iter().map(|st| st.retained_bytes()).sum::<u64>();
+                }
+                let was_over = stab.over_cap;
+                stab.sample_retained(retained);
+                if stab.over_cap && !was_over {
+                    emit(
+                        tracer,
+                        now,
+                        SiteId::from(0),
+                        EventKind::Backpressure { retained },
+                    );
+                }
+                for (s, w) in stab.overdue_scan(now) {
+                    emit(
+                        tracer,
+                        now,
+                        s,
+                        EventKind::BufferedOverdue {
+                            origin: w.site,
+                            clock: w.clock,
+                        },
+                    );
+                }
+                if !heap.is_empty() {
+                    heap.push(now + stab.plan.heartbeat_every, SimEvent::StabilityTick);
+                }
+            }
             SimEvent::ViewPropose { idx } => {
                 churn
                     .as_mut()
                     .expect("view events require a churn plan")
                     .queued
                     .push_back(idx);
-                propose_next_view(now, &mut sites, &mut heap, &mut chaos, &mut churn, tracer);
+                propose_next_view(
+                    now,
+                    &mut sites,
+                    &mut heap,
+                    &mut stability,
+                    &mut chaos,
+                    &mut churn,
+                    tracer,
+                );
             }
             SimEvent::ViewQuiesceCheck { idx } => {
                 let proposed_at = {
@@ -1367,6 +1601,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                         &schedule,
                         &cfg.size_model,
                         &cfg.durability,
+                        &mut stability,
                         &mut chaos,
                         &mut churn,
                         tracer,
@@ -1385,7 +1620,20 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
             metrics.checkpoints += st.checkpoints;
             metrics.checkpoint_bytes += st.checkpoint_bytes;
             metrics.wal_truncated += st.truncated;
+            metrics.wal_segments_sealed += st.segments_sealed;
+            metrics.wal_deleted_bytes += st.deleted_bytes;
         }
+    }
+    if let Some(stab) = stability.as_ref() {
+        metrics.gossip_rows += stab.gossip_rows;
+        metrics.gossip_bytes += stab.gossip_bytes;
+        metrics.buffered_overdue += stab.buffered_overdue;
+        metrics.gc_log_entries += stab.gc_log_entries;
+        metrics.gc_slots += stab.gc_slots;
+        metrics.gc_stalled_ticks += stab.gc_stalled_ticks;
+        metrics.backpressure_events += stab.backpressure_events;
+        metrics.retained_meta_peak = metrics.retained_meta_peak.max(stab.retained_meta_peak);
+        metrics.unstable_peak = metrics.unstable_peak.max(stab.unstable_peak);
     }
     let final_pending = sites.iter().map(|s| s.pending_len()).sum();
     let final_local_meta = sites
@@ -1586,6 +1834,7 @@ fn handle_sync_req(
     schedule: &causal_workload::Schedule,
     size_model: &SizeModel,
     durability: &DurabilityPlan,
+    stability: &mut Option<StabilityState>,
     chaos: &mut Option<Chaos>,
     tracer: &mut dyn Tracer,
 ) {
@@ -1675,9 +1924,15 @@ fn handle_sync_req(
         emit(tracer, now, me, EventKind::WalAppend { bytes });
     }
     let (effects, _dropped) = sites[me.index()].note_peer_recovery(peer, ledger);
+    // The fast-forward counts the peer's lost writes as applied without ever
+    // emitting `Effect::Applied`; settle them or the stable frontier wedges
+    // on updates nobody will deliver again.
+    if let Some(stab) = stability.as_mut() {
+        stab.settle_peer(me, peer, ledger.own_clock);
+    }
     process_effects(
         me, effects, false, now, schedule, heap, channels, lat_rng, metrics, history, drivers,
-        receipt, size_model, chaos, tracer,
+        receipt, size_model, stability, chaos, tracer,
     );
     drain_proto(sites[me.index()].as_mut(), me, now, tracer);
     // Answer with this site's causal knowledge and shared-variable values —
@@ -1741,6 +1996,7 @@ fn handle_sync_resp(
     schedule: &causal_workload::Schedule,
     size_model: &SizeModel,
     durability: &DurabilityPlan,
+    stability: &mut Option<StabilityState>,
     chaos: &mut Option<Chaos>,
     churn: &mut Option<ChurnState>,
     tracer: &mut dyn Tracer,
@@ -1761,7 +2017,7 @@ fn handle_sync_resp(
     if complete {
         finish_recovery(
             me, now, sites, heap, channels, lat_rng, metrics, history, drivers, schedule,
-            size_model, durability, chaos, churn, tracer,
+            size_model, durability, stability, chaos, churn, tracer,
         );
     }
 }
@@ -1782,6 +2038,7 @@ fn finish_recovery(
     schedule: &causal_workload::Schedule,
     size_model: &SizeModel,
     durability: &DurabilityPlan,
+    stability: &mut Option<StabilityState>,
     chaos: &mut Option<Chaos>,
     churn: &mut Option<ChurnState>,
     tracer: &mut dyn Tracer,
@@ -1811,6 +2068,23 @@ fn finish_recovery(
         }
     }
     sites[me.index()].install_sync(&col.sources);
+    // Sync-installed writes are fast-forwarded, never individually applied;
+    // settle each donor's acked high-water so the frontier can pass them.
+    if let Some(stab) = stability.as_mut() {
+        for (peer, ack, _) in &col.sources {
+            stab.settle_peer(me, *peer, ack.sm_max_clock);
+        }
+        // The full-replication protocols fast-forward past the whole merged
+        // snapshot horizon and drop its redeliveries as duplicates; those
+        // writes never raise an apply effect, so settle them here too.
+        if let Some(h) = sites[me.index()].applied_horizon() {
+            for (j, hw) in h.iter().enumerate() {
+                if SiteId::from(j) != me {
+                    stab.settle_peer(me, SiteId::from(j), *hw);
+                }
+            }
+        }
+    }
     // Re-establish durability at the recovered state: a fresh checkpoint
     // folds in the installed snapshots (which are not journaled) and
     // truncates the log — and re-arms a wiped medium.
@@ -1974,6 +2248,7 @@ fn propose_next_view(
     now: SimTime,
     sites: &mut [Box<dyn ProtocolSite>],
     heap: &mut EventHeap,
+    stability: &mut Option<StabilityState>,
     chaos: &mut Option<Chaos>,
     churn: &mut Option<ChurnState>,
     tracer: &mut dyn Tracer,
@@ -2001,6 +2276,9 @@ fn propose_next_view(
             let (ledger, _lost_parked) = sites[s.index()].crash_volatile();
             c.ledgers[s.index()] = Some(ledger);
             c.transport.crash(s);
+            if let Some(stab) = stability.as_mut() {
+                stab.on_crash(s);
+            }
         }
     }
     heap.push(now, SimEvent::ViewQuiesceCheck { idx });
@@ -2135,6 +2413,7 @@ fn install_view(
     schedule: &causal_workload::Schedule,
     size_model: &SizeModel,
     durability: &DurabilityPlan,
+    stability: &mut Option<StabilityState>,
     chaos: &mut Option<Chaos>,
     churn: &mut Option<ChurnState>,
     tracer: &mut dyn Tracer,
@@ -2210,6 +2489,13 @@ fn install_view(
                     let ledger = sites[peer.index()].own_ledger();
                     let (eff, _) = sites[s.index()].note_peer_recovery(*peer, &ledger);
                     debug_assert!(eff.is_empty(), "a fresh joiner has nothing parked");
+                }
+                // The joiner's stability row seeds at today's issued clocks:
+                // pre-join writes were multicast to the old view and reach it
+                // (if at all) only through the bootstrap snapshots, never as
+                // individual applies.
+                if let Some(stab) = stability.as_mut() {
+                    stab.add_member(s);
                 }
                 heap.push(now + SYNC_DEADLINE, SimEvent::SyncTimeout { site: s, inc });
                 // Arm the joiner's first workload operation; it is held
@@ -2312,9 +2598,15 @@ fn install_view(
                     let (effects, _dropped) = sites[m.index()].note_peer_departed(s, &ledger);
                     process_effects(
                         m, effects, false, now, schedule, heap, channels, lat_rng, metrics,
-                        history, drivers, receipt, size_model, chaos, tracer,
+                        history, drivers, receipt, size_model, stability, chaos, tracer,
                     );
                     drain_proto(sites[m.index()].as_mut(), m, now, tracer);
+                }
+                // Drop the leaver's column from the frontier minimum and
+                // settle survivors past its final clock — its undelivered
+                // updates were just fast-forwarded, not applied.
+                if let Some(stab) = stability.as_mut() {
+                    stab.remove_member(s, ledger.own_clock);
                 }
                 retarget_blocked_fetches(
                     s, None, now, sites, heap, channels, lat_rng, metrics, drivers, schedule,
@@ -2434,10 +2726,10 @@ fn install_view(
         // Single-member (or fully-crashed) view: nothing to wait for.
         finish_recovery(
             s, now, sites, heap, channels, lat_rng, metrics, history, drivers, schedule,
-            size_model, durability, chaos, churn, tracer,
+            size_model, durability, stability, chaos, churn, tracer,
         );
     }
-    propose_next_view(now, sites, heap, chaos, churn, tracer);
+    propose_next_view(now, sites, heap, stability, chaos, churn, tracer);
 }
 
 /// True when two SM metas share the same `Arc`'d snapshot (one multicast's
@@ -2468,6 +2760,7 @@ fn process_effects(
     drivers: &mut [AppDriver],
     receipt: &mut FxHashMap<(SiteId, WriteId), SimTime>,
     size_model: &SizeModel,
+    stability: &mut Option<StabilityState>,
     chaos: &mut Option<Chaos>,
     tracer: &mut dyn Tracer,
 ) {
@@ -2547,6 +2840,9 @@ fn process_effects(
             Effect::Applied { var, write } => {
                 metrics.applies += 1;
                 metrics.per_site.site_mut(origin.index()).applies += 1;
+                if let Some(stab) = stability.as_mut() {
+                    stab.applied(origin, write);
+                }
                 // Own-write applies have no receipt; only received updates
                 // contribute to the apply-latency (dwell) statistic.
                 let mut dwell_ns = 0u64;

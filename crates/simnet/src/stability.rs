@@ -1,0 +1,581 @@
+//! Driver-side causal-stability subsystem: watermark gossip, the stable
+//! frontier, and the garbage collection it licenses.
+//!
+//! A write `(j, c)` is *causally stable* once every live member has applied
+//! every write from origin `j` destined to it with clock `≤ c`. Behind that
+//! frontier, dependency metadata is dead weight: KS-log entries and
+//! `LastWriteOn` slots can never again gate a delivery, and WAL segments
+//! wholly below it will never be replayed past a stable checkpoint. The 2016
+//! paper never reclaims any of this — its metadata grows without bound —
+//! which is exactly what the soak scenarios in `causal-experiments` measure.
+//!
+//! The subsystem has two layers:
+//!
+//! * **Ground truth** (this driver): per receiver `i` and origin `j`, the
+//!   set of clocks of `j`'s writes destined to `i` and not yet applied
+//!   there. The *delivery row* of `i` is `row_i[j] = min(outstanding) − 1`
+//!   (or `j`'s issued high-water when nothing is outstanding), and the exact
+//!   global frontier is the member-minimum of those rows. It feeds the
+//!   global stable-*count* matrix the count-based protocols (Full-Track)
+//!   need for GC.
+//! * **Gossiped knowledge** (per-site [`StabilityTracker`]s): each site
+//!   learns peers' rows from piggybacks on ordinary app messages plus a
+//!   low-rate heartbeat, so a quiescent site still converges. A site's GC
+//!   uses *its own* tracker frontier — always ≤ the true frontier, so
+//!   lagging knowledge only delays reclamation, never unsafely hastens it.
+//!
+//! Graceful degradation is inherited from the frontier's shape: a crashed or
+//! partitioned member stops advancing its row, the minimum stalls, GC
+//! pauses (`gc_stalled_ticks` counts the ticks), and the stability lag
+//! gauge rises until recovery or a membership change unwedges it.
+
+use causal_clocks::{DestSet, MatrixClock, StabilityTracker};
+use causal_types::{SimDuration, SimTime, SiteId, WriteId};
+use fxhash::FxHashMap;
+use std::collections::{BTreeSet, VecDeque};
+
+/// How many consecutive times a site's next write may be deferred by
+/// soft-cap backpressure before it is let through anyway. The cap keeps a
+/// wedged frontier (e.g. a dead member pinning the minimum) from turning
+/// backpressure into a livelock: progress resumes, degraded, instead of the
+/// run hanging.
+pub const MAX_WRITE_DEFERRALS: u32 = 64;
+
+/// Configuration of the causal-stability subsystem. Installing a plan on a
+/// [`crate::SimConfig`] arms the stability tick; leaving it `None` keeps
+/// the run byte-identical to a build without the subsystem.
+#[derive(Clone, Debug)]
+pub struct StabilityPlan {
+    /// Heartbeat/GC cadence: at every tick, live sites exchange delivery
+    /// rows (so quiescent sites still converge), the frontier advances, and
+    /// — with [`StabilityPlan::gc`] — everything behind it is collected.
+    pub heartbeat_every: SimDuration,
+    /// Run the collectors (protocol metadata, WAL stable checkpoints,
+    /// driver-side retention maps). Off, the tracker still measures lag and
+    /// retained bytes — the GC-off baseline of the soak experiments.
+    pub gc: bool,
+    /// Virtual-time age past which a still-parked update is counted (once)
+    /// in `buffered_overdue` and surfaces as a trace event. `None` disables
+    /// the watchdog.
+    pub overdue_after: Option<SimDuration>,
+    /// Soft cap on retained metadata bytes (protocol meta + WAL). While the
+    /// estimate exceeds it, write issuance is deferred one heartbeat at a
+    /// time (up to [`MAX_WRITE_DEFERRALS`] per op) instead of growing
+    /// without bound. `None` never pushes back.
+    pub soft_meta_cap: Option<u64>,
+}
+
+impl Default for StabilityPlan {
+    fn default() -> Self {
+        StabilityPlan {
+            heartbeat_every: SimDuration::from_millis(50),
+            gc: true,
+            overdue_after: None,
+            soft_meta_cap: None,
+        }
+    }
+}
+
+impl StabilityPlan {
+    /// Disable garbage collection (tracking and lag metrics only).
+    pub fn without_gc(mut self) -> Self {
+        self.gc = false;
+        self
+    }
+
+    /// Arm the stuck-buffer watchdog.
+    pub fn with_overdue_after(mut self, after: SimDuration) -> Self {
+        self.overdue_after = Some(after);
+        self
+    }
+
+    /// Install a soft retained-metadata cap (writer backpressure).
+    pub fn with_soft_meta_cap(mut self, bytes: u64) -> Self {
+        self.soft_meta_cap = Some(bytes);
+        self
+    }
+}
+
+/// Per-run state of the stability subsystem (driver side).
+pub(crate) struct StabilityState {
+    pub(crate) plan: StabilityPlan,
+    n: usize,
+    /// Current membership view, mirroring the churn layer's.
+    member: Vec<bool>,
+    /// Per-site gossiped knowledge; `trackers[i]` is what site `i` knows.
+    trackers: Vec<StabilityTracker>,
+    /// Per-origin issued-clock high-water (ground truth).
+    issued: Vec<u64>,
+    /// `outstanding[receiver][origin]`: clocks of writes destined to
+    /// `receiver` and not yet applied there.
+    outstanding: Vec<Vec<BTreeSet<u64>>>,
+    /// Per-origin FIFO of not-yet-stable writes with their destination
+    /// sets, popped into `stable_counts` as the global frontier passes.
+    unstable: Vec<VecDeque<(u64, DestSet)>>,
+    /// `stable_counts[j][k]` = number of `j`'s writes destined to `k` with
+    /// clock ≤ the global frontier of `j`.
+    stable_counts: MatrixClock,
+    /// Exact global frontier (member-minimum of ground-truth rows),
+    /// monotone by construction.
+    global_frontier: Vec<u64>,
+    /// Updates received but not yet applied, for the overdue watchdog:
+    /// `(park instant, already counted overdue)`.
+    parked: FxHashMap<(SiteId, WriteId), (SimTime, bool)>,
+    /// Consecutive backpressure deferrals of each site's next write.
+    deferrals: Vec<u32>,
+    /// Whether the last tick's retained estimate exceeded the soft cap.
+    pub(crate) over_cap: bool,
+    /// Live count of entries across the `unstable` queues.
+    unstable_now: usize,
+
+    // Counters folded into `RunMetrics` when the run drains.
+    pub(crate) gossip_rows: u64,
+    pub(crate) gossip_bytes: u64,
+    pub(crate) buffered_overdue: u64,
+    pub(crate) gc_log_entries: u64,
+    pub(crate) gc_slots: u64,
+    pub(crate) gc_stalled_ticks: u64,
+    pub(crate) backpressure_events: u64,
+    pub(crate) retained_meta_peak: u64,
+    pub(crate) unstable_peak: u64,
+}
+
+impl StabilityState {
+    /// Fresh state for an `n`-site run with the given initial membership.
+    pub(crate) fn new(n: usize, plan: StabilityPlan, members: &[bool]) -> Self {
+        assert!(plan.heartbeat_every > SimDuration::ZERO, "zero heartbeat");
+        let mut trackers = vec![StabilityTracker::new(n); n];
+        for t in trackers.iter_mut() {
+            for (i, &m) in members.iter().enumerate() {
+                if !m {
+                    t.remove_member(SiteId::from(i));
+                }
+            }
+        }
+        StabilityState {
+            plan,
+            n,
+            member: members.to_vec(),
+            trackers,
+            issued: vec![0; n],
+            outstanding: vec![vec![BTreeSet::new(); n]; n],
+            unstable: vec![VecDeque::new(); n],
+            stable_counts: MatrixClock::new(n),
+            global_frontier: vec![0; n],
+            parked: FxHashMap::default(),
+            deferrals: vec![0; n],
+            over_cap: false,
+            unstable_now: 0,
+            gossip_rows: 0,
+            gossip_bytes: 0,
+            buffered_overdue: 0,
+            gc_log_entries: 0,
+            gc_slots: 0,
+            gc_stalled_ticks: 0,
+            backpressure_events: 0,
+            retained_meta_peak: 0,
+            unstable_peak: 0,
+        }
+    }
+
+    /// Ground-truth delivery row of `i`: per origin `j`, the highest clock
+    /// below which every write of `j` destined to `i` has been applied.
+    /// With nothing outstanding that is `j`'s issued high-water — writes not
+    /// destined to `i` never constrain it.
+    fn row(&self, i: usize) -> Vec<u64> {
+        (0..self.n)
+            .map(|j| match self.outstanding[i][j].first() {
+                Some(&min) => min - 1,
+                None => self.issued[j],
+            })
+            .collect()
+    }
+
+    /// A write was issued: register it with every destination that must
+    /// apply it (including the origin itself when it replicates the
+    /// variable) and queue it for stable-count accounting.
+    pub(crate) fn on_write(&mut self, origin: SiteId, wid: WriteId, dests: DestSet) {
+        debug_assert_eq!(origin, wid.site);
+        self.issued[origin.index()] = self.issued[origin.index()].max(wid.clock);
+        for d in dests.iter() {
+            self.outstanding[d.index()][origin.index()].insert(wid.clock);
+        }
+        self.unstable[origin.index()].push_back((wid.clock, dests));
+        self.unstable_now += 1;
+        self.unstable_peak = self.unstable_peak.max(self.unstable_now as u64);
+    }
+
+    /// `site` applied `wid`. Idempotent: a WAL replay reporting an apply the
+    /// live run already saw removes nothing the second time.
+    pub(crate) fn applied(&mut self, site: SiteId, wid: WriteId) {
+        self.outstanding[site.index()][wid.site.index()].remove(&wid.clock);
+        self.parked.remove(&(site, wid));
+    }
+
+    /// An update reached `to` (watchdog arm; the matching
+    /// [`StabilityState::applied`] disarms it).
+    pub(crate) fn note_receipt(&mut self, to: SiteId, wid: WriteId, now: SimTime) {
+        if self.plan.overdue_after.is_some() {
+            self.parked.entry((to, wid)).or_insert((now, false));
+        }
+    }
+
+    /// Piggyback gossip on an app-message delivery: the receiver learns the
+    /// sender's delivery row (and refreshes its own).
+    pub(crate) fn on_deliver(&mut self, from: SiteId, to: SiteId) {
+        let rf = self.row(from.index());
+        let rt = self.row(to.index());
+        let t = &mut self.trackers[to.index()];
+        t.observe_row(from, &rf);
+        t.observe_row(to, &rt);
+        self.gossip_rows += 1;
+        self.gossip_bytes += 8 * self.n as u64;
+    }
+
+    /// Low-rate heartbeat: every live member pushes its row to every other,
+    /// so sites that stopped exchanging app traffic still converge.
+    pub(crate) fn heartbeat(&mut self, up: &[bool]) {
+        let rows: Vec<Vec<u64>> = (0..self.n).map(|i| self.row(i)).collect();
+        for t in 0..self.n {
+            if !up[t] || !self.member[t] {
+                continue;
+            }
+            self.trackers[t].observe_row(SiteId::from(t), &rows[t]);
+            for f in 0..self.n {
+                if f == t || !up[f] || !self.member[f] {
+                    continue;
+                }
+                self.trackers[t].observe_row(SiteId::from(f), &rows[f]);
+                self.gossip_rows += 1;
+                self.gossip_bytes += 8 * self.n as u64;
+            }
+        }
+    }
+
+    /// Advance the exact global frontier and fold newly stable writes into
+    /// the count matrix. Returns the origins whose frontier advanced.
+    pub(crate) fn advance(&mut self) -> Vec<(SiteId, u64)> {
+        let mut advanced = Vec::new();
+        for j in 0..self.n {
+            let mut min: Option<u64> = None;
+            for i in 0..self.n {
+                if self.member[i] {
+                    let v = match self.outstanding[i][j].first() {
+                        Some(&m) => m - 1,
+                        None => self.issued[j],
+                    };
+                    min = Some(min.map_or(v, |m| m.min(v)));
+                }
+            }
+            if let Some(m) = min {
+                if m > self.global_frontier[j] {
+                    self.global_frontier[j] = m;
+                    advanced.push((SiteId::from(j), m));
+                }
+            }
+            while self.unstable[j]
+                .front()
+                .is_some_and(|(c, _)| *c <= self.global_frontier[j])
+            {
+                let (_, dests) = self.unstable[j].pop_front().expect("front checked");
+                self.unstable_now -= 1;
+                let jw = SiteId::from(j);
+                for d in dests.iter() {
+                    let v = self.stable_counts.get(jw, d);
+                    self.stable_counts.set(jw, d, v + 1);
+                }
+            }
+        }
+        advanced
+    }
+
+    /// The exact global frontier.
+    pub(crate) fn global_frontier(&self) -> &[u64] {
+        &self.global_frontier
+    }
+
+    /// `site`'s own (gossip-lagged) frontier — the one its GC may use.
+    pub(crate) fn site_frontier(&self, site: SiteId) -> &[u64] {
+        self.trackers[site.index()].frontier()
+    }
+
+    /// The global stable-count matrix.
+    pub(crate) fn stable_counts(&self) -> &MatrixClock {
+        &self.stable_counts
+    }
+
+    /// The current membership view.
+    pub(crate) fn members(&self) -> &[bool] {
+        &self.member
+    }
+
+    /// Worst-case stability lag: the largest `issued − frontier` gap across
+    /// origins — how far the slowest member holds everyone's GC back.
+    pub(crate) fn lag(&self) -> u64 {
+        (0..self.n)
+            .filter(|&j| self.member[j])
+            .map(|j| self.issued[j] - self.global_frontier[j])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether `site`'s next write should defer under backpressure; counts
+    /// the deferral. The per-op cap turns a wedged frontier into degraded
+    /// progress instead of a livelock.
+    pub(crate) fn defer_write(&mut self, site: SiteId) -> bool {
+        if !self.over_cap || self.deferrals[site.index()] >= MAX_WRITE_DEFERRALS {
+            return false;
+        }
+        self.deferrals[site.index()] += 1;
+        self.backpressure_events += 1;
+        true
+    }
+
+    /// Feed the tick's retained-bytes estimate: updates the peak and the
+    /// backpressure state (releasing all deferral counters when the
+    /// estimate drops back under the cap).
+    pub(crate) fn sample_retained(&mut self, retained: u64) {
+        self.retained_meta_peak = self.retained_meta_peak.max(retained);
+        let over = self.plan.soft_meta_cap.is_some_and(|cap| retained > cap);
+        if !over {
+            self.deferrals.fill(0);
+        }
+        self.over_cap = over;
+    }
+
+    /// Scan for newly overdue parked updates; each is reported exactly once.
+    pub(crate) fn overdue_scan(&mut self, now: SimTime) -> Vec<(SiteId, WriteId)> {
+        let Some(after) = self.plan.overdue_after else {
+            return Vec::new();
+        };
+        let mut newly = Vec::new();
+        for (&(site, wid), (t0, counted)) in self.parked.iter_mut() {
+            if !*counted && now - *t0 > after {
+                *counted = true;
+                newly.push((site, wid));
+            }
+        }
+        self.buffered_overdue += newly.len() as u64;
+        newly.sort();
+        newly
+    }
+
+    /// `site` lost its volatile state: parked updates died with it (their
+    /// redelivery re-parks them); outstanding applies survive — they are
+    /// redriven by the transport or settled by the sync install.
+    pub(crate) fn on_crash(&mut self, site: SiteId) {
+        self.parked.retain(|(s, _), _| *s != site);
+    }
+
+    /// `me` fast-forwarded past `peer`'s writes up to `clock` (a
+    /// `note_peer_recovery` / sync-install settlement): those writes count
+    /// as applied at `me` without an [`causal_proto::Effect::Applied`] ever
+    /// firing, so the bookkeeping must not wait for one.
+    pub(crate) fn settle_peer(&mut self, me: SiteId, peer: SiteId, clock: u64) {
+        let set = &mut self.outstanding[me.index()][peer.index()];
+        *set = set.split_off(&(clock + 1));
+        self.parked
+            .retain(|(s, w), _| !(*s == me && w.site == peer && w.clock <= clock));
+    }
+
+    /// A join installed: `site` re-enters every membership view, its
+    /// knowledge row seeded at the origins' current issued clocks (the view
+    /// quiesced, so nothing destined to the joiner is outstanding and the
+    /// seed is ≥ every pre-join frontier).
+    pub(crate) fn add_member(&mut self, site: SiteId) {
+        self.member[site.index()] = true;
+        for j in 0..self.n {
+            self.outstanding[site.index()][j].clear();
+        }
+        let seed = self.row(site.index());
+        for t in self.trackers.iter_mut() {
+            t.add_member(site, &seed);
+        }
+    }
+
+    /// A leave installed: `site`'s row stops binding every minimum (a
+    /// departed laggard must not wedge the frontier forever), survivors
+    /// fast-forward past its writes up to its final ledger clock, and
+    /// anything destined to it is forgotten.
+    pub(crate) fn remove_member(&mut self, site: SiteId, final_clock: u64) {
+        self.member[site.index()] = false;
+        for j in 0..self.n {
+            self.outstanding[site.index()][j].clear();
+        }
+        for i in 0..self.n {
+            if i != site.index() {
+                self.settle_peer(SiteId::from(i), site, final_clock);
+            }
+        }
+        self.parked.retain(|(s, _), _| *s != site);
+        for t in self.trackers.iter_mut() {
+            t.remove_member(site);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(site: usize, clock: u64) -> WriteId {
+        WriteId {
+            site: SiteId::from(site),
+            clock,
+        }
+    }
+
+    fn all_up(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn frontier_follows_the_slowest_destination() {
+        let mut st = StabilityState::new(3, StabilityPlan::default(), &all_up(3));
+        // s0 writes clock 1 destined to {1, 2}.
+        st.on_write(
+            SiteId::from(0),
+            wid(0, 1),
+            DestSet::from_sites([SiteId::from(1), SiteId::from(2)]),
+        );
+        st.advance();
+        assert_eq!(st.global_frontier()[0], 0, "nobody applied yet");
+        st.applied(SiteId::from(1), wid(0, 1));
+        st.advance();
+        assert_eq!(st.global_frontier()[0], 0, "s2 still outstanding");
+        st.applied(SiteId::from(2), wid(0, 1));
+        let adv = st.advance();
+        assert_eq!(adv, vec![(SiteId::from(0), 1)]);
+        assert_eq!(st.global_frontier()[0], 1);
+        // The stable write was counted for both destinations.
+        assert_eq!(st.stable_counts().get(SiteId::from(0), SiteId::from(1)), 1);
+        assert_eq!(st.stable_counts().get(SiteId::from(0), SiteId::from(2)), 1);
+        assert_eq!(st.stable_counts().get(SiteId::from(0), SiteId::from(0)), 0);
+    }
+
+    #[test]
+    fn site_frontiers_lag_until_gossip() {
+        let mut st = StabilityState::new(2, StabilityPlan::default(), &all_up(2));
+        st.on_write(
+            SiteId::from(0),
+            wid(0, 1),
+            DestSet::from_sites([SiteId::from(1)]),
+        );
+        st.applied(SiteId::from(1), wid(0, 1));
+        st.advance();
+        assert_eq!(st.global_frontier()[0], 1);
+        // No gossip has happened: the sites' own trackers still see zero.
+        assert_eq!(st.site_frontier(SiteId::from(0))[0], 0);
+        st.heartbeat(&all_up(2));
+        assert_eq!(st.site_frontier(SiteId::from(0))[0], 1);
+        assert_eq!(st.site_frontier(SiteId::from(1))[0], 1);
+        assert!(st.gossip_rows > 0);
+    }
+
+    #[test]
+    fn piggyback_gossip_informs_only_the_receiver() {
+        let mut st = StabilityState::new(3, StabilityPlan::default(), &all_up(3));
+        st.on_write(
+            SiteId::from(0),
+            wid(0, 1),
+            DestSet::from_sites([SiteId::from(1)]),
+        );
+        st.applied(SiteId::from(1), wid(0, 1));
+        st.advance();
+        st.on_deliver(SiteId::from(1), SiteId::from(2));
+        assert_eq!(
+            st.site_frontier(SiteId::from(2))[0],
+            0,
+            "s2 has not heard s0's row yet — two of three rows never bind"
+        );
+        st.on_deliver(SiteId::from(0), SiteId::from(2));
+        assert_eq!(st.site_frontier(SiteId::from(2))[0], 1);
+        assert_eq!(st.site_frontier(SiteId::from(0))[0], 0, "s0 heard nothing");
+        assert_eq!(
+            st.site_frontier(SiteId::from(1))[0],
+            0,
+            "senders learn nothing"
+        );
+    }
+
+    #[test]
+    fn settle_peer_unblocks_without_an_apply() {
+        let mut st = StabilityState::new(2, StabilityPlan::default(), &all_up(2));
+        st.on_write(
+            SiteId::from(0),
+            wid(0, 1),
+            DestSet::from_sites([SiteId::from(1)]),
+        );
+        st.on_write(
+            SiteId::from(0),
+            wid(0, 2),
+            DestSet::from_sites([SiteId::from(1)]),
+        );
+        st.advance();
+        assert_eq!(st.global_frontier()[0], 0);
+        // s1 fast-forwards past s0's ledger (clock 1): write 1 settles,
+        // write 2 still outstanding.
+        st.settle_peer(SiteId::from(1), SiteId::from(0), 1);
+        st.advance();
+        assert_eq!(st.global_frontier()[0], 1);
+    }
+
+    #[test]
+    fn leave_unwedges_and_join_reseeds() {
+        let mut st = StabilityState::new(3, StabilityPlan::default(), &all_up(3));
+        st.on_write(SiteId::from(0), wid(0, 1), DestSet::full(3));
+        st.applied(SiteId::from(0), wid(0, 1));
+        st.applied(SiteId::from(1), wid(0, 1));
+        st.advance();
+        assert_eq!(st.global_frontier()[0], 0, "s2 wedges the frontier");
+        st.remove_member(SiteId::from(2), 0);
+        st.advance();
+        assert_eq!(st.global_frontier()[0], 1, "leave unwedged it");
+        // Rejoin: seeded at issued clocks, the frontier must not regress.
+        st.add_member(SiteId::from(2));
+        st.advance();
+        assert_eq!(st.global_frontier()[0], 1);
+        st.heartbeat(&all_up(3));
+        assert_eq!(st.site_frontier(SiteId::from(2))[0], 1);
+    }
+
+    #[test]
+    fn overdue_watchdog_counts_each_parked_update_once() {
+        let plan = StabilityPlan::default().with_overdue_after(SimDuration::from_millis(10));
+        let mut st = StabilityState::new(2, plan, &all_up(2));
+        st.note_receipt(SiteId::from(1), wid(0, 1), SimTime::ZERO);
+        assert!(st.overdue_scan(SimTime::from_millis(5)).is_empty());
+        let newly = st.overdue_scan(SimTime::from_millis(20));
+        assert_eq!(newly, vec![(SiteId::from(1), wid(0, 1))]);
+        assert_eq!(st.buffered_overdue, 1);
+        assert!(
+            st.overdue_scan(SimTime::from_millis(30)).is_empty(),
+            "counted once"
+        );
+        // Applying disarms for good.
+        st.applied(SiteId::from(1), wid(0, 1));
+        assert!(st.overdue_scan(SimTime::from_millis(40)).is_empty());
+    }
+
+    #[test]
+    fn backpressure_defers_then_caps_then_releases() {
+        let plan = StabilityPlan::default().with_soft_meta_cap(100);
+        let mut st = StabilityState::new(2, plan, &all_up(2));
+        st.sample_retained(50);
+        assert!(!st.defer_write(SiteId::from(0)), "under the cap");
+        st.sample_retained(200);
+        for _ in 0..MAX_WRITE_DEFERRALS {
+            assert!(st.defer_write(SiteId::from(0)));
+        }
+        assert!(
+            !st.defer_write(SiteId::from(0)),
+            "deferral cap reached: degrade, don't livelock"
+        );
+        assert_eq!(st.backpressure_events, u64::from(MAX_WRITE_DEFERRALS));
+        assert_eq!(st.retained_meta_peak, 200);
+        st.sample_retained(50);
+        assert!(!st.defer_write(SiteId::from(0)));
+        st.sample_retained(200);
+        assert!(st.defer_write(SiteId::from(0)), "counter reset under cap");
+    }
+}

@@ -13,6 +13,18 @@ pub enum VarDistribution {
         /// Skew exponent (`≈ 0.99` models typical key-value workloads).
         theta: f64,
     },
+    /// A two-tier hotspot: accesses hit a small "hot" prefix of the
+    /// variable space with high probability and the cold remainder
+    /// uniformly otherwise. Unlike Zipf's smooth decay this concentrates
+    /// conflicts on a handful of variables — the worst case for
+    /// `LastWriteOn` slot churn in the soak scenarios.
+    Hotspot {
+        /// Fraction of the variable space that is hot (`0 < hot_frac ≤ 1`;
+        /// at least one variable is always hot).
+        hot_frac: f64,
+        /// Probability an access targets the hot set.
+        hot_prob: f64,
+    },
 }
 
 /// Parameters of one simulated workload.
@@ -70,6 +82,18 @@ impl WorkloadParams {
         }
     }
 
+    /// Soak-test base setting: the paper's shape (`q = 100`) but a dense
+    /// operation stream (delays U[1 ms, 10 ms] instead of U[5 ms, 2005 ms])
+    /// so multi-million-event memory soaks stay tractable in virtual time.
+    /// Callers set `events_per_process` and `var_dist` per scenario.
+    pub fn soak(n: usize, w_rate: f64, seed: u64) -> Self {
+        WorkloadParams {
+            min_delay_ms: 1,
+            max_delay_ms: 10,
+            ..Self::paper(n, w_rate, seed)
+        }
+    }
+
     /// Validate parameter ranges.
     pub fn validate(&self) -> Result<()> {
         if self.n == 0 {
@@ -92,9 +116,24 @@ impl WorkloadParams {
         if !(0.0..1.0).contains(&self.warmup_frac) {
             return Err(Error::InvalidConfig("warmup_frac must be in [0, 1)".into()));
         }
-        if let VarDistribution::Zipf { theta } = self.var_dist {
-            if theta.is_nan() || theta < 0.0 {
-                return Err(Error::InvalidConfig("zipf theta must be ≥ 0".into()));
+        match self.var_dist {
+            VarDistribution::Uniform => {}
+            VarDistribution::Zipf { theta } => {
+                if theta.is_nan() || theta < 0.0 {
+                    return Err(Error::InvalidConfig("zipf theta must be ≥ 0".into()));
+                }
+            }
+            VarDistribution::Hotspot { hot_frac, hot_prob } => {
+                if !(hot_frac > 0.0 && hot_frac <= 1.0) {
+                    return Err(Error::InvalidConfig(format!(
+                        "hotspot hot_frac must be in (0, 1], got {hot_frac}"
+                    )));
+                }
+                if !(0.0..=1.0).contains(&hot_prob) || hot_prob.is_nan() {
+                    return Err(Error::InvalidConfig(format!(
+                        "hotspot hot_prob must be in [0, 1], got {hot_prob}"
+                    )));
+                }
             }
         }
         Ok(())
@@ -135,5 +174,43 @@ mod tests {
         let mut p = WorkloadParams::paper(5, 0.5, 1);
         p.var_dist = VarDistribution::Zipf { theta: f64::NAN };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn soak_preset_is_dense_but_paper_shaped() {
+        let p = WorkloadParams::soak(8, 0.5, 1);
+        assert_eq!(p.q, 100);
+        assert_eq!((p.min_delay_ms, p.max_delay_ms), (1, 10));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn hotspot_validation() {
+        let mut p = WorkloadParams::paper(5, 0.5, 1);
+        p.var_dist = VarDistribution::Hotspot {
+            hot_frac: 0.1,
+            hot_prob: 0.9,
+        };
+        assert!(p.validate().is_ok());
+        p.var_dist = VarDistribution::Hotspot {
+            hot_frac: 0.0,
+            hot_prob: 0.9,
+        };
+        assert!(p.validate().is_err(), "empty hot set");
+        p.var_dist = VarDistribution::Hotspot {
+            hot_frac: 1.5,
+            hot_prob: 0.9,
+        };
+        assert!(p.validate().is_err(), "hot_frac above 1");
+        p.var_dist = VarDistribution::Hotspot {
+            hot_frac: 0.1,
+            hot_prob: 1.5,
+        };
+        assert!(p.validate().is_err(), "hot_prob above 1");
+        p.var_dist = VarDistribution::Hotspot {
+            hot_frac: 0.1,
+            hot_prob: f64::NAN,
+        };
+        assert!(p.validate().is_err(), "NaN hot_prob");
     }
 }

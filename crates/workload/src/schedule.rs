@@ -58,8 +58,18 @@ fn zipf_cdf(q: usize, theta: f64) -> Vec<f64> {
 /// independent of iteration order.
 pub fn generate(params: &WorkloadParams) -> Schedule {
     params.validate().expect("invalid workload parameters");
+    // The pickers must not disturb each other's RNG draw sequence: Uniform
+    // consumes one `gen_range`, Zipf one `gen::<f64>()` — exactly as before
+    // Hotspot existed — so pre-existing schedules stay byte-identical.
     let zipf = match params.var_dist {
         VarDistribution::Zipf { theta } if theta > 0.0 => Some(zipf_cdf(params.q, theta)),
+        _ => None,
+    };
+    let hotspot = match params.var_dist {
+        VarDistribution::Hotspot { hot_frac, hot_prob } => {
+            let hot = ((params.q as f64 * hot_frac).ceil() as usize).clamp(1, params.q);
+            Some((hot, hot_prob))
+        }
         _ => None,
     };
 
@@ -76,13 +86,20 @@ pub fn generate(params: &WorkloadParams) -> Schedule {
                 .map(|_| {
                     let delay = rng.gen_range(params.min_delay_ms..=params.max_delay_ms);
                     t += SimDuration::from_millis(delay);
-                    let var = match &zipf {
-                        None => VarId::from(rng.gen_range(0..params.q)),
-                        Some(cdf) => {
+                    let var = match (&zipf, hotspot) {
+                        (Some(cdf), _) => {
                             let u: f64 = rng.gen();
                             let rank = cdf.partition_point(|&c| c < u);
                             VarId::from(rank.min(params.q - 1))
                         }
+                        (None, Some((hot, hot_prob))) => {
+                            if rng.gen_bool(hot_prob) || hot == params.q {
+                                VarId::from(rng.gen_range(0..hot))
+                            } else {
+                                VarId::from(rng.gen_range(hot..params.q))
+                            }
+                        }
+                        (None, None) => VarId::from(rng.gen_range(0..params.q)),
                     };
                     let kind = if rng.gen_bool(params.w_rate) {
                         OpKind::Write {
@@ -171,6 +188,48 @@ mod tests {
         }
         let covered = seen.iter().filter(|&&b| b).count();
         assert!(covered > 95, "3000 uniform draws must cover ~all of q=100");
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_the_hot_prefix() {
+        let mut p = WorkloadParams::paper(5, 0.5, 3);
+        p.var_dist = VarDistribution::Hotspot {
+            hot_frac: 0.05,
+            hot_prob: 0.9,
+        };
+        let s = generate(&p);
+        let hot: usize = s
+            .per_site
+            .iter()
+            .flatten()
+            .filter(|op| op.kind.var().index() < 5)
+            .count();
+        let frac = hot as f64 / s.total_ops() as f64;
+        assert!(
+            (frac - 0.9).abs() < 0.05,
+            "hot-set share {frac} should be ≈ 0.9"
+        );
+        // Cold variables are still exercised.
+        let mut seen = vec![false; p.q];
+        for op in s.per_site.iter().flatten() {
+            seen[op.kind.var().index()] = true;
+        }
+        assert!(seen[5..].iter().filter(|&&b| b).count() > 50);
+    }
+
+    #[test]
+    fn full_width_hotspot_degenerates_to_uniform_coverage() {
+        let mut p = WorkloadParams::paper(5, 0.5, 3);
+        p.var_dist = VarDistribution::Hotspot {
+            hot_frac: 1.0,
+            hot_prob: 0.1,
+        };
+        let s = generate(&p);
+        let mut seen = vec![false; p.q];
+        for op in s.per_site.iter().flatten() {
+            seen[op.kind.var().index()] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 95);
     }
 
     #[test]
