@@ -24,14 +24,11 @@ fn cfg_base(n: usize) -> SimConfig {
 fn ablation_purge(c: &mut Criterion) {
     let n = 10;
     let mut on = cfg_base(n);
-    on.prune = PruneConfig {
-        condition2: true,
-        keep_markers: true,
-    };
+    on.prune = PruneConfig::default();
     let mut off = cfg_base(n);
     off.prune = PruneConfig {
         condition2: false,
-        keep_markers: true,
+        ..PruneConfig::default()
     };
     let bytes_on = run(&on).metrics.measured.total_bytes();
     let bytes_off = run(&off).metrics.measured.total_bytes();

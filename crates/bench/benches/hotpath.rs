@@ -8,10 +8,10 @@
 //! naive-vs-indexed pairs share identical inputs so their reports are
 //! directly comparable.
 
-use causal_clocks::{DestSet, Log, LogEntry, NaiveLog, PruneConfig};
+use causal_clocks::{DestSet, Log, LogEntry, MatrixClock, NaiveLog, PruneConfig};
 use causal_experiments::{Mode, Scale, Sweep};
-use causal_proto::ProtocolKind;
-use causal_types::{MetaSized, SiteId, SizeModel};
+use causal_proto::{wire, BatchedSm, Msg, ProtocolKind, Sm, SmBatch, SmMeta};
+use causal_types::{MetaSized, SiteId, SizeModel, VarId, VersionedValue, WriteId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -136,6 +136,100 @@ fn opt_track_cell(c: &mut Criterion) {
     g.finish();
 }
 
+/// An Opt-Track SM with a paper-shaped log piggyback (n = 20 origins).
+fn sample_opt_track_sm(clock: u64) -> Sm {
+    let mut log = Log::new();
+    for o in 0..20usize {
+        log.upsert(LogEntry::new(
+            SiteId::from(o),
+            clock + o as u64,
+            DestSet::from_sites([SiteId::from((o + 1) % 20), SiteId::from((o + 7) % 20)]),
+        ));
+    }
+    Sm {
+        var: VarId(3),
+        value: VersionedValue::new(WriteId::new(SiteId(0), clock), 99),
+        meta: SmMeta::OptTrack {
+            clock,
+            log: Arc::new(log),
+        },
+    }
+}
+
+/// `k` consecutive Full-Track SMs from one sender: each snapshot advances
+/// the matrix by one send, so batched encoding pays one full matrix and
+/// `k - 1` small deltas.
+fn sample_matrix_run(n: usize, k: usize) -> Vec<Sm> {
+    let mut m = MatrixClock::new(n);
+    (0..k as u64)
+        .map(|i| {
+            m.increment(SiteId(0), SiteId::from((i as usize + 1) % n));
+            Sm {
+                var: VarId(i as u32 % 8),
+                value: VersionedValue::new(WriteId::new(SiteId(0), i + 1), i),
+                meta: SmMeta::FullTrack {
+                    write: Arc::new(m.clone()),
+                },
+            }
+        })
+        .collect()
+}
+
+/// The flat wire codec: encode through the thread-local scratch (the
+/// zero-allocation steady state) and total zero-copy decode, for the two
+/// piggyback families.
+fn wire_codec(c: &mut Criterion) {
+    let opt = Msg::Sm(sample_opt_track_sm(40));
+    let full = Msg::Sm(sample_matrix_run(20, 1).pop().unwrap());
+    let mut g = c.benchmark_group("wire_codec");
+    for (name, msg) in [("opt_track_sm", &opt), ("full_track_sm", &full)] {
+        let bytes = wire::encode(msg);
+        g.bench_function(format!("encode_{name}"), |bench| {
+            bench.iter(|| wire::encode_with(black_box(msg), |b| black_box(b.len())))
+        });
+        g.bench_function(format!("decode_{name}"), |bench| {
+            bench.iter(|| black_box(wire::decode(black_box(&bytes)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// Batch-merge vs per-SM framing: one `SmBatch` frame of `k` updates
+/// (full piggyback + deltas) against `k` individual SM frames — the
+/// encode-side cost of the bytes the batch saves.
+fn batch_merge(c: &mut Criterion) {
+    let k = 16usize;
+    let sms = sample_matrix_run(20, k);
+    let batch = Msg::Batch(Arc::new(SmBatch {
+        sms: sms
+            .iter()
+            .map(|sm| BatchedSm {
+                sm: sm.clone(),
+                measured: true,
+            })
+            .collect(),
+    }));
+    let singles: Vec<Msg> = sms.into_iter().map(Msg::Sm).collect();
+    let batch_bytes = wire::encode(&batch);
+    let mut g = c.benchmark_group("batch_merge");
+    g.bench_function("batch_frame_16", |bench| {
+        bench.iter(|| wire::encode_with(black_box(&batch), |b| black_box(b.len())))
+    });
+    g.bench_function("per_sm_frames_16", |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for m in &singles {
+                total += wire::encode_with(black_box(m), |b| b.len());
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("decode_batch_16", |bench| {
+        bench.iter(|| black_box(wire::decode(black_box(&batch_bytes)).unwrap()))
+    });
+    g.finish();
+}
+
 criterion_group!(
     hotpath,
     merge_indexed_vs_naive,
@@ -143,5 +237,7 @@ criterion_group!(
     piggyback_snapshot,
     meta_size_accounting,
     opt_track_cell,
+    wire_codec,
+    batch_merge,
 );
 criterion_main!(hotpath);

@@ -99,6 +99,99 @@ impl CrpLog {
     }
 }
 
+/// Difference between two CRP logs from the same site.
+///
+/// CRP logs are tiny (`≤ d + 1` tuples) but *not* monotone — a write resets
+/// the log, so a successor snapshot can lose tuples and even carry a lower
+/// clock for an origin. The delta therefore records exact replacements
+/// (`upserts`, tuples present in the successor with a different clock or
+/// absent from the predecessor) and exact `removals` (origins the successor
+/// dropped); applying it replaces rather than [`CrpLog::observe`]s, which
+/// would keep the stale maximum.
+///
+/// Exactness invariant: `CrpDelta::between(p, n).apply_to(p) == n`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CrpDelta {
+    /// Tuples to insert or overwrite, sorted by origin.
+    pub upserts: Vec<WriteId>,
+    /// Origins to drop, sorted.
+    pub removals: Vec<SiteId>,
+}
+
+impl CrpDelta {
+    /// Compute the delta that turns `prev` into `next`.
+    pub fn between(prev: &CrpLog, next: &CrpLog) -> CrpDelta {
+        let mut upserts = Vec::new();
+        let mut removals = Vec::new();
+        let (a, b) = (&prev.entries, &next.entries);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) if x.site == y.site => {
+                    if x.clock != y.clock {
+                        upserts.push(*y);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(x), Some(y)) if x.site < y.site => {
+                    removals.push(x.site);
+                    i += 1;
+                }
+                (Some(_), Some(y)) => {
+                    upserts.push(*y);
+                    j += 1;
+                }
+                (Some(x), None) => {
+                    removals.push(x.site);
+                    i += 1;
+                }
+                (None, Some(y)) => {
+                    upserts.push(*y);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        CrpDelta { upserts, removals }
+    }
+
+    /// Reconstruct the successor snapshot from its predecessor.
+    pub fn apply_to(&self, prev: &CrpLog) -> CrpLog {
+        let mut entries = Vec::with_capacity(prev.entries.len() + self.upserts.len());
+        let mut ups = self.upserts.iter().peekable();
+        let mut rms = self.removals.iter().peekable();
+        for e in &prev.entries {
+            while let Some(&&up) = ups.peek() {
+                if up.site < e.site {
+                    entries.push(up);
+                    ups.next();
+                } else {
+                    break;
+                }
+            }
+            if ups.peek().is_some_and(|up| up.site == e.site) {
+                entries.push(*ups.next().unwrap());
+                continue;
+            }
+            if rms.peek().is_some_and(|&&rm| rm == e.site) {
+                rms.next();
+                continue;
+            }
+            entries.push(*e);
+        }
+        entries.extend(ups.copied());
+        CrpLog { entries }
+    }
+}
+
+impl MetaSized for CrpDelta {
+    /// Two scalars per replaced tuple plus one site id per removal.
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        model.scalars(2 * self.upserts.len()) + model.site_ids(self.removals.len())
+    }
+}
+
 impl fmt::Debug for CrpLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "CrpLog[")?;
@@ -187,7 +280,43 @@ mod tests {
         assert_eq!(log.meta_size(&m), 60);
     }
 
+    #[test]
+    fn delta_handles_reset_semantics_exactly() {
+        // A write reset loses tuples and can *lower* an origin's clock —
+        // apply must replace, never keep the stale maximum.
+        let mut before = CrpLog::new();
+        before.observe(w(0, 9));
+        before.observe(w(2, 4));
+        let mut after = CrpLog::new();
+        after.reset_to(w(0, 1));
+        let d = CrpDelta::between(&before, &after);
+        assert_eq!(d.apply_to(&before), after);
+        assert_eq!(after.clock_of(SiteId(0)), Some(1), "clock went down");
+    }
+
     proptest! {
+        #[test]
+        fn prop_crp_delta_between_apply_is_identity(
+            xs in proptest::collection::vec((0usize..8, 1u64..50), 0..24),
+            ys in proptest::collection::vec((0usize..8, 1u64..50), 0..24),
+            do_reset in any::<bool>(),
+            reset in (0usize..8, 1u64..50),
+        ) {
+            let mut a = CrpLog::new();
+            for (o, c) in xs {
+                a.observe(w(o, c));
+            }
+            let mut b = a.clone();
+            if do_reset {
+                let (o, c) = reset;
+                b.reset_to(w(o, c));
+            }
+            for (o, c) in ys {
+                b.observe(w(o, c));
+            }
+            prop_assert_eq!(CrpDelta::between(&a, &b).apply_to(&a), b);
+        }
+
         #[test]
         fn prop_at_most_one_entry_per_origin(ops in proptest::collection::vec((0usize..8, 1u64..50), 0..64)) {
             let mut log = CrpLog::new();

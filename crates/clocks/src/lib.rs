@@ -29,10 +29,10 @@ pub mod reference;
 pub mod stability;
 pub mod vector;
 
-pub use crplog::CrpLog;
+pub use crplog::{CrpDelta, CrpLog};
 pub use dests::DestSet;
-pub use log::{Log, LogEntry, PruneConfig};
-pub use matrix::MatrixClock;
+pub use log::{Log, LogDelta, LogEntry, PruneConfig};
+pub use matrix::{MatrixClock, MatrixDelta};
 pub use reference::NaiveLog;
 pub use stability::{NaiveStability, StabilityTracker};
-pub use vector::VectorClock;
+pub use vector::{VectorClock, VectorDelta};

@@ -99,6 +99,20 @@ pub struct PruneConfig {
     /// Keep the newest (possibly empty) entry per origin as a marker of the
     /// most recent known write from that origin.
     pub keep_markers: bool,
+    /// Never treat the *local site itself* as covered by its own sends or
+    /// own-write applies: condition 2 subtracts `dests ∖ {origin}`, and the
+    /// `LastWriteOn` materialization keeps the holder's own destination
+    /// mentions until a clock witness shows them applied.
+    ///
+    /// The published algorithm's self-pruning is justified only when a
+    /// message parked toward the local site arrives before its causal
+    /// future loops back via reads — true for short, homogeneous channel
+    /// delays, but not under per-destination update batching, where an
+    /// update can sit in a sender's lane for a full flush window while its
+    /// dependency chain races ahead through other lanes. Off by default to
+    /// keep unbatched runs byte-identical to the paper calibration; the
+    /// simulator turns it on whenever batching is enabled.
+    pub pin_self: bool,
 }
 
 impl Default for PruneConfig {
@@ -106,6 +120,7 @@ impl Default for PruneConfig {
         PruneConfig {
             condition2: true,
             keep_markers: true,
+            pin_self: false,
         }
     }
 }
@@ -202,10 +217,18 @@ impl Log {
     /// carries "the currently stored records", i.e. the pre-write log.
     pub fn record_write(&mut self, origin: SiteId, clock: u64, dests: DestSet, cfg: PruneConfig) {
         if cfg.condition2 {
+            // The new send informs every destination it actually reaches.
+            // The origin itself receives no message (own writes apply
+            // immediately, predicate unchecked), so under `pin_self` its
+            // own pending-destination mentions survive the subtraction.
+            let mut covered = dests;
+            if cfg.pin_self {
+                covered.remove(origin);
+            }
             let mut removed = 0;
             for e in &mut self.entries {
                 let before = e.dests.len();
-                e.dests.subtract(&dests);
+                e.dests.subtract(&covered);
                 removed += before - e.dests.len();
             }
             self.dest_ids -= removed;
@@ -487,6 +510,106 @@ impl MetaSized for Log {
     }
 }
 
+/// Difference between two Opt-Track logs from the same site.
+///
+/// Consecutive piggyback snapshots from one sender share most entries, so
+/// a batched SM frame can ship the entries that changed (`upserts`: new
+/// keys, or keys whose destination set shrank) plus the keys that were
+/// purged (`removals`) instead of the whole log. The delta must be applied
+/// with exact-replacement semantics — [`Log::upsert`] *intersects*
+/// destination sets on an existing key, which is the piggyback-merge rule,
+/// not reconstruction — hence [`LogDelta::apply_to`] rebuilds the entry
+/// vector directly.
+///
+/// Exactness invariant, relied on by the wire codec's round-trip tests:
+/// `LogDelta::between(prev, next).apply_to(prev) == next`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LogDelta {
+    /// Entries to insert or overwrite, sorted by `(origin, clock)`.
+    pub upserts: Vec<LogEntry>,
+    /// Write keys to drop, sorted by `(origin, clock)`.
+    pub removals: Vec<WriteId>,
+}
+
+impl LogDelta {
+    /// Compute the delta that turns `prev` into `next`.
+    pub fn between(prev: &Log, next: &Log) -> LogDelta {
+        let mut upserts = Vec::new();
+        let mut removals = Vec::new();
+        let (a, b) = (&prev.entries, &next.entries);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) if (x.origin, x.clock) == (y.origin, y.clock) => {
+                    if x.dests != y.dests {
+                        upserts.push(*y);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(x), Some(y)) if (x.origin, x.clock) < (y.origin, y.clock) => {
+                    removals.push(x.write_id());
+                    i += 1;
+                }
+                (Some(_), Some(y)) => {
+                    upserts.push(*y);
+                    j += 1;
+                }
+                (Some(x), None) => {
+                    removals.push(x.write_id());
+                    i += 1;
+                }
+                (None, Some(y)) => {
+                    upserts.push(*y);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        LogDelta { upserts, removals }
+    }
+
+    /// Reconstruct the successor snapshot from its predecessor.
+    pub fn apply_to(&self, prev: &Log) -> Log {
+        let mut entries = Vec::with_capacity(prev.entries.len() + self.upserts.len());
+        let mut ups = self.upserts.iter().peekable();
+        let mut rms = self.removals.iter().peekable();
+        for e in &prev.entries {
+            let key = (e.origin, e.clock);
+            while let Some(&&up) = ups.peek() {
+                if (up.origin, up.clock) < key {
+                    entries.push(up);
+                    ups.next();
+                } else {
+                    break;
+                }
+            }
+            if ups.peek().is_some_and(|up| (up.origin, up.clock) == key) {
+                entries.push(*ups.next().unwrap());
+                continue;
+            }
+            if rms.peek().is_some_and(|rm| (rm.site, rm.clock) == key) {
+                rms.next();
+                continue;
+            }
+            entries.push(*e);
+        }
+        entries.extend(ups.copied());
+        let dest_ids = entries.iter().map(|e| e.dests.len()).sum();
+        Log { entries, dest_ids }
+    }
+}
+
+impl MetaSized for LogDelta {
+    /// Each upsert is a full entry (two scalars plus its destination set);
+    /// each removal is a two-scalar key.
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        let members: usize = self.upserts.iter().map(|e| e.dests.len()).sum();
+        model.scalars(2 * (self.upserts.len() + self.removals.len()))
+            + model.dest_sets(self.upserts.len(), members)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,6 +633,47 @@ mod tests {
             log.iter().map(|e| e.dests.len()).sum::<usize>(),
             "dest_ids counter drifted"
         );
+    }
+
+    #[test]
+    fn log_delta_roundtrips_across_writes_and_merges() {
+        let mut a = Log::new();
+        a.record_write(s(0), 1, d(&[1, 2]), cfg());
+        a.record_write(s(1), 1, d(&[2, 3]), cfg());
+        let mut b = a.clone();
+        b.record_write(s(0), 2, d(&[1, 3]), cfg());
+        let mut incoming = Log::new();
+        incoming.upsert(LogEntry::new(s(2), 5, d(&[0, 1])));
+        b.merge(&incoming, cfg());
+        let delta = LogDelta::between(&a, &b);
+        let rebuilt = delta.apply_to(&a);
+        assert_eq!(rebuilt, b);
+        assert_counters(&rebuilt);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_log_delta_between_apply_is_identity(
+            base in proptest::collection::vec(
+                (0usize..6, 1u64..20, proptest::collection::vec(0usize..6, 0..4)), 0..16),
+            extra in proptest::collection::vec(
+                (0usize..6, 1u64..20, proptest::collection::vec(0usize..6, 0..4)), 0..16),
+            stable in proptest::collection::vec(0u64..10, 6),
+        ) {
+            let mut a = Log::new();
+            for (o, c, ds) in base {
+                a.upsert(LogEntry::new(s(o), c, d(&ds)));
+            }
+            a.normalize(cfg());
+            let mut b = a.clone();
+            for (o, c, ds) in extra {
+                b.record_write(s(o), 100 + c, d(&ds), cfg());
+            }
+            b.prune_stable(&stable, cfg());
+            let rebuilt = LogDelta::between(&a, &b).apply_to(&a);
+            prop_assert_eq!(&rebuilt, &b);
+            assert_counters(&rebuilt);
+        }
     }
 
     /// The flat layout's clone-is-a-memcpy property rests on `LogEntry`
@@ -552,7 +716,7 @@ mod tests {
     fn condition2_disabled_keeps_everything() {
         let no_c2 = PruneConfig {
             condition2: false,
-            keep_markers: true,
+            ..PruneConfig::default()
         };
         let mut log = Log::new();
         log.record_write(s(1), 1, d(&[2, 3]), no_c2);
@@ -599,6 +763,35 @@ mod tests {
         );
     }
 
+    /// `pin_self`: a write whose destination set includes the writer itself
+    /// (the writer is a replica) must not prune the *writer's own* pending
+    /// mentions — no message carries the obligation to self, since own
+    /// writes apply immediately without the activation predicate. Other
+    /// destinations are still covered by the actual sends.
+    #[test]
+    fn pin_self_keeps_writer_mentions_through_condition2() {
+        let pinned = PruneConfig {
+            pin_self: true,
+            ..PruneConfig::default()
+        };
+        // Site 0 knows write (s1, 1) is still owed to itself and to s2.
+        let mut log = Log::new();
+        log.upsert(LogEntry::new(s(1), 1, d(&[0, 2])));
+        // Site 0 writes to {0, 2}: s2 learns of the pending entry from the
+        // piggyback of this very send, but site 0 sends itself nothing.
+        log.record_write(s(0), 5, d(&[0, 2]), pinned);
+        assert_eq!(log.get(s(1), 1).unwrap().dests, d(&[0]));
+        // The write's own entry keeps its full destination set.
+        assert_eq!(log.get(s(0), 5).unwrap().dests, d(&[0, 2]));
+        assert_counters(&log);
+        // The default behaviour drops the self mention (the paper's rule,
+        // sound only when in-flight delays are short).
+        let mut legacy = Log::new();
+        legacy.upsert(LogEntry::new(s(1), 1, d(&[0, 2])));
+        legacy.record_write(s(0), 5, d(&[0, 2]), cfg());
+        assert!(legacy.get(s(1), 1).unwrap().dests.is_empty());
+    }
+
     #[test]
     fn purge_keeps_newest_marker_per_origin() {
         let mut log = Log::new();
@@ -615,8 +808,8 @@ mod tests {
     #[test]
     fn purge_without_markers_drops_all_empties() {
         let no_markers = PruneConfig {
-            condition2: true,
             keep_markers: false,
+            ..PruneConfig::default()
         };
         let mut log = Log::new();
         log.upsert(LogEntry::new(s(1), 2, DestSet::EMPTY));

@@ -99,6 +99,74 @@ impl MatrixClock {
     }
 }
 
+/// Sparse difference between two matrix clocks from the same site.
+///
+/// Consecutive piggyback snapshots taken by one sender share most of their
+/// cells (the matrix only ever grows via own-row increments and
+/// [`MatrixClock::merge_max`]), so a batched SM frame can ship the cells
+/// that changed since the previous SM in the batch instead of the full
+/// `n²` grid. [`MatrixDelta::between`] falls back to carrying the whole
+/// matrix when the sparse form would not be smaller (or when the dimension
+/// changed across a membership epoch), so a delta is never larger than the
+/// snapshot it replaces.
+///
+/// Exactness invariant, relied on by the wire codec's round-trip tests:
+/// `MatrixDelta::between(prev, next).apply_to(prev) == next`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MatrixDelta {
+    /// Same dimension: only the changed cells, as `(writer, dest, value)`.
+    Cells(Vec<(SiteId, SiteId, u64)>),
+    /// Dimension changed or the sparse form would be larger: full snapshot.
+    Full(MatrixClock),
+}
+
+impl MatrixDelta {
+    /// Compute the delta that turns `prev` into `next`.
+    pub fn between(prev: &MatrixClock, next: &MatrixClock) -> MatrixDelta {
+        if prev.n != next.n {
+            return MatrixDelta::Full(next.clone());
+        }
+        let mut changed = Vec::new();
+        for (i, (&a, &b)) in prev.cells.iter().zip(next.cells.iter()).enumerate() {
+            if a != b {
+                changed.push((SiteId::from(i / next.n), SiteId::from(i % next.n), b));
+            }
+        }
+        // One changed cell costs three scalars against one for a full cell;
+        // past a third of the grid the dense form wins.
+        if 3 * changed.len() >= next.n * next.n {
+            MatrixDelta::Full(next.clone())
+        } else {
+            MatrixDelta::Cells(changed)
+        }
+    }
+
+    /// Reconstruct the successor snapshot from its predecessor.
+    pub fn apply_to(&self, prev: &MatrixClock) -> MatrixClock {
+        match self {
+            MatrixDelta::Full(m) => m.clone(),
+            MatrixDelta::Cells(cells) => {
+                let mut m = prev.clone();
+                for &(j, k, v) in cells {
+                    m.set(j, k, v);
+                }
+                m
+            }
+        }
+    }
+}
+
+impl MetaSized for MatrixDelta {
+    /// Three scalars per changed cell in sparse form; the full matrix cost
+    /// otherwise. By construction never exceeds the full snapshot's size.
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        match self {
+            MatrixDelta::Cells(cells) => model.scalars(3 * cells.len()),
+            MatrixDelta::Full(m) => m.meta_size(model),
+        }
+    }
+}
+
 impl fmt::Debug for MatrixClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "MatrixClock(n={})", self.n)?;
@@ -175,7 +243,60 @@ mod tests {
         assert_eq!(MatrixClock::new(5).meta_size(&m), 250);
     }
 
+    #[test]
+    fn delta_roundtrips_and_is_sparse() {
+        let mut a = MatrixClock::new(4);
+        a.set(s(0), s(1), 3);
+        let mut b = a.clone();
+        b.set(s(2), s(3), 9);
+        b.increment(s(0), s(1));
+        let d = MatrixDelta::between(&a, &b);
+        assert!(matches!(&d, MatrixDelta::Cells(c) if c.len() == 2));
+        assert_eq!(d.apply_to(&a), b);
+        let model = SizeModel::java_like();
+        assert!(d.meta_size(&model) < b.meta_size(&model));
+    }
+
+    #[test]
+    fn delta_falls_back_to_full_when_dense_or_resized() {
+        let a = MatrixClock::new(3);
+        let mut b = MatrixClock::new(3);
+        for j in 0..3 {
+            for k in 0..3 {
+                b.set(s(j), s(k), 1 + (j * 3 + k) as u64);
+            }
+        }
+        let d = MatrixDelta::between(&a, &b);
+        assert!(matches!(d, MatrixDelta::Full(_)), "9/9 cells changed");
+        assert_eq!(d.apply_to(&a), b);
+
+        let wider = MatrixClock::new(5);
+        let d2 = MatrixDelta::between(&b, &wider);
+        assert!(matches!(d2, MatrixDelta::Full(_)), "dimension changed");
+        assert_eq!(d2.apply_to(&b), wider);
+    }
+
     proptest! {
+        #[test]
+        fn prop_delta_between_apply_is_identity(
+            xs in proptest::collection::vec(0u64..50, 16),
+            ys in proptest::collection::vec(0u64..50, 16),
+        ) {
+            let mut a = MatrixClock::new(4);
+            let mut b = MatrixClock::new(4);
+            for j in 0..4 {
+                for k in 0..4 {
+                    a.set(s(j), s(k), xs[j * 4 + k]);
+                    b.set(s(j), s(k), ys[j * 4 + k]);
+                }
+            }
+            let d = MatrixDelta::between(&a, &b);
+            prop_assert_eq!(d.apply_to(&a), b.clone());
+            // A delta never costs more than the snapshot it replaces.
+            let model = SizeModel::java_like();
+            prop_assert!(d.meta_size(&model) <= b.meta_size(&model));
+        }
+
         #[test]
         fn prop_merge_upper_bound_and_idempotent(
             xs in proptest::collection::vec(0u64..50, 9),

@@ -104,8 +104,12 @@ impl NaiveLog {
     /// purged and the write's own entry is appended.
     pub fn record_write(&mut self, origin: SiteId, clock: u64, dests: DestSet, cfg: PruneConfig) {
         if cfg.condition2 {
+            let mut covered = dests;
+            if cfg.pin_self {
+                covered.remove(origin);
+            }
             for e in &mut self.entries {
-                e.dests.subtract(&dests);
+                e.dests.subtract(&covered);
             }
         }
         self.insert_sorted(LogEntry::new(origin, clock, dests));

@@ -96,6 +96,70 @@ impl VectorClock {
     }
 }
 
+/// Sparse difference between two vector clocks from the same site.
+///
+/// Plays the same role as [`crate::MatrixDelta`] for optP's `O(n)`
+/// piggyback: consecutive snapshots from one sender differ in the few
+/// components that advanced between the two sends, so a batched SM can
+/// ship `(process, value)` pairs instead of the whole vector. Falls back
+/// to the dense form when the sparse one would not be smaller or the
+/// length changed (membership epoch).
+///
+/// Exactness invariant: `VectorDelta::between(p, n).apply_to(p) == n`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum VectorDelta {
+    /// Same length: only the changed components.
+    Changed(Vec<(SiteId, u64)>),
+    /// Length changed or the sparse form would be larger: full snapshot.
+    Full(VectorClock),
+}
+
+impl VectorDelta {
+    /// Compute the delta that turns `prev` into `next`.
+    pub fn between(prev: &VectorClock, next: &VectorClock) -> VectorDelta {
+        if prev.len() != next.len() {
+            return VectorDelta::Full(next.clone());
+        }
+        let mut changed = Vec::new();
+        for (i, (&a, &b)) in prev.entries.iter().zip(next.entries.iter()).enumerate() {
+            if a != b {
+                changed.push((SiteId::from(i), b));
+            }
+        }
+        // One changed component costs two scalars against one dense slot.
+        if 2 * changed.len() >= next.len() {
+            VectorDelta::Full(next.clone())
+        } else {
+            VectorDelta::Changed(changed)
+        }
+    }
+
+    /// Reconstruct the successor snapshot from its predecessor.
+    pub fn apply_to(&self, prev: &VectorClock) -> VectorClock {
+        match self {
+            VectorDelta::Full(v) => v.clone(),
+            VectorDelta::Changed(pairs) => {
+                let mut v = prev.clone();
+                for &(j, c) in pairs {
+                    v.set(j, c);
+                }
+                v
+            }
+        }
+    }
+}
+
+impl MetaSized for VectorDelta {
+    /// Two scalars per changed component in sparse form; the full vector
+    /// cost otherwise.
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        match self {
+            VectorDelta::Changed(pairs) => model.scalars(2 * pairs.len()),
+            VectorDelta::Full(v) => v.meta_size(model),
+        }
+    }
+}
+
 impl fmt::Debug for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "VC{:?}", self.entries)
@@ -168,7 +232,43 @@ mod tests {
         assert_eq!(VectorClock::new(0).meta_size(&m), 0);
     }
 
+    #[test]
+    fn delta_roundtrips_and_prefers_sparse() {
+        let mut a = VectorClock::new(6);
+        a.set(s(1), 4);
+        let mut b = a.clone();
+        b.increment(s(1));
+        let d = VectorDelta::between(&a, &b);
+        assert!(matches!(&d, VectorDelta::Changed(c) if c.len() == 1));
+        assert_eq!(d.apply_to(&a), b);
+        let model = SizeModel::java_like();
+        assert!(d.meta_size(&model) < b.meta_size(&model));
+
+        // Length change → dense fallback.
+        let wider = VectorClock::new(8);
+        let d2 = VectorDelta::between(&b, &wider);
+        assert!(matches!(d2, VectorDelta::Full(_)));
+        assert_eq!(d2.apply_to(&b), wider);
+    }
+
     proptest! {
+        #[test]
+        fn prop_delta_between_apply_is_identity(
+            xs in proptest::collection::vec(0u64..100, 8),
+            ys in proptest::collection::vec(0u64..100, 8),
+        ) {
+            let mut a = VectorClock::new(8);
+            let mut b = VectorClock::new(8);
+            for i in 0..8 {
+                a.set(s(i), xs[i]);
+                b.set(s(i), ys[i]);
+            }
+            let d = VectorDelta::between(&a, &b);
+            prop_assert_eq!(d.apply_to(&a), b.clone());
+            let model = SizeModel::java_like();
+            prop_assert!(d.meta_size(&model) <= b.meta_size(&model));
+        }
+
         #[test]
         fn prop_merge_is_lub(xs in proptest::collection::vec(0u64..100, 8),
                              ys in proptest::collection::vec(0u64..100, 8)) {

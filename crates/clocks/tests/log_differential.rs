@@ -89,10 +89,13 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn arb_cfg() -> impl Strategy<Value = PruneConfig> {
-    (any::<bool>(), any::<bool>()).prop_map(|(condition2, keep_markers)| PruneConfig {
-        condition2,
-        keep_markers,
-    })
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(condition2, keep_markers, pin_self)| PruneConfig {
+            condition2,
+            keep_markers,
+            pin_self,
+        },
+    )
 }
 
 /// Apply one op to both logs.

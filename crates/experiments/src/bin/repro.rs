@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|soak|bench|all>
+//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|batching|soak|bench|all>
 //!       [--quick] [--out <dir>] [--jobs <n>] [--no-cache] [--trace-dir <dir>]
 //! ```
 //!
@@ -25,9 +25,11 @@
 //! byte-identical across `--jobs` settings.
 //!
 //! `bench` times one n = 40, w = 0.5 cell per protocol — sequentially, at
-//! every pool width up to `--jobs`, and cold vs warm cache — and writes
-//! `BENCH_PR5.json` (including the host's available parallelism, so a
-//! recorded run documents the hardware it came from).
+//! every pool width up to `--jobs`, and cold vs warm cache — plus the flat
+//! wire codec (encode/decode of the two piggyback families and batched vs
+//! per-SM framing) — and writes `BENCH_PR8.json` (including the host's
+//! available parallelism, so a recorded run documents the hardware it came
+//! from).
 
 use causal_experiments::figures;
 use causal_experiments::{Mode, Scale, Sweep};
@@ -177,6 +179,13 @@ fn main() {
             false,
         ),
         (
+            "batching",
+            Box::new(move |s: &mut Sweep| {
+                causal_experiments::batching::batching_sweep(s.scale(), jobs)
+            }),
+            false,
+        ),
+        (
             "soak",
             Box::new(move |s: &mut Sweep| causal_experiments::soak::soak_sweep(s.scale(), jobs)),
             false,
@@ -228,9 +237,10 @@ fn main() {
 /// `bench` subcommand: wall-clock the n = 40, w = 0.5 cell of each protocol
 /// (the paper's largest point), then the same four cells through the
 /// parallel pool at every width from 1 to `--jobs` (powers of two), then a
-/// cold-vs-warm persistent-cache pass; results land in `BENCH_PR5.json`
-/// (in `--out` or the working directory) together with the host's
-/// available parallelism and the job count actually used.
+/// cold-vs-warm persistent-cache pass, then the wire-codec microtimings;
+/// results land in `BENCH_PR8.json` (in `--out` or the working directory)
+/// together with the host's available parallelism and the job count
+/// actually used.
 fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
     use std::fmt::Write as _;
     use std::time::Instant;
@@ -310,6 +320,9 @@ fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
     }
     let _ = std::fs::remove_dir_all(&scratch);
 
+    eprintln!("[bench] wire codec microtimings …");
+    let codec_lines = codec_timings();
+
     let scale_name = match scale {
         Scale::Paper => "paper",
         Scale::Quick => "quick",
@@ -321,7 +334,8 @@ fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
          \"protocol_cells\": [\n{}  ],\n  \
          \"pool\": {{ \"jobs\": {jobs}, \"cells\": {}, \"sequential_ms\": {:.1}, \
          \"parallel_ms\": {:.1}, \"speedup\": {:.3},\n    \"scaling\": [\n{}    ] }},\n  \
-         \"cache\": {{ \"cold_ms\": {:.1}, \"warm_ms\": {:.1}, \"cold_over_warm\": {:.1} }}\n}}\n",
+         \"cache\": {{ \"cold_ms\": {:.1}, \"warm_ms\": {:.1}, \"cold_over_warm\": {:.1} }},\n  \
+         \"codec\": {{\n{codec_lines}  }}\n}}\n",
         scale.events(),
         scale.seeds(),
         protocol_lines,
@@ -335,11 +349,122 @@ fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
         seq_s / warm_s,
     );
     let path = out
-        .map(|d| d.join("BENCH_PR5.json"))
-        .unwrap_or_else(|| PathBuf::from("BENCH_PR5.json"));
-    std::fs::write(&path, &json).expect("write BENCH_PR5.json");
+        .map(|d| d.join("BENCH_PR8.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_PR8.json"));
+    std::fs::write(&path, &json).expect("write BENCH_PR8.json");
     print!("{json}");
     eprintln!("[bench] wrote {}", path.display());
+}
+
+/// Wire-codec microtimings for the recorded bench artifact: encode (via the
+/// thread-local scratch) and total decode of the two piggyback families, and
+/// one 16-update `SmBatch` frame against 16 per-SM frames. Same sample
+/// shapes as `crates/bench/benches/hotpath.rs`; the frame byte counts are
+/// deterministic, the ns/op figures are best-of-5 medians over 10k
+/// iterations so the CI gate can hold them to a generous absolute budget.
+fn codec_timings() -> String {
+    use causal_clocks::{DestSet, Log, LogEntry, MatrixClock};
+    use causal_proto::{wire, BatchedSm, Msg, Sm, SmBatch, SmMeta};
+    use causal_types::{SiteId, VarId, VersionedValue, WriteId};
+    use std::fmt::Write as _;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    // Median-of-runs ns/op: each run times `iters` back-to-back calls.
+    fn ns_per_op(mut f: impl FnMut() -> usize) -> f64 {
+        let iters = 10_000u32;
+        let mut runs: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                let mut acc = 0usize;
+                for _ in 0..iters {
+                    acc = acc.wrapping_add(f());
+                }
+                std::hint::black_box(acc);
+                t0.elapsed().as_nanos() as f64 / f64::from(iters)
+            })
+            .collect();
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    }
+
+    // An Opt-Track SM with a paper-shaped log piggyback (n = 20 origins).
+    let mut log = Log::new();
+    for o in 0..20usize {
+        log.upsert(LogEntry::new(
+            SiteId::from(o),
+            40 + o as u64,
+            DestSet::from_sites([SiteId::from((o + 1) % 20), SiteId::from((o + 7) % 20)]),
+        ));
+    }
+    let opt = Msg::Sm(Sm {
+        var: VarId(3),
+        value: VersionedValue::new(WriteId::new(SiteId(0), 40), 99),
+        meta: SmMeta::OptTrack {
+            clock: 40,
+            log: Arc::new(log),
+        },
+    });
+
+    // 16 consecutive Full-Track SMs from one sender (matrix advances one
+    // send per snapshot), so the batch frame pays one matrix + 15 deltas.
+    let n = 20usize;
+    let mut m = MatrixClock::new(n);
+    let sms: Vec<Sm> = (0..16u64)
+        .map(|i| {
+            m.increment(SiteId(0), SiteId::from((i as usize + 1) % n));
+            Sm {
+                var: VarId(i as u32 % 8),
+                value: VersionedValue::new(WriteId::new(SiteId(0), i + 1), i),
+                meta: SmMeta::FullTrack {
+                    write: Arc::new(m.clone()),
+                },
+            }
+        })
+        .collect();
+    let full = Msg::Sm(sms[0].clone());
+    let batch = Msg::Batch(Arc::new(SmBatch {
+        sms: sms
+            .iter()
+            .map(|sm| BatchedSm {
+                sm: sm.clone(),
+                measured: true,
+            })
+            .collect(),
+    }));
+    let singles: Vec<Msg> = sms.into_iter().map(Msg::Sm).collect();
+
+    let mut lines = String::new();
+    for (name, msg) in [("opt_track_sm", &opt), ("full_track_sm", &full)] {
+        let bytes = wire::encode(msg);
+        let enc = ns_per_op(|| wire::encode_with(msg, |b| b.len()));
+        let dec = ns_per_op(|| {
+            let _ = std::hint::black_box(wire::decode(&bytes).unwrap());
+            bytes.len()
+        });
+        let _ = writeln!(
+            lines,
+            "    \"encode_{name}_ns\": {enc:.1}, \"decode_{name}_ns\": {dec:.1}, \
+             \"{name}_bytes\": {},",
+            bytes.len(),
+        );
+    }
+    let batch_bytes = wire::encode(&batch).len();
+    let singles_bytes: usize = singles.iter().map(|m| wire::encode(m).len()).sum();
+    let batch_enc = ns_per_op(|| wire::encode_with(&batch, |b| b.len()));
+    let singles_enc = ns_per_op(|| {
+        singles
+            .iter()
+            .map(|m| wire::encode_with(m, |b| b.len()))
+            .sum()
+    });
+    let _ = writeln!(
+        lines,
+        "    \"batch_frame_16_encode_ns\": {batch_enc:.1}, \
+         \"per_sm_frames_16_encode_ns\": {singles_enc:.1},\n    \
+         \"batch_frame_16_bytes\": {batch_bytes}, \"per_sm_frames_16_bytes\": {singles_bytes}",
+    );
+    lines
 }
 
 /// Emit `<name>.dat` + `<name>.gp` for a figure whose first column is `n`
@@ -392,7 +517,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|soak|bench|all> \
+        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|batching|soak|bench|all> \
          [--quick] [--out <dir>] [--jobs <n>] [--no-cache] [--trace-dir <dir>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

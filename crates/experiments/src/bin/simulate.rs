@@ -454,6 +454,7 @@ fn main() {
         },
         churn: None,
         stability: None,
+        batching: None,
     };
     cfg.workload.q = a.q;
     cfg.workload.events_per_process = a.events;

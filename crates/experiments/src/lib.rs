@@ -16,6 +16,7 @@
 //! | `repro table4` | Table IV — total message count, partial vs full replication |
 //! | `repro eq2` | Eq. (1)/(2) — analytic crossover `w_rate > 2/(n+1)` and its empirical check |
 //! | `repro chaos` | extension — transport overhead vs. loss rate under fault injection |
+//! | `repro batching` | extension — bytes/op under per-destination update batching |
 //! | `repro durability` | extension — WAL/checkpoint recovery vs. full rebuild under overlapping crashes |
 //! | `repro all` | everything above, sharing simulation runs |
 //!
@@ -30,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod analytic;
+pub mod batching;
 pub mod cache;
 pub mod chaos;
 pub mod churn;

@@ -313,15 +313,30 @@ impl Sweep {
             to_run.push(params);
         }
         let seeds = self.scale.seeds() as usize;
-        let units: Vec<(CellParams, u64)> = to_run
-            .iter()
-            .flat_map(|&p| (0..seeds as u64).map(move |s| (p, s)))
-            .collect();
         let (scale, base_seed) = (self.scale, self.base_seed);
-        let runs = pool::run_indexed(self.jobs, units.len(), |i| {
-            let ((protocol, mode, n, w_rate), s) = units[i];
-            Self::run_seed(scale, base_seed, protocol, mode, n, w_rate, s)
-        });
+        // `--jobs 1` bypasses the worker pool entirely: no unit vector, no
+        // shared-cursor indirection — a plain loop in the exact fold order.
+        // (BENCH_PR5 measured the pooled width-1 pass at 0.975× sequential;
+        // planning must never be slower than not planning.)
+        let runs: Vec<SeedRun> = if self.jobs <= 1 {
+            to_run
+                .iter()
+                .flat_map(|&(protocol, mode, n, w_rate)| {
+                    (0..seeds as u64).map(move |s| {
+                        Self::run_seed(scale, base_seed, protocol, mode, n, w_rate, s)
+                    })
+                })
+                .collect()
+        } else {
+            let units: Vec<(CellParams, u64)> = to_run
+                .iter()
+                .flat_map(|&p| (0..seeds as u64).map(move |s| (p, s)))
+                .collect();
+            pool::run_indexed(self.jobs, units.len(), |i| {
+                let ((protocol, mode, n, w_rate), s) = units[i];
+                Self::run_seed(scale, base_seed, protocol, mode, n, w_rate, s)
+            })
+        };
         for (ci, &(protocol, mode, n, w_rate)) in to_run.iter().enumerate() {
             let stats = Self::aggregate(&runs[ci * seeds..(ci + 1) * seeds]);
             if let Some(d) = self.disk.as_ref() {

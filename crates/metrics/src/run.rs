@@ -153,6 +153,16 @@ pub struct RunMetrics {
     pub stability_lag: StatAccum,
     /// p99 of the stability lag (streaming P² estimate).
     pub stability_lag_p99: P2Quantile,
+    /// Multi-update batch frames flushed by the per-destination batcher
+    /// (zero when batching is off; lanes that flush a single update send
+    /// it as a plain SM and do not count here).
+    pub batch_flushes: u64,
+    /// Updates that travelled inside a batch frame (≥ 2 per flush).
+    pub batched_sms: u64,
+    /// Modeled wire bytes saved by batching: the sum, per flush, of what
+    /// the lane's updates would have cost as individual SMs minus the
+    /// batch frame actually charged.
+    pub batch_bytes_saved: u64,
     /// Per-site breakdown of the counters above (sends, delivers, applies,
     /// buffering, retransmits, dwell, fetch RTT).
     pub per_site: SiteRegistry,
@@ -217,6 +227,9 @@ impl Default for RunMetrics {
             wal_deleted_bytes: 0,
             stability_lag: StatAccum::default(),
             stability_lag_p99: P2Quantile::new(0.99),
+            batch_flushes: 0,
+            batched_sms: 0,
+            batch_bytes_saved: 0,
             per_site: SiteRegistry::new(),
         }
     }
@@ -325,6 +338,9 @@ impl RunMetrics {
         self.unstable_peak = self.unstable_peak.max(other.unstable_peak);
         self.wal_segments_sealed += other.wal_segments_sealed;
         self.wal_deleted_bytes += other.wal_deleted_bytes;
+        self.batch_flushes += other.batch_flushes;
+        self.batched_sms += other.batched_sms;
+        self.batch_bytes_saved += other.batch_bytes_saved;
         self.per_site.merge(&other.per_site);
         // StatAccum cannot merge exactly without the raw moments; fold the
         // other's summary as a weighted contribution.
@@ -386,6 +402,26 @@ mod tests {
         assert_eq!(a.writes, 1);
         assert_eq!(a.reads, 1);
         assert_eq!(a.max_pending, 9);
+    }
+
+    #[test]
+    fn batching_counters_merge_and_default_to_zero() {
+        let fresh = RunMetrics::new();
+        assert_eq!(fresh.batch_flushes, 0);
+        assert_eq!(fresh.batched_sms, 0);
+        assert_eq!(fresh.batch_bytes_saved, 0);
+        let mut a = RunMetrics::new();
+        a.batch_flushes = 2;
+        a.batched_sms = 7;
+        a.batch_bytes_saved = 500;
+        let mut b = RunMetrics::new();
+        b.batch_flushes = 3;
+        b.batched_sms = 11;
+        b.batch_bytes_saved = 1500;
+        a.merge(&b);
+        assert_eq!(a.batch_flushes, 5);
+        assert_eq!(a.batched_sms, 18);
+        assert_eq!(a.batch_bytes_saved, 2000);
     }
 
     #[test]

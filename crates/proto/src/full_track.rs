@@ -276,6 +276,7 @@ impl ProtocolSite for FullTrack {
                     value: rm.value,
                 }]
             }
+            Msg::Batch(_) => panic!("batches are unbatched by the transport before delivery"),
         }
     }
 

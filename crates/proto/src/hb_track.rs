@@ -252,6 +252,7 @@ impl ProtocolSite for HbTrack {
                     value: rm.value,
                 }]
             }
+            Msg::Batch(_) => panic!("batches are unbatched by the transport before delivery"),
         }
     }
 

@@ -59,7 +59,7 @@ pub use effect::{Effect, ReadResult};
 pub use factory::{build_site, ProtocolConfig, ProtocolKind};
 pub use full_track::FullTrack;
 pub use hb_track::HbTrack;
-pub use msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
+pub use msg::{BatchedSm, Fm, Msg, Rm, RmMeta, Sm, SmBatch, SmMeta, SmMetaDelta};
 pub use opt_track::OptTrack;
 pub use opt_track_crp::OptTrackCrp;
 pub use optp::OptP;
@@ -68,4 +68,4 @@ pub use reliable::{Frame, OwnLedger, PeerAckInfo, SyncState};
 pub use replication::Replication;
 pub use site::{GcStats, ProtocolSite, StableCut};
 pub use wal::{DurableStore, WalRecord};
-pub use wire::{decode, encode, WireError};
+pub use wire::{decode, encode, encode_into, encode_with, WireBuf, WireError, MAX_FRAME};

@@ -11,7 +11,9 @@
 //! Full-replication protocols only use SM: `m(x_h, v, Site_id, clock, LOG)`
 //! for Opt-Track-CRP and `m(x_h, v, Write)` (a size-`n` vector) for optP.
 
-use causal_clocks::{CrpLog, Log, MatrixClock, VectorClock};
+use causal_clocks::{
+    CrpDelta, CrpLog, Log, LogDelta, MatrixClock, MatrixDelta, VectorClock, VectorDelta,
+};
 use causal_types::{MetaSized, MsgKind, SizeModel, VarId, VersionedValue};
 use std::sync::Arc;
 
@@ -81,6 +83,98 @@ impl MetaSized for SmMeta {
     }
 }
 
+/// Difference between two [`SmMeta`] piggybacks of the same variant (i.e.
+/// two snapshots taken by the same sender under one protocol).
+///
+/// Used by the wire codec to encode the 2nd..Nth update of an [`SmBatch`]
+/// relative to its predecessor — exact reconstruction, so batched and
+/// unbatched decoding yield byte-identical protocol inputs. The per-SM
+/// `clock` scalars stay outside the delta (they are per-update control
+/// fields, not part of the shared structure).
+#[derive(Clone, PartialEq, Debug)]
+pub enum SmMetaDelta {
+    /// Full-Track / HB-Track: changed matrix cells.
+    FullTrack(MatrixDelta),
+    /// Opt-Track: the update's own clock plus the log difference.
+    OptTrack {
+        /// The writer's write counter for this update.
+        clock: u64,
+        /// Exact log difference.
+        delta: LogDelta,
+    },
+    /// Opt-Track-CRP: the update's own clock plus the 2-tuple differences.
+    Crp {
+        /// The writer's write counter for this update.
+        clock: u64,
+        /// Exact tuple replacements/removals.
+        delta: CrpDelta,
+    },
+    /// optP: changed vector components.
+    OptP(VectorDelta),
+}
+
+impl SmMetaDelta {
+    /// Delta turning `prev` into `next`; `None` when the variants differ
+    /// (mixed-protocol metas never share a batch, but the codec must not
+    /// assume it).
+    pub fn between(prev: &SmMeta, next: &SmMeta) -> Option<SmMetaDelta> {
+        match (prev, next) {
+            (SmMeta::FullTrack { write: a }, SmMeta::FullTrack { write: b }) => {
+                Some(SmMetaDelta::FullTrack(MatrixDelta::between(a, b)))
+            }
+            (SmMeta::OptTrack { log: a, .. }, SmMeta::OptTrack { clock, log: b }) => {
+                Some(SmMetaDelta::OptTrack {
+                    clock: *clock,
+                    delta: LogDelta::between(a, b),
+                })
+            }
+            (SmMeta::Crp { log: a, .. }, SmMeta::Crp { clock, log: b }) => Some(SmMetaDelta::Crp {
+                clock: *clock,
+                delta: CrpDelta::between(a, b),
+            }),
+            (SmMeta::OptP { write: a }, SmMeta::OptP { write: b }) => {
+                Some(SmMetaDelta::OptP(VectorDelta::between(a, b)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Reconstruct the successor meta from its predecessor; `None` when the
+    /// variants differ (a corrupt frame, surfaced as a decode error).
+    pub fn apply_to(&self, prev: &SmMeta) -> Option<SmMeta> {
+        match (self, prev) {
+            (SmMetaDelta::FullTrack(d), SmMeta::FullTrack { write }) => Some(SmMeta::FullTrack {
+                write: Arc::new(d.apply_to(write)),
+            }),
+            (SmMetaDelta::OptTrack { clock, delta }, SmMeta::OptTrack { log, .. }) => {
+                Some(SmMeta::OptTrack {
+                    clock: *clock,
+                    log: Arc::new(delta.apply_to(log)),
+                })
+            }
+            (SmMetaDelta::Crp { clock, delta }, SmMeta::Crp { log, .. }) => Some(SmMeta::Crp {
+                clock: *clock,
+                log: Arc::new(delta.apply_to(log)),
+            }),
+            (SmMetaDelta::OptP(d), SmMeta::OptP { write }) => Some(SmMeta::OptP {
+                write: Arc::new(d.apply_to(write)),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl MetaSized for SmMetaDelta {
+    fn meta_size(&self, model: &SizeModel) -> u64 {
+        match self {
+            SmMetaDelta::FullTrack(d) => d.meta_size(model),
+            SmMetaDelta::OptTrack { delta, .. } => model.scalars(1) + delta.meta_size(model),
+            SmMetaDelta::Crp { delta, .. } => model.scalars(1) + delta.meta_size(model),
+            SmMetaDelta::OptP(d) => d.meta_size(model),
+        }
+    }
+}
+
 /// An update multicast message (one copy per destination replica).
 #[derive(Clone, PartialEq, Debug)]
 pub struct Sm {
@@ -90,6 +184,86 @@ pub struct Sm {
     pub value: VersionedValue,
     /// Piggybacked causality meta-data.
     pub meta: SmMeta,
+}
+
+/// One update inside an [`SmBatch`], with the bookkeeping the simulator
+/// needs to unbatch it exactly as if it had been sent alone.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BatchedSm {
+    /// The update, with its *exact* per-send piggyback snapshot — unbatching
+    /// hands each SM to the protocol byte-identically to the unbatched path,
+    /// so per-SM causal semantics (and the checker) are untouched.
+    pub sm: Sm,
+    /// Whether the update was issued inside the measured (post-warmup)
+    /// window.
+    pub measured: bool,
+}
+
+/// A per-destination batch of SM messages from one sender.
+///
+/// ROADMAP item #2: consecutive updates from one site to one destination
+/// share most of their causal context, so a batch frame amortizes the
+/// piggyback across its updates. The in-memory representation keeps every
+/// update's exact meta (see [`BatchedSm::sm`]); the *byte accounting*
+/// ([`SmBatch::meta_size`]) models the merged-piggyback wire format: one
+/// structure — the final update's, which supersedes its same-sender
+/// predecessors (matrix/vector snapshots are monotone under `merge_max`;
+/// a KS/CRP log's dropped entries are exactly the ones proven redundant) —
+/// plus a small control header per update. `docs/PROTOCOLS.md` maps this
+/// format onto each protocol's delivery predicate.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SmBatch {
+    /// Updates in send order (oldest first). Never empty, same sender,
+    /// same destination.
+    pub sms: Vec<BatchedSm>,
+}
+
+impl SmBatch {
+    /// Number of batched updates.
+    pub fn len(&self) -> usize {
+        self.sms.len()
+    }
+
+    /// `true` when the batch holds no updates (never shipped; exists so
+    /// `len` passes clippy's `len_without_is_empty`).
+    pub fn is_empty(&self) -> bool {
+        self.sms.is_empty()
+    }
+
+    /// Per-update control scalars beyond the shared piggyback: the variable
+    /// id, the writer's clock, and — for the log protocols, whose delivery
+    /// predicate consumes a per-update send counter — the meta clock. The
+    /// writer's site id is once per frame (same sender), charged in
+    /// `batch_base`.
+    fn control_scalars(sm: &Sm) -> usize {
+        match sm.meta {
+            SmMeta::OptTrack { .. } | SmMeta::Crp { .. } => 3,
+            SmMeta::FullTrack { .. } | SmMeta::OptP { .. } => 2,
+        }
+    }
+
+    /// Meta-data bytes of the batch frame under the merged-piggyback model:
+    /// `batch_base` + the final update's full piggyback + per update
+    /// `batch_sm_base` plus its control scalars. The value payloads are not
+    /// counted, as everywhere else.
+    pub fn batch_meta_size(&self, model: &SizeModel) -> u64 {
+        let merged = self.sms.last().map_or(0, |b| b.sm.meta.meta_size(model));
+        let per_sm: u64 = self
+            .sms
+            .iter()
+            .map(|b| model.batch_sm_base as u64 + model.scalars(Self::control_scalars(&b.sm)))
+            .sum();
+        model.batch_base as u64 + merged + per_sm
+    }
+
+    /// What the same updates would have cost as individual SM messages
+    /// (used for the `batch_bytes_saved` counter).
+    pub fn unbatched_size(&self, model: &SizeModel) -> u64 {
+        self.sms
+            .iter()
+            .map(|b| model.base(MsgKind::Sm) + b.sm.meta.meta_size(model))
+            .sum()
+    }
 }
 
 /// A remote fetch request. Carries no causal meta-data (Table I): the
@@ -143,13 +317,17 @@ pub enum Msg {
     Fm(Fm),
     /// Remote return (reply to a fetch).
     Rm(Rm),
+    /// A per-destination batch of updates (`Arc`'d: the enum stays small
+    /// and cloning a batch for retransmission is a refcount bump).
+    Batch(Arc<SmBatch>),
 }
 
 impl Msg {
-    /// This message's class.
+    /// This message's class. A batch is SM traffic — it carries updates and
+    /// is accounted against the SM byte counters.
     pub fn kind(&self) -> MsgKind {
         match self {
-            Msg::Sm(_) => MsgKind::Sm,
+            Msg::Sm(_) | Msg::Batch(_) => MsgKind::Sm,
             Msg::Fm(_) => MsgKind::Fm,
             Msg::Rm(_) => MsgKind::Rm,
         }
@@ -165,6 +343,9 @@ impl MetaSized for Msg {
             Msg::Sm(sm) => model.base(MsgKind::Sm) + sm.meta.meta_size(model),
             Msg::Fm(_) => model.base(MsgKind::Fm),
             Msg::Rm(rm) => model.base(MsgKind::Rm) + rm.meta.meta_size(model),
+            // One SM's worth of message base for the frame, then the
+            // merged-piggyback batch accounting.
+            Msg::Batch(b) => model.base(MsgKind::Sm) + b.batch_meta_size(model),
         }
     }
 }
@@ -239,6 +420,82 @@ mod tests {
         });
         // base 209 + (site id + clock) 20 + one 2-tuple 20.
         assert_eq!(m.meta_size(&model), 209 + 20 + 20);
+    }
+
+    fn batch_of(metas: Vec<SmMeta>) -> SmBatch {
+        SmBatch {
+            sms: metas
+                .into_iter()
+                .enumerate()
+                .map(|(i, meta)| BatchedSm {
+                    sm: Sm {
+                        var: VarId(i as u32),
+                        value: VersionedValue::new(WriteId::new(SiteId(0), i as u64 + 1), 7),
+                        meta,
+                    },
+                    measured: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn batch_amortizes_the_piggyback() {
+        // k matrix-carrying SMs in one frame: one matrix + k small headers,
+        // against k full matrices unbatched.
+        let model = SizeModel::batched();
+        let k = 16;
+        let batch = batch_of(
+            (0..k)
+                .map(|_| SmMeta::FullTrack {
+                    write: Arc::new(MatrixClock::new(20)),
+                })
+                .collect(),
+        );
+        let batched = Msg::Batch(Arc::new(batch.clone())).meta_size(&model);
+        let unbatched = batch.unbatched_size(&model);
+        assert!(
+            batched * 10 <= unbatched,
+            "expected ≥10× amortization at k={k}: {batched} vs {unbatched}"
+        );
+        // Exact formula: sm_base + batch_base + one matrix + k·(per-SM).
+        assert_eq!(batched, 24 + 8 + 400 * 4 + k as u64 * (4 + 2 * 4),);
+    }
+
+    #[test]
+    fn singleton_batch_costs_more_than_a_plain_sm() {
+        // The flush path must degrade a one-element lane to a plain SM;
+        // this pins the reason (the batch framing is pure overhead at k=1).
+        let model = SizeModel::batched();
+        let meta = SmMeta::OptP {
+            write: Arc::new(VectorClock::new(10)),
+        };
+        let single = batch_of(vec![meta.clone()]);
+        let plain = Msg::Sm(single.sms[0].sm.clone()).meta_size(&model);
+        assert!(Msg::Batch(Arc::new(single)).meta_size(&model) > plain);
+    }
+
+    #[test]
+    fn sm_meta_delta_roundtrips_per_variant() {
+        let mut m1 = MatrixClock::new(4);
+        m1.set(SiteId(0), SiteId(1), 2);
+        let mut m2 = m1.clone();
+        m2.increment(SiteId(0), SiteId(1));
+        let prev = SmMeta::FullTrack {
+            write: Arc::new(m1),
+        };
+        let next = SmMeta::FullTrack {
+            write: Arc::new(m2),
+        };
+        let d = SmMetaDelta::between(&prev, &next).unwrap();
+        assert_eq!(d.apply_to(&prev), Some(next));
+
+        // Variant mismatch: no delta, and apply refuses.
+        let optp = SmMeta::OptP {
+            write: Arc::new(VectorClock::new(4)),
+        };
+        assert!(SmMetaDelta::between(&prev, &optp).is_none());
+        assert_eq!(d.apply_to(&optp), None);
     }
 
     #[test]

@@ -70,15 +70,30 @@ impl LastWrite {
         LastWrite { log, own: None }
     }
 
+    /// Implicit condition 1 on a freshly combined slot log. The historical
+    /// rule removes *every* mention of `me` — justified by the activation
+    /// predicate only for slots whose write arrived as an SM. A slot parked
+    /// by the site's *own* write skipped the predicate, so under `pin_self`
+    /// the removal is narrowed to the entries `last_clock` can witness as
+    /// applied here (equivalent for predicate-covered slots, strictly
+    /// sound for own-write slots).
+    fn condition1(log: &mut Log, me: SiteId, last_clock: &[u64], prune: PruneConfig) {
+        if prune.pin_self {
+            log.prune_applied(me, last_clock);
+        } else {
+            log.remove_site(me);
+        }
+    }
+
     /// The assoc log, materializing in place on first use. The stored
     /// snapshot is deep-cloned only if still shared with in-flight
     /// messages or other sites' slots.
-    fn materialize(&mut self, me: SiteId, prune: PruneConfig) -> &Arc<Log> {
+    fn materialize(&mut self, me: SiteId, last_clock: &[u64], prune: PruneConfig) -> &Arc<Log> {
         if let Some(own) = self.own.take() {
             let mut log = Arc::try_unwrap(std::mem::take(&mut self.log))
                 .unwrap_or_else(|shared| (*shared).clone());
             log.upsert(own);
-            log.remove_site(me);
+            Self::condition1(&mut log, me, last_clock, prune);
             log.normalize(prune);
             self.log = Arc::new(log);
         }
@@ -87,21 +102,29 @@ impl LastWrite {
 
     /// Owned materialized log without caching (for `&self` paths: sync
     /// export and size accounting).
-    fn materialize_owned(&self, me: SiteId, prune: PruneConfig) -> Log {
+    fn materialize_owned(&self, me: SiteId, last_clock: &[u64], prune: PruneConfig) -> Log {
         let mut log = (*self.log).clone();
         if let Some(own) = self.own {
             log.upsert(own);
-            log.remove_site(me);
+            Self::condition1(&mut log, me, last_clock, prune);
             log.normalize(prune);
         }
         log
     }
 
     /// Size of the materialized log — what this slot will weigh once read.
-    fn meta_size(&self, model: &SizeModel, me: SiteId, prune: PruneConfig) -> u64 {
+    fn meta_size(
+        &self,
+        model: &SizeModel,
+        me: SiteId,
+        last_clock: &[u64],
+        prune: PruneConfig,
+    ) -> u64 {
         match self.own {
             None => self.log.meta_size(model),
-            Some(_) => self.materialize_owned(me, prune).meta_size(model),
+            Some(_) => self
+                .materialize_owned(me, last_clock, prune)
+                .meta_size(model),
         }
     }
 }
@@ -311,8 +334,16 @@ impl ProtocolSite for OptTrack {
 
     fn read(&mut self, var: VarId) -> ReadResult {
         if self.repl.is_replicated_at(var, self.site) {
-            if let Some(lw) = self.state.last_write_on.get_mut(&var) {
-                let log = Arc::clone(lw.materialize(self.site, self.prune));
+            let (site, prune) = (self.site, self.prune);
+            let ApplyState {
+                last_write_on,
+                last_clock,
+                ..
+            } = &mut self.state;
+            let log = last_write_on
+                .get_mut(&var)
+                .map(|lw| Arc::clone(lw.materialize(site, last_clock, prune)));
+            if let Some(log) = log {
                 self.merge_on_read(&log);
             }
             ReadResult::Local(self.state.values.get(&var).copied())
@@ -360,11 +391,15 @@ impl ProtocolSite for OptTrack {
                 let value = self.state.values.get(&fm.var).copied();
                 let site = self.site;
                 let prune = self.prune;
+                let ApplyState {
+                    last_write_on,
+                    last_clock,
+                    ..
+                } = &mut self.state;
                 let meta = RmMeta::OptTrack(
-                    self.state
-                        .last_write_on
+                    last_write_on
                         .get_mut(&fm.var)
-                        .map(|lw| Arc::clone(lw.materialize(site, prune))),
+                        .map(|lw| Arc::clone(lw.materialize(site, last_clock, prune))),
                 );
                 vec![Effect::Send {
                     to: from,
@@ -392,6 +427,7 @@ impl ProtocolSite for OptTrack {
                     value: rm.value,
                 }]
             }
+            Msg::Batch(_) => panic!("batches are unbatched by the transport before delivery"),
         }
     }
 
@@ -402,7 +438,7 @@ impl ProtocolSite for OptTrack {
     fn local_meta_size(&self, model: &SizeModel) -> u64 {
         let mut total = self.log.meta_size(model);
         for l in self.state.last_write_on.values() {
-            total += l.meta_size(model, self.site, self.prune);
+            total += l.meta_size(model, self.site, &self.state.last_clock, self.prune);
         }
         total
     }
@@ -532,7 +568,11 @@ impl ProtocolSite for OptTrack {
             .filter(|(var, _)| self.repl.is_replicated_at(**var, requester))
             .map(|(var, value)| {
                 let lw = &self.state.last_write_on[var];
-                (*var, *value, lw.materialize_owned(self.site, self.prune))
+                (
+                    *var,
+                    *value,
+                    lw.materialize_owned(self.site, &self.state.last_clock, self.prune),
+                )
             })
             .collect();
         SyncState::OptTrack {
@@ -919,7 +959,7 @@ mod tests {
         let repl = Arc::new(FullReplication::new(4));
         let loose = PruneConfig {
             condition2: false,
-            keep_markers: true,
+            ..PruneConfig::default()
         };
         let mut tight_site = OptTrack::new(SiteId(1), repl.clone());
         let mut loose_site = OptTrack::with_prune(SiteId(2), repl.clone(), loose);

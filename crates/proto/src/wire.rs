@@ -1,27 +1,54 @@
-//! Binary wire codec for protocol messages.
+//! Flat binary wire codec for protocol messages.
 //!
 //! The TCP transport in `causal-runtime` frames each [`Msg`] with this
-//! codec (length-prefixed on the socket). The format is a straightforward
-//! little-endian tag-length-value encoding — no self-description, no
-//! versioning — because both ends of a run are always the same build, as in
-//! the paper's testbed. Integers are fixed-width LE; collections carry a
-//! `u32` length.
+//! codec (length-prefixed on the socket); the simnet transport sizes its
+//! frames with the same layout. The format is a tag-prefixed flat encoding
+//! with LEB128 varint scalars — no self-description, no versioning —
+//! because both ends of a run are always the same build, as in the paper's
+//! testbed.
 //!
-//! Decoding is total: malformed input yields [`WireError`], never a panic,
-//! so a corrupted frame cannot take down a site.
+//! ## Tigerstyle: there IS a limit
+//!
+//! Encoding goes through a [`WireBuf`]: a reusable scratch buffer with a
+//! hard [`MAX_FRAME`] cap. The hot path ([`encode_with`]) borrows a
+//! thread-local scratch, so the steady state allocates nothing — the buffer
+//! is cleared, refilled and handed to the caller as a borrowed `&[u8]`.
+//! Exceeding the cap is a bug in the sender (no legal message comes close)
+//! and fails loudly at the assert rather than growing without bound.
+//!
+//! Decoding is a zero-copy walk: a [`Frame`] borrows the input buffer and
+//! [`Reader`] advances through it segment by segment, only materialising
+//! the clock structures themselves. Decoding is **total**: malformed input
+//! yields [`WireError`], never a panic or an attacker-sized allocation, so
+//! a corrupted frame cannot take down a site. Batched updates
+//! ([`SmBatch`]) encode the 2nd..Nth piggyback as an exact delta against
+//! its predecessor ([`SmMetaDelta`]) and are reconstructed byte-identically
+//! on decode.
 
-use crate::msg::{Fm, Msg, Rm, RmMeta, Sm, SmMeta};
-use causal_clocks::{CrpLog, DestSet, Log, LogEntry, MatrixClock, VectorClock};
-use causal_types::{SiteId, VarId, VersionedValue, WriteId};
+use crate::msg::{BatchedSm, Fm, Msg, Rm, RmMeta, Sm, SmBatch, SmMeta, SmMetaDelta};
+use causal_clocks::{
+    CrpDelta, CrpLog, DestSet, Log, LogDelta, LogEntry, MatrixClock, MatrixDelta, VectorClock,
+    VectorDelta,
+};
+use causal_types::{MsgKind, SiteId, VarId, VersionedValue, WriteId};
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
+
+/// Hard upper bound on an encoded frame, in bytes.
+///
+/// The worst legal case — a full batch of `MAX_SITES`-wide matrix
+/// piggybacks that all hit the dense fallback — stays well under 1 MiB;
+/// anything larger is a runaway sender.
+pub const MAX_FRAME: usize = 1 << 20;
 
 /// Decoding failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WireError {
-    /// Input ended before the structure was complete.
+    /// Input ended before the structure was complete (or a length field
+    /// claimed more elements than the input could possibly hold).
     Truncated,
-    /// An enum tag was out of range.
+    /// An enum tag or flag byte was out of range.
     BadTag(u8),
     /// Trailing bytes after a complete message.
     TrailingBytes(usize),
@@ -39,123 +66,270 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encode a message to bytes.
+// ---------------------------------------------------------------------
+// WireBuf: bounded, reusable encode scratch
+// ---------------------------------------------------------------------
+
+/// A reusable encode buffer with a hard [`MAX_FRAME`] size limit.
+///
+/// `clear()` keeps the allocation, so a long-lived `WireBuf` (such as the
+/// thread-local scratch behind [`encode_with`]) reaches a steady state
+/// where encoding allocates nothing at all.
+#[derive(Default)]
+pub struct WireBuf {
+    buf: Vec<u8>,
+}
+
+impl WireBuf {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        WireBuf {
+            buf: Vec::with_capacity(256),
+        }
+    }
+
+    /// Drop the contents, keep the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    fn push(&mut self, b: u8) {
+        assert!(
+            self.buf.len() < MAX_FRAME,
+            "wire frame exceeds MAX_FRAME ({MAX_FRAME} bytes): runaway sender"
+        );
+        self.buf.push(b);
+    }
+
+    /// LEB128 varint.
+    #[inline]
+    fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.push(b);
+                return;
+            }
+            self.push(b | 0x80);
+        }
+    }
+
+    #[inline]
+    fn put_usize(&mut self, v: usize) {
+        self.put_varint(v as u64);
+    }
+
+    #[inline]
+    fn put_site(&mut self, s: SiteId) {
+        self.put_varint(s.0 as u64);
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<WireBuf> = RefCell::new(WireBuf::new());
+}
+
+/// Encode `msg` into the thread-local scratch buffer and hand the encoded
+/// bytes to `f` — the zero-allocation hot path (the borrow never escapes,
+/// so the scratch can be reused by the very next call).
+pub fn encode_with<R>(msg: &Msg, f: impl FnOnce(&[u8]) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            encode_into(msg, &mut buf);
+            f(buf.as_slice())
+        }
+        // Re-entrant use (encode_with inside `f`): fall back to a private
+        // buffer rather than poisoning the scratch.
+        Err(_) => {
+            let mut buf = WireBuf::new();
+            encode_into(msg, &mut buf);
+            f(buf.as_slice())
+        }
+    })
+}
+
+/// Encode a message to an owned byte vector (compatibility surface; sized
+/// exactly, built from the thread-local scratch).
 pub fn encode(msg: &Msg) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
+    encode_with(msg, |b| b.to_vec())
+}
+
+/// Encode `msg` into `out`, replacing its previous contents.
+pub fn encode_into(msg: &Msg, out: &mut WireBuf) {
+    out.clear();
     match msg {
         Msg::Sm(sm) => {
             out.push(0);
-            put_var(&mut out, sm.var);
-            put_value(&mut out, &sm.value);
-            put_sm_meta(&mut out, &sm.meta);
+            put_sm_body(out, sm);
         }
         Msg::Fm(fm) => {
             out.push(1);
-            put_var(&mut out, fm.var);
+            out.put_varint(fm.var.0 as u64);
         }
         Msg::Rm(rm) => {
             out.push(2);
-            put_var(&mut out, rm.var);
+            out.put_varint(rm.var.0 as u64);
             match &rm.value {
                 None => out.push(0),
                 Some(v) => {
                     out.push(1);
-                    put_value(&mut out, v);
+                    put_value(out, v);
                 }
             }
-            put_rm_meta(&mut out, &rm.meta);
+            put_rm_meta(out, &rm.meta);
+        }
+        Msg::Batch(batch) => {
+            out.push(3);
+            put_batch(out, batch);
         }
     }
-    out
 }
 
 /// Decode a message from bytes; the whole input must be consumed.
 pub fn decode(buf: &[u8]) -> Result<Msg, WireError> {
-    let mut r = Reader { buf, pos: 0 };
-    let msg = match r.u8()? {
-        0 => Msg::Sm(Sm {
-            var: r.var()?,
-            value: r.value()?,
-            meta: r.sm_meta()?,
-        }),
-        1 => Msg::Fm(Fm { var: r.var()? }),
-        2 => {
-            let var = r.var()?;
-            let value = match r.u8()? {
-                0 => None,
-                1 => Some(r.value()?),
-                t => return Err(WireError::BadTag(t)),
-            };
-            let meta = r.rm_meta()?;
-            Msg::Rm(Rm { var, value, meta })
+    Frame::new(buf)?.decode()
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy frame view
+// ---------------------------------------------------------------------
+
+/// A zero-copy view over one encoded message.
+///
+/// Construction validates the tag byte only, so transports can classify a
+/// frame (`kind()`) without materialising the piggybacked structures;
+/// [`Frame::decode`] walks the borrowed bytes and builds the owned [`Msg`].
+#[derive(Clone, Copy)]
+pub struct Frame<'a> {
+    buf: &'a [u8],
+    tag: u8,
+}
+
+impl<'a> Frame<'a> {
+    /// Wrap `buf`, validating the leading tag byte.
+    pub fn new(buf: &'a [u8]) -> Result<Frame<'a>, WireError> {
+        match buf.first() {
+            None => Err(WireError::Truncated),
+            Some(&tag @ 0..=3) => Ok(Frame { buf, tag }),
+            Some(&t) => Err(WireError::BadTag(t)),
         }
-        t => return Err(WireError::BadTag(t)),
-    };
-    if r.pos != buf.len() {
-        return Err(WireError::TrailingBytes(buf.len() - r.pos));
     }
-    Ok(msg)
+
+    /// The message class, read from the tag without decoding the body.
+    pub fn kind(&self) -> MsgKind {
+        match self.tag {
+            0 | 3 => MsgKind::Sm,
+            1 => MsgKind::Fm,
+            _ => MsgKind::Rm,
+        }
+    }
+
+    /// Decode the full message; the whole frame must be consumed.
+    pub fn decode(&self) -> Result<Msg, WireError> {
+        let mut r = Reader {
+            buf: self.buf,
+            pos: 1,
+        };
+        let msg = match self.tag {
+            0 => Msg::Sm(r.sm_body()?),
+            1 => Msg::Fm(Fm { var: r.var()? }),
+            2 => {
+                let var = r.var()?;
+                let value = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.value()?),
+                    t => return Err(WireError::BadTag(t)),
+                };
+                let meta = r.rm_meta()?;
+                Msg::Rm(Rm { var, value, meta })
+            }
+            _ => Msg::Batch(Arc::new(r.batch()?)),
+        };
+        if r.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes(self.buf.len() - r.pos));
+        }
+        Ok(msg)
+    }
 }
 
 // ---------------------------------------------------------------------
 // Writers
 // ---------------------------------------------------------------------
 
-fn put_var(out: &mut Vec<u8>, v: VarId) {
-    out.extend_from_slice(&v.0.to_le_bytes());
+fn put_sm_body(out: &mut WireBuf, sm: &Sm) {
+    out.put_varint(sm.var.0 as u64);
+    put_value(out, &sm.value);
+    put_sm_meta(out, &sm.meta);
 }
 
-fn put_write_id(out: &mut Vec<u8>, w: WriteId) {
-    out.extend_from_slice(&w.site.0.to_le_bytes());
-    out.extend_from_slice(&w.clock.to_le_bytes());
+fn put_write_id(out: &mut WireBuf, w: WriteId) {
+    out.put_site(w.site);
+    out.put_varint(w.clock);
 }
 
-fn put_value(out: &mut Vec<u8>, v: &VersionedValue) {
+fn put_value(out: &mut WireBuf, v: &VersionedValue) {
     put_write_id(out, v.writer);
-    out.extend_from_slice(&v.data.to_le_bytes());
-    out.extend_from_slice(&v.payload_len.to_le_bytes());
+    out.put_varint(v.data);
+    out.put_varint(v.payload_len as u64);
 }
 
-fn put_matrix(out: &mut Vec<u8>, m: &MatrixClock) {
-    out.extend_from_slice(&(m.n() as u32).to_le_bytes());
+fn put_matrix(out: &mut WireBuf, m: &MatrixClock) {
+    out.put_usize(m.n());
     for j in SiteId::all(m.n()) {
         for k in SiteId::all(m.n()) {
-            out.extend_from_slice(&m.get(j, k).to_le_bytes());
+            out.put_varint(m.get(j, k));
         }
     }
 }
 
-fn put_vector(out: &mut Vec<u8>, v: &VectorClock) {
-    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+fn put_vector(out: &mut WireBuf, v: &VectorClock) {
+    out.put_usize(v.len());
     for (_, c) in v.iter() {
-        out.extend_from_slice(&c.to_le_bytes());
+        out.put_varint(c);
     }
 }
 
-fn put_dests(out: &mut Vec<u8>, d: &DestSet) {
-    out.extend_from_slice(&(d.len() as u32).to_le_bytes());
+fn put_dests(out: &mut WireBuf, d: &DestSet) {
+    out.put_usize(d.len());
     for s in d.iter() {
-        out.extend_from_slice(&s.0.to_le_bytes());
+        out.put_site(s);
     }
 }
 
-fn put_log(out: &mut Vec<u8>, log: &Log) {
-    out.extend_from_slice(&(log.len() as u32).to_le_bytes());
+fn put_log(out: &mut WireBuf, log: &Log) {
+    out.put_usize(log.len());
     for e in log.iter() {
-        out.extend_from_slice(&e.origin.0.to_le_bytes());
-        out.extend_from_slice(&e.clock.to_le_bytes());
+        out.put_site(e.origin);
+        out.put_varint(e.clock);
         put_dests(out, &e.dests);
     }
 }
 
-fn put_crp_log(out: &mut Vec<u8>, log: &CrpLog) {
-    out.extend_from_slice(&(log.len() as u32).to_le_bytes());
+fn put_crp_log(out: &mut WireBuf, log: &CrpLog) {
+    out.put_usize(log.len());
     for w in log.iter() {
         put_write_id(out, *w);
     }
 }
 
-fn put_sm_meta(out: &mut Vec<u8>, meta: &SmMeta) {
+fn put_sm_meta(out: &mut WireBuf, meta: &SmMeta) {
     match meta {
         SmMeta::FullTrack { write } => {
             out.push(0);
@@ -163,12 +337,12 @@ fn put_sm_meta(out: &mut Vec<u8>, meta: &SmMeta) {
         }
         SmMeta::OptTrack { clock, log } => {
             out.push(1);
-            out.extend_from_slice(&clock.to_le_bytes());
+            out.put_varint(*clock);
             put_log(out, log);
         }
         SmMeta::Crp { clock, log } => {
             out.push(2);
-            out.extend_from_slice(&clock.to_le_bytes());
+            out.put_varint(*clock);
             put_crp_log(out, log);
         }
         SmMeta::OptP { write } => {
@@ -178,7 +352,7 @@ fn put_sm_meta(out: &mut Vec<u8>, meta: &SmMeta) {
     }
 }
 
-fn put_rm_meta(out: &mut Vec<u8>, meta: &RmMeta) {
+fn put_rm_meta(out: &mut WireBuf, meta: &RmMeta) {
     match meta {
         RmMeta::FullTrack(None) => out.push(0),
         RmMeta::FullTrack(Some(m)) => {
@@ -193,8 +367,118 @@ fn put_rm_meta(out: &mut Vec<u8>, meta: &RmMeta) {
     }
 }
 
+/// Per-batched-SM flag byte: bit 0 = meta is a delta against the previous
+/// update's meta, bit 1 = the update was issued in the measured window.
+const BATCH_FLAG_DELTA: u8 = 0b01;
+const BATCH_FLAG_MEASURED: u8 = 0b10;
+
+fn put_batch(out: &mut WireBuf, batch: &SmBatch) {
+    out.put_usize(batch.len());
+    let mut prev: Option<&SmMeta> = None;
+    for b in &batch.sms {
+        let delta = prev.and_then(|p| SmMetaDelta::between(p, &b.sm.meta));
+        let mut flags = 0u8;
+        if delta.is_some() {
+            flags |= BATCH_FLAG_DELTA;
+        }
+        if b.measured {
+            flags |= BATCH_FLAG_MEASURED;
+        }
+        out.push(flags);
+        out.put_varint(b.sm.var.0 as u64);
+        put_value(out, &b.sm.value);
+        match delta {
+            Some(d) => put_sm_meta_delta(out, &d),
+            None => put_sm_meta(out, &b.sm.meta),
+        }
+        prev = Some(&b.sm.meta);
+    }
+}
+
+fn put_matrix_delta(out: &mut WireBuf, d: &MatrixDelta) {
+    match d {
+        MatrixDelta::Cells(cells) => {
+            out.push(0);
+            out.put_usize(cells.len());
+            for &(j, k, v) in cells {
+                out.put_site(j);
+                out.put_site(k);
+                out.put_varint(v);
+            }
+        }
+        MatrixDelta::Full(m) => {
+            out.push(1);
+            put_matrix(out, m);
+        }
+    }
+}
+
+fn put_vector_delta(out: &mut WireBuf, d: &VectorDelta) {
+    match d {
+        VectorDelta::Changed(pairs) => {
+            out.push(0);
+            out.put_usize(pairs.len());
+            for &(j, c) in pairs {
+                out.put_site(j);
+                out.put_varint(c);
+            }
+        }
+        VectorDelta::Full(v) => {
+            out.push(1);
+            put_vector(out, v);
+        }
+    }
+}
+
+fn put_log_delta(out: &mut WireBuf, d: &LogDelta) {
+    out.put_usize(d.upserts.len());
+    for e in &d.upserts {
+        out.put_site(e.origin);
+        out.put_varint(e.clock);
+        put_dests(out, &e.dests);
+    }
+    out.put_usize(d.removals.len());
+    for w in &d.removals {
+        put_write_id(out, *w);
+    }
+}
+
+fn put_crp_delta(out: &mut WireBuf, d: &CrpDelta) {
+    out.put_usize(d.upserts.len());
+    for w in &d.upserts {
+        put_write_id(out, *w);
+    }
+    out.put_usize(d.removals.len());
+    for s in &d.removals {
+        out.put_site(*s);
+    }
+}
+
+fn put_sm_meta_delta(out: &mut WireBuf, d: &SmMetaDelta) {
+    match d {
+        SmMetaDelta::FullTrack(m) => {
+            out.push(0);
+            put_matrix_delta(out, m);
+        }
+        SmMetaDelta::OptTrack { clock, delta } => {
+            out.push(1);
+            out.put_varint(*clock);
+            put_log_delta(out, delta);
+        }
+        SmMetaDelta::Crp { clock, delta } => {
+            out.push(2);
+            out.put_varint(*clock);
+            put_crp_delta(out, delta);
+        }
+        SmMetaDelta::OptP(v) => {
+            out.push(3);
+            put_vector_delta(out, v);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
-// Reader
+// Reader — the borrowed decode walk
 // ---------------------------------------------------------------------
 
 struct Reader<'a> {
@@ -203,109 +487,141 @@ struct Reader<'a> {
 }
 
 impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
-        if self.pos + n > self.buf.len() {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    #[inline]
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// LEB128 varint. Total: at most 10 bytes are consumed, and a
+    /// continuation past the 64-bit range is a tag error, not a wrap.
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut x = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(WireError::BadTag(b));
+            }
+            x |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+        }
+    }
+
+    /// A count field for a sequence whose elements occupy ≥ 1 byte each:
+    /// anything beyond the remaining input is a lie, rejected *before*
+    /// allocation.
+    fn count(&mut self) -> Result<usize, WireError> {
+        let n = self.varint()? as usize;
+        if n > self.remaining() {
             return Err(WireError::Truncated);
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        Ok(n)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    fn site(&mut self) -> Result<SiteId, WireError> {
+        let raw = self.varint()?;
+        if raw as usize >= causal_clocks::dests::MAX_SITES {
+            return Err(WireError::Truncated);
+        }
+        Ok(SiteId(raw as u16))
     }
 
     fn var(&mut self) -> Result<VarId, WireError> {
-        Ok(VarId(self.u32()?))
+        let raw = self.varint()?;
+        u32::try_from(raw)
+            .map(VarId)
+            .map_err(|_| WireError::Truncated)
     }
 
     fn write_id(&mut self) -> Result<WriteId, WireError> {
         Ok(WriteId {
-            site: SiteId(self.u16()?),
-            clock: self.u64()?,
+            site: self.site()?,
+            clock: self.varint()?,
         })
     }
 
     fn value(&mut self) -> Result<VersionedValue, WireError> {
+        let writer = self.write_id()?;
+        let data = self.varint()?;
+        let payload_len = u32::try_from(self.varint()?).map_err(|_| WireError::Truncated)?;
         Ok(VersionedValue {
-            writer: self.write_id()?,
-            data: self.u64()?,
-            payload_len: self.u32()?,
+            writer,
+            data,
+            payload_len,
         })
     }
 
-    fn matrix(&mut self) -> Result<MatrixClock, WireError> {
-        let n = self.u32()? as usize;
-        // Cap n to the sane range before allocating n² cells from
-        // attacker-controlled input.
+    fn dim(&mut self) -> Result<usize, WireError> {
+        // Matrix/vector dimension: cap to the sane range before allocating
+        // n² cells from attacker-controlled input.
+        let n = self.varint()? as usize;
         if n > causal_clocks::dests::MAX_SITES {
             return Err(WireError::Truncated);
         }
+        Ok(n)
+    }
+
+    fn matrix(&mut self) -> Result<MatrixClock, WireError> {
+        let n = self.dim()?;
         let mut m = MatrixClock::new(n);
         for j in SiteId::all(n) {
             for k in SiteId::all(n) {
-                m.set(j, k, self.u64()?);
+                m.set(j, k, self.varint()?);
             }
         }
         Ok(m)
     }
 
     fn vector(&mut self) -> Result<VectorClock, WireError> {
-        let n = self.u32()? as usize;
-        if n > causal_clocks::dests::MAX_SITES {
-            return Err(WireError::Truncated);
-        }
+        let n = self.dim()?;
         let mut v = VectorClock::new(n);
         for i in SiteId::all(n) {
-            let c = self.u64()?;
+            let c = self.varint()?;
             v.set(i, c);
         }
         Ok(v)
     }
 
     fn dests(&mut self) -> Result<DestSet, WireError> {
-        let n = self.u32()? as usize;
+        let n = self.count()?;
         if n > causal_clocks::dests::MAX_SITES {
             return Err(WireError::Truncated);
         }
         let mut d = DestSet::EMPTY;
         for _ in 0..n {
-            let raw = self.u16()?;
-            if raw as usize >= causal_clocks::dests::MAX_SITES {
-                return Err(WireError::Truncated);
-            }
-            d.insert(SiteId(raw));
+            d.insert(self.site()?);
         }
         Ok(d)
     }
 
+    fn log_entry(&mut self) -> Result<LogEntry, WireError> {
+        let origin = self.site()?;
+        let clock = self.varint()?;
+        let dests = self.dests()?;
+        Ok(LogEntry::new(origin, clock, dests))
+    }
+
     fn log(&mut self) -> Result<Log, WireError> {
-        let n = self.u32()? as usize;
+        let n = self.count()?;
         let mut log = Log::new();
         for _ in 0..n {
-            let origin = SiteId(self.u16()?);
-            let clock = self.u64()?;
-            let dests = self.dests()?;
-            log.upsert(LogEntry::new(origin, clock, dests));
+            log.upsert(self.log_entry()?);
         }
         Ok(log)
     }
 
     fn crp_log(&mut self) -> Result<CrpLog, WireError> {
-        let n = self.u32()? as usize;
+        let n = self.count()?;
         let mut log = CrpLog::new();
         for _ in 0..n {
             log.observe(self.write_id()?);
@@ -319,11 +635,11 @@ impl Reader<'_> {
                 write: Arc::new(self.matrix()?),
             },
             1 => SmMeta::OptTrack {
-                clock: self.u64()?,
+                clock: self.varint()?,
                 log: Arc::new(self.log()?),
             },
             2 => SmMeta::Crp {
-                clock: self.u64()?,
+                clock: self.varint()?,
                 log: Arc::new(self.crp_log()?),
             },
             3 => SmMeta::OptP {
@@ -342,6 +658,145 @@ impl Reader<'_> {
             t => return Err(WireError::BadTag(t)),
         })
     }
+
+    fn sm_body(&mut self) -> Result<Sm, WireError> {
+        Ok(Sm {
+            var: self.var()?,
+            value: self.value()?,
+            meta: self.sm_meta()?,
+        })
+    }
+
+    fn matrix_delta(&mut self) -> Result<MatrixDelta, WireError> {
+        Ok(match self.u8()? {
+            0 => {
+                let n = self.count()?;
+                let mut cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let j = self.site()?;
+                    let k = self.site()?;
+                    cells.push((j, k, self.varint()?));
+                }
+                MatrixDelta::Cells(cells)
+            }
+            1 => MatrixDelta::Full(self.matrix()?),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn vector_delta(&mut self) -> Result<VectorDelta, WireError> {
+        Ok(match self.u8()? {
+            0 => {
+                let n = self.count()?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let j = self.site()?;
+                    pairs.push((j, self.varint()?));
+                }
+                VectorDelta::Changed(pairs)
+            }
+            1 => VectorDelta::Full(self.vector()?),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn log_delta(&mut self) -> Result<LogDelta, WireError> {
+        let nu = self.count()?;
+        let mut upserts = Vec::with_capacity(nu);
+        for _ in 0..nu {
+            upserts.push(self.log_entry()?);
+        }
+        let nr = self.count()?;
+        let mut removals = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            removals.push(self.write_id()?);
+        }
+        Ok(LogDelta { upserts, removals })
+    }
+
+    fn crp_delta(&mut self) -> Result<CrpDelta, WireError> {
+        let nu = self.count()?;
+        let mut upserts = Vec::with_capacity(nu);
+        for _ in 0..nu {
+            upserts.push(self.write_id()?);
+        }
+        let nr = self.count()?;
+        let mut removals = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            removals.push(self.site()?);
+        }
+        Ok(CrpDelta { upserts, removals })
+    }
+
+    fn sm_meta_delta(&mut self) -> Result<SmMetaDelta, WireError> {
+        Ok(match self.u8()? {
+            0 => SmMetaDelta::FullTrack(self.matrix_delta()?),
+            1 => SmMetaDelta::OptTrack {
+                clock: self.varint()?,
+                delta: self.log_delta()?,
+            },
+            2 => SmMetaDelta::Crp {
+                clock: self.varint()?,
+                delta: self.crp_delta()?,
+            },
+            3 => SmMetaDelta::OptP(self.vector_delta()?),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    /// Guard sparse deltas against out-of-range coordinates before
+    /// applying them to `prev` — a corrupted frame must not index past the
+    /// predecessor's clock dimensions.
+    fn delta_fits(delta: &SmMetaDelta, prev: &SmMeta) -> bool {
+        match (delta, prev) {
+            (SmMetaDelta::FullTrack(MatrixDelta::Cells(cells)), SmMeta::FullTrack { write }) => {
+                let n = write.n();
+                cells
+                    .iter()
+                    .all(|&(j, k, _)| j.index() < n && k.index() < n)
+            }
+            (SmMetaDelta::OptP(VectorDelta::Changed(pairs)), SmMeta::OptP { write }) => {
+                pairs.iter().all(|&(j, _)| j.index() < write.len())
+            }
+            _ => true,
+        }
+    }
+
+    fn batch(&mut self) -> Result<SmBatch, WireError> {
+        let n = self.count()?;
+        if n == 0 {
+            // An empty batch is never encoded; reject rather than build a
+            // frame the unbatch path would choke on.
+            return Err(WireError::BadTag(0));
+        }
+        let mut sms: Vec<BatchedSm> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let flags = self.u8()?;
+            if flags & !(BATCH_FLAG_DELTA | BATCH_FLAG_MEASURED) != 0 {
+                return Err(WireError::BadTag(flags));
+            }
+            let measured = flags & BATCH_FLAG_MEASURED != 0;
+            let var = self.var()?;
+            let value = self.value()?;
+            let meta = if flags & BATCH_FLAG_DELTA != 0 {
+                let delta = self.sm_meta_delta()?;
+                let prev = sms.last().ok_or(WireError::BadTag(flags))?;
+                if !Self::delta_fits(&delta, &prev.sm.meta) {
+                    return Err(WireError::Truncated);
+                }
+                delta
+                    .apply_to(&prev.sm.meta)
+                    .ok_or(WireError::BadTag(flags))?
+            } else {
+                self.sm_meta()?
+            };
+            sms.push(BatchedSm {
+                sm: Sm { var, value, meta },
+                measured,
+            });
+        }
+        Ok(SmBatch { sms })
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +813,29 @@ mod tests {
         ));
         log.upsert(LogEntry::new(SiteId(2), 1, DestSet::EMPTY));
         log
+    }
+
+    fn sample_batch() -> Msg {
+        // Three matrix SMs whose snapshots grow — the 2nd and 3rd encode
+        // as deltas.
+        let mut m = MatrixClock::new(5);
+        m.set(SiteId(0), SiteId(1), 3);
+        let sms = (0..3u64)
+            .map(|i| {
+                m.increment(SiteId(0), SiteId(2));
+                BatchedSm {
+                    sm: Sm {
+                        var: VarId(i as u32),
+                        value: VersionedValue::new(WriteId::new(SiteId(0), i + 1), 40 + i),
+                        meta: SmMeta::FullTrack {
+                            write: Arc::new(m.clone()),
+                        },
+                    },
+                    measured: i != 0,
+                }
+            })
+            .collect();
+        Msg::Batch(Arc::new(SmBatch { sms }))
     }
 
     #[test]
@@ -414,6 +892,7 @@ mod tests {
                 value: Some(value),
                 meta: RmMeta::FullTrack(Some(Arc::new(MatrixClock::new(3)))),
             }),
+            sample_batch(),
         ];
         for msg in msgs {
             let bytes = encode(&msg);
@@ -423,21 +902,72 @@ mod tests {
     }
 
     #[test]
-    fn truncation_is_an_error_not_a_panic() {
-        let msg = Msg::Sm(Sm {
-            var: VarId(5),
-            value: VersionedValue::new(WriteId::new(SiteId(0), 1), 0),
-            meta: SmMeta::OptP {
-                write: Arc::new(VectorClock::new(8)),
-            },
-        });
+    fn batch_delta_encoding_is_smaller_than_full_and_exact() {
+        let msg = sample_batch();
         let bytes = encode(&msg);
-        for cut in 0..bytes.len() {
-            assert_eq!(
-                decode(&bytes[..cut]),
-                Err(WireError::Truncated),
-                "cut={cut}"
-            );
+        // The same three SMs encoded individually are larger in total:
+        // the deltas carry single changed cells instead of 25-cell grids.
+        let Msg::Batch(batch) = &msg else {
+            unreachable!()
+        };
+        let individual: usize = batch
+            .sms
+            .iter()
+            .map(|b| encode(&Msg::Sm(b.sm.clone())).len())
+            .sum();
+        assert!(
+            bytes.len() < individual,
+            "batch {} bytes vs {} individually",
+            bytes.len(),
+            individual
+        );
+        assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn frame_view_classifies_without_decoding() {
+        let bytes = encode(&Msg::Fm(Fm { var: VarId(3) }));
+        let frame = Frame::new(&bytes).unwrap();
+        assert_eq!(frame.kind(), MsgKind::Fm);
+        let bytes = encode(&sample_batch());
+        assert_eq!(Frame::new(&bytes).unwrap().kind(), MsgKind::Sm);
+        assert!(matches!(Frame::new(&[]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn encode_with_reuses_the_scratch_without_allocating_a_vec() {
+        let msg = Msg::Fm(Fm { var: VarId(700) });
+        let len = encode_with(&msg, |b| b.len());
+        assert_eq!(len, encode(&msg).len());
+        // Re-entrant use must still produce correct bytes.
+        let nested = encode_with(&msg, |outer| {
+            let inner = encode_with(&msg, |b| b.to_vec());
+            assert_eq!(outer, &inner[..]);
+            inner
+        });
+        assert_eq!(nested, encode(&msg));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        for msg in [
+            Msg::Sm(Sm {
+                var: VarId(5),
+                value: VersionedValue::new(WriteId::new(SiteId(0), 1), 0),
+                meta: SmMeta::OptP {
+                    write: Arc::new(VectorClock::new(8)),
+                },
+            }),
+            sample_batch(),
+        ] {
+            let bytes = encode(&msg);
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    decode(&bytes[..cut]),
+                    Err(WireError::Truncated),
+                    "cut={cut}"
+                );
+            }
         }
     }
 
@@ -445,6 +975,11 @@ mod tests {
     fn bad_tags_rejected() {
         assert_eq!(decode(&[9]), Err(WireError::BadTag(9)));
         assert!(matches!(decode(&[]), Err(WireError::Truncated)));
+        // Batch with count 0.
+        assert_eq!(decode(&[3, 0]), Err(WireError::BadTag(0)));
+        // Batch whose first element claims to be a delta (no predecessor).
+        // count=1, flags=delta, then nothing sensible.
+        assert!(decode(&[3, 1, 1, 0]).is_err());
     }
 
     #[test]
@@ -456,14 +991,38 @@ mod tests {
 
     #[test]
     fn oversized_matrix_rejected() {
-        // Tag 0 (Sm) + var + value + meta tag 0 (FullTrack) + n = 2^31.
-        let value = VersionedValue::new(WriteId::new(SiteId(0), 1), 0);
-        let mut bytes = vec![0u8];
-        bytes.extend_from_slice(&3u32.to_le_bytes());
-        super::put_value(&mut bytes, &value);
-        bytes.push(0);
-        bytes.extend_from_slice(&(1u32 << 31).to_le_bytes());
-        assert_eq!(decode(&bytes), Err(WireError::Truncated));
+        // Tag 0 (Sm) + var + value + meta tag 0 (FullTrack) + n too large:
+        // rejected by the dimension guard before any allocation.
+        let mut buf = WireBuf::new();
+        encode_into(
+            &Msg::Sm(Sm {
+                var: VarId(3),
+                value: VersionedValue::new(WriteId::new(SiteId(0), 1), 0),
+                meta: SmMeta::FullTrack {
+                    write: Arc::new(MatrixClock::new(1)),
+                },
+            }),
+            &mut buf,
+        );
+        let bytes = buf.as_slice();
+        // Find the meta tag (last-but-two byte: tag, n=1, one zero cell)
+        // and splice in a huge dimension instead.
+        let mut evil = bytes[..bytes.len() - 2].to_vec();
+        evil.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]); // n = 2^32-1
+        assert_eq!(decode(&evil), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn sequence_counts_are_checked_against_remaining_input() {
+        // Opt-Track SM claiming 2^20 log entries in a 16-byte buffer must
+        // be rejected before any Vec::with_capacity.
+        let mut evil = vec![0u8]; // Sm
+        evil.push(1); // var = 1
+        evil.extend_from_slice(&[0, 1, 0, 0]); // value: writer (0,1), data 0, payload 0
+        evil.push(1); // meta tag: OptTrack
+        evil.push(7); // clock
+        evil.extend_from_slice(&[0x80, 0x80, 0x40]); // log count = 2^20
+        assert_eq!(decode(&evil), Err(WireError::Truncated));
     }
 
     proptest! {
@@ -542,10 +1101,95 @@ mod tests {
         }
 
         #[test]
+        fn prop_batch_roundtrip(
+            n in 2usize..12,
+            seeds in proptest::collection::vec((0u32..50, 1u64..1000, 0usize..30), 1..8),
+            kind in 0u8..4,
+            measured in proptest::collection::vec(any::<bool>(), 8),
+        ) {
+            // Build a chain of same-variant metas that actually evolve, so
+            // the encoder exercises the delta path.
+            let mut mat = MatrixClock::new(n);
+            let mut vec_clock = VectorClock::new(n);
+            let mut log = Log::new();
+            let mut crp = CrpLog::new();
+            let mut sms = Vec::new();
+            for (i, &(var, clock, touch)) in seeds.iter().enumerate() {
+                let touched = SiteId::from(touch % n);
+                let meta = match kind {
+                    0 => {
+                        mat.increment(touched, SiteId::from((touch + 1) % n));
+                        SmMeta::FullTrack { write: Arc::new(mat.clone()) }
+                    }
+                    1 => {
+                        log.record_write(
+                            touched,
+                            clock + i as u64,
+                            DestSet::from_sites([SiteId::from((touch + 1) % n)]),
+                            causal_clocks::PruneConfig::default(),
+                        );
+                        SmMeta::OptTrack { clock, log: Arc::new(log.clone()) }
+                    }
+                    2 => {
+                        if i % 2 == 0 {
+                            crp.reset_to(WriteId::new(touched, clock));
+                        } else {
+                            crp.observe(WriteId::new(touched, clock));
+                        }
+                        SmMeta::Crp { clock, log: Arc::new(crp.clone()) }
+                    }
+                    _ => {
+                        vec_clock.increment(touched);
+                        SmMeta::OptP { write: Arc::new(vec_clock.clone()) }
+                    }
+                };
+                sms.push(BatchedSm {
+                    sm: Sm {
+                        var: VarId(var),
+                        value: VersionedValue::new(WriteId::new(touched, clock), clock),
+                        meta,
+                    },
+                    measured: measured[i % measured.len()],
+                });
+            }
+            let msg = Msg::Batch(Arc::new(SmBatch { sms }));
+            prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+
+        #[test]
         fn prop_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
             // Total decoding: arbitrary bytes must produce Ok or Err, never
             // a panic or huge allocation.
             let _ = decode(&noise);
+        }
+
+        #[test]
+        fn prop_decoder_total_under_bit_flips(
+            seeds in proptest::collection::vec((0u32..50, 1u64..1000, 0usize..30), 1..6),
+            flip_at in 0usize..4096,
+            flip_bit in 0u8..8,
+        ) {
+            // Start from a *valid* frame (a batch, the deepest structure)
+            // and flip one bit anywhere: decode must stay total and, when
+            // it succeeds, re-encoding must not panic either.
+            let mut mat = MatrixClock::new(6);
+            let sms = seeds.iter().map(|&(var, clock, touch)| {
+                mat.increment(SiteId::from(touch % 6), SiteId::from((touch + 1) % 6));
+                BatchedSm {
+                    sm: Sm {
+                        var: VarId(var),
+                        value: VersionedValue::new(WriteId::new(SiteId::from(touch % 6), clock), clock),
+                        meta: SmMeta::FullTrack { write: Arc::new(mat.clone()) },
+                    },
+                    measured: true,
+                }
+            }).collect();
+            let mut bytes = encode(&Msg::Batch(Arc::new(SmBatch { sms })));
+            let i = flip_at % bytes.len();
+            bytes[i] ^= 1 << flip_bit;
+            if let Ok(msg) = decode(&bytes) {
+                let _ = encode(&msg);
+            }
         }
     }
 }

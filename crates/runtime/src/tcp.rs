@@ -39,19 +39,18 @@ struct TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&self, _from: SiteId, to: SiteId, msg: &Msg) {
-        let bytes = wire::encode(msg);
-        let mut frame = Vec::with_capacity(4 + bytes.len());
-        frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&bytes);
-        let stream = self.writers[to.index()]
-            .as_ref()
-            .expect("no channel to self");
-        // One write_all under the lock keeps frames contiguous; TCP keeps
-        // them ordered.
-        stream
-            .lock()
-            .write_all(&frame)
-            .expect("peer socket alive until shutdown");
+        // Encode into the thread-local scratch and write the length prefix
+        // and the body as two write_alls under one lock hold: no per-message
+        // allocation, frames stay contiguous, TCP keeps them ordered.
+        wire::encode_with(msg, |bytes| {
+            let stream = self.writers[to.index()]
+                .as_ref()
+                .expect("no channel to self");
+            let mut w = stream.lock();
+            w.write_all(&(bytes.len() as u32).to_le_bytes())
+                .and_then(|()| w.write_all(bytes))
+                .expect("peer socket alive until shutdown");
+        });
     }
 }
 

@@ -111,6 +111,17 @@ pub enum SimEvent {
         /// Index into the churn plan's event list.
         idx: usize,
     },
+    /// The batching window of sender `from`'s lane toward `to` expires:
+    /// flush the lane as one batch frame, unless `epoch` is stale (the lane
+    /// already flushed on a count/byte trigger and the timer outlived it).
+    BatchFlush {
+        /// The sender whose lane flushes.
+        from: SiteId,
+        /// The destination the lane feeds.
+        to: SiteId,
+        /// Lane epoch the timer was armed in.
+        epoch: u64,
+    },
 }
 
 struct Queued {

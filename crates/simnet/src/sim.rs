@@ -8,6 +8,7 @@ use causal_checker::History;
 use causal_clocks::{DestSet, PruneConfig};
 use causal_memory::{DynamicPlacement, Placement};
 use causal_metrics::RunMetrics;
+use causal_multicast::{BatchPolicy, DestBatcher, Offer};
 use causal_obs::{EventKind, NoopTracer, TraceEvent, Tracer};
 use causal_proto::{
     build_site, DurableStore, Effect, Fm, Frame, Msg, OwnLedger, PeerAckInfo, ProtoTraceEvent,
@@ -103,6 +104,41 @@ pub struct DurabilityPlan {
     pub torn_tail: Vec<SiteId>,
 }
 
+/// Per-destination update batching: a sender parks consecutive SM updates
+/// addressed to the same destination in a FIFO lane and ships the whole
+/// lane as one [`Msg::Batch`] frame when a flush policy fires — the lane
+/// reaches `max_sms` updates, its unbatched bytes reach `max_bytes`, or the
+/// virtual-time `window` since the lane opened expires.
+///
+/// Batching changes only *when and how* updates travel, never what the
+/// receiver sees: frames are unbatched on delivery back into the exact
+/// per-SM messages (original piggybacks, original order), so every
+/// protocol's delivery predicate and the consistency checker observe the
+/// same execution. The payoff is byte accounting — one merged piggyback per
+/// frame instead of one per update (see `SmBatch::batch_meta_size`).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPlan {
+    /// Flush a lane once it holds this many updates.
+    pub max_sms: usize,
+    /// Flush a lane once its updates' unbatched wire bytes reach this.
+    pub max_bytes: u64,
+    /// Flush a lane this long after its first (oldest) parked update.
+    pub window: SimDuration,
+}
+
+impl BatchPlan {
+    /// A plan bounded by the flush window and a generous update count,
+    /// the configuration the `repro batching` sweep explores.
+    pub fn windowed(window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "flush window must be positive");
+        BatchPlan {
+            max_sms: 64,
+            max_bytes: u64::MAX,
+            window,
+        }
+    }
+}
+
 /// Configuration of one simulation run.
 #[derive(Clone)]
 pub struct SimConfig {
@@ -148,6 +184,11 @@ pub struct SimConfig {
     /// tick is ever scheduled, keeping such runs byte-identical to builds
     /// that predate it.
     pub stability: Option<StabilityPlan>,
+    /// Per-destination update batching. `None` (the default) sends every
+    /// SM as its own frame, byte-identical to builds that predate the
+    /// batcher; `Some` parks updates in per-destination lanes and ships
+    /// them as merged-piggyback [`Msg::Batch`] frames.
+    pub batching: Option<BatchPlan>,
 }
 
 impl SimConfig {
@@ -174,6 +215,7 @@ impl SimConfig {
             durability: DurabilityPlan::default(),
             churn: None,
             stability: None,
+            batching: None,
         }
     }
 
@@ -196,6 +238,7 @@ impl SimConfig {
             durability: DurabilityPlan::default(),
             churn: None,
             stability: None,
+            batching: None,
         }
     }
 
@@ -239,6 +282,12 @@ impl SimConfig {
     /// GC, overdue watchdog, soft-cap backpressure).
     pub fn with_stability(mut self, stability: StabilityPlan) -> Self {
         self.stability = Some(stability);
+        self
+    }
+
+    /// Enable per-destination update batching under `plan`.
+    pub fn with_batching(mut self, plan: BatchPlan) -> Self {
+        self.batching = Some(plan);
         self
     }
 
@@ -363,6 +412,24 @@ struct SyncCollect {
     sources: Vec<(SiteId, PeerAckInfo, SyncState)>,
 }
 
+/// An SM parked in a sender's destination lane, awaiting its flush.
+struct PendingSm {
+    /// The exact per-update message the receiver will eventually see.
+    sm: causal_proto::Sm,
+    /// Post-warm-up attribution of the update's issuing operation.
+    measured: bool,
+    /// What this update would have cost as its own SM frame (base + full
+    /// piggyback) — the baseline the batching saving is measured against.
+    full_bytes: u64,
+}
+
+/// Everything update batching adds to a run: one per-destination batcher
+/// per sending site (lanes keyed by destination, FIFO within a lane).
+struct BatchState {
+    plan: BatchPlan,
+    batchers: Vec<DestBatcher<PendingSm>>,
+}
+
 /// Everything the lossy/crashy mode adds to a run.
 struct Chaos {
     transport: Transport,
@@ -437,7 +504,16 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
         }
         _ => (cfg.placement.clone() as Arc<dyn Replication>, None),
     };
-    let proto_cfg = ProtocolConfig { prune: cfg.prune };
+    // Batching parks updates in sender lanes for up to a full flush window,
+    // so the log prunings that assume "my own sends cover me" lose their
+    // timing justification; pin the local site's destination mentions until
+    // a clock witness shows them applied (see `PruneConfig::pin_self`).
+    let proto_cfg = ProtocolConfig {
+        prune: PruneConfig {
+            pin_self: cfg.batching.is_some() || cfg.prune.pin_self,
+            ..cfg.prune
+        },
+    };
     let mut sites: Vec<Box<dyn ProtocolSite>> = SiteId::all(n)
         .map(|s| build_site(cfg.protocol, s, repl.clone(), proto_cfg))
         .collect();
@@ -477,6 +553,24 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
             .wal
             .then(|| (0..n).map(|_| DurableStore::new(n)).collect()),
         applied_seen: FxHashSet::default(),
+    });
+
+    // Per-destination batching: one batcher per sending site. Without a
+    // plan nothing below allocates and every send takes the exact
+    // unbatched path.
+    let mut batching: Option<BatchState> = cfg.batching.map(|plan| {
+        assert!(plan.max_sms >= 1, "max_sms must admit at least one update");
+        BatchState {
+            plan,
+            batchers: (0..n)
+                .map(|_| {
+                    DestBatcher::new(BatchPolicy {
+                        max_items: plan.max_sms,
+                        max_bytes: plan.max_bytes,
+                    })
+                })
+                .collect(),
+        }
     });
 
     // The stability subsystem starts with the run's initial membership and
@@ -590,6 +684,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
             SimEvent::DeliverFrame { to, .. } => Some(*to),
             SimEvent::RetransmitCheck { from, .. } => Some(*from),
             SimEvent::FetchDeadline { site, .. } => Some(*site),
+            SimEvent::BatchFlush { from, .. } => Some(*from),
             SimEvent::Crash { .. }
             | SimEvent::Recover { .. }
             | SimEvent::SyncTimeout { .. }
@@ -717,6 +812,7 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                             &cfg.size_model,
                             &mut stability,
                             &mut chaos,
+                            &mut batching,
                             tracer,
                         );
                         schedule_next(site, now, &schedule, &mut drivers, &mut heap);
@@ -827,63 +923,66 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                 sent_at,
             } => {
                 metrics.transit_ns.record((now - sent_at).as_nanos() as f64);
-                if let Msg::Sm(sm) = &msg {
-                    receipt.insert((to, sm.value.writer), now);
-                }
-                // Every app message piggybacks the sender's delivery row;
-                // an arriving update also arms the stuck-buffer watchdog
-                // (its apply disarms it).
-                if let Some(stab) = stability.as_mut() {
-                    stab.on_deliver(from, to);
+                for (msg, measured) in unbatch(msg, measured) {
                     if let Msg::Sm(sm) = &msg {
-                        stab.note_receipt(to, sm.value.writer, now);
+                        receipt.insert((to, sm.value.writer), now);
                     }
-                }
-                if tracer.enabled() {
-                    let writer = match &msg {
-                        Msg::Sm(sm) => Some(sm.value.writer),
-                        _ => None,
-                    };
-                    emit(
-                        tracer,
-                        now,
+                    // Every app message piggybacks the sender's delivery row;
+                    // an arriving update also arms the stuck-buffer watchdog
+                    // (its apply disarms it).
+                    if let Some(stab) = stability.as_mut() {
+                        stab.on_deliver(from, to);
+                        if let Msg::Sm(sm) = &msg {
+                            stab.note_receipt(to, sm.value.writer, now);
+                        }
+                    }
+                    if tracer.enabled() {
+                        let writer = match &msg {
+                            Msg::Sm(sm) => Some(sm.value.writer),
+                            _ => None,
+                        };
+                        emit(
+                            tracer,
+                            now,
+                            to,
+                            EventKind::Deliver {
+                                from,
+                                kind: msg.kind(),
+                                writer,
+                            },
+                        );
+                    }
+                    metrics.per_site.site_mut(to.index()).delivers += 1;
+                    let pend_before = sites[to.index()].pending_len();
+                    let effects = sites[to.index()].on_message(from, msg);
+                    process_effects(
                         to,
-                        EventKind::Deliver {
-                            from,
-                            kind: msg.kind(),
-                            writer,
-                        },
+                        effects,
+                        measured,
+                        now,
+                        &schedule,
+                        &mut heap,
+                        &mut channels,
+                        &mut lat_rng,
+                        &mut metrics,
+                        &mut history,
+                        &mut drivers,
+                        &mut receipt,
+                        &cfg.size_model,
+                        &mut stability,
+                        &mut chaos,
+                        &mut batching,
+                        tracer,
                     );
+                    let pend_after = sites[to.index()].pending_len();
+                    if pend_after > pend_before {
+                        metrics.per_site.site_mut(to.index()).buffered +=
+                            (pend_after - pend_before) as u64;
+                    }
+                    drain_proto(sites[to.index()].as_mut(), to, now, tracer);
+                    metrics.max_pending = metrics.max_pending.max(pend_after);
+                    metrics.pending_samples.record(pend_after as f64);
                 }
-                metrics.per_site.site_mut(to.index()).delivers += 1;
-                let pend_before = sites[to.index()].pending_len();
-                let effects = sites[to.index()].on_message(from, msg);
-                process_effects(
-                    to,
-                    effects,
-                    measured,
-                    now,
-                    &schedule,
-                    &mut heap,
-                    &mut channels,
-                    &mut lat_rng,
-                    &mut metrics,
-                    &mut history,
-                    &mut drivers,
-                    &mut receipt,
-                    &cfg.size_model,
-                    &mut stability,
-                    &mut chaos,
-                    tracer,
-                );
-                let pend_after = sites[to.index()].pending_len();
-                if pend_after > pend_before {
-                    metrics.per_site.site_mut(to.index()).buffered +=
-                        (pend_after - pend_before) as u64;
-                }
-                drain_proto(sites[to.index()].as_mut(), to, now, tracer);
-                metrics.max_pending = metrics.max_pending.max(pend_after);
-                metrics.pending_samples.record(pend_after as f64);
             }
             SimEvent::DeliverFrame {
                 from,
@@ -990,95 +1089,99 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                             tracer,
                         );
                         for (msg, meas) in handoffs {
-                            // A fetch re-issued across a crash can be
-                            // answered twice: once by an RM that was
-                            // already in flight when the replier crashed,
-                            // once by the recovered replier. The protocols
-                            // assert a single outstanding fetch, so an RM
-                            // that no longer matches it is consumed here.
-                            if let Msg::Rm(rm) = &msg {
-                                let stale = drivers[to.index()]
-                                    .blocked
-                                    .as_ref()
-                                    .is_none_or(|b| b.var != rm.var);
-                                if stale {
-                                    metrics.dup_drops += 1;
-                                    continue;
+                            for (msg, meas) in unbatch(msg, meas) {
+                                // A fetch re-issued across a crash can be
+                                // answered twice: once by an RM that was
+                                // already in flight when the replier crashed,
+                                // once by the recovered replier. The protocols
+                                // assert a single outstanding fetch, so an RM
+                                // that no longer matches it is consumed here.
+                                if let Msg::Rm(rm) = &msg {
+                                    let stale = drivers[to.index()]
+                                        .blocked
+                                        .as_ref()
+                                        .is_none_or(|b| b.var != rm.var);
+                                    if stale {
+                                        metrics.dup_drops += 1;
+                                        continue;
+                                    }
                                 }
-                            }
-                            // WAL mode: a replayed site has already counted
-                            // the transport's redelivered updates, and every
-                            // delivery it does take is journaled before the
-                            // protocol sees it.
-                            if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut()) {
-                                let store = &mut stores[to.index()];
-                                if store.already_seen(&msg) {
-                                    metrics.dup_drops += 1;
-                                    continue;
+                                // WAL mode: a replayed site has already counted
+                                // the transport's redelivered updates, and every
+                                // delivery it does take is journaled before the
+                                // protocol sees it.
+                                if let Some(stores) = chaos.as_mut().and_then(|c| c.stores.as_mut())
+                                {
+                                    let store = &mut stores[to.index()];
+                                    if store.already_seen(&msg) {
+                                        metrics.dup_drops += 1;
+                                        continue;
+                                    }
+                                    let bytes = store.append(
+                                        WalRecord::Recv {
+                                            from,
+                                            msg: msg.clone(),
+                                        },
+                                        &cfg.size_model,
+                                    );
+                                    emit(tracer, now, to, EventKind::WalAppend { bytes });
                                 }
-                                let bytes = store.append(
-                                    WalRecord::Recv {
-                                        from,
-                                        msg: msg.clone(),
-                                    },
-                                    &cfg.size_model,
-                                );
-                                emit(tracer, now, to, EventKind::WalAppend { bytes });
-                            }
-                            if let Msg::Sm(sm) = &msg {
-                                receipt.insert((to, sm.value.writer), now);
-                            }
-                            if let Some(stab) = stability.as_mut() {
-                                stab.on_deliver(from, to);
                                 if let Msg::Sm(sm) = &msg {
-                                    stab.note_receipt(to, sm.value.writer, now);
+                                    receipt.insert((to, sm.value.writer), now);
                                 }
-                            }
-                            if tracer.enabled() {
-                                let writer = match &msg {
-                                    Msg::Sm(sm) => Some(sm.value.writer),
-                                    _ => None,
-                                };
-                                emit(
-                                    tracer,
-                                    now,
+                                if let Some(stab) = stability.as_mut() {
+                                    stab.on_deliver(from, to);
+                                    if let Msg::Sm(sm) = &msg {
+                                        stab.note_receipt(to, sm.value.writer, now);
+                                    }
+                                }
+                                if tracer.enabled() {
+                                    let writer = match &msg {
+                                        Msg::Sm(sm) => Some(sm.value.writer),
+                                        _ => None,
+                                    };
+                                    emit(
+                                        tracer,
+                                        now,
+                                        to,
+                                        EventKind::Deliver {
+                                            from,
+                                            kind: msg.kind(),
+                                            writer,
+                                        },
+                                    );
+                                }
+                                metrics.per_site.site_mut(to.index()).delivers += 1;
+                                let pend_before = sites[to.index()].pending_len();
+                                let effects = sites[to.index()].on_message(from, msg);
+                                process_effects(
                                     to,
-                                    EventKind::Deliver {
-                                        from,
-                                        kind: msg.kind(),
-                                        writer,
-                                    },
+                                    effects,
+                                    meas,
+                                    now,
+                                    &schedule,
+                                    &mut heap,
+                                    &mut channels,
+                                    &mut lat_rng,
+                                    &mut metrics,
+                                    &mut history,
+                                    &mut drivers,
+                                    &mut receipt,
+                                    &cfg.size_model,
+                                    &mut stability,
+                                    &mut chaos,
+                                    &mut batching,
+                                    tracer,
                                 );
+                                let pend_after = sites[to.index()].pending_len();
+                                if pend_after > pend_before {
+                                    metrics.per_site.site_mut(to.index()).buffered +=
+                                        (pend_after - pend_before) as u64;
+                                }
+                                drain_proto(sites[to.index()].as_mut(), to, now, tracer);
+                                metrics.max_pending = metrics.max_pending.max(pend_after);
+                                metrics.pending_samples.record(pend_after as f64);
                             }
-                            metrics.per_site.site_mut(to.index()).delivers += 1;
-                            let pend_before = sites[to.index()].pending_len();
-                            let effects = sites[to.index()].on_message(from, msg);
-                            process_effects(
-                                to,
-                                effects,
-                                meas,
-                                now,
-                                &schedule,
-                                &mut heap,
-                                &mut channels,
-                                &mut lat_rng,
-                                &mut metrics,
-                                &mut history,
-                                &mut drivers,
-                                &mut receipt,
-                                &cfg.size_model,
-                                &mut stability,
-                                &mut chaos,
-                                tracer,
-                            );
-                            let pend_after = sites[to.index()].pending_len();
-                            if pend_after > pend_before {
-                                metrics.per_site.site_mut(to.index()).buffered +=
-                                    (pend_after - pend_before) as u64;
-                            }
-                            drain_proto(sites[to.index()].as_mut(), to, now, tracer);
-                            metrics.max_pending = metrics.max_pending.max(pend_after);
-                            metrics.pending_samples.record(pend_after as f64);
                         }
                     }
                 }
@@ -1118,6 +1221,13 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                 let (ledger, _lost_parked) = sites[site.index()].crash_volatile();
                 c.ledgers[site.index()] = Some(ledger);
                 c.transport.crash(site);
+                // The crashing sender's parked (never-transmitted) updates
+                // are volatile state and die with it, exactly like unsent
+                // writes; recovery's ledger fast-forward settles peers past
+                // them. Draining also stales the lanes' window timers.
+                if let Some(b) = batching.as_mut() {
+                    drop(b.batchers[site.index()].flush_all());
+                }
                 if let Some(stab) = stability.as_mut() {
                     stab.on_crash(site);
                 }
@@ -1538,6 +1648,28 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                 }
             }
             SimEvent::ViewPropose { idx } => {
+                // Parked updates must drain with the rest of the in-flight
+                // traffic during quiescence: flush every sender's lanes
+                // onto the wire before the view change starts draining.
+                if let Some(b) = batching.as_mut() {
+                    for s in 0..n {
+                        for (dest, items) in b.batchers[s].flush_all() {
+                            flush_lane(
+                                SiteId::from(s),
+                                dest,
+                                items,
+                                now,
+                                &mut heap,
+                                &mut channels,
+                                &mut lat_rng,
+                                &mut metrics,
+                                &cfg.size_model,
+                                &mut chaos,
+                                tracer,
+                            );
+                        }
+                    }
+                }
                 churn
                     .as_mut()
                     .expect("view events require a churn plan")
@@ -1570,6 +1702,9 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     let up: Vec<bool> = c.status.iter().map(|s| *s == SiteStatus::Up).collect();
                     !c.status.contains(&SiteStatus::Syncing)
                         && c.transport.quiescent(&up)
+                        && batching
+                            .as_ref()
+                            .is_none_or(|b| b.batchers.iter().all(|q| q.is_empty()))
                         && !heap.events().any(|e| match e {
                             SimEvent::DeliverFrame { to, frame, .. } => {
                                 matches!(**frame, Frame::Data { .. }) && up[to.index()]
@@ -1608,6 +1743,27 @@ pub fn run_traced(cfg: &SimConfig, tracer: &mut dyn Tracer) -> SimResult {
                     );
                 } else {
                     heap.push(now + VIEW_POLL, SimEvent::ViewQuiesceCheck { idx });
+                }
+            }
+            SimEvent::BatchFlush { from, to, epoch } => {
+                let b = batching.as_mut().expect("flush timers require batching");
+                // A stale epoch means the lane already flushed on a
+                // count/byte trigger (or a crash/view barrier) and the
+                // timer outlived it; the batcher filters that out.
+                if let Some(items) = b.batchers[from.index()].on_timer(to, epoch) {
+                    flush_lane(
+                        from,
+                        to,
+                        items,
+                        now,
+                        &mut heap,
+                        &mut channels,
+                        &mut lat_rng,
+                        &mut metrics,
+                        &cfg.size_model,
+                        &mut chaos,
+                        tracer,
+                    );
                 }
             }
         }
@@ -1930,9 +2086,11 @@ fn handle_sync_req(
     if let Some(stab) = stability.as_mut() {
         stab.settle_peer(me, peer, ledger.own_clock);
     }
+    // Recovery fast-forward effects bypass the batcher (&mut None): this
+    // is a latency-critical control path, not steady-state update traffic.
     process_effects(
         me, effects, false, now, schedule, heap, channels, lat_rng, metrics, history, drivers,
-        receipt, size_model, stability, chaos, tracer,
+        receipt, size_model, stability, chaos, &mut None, tracer,
     );
     drain_proto(sites[me.index()].as_mut(), me, now, tracer);
     // Answer with this site's causal knowledge and shared-variable values —
@@ -2596,9 +2754,10 @@ fn install_view(
                         emit(tracer, now, m, EventKind::WalAppend { bytes });
                     }
                     let (effects, _dropped) = sites[m.index()].note_peer_departed(s, &ledger);
+                    // Departure fast-forward: control path, unbatched.
                     process_effects(
                         m, effects, false, now, schedule, heap, channels, lat_rng, metrics,
-                        history, drivers, receipt, size_model, stability, chaos, tracer,
+                        history, drivers, receipt, size_model, stability, chaos, &mut None, tracer,
                     );
                     drain_proto(sites[m.index()].as_mut(), m, now, tracer);
                 }
@@ -2732,6 +2891,129 @@ fn install_view(
     propose_next_view(now, sites, heap, stability, chaos, churn, tracer);
 }
 
+/// Ship one drained destination lane. A single parked update goes out as a
+/// plain [`Msg::Sm`] with exact unbatched accounting (batching that never
+/// amortizes anything must not *cost* anything either); two or more become
+/// one [`Msg::Batch`] frame charged the merged-piggyback size, with the
+/// saving against per-SM frames recorded in the batching counters.
+#[allow(clippy::too_many_arguments)]
+fn flush_lane(
+    from: SiteId,
+    to: SiteId,
+    items: Vec<PendingSm>,
+    now: SimTime,
+    heap: &mut EventHeap,
+    channels: &mut ChannelMatrix,
+    lat_rng: &mut StdRng,
+    metrics: &mut RunMetrics,
+    size_model: &SizeModel,
+    chaos: &mut Option<Chaos>,
+    tracer: &mut dyn Tracer,
+) {
+    debug_assert!(!items.is_empty(), "a drained lane is never empty");
+    for p in &items {
+        metrics.sm_entries.record(p.sm.meta.entry_count() as f64);
+    }
+    let (msg, frame_bytes, measured) = if items.len() == 1 {
+        let p = items.into_iter().next().expect("len checked");
+        (Msg::Sm(p.sm), p.full_bytes, p.measured)
+    } else {
+        let unbatched: u64 = items.iter().map(|p| p.full_bytes).sum();
+        let measured = items.iter().any(|p| p.measured);
+        let batch = causal_proto::SmBatch {
+            sms: items
+                .into_iter()
+                .map(|p| causal_proto::BatchedSm {
+                    sm: p.sm,
+                    measured: p.measured,
+                })
+                .collect(),
+        };
+        let count = batch.len() as u64;
+        let msg = Msg::Batch(Arc::new(batch));
+        let bytes = msg.meta_size(size_model);
+        metrics.batch_flushes += 1;
+        metrics.batched_sms += count;
+        metrics.batch_bytes_saved += unbatched.saturating_sub(bytes);
+        (msg, bytes, measured)
+    };
+    metrics.record_msg(msg.kind(), frame_bytes, measured);
+    metrics.per_site.site_mut(from.index()).sends += 1;
+    if tracer.enabled() {
+        // One send event per parked update, with the frame's bytes
+        // amortized over them (remainder on the first), so per-site byte
+        // sums over a trace match the metrics.
+        let inner: Vec<WriteId> = match &msg {
+            Msg::Batch(b) => b.sms.iter().map(|bs| bs.sm.value.writer).collect(),
+            Msg::Sm(sm) => vec![sm.value.writer],
+            _ => unreachable!("lanes hold SMs only"),
+        };
+        let share = frame_bytes / inner.len() as u64;
+        let mut first = frame_bytes - share * (inner.len() as u64 - 1);
+        for writer in inner {
+            emit(
+                tracer,
+                now,
+                from,
+                EventKind::Send {
+                    to,
+                    kind: msg.kind(),
+                    bytes: first,
+                    writer: Some(writer),
+                },
+            );
+            first = share;
+        }
+    }
+    match chaos.as_mut() {
+        Some(c) => {
+            let cmds = c.transport.send(from, to, msg, measured);
+            dispatch_cmds(
+                from,
+                cmds,
+                now,
+                heap,
+                channels,
+                lat_rng,
+                &mut c.fault_rng,
+                &c.faults,
+                metrics,
+                size_model,
+                tracer,
+            );
+        }
+        None => {
+            let at = channels.delivery_time(from, to, now, lat_rng);
+            heap.push(
+                at,
+                SimEvent::Deliver {
+                    from,
+                    to,
+                    msg,
+                    measured,
+                    sent_at: now,
+                },
+            );
+        }
+    }
+}
+
+/// Unbatch-on-deliver: expand a batch frame into its per-update messages
+/// (original piggybacks, original order, per-update warm-up attribution);
+/// a plain message passes through untouched. The receiving protocol sees
+/// exactly the deliveries it would have seen without batching, so every
+/// delivery predicate — and the checker — observes the same execution.
+fn unbatch(msg: Msg, measured: bool) -> Vec<(Msg, bool)> {
+    match msg {
+        Msg::Batch(b) => b
+            .sms
+            .iter()
+            .map(|bs| (Msg::Sm(bs.sm.clone()), bs.measured))
+            .collect(),
+        m => vec![(m, measured)],
+    }
+}
+
 /// True when two SM metas share the same `Arc`'d snapshot (one multicast's
 /// fan-out). Pointer equality implies value equality; distinct writes always
 /// carry distinct allocations, so this never conflates different snapshots.
@@ -2762,6 +3044,7 @@ fn process_effects(
     size_model: &SizeModel,
     stability: &mut Option<StabilityState>,
     chaos: &mut Option<Chaos>,
+    batch: &mut Option<BatchState>,
     tracer: &mut dyn Tracer,
 ) {
     // A multicast write fans out one `Effect::Send` per destination, all
@@ -2783,6 +3066,48 @@ fn process_effects(
                     },
                     _ => msg.meta_size(size_model),
                 };
+                // Batching intercepts SM sends before any accounting: the
+                // update parks in the sender's lane toward `to`, and the
+                // bytes/trace/entry bookkeeping happens at flush time with
+                // the whole lane in hand. FMs and RMs (the read fast path)
+                // are never delayed — but before one departs, the lane
+                // toward the same destination flushes: the protocols'
+                // metadata-pruning rules assume per-channel FIFO order, so
+                // no message may overtake an earlier parked update on its
+                // channel (and a fetch must observe the fetcher's own
+                // in-flight writes).
+                if let Some(b) = batch.as_mut() {
+                    if matches!(msg, Msg::Sm(_)) {
+                        let Msg::Sm(sm) = msg else { unreachable!() };
+                        let pending = PendingSm {
+                            sm,
+                            measured,
+                            full_bytes: size,
+                        };
+                        match b.batchers[origin.index()].offer(to, pending, size) {
+                            Offer::First { epoch } => heap.push(
+                                now + b.plan.window,
+                                SimEvent::BatchFlush {
+                                    from: origin,
+                                    to,
+                                    epoch,
+                                },
+                            ),
+                            Offer::Queued => {}
+                            Offer::Flush(items) => flush_lane(
+                                origin, to, items, now, heap, channels, lat_rng, metrics,
+                                size_model, chaos, tracer,
+                            ),
+                        }
+                        continue;
+                    }
+                    if let Some(items) = b.batchers[origin.index()].flush_dest(to) {
+                        flush_lane(
+                            origin, to, items, now, heap, channels, lat_rng, metrics, size_model,
+                            chaos, tracer,
+                        );
+                    }
+                }
                 metrics.record_msg(msg.kind(), size, measured);
                 metrics.per_site.site_mut(origin.index()).sends += 1;
                 if let Msg::Sm(sm) = &msg {

@@ -97,7 +97,7 @@ fn pruning_changes_bytes_but_never_behaviour() {
         let tight = PruneConfig::default();
         let loose = PruneConfig {
             condition2: false,
-            keep_markers: true,
+            ..PruneConfig::default()
         };
         let a = run_partial(ProtocolKind::OptTrack, 8, 0.5, seed, tight);
         let b = run_partial(ProtocolKind::OptTrack, 8, 0.5, seed, loose);
@@ -116,7 +116,7 @@ fn pruning_reduces_metadata() {
     let mut loose_cfg = SimConfig::paper_partial(ProtocolKind::OptTrack, 8, 0.5, 3).small();
     loose_cfg.prune = PruneConfig {
         condition2: false,
-        keep_markers: true,
+        ..PruneConfig::default()
     };
     let tight = run(&tight_cfg).metrics.measured.total_bytes();
     let loose = run(&loose_cfg).metrics.measured.total_bytes();
