@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|batching|soak|bench|all>
+//! repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|batching|soak|serve|bench|all>
 //!       [--quick] [--out <dir>] [--jobs <n>] [--no-cache] [--trace-dir <dir>]
 //! ```
 //!
@@ -23,6 +23,13 @@
 //! `--trace-dir <dir>` writes one structured JSONL trace per chaos /
 //! durability run into `dir` (see `docs/OBSERVABILITY.md`); traces are
 //! byte-identical across `--jobs` settings.
+//!
+//! `serve` deploys the five protocols as live threaded clusters (in-process
+//! channels and loopback TCP) under the closed-loop load generator: it
+//! first replays the simulator's workload on the real TCP cluster and
+//! asserts message-count/meta-byte parity against simnet's prediction for
+//! the same seed, then prints the throughput/latency benchmark table
+//! (which `--out` also writes as `serve.csv`).
 //!
 //! `bench` times one n = 40, w = 0.5 cell per protocol — sequentially, at
 //! every pool width up to `--jobs`, and cold vs warm cache — plus the flat
@@ -188,6 +195,11 @@ fn main() {
         (
             "soak",
             Box::new(move |s: &mut Sweep| causal_experiments::soak::soak_sweep(s.scale(), jobs)),
+            false,
+        ),
+        (
+            "serve",
+            Box::new(|s: &mut Sweep| causal_experiments::serve::serve_sweep(s.scale())),
             false,
         ),
     ];
@@ -517,7 +529,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|batching|soak|bench|all> \
+        "usage: repro <fig1..fig8|table2|table3|table4|eq2|falseco|logsize|storage|chaos|durability|churn|batching|soak|serve|bench|all> \
          [--quick] [--out <dir>] [--jobs <n>] [--no-cache] [--trace-dir <dir>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

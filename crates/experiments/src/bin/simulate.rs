@@ -19,6 +19,7 @@
 //!          [--dump-schedule <path>] [--schedule <path>]
 //!          [--seeds <k>] [--jobs <n>]
 //!          [--trace <path>] [--verify-trace]
+//!          [--runtime channel|tcp]
 //! ```
 //!
 //! `--seeds 8` runs eight simulations (seeds `seed .. seed+7`) and prints
@@ -76,6 +77,15 @@
 //! correctly ordered. Both operate on one concrete run, so they are
 //! incompatible with `--seeds > 1`.
 
+//! `--runtime channel|tcp` runs the same configured cell on the *threaded
+//! runtime* instead of the simulator: real OS threads, real (or loopback
+//! TCP) message passing, wall-clock schedule replay with the simulator's
+//! warm-up attribution — so its counters are directly comparable to the
+//! simulated run of the same seed (`repro serve` asserts that parity
+//! systematically). Simulator-only features (faults, crashes, durability,
+//! churn, stability, partitions, traces, schedule files, multi-seed) are
+//! rejected in runtime mode.
+
 use causal_checker::check;
 use causal_clocks::DestSet;
 use causal_experiments::trace::{check_trace, write_trace};
@@ -120,6 +130,7 @@ struct Args {
     jobs: usize,
     trace: Option<String>,
     verify_trace: bool,
+    runtime: Option<String>,
 }
 
 fn parse() -> Args {
@@ -153,6 +164,7 @@ fn parse() -> Args {
         jobs: 1,
         trace: None,
         verify_trace: false,
+        runtime: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -255,6 +267,13 @@ fn parse() -> Args {
             "--check" => a.check = true,
             "--trace" => a.trace = Some(val()),
             "--verify-trace" => a.verify_trace = true,
+            "--runtime" => {
+                let v = val();
+                match v.as_str() {
+                    "channel" | "tcp" => a.runtime = Some(v),
+                    other => die(&format!("unknown runtime {other} (channel|tcp)")),
+                }
+            }
             "--churn" => a.churn = Some(val()),
             "--stability" => a.stability = true,
             "--stability-heartbeat" => {
@@ -396,8 +415,111 @@ fn multi_seed(a: &Args, cfg: &SimConfig) {
     }
 }
 
+/// `--runtime` mode: replay the configured cell on the threaded runtime
+/// (real threads, channel or loopback-TCP transport) and print its
+/// counters in the same shape as the simulated run.
+fn run_on_runtime(a: &Args, which: &str) {
+    let sim_only = [
+        (a.partition.is_some(), "--partition"),
+        (a.faults.is_some(), "--faults"),
+        (!a.crashes.is_empty(), "--crash"),
+        (a.wal, "--wal"),
+        (a.checkpoint_interval.is_some(), "--checkpoint-interval"),
+        (a.fetch_deadline.is_some(), "--fetch-deadline"),
+        (a.churn.is_some(), "--churn"),
+        (a.stability, "--stability"),
+        (a.schedule.is_some(), "--schedule"),
+        (a.trace.is_some(), "--trace"),
+        (a.verify_trace, "--verify-trace"),
+        (a.seeds > 1, "--seeds"),
+    ];
+    for (set, flag) in sim_only {
+        if set {
+            die(&format!(
+                "{flag} is simulator-only (incompatible with --runtime)"
+            ));
+        }
+    }
+    let placement = if a.protocol.supports_partial() {
+        let p = a.p.unwrap_or(((0.3 * a.n as f64).round() as usize).max(1));
+        Placement::new(PlacementKind::Even, a.n, p).unwrap_or_else(|e| die(&e.to_string()))
+    } else {
+        Placement::full(a.n).unwrap_or_else(|e| die(&e.to_string()))
+    };
+    let mut workload = causal_workload::WorkloadParams::paper(a.n, a.w, a.seed);
+    workload.q = a.q;
+    workload.events_per_process = a.events;
+    if let Some(theta) = a.zipf {
+        workload.var_dist = VarDistribution::Zipf { theta };
+    }
+    let cfg = causal_runtime::RuntimeConfig {
+        protocol: a.protocol,
+        placement: Arc::new(placement),
+        workload,
+        time_scale: 0.005,
+        size_model: if a.wire_model {
+            SizeModel::wire()
+        } else {
+            SizeModel::java_like()
+        },
+        batch: None,
+    };
+    let t0 = std::time::Instant::now();
+    let out = match which {
+        "channel" => causal_runtime::run_threaded(&cfg),
+        "tcp" => causal_runtime::run_tcp(&cfg).unwrap_or_else(|e| die(&format!("{e:?}"))),
+        _ => unreachable!("validated in parse"),
+    };
+    let m = &out.metrics;
+    println!("protocol        {} (runtime: {which})", a.protocol);
+    println!(
+        "workload        {} events/proc, w_rate {}, seed {}, time scale 0.005",
+        a.events, a.w, a.seed
+    );
+    println!(
+        "wall time       {:.2?} (total {:.2?})",
+        out.elapsed,
+        t0.elapsed()
+    );
+    println!();
+    println!(
+        "measured ops    {} writes, {} reads ({} remote)",
+        m.writes, m.reads, m.remote_reads
+    );
+    for kind in [MsgKind::Sm, MsgKind::Fm, MsgKind::Rm] {
+        let c = m.measured.count(kind);
+        if c > 0 {
+            println!(
+                "{kind} messages     {c:>8}   avg meta {:>8.1} B   total {:>10.1} KB",
+                m.measured.avg_bytes(kind).unwrap_or(0.0),
+                m.measured.bytes(kind) as f64 / 1000.0,
+            );
+        }
+    }
+    println!(
+        "applies         {} (max parked {}, {} degraded reads, {} conn errors)",
+        m.applies, m.max_pending, m.degraded_reads, m.transport_conn_errors
+    );
+    if out.final_pending != 0 {
+        die(&format!("{} updates left parked", out.final_pending));
+    }
+    if a.check {
+        let v = check(&out.history);
+        if v.protocol_clean() {
+            println!("consistency     causal: OK (runtime execution verified)");
+        } else {
+            println!("consistency     VIOLATIONS: {:?}", v.examples);
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let a = parse();
+    if let Some(which) = a.runtime.clone() {
+        run_on_runtime(&a, &which);
+        return;
+    }
     let placement = if a.protocol.supports_partial() {
         let p = a.p.unwrap_or(((0.3 * a.n as f64).round() as usize).max(1));
         Placement::new(PlacementKind::Even, a.n, p).unwrap_or_else(|e| die(&e.to_string()))

@@ -18,6 +18,7 @@
 //! | `repro chaos` | extension — transport overhead vs. loss rate under fault injection |
 //! | `repro batching` | extension — bytes/op under per-destination update batching |
 //! | `repro durability` | extension — WAL/checkpoint recovery vs. full rebuild under overlapping crashes |
+//! | `repro serve` | extension — real-cluster throughput/latency benchmark + sim-vs-real parity |
 //! | `repro all` | everything above, sharing simulation runs |
 //!
 //! [`analytic`] carries the closed-form complexity models of §V-A/V-B, and
@@ -38,6 +39,7 @@ pub mod churn;
 pub mod durability;
 pub mod figures;
 pub mod pool;
+pub mod serve;
 pub mod soak;
 pub mod sweep;
 pub mod trace;

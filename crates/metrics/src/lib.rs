@@ -11,12 +11,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+pub mod latency;
 pub mod quantile;
 pub mod registry;
 pub mod run;
 pub mod stats;
 pub mod table;
 
+pub use latency::{LatencySummary, OpLatency};
 pub use quantile::P2Quantile;
 pub use registry::{SiteMetrics, SiteRegistry};
 pub use run::RunMetrics;

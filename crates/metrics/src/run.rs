@@ -153,6 +153,12 @@ pub struct RunMetrics {
     pub stability_lag: StatAccum,
     /// p99 of the stability lag (streaming P² estimate).
     pub stability_lag_p99: P2Quantile,
+    /// Live-transport connection failures survived without taking the run
+    /// down: frames refused because the peer socket died, oversized or
+    /// corrupt frames that tore a connection down cleanly, and sends
+    /// raced against a peer that already processed `Stop`. Zero on the
+    /// simulator and on a healthy live run.
+    pub transport_conn_errors: u64,
     /// Multi-update batch frames flushed by the per-destination batcher
     /// (zero when batching is off; lanes that flush a single update send
     /// it as a plain SM and do not count here).
@@ -227,6 +233,7 @@ impl Default for RunMetrics {
             wal_deleted_bytes: 0,
             stability_lag: StatAccum::default(),
             stability_lag_p99: P2Quantile::new(0.99),
+            transport_conn_errors: 0,
             batch_flushes: 0,
             batched_sms: 0,
             batch_bytes_saved: 0,
@@ -338,6 +345,7 @@ impl RunMetrics {
         self.unstable_peak = self.unstable_peak.max(other.unstable_peak);
         self.wal_segments_sealed += other.wal_segments_sealed;
         self.wal_deleted_bytes += other.wal_deleted_bytes;
+        self.transport_conn_errors += other.transport_conn_errors;
         self.batch_flushes += other.batch_flushes;
         self.batched_sms += other.batched_sms;
         self.batch_bytes_saved += other.batch_bytes_saved;
@@ -422,6 +430,18 @@ mod tests {
         assert_eq!(a.batch_flushes, 5);
         assert_eq!(a.batched_sms, 18);
         assert_eq!(a.batch_bytes_saved, 2000);
+    }
+
+    #[test]
+    fn conn_error_counter_defaults_to_zero_and_merges() {
+        let fresh = RunMetrics::new();
+        assert_eq!(fresh.transport_conn_errors, 0);
+        let mut a = RunMetrics::new();
+        a.transport_conn_errors = 2;
+        let mut b = RunMetrics::new();
+        b.transport_conn_errors = 3;
+        a.merge(&b);
+        assert_eq!(a.transport_conn_errors, 5);
     }
 
     #[test]

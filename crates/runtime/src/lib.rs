@@ -1,17 +1,21 @@
 //! # causal-runtime
 //!
 //! A real multi-threaded runtime for the causal-consistency protocols: one
-//! OS thread per site, crossbeam FIFO channels between them, blocking
-//! remote fetches, and wall-clock schedule replay (scaled).
+//! OS thread per site, a transport fabric between them (crossbeam FIFO
+//! channels or a loopback-TCP mesh), blocking remote fetches, and two ways
+//! to drive operations — wall-clock schedule replay (scaled) and the
+//! closed-loop load generator behind [`serve`].
 //!
 //! The paper's testbed ran each site as a JDK process over TCP; this runtime
 //! is the analogous live deployment of the *identical* protocol objects that
-//! the discrete-event simulator drives. It exists to demonstrate that the
-//! protocol state machines are genuinely transport-agnostic and correct
-//! under real concurrency — executions are nondeterministic, and every one
-//! of them must still pass the `causal-checker` verification. The simulator
-//! remains the instrument for the paper's measurements (reproducible runs);
-//! see DESIGN.md §2.
+//! the discrete-event simulator drives. It demonstrates that the protocol
+//! state machines are genuinely transport-agnostic and correct under real
+//! concurrency — executions are nondeterministic, and every one of them
+//! must still pass the `causal-checker` verification — and, in replay mode,
+//! it mirrors the simulator's measured-window attribution op for op, so a
+//! real-cluster run's message counts can be checked against simnet's
+//! prediction for the same workload and seed (see DESIGN.md §2 and
+//! EXPERIMENTS.md "Real-cluster serving").
 //!
 //! ## Shutdown protocol
 //!
@@ -24,9 +28,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+pub mod loadgen;
 pub mod node;
 pub mod runner;
+pub mod serve;
 pub mod tcp;
 
+pub use loadgen::LoadProfile;
+pub use node::BatchWindow;
 pub use runner::{run_threaded, RunOutcome, RuntimeConfig};
+pub use serve::{serve, ServeConfig, ServeReport, ServeTransport};
 pub use tcp::run_tcp;

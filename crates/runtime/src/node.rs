@@ -1,13 +1,29 @@
-//! One site's thread: schedule replay + message service.
+//! One site's thread: operation issue + message service.
+//!
+//! A [`Node`] is one site of the live deployment: it owns the protocol
+//! state machine, an inbox fed by the transport, and an [`OpDriver`] that
+//! decides *when the next operation happens* — either replaying a
+//! pre-generated workload schedule (so a simulator run with the same seed
+//! predicts this node's traffic message for message) or running the
+//! closed-loop clients of the `serve` load generator.
+//!
+//! Measured-traffic attribution mirrors the simulator exactly: an
+//! operation is measured iff its schedule index is past the warm-up
+//! window, every frame carries its `measured` bit across the wire, and a
+//! server answering a fetch attributes the RM to the *fetcher's* window —
+//! that is what makes real-cluster counters comparable against simnet's
+//! predictions run for run.
 
+use crate::loadgen::ClosedLoop;
 use causal_checker::History;
 use causal_metrics::RunMetrics;
-use causal_proto::{Effect, Msg, ProtocolSite, ReadResult};
+use causal_multicast::{DestBatcher, Offer};
+use causal_proto::{BatchedSm, Effect, Msg, ProtocolSite, ReadResult, Sm, SmBatch};
 use causal_types::WriteId;
 use causal_types::{MetaSized, OpKind, ScheduledOp, SiteId, SizeModel};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -16,25 +32,42 @@ use std::time::{Duration, Instant};
 /// (crossbeam channels), the TCP runner in [`crate::tcp`] moves the same
 /// frames over loopback sockets — the paper's actual transport.
 pub trait Transport: Send + Sync {
-    /// Deliver `msg` from `from` to `to`'s inbox, reliably and in FIFO
-    /// order per ordered pair.
-    fn send(&self, from: SiteId, to: SiteId, msg: &Msg);
+    /// Deliver `msg` (tagged with its warm-up attribution) from `from` to
+    /// `to`'s inbox, reliably and in FIFO order per ordered pair.
+    ///
+    /// Returns `false` when the peer is unreachable — the frame never
+    /// entered the network. The transport records the failure in its
+    /// connection-error counter; the caller un-counts the frame from the
+    /// in-flight tally so quiescence detection cannot hang on a message
+    /// that will never arrive.
+    fn send(&self, from: SiteId, to: SiteId, msg: &Msg, measured: bool) -> bool;
 }
 
 /// Crossbeam-channel transport: one unbounded channel per site.
 pub struct ChannelTransport {
     /// Senders indexed by destination site.
     pub peers: Vec<Sender<Wire>>,
+    /// Sends refused because the peer's inbox was already gone (it
+    /// processed `Stop` while this frame was racing it). Folded into
+    /// [`RunMetrics::transport_conn_errors`] by the coordinator.
+    pub conn_errors: Arc<AtomicU64>,
 }
 
 impl Transport for ChannelTransport {
-    fn send(&self, from: SiteId, to: SiteId, msg: &Msg) {
-        self.peers[to.index()]
+    fn send(&self, from: SiteId, to: SiteId, msg: &Msg, measured: bool) -> bool {
+        let ok = self.peers[to.index()]
             .send(Wire::Msg {
                 from,
                 msg: msg.clone(),
+                measured,
             })
-            .expect("peer thread alive until Stop");
+            .is_ok();
+        if !ok {
+            // A late frame lost the race against shutdown: drop it
+            // cleanly instead of poisoning the run.
+            self.conn_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
     }
 }
 
@@ -46,6 +79,9 @@ pub enum Wire {
         from: SiteId,
         /// The payload.
         msg: Msg,
+        /// Warm-up attribution of the frame (batch frames additionally
+        /// carry a per-update bit inside [`causal_proto::BatchedSm`]).
+        measured: bool,
     },
     /// Coordinator broadcast: drain and exit.
     Stop,
@@ -61,18 +97,169 @@ pub struct NodeOutcome {
     pub final_pending: usize,
 }
 
+/// What drives a node's operation stream.
+pub enum OpDriver {
+    /// Replay a pre-generated schedule at a wall-clock scale — the
+    /// simulator's workload, so equal seeds produce identical operation
+    /// sequences on both instruments.
+    Replay {
+        /// The site's pre-generated operations, sorted by issue time.
+        schedule: Vec<ScheduledOp>,
+        /// Operations at indices `< warmup` are warm-up (unmeasured).
+        warmup: usize,
+        /// Virtual-to-wall-clock scale (e.g. 0.01 replays a 2 s gap in
+        /// 20 ms).
+        time_scale: f64,
+        /// Next schedule index to issue.
+        next: usize,
+    },
+    /// Closed-loop load-generator clients (see [`crate::loadgen`]); every
+    /// operation is measured.
+    Closed(ClosedLoop),
+}
+
+impl OpDriver {
+    /// A replay driver starting at the schedule's beginning.
+    pub fn replay(schedule: Vec<ScheduledOp>, warmup: usize, time_scale: f64) -> Self {
+        OpDriver::Replay {
+            schedule,
+            warmup,
+            time_scale,
+            next: 0,
+        }
+    }
+
+    /// When the next operation is due, as an offset from the run start;
+    /// `None` once the driver is exhausted.
+    fn next_due(&self) -> Option<Duration> {
+        match self {
+            OpDriver::Replay {
+                schedule,
+                time_scale,
+                next,
+                ..
+            } => schedule.get(*next).map(|op| {
+                let virt = op.at.as_nanos() as f64 * time_scale;
+                Duration::from_nanos(virt as u64)
+            }),
+            OpDriver::Closed(loop_) => loop_.next_due(),
+        }
+    }
+
+    /// Take the due operation. Returns the op, its measured attribution,
+    /// and — for closed-loop drivers — the issuing client's index.
+    fn pop(&mut self) -> (OpKind, bool, Option<usize>) {
+        match self {
+            OpDriver::Replay {
+                schedule,
+                warmup,
+                next,
+                ..
+            } => {
+                let op = schedule[*next];
+                let measured = *next >= *warmup;
+                *next += 1;
+                (op.kind, measured, None)
+            }
+            OpDriver::Closed(loop_) => {
+                let (kind, client) = loop_.pop();
+                (kind, true, Some(client))
+            }
+        }
+    }
+
+    /// An operation issued by `client` completed after `latency_ns`;
+    /// schedule the client's next operation past its think time.
+    fn completed(&mut self, client: usize, now_off: Duration, latency_ns: f64) {
+        if let OpDriver::Closed(loop_) = self {
+            loop_.completed(client, now_off, latency_ns);
+        }
+    }
+}
+
+/// Wall-clock flush policy for per-destination update batching on the live
+/// transports — the runtime counterpart of the simulator's `BatchPlan`.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchWindow {
+    /// Flush a lane once it holds this many updates.
+    pub max_sms: usize,
+    /// Flush a lane once its updates' unbatched wire bytes reach this.
+    pub max_bytes: u64,
+    /// Flush a lane this long after its first (oldest) parked update.
+    pub window: Duration,
+}
+
+impl BatchWindow {
+    /// A plan bounded by the flush window and a generous update count —
+    /// the same defaults the simulator's windowed plan uses.
+    pub fn windowed(window: Duration) -> Self {
+        assert!(window > Duration::ZERO, "flush window must be positive");
+        BatchWindow {
+            max_sms: 64,
+            max_bytes: u64::MAX,
+            window,
+        }
+    }
+}
+
+/// One parked update: the exact message the receiver will eventually see,
+/// with the bookkeeping to account for it as if it had been sent alone.
+struct PendingSm {
+    sm: Sm,
+    measured: bool,
+    full_bytes: u64,
+}
+
+/// A node's batching state: per-destination lanes plus the wall-clock
+/// window timers (epoch-tagged, so a timer that fires after its lane
+/// already flushed is ignored — exactly the simulator's discipline).
+pub struct Lanes {
+    batcher: DestBatcher<PendingSm>,
+    window: Duration,
+    timers: Vec<(Instant, SiteId, u64)>,
+}
+
+impl Lanes {
+    /// Fresh, empty lanes under `plan`.
+    pub fn new(plan: BatchWindow) -> Self {
+        Lanes {
+            batcher: DestBatcher::new(causal_multicast::BatchPolicy {
+                max_items: plan.max_sms,
+                max_bytes: plan.max_bytes,
+            }),
+            window: plan.window,
+            timers: Vec::new(),
+        }
+    }
+}
+
+/// Expand a batch frame into its per-update messages (original
+/// piggybacks, original order, per-update warm-up attribution); a plain
+/// message passes through untouched. The receiving protocol sees exactly
+/// the deliveries it would have seen without batching.
+fn unbatch(msg: Msg, measured: bool) -> Vec<(Msg, bool)> {
+    match msg {
+        Msg::Batch(b) => b
+            .sms
+            .iter()
+            .map(|bs| (Msg::Sm(bs.sm.clone()), bs.measured))
+            .collect(),
+        m => vec![(m, measured)],
+    }
+}
+
 /// Everything one site thread needs.
 pub struct Node {
     /// This site's id.
     pub site: SiteId,
     /// The protocol state machine.
     pub proto: Box<dyn ProtocolSite>,
-    /// The site's pre-generated schedule.
-    pub schedule: Vec<ScheduledOp>,
-    /// Virtual-to-wall-clock scale (e.g. 0.01 replays a 2 s gap in 20 ms).
-    pub time_scale: f64,
+    /// The operation source (schedule replay or closed-loop clients).
+    pub driver: OpDriver,
     /// Number of sites in the system.
     pub n: usize,
+    /// Modeled payload length attached to written values (bytes).
+    pub payload_len: u32,
     /// Outgoing message path.
     pub transport: Arc<dyn Transport>,
     /// This site's inbox (fed by the transport's receiving side and by the
@@ -83,6 +270,8 @@ pub struct Node {
     pub in_flight: Arc<AtomicI64>,
     /// Byte-accounting model for the sent-message metrics.
     pub size_model: SizeModel,
+    /// Per-destination update batching; `None` sends every SM immediately.
+    pub batch: Option<Lanes>,
     /// Invoked exactly once, when the last scheduled operation has been
     /// issued (the node keeps serving messages afterwards). The coordinator
     /// uses this for quiescence detection.
@@ -93,49 +282,55 @@ pub struct Node {
 }
 
 impl Node {
-    /// Run the node to completion: replay the schedule while serving
-    /// incoming messages, then keep serving until `Stop`.
+    /// Run the node to completion: issue operations while serving incoming
+    /// messages, then keep serving until `Stop`.
     pub fn run(mut self) -> NodeOutcome {
         let n = self.n;
         let mut history = History::new(n);
         let mut metrics = RunMetrics::new();
         let start = Instant::now();
-        let mut next_op = 0usize;
         debug_assert!(self.receipt.is_empty());
 
         loop {
-            // When is the next scheduled operation due (wall clock)?
-            let due = self.schedule.get(next_op).map(|op| {
-                let virt = op.at.as_nanos() as f64 * self.time_scale;
-                Duration::from_nanos(virt as u64)
-            });
-
-            match due {
-                Some(due) => {
-                    let now = start.elapsed();
-                    if now >= due {
-                        let op = self.schedule[next_op];
-                        next_op += 1;
-                        self.issue(op, &mut history, &mut metrics);
-                    } else {
-                        // Serve messages until the op is due.
-                        match self.inbox.recv_timeout(due - now) {
-                            Ok(Wire::Msg { from, msg }) => {
-                                self.deliver(from, msg, &mut history, &mut metrics)
-                            }
-                            Ok(Wire::Stop) => break,
-                            Err(_) => {} // timeout: loop issues the op
+            self.fire_due_timers(&mut metrics);
+            match self.driver.next_due() {
+                Some(off) => {
+                    let due_at = start + off;
+                    let now = Instant::now();
+                    if due_at <= now {
+                        if !self.issue_next(start, &mut history, &mut metrics) {
+                            break; // Stop arrived mid-fetch: clean teardown
                         }
+                        continue;
+                    }
+                    let wake = self.nearest_wake(due_at);
+                    match self.inbox.recv_timeout(wake.saturating_duration_since(now)) {
+                        Ok(Wire::Msg {
+                            from,
+                            msg,
+                            measured,
+                        }) => self.deliver(from, msg, measured, &mut history, &mut metrics),
+                        Ok(Wire::Stop) => break,
+                        Err(_) => {} // timeout: loop fires timers / issues the op
                     }
                 }
                 None => {
+                    // Driver exhausted. Flush parked lanes *before*
+                    // reporting completion: every remaining update must be
+                    // on the wire (and in the in-flight tally) by the time
+                    // the coordinator can observe this site as finished —
+                    // cascades never produce new SMs, so lanes stay empty
+                    // from here on.
+                    self.flush_all_lanes(&mut metrics);
                     if let Some(done) = self.on_schedule_done.take() {
                         done();
                     }
                     match self.inbox.recv() {
-                        Ok(Wire::Msg { from, msg }) => {
-                            self.deliver(from, msg, &mut history, &mut metrics)
-                        }
+                        Ok(Wire::Msg {
+                            from,
+                            msg,
+                            measured,
+                        }) => self.deliver(from, msg, measured, &mut history, &mut metrics),
                         Ok(Wire::Stop) | Err(_) => break,
                     }
                 }
@@ -149,118 +344,355 @@ impl Node {
         }
     }
 
-    fn issue(&mut self, op: ScheduledOp, history: &mut History, metrics: &mut RunMetrics) {
-        match op.kind {
+    /// Issue the driver's due operation. Returns `false` when the run must
+    /// stop (the coordinator's `Stop` arrived while a fetch was blocked).
+    fn issue_next(
+        &mut self,
+        start: Instant,
+        history: &mut History,
+        metrics: &mut RunMetrics,
+    ) -> bool {
+        let (kind, measured, client) = self.driver.pop();
+        let t0 = Instant::now();
+        let ok = match kind {
             OpKind::Write { var, data } => {
-                metrics.record_op(true, false);
-                let (wid, effects) = self.proto.write(var, data, 0);
+                if measured {
+                    metrics.record_op(true, false);
+                }
+                let (wid, effects) = self.proto.write(var, data, self.payload_len);
                 history.record_write(self.site, wid, var);
-                self.route(effects, history, metrics);
+                self.handle_effects(effects, measured, history, metrics);
+                true
             }
             OpKind::Read { var } => match self.proto.read(var) {
                 ReadResult::Local(v) => {
-                    metrics.record_op(false, false);
+                    if measured {
+                        metrics.record_op(false, false);
+                    }
                     history.record_read(self.site, var, v.map(|x| x.writer), self.site);
+                    true
                 }
                 ReadResult::Fetch { target, msg } => {
-                    metrics.record_op(false, true);
-                    metrics.record_msg(msg.kind(), msg.meta_size(&self.size_model), true);
-                    self.send(target, msg);
-                    // Block until the fetch returns, serving (and thereby
-                    // unblocking) other messages meanwhile — the paper's
-                    // synchronous RemoteFetch.
-                    loop {
-                        match self.inbox.recv() {
-                            Ok(Wire::Msg { from, msg }) => {
-                                let done =
-                                    self.deliver_watch_fetch(from, msg, history, metrics, var);
-                                if done {
-                                    break;
-                                }
-                            }
-                            Ok(Wire::Stop) | Err(_) => {
-                                panic!("runtime stopped while a fetch was outstanding")
-                            }
-                        }
-                    }
+                    self.blocking_fetch(var, target, msg, measured, history, metrics)
                 }
             },
+        };
+        if let Some(c) = client {
+            self.driver
+                .completed(c, start.elapsed(), t0.elapsed().as_nanos() as f64);
+        }
+        ok
+    }
+
+    /// The paper's synchronous RemoteFetch: ship the FM, then serve (and
+    /// thereby unblock) other messages until the RM returns. Returns
+    /// `false` when `Stop` arrived first — the read is abandoned as
+    /// degraded and the node tears down cleanly instead of panicking.
+    fn blocking_fetch(
+        &mut self,
+        var: causal_types::VarId,
+        target: SiteId,
+        msg: Msg,
+        measured: bool,
+        history: &mut History,
+        metrics: &mut RunMetrics,
+    ) -> bool {
+        // FIFO: the fetch must not overtake this site's own parked updates
+        // toward the server (it must observe its own in-flight writes).
+        if let Some(items) = self
+            .batch
+            .as_mut()
+            .and_then(|l| l.batcher.flush_dest(target))
+        {
+            self.flush_lane(target, items, metrics);
+        }
+        metrics.record_msg(msg.kind(), msg.meta_size(&self.size_model), measured);
+        metrics.per_site.site_mut(self.site.index()).sends += 1;
+        self.send(target, msg, measured);
+        let issued = Instant::now();
+        loop {
+            let res = match self.next_timer_at() {
+                Some(at) => self
+                    .inbox
+                    .recv_timeout(at.saturating_duration_since(Instant::now())),
+                None => self
+                    .inbox
+                    .recv()
+                    .map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            match res {
+                Ok(Wire::Msg {
+                    from,
+                    msg,
+                    measured: frame_measured,
+                }) => {
+                    if self.deliver_watch_fetch(
+                        from,
+                        msg,
+                        frame_measured,
+                        history,
+                        metrics,
+                        var,
+                        target,
+                    ) {
+                        metrics.record_fetch_rtt(
+                            self.site.index(),
+                            issued.elapsed().as_nanos() as f64,
+                        );
+                        if measured {
+                            metrics.record_op(false, true);
+                        }
+                        return true;
+                    }
+                }
+                Ok(Wire::Stop) | Err(RecvTimeoutError::Disconnected) => {
+                    // The old runtime panicked here and took the whole run
+                    // down; a racing shutdown now degrades this one read.
+                    metrics.degraded_reads += 1;
+                    return false;
+                }
+                Err(RecvTimeoutError::Timeout) => self.fire_due_timers(metrics),
+            }
         }
     }
 
-    fn send(&self, to: SiteId, msg: Msg) {
+    /// Ship `msg`, keeping the global in-flight tally consistent even when
+    /// the peer is already gone.
+    fn send(&self, to: SiteId, msg: Msg, measured: bool) {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
-        self.transport.send(self.site, to, &msg);
+        if !self.transport.send(self.site, to, &msg, measured) {
+            // The frame never entered the network; the transport counted
+            // the connection error.
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 
-    fn deliver(&mut self, from: SiteId, msg: Msg, history: &mut History, metrics: &mut RunMetrics) {
-        if let Msg::Sm(sm) = &msg {
-            self.receipt.insert(sm.value.writer, Instant::now());
+    fn deliver(
+        &mut self,
+        from: SiteId,
+        msg: Msg,
+        measured: bool,
+        history: &mut History,
+        metrics: &mut RunMetrics,
+    ) {
+        for (msg, measured) in unbatch(msg, measured) {
+            if let Msg::Sm(sm) = &msg {
+                self.receipt.insert(sm.value.writer, Instant::now());
+            }
+            metrics.per_site.site_mut(self.site.index()).delivers += 1;
+            let effects = self.proto.on_message(from, msg);
+            // Cascade sends must be counted before this message is
+            // released, or the coordinator could observe a spurious
+            // in-flight zero.
+            self.handle_effects(effects, measured, history, metrics);
+            let pending = self.proto.pending_len();
+            metrics.max_pending = metrics.max_pending.max(pending);
+            metrics.pending_samples.record(pending as f64);
         }
-        let effects = self.proto.on_message(from, msg);
-        // Cascade sends must be counted before this message is released,
-        // or the coordinator could observe a spurious in-flight zero.
-        self.handle_effects(effects, history, metrics);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Like [`Node::deliver`], but reports whether the effects completed the
-    /// outstanding fetch of `watch_var`.
+    /// Like [`Node::deliver`], but reports whether the effects completed
+    /// the outstanding fetch of `watch_var` (recording the read against
+    /// the serving replica, as the simulator does).
+    #[allow(clippy::too_many_arguments)]
     fn deliver_watch_fetch(
         &mut self,
         from: SiteId,
         msg: Msg,
+        measured: bool,
         history: &mut History,
         metrics: &mut RunMetrics,
         watch_var: causal_types::VarId,
+        target: SiteId,
     ) -> bool {
-        if let Msg::Sm(sm) = &msg {
-            self.receipt.insert(sm.value.writer, Instant::now());
-        }
-        let effects = self.proto.on_message(from, msg);
         let mut done = false;
-        for e in &effects {
-            if let Effect::FetchDone { var, .. } = e {
-                assert_eq!(*var, watch_var);
-                done = true;
+        for (msg, measured) in unbatch(msg, measured) {
+            if let Msg::Sm(sm) = &msg {
+                self.receipt.insert(sm.value.writer, Instant::now());
             }
+            metrics.per_site.site_mut(self.site.index()).delivers += 1;
+            let effects = self.proto.on_message(from, msg);
+            let mut rest = Vec::with_capacity(effects.len());
+            for e in effects {
+                if let Effect::FetchDone { var, value } = e {
+                    assert_eq!(var, watch_var);
+                    history.record_read(self.site, var, value.map(|x| x.writer), target);
+                    done = true;
+                } else {
+                    rest.push(e);
+                }
+            }
+            self.handle_effects(rest, measured, history, metrics);
         }
-        self.handle_effects(effects, history, metrics);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         done
-    }
-
-    fn route(&mut self, effects: Vec<Effect>, history: &mut History, metrics: &mut RunMetrics) {
-        self.handle_effects(effects, history, metrics);
     }
 
     fn handle_effects(
         &mut self,
         effects: Vec<Effect>,
+        measured: bool,
         history: &mut History,
         metrics: &mut RunMetrics,
     ) {
         for e in effects {
             match e {
-                Effect::Send { to, msg } => {
-                    metrics.record_msg(msg.kind(), msg.meta_size(&self.size_model), true);
-                    self.send(to, msg);
-                }
+                Effect::Send { to, msg } => self.dispatch(to, msg, measured, metrics),
                 Effect::Applied { var: _, write } => {
                     metrics.applies += 1;
+                    metrics.per_site.site_mut(self.site.index()).applies += 1;
                     if let Some(t0) = self.receipt.remove(&write) {
                         metrics.record_apply_latency(t0.elapsed().as_nanos() as f64);
                     }
                     history.record_apply(self.site, write);
                 }
-                Effect::FetchDone { var, value } => {
-                    // Recorded here; completion detection happens in
-                    // deliver_watch_fetch.
-                    let served_by = value.map(|v| v.writer.site).unwrap_or(self.site);
-                    let _ = served_by;
-                    history.record_read(self.site, var, value.map(|x| x.writer), self.site);
+                Effect::FetchDone { .. } => {
+                    // Fetches are synchronous: completion is only ever
+                    // observed inside `deliver_watch_fetch`.
+                    debug_assert!(false, "FetchDone outside a blocking fetch");
                 }
             }
+        }
+    }
+
+    /// Route one outgoing message: park SMs in their destination lane when
+    /// batching is on (flushing on count/byte bounds), flush the lane ahead
+    /// of any non-SM frame to the same destination (per-channel FIFO), and
+    /// account + ship everything else immediately.
+    fn dispatch(&mut self, to: SiteId, msg: Msg, measured: bool, metrics: &mut RunMetrics) {
+        let size = msg.meta_size(&self.size_model);
+        if self.batch.is_some() {
+            if let Msg::Sm(sm) = msg {
+                let pending = PendingSm {
+                    sm,
+                    measured,
+                    full_bytes: size,
+                };
+                let flush = {
+                    let lanes = self.batch.as_mut().expect("checked above");
+                    match lanes.batcher.offer(to, pending, size) {
+                        Offer::First { epoch } => {
+                            let at = Instant::now() + lanes.window;
+                            lanes.timers.push((at, to, epoch));
+                            None
+                        }
+                        Offer::Queued => None,
+                        Offer::Flush(items) => Some(items),
+                    }
+                };
+                if let Some(items) = flush {
+                    self.flush_lane(to, items, metrics);
+                }
+                return;
+            }
+            // Non-SM (an RM reply): flush the lane toward the same
+            // destination first, so no frame overtakes a parked update on
+            // its channel.
+            if let Some(items) = self.batch.as_mut().and_then(|l| l.batcher.flush_dest(to)) {
+                self.flush_lane(to, items, metrics);
+            }
+        }
+        if let Msg::Sm(sm) = &msg {
+            metrics.sm_entries.record(sm.meta.entry_count() as f64);
+        }
+        metrics.record_msg(msg.kind(), size, measured);
+        metrics.per_site.site_mut(self.site.index()).sends += 1;
+        self.send(to, msg, measured);
+    }
+
+    /// Ship one drained destination lane: a single parked update goes out
+    /// as a plain SM with exact unbatched accounting; two or more become
+    /// one batch frame charged the merged-piggyback size, with the saving
+    /// recorded in the batching counters — the simulator's `flush_lane`,
+    /// transplanted to wall clocks.
+    fn flush_lane(&mut self, to: SiteId, items: Vec<PendingSm>, metrics: &mut RunMetrics) {
+        debug_assert!(!items.is_empty(), "a drained lane is never empty");
+        for p in &items {
+            metrics.sm_entries.record(p.sm.meta.entry_count() as f64);
+        }
+        let (msg, frame_bytes, measured) = if items.len() == 1 {
+            let p = items.into_iter().next().expect("len checked");
+            (Msg::Sm(p.sm), p.full_bytes, p.measured)
+        } else {
+            let unbatched: u64 = items.iter().map(|p| p.full_bytes).sum();
+            let measured = items.iter().any(|p| p.measured);
+            let batch = SmBatch {
+                sms: items
+                    .into_iter()
+                    .map(|p| BatchedSm {
+                        sm: p.sm,
+                        measured: p.measured,
+                    })
+                    .collect(),
+            };
+            let count = batch.len() as u64;
+            let msg = Msg::Batch(Arc::new(batch));
+            let bytes = msg.meta_size(&self.size_model);
+            metrics.batch_flushes += 1;
+            metrics.batched_sms += count;
+            metrics.batch_bytes_saved += unbatched.saturating_sub(bytes);
+            (msg, bytes, measured)
+        };
+        metrics.record_msg(msg.kind(), frame_bytes, measured);
+        metrics.per_site.site_mut(self.site.index()).sends += 1;
+        self.send(to, msg, measured);
+    }
+
+    /// Flush every lane whose window timer has expired (stale epochs are
+    /// ignored: those updates already left in a count/byte flush).
+    fn fire_due_timers(&mut self, metrics: &mut RunMetrics) {
+        loop {
+            let fired = match self.batch.as_mut() {
+                None => return,
+                Some(lanes) => {
+                    let now = Instant::now();
+                    match lanes.timers.iter().position(|(at, _, _)| *at <= now) {
+                        None => return,
+                        Some(i) => {
+                            let (_, dest, epoch) = lanes.timers.swap_remove(i);
+                            lanes
+                                .batcher
+                                .on_timer(dest, epoch)
+                                .map(|items| (dest, items))
+                        }
+                    }
+                }
+            };
+            if let Some((dest, items)) = fired {
+                self.flush_lane(dest, items, metrics);
+            }
+        }
+    }
+
+    /// Drain every lane (end of schedule — no barrier may leave updates
+    /// parked).
+    fn flush_all_lanes(&mut self, metrics: &mut RunMetrics) {
+        let drained = match self.batch.as_mut() {
+            Some(lanes) => {
+                lanes.timers.clear();
+                lanes.batcher.flush_all()
+            }
+            None => return,
+        };
+        for (dest, items) in drained {
+            self.flush_lane(dest, items, metrics);
+        }
+    }
+
+    /// The earliest armed batch-window timer.
+    fn next_timer_at(&self) -> Option<Instant> {
+        self.batch
+            .as_ref()
+            .and_then(|l| l.timers.iter().map(|(at, _, _)| *at).min())
+    }
+
+    /// The next instant the run loop must wake at: the due operation or an
+    /// earlier batch-window expiry.
+    fn nearest_wake(&self, due: Instant) -> Instant {
+        match self.next_timer_at() {
+            Some(t) if t < due => t,
+            _ => due,
         }
     }
 }

@@ -1,15 +1,18 @@
 //! The coordinator: spawn site threads, detect quiescence, collect results.
 
-use crate::node::{ChannelTransport, Node, NodeOutcome, Wire};
+use crate::node::{
+    BatchWindow, ChannelTransport, Lanes, Node, NodeOutcome, OpDriver, Transport, Wire,
+};
 use causal_checker::History;
 use causal_memory::Placement;
 use causal_metrics::RunMetrics;
 use causal_proto::{build_site, ProtocolConfig, ProtocolKind, Replication};
 use causal_types::{SiteId, SizeModel};
 use causal_workload::{generate, WorkloadParams};
-use crossbeam::channel::unbounded;
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration of a threaded run.
@@ -28,11 +31,16 @@ pub struct RuntimeConfig {
     pub time_scale: f64,
     /// Byte accounting for the metrics.
     pub size_model: SizeModel,
+    /// Per-destination update batching on the send path; `None` ships
+    /// every SM as its own frame (required for sim-vs-real parity runs:
+    /// wall-clock windows group updates differently than virtual-time
+    /// ones, so message counts only line up unbatched).
+    pub batch: Option<BatchWindow>,
 }
 
 impl RuntimeConfig {
     /// A fast live-run preset: `events` operations per process, time scale
-    /// 0.005.
+    /// 0.005, no batching.
     pub fn fast(protocol: ProtocolKind, n: usize, w_rate: f64, seed: u64, events: usize) -> Self {
         let placement = if protocol.supports_partial() {
             Arc::new(Placement::paper_partial(n).expect("valid n"))
@@ -47,6 +55,7 @@ impl RuntimeConfig {
             workload,
             time_scale: 0.005,
             size_model: SizeModel::java_like(),
+            batch: None,
         }
     }
 }
@@ -55,9 +64,10 @@ impl RuntimeConfig {
 pub struct RunOutcome {
     /// The combined execution history (feed to `causal_checker::check`).
     pub history: History,
-    /// Aggregated metrics across sites (all traffic counted as measured —
-    /// the runtime demonstrates correctness, it is not the paper's
-    /// measurement instrument).
+    /// Aggregated metrics across sites. Replay runs attribute traffic to
+    /// the measured window exactly as the simulator does (operations past
+    /// the 15 % warm-up, with each frame's attribution carried on the
+    /// wire); `metrics.all` always covers everything.
     pub metrics: RunMetrics,
     /// Parked updates at shutdown, summed over sites (must be 0).
     pub final_pending: usize,
@@ -65,59 +75,35 @@ pub struct RunOutcome {
     pub elapsed: Duration,
 }
 
-/// Run the workload on real threads. Blocks until quiescent.
-pub fn run_threaded(cfg: &RuntimeConfig) -> RunOutcome {
-    let n = cfg.workload.n;
-    assert_eq!(cfg.placement.n(), n);
-    let schedule = generate(&cfg.workload);
-    let start = Instant::now();
+/// The pieces the shared coordinator needs to drive a spawned cluster to
+/// quiescence and collect it.
+pub(crate) struct Cluster {
+    /// Stop channels, one per site.
+    pub txs: Vec<Sender<Wire>>,
+    /// Global in-flight frame tally.
+    pub in_flight: Arc<AtomicI64>,
+    /// Sites whose drivers have finished issuing.
+    pub finished: Arc<AtomicUsize>,
+    /// Site threads.
+    pub handles: Vec<JoinHandle<NodeOutcome>>,
+}
 
-    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Wire>()).unzip();
-    let in_flight = Arc::new(AtomicI64::new(0));
-    let finished = Arc::new(AtomicUsize::new(0));
-    let repl: Arc<dyn Replication> = cfg.placement.clone();
-
-    let transport: Arc<dyn crate::node::Transport> =
-        Arc::new(ChannelTransport { peers: txs.clone() });
-    let mut handles = Vec::with_capacity(n);
-    for (i, inbox) in rxs.into_iter().enumerate() {
-        let site = SiteId::from(i);
-        let node = Node {
-            site,
-            proto: build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
-            schedule: schedule.per_site[i].clone(),
-            time_scale: cfg.time_scale,
-            n,
-            transport: transport.clone(),
-            inbox,
-            in_flight: in_flight.clone(),
-            size_model: cfg.size_model,
-            on_schedule_done: None,
-            receipt: Default::default(),
-        };
-        let finished = finished.clone();
-        let ops = schedule.per_site[i].len();
-        handles.push(std::thread::spawn(move || {
-            // The node flags schedule completion by bumping the counter the
-            // moment its last op is issued; Node::run keeps serving
-            // messages afterwards.
-
-            NodeRunner {
-                node,
-                finished,
-                ops,
-            }
-            .run()
-        }));
-    }
-
+/// Wait for quiescence (every driver exhausted and the in-flight tally
+/// stably zero), broadcast `Stop`, join the site threads, and merge their
+/// outcomes. `conn_errors` are the transports' connection-failure counters,
+/// folded in *after* the join so late teardown races are included.
+pub(crate) fn drive(
+    cluster: Cluster,
+    conn_errors: &[Arc<AtomicU64>],
+) -> (History, RunMetrics, usize) {
+    let n = cluster.handles.len();
     // Quiescence: all schedules done and the in-flight counter has been
     // stably zero. Poll with a settle window so a cascade (apply → new SM)
     // cannot slip between checks.
     let mut stable_since: Option<Instant> = None;
     loop {
-        let done = finished.load(Ordering::SeqCst) == n;
-        let inflight = in_flight.load(Ordering::SeqCst);
+        let done = cluster.finished.load(Ordering::SeqCst) == n;
+        let inflight = cluster.in_flight.load(Ordering::SeqCst);
         if done && inflight == 0 {
             match stable_since {
                 Some(t0) if t0.elapsed() > Duration::from_millis(50) => break,
@@ -129,14 +115,14 @@ pub fn run_threaded(cfg: &RuntimeConfig) -> RunOutcome {
         }
         std::thread::sleep(Duration::from_millis(2));
     }
-    for tx in &txs {
+    for tx in &cluster.txs {
         let _ = tx.send(Wire::Stop);
     }
 
     let mut history = History::new(n);
     let mut metrics = RunMetrics::new();
     let mut final_pending = 0;
-    for h in handles {
+    for h in cluster.handles {
         let NodeOutcome {
             history: hist,
             metrics: m,
@@ -146,32 +132,75 @@ pub fn run_threaded(cfg: &RuntimeConfig) -> RunOutcome {
         metrics.merge(&m);
         final_pending += fp;
     }
+    for c in conn_errors {
+        metrics.transport_conn_errors += c.load(Ordering::Relaxed);
+    }
+    (history, metrics, final_pending)
+}
+
+/// Run the workload on real threads over in-process channels. Blocks until
+/// quiescent.
+pub fn run_threaded(cfg: &RuntimeConfig) -> RunOutcome {
+    let n = cfg.workload.n;
+    assert_eq!(cfg.placement.n(), n);
+    let schedule = generate(&cfg.workload);
+    let start = Instant::now();
+
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Wire>()).unzip();
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let finished = Arc::new(AtomicUsize::new(0));
+    let repl: Arc<dyn Replication> = cfg.placement.clone();
+
+    let conn_errors = Arc::new(AtomicU64::new(0));
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport {
+        peers: txs.clone(),
+        conn_errors: conn_errors.clone(),
+    });
+    let mut handles = Vec::with_capacity(n);
+    for (i, inbox) in rxs.into_iter().enumerate() {
+        let site = SiteId::from(i);
+        let mut node = Node {
+            site,
+            proto: build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
+            driver: OpDriver::replay(
+                schedule.per_site[i].clone(),
+                schedule.warmup_events,
+                cfg.time_scale,
+            ),
+            n,
+            payload_len: cfg.workload.payload_len,
+            transport: transport.clone(),
+            inbox,
+            in_flight: in_flight.clone(),
+            size_model: cfg.size_model,
+            batch: cfg.batch.map(Lanes::new),
+            on_schedule_done: None,
+            receipt: Default::default(),
+        };
+        // The node flags driver completion by bumping the counter the
+        // moment its last op is issued; Node::run keeps serving messages
+        // afterwards.
+        let finished = finished.clone();
+        node.on_schedule_done = Some(Box::new(move || {
+            finished.fetch_add(1, Ordering::SeqCst);
+        }));
+        handles.push(std::thread::spawn(move || node.run()));
+    }
+
+    let (history, metrics, final_pending) = drive(
+        Cluster {
+            txs,
+            in_flight,
+            finished,
+            handles,
+        },
+        &[conn_errors],
+    );
 
     RunOutcome {
         history,
         metrics,
         final_pending,
         elapsed: start.elapsed(),
-    }
-}
-
-/// Wraps a [`Node`] to flag schedule completion to the coordinator.
-struct NodeRunner {
-    node: Node,
-    finished: Arc<AtomicUsize>,
-    ops: usize,
-}
-
-impl NodeRunner {
-    fn run(self) -> NodeOutcome {
-        // The node itself reports when its schedule is exhausted via the
-        // `on_schedule_done` hook.
-        let finished = self.finished;
-        let mut node = self.node;
-        node.on_schedule_done = Some(Box::new(move || {
-            finished.fetch_add(1, Ordering::SeqCst);
-        }));
-        let _ = self.ops;
-        node.run()
     }
 }

@@ -1,0 +1,204 @@
+//! Real-cluster serve mode: a benchmarked deployment of one protocol.
+//!
+//! `serve` is what the paper's testbed would have looked like with a
+//! benchmark harness attached: every site is a live node (thread +
+//! protocol instance), the transport is either the in-process channel
+//! fabric or a real loopback-TCP mesh, and the offered load comes from
+//! closed-loop clients ([`crate::loadgen`]) instead of a pre-generated
+//! schedule. The run reports what serving systems are judged by —
+//! throughput and latency tails — next to the protocol-level message and
+//! meta-data accounting the paper measures.
+//!
+//! Since client operations are generated at issue time from real completion
+//! instants, a serve run is *not* schedule-replayable on the simulator;
+//! sim-vs-real cross-validation uses replay mode ([`crate::run_tcp`] /
+//! [`crate::run_threaded`] with the simulator's workload) instead.
+
+use crate::loadgen::{ClosedLoop, LoadProfile};
+use crate::node::{BatchWindow, ChannelTransport, Lanes, Node, OpDriver, Transport, Wire};
+use crate::runner::{drive, Cluster};
+use crate::tcp::build_mesh;
+use causal_checker::History;
+use causal_memory::Placement;
+use causal_metrics::{LatencySummary, OpLatency, RunMetrics};
+use causal_proto::{build_site, ProtocolConfig, ProtocolKind, Replication};
+use causal_types::{Result, SiteId, SizeModel};
+use crossbeam::channel::unbounded;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which fabric carries the mesh traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeTransport {
+    /// In-process crossbeam channels (single-box A/B baseline).
+    Channel,
+    /// Loopback TCP with `TCP_NODELAY` — the paper's actual transport.
+    Tcp,
+}
+
+impl ServeTransport {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeTransport::Channel => "channel",
+            ServeTransport::Tcp => "tcp",
+        }
+    }
+}
+
+/// Configuration of a serving run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The protocol every site runs.
+    pub protocol: ProtocolKind,
+    /// Number of sites. Partial-capable protocols get the paper's
+    /// 3-replica partial placement, the rest full replication.
+    pub n: usize,
+    /// The closed-loop client fleet.
+    pub load: LoadProfile,
+    /// The transport fabric.
+    pub transport: ServeTransport,
+    /// Per-destination update batching on the send path (`None` = off).
+    pub batch: Option<BatchWindow>,
+    /// Modeled payload length attached to written values (bytes).
+    pub payload_len: u32,
+    /// Byte accounting for the metrics.
+    pub size_model: SizeModel,
+}
+
+impl ServeConfig {
+    /// A small smoke-sized run: `n` sites, 2 clients each issuing 40 ops
+    /// with 1 ms mean think time, 30 % writes over 100 variables.
+    pub fn quick(protocol: ProtocolKind, n: usize, transport: ServeTransport, seed: u64) -> Self {
+        ServeConfig {
+            protocol,
+            n,
+            load: LoadProfile {
+                clients_per_site: 2,
+                ops_per_client: 40,
+                think: Duration::from_millis(1),
+                w_rate: 0.3,
+                q: 100,
+                seed,
+            },
+            transport,
+            batch: None,
+            payload_len: 0,
+            size_model: SizeModel::java_like(),
+        }
+    }
+}
+
+/// What a serving run produced.
+pub struct ServeReport {
+    /// Client operations completed.
+    pub ops: u64,
+    /// Wall-clock duration of the run (spawn to quiescence).
+    pub elapsed: Duration,
+    /// Completion-latency summary (mean / p50 / p99 / max).
+    pub latency: LatencySummary,
+    /// Protocol-level message and meta-byte accounting (all client ops are
+    /// measured; there is no warm-up window under closed-loop load).
+    pub metrics: RunMetrics,
+    /// The combined execution history (feed to `causal_checker::check`).
+    pub history: History,
+    /// Parked updates at shutdown, summed over sites (must be 0).
+    pub final_pending: usize,
+}
+
+impl ServeReport {
+    /// Completed operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Deploy the cluster, run the client fleet to completion, and collect the
+/// report. Blocks until quiescent.
+pub fn serve(cfg: &ServeConfig) -> Result<ServeReport> {
+    let n = cfg.n;
+    let placement = if cfg.protocol.supports_partial() {
+        Arc::new(Placement::paper_partial(n)?)
+    } else {
+        Arc::new(Placement::full(n)?)
+    };
+    let repl: Arc<dyn Replication> = placement;
+    let latency = Arc::new(Mutex::new(OpLatency::new()));
+    let start = Instant::now();
+
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Wire>()).unzip();
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let finished = Arc::new(AtomicUsize::new(0));
+
+    // One transport per fabric; TCP additionally owns reader threads that
+    // must be joined after the nodes exit.
+    let channel_errors = Arc::new(AtomicU64::new(0));
+    let mut mesh = match cfg.transport {
+        ServeTransport::Tcp => Some(build_mesh(n, &txs)?),
+        ServeTransport::Channel => None,
+    };
+    let shared: Option<Arc<dyn Transport>> = match cfg.transport {
+        ServeTransport::Channel => Some(Arc::new(ChannelTransport {
+            peers: txs.clone(),
+            conn_errors: channel_errors.clone(),
+        })),
+        ServeTransport::Tcp => None,
+    };
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, inbox) in rxs.into_iter().enumerate() {
+        let site = SiteId::from(i);
+        let transport = match (&shared, &mut mesh) {
+            (Some(t), _) => t.clone(),
+            (None, Some(m)) => m.transport_for(i),
+            (None, None) => unreachable!("one fabric is always built"),
+        };
+        let finished = finished.clone();
+        let mut node = Node {
+            site,
+            proto: build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
+            driver: OpDriver::Closed(ClosedLoop::new(&cfg.load, site, latency.clone())),
+            n,
+            payload_len: cfg.payload_len,
+            transport,
+            inbox,
+            in_flight: in_flight.clone(),
+            size_model: cfg.size_model,
+            batch: cfg.batch.map(Lanes::new),
+            on_schedule_done: None,
+            receipt: Default::default(),
+        };
+        node.on_schedule_done = Some(Box::new(move || {
+            finished.fetch_add(1, Ordering::SeqCst);
+        }));
+        handles.push(std::thread::spawn(move || node.run()));
+    }
+
+    let (history, mut metrics, final_pending) = drive(
+        Cluster {
+            txs,
+            in_flight,
+            finished,
+            handles,
+        },
+        &[],
+    );
+    let elapsed = start.elapsed();
+    if let Some(m) = mesh {
+        let errs = m.conn_error_counter();
+        m.teardown();
+        metrics.transport_conn_errors += errs.load(Ordering::Relaxed);
+    }
+    metrics.transport_conn_errors += channel_errors.load(Ordering::Relaxed);
+
+    let latency = latency.lock().expect("latency recorder poisoned");
+    Ok(ServeReport {
+        ops: latency.count(),
+        elapsed,
+        latency: latency.summary(),
+        metrics,
+        history,
+        final_pending,
+    })
+}

@@ -1,0 +1,144 @@
+//! Serving-path correctness: every protocol, both transport fabrics,
+//! closed-loop load — checker-clean histories, complete latency
+//! accounting, clean shutdown, and exact channel-vs-TCP agreement where
+//! determinism allows it.
+
+use causal_checker::check;
+use causal_proto::ProtocolKind;
+use causal_runtime::{
+    run_tcp, run_threaded, serve, BatchWindow, RuntimeConfig, ServeConfig, ServeTransport,
+};
+use causal_types::MsgKind;
+use std::time::Duration;
+
+const ALL_PROTOCOLS: [ProtocolKind; 5] = [
+    ProtocolKind::FullTrack,
+    ProtocolKind::OptTrack,
+    ProtocolKind::HbTrack,
+    ProtocolKind::OptTrackCrp,
+    ProtocolKind::OptP,
+];
+
+#[test]
+fn serve_runs_every_protocol_on_the_channel_fabric() {
+    for kind in ALL_PROTOCOLS {
+        let cfg = ServeConfig::quick(kind, 5, ServeTransport::Channel, 11);
+        let report = serve(&cfg).expect("serve runs");
+        let expected = cfg.load.total_ops(5) as u64;
+        assert_eq!(report.ops, expected, "{kind}: every client op completes");
+        assert_eq!(report.latency.ops, expected, "{kind}: every op timed");
+        assert_eq!(report.final_pending, 0, "{kind}: no parked updates");
+        assert!(report.ops_per_sec() > 0.0, "{kind}");
+        let v = check(&report.history);
+        assert!(v.protocol_clean(), "{kind}: {:?}", v.examples);
+    }
+}
+
+#[test]
+fn serve_runs_every_protocol_on_the_tcp_fabric() {
+    for kind in ALL_PROTOCOLS {
+        let mut cfg = ServeConfig::quick(kind, 4, ServeTransport::Tcp, 23);
+        cfg.load.ops_per_client = 25;
+        let report = serve(&cfg).expect("serve runs");
+        let expected = cfg.load.total_ops(4) as u64;
+        assert_eq!(report.ops, expected, "{kind}: every client op completes");
+        assert_eq!(report.final_pending, 0, "{kind}: no parked updates");
+        assert_eq!(
+            report.metrics.transport_conn_errors, 0,
+            "{kind}: a healthy run survives without connection errors"
+        );
+        let v = check(&report.history);
+        assert!(v.protocol_clean(), "{kind}: {:?}", v.examples);
+    }
+}
+
+#[test]
+fn serve_with_batching_drains_every_lane() {
+    let mut cfg = ServeConfig::quick(ProtocolKind::OptTrack, 5, ServeTransport::Tcp, 31);
+    cfg.batch = Some(BatchWindow::windowed(Duration::from_millis(2)));
+    cfg.load.w_rate = 0.8; // update-heavy so lanes actually fill
+    let report = serve(&cfg).expect("serve runs");
+    assert_eq!(report.ops, cfg.load.total_ops(5) as u64);
+    assert_eq!(report.final_pending, 0, "no update may stay parked");
+    let v = check(&report.history);
+    assert!(v.protocol_clean(), "{:?}", v.examples);
+    // Update batching must shrink frames, never lose or duplicate them:
+    // every batched SM is one of the ordinary SM sends it replaced.
+    let m = &report.metrics;
+    if m.batch_flushes > 0 {
+        assert!(m.batched_sms >= 2 * m.batch_flushes, "a batch has >= 2 SMs");
+    }
+}
+
+#[test]
+fn zero_think_shutdown_race_does_not_panic() {
+    // Zero think time drives the fleet as hard as it can and maximizes the
+    // chance a late frame races the Stop broadcast; the run must still
+    // tear down cleanly with a complete history.
+    for transport in [ServeTransport::Channel, ServeTransport::Tcp] {
+        let mut cfg = ServeConfig::quick(ProtocolKind::FullTrack, 5, transport, 47);
+        cfg.load.think = Duration::ZERO;
+        cfg.load.ops_per_client = 60;
+        cfg.load.w_rate = 0.6;
+        let report = serve(&cfg).expect("serve runs");
+        assert_eq!(report.ops, cfg.load.total_ops(5) as u64, "{transport:?}");
+        assert_eq!(report.final_pending, 0, "{transport:?}");
+        let v = check(&report.history);
+        assert!(v.protocol_clean(), "{transport:?}: {:?}", v.examples);
+    }
+}
+
+#[test]
+fn optp_replay_counters_agree_byte_for_byte_across_transports() {
+    // optP is fully replicated (no FM/RM round trips) with a fixed-width
+    // vector piggyback, so replaying one schedule must produce *identical*
+    // message counts and meta bytes on both fabrics — not just within a
+    // tolerance.
+    let cfg = RuntimeConfig::fast(ProtocolKind::OptP, 5, 0.4, 13, 40);
+    let chan = run_threaded(&cfg);
+    let tcp = run_tcp(&cfg).expect("tcp run");
+    for kind in [MsgKind::Sm, MsgKind::Fm, MsgKind::Rm] {
+        assert_eq!(
+            chan.metrics.all.count(kind),
+            tcp.metrics.all.count(kind),
+            "{kind:?} count"
+        );
+        assert_eq!(
+            chan.metrics.all.bytes(kind),
+            tcp.metrics.all.bytes(kind),
+            "{kind:?} meta bytes"
+        );
+        assert_eq!(
+            chan.metrics.measured.count(kind),
+            tcp.metrics.measured.count(kind),
+            "{kind:?} measured count"
+        );
+        assert_eq!(
+            chan.metrics.measured.bytes(kind),
+            tcp.metrics.measured.bytes(kind),
+            "{kind:?} measured meta bytes"
+        );
+    }
+    assert_eq!(chan.metrics.writes, tcp.metrics.writes);
+    assert_eq!(chan.metrics.reads, tcp.metrics.reads);
+    assert_eq!(chan.metrics.remote_reads, tcp.metrics.remote_reads);
+}
+
+#[test]
+fn replay_warmup_window_is_attributed_like_the_simulator() {
+    // 40 events at the paper's 15% warm-up -> 6 warm-up ops per site; the
+    // measured op tally must cover exactly the post-warm-up window while
+    // `all` covers everything.
+    let cfg = RuntimeConfig::fast(ProtocolKind::OptTrack, 6, 0.3, 4, 40);
+    let out = run_threaded(&cfg);
+    let measured_ops = out.metrics.writes + out.metrics.reads;
+    assert_eq!(measured_ops, 6 * (40 - 6), "measured ops span the window");
+    assert!(
+        out.metrics.all.count(MsgKind::Sm) >= out.metrics.measured.count(MsgKind::Sm),
+        "warm-up traffic counts toward `all` only"
+    );
+    assert!(
+        out.metrics.measured.count(MsgKind::Sm) > 0,
+        "the measured window is not empty"
+    );
+}
