@@ -26,6 +26,18 @@ impl MatrixClock {
         }
     }
 
+    /// Build a matrix directly from its row-major cells
+    /// (`cells[writer * n + dest]`). The wire decoder uses this to
+    /// materialise a received matrix in one pass instead of zeroing `n²`
+    /// cells only to overwrite every one of them.
+    pub fn from_cells(n: usize, cells: Vec<u64>) -> Self {
+        assert_eq!(cells.len(), n * n, "row-major n x n cells required");
+        MatrixClock {
+            n,
+            cells: cells.into_boxed_slice(),
+        }
+    }
+
     /// System size `n`.
     #[inline]
     pub fn n(&self) -> usize {

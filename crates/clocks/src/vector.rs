@@ -23,6 +23,12 @@ impl VectorClock {
         }
     }
 
+    /// Build a clock directly from its components (`entries[j]` = process
+    /// `j`). The wire decoder's one-pass materialisation.
+    pub fn from_entries(entries: Vec<u64>) -> Self {
+        VectorClock { entries }
+    }
+
     /// Number of processes this clock covers.
     #[inline]
     pub fn len(&self) -> usize {

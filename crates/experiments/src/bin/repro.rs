@@ -34,7 +34,7 @@
 //! `bench` times one n = 40, w = 0.5 cell per protocol — sequentially, at
 //! every pool width up to `--jobs`, and cold vs warm cache — plus the flat
 //! wire codec (encode/decode of the two piggyback families and batched vs
-//! per-SM framing) — and writes `BENCH_PR8.json` (including the host's
+//! per-SM framing) — and writes `BENCH_PR10.json` (including the host's
 //! available parallelism, so a recorded run documents the hardware it came
 //! from).
 
@@ -116,6 +116,7 @@ fn main() {
     type Job = (&'static str, Box<dyn Fn(&mut Sweep) -> Table>, bool);
     let chaos_trace = trace_dir.clone();
     let dur_trace = trace_dir.clone();
+    let scale_out = out.clone();
     let jobs_table: Vec<Job> = vec![
         ("fig1", Box::new(figures::fig1), true),
         (
@@ -202,6 +203,13 @@ fn main() {
             Box::new(|s: &mut Sweep| causal_experiments::serve::serve_sweep(s.scale())),
             false,
         ),
+        (
+            "scale",
+            Box::new(move |s: &mut Sweep| {
+                causal_experiments::scale::scale_sweep(s.scale(), scale_out.as_deref())
+            }),
+            false,
+        ),
     ];
 
     let selected: Vec<_> = if subcommand == "all" {
@@ -250,7 +258,7 @@ fn main() {
 /// (the paper's largest point), then the same four cells through the
 /// parallel pool at every width from 1 to `--jobs` (powers of two), then a
 /// cold-vs-warm persistent-cache pass, then the wire-codec microtimings;
-/// results land in `BENCH_PR8.json` (in `--out` or the working directory)
+/// results land in `BENCH_PR10.json` (in `--out` or the working directory)
 /// together with the host's available parallelism and the job count
 /// actually used.
 fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
@@ -361,9 +369,9 @@ fn bench(scale: Scale, jobs: usize, out: Option<&Path>) {
         seq_s / warm_s,
     );
     let path = out
-        .map(|d| d.join("BENCH_PR8.json"))
-        .unwrap_or_else(|| PathBuf::from("BENCH_PR8.json"));
-    std::fs::write(&path, &json).expect("write BENCH_PR8.json");
+        .map(|d| d.join("BENCH_PR10.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_PR10.json"));
+    std::fs::write(&path, &json).expect("write BENCH_PR10.json");
     print!("{json}");
     eprintln!("[bench] wrote {}", path.display());
 }

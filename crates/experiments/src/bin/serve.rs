@@ -11,7 +11,8 @@
 //! ```text
 //! serve [--protocol full-track|opt-track|opt-track-crp|optp|hb-track|all]
 //!       [--transport channel|tcp|both] [--n <sites>]
-//!       [--clients <per-site>] [--ops <per-client>] [--think-us <us>]
+//!       [--clients <per-site>] [--ops <per-client>] [--duration <secs>]
+//!       [--workers <threads>] [--think-us <us>]
 //!       [--w <write-rate>] [--q <variables>] [--seed <u64>]
 //!       [--payload <bytes>] [--batch-ms <ms>] [--check]
 //! ```
@@ -20,7 +21,12 @@
 //! wall-clock flush window (the runtime counterpart of the simulator's
 //! `BatchPlan`); the batching counters land in the output. `--check` runs
 //! the causal-consistency checker on the recorded execution history and
-//! fails loudly on any violation.
+//! fails loudly on any violation. `--duration 5` runs a time-bounded load
+//! instead of an op-count-bounded one: clients issue until the deadline and
+//! then retire (if `--ops` is not also given, the per-client budget is
+//! lifted to a large safety cap). `--workers` sets the scheduler pool size
+//! (0 = one worker per core, the default; `--workers <n>` emulates the old
+//! thread-per-site fabric).
 
 use causal_checker::check;
 use causal_metrics::Table;
@@ -34,7 +40,9 @@ struct Args {
     transports: Vec<ServeTransport>,
     n: usize,
     clients: usize,
-    ops: usize,
+    ops: Option<usize>,
+    duration_s: Option<u64>,
+    workers: usize,
     think_us: u64,
     w: f64,
     q: usize,
@@ -57,7 +65,8 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: serve [--protocol full-track|opt-track|opt-track-crp|optp|hb-track|all] \
          [--transport channel|tcp|both] [--n <sites>] [--clients <per-site>] \
-         [--ops <per-client>] [--think-us <us>] [--w <write-rate>] [--q <variables>] \
+         [--ops <per-client>] [--duration <secs>] [--workers <threads>] [--think-us <us>] \
+         [--w <write-rate>] [--q <variables>] \
          [--seed <u64>] [--payload <bytes>] [--batch-ms <ms>] [--check]"
     );
     std::process::exit(2);
@@ -69,7 +78,9 @@ fn parse() -> Args {
         transports: vec![ServeTransport::Channel, ServeTransport::Tcp],
         n: 6,
         clients: 2,
-        ops: 100,
+        ops: None,
+        duration_s: None,
+        workers: 0,
         think_us: 1000,
         w: 0.3,
         q: 100,
@@ -108,7 +119,11 @@ fn parse() -> Args {
             }
             "--n" => a.n = val().parse().unwrap_or_else(|_| die("bad --n")),
             "--clients" => a.clients = val().parse().unwrap_or_else(|_| die("bad --clients")),
-            "--ops" => a.ops = val().parse().unwrap_or_else(|_| die("bad --ops")),
+            "--ops" => a.ops = Some(val().parse().unwrap_or_else(|_| die("bad --ops"))),
+            "--duration" => {
+                a.duration_s = Some(val().parse().unwrap_or_else(|_| die("bad --duration")))
+            }
+            "--workers" => a.workers = val().parse().unwrap_or_else(|_| die("bad --workers")),
             "--think-us" => a.think_us = val().parse().unwrap_or_else(|_| die("bad --think-us")),
             "--w" => a.w = val().parse().unwrap_or_else(|_| die("bad --w")),
             "--q" => a.q = val().parse().unwrap_or_else(|_| die("bad --q")),
@@ -131,14 +146,25 @@ fn parse() -> Args {
     a
 }
 
+/// Per-client op budget when `--duration` bounds the run instead of `--ops`:
+/// effectively unbounded, but finite so the generator's arithmetic stays sane.
+const DURATION_MODE_OPS_CAP: usize = 1 << 30;
+
 fn main() {
     let a = parse();
+    let ops_per_client = a.ops.unwrap_or(match a.duration_s {
+        Some(_) => DURATION_MODE_OPS_CAP,
+        None => 100,
+    });
     let mut t = Table::new(
         format!(
-            "serve: n = {}, {} clients/site x {} ops, think {} us, w = {}, q = {}{}",
+            "serve: n = {}, {} clients/site x {}, think {} us, w = {}, q = {}{}",
             a.n,
             a.clients,
-            a.ops,
+            match a.duration_s {
+                Some(s) => format!("{s} s"),
+                None => format!("{ops_per_client} ops"),
+            },
             a.think_us,
             a.w,
             a.q,
@@ -165,7 +191,9 @@ fn main() {
         for &transport in &a.transports {
             let mut cfg = ServeConfig::quick(kind, a.n, transport, a.seed);
             cfg.load.clients_per_site = a.clients;
-            cfg.load.ops_per_client = a.ops;
+            cfg.load.ops_per_client = ops_per_client;
+            cfg.load.duration = a.duration_s.map(Duration::from_secs);
+            cfg.workers = a.workers;
             cfg.load.think = Duration::from_micros(a.think_us);
             cfg.load.w_rate = a.w;
             cfg.load.q = a.q;

@@ -463,6 +463,7 @@ fn run_on_runtime(a: &Args, which: &str) {
             SizeModel::java_like()
         },
         batch: None,
+        workers: 0,
     };
     let t0 = std::time::Instant::now();
     let out = match which {

@@ -19,6 +19,7 @@
 //! | `repro batching` | extension — bytes/op under per-destination update batching |
 //! | `repro durability` | extension — WAL/checkpoint recovery vs. full rebuild under overlapping crashes |
 //! | `repro serve` | extension — real-cluster throughput/latency benchmark + sim-vs-real parity |
+//! | `repro scale` | extension — sharded worker-pool fabric vs thread-per-site emulation (writes `BENCH_PR10.json`) |
 //! | `repro all` | everything above, sharing simulation runs |
 //!
 //! [`analytic`] carries the closed-form complexity models of §V-A/V-B, and
@@ -39,6 +40,7 @@ pub mod churn;
 pub mod durability;
 pub mod figures;
 pub mod pool;
+pub mod scale;
 pub mod serve;
 pub mod soak;
 pub mod sweep;

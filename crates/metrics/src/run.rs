@@ -169,6 +169,19 @@ pub struct RunMetrics {
     /// the lane's updates would have cost as individual SMs minus the
     /// batch frame actually charged.
     pub batch_bytes_saved: u64,
+    /// OS threads spawned by the live runtime for the run: scheduler
+    /// workers plus one reader and one writer per connection endpoint.
+    /// The coordinator is the caller's thread and is not counted. Zero on
+    /// the simulator.
+    pub threads_spawned: u64,
+    /// `write(2)` calls issued by the TCP fabric's coalescing writers —
+    /// each syscall may carry many frames, so `all` frame counts divided
+    /// by this is the amortisation factor. Zero on the channel fabric and
+    /// the simulator.
+    pub syscall_writes: u64,
+    /// Deepest per-site mailbox backlog observed by the worker scheduler
+    /// when it picked a site up (frames waiting in the crossbeam channel).
+    pub mailbox_depth_peak: u64,
     /// Per-site breakdown of the counters above (sends, delivers, applies,
     /// buffering, retransmits, dwell, fetch RTT).
     pub per_site: SiteRegistry,
@@ -237,6 +250,9 @@ impl Default for RunMetrics {
             batch_flushes: 0,
             batched_sms: 0,
             batch_bytes_saved: 0,
+            threads_spawned: 0,
+            syscall_writes: 0,
+            mailbox_depth_peak: 0,
             per_site: SiteRegistry::new(),
         }
     }
@@ -349,6 +365,9 @@ impl RunMetrics {
         self.batch_flushes += other.batch_flushes;
         self.batched_sms += other.batched_sms;
         self.batch_bytes_saved += other.batch_bytes_saved;
+        self.threads_spawned += other.threads_spawned;
+        self.syscall_writes += other.syscall_writes;
+        self.mailbox_depth_peak = self.mailbox_depth_peak.max(other.mailbox_depth_peak);
         self.per_site.merge(&other.per_site);
         // StatAccum cannot merge exactly without the raw moments; fold the
         // other's summary as a weighted contribution.

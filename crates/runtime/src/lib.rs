@@ -1,10 +1,13 @@
 //! # causal-runtime
 //!
-//! A real multi-threaded runtime for the causal-consistency protocols: one
-//! OS thread per site, a transport fabric between them (crossbeam FIFO
-//! channels or a loopback-TCP mesh), blocking remote fetches, and two ways
-//! to drive operations — wall-clock schedule replay (scaled) and the
-//! closed-loop load generator behind [`serve`].
+//! A real multi-threaded runtime for the causal-consistency protocols: a
+//! sharded M:N scheduler (a fixed pool of `W` worker threads multiplexing
+//! the `n` sites, `W = n` emulating the old thread-per-site fabric), a
+//! transport fabric between the workers (crossbeam FIFO channels or a
+//! multiplexed loopback-TCP mesh with one socket per worker pair and
+//! coalesced writes), and two ways to drive operations — wall-clock
+//! schedule replay (scaled) and the closed-loop load generator behind
+//! [`serve`] (budget- or duration-bounded).
 //!
 //! The paper's testbed ran each site as a JDK process over TCP; this runtime
 //! is the analogous live deployment of the *identical* protocol objects that
@@ -14,17 +17,19 @@
 //! must still pass the `causal-checker` verification — and, in replay mode,
 //! it mirrors the simulator's measured-window attribution op for op, so a
 //! real-cluster run's message counts can be checked against simnet's
-//! prediction for the same workload and seed (see DESIGN.md §2 and
-//! EXPERIMENTS.md "Real-cluster serving").
+//! prediction for the same workload and seed (see DESIGN.md §2,
+//! docs/RUNTIME.md, and EXPERIMENTS.md "Real-cluster serving").
 //!
 //! ## Shutdown protocol
 //!
 //! Quiescence in a live system needs care: a site may finish its schedule
 //! while its updates are still in flight. The runtime counts in-flight
 //! messages with an atomic; when every site has finished its schedule and
-//! the in-flight count stays zero, the coordinator broadcasts `Stop` and
-//! joins the threads. A parked update at that point would be a protocol bug
-//! (reported in [`RunOutcome::final_pending`]).
+//! the in-flight count stays zero for a settle window, the coordinator —
+//! parked on a condvar the last decrement notifies, not a sleep-poll —
+//! broadcasts `Stop` and joins the worker pool. A parked update at that
+//! point would be a protocol bug (reported in
+//! [`RunOutcome::final_pending`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

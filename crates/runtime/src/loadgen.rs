@@ -39,10 +39,17 @@ pub struct LoadProfile {
     pub q: usize,
     /// Base seed; every (site, client) pair derives its own stream.
     pub seed: u64,
+    /// Time-bounded mode: when set, a client retires once its next issue
+    /// would fall past this offset from run start, whether or not its
+    /// operation budget is spent. `ops_per_client` then acts as a safety
+    /// cap (set it high), and [`LoadProfile::total_ops`] is an upper
+    /// bound rather than an exact count.
+    pub duration: Option<Duration>,
 }
 
 impl LoadProfile {
-    /// Total operations the whole fleet will issue across `n` sites.
+    /// Total operations the whole fleet will issue across `n` sites — the
+    /// exact count in budget mode, an upper bound when `duration` is set.
     pub fn total_ops(&self, n: usize) -> usize {
         n * self.clients_per_site * self.ops_per_client
     }
@@ -62,6 +69,7 @@ pub struct ClosedLoop {
     clients: Vec<Client>,
     q: usize,
     w_rate: f64,
+    deadline: Option<Duration>,
     latency: Arc<Mutex<OpLatency>>,
 }
 
@@ -101,16 +109,24 @@ impl ClosedLoop {
             clients,
             q: profile.q,
             w_rate: profile.w_rate,
+            deadline: profile.duration,
             latency,
         }
     }
 
+    /// Whether a client is still eligible to issue: budget left and — in
+    /// time-bounded mode — its next issue scheduled before the deadline.
+    fn eligible(&self, c: &Client) -> bool {
+        c.remaining > 0 && self.deadline.is_none_or(|d| c.next_due < d)
+    }
+
     /// When the next client is due to issue (offset from run start);
-    /// `None` once every client has retired.
+    /// `None` once every client has retired (budget spent, or next issue
+    /// past the profile's deadline).
     pub fn next_due(&self) -> Option<Duration> {
         self.clients
             .iter()
-            .filter(|c| c.remaining > 0)
+            .filter(|c| self.eligible(c))
             .map(|c| c.next_due)
             .min()
     }
@@ -124,7 +140,7 @@ impl ClosedLoop {
             .clients
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.remaining > 0)
+            .filter(|(_, c)| self.eligible(c))
             .min_by_key(|(_, c)| c.next_due)
             .map(|(i, _)| i)
             .expect("pop called on an exhausted loop");
@@ -175,6 +191,7 @@ mod tests {
             w_rate: 0.4,
             q: 10,
             seed: 42,
+            duration: None,
         }
     }
 
@@ -207,6 +224,32 @@ mod tests {
         };
         assert_ne!(ops(0), ops(1), "per-site sub-seeding must decorrelate");
         assert_eq!(ops(0), ops(0), "same seed must replay identically");
+    }
+
+    #[test]
+    fn duration_bound_retires_clients_at_the_deadline() {
+        let mut p = profile();
+        p.ops_per_client = usize::MAX / 2; // effectively unbounded budget
+        p.duration = Some(Duration::from_millis(20));
+        let lat = Arc::new(Mutex::new(OpLatency::new()));
+        let mut lp = ClosedLoop::new(&p, SiteId::from(0usize), lat.clone());
+        let mut issued = 0u64;
+        let mut now = Duration::ZERO;
+        while let Some(due) = lp.next_due() {
+            assert!(
+                due < Duration::from_millis(20),
+                "no issue past the deadline"
+            );
+            let (_, c) = lp.pop();
+            now = now.max(due);
+            lp.completed(c, now, 1_000.0);
+            issued += 1;
+            assert!(issued < 10_000, "the deadline must terminate the loop");
+        }
+        // ~2 ms mean think over a 20 ms window, 3 clients: a handful of
+        // ops each, not zero and nowhere near the budget cap.
+        assert!(issued >= 3, "every client gets at least its first issue");
+        assert_eq!(lat.lock().unwrap().count(), issued);
     }
 
     #[test]

@@ -1,11 +1,20 @@
-//! One site's thread: operation issue + message service.
+//! One site of the live deployment, as a poll-driven state machine.
 //!
-//! A [`Node`] is one site of the live deployment: it owns the protocol
-//! state machine, an inbox fed by the transport, and an [`OpDriver`] that
-//! decides *when the next operation happens* — either replaying a
-//! pre-generated workload schedule (so a simulator run with the same seed
-//! predicts this node's traffic message for message) or running the
-//! closed-loop clients of the `serve` load generator.
+//! A [`Node`] is one site: it owns the protocol state machine, a mailbox
+//! fed by the transport, and an [`OpDriver`] that decides *when the next
+//! operation happens* — either replaying a pre-generated workload schedule
+//! (so a simulator run with the same seed predicts this node's traffic
+//! message for message) or running the closed-loop clients of the `serve`
+//! load generator.
+//!
+//! Nodes no longer own a thread. The sharded scheduler in
+//! [`crate::runner`] multiplexes K sites onto each worker, calling
+//! [`Node::on_wire`] for every mailbox frame and [`Node::poll`] to issue
+//! due operations; a node must therefore never block. The paper's
+//! synchronous RemoteFetch is expressed as a parked [`FetchWait`] state:
+//! the site issues no new operations while a fetch is outstanding (one
+//! sequential process, exactly the paper's model) but keeps serving
+//! incoming messages, which is what unblocks the fetch in the first place.
 //!
 //! Measured-traffic attribution mirrors the simulator exactly: an
 //! operation is measured iff its schedule index is past the warm-up
@@ -15,25 +24,26 @@
 //! predictions run for run.
 
 use crate::loadgen::ClosedLoop;
+use crate::runner::{Quiesce, Routes};
 use causal_checker::History;
 use causal_metrics::RunMetrics;
 use causal_multicast::{DestBatcher, Offer};
 use causal_proto::{BatchedSm, Effect, Msg, ProtocolSite, ReadResult, Sm, SmBatch};
 use causal_types::WriteId;
-use causal_types::{MetaSized, OpKind, ScheduledOp, SiteId, SizeModel};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use causal_types::{MetaSized, OpKind, ScheduledOp, SiteId, SizeModel, VarId, VersionedValue};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How a node's outgoing messages reach their destination. The node logic
 /// is transport-agnostic: in-process runs use [`ChannelTransport`]
 /// (crossbeam channels), the TCP runner in [`crate::tcp`] moves the same
-/// frames over loopback sockets — the paper's actual transport.
+/// frames over multiplexed loopback sockets — the paper's actual
+/// transport.
 pub trait Transport: Send + Sync {
     /// Deliver `msg` (tagged with its warm-up attribution) from `from` to
-    /// `to`'s inbox, reliably and in FIFO order per ordered pair.
+    /// `to`'s mailbox, reliably and in FIFO order per ordered pair.
     ///
     /// Returns `false` when the peer is unreachable — the frame never
     /// entered the network. The transport records the failure in its
@@ -43,26 +53,41 @@ pub trait Transport: Send + Sync {
     fn send(&self, from: SiteId, to: SiteId, msg: &Msg, measured: bool) -> bool;
 }
 
-/// Crossbeam-channel transport: one unbounded channel per site.
+/// Crossbeam-channel transport: one unbounded mailbox per site, with the
+/// destination's worker woken through the shared routing table.
 pub struct ChannelTransport {
-    /// Senders indexed by destination site.
-    pub peers: Vec<Sender<Wire>>,
-    /// Sends refused because the peer's inbox was already gone (it
-    /// processed `Stop` while this frame was racing it). Folded into
-    /// [`RunMetrics::transport_conn_errors`] by the coordinator.
-    pub conn_errors: Arc<AtomicU64>,
+    routes: Arc<Routes>,
+    conn_errors: Arc<AtomicU64>,
+}
+
+impl ChannelTransport {
+    /// A channel fabric over `routes`, counting refused sends (peer
+    /// mailbox already gone) into `conn_errors`.
+    pub(crate) fn new(routes: Arc<Routes>, conn_errors: Arc<AtomicU64>) -> Self {
+        ChannelTransport {
+            routes,
+            conn_errors,
+        }
+    }
 }
 
 impl Transport for ChannelTransport {
     fn send(&self, from: SiteId, to: SiteId, msg: &Msg, measured: bool) -> bool {
-        let ok = self.peers[to.index()]
-            .send(Wire::Msg {
+        let ok = self.routes.push(
+            to.index(),
+            Wire::Msg {
                 from,
                 msg: msg.clone(),
                 measured,
-            })
-            .is_ok();
-        if !ok {
+            },
+        );
+        if ok {
+            // A same-shard destination is drained by the worker executing
+            // this very send; only a cross-worker frame needs the wake.
+            if self.routes.owner(from.index()) != self.routes.owner(to.index()) {
+                self.routes.wake_owner(to.index());
+            }
+        } else {
             // A late frame lost the race against shutdown: drop it
             // cleanly instead of poisoning the run.
             self.conn_errors.fetch_add(1, Ordering::Relaxed);
@@ -71,7 +96,7 @@ impl Transport for ChannelTransport {
     }
 }
 
-/// What travels between site threads.
+/// What travels between sites.
 pub enum Wire {
     /// A protocol message from a peer.
     Msg {
@@ -87,7 +112,7 @@ pub enum Wire {
     Stop,
 }
 
-/// What a site thread hands back to the coordinator when it stops.
+/// What a site hands back to the coordinator when it stops.
 pub struct NodeOutcome {
     /// The site's recorded execution fragment (own ops + own applies).
     pub history: History,
@@ -248,309 +273,290 @@ fn unbatch(msg: Msg, measured: bool) -> Vec<(Msg, bool)> {
     }
 }
 
-/// Everything one site thread needs.
+/// The paper's synchronous RemoteFetch, parked: the FM is on the wire and
+/// the site issues nothing new until the RM's `FetchDone` lands.
+struct FetchWait {
+    /// The variable being fetched (sanity-checked against `FetchDone`).
+    var: VarId,
+    /// The replica serving the fetch (the read is recorded against it).
+    target: SiteId,
+    /// Warm-up attribution of the read operation.
+    measured: bool,
+    /// Issuing closed-loop client, if any.
+    client: Option<usize>,
+    /// Operation issue instant (client completion latency).
+    t0: Instant,
+    /// FM send instant (fetch RTT).
+    issued: Instant,
+}
+
+/// One site's full state: protocol instance, driver, batching lanes, and
+/// the recorded history/metrics. Owned by a scheduler worker and driven
+/// through [`Node::poll`] / [`Node::on_wire`].
 pub struct Node {
-    /// This site's id.
-    pub site: SiteId,
-    /// The protocol state machine.
-    pub proto: Box<dyn ProtocolSite>,
-    /// The operation source (schedule replay or closed-loop clients).
-    pub driver: OpDriver,
-    /// Number of sites in the system.
-    pub n: usize,
-    /// Modeled payload length attached to written values (bytes).
-    pub payload_len: u32,
-    /// Outgoing message path.
-    pub transport: Arc<dyn Transport>,
-    /// This site's inbox (fed by the transport's receiving side and by the
-    /// coordinator's `Stop`).
-    pub inbox: Receiver<Wire>,
-    /// Global in-flight message counter (incremented before send,
-    /// decremented after the receiver processed the message).
-    pub in_flight: Arc<AtomicI64>,
-    /// Byte-accounting model for the sent-message metrics.
-    pub size_model: SizeModel,
-    /// Per-destination update batching; `None` sends every SM immediately.
-    pub batch: Option<Lanes>,
-    /// Invoked exactly once, when the last scheduled operation has been
-    /// issued (the node keeps serving messages afterwards). The coordinator
-    /// uses this for quiescence detection.
-    pub on_schedule_done: Option<Box<dyn FnOnce() + Send>>,
-    /// Receipt instants of parked/received updates, for the apply-latency
-    /// metric. Managed internally; leave empty at construction.
-    pub receipt: HashMap<WriteId, Instant>,
+    site: SiteId,
+    proto: Box<dyn ProtocolSite>,
+    driver: OpDriver,
+    payload_len: u32,
+    transport: Arc<dyn Transport>,
+    quiesce: Arc<Quiesce>,
+    size_model: SizeModel,
+    batch: Option<Lanes>,
+    receipt: HashMap<WriteId, Instant>,
+    history: History,
+    metrics: RunMetrics,
+    start: Instant,
+    fetch: Option<FetchWait>,
+    done_fired: bool,
 }
 
 impl Node {
-    /// Run the node to completion: issue operations while serving incoming
-    /// messages, then keep serving until `Stop`.
-    pub fn run(mut self) -> NodeOutcome {
-        let n = self.n;
-        let mut history = History::new(n);
-        let mut metrics = RunMetrics::new();
-        let start = Instant::now();
-        debug_assert!(self.receipt.is_empty());
+    /// A fresh node. `start` is the run's shared zero instant (schedule
+    /// offsets and client due times are relative to it).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        site: SiteId,
+        proto: Box<dyn ProtocolSite>,
+        driver: OpDriver,
+        n: usize,
+        payload_len: u32,
+        transport: Arc<dyn Transport>,
+        quiesce: Arc<Quiesce>,
+        size_model: SizeModel,
+        batch: Option<BatchWindow>,
+        start: Instant,
+    ) -> Self {
+        Node {
+            site,
+            proto,
+            driver,
+            payload_len,
+            transport,
+            quiesce,
+            size_model,
+            batch: batch.map(Lanes::new),
+            receipt: HashMap::new(),
+            history: History::new(n),
+            metrics: RunMetrics::new(),
+            start,
+            fetch: None,
+            done_fired: false,
+        }
+    }
 
+    /// Record the mailbox backlog the scheduler found when it picked this
+    /// site up.
+    pub(crate) fn note_mailbox_depth(&mut self, depth: usize) {
+        self.metrics.mailbox_depth_peak = self.metrics.mailbox_depth_peak.max(depth as u64);
+    }
+
+    /// Fire due batch timers and issue every due operation. Returns
+    /// whether any work was done and the next instant this node needs a
+    /// timed wake-up for (`None` = it is purely message-driven now).
+    pub(crate) fn poll(&mut self) -> (bool, Option<Instant>) {
+        let mut progressed = self.fire_due_timers();
         loop {
-            self.fire_due_timers(&mut metrics);
+            if self.fetch.is_some() {
+                // Parked in the paper's synchronous RemoteFetch: the site
+                // is one sequential process, so no new operations until
+                // the RM lands — but lane timers stay armed.
+                return (progressed, self.next_timer_at());
+            }
             match self.driver.next_due() {
                 Some(off) => {
-                    let due_at = start + off;
-                    let now = Instant::now();
-                    if due_at <= now {
-                        if !self.issue_next(start, &mut history, &mut metrics) {
-                            break; // Stop arrived mid-fetch: clean teardown
-                        }
-                        continue;
-                    }
-                    let wake = self.nearest_wake(due_at);
-                    match self.inbox.recv_timeout(wake.saturating_duration_since(now)) {
-                        Ok(Wire::Msg {
-                            from,
-                            msg,
-                            measured,
-                        }) => self.deliver(from, msg, measured, &mut history, &mut metrics),
-                        Ok(Wire::Stop) => break,
-                        Err(_) => {} // timeout: loop fires timers / issues the op
+                    let due = self.start + off;
+                    if due <= Instant::now() {
+                        self.issue_next();
+                        progressed = true;
+                    } else {
+                        return (progressed, Some(self.nearest_wake(due)));
                     }
                 }
                 None => {
-                    // Driver exhausted. Flush parked lanes *before*
-                    // reporting completion: every remaining update must be
-                    // on the wire (and in the in-flight tally) by the time
-                    // the coordinator can observe this site as finished —
-                    // cascades never produce new SMs, so lanes stay empty
-                    // from here on.
-                    self.flush_all_lanes(&mut metrics);
-                    if let Some(done) = self.on_schedule_done.take() {
-                        done();
+                    if !self.done_fired {
+                        // Driver exhausted (and no fetch outstanding).
+                        // Flush parked lanes *before* reporting
+                        // completion: every remaining update must be on
+                        // the wire (and in the in-flight tally) by the
+                        // time the coordinator can observe this site as
+                        // finished — cascades never produce new SMs, so
+                        // lanes stay empty from here on.
+                        self.flush_all_lanes();
+                        self.done_fired = true;
+                        progressed = true;
+                        self.quiesce.site_finished();
                     }
-                    match self.inbox.recv() {
-                        Ok(Wire::Msg {
-                            from,
-                            msg,
-                            measured,
-                        }) => self.deliver(from, msg, measured, &mut history, &mut metrics),
-                        Ok(Wire::Stop) | Err(_) => break,
-                    }
+                    return (progressed, self.next_timer_at());
                 }
             }
         }
+    }
 
+    /// Feed one mailbox frame. Returns `false` on `Stop` — the node is
+    /// done and must be collected with [`Node::finish`].
+    pub(crate) fn on_wire(&mut self, wire: Wire) -> bool {
+        match wire {
+            Wire::Msg {
+                from,
+                msg,
+                measured,
+            } => {
+                self.deliver(from, msg, measured);
+                true
+            }
+            Wire::Stop => {
+                if self.fetch.take().is_some() {
+                    // The old runtime panicked here and took the whole run
+                    // down; a racing shutdown now degrades this one read.
+                    self.metrics.degraded_reads += 1;
+                }
+                false
+            }
+        }
+    }
+
+    /// Surrender the node's recorded outcome.
+    pub(crate) fn finish(self) -> NodeOutcome {
         NodeOutcome {
-            history,
-            metrics,
+            history: self.history,
+            metrics: self.metrics,
             final_pending: self.proto.pending_len(),
         }
     }
 
-    /// Issue the driver's due operation. Returns `false` when the run must
-    /// stop (the coordinator's `Stop` arrived while a fetch was blocked).
-    fn issue_next(
-        &mut self,
-        start: Instant,
-        history: &mut History,
-        metrics: &mut RunMetrics,
-    ) -> bool {
+    /// Issue the driver's due operation. A remote read parks the node in
+    /// [`FetchWait`] instead of blocking the worker.
+    fn issue_next(&mut self) {
         let (kind, measured, client) = self.driver.pop();
         let t0 = Instant::now();
-        let ok = match kind {
+        match kind {
             OpKind::Write { var, data } => {
                 if measured {
-                    metrics.record_op(true, false);
+                    self.metrics.record_op(true, false);
                 }
                 let (wid, effects) = self.proto.write(var, data, self.payload_len);
-                history.record_write(self.site, wid, var);
-                self.handle_effects(effects, measured, history, metrics);
-                true
+                self.history.record_write(self.site, wid, var);
+                self.handle_effects(effects, measured);
+                self.op_completed(client, t0);
             }
             OpKind::Read { var } => match self.proto.read(var) {
                 ReadResult::Local(v) => {
                     if measured {
-                        metrics.record_op(false, false);
+                        self.metrics.record_op(false, false);
                     }
-                    history.record_read(self.site, var, v.map(|x| x.writer), self.site);
-                    true
+                    self.history
+                        .record_read(self.site, var, v.map(|x| x.writer), self.site);
+                    self.op_completed(client, t0);
                 }
                 ReadResult::Fetch { target, msg } => {
-                    self.blocking_fetch(var, target, msg, measured, history, metrics)
-                }
-            },
-        };
-        if let Some(c) = client {
-            self.driver
-                .completed(c, start.elapsed(), t0.elapsed().as_nanos() as f64);
-        }
-        ok
-    }
-
-    /// The paper's synchronous RemoteFetch: ship the FM, then serve (and
-    /// thereby unblock) other messages until the RM returns. Returns
-    /// `false` when `Stop` arrived first — the read is abandoned as
-    /// degraded and the node tears down cleanly instead of panicking.
-    fn blocking_fetch(
-        &mut self,
-        var: causal_types::VarId,
-        target: SiteId,
-        msg: Msg,
-        measured: bool,
-        history: &mut History,
-        metrics: &mut RunMetrics,
-    ) -> bool {
-        // FIFO: the fetch must not overtake this site's own parked updates
-        // toward the server (it must observe its own in-flight writes).
-        if let Some(items) = self
-            .batch
-            .as_mut()
-            .and_then(|l| l.batcher.flush_dest(target))
-        {
-            self.flush_lane(target, items, metrics);
-        }
-        metrics.record_msg(msg.kind(), msg.meta_size(&self.size_model), measured);
-        metrics.per_site.site_mut(self.site.index()).sends += 1;
-        self.send(target, msg, measured);
-        let issued = Instant::now();
-        loop {
-            let res = match self.next_timer_at() {
-                Some(at) => self
-                    .inbox
-                    .recv_timeout(at.saturating_duration_since(Instant::now())),
-                None => self
-                    .inbox
-                    .recv()
-                    .map_err(|_| RecvTimeoutError::Disconnected),
-            };
-            match res {
-                Ok(Wire::Msg {
-                    from,
-                    msg,
-                    measured: frame_measured,
-                }) => {
-                    if self.deliver_watch_fetch(
-                        from,
-                        msg,
-                        frame_measured,
-                        history,
-                        metrics,
+                    // FIFO: the fetch must not overtake this site's own
+                    // parked updates toward the server (it must observe
+                    // its own in-flight writes).
+                    if let Some(items) = self
+                        .batch
+                        .as_mut()
+                        .and_then(|l| l.batcher.flush_dest(target))
+                    {
+                        self.flush_lane(target, items);
+                    }
+                    self.metrics
+                        .record_msg(msg.kind(), msg.meta_size(&self.size_model), measured);
+                    self.metrics.per_site.site_mut(self.site.index()).sends += 1;
+                    self.send(target, msg, measured);
+                    self.fetch = Some(FetchWait {
                         var,
                         target,
-                    ) {
-                        metrics.record_fetch_rtt(
-                            self.site.index(),
-                            issued.elapsed().as_nanos() as f64,
-                        );
-                        if measured {
-                            metrics.record_op(false, true);
-                        }
-                        return true;
-                    }
+                        measured,
+                        client,
+                        t0,
+                        issued: Instant::now(),
+                    });
                 }
-                Ok(Wire::Stop) | Err(RecvTimeoutError::Disconnected) => {
-                    // The old runtime panicked here and took the whole run
-                    // down; a racing shutdown now degrades this one read.
-                    metrics.degraded_reads += 1;
-                    return false;
-                }
-                Err(RecvTimeoutError::Timeout) => self.fire_due_timers(metrics),
-            }
+            },
+        }
+    }
+
+    /// Report a locally-completed operation back to its closed-loop
+    /// client (replay drivers ignore this).
+    fn op_completed(&mut self, client: Option<usize>, t0: Instant) {
+        if let Some(c) = client {
+            self.driver
+                .completed(c, self.start.elapsed(), t0.elapsed().as_nanos() as f64);
         }
     }
 
     /// Ship `msg`, keeping the global in-flight tally consistent even when
     /// the peer is already gone.
     fn send(&self, to: SiteId, msg: Msg, measured: bool) {
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.quiesce.frame_sent();
         if !self.transport.send(self.site, to, &msg, measured) {
             // The frame never entered the network; the transport counted
             // the connection error.
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.quiesce.frames_done(1);
         }
     }
 
-    fn deliver(
-        &mut self,
-        from: SiteId,
-        msg: Msg,
-        measured: bool,
-        history: &mut History,
-        metrics: &mut RunMetrics,
-    ) {
+    fn deliver(&mut self, from: SiteId, msg: Msg, measured: bool) {
         for (msg, measured) in unbatch(msg, measured) {
             if let Msg::Sm(sm) = &msg {
                 self.receipt.insert(sm.value.writer, Instant::now());
             }
-            metrics.per_site.site_mut(self.site.index()).delivers += 1;
-            let effects = self.proto.on_message(from, msg);
-            // Cascade sends must be counted before this message is
-            // released, or the coordinator could observe a spurious
-            // in-flight zero.
-            self.handle_effects(effects, measured, history, metrics);
-            let pending = self.proto.pending_len();
-            metrics.max_pending = metrics.max_pending.max(pending);
-            metrics.pending_samples.record(pending as f64);
-        }
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    /// Like [`Node::deliver`], but reports whether the effects completed
-    /// the outstanding fetch of `watch_var` (recording the read against
-    /// the serving replica, as the simulator does).
-    #[allow(clippy::too_many_arguments)]
-    fn deliver_watch_fetch(
-        &mut self,
-        from: SiteId,
-        msg: Msg,
-        measured: bool,
-        history: &mut History,
-        metrics: &mut RunMetrics,
-        watch_var: causal_types::VarId,
-        target: SiteId,
-    ) -> bool {
-        let mut done = false;
-        for (msg, measured) in unbatch(msg, measured) {
-            if let Msg::Sm(sm) = &msg {
-                self.receipt.insert(sm.value.writer, Instant::now());
-            }
-            metrics.per_site.site_mut(self.site.index()).delivers += 1;
+            self.metrics.per_site.site_mut(self.site.index()).delivers += 1;
             let effects = self.proto.on_message(from, msg);
             let mut rest = Vec::with_capacity(effects.len());
             for e in effects {
                 if let Effect::FetchDone { var, value } = e {
-                    assert_eq!(var, watch_var);
-                    history.record_read(self.site, var, value.map(|x| x.writer), target);
-                    done = true;
+                    self.complete_fetch(var, value);
                 } else {
                     rest.push(e);
                 }
             }
-            self.handle_effects(rest, measured, history, metrics);
+            // Cascade sends must be counted before this message is
+            // released, or the coordinator could observe a spurious
+            // in-flight zero.
+            self.handle_effects(rest, measured);
+            let pending = self.proto.pending_len();
+            self.metrics.max_pending = self.metrics.max_pending.max(pending);
+            self.metrics.pending_samples.record(pending as f64);
         }
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
-        done
+        self.quiesce.frames_done(1);
     }
 
-    fn handle_effects(
-        &mut self,
-        effects: Vec<Effect>,
-        measured: bool,
-        history: &mut History,
-        metrics: &mut RunMetrics,
-    ) {
+    /// The RM landed: un-park the fetch, record the read against the
+    /// serving replica (as the simulator does), and hand the completion
+    /// back to the issuing client.
+    fn complete_fetch(&mut self, var: VarId, value: Option<VersionedValue>) {
+        let fw = self
+            .fetch
+            .take()
+            .expect("FetchDone without an outstanding fetch");
+        assert_eq!(var, fw.var, "fetch completion for the wrong variable");
+        self.history
+            .record_read(self.site, var, value.map(|x| x.writer), fw.target);
+        self.metrics
+            .record_fetch_rtt(self.site.index(), fw.issued.elapsed().as_nanos() as f64);
+        if fw.measured {
+            self.metrics.record_op(false, true);
+        }
+        self.op_completed(fw.client, fw.t0);
+    }
+
+    fn handle_effects(&mut self, effects: Vec<Effect>, measured: bool) {
         for e in effects {
             match e {
-                Effect::Send { to, msg } => self.dispatch(to, msg, measured, metrics),
+                Effect::Send { to, msg } => self.dispatch(to, msg, measured),
                 Effect::Applied { var: _, write } => {
-                    metrics.applies += 1;
-                    metrics.per_site.site_mut(self.site.index()).applies += 1;
+                    self.metrics.applies += 1;
+                    self.metrics.per_site.site_mut(self.site.index()).applies += 1;
                     if let Some(t0) = self.receipt.remove(&write) {
-                        metrics.record_apply_latency(t0.elapsed().as_nanos() as f64);
+                        self.metrics
+                            .record_apply_latency(t0.elapsed().as_nanos() as f64);
                     }
-                    history.record_apply(self.site, write);
+                    self.history.record_apply(self.site, write);
                 }
                 Effect::FetchDone { .. } => {
-                    // Fetches are synchronous: completion is only ever
-                    // observed inside `deliver_watch_fetch`.
-                    debug_assert!(false, "FetchDone outside a blocking fetch");
+                    // Intercepted in `deliver` before effects reach here.
+                    debug_assert!(false, "FetchDone outside a delivery");
                 }
             }
         }
@@ -560,7 +566,7 @@ impl Node {
     /// batching is on (flushing on count/byte bounds), flush the lane ahead
     /// of any non-SM frame to the same destination (per-channel FIFO), and
     /// account + ship everything else immediately.
-    fn dispatch(&mut self, to: SiteId, msg: Msg, measured: bool, metrics: &mut RunMetrics) {
+    fn dispatch(&mut self, to: SiteId, msg: Msg, measured: bool) {
         let size = msg.meta_size(&self.size_model);
         if self.batch.is_some() {
             if let Msg::Sm(sm) = msg {
@@ -582,7 +588,7 @@ impl Node {
                     }
                 };
                 if let Some(items) = flush {
-                    self.flush_lane(to, items, metrics);
+                    self.flush_lane(to, items);
                 }
                 return;
             }
@@ -590,14 +596,14 @@ impl Node {
             // destination first, so no frame overtakes a parked update on
             // its channel.
             if let Some(items) = self.batch.as_mut().and_then(|l| l.batcher.flush_dest(to)) {
-                self.flush_lane(to, items, metrics);
+                self.flush_lane(to, items);
             }
         }
         if let Msg::Sm(sm) = &msg {
-            metrics.sm_entries.record(sm.meta.entry_count() as f64);
+            self.metrics.sm_entries.record(sm.meta.entry_count() as f64);
         }
-        metrics.record_msg(msg.kind(), size, measured);
-        metrics.per_site.site_mut(self.site.index()).sends += 1;
+        self.metrics.record_msg(msg.kind(), size, measured);
+        self.metrics.per_site.site_mut(self.site.index()).sends += 1;
         self.send(to, msg, measured);
     }
 
@@ -606,10 +612,12 @@ impl Node {
     /// one batch frame charged the merged-piggyback size, with the saving
     /// recorded in the batching counters — the simulator's `flush_lane`,
     /// transplanted to wall clocks.
-    fn flush_lane(&mut self, to: SiteId, items: Vec<PendingSm>, metrics: &mut RunMetrics) {
+    fn flush_lane(&mut self, to: SiteId, items: Vec<PendingSm>) {
         debug_assert!(!items.is_empty(), "a drained lane is never empty");
         for p in &items {
-            metrics.sm_entries.record(p.sm.meta.entry_count() as f64);
+            self.metrics
+                .sm_entries
+                .record(p.sm.meta.entry_count() as f64);
         }
         let (msg, frame_bytes, measured) = if items.len() == 1 {
             let p = items.into_iter().next().expect("len checked");
@@ -629,26 +637,28 @@ impl Node {
             let count = batch.len() as u64;
             let msg = Msg::Batch(Arc::new(batch));
             let bytes = msg.meta_size(&self.size_model);
-            metrics.batch_flushes += 1;
-            metrics.batched_sms += count;
-            metrics.batch_bytes_saved += unbatched.saturating_sub(bytes);
+            self.metrics.batch_flushes += 1;
+            self.metrics.batched_sms += count;
+            self.metrics.batch_bytes_saved += unbatched.saturating_sub(bytes);
             (msg, bytes, measured)
         };
-        metrics.record_msg(msg.kind(), frame_bytes, measured);
-        metrics.per_site.site_mut(self.site.index()).sends += 1;
+        self.metrics.record_msg(msg.kind(), frame_bytes, measured);
+        self.metrics.per_site.site_mut(self.site.index()).sends += 1;
         self.send(to, msg, measured);
     }
 
     /// Flush every lane whose window timer has expired (stale epochs are
     /// ignored: those updates already left in a count/byte flush).
-    fn fire_due_timers(&mut self, metrics: &mut RunMetrics) {
+    /// Returns whether anything fired.
+    fn fire_due_timers(&mut self) -> bool {
+        let mut fired_any = false;
         loop {
             let fired = match self.batch.as_mut() {
-                None => return,
+                None => return fired_any,
                 Some(lanes) => {
                     let now = Instant::now();
                     match lanes.timers.iter().position(|(at, _, _)| *at <= now) {
-                        None => return,
+                        None => return fired_any,
                         Some(i) => {
                             let (_, dest, epoch) = lanes.timers.swap_remove(i);
                             lanes
@@ -660,14 +670,15 @@ impl Node {
                 }
             };
             if let Some((dest, items)) = fired {
-                self.flush_lane(dest, items, metrics);
+                fired_any = true;
+                self.flush_lane(dest, items);
             }
         }
     }
 
     /// Drain every lane (end of schedule — no barrier may leave updates
     /// parked).
-    fn flush_all_lanes(&mut self, metrics: &mut RunMetrics) {
+    fn flush_all_lanes(&mut self) {
         let drained = match self.batch.as_mut() {
             Some(lanes) => {
                 lanes.timers.clear();
@@ -676,7 +687,7 @@ impl Node {
             None => return,
         };
         for (dest, items) in drained {
-            self.flush_lane(dest, items, metrics);
+            self.flush_lane(dest, items);
         }
     }
 
@@ -687,8 +698,8 @@ impl Node {
             .and_then(|l| l.timers.iter().map(|(at, _, _)| *at).min())
     }
 
-    /// The next instant the run loop must wake at: the due operation or an
-    /// earlier batch-window expiry.
+    /// The next instant the scheduler must wake this node at: the due
+    /// operation or an earlier batch-window expiry.
     fn nearest_wake(&self, due: Instant) -> Instant {
         match self.next_timer_at() {
             Some(t) if t < due => t,

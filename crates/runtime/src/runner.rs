@@ -1,17 +1,34 @@
-//! The coordinator: spawn site threads, detect quiescence, collect results.
+//! The sharded M:N scheduler and run coordinator.
+//!
+//! A run spawns a fixed pool of `W` worker threads (not one thread per
+//! site): site `i` is owned by worker `i mod W`, and each worker drains
+//! its sites' mailboxes and issues their due operations in a fair
+//! round-robin event loop. `W = n` degenerates to the old thread-per-site
+//! fabric (useful as a baseline and exercised by the determinism tests);
+//! `W = 0` auto-sizes to the machine's available parallelism.
+//!
+//! Workers never spin. A worker parks on its wake latch (a saturating
+//! one-shot token) until either a peer enqueues a frame for one of its
+//! sites or the earliest timed event — a scheduled operation or a batch
+//! window expiry — comes due. Senders always enqueue *then* wake, and a
+//! parked worker re-scans after every wake, so no frame can be stranded
+//! in a mailbox while its owner sleeps.
+//!
+//! Quiescence is detected the same way the old runtime did — every driver
+//! exhausted and the global in-flight frame tally stably zero — but the
+//! coordinator now parks on a condvar that the last decrement notifies
+//! instead of sleep-polling the counters.
 
-use crate::node::{
-    BatchWindow, ChannelTransport, Lanes, Node, NodeOutcome, OpDriver, Transport, Wire,
-};
+use crate::node::{BatchWindow, ChannelTransport, Node, NodeOutcome, OpDriver, Transport, Wire};
 use causal_checker::History;
 use causal_memory::Placement;
 use causal_metrics::RunMetrics;
 use causal_proto::{build_site, ProtocolConfig, ProtocolKind, Replication};
 use causal_types::{SiteId, SizeModel};
 use causal_workload::{generate, WorkloadParams};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -36,11 +53,15 @@ pub struct RuntimeConfig {
     /// wall-clock windows group updates differently than virtual-time
     /// ones, so message counts only line up unbatched).
     pub batch: Option<BatchWindow>,
+    /// Scheduler worker threads. `0` auto-sizes to the machine's available
+    /// parallelism; `n` (one worker per site) emulates the old
+    /// thread-per-site fabric. Always clamped to `[1, n]`.
+    pub workers: usize,
 }
 
 impl RuntimeConfig {
     /// A fast live-run preset: `events` operations per process, time scale
-    /// 0.005, no batching.
+    /// 0.005, no batching, auto-sized worker pool.
     pub fn fast(protocol: ProtocolKind, n: usize, w_rate: f64, seed: u64, events: usize) -> Self {
         let placement = if protocol.supports_partial() {
             Arc::new(Placement::paper_partial(n).expect("valid n"))
@@ -56,6 +77,7 @@ impl RuntimeConfig {
             time_scale: 0.005,
             size_model: SizeModel::java_like(),
             batch: None,
+            workers: 0,
         }
     }
 }
@@ -75,127 +97,532 @@ pub struct RunOutcome {
     pub elapsed: Duration,
 }
 
-/// The pieces the shared coordinator needs to drive a spawned cluster to
-/// quiescence and collect it.
+/// Resolve a configured worker count against a system size: `0` means one
+/// worker per available core, and the result is always in `[1, n]` (more
+/// workers than sites would only idle).
+pub(crate) fn resolve_workers(configured: usize, n: usize) -> usize {
+    let w = if configured == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        configured
+    };
+    w.clamp(1, n.max(1))
+}
+
+/// Run a closure on a possibly-poisoned std mutex (a panicking worker
+/// must not cascade into every other thread's teardown).
+fn locked<T, R>(m: &Mutex<T>, f: impl FnOnce(&mut T) -> R) -> R {
+    let mut guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut guard)
+}
+
+/// A saturating one-shot wake latch: `notify` sets the token (idempotent),
+/// `wait_until` parks until the token is set or a deadline passes and
+/// consumes it. The M:N scheduler's replacement for both the old 50 µs
+/// sleep-poll quiescence loops and per-site blocking `recv`s.
+#[derive(Clone)]
+pub(crate) struct WakeLatch(Arc<WakeInner>);
+
+struct WakeInner {
+    token: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WakeLatch {
+    pub(crate) fn new() -> Self {
+        WakeLatch(Arc::new(WakeInner {
+            token: Mutex::new(false),
+            cv: Condvar::new(),
+        }))
+    }
+
+    /// Set the token and wake the parked owner, if any. Saturating: an
+    /// already-signalled latch stays signalled.
+    pub(crate) fn notify(&self) {
+        locked(&self.0.token, |t| *t = true);
+        self.0.cv.notify_one();
+    }
+
+    /// Park until the token is set (consuming it — returns `true`) or
+    /// `deadline` passes (returns `false`); `None` waits indefinitely.
+    pub(crate) fn wait_until(&self, deadline: Option<Instant>) -> bool {
+        let mut token = self.0.token.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *token {
+                *token = false;
+                return true;
+            }
+            match deadline {
+                None => {
+                    token = self.0.cv.wait(token).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if d <= now {
+                        return false;
+                    }
+                    token = self
+                        .0
+                        .cv
+                        .wait_timeout(token, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+/// The sending side of one site's mailbox, with a depth gauge the
+/// scheduler samples (the vendored channel stub has no `len`).
+pub(crate) struct Mailbox {
+    tx: Sender<Wire>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl Mailbox {
+    /// Enqueue a frame. Returns `false` when the receiving worker has
+    /// already exited.
+    fn push(&self, wire: Wire) -> bool {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        if self.tx.send(wire).is_ok() {
+            true
+        } else {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// The receiving side of one site's mailbox (owned by the site's worker).
+pub(crate) struct MailboxRx {
+    rx: Receiver<Wire>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl MailboxRx {
+    fn try_recv(&self) -> Option<Wire> {
+        match self.rx.try_recv() {
+            Ok(w) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Some(w)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Current backlog (approximate under concurrent pushes — a gauge).
+    fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Blocking receive with a deadline — test instrumentation only; the
+    /// scheduler itself never blocks on a single mailbox.
+    #[cfg(test)]
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Option<Wire> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(w) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Some(w)
+            }
+            Err(_) => None,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn try_recv_test(&self) -> Option<Wire> {
+        self.try_recv()
+    }
+}
+
+fn mailbox() -> (Mailbox, MailboxRx) {
+    let (tx, rx) = unbounded::<Wire>();
+    let depth = Arc::new(AtomicUsize::new(0));
+    (
+        Mailbox {
+            tx,
+            depth: depth.clone(),
+        },
+        MailboxRx { rx, depth },
+    )
+}
+
+/// The run-wide quiescence tracker: an in-flight frame tally, a
+/// finished-drivers count, and a condvar the coordinator parks on.
+///
+/// A frame is in flight from the moment its sender commits to shipping it
+/// (before it can touch a queue or socket) until the receiving node has
+/// processed it — including any cascade sends, which are counted before
+/// the triggering frame is released, so the tally can only read zero when
+/// the system is genuinely silent.
+pub(crate) struct Quiesce {
+    sites: usize,
+    in_flight: AtomicI64,
+    finished: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Quiesce {
+    pub(crate) fn new(sites: usize) -> Self {
+        Quiesce {
+            sites,
+            in_flight: AtomicI64::new(0),
+            finished: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// A frame is about to enter the network.
+    pub(crate) fn frame_sent(&self) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// `k` frames left the system — fully processed by their receiver, or
+    /// positively lost (refused send, dead connection).
+    pub(crate) fn frames_done(&self, k: u64) {
+        let k = i64::try_from(k).expect("frame batch fits i64");
+        let prev = self.in_flight.fetch_sub(k, Ordering::SeqCst);
+        debug_assert!(prev >= k, "in-flight tally went negative");
+        if prev == k && self.finished.load(Ordering::SeqCst) == self.sites {
+            self.notify();
+        }
+    }
+
+    /// Current in-flight frame tally (tests only).
+    #[cfg(test)]
+    pub(crate) fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// One site's driver issued its last operation.
+    pub(crate) fn site_finished(&self) {
+        self.finished.fetch_add(1, Ordering::SeqCst);
+        self.notify();
+    }
+
+    /// Wake the coordinator to re-check the quiescence condition. Taking
+    /// the lock orders the notify against a coordinator that has checked
+    /// the counters but not yet parked — no lost wake-ups.
+    fn notify(&self) {
+        locked(&self.lock, |()| ());
+        self.cv.notify_all();
+    }
+
+    /// Park until every driver has finished and the in-flight tally has
+    /// been stably zero for a settle window (a cascade — apply → new SM —
+    /// cannot slip between checks). Event-driven via [`Quiesce::notify`];
+    /// the timeout below is a safety heartbeat, not a poll interval.
+    pub(crate) fn wait_quiescent(&self) {
+        const SETTLE: Duration = Duration::from_millis(50);
+        const HEARTBEAT: Duration = Duration::from_millis(250);
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stable_since: Option<Instant> = None;
+        loop {
+            let silent = self.finished.load(Ordering::SeqCst) == self.sites
+                && self.in_flight.load(Ordering::SeqCst) == 0;
+            let wait = if silent {
+                let t0 = *stable_since.get_or_insert_with(Instant::now);
+                match SETTLE.checked_sub(t0.elapsed()) {
+                    None => return,
+                    Some(left) => left,
+                }
+            } else {
+                stable_since = None;
+                HEARTBEAT
+            };
+            guard = self
+                .cv
+                .wait_timeout(guard, wait)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+}
+
+/// The run's routing table: every site's mailbox, its owning worker, and
+/// each worker's wake latch. Shared by transports, mux-socket readers,
+/// and the coordinator — anything that needs to hand a frame to a site.
+pub(crate) struct Routes {
+    mailboxes: Vec<Mailbox>,
+    /// `owner[site]` = index of the worker that drains the site.
+    owner: Vec<usize>,
+    wakes: Vec<WakeLatch>,
+}
+
+impl Routes {
+    /// Number of scheduler workers.
+    pub(crate) fn workers(&self) -> usize {
+        self.wakes.len()
+    }
+
+    /// Number of sites.
+    pub(crate) fn sites(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// The worker that owns `site`.
+    pub(crate) fn owner(&self, site: usize) -> usize {
+        self.owner[site]
+    }
+
+    /// Nudge the worker that owns `site`.
+    pub(crate) fn wake_owner(&self, site: usize) {
+        self.wakes[self.owner[site]].notify();
+    }
+
+    /// Enqueue a frame for `site` *without* waking its owner — for senders
+    /// running on that very worker, whose pass continues anyway. Returns
+    /// `false` when the site's mailbox is already gone.
+    pub(crate) fn push(&self, site: usize, wire: Wire) -> bool {
+        self.mailboxes[site].push(wire)
+    }
+
+    /// Enqueue a frame for `site` and wake its owner. Returns `false` when
+    /// the site's mailbox is already gone (worker exited).
+    pub(crate) fn deliver(&self, site: usize, wire: Wire) -> bool {
+        let ok = self.push(site, wire);
+        if ok {
+            self.wake_owner(site);
+        }
+        ok
+    }
+}
+
+/// A spawned-but-not-yet-collected run: the fabric plus the worker pool.
 pub(crate) struct Cluster {
-    /// Stop channels, one per site.
-    pub txs: Vec<Sender<Wire>>,
-    /// Global in-flight frame tally.
-    pub in_flight: Arc<AtomicI64>,
-    /// Sites whose drivers have finished issuing.
-    pub finished: Arc<AtomicUsize>,
-    /// Site threads.
-    pub handles: Vec<JoinHandle<NodeOutcome>>,
+    pub(crate) routes: Arc<Routes>,
+    pub(crate) quiesce: Arc<Quiesce>,
+    /// Run-wide spawned-thread counter (workers + transport threads).
+    pub(crate) threads: Arc<AtomicU64>,
+    handles: Vec<JoinHandle<Vec<NodeOutcome>>>,
+}
+
+/// The communication fabric of a run, built before any node exists so
+/// transports can capture it: mailboxes + routing on the sending side,
+/// the matching receivers held here until [`Fabric::spawn`] hands them to
+/// the workers.
+pub(crate) struct Fabric {
+    pub(crate) routes: Arc<Routes>,
+    pub(crate) quiesce: Arc<Quiesce>,
+    pub(crate) threads: Arc<AtomicU64>,
+    rxs: Vec<MailboxRx>,
+}
+
+/// Build the fabric for `n` sites sharded over `workers` workers
+/// (`workers` must already be resolved via [`resolve_workers`]).
+pub(crate) fn build_fabric(n: usize, workers: usize) -> Fabric {
+    assert!((1..=n).contains(&workers), "workers must be in [1, n]");
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| mailbox()).unzip();
+    let wakes = (0..workers).map(|_| WakeLatch::new()).collect();
+    let owner = (0..n).map(|i| i % workers).collect();
+    Fabric {
+        routes: Arc::new(Routes {
+            mailboxes: txs,
+            owner,
+            wakes,
+        }),
+        quiesce: Arc::new(Quiesce::new(n)),
+        threads: Arc::new(AtomicU64::new(0)),
+        rxs,
+    }
+}
+
+/// A fabric whose receive sides stay in the caller's hands — unit-test
+/// instrumentation for the transport layers.
+#[cfg(test)]
+pub(crate) fn test_fabric(n: usize, workers: usize) -> (Arc<Routes>, Vec<MailboxRx>) {
+    let fabric = build_fabric(n, workers);
+    (fabric.routes, fabric.rxs)
+}
+
+#[cfg(test)]
+impl Routes {
+    /// Consume worker `w`'s wake token without blocking past `timeout`
+    /// (tests only).
+    pub(crate) fn take_wake(&self, w: usize, timeout: Duration) -> bool {
+        self.wakes[w].wait_until(Some(Instant::now() + timeout))
+    }
+}
+
+impl Fabric {
+    /// Spawn the worker pool. `make_node` is called once per site index,
+    /// on the coordinator thread, to build the site's [`Node`]; the node
+    /// is then moved to its owning worker.
+    pub(crate) fn spawn(self, mut make_node: impl FnMut(usize) -> Node) -> Cluster {
+        let Fabric {
+            routes,
+            quiesce,
+            threads,
+            rxs,
+        } = self;
+        let workers = routes.workers();
+        let mut per_worker: Vec<Vec<SiteSlot>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            per_worker[i % workers].push(SiteSlot {
+                node: make_node(i),
+                rx,
+                stopped: false,
+            });
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for (w, slots) in per_worker.into_iter().enumerate() {
+            let wake = routes.wakes[w].clone();
+            threads.fetch_add(1, Ordering::Relaxed);
+            handles.push(std::thread::spawn(move || worker_loop(slots, wake)));
+        }
+        Cluster {
+            routes,
+            quiesce,
+            threads,
+            handles,
+        }
+    }
+}
+
+/// One site as seen by its worker: the node, its mailbox receiver, and
+/// whether it has taken its `Stop`.
+struct SiteSlot {
+    node: Node,
+    rx: MailboxRx,
+    stopped: bool,
+}
+
+/// How many mailbox frames one site may drain per scheduler pass before
+/// the worker moves on to its next site. Bounds per-site burst latency
+/// under K:1 sharding without starving a busy neighbour.
+const DRAIN_BUDGET: usize = 64;
+
+/// A worker's event loop: round-robin over owned sites — drain (bounded),
+/// then issue due operations — and park until woken or the earliest timed
+/// event when a full pass makes no progress. Exits once every owned site
+/// has taken its `Stop`.
+fn worker_loop(mut slots: Vec<SiteSlot>, wake: WakeLatch) -> Vec<NodeOutcome> {
+    let mut live = slots.len();
+    while live > 0 {
+        let mut progressed = false;
+        let mut next_wake: Option<Instant> = None;
+        for slot in &mut slots {
+            if slot.stopped {
+                continue;
+            }
+            let backlog = slot.rx.len();
+            if backlog > 0 {
+                slot.node.note_mailbox_depth(backlog);
+            }
+            let mut budget = DRAIN_BUDGET;
+            while budget > 0 {
+                match slot.rx.try_recv() {
+                    Some(wire) => {
+                        progressed = true;
+                        budget -= 1;
+                        if !slot.node.on_wire(wire) {
+                            slot.stopped = true;
+                            live -= 1;
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if slot.stopped {
+                continue;
+            }
+            if budget == 0 {
+                // Budget exhausted with backlog likely remaining: force
+                // another pass so the leftover cannot wait on a stale
+                // wake token.
+                progressed = true;
+            }
+            let (did, wake_at) = slot.node.poll();
+            progressed |= did;
+            next_wake = match (next_wake, wake_at) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        if live > 0 && !progressed {
+            // Park. Senders enqueue before they notify and the latch
+            // saturates, so a frame pushed after the drain above leaves
+            // the token set and the wait returns immediately.
+            wake.wait_until(next_wake);
+        }
+    }
+    slots.into_iter().map(|s| s.node.finish()).collect()
 }
 
 /// Wait for quiescence (every driver exhausted and the in-flight tally
-/// stably zero), broadcast `Stop`, join the site threads, and merge their
-/// outcomes. `conn_errors` are the transports' connection-failure counters,
-/// folded in *after* the join so late teardown races are included.
+/// stably zero), broadcast `Stop`, join the worker pool, and merge the
+/// per-site outcomes. `conn_errors` are the transports' connection-failure
+/// counters, folded in *after* the join so late teardown races are
+/// included; the run-wide thread counter lands in
+/// `metrics.threads_spawned`.
 pub(crate) fn drive(
     cluster: Cluster,
     conn_errors: &[Arc<AtomicU64>],
 ) -> (History, RunMetrics, usize) {
-    let n = cluster.handles.len();
-    // Quiescence: all schedules done and the in-flight counter has been
-    // stably zero. Poll with a settle window so a cascade (apply → new SM)
-    // cannot slip between checks.
-    let mut stable_since: Option<Instant> = None;
-    loop {
-        let done = cluster.finished.load(Ordering::SeqCst) == n;
-        let inflight = cluster.in_flight.load(Ordering::SeqCst);
-        if done && inflight == 0 {
-            match stable_since {
-                Some(t0) if t0.elapsed() > Duration::from_millis(50) => break,
-                Some(_) => {}
-                None => stable_since = Some(Instant::now()),
-            }
-        } else {
-            stable_since = None;
-        }
-        std::thread::sleep(Duration::from_millis(2));
-    }
-    for tx in &cluster.txs {
-        let _ = tx.send(Wire::Stop);
+    let n = cluster.routes.sites();
+    cluster.quiesce.wait_quiescent();
+    for site in 0..n {
+        let _ = cluster.routes.deliver(site, Wire::Stop);
     }
 
     let mut history = History::new(n);
     let mut metrics = RunMetrics::new();
     let mut final_pending = 0;
     for h in cluster.handles {
-        let NodeOutcome {
-            history: hist,
-            metrics: m,
-            final_pending: fp,
-        } = h.join().expect("site thread panicked");
-        history.absorb(hist);
-        metrics.merge(&m);
-        final_pending += fp;
+        for out in h.join().expect("worker thread panicked") {
+            history.absorb(out.history);
+            metrics.merge(&out.metrics);
+            final_pending += out.final_pending;
+        }
     }
     for c in conn_errors {
         metrics.transport_conn_errors += c.load(Ordering::Relaxed);
     }
+    metrics.threads_spawned = cluster.threads.load(Ordering::Relaxed);
     (history, metrics, final_pending)
 }
 
-/// Run the workload on real threads over in-process channels. Blocks until
-/// quiescent.
+/// Run the workload on the sharded worker pool over in-process channels.
+/// Blocks until quiescent.
 pub fn run_threaded(cfg: &RuntimeConfig) -> RunOutcome {
     let n = cfg.workload.n;
     assert_eq!(cfg.placement.n(), n);
     let schedule = generate(&cfg.workload);
     let start = Instant::now();
 
-    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Wire>()).unzip();
-    let in_flight = Arc::new(AtomicI64::new(0));
-    let finished = Arc::new(AtomicUsize::new(0));
+    let fabric = build_fabric(n, resolve_workers(cfg.workers, n));
     let repl: Arc<dyn Replication> = cfg.placement.clone();
-
     let conn_errors = Arc::new(AtomicU64::new(0));
-    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport {
-        peers: txs.clone(),
-        conn_errors: conn_errors.clone(),
-    });
-    let mut handles = Vec::with_capacity(n);
-    for (i, inbox) in rxs.into_iter().enumerate() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new(
+        fabric.routes.clone(),
+        conn_errors.clone(),
+    ));
+    let quiesce = fabric.quiesce.clone();
+    let cluster = fabric.spawn(|i| {
         let site = SiteId::from(i);
-        let mut node = Node {
+        Node::new(
             site,
-            proto: build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
-            driver: OpDriver::replay(
+            build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
+            OpDriver::replay(
                 schedule.per_site[i].clone(),
                 schedule.warmup_events,
                 cfg.time_scale,
             ),
             n,
-            payload_len: cfg.workload.payload_len,
-            transport: transport.clone(),
-            inbox,
-            in_flight: in_flight.clone(),
-            size_model: cfg.size_model,
-            batch: cfg.batch.map(Lanes::new),
-            on_schedule_done: None,
-            receipt: Default::default(),
-        };
-        // The node flags driver completion by bumping the counter the
-        // moment its last op is issued; Node::run keeps serving messages
-        // afterwards.
-        let finished = finished.clone();
-        node.on_schedule_done = Some(Box::new(move || {
-            finished.fetch_add(1, Ordering::SeqCst);
-        }));
-        handles.push(std::thread::spawn(move || node.run()));
-    }
+            cfg.workload.payload_len,
+            transport.clone(),
+            quiesce.clone(),
+            cfg.size_model,
+            cfg.batch,
+            start,
+        )
+    });
+    drop(transport);
 
-    let (history, metrics, final_pending) = drive(
-        Cluster {
-            txs,
-            in_flight,
-            finished,
-            handles,
-        },
-        &[conn_errors],
-    );
+    let (history, metrics, final_pending) = drive(cluster, &[conn_errors]);
 
     RunOutcome {
         history,

@@ -1,13 +1,13 @@
 //! Real-cluster serve mode: a benchmarked deployment of one protocol.
 //!
 //! `serve` is what the paper's testbed would have looked like with a
-//! benchmark harness attached: every site is a live node (thread +
-//! protocol instance), the transport is either the in-process channel
-//! fabric or a real loopback-TCP mesh, and the offered load comes from
-//! closed-loop clients ([`crate::loadgen`]) instead of a pre-generated
-//! schedule. The run reports what serving systems are judged by —
-//! throughput and latency tails — next to the protocol-level message and
-//! meta-data accounting the paper measures.
+//! benchmark harness attached: every site is a live node scheduled on the
+//! sharded worker pool, the transport is either the in-process channel
+//! fabric or a real multiplexed loopback-TCP mesh, and the offered load
+//! comes from closed-loop clients ([`crate::loadgen`]) instead of a
+//! pre-generated schedule. The run reports what serving systems are
+//! judged by — throughput and latency tails — next to the protocol-level
+//! message and meta-data accounting the paper measures.
 //!
 //! Since client operations are generated at issue time from real completion
 //! instants, a serve run is *not* schedule-replayable on the simulator;
@@ -15,16 +15,15 @@
 //! [`crate::run_threaded`] with the simulator's workload) instead.
 
 use crate::loadgen::{ClosedLoop, LoadProfile};
-use crate::node::{BatchWindow, ChannelTransport, Lanes, Node, OpDriver, Transport, Wire};
-use crate::runner::{drive, Cluster};
+use crate::node::{BatchWindow, ChannelTransport, Node, OpDriver, Transport};
+use crate::runner::{build_fabric, drive, resolve_workers};
 use crate::tcp::build_mesh;
 use causal_checker::History;
 use causal_memory::Placement;
 use causal_metrics::{LatencySummary, OpLatency, RunMetrics};
 use causal_proto::{build_site, ProtocolConfig, ProtocolKind, Replication};
 use causal_types::{Result, SiteId, SizeModel};
-use crossbeam::channel::unbounded;
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -33,7 +32,8 @@ use std::time::{Duration, Instant};
 pub enum ServeTransport {
     /// In-process crossbeam channels (single-box A/B baseline).
     Channel,
-    /// Loopback TCP with `TCP_NODELAY` — the paper's actual transport.
+    /// Multiplexed loopback TCP with `TCP_NODELAY` — the paper's actual
+    /// transport, one socket per worker pair.
     Tcp,
 }
 
@@ -65,11 +65,15 @@ pub struct ServeConfig {
     pub payload_len: u32,
     /// Byte accounting for the metrics.
     pub size_model: SizeModel,
+    /// Scheduler worker threads (`0` = auto, `n` = thread-per-site
+    /// emulation; clamped to `[1, n]`).
+    pub workers: usize,
 }
 
 impl ServeConfig {
     /// A small smoke-sized run: `n` sites, 2 clients each issuing 40 ops
-    /// with 1 ms mean think time, 30 % writes over 100 variables.
+    /// with 1 ms mean think time, 30 % writes over 100 variables,
+    /// auto-sized worker pool.
     pub fn quick(protocol: ProtocolKind, n: usize, transport: ServeTransport, seed: u64) -> Self {
         ServeConfig {
             protocol,
@@ -81,11 +85,13 @@ impl ServeConfig {
                 w_rate: 0.3,
                 q: 100,
                 seed,
+                duration: None,
             },
             transport,
             batch: None,
             payload_len: 0,
             size_model: SizeModel::java_like(),
+            workers: 0,
         }
     }
 }
@@ -127,68 +133,52 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeReport> {
     let latency = Arc::new(Mutex::new(OpLatency::new()));
     let start = Instant::now();
 
-    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Wire>()).unzip();
-    let in_flight = Arc::new(AtomicI64::new(0));
-    let finished = Arc::new(AtomicUsize::new(0));
-
-    // One transport per fabric; TCP additionally owns reader threads that
-    // must be joined after the nodes exit.
+    let fabric = build_fabric(n, resolve_workers(cfg.workers, n));
+    // One transport per fabric; TCP additionally owns writer/reader
+    // threads that must be joined after the workers exit.
     let channel_errors = Arc::new(AtomicU64::new(0));
-    let mut mesh = match cfg.transport {
-        ServeTransport::Tcp => Some(build_mesh(n, &txs)?),
+    let mesh = match cfg.transport {
+        ServeTransport::Tcp => Some(build_mesh(
+            &fabric.routes,
+            &fabric.quiesce,
+            &fabric.threads,
+        )?),
         ServeTransport::Channel => None,
     };
-    let shared: Option<Arc<dyn Transport>> = match cfg.transport {
-        ServeTransport::Channel => Some(Arc::new(ChannelTransport {
-            peers: txs.clone(),
-            conn_errors: channel_errors.clone(),
-        })),
-        ServeTransport::Tcp => None,
+    let transport: Arc<dyn Transport> = match &mesh {
+        Some(m) => m.transport(),
+        None => Arc::new(ChannelTransport::new(
+            fabric.routes.clone(),
+            channel_errors.clone(),
+        )),
     };
 
-    let mut handles = Vec::with_capacity(n);
-    for (i, inbox) in rxs.into_iter().enumerate() {
+    let quiesce = fabric.quiesce.clone();
+    let cluster = fabric.spawn(|i| {
         let site = SiteId::from(i);
-        let transport = match (&shared, &mut mesh) {
-            (Some(t), _) => t.clone(),
-            (None, Some(m)) => m.transport_for(i),
-            (None, None) => unreachable!("one fabric is always built"),
-        };
-        let finished = finished.clone();
-        let mut node = Node {
+        Node::new(
             site,
-            proto: build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
-            driver: OpDriver::Closed(ClosedLoop::new(&cfg.load, site, latency.clone())),
+            build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
+            OpDriver::Closed(ClosedLoop::new(&cfg.load, site, latency.clone())),
             n,
-            payload_len: cfg.payload_len,
-            transport,
-            inbox,
-            in_flight: in_flight.clone(),
-            size_model: cfg.size_model,
-            batch: cfg.batch.map(Lanes::new),
-            on_schedule_done: None,
-            receipt: Default::default(),
-        };
-        node.on_schedule_done = Some(Box::new(move || {
-            finished.fetch_add(1, Ordering::SeqCst);
-        }));
-        handles.push(std::thread::spawn(move || node.run()));
-    }
+            cfg.payload_len,
+            transport.clone(),
+            quiesce.clone(),
+            cfg.size_model,
+            cfg.batch,
+            start,
+        )
+    });
+    drop(transport);
 
-    let (history, mut metrics, final_pending) = drive(
-        Cluster {
-            txs,
-            in_flight,
-            finished,
-            handles,
-        },
-        &[],
-    );
+    let (history, mut metrics, final_pending) = drive(cluster, &[]);
     let elapsed = start.elapsed();
     if let Some(m) = mesh {
         let errs = m.conn_error_counter();
+        let syscalls = m.syscall_write_counter();
         m.teardown();
         metrics.transport_conn_errors += errs.load(Ordering::Relaxed);
+        metrics.syscall_writes += syscalls.load(Ordering::Relaxed);
     }
     metrics.transport_conn_errors += channel_errors.load(Ordering::Relaxed);
 

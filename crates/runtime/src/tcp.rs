@@ -1,108 +1,214 @@
-//! The paper's transport: TCP.
+//! The paper's transport: TCP, multiplexed per worker pair.
 //!
 //! §IV-C of the paper: "the system relies on TCP channels to deliver
 //! messages ... it guarantees that messages can be successfully transmitted
-//! without any loss." This runner deploys one node per OS thread with a
-//! full mesh of loopback TCP connections between them: every protocol
-//! message is encoded with `causal_proto::wire` and shipped through a real
-//! kernel socket — the closest this repository gets to the authors'
-//! JDK-over-TCP testbed.
+//! without any loss." Every protocol message is encoded with
+//! `causal_proto::wire` and shipped through a real kernel socket — the
+//! closest this repository gets to the authors' JDK-over-TCP testbed.
+//!
+//! ## Topology
+//!
+//! The old runtime kept a full site mesh: `n(n-1)/2` sockets and two
+//! reader threads per socket — ~1,600 threads at `n = 40`. Sites are now
+//! sharded over `W` scheduler workers (see [`crate::runner`]), and the
+//! mesh connects *workers*: one socket per unordered worker pair, carrying
+//! the traffic of every site pair whose owners differ. Each socket
+//! endpoint gets one writer thread and one reader thread, so the whole
+//! fabric is `W + 2·W·(W-1)` threads. Same-worker site pairs never touch a
+//! socket — the frame goes straight into the destination mailbox.
 //!
 //! ## Framing
 //!
-//! `[len: u32 LE][flags: u8][body: len bytes]`. `len` counts the body only
-//! and must not exceed [`wire::MAX_FRAME`]; `flags` bit 0 carries the
-//! frame's warm-up attribution (batch frames additionally carry per-update
-//! bits in the body), and the remaining bits are reserved-zero. A length
-//! beyond the bound, a reserved flag, or a body the codec rejects tears
-//! the connection down cleanly — counted in
+//! `[len: u32 LE][flags: u8][body: len bytes]`, where the body is a
+//! *routed* frame: `[src_site][dst_site][msg]` (varint header, see
+//! `causal_proto::wire::encode_routed_into`). The routing header is what
+//! lets one socket carry many site pairs. `len` counts the body only and
+//! must not exceed [`wire::MAX_FRAME`]; `flags` bit 0 carries the frame's
+//! warm-up attribution (batch frames additionally carry per-update bits in
+//! the body), and the remaining bits are reserved-zero. A length beyond
+//! the bound, a reserved flag, or a body the codec rejects tears the
+//! connection down cleanly — counted in
 //! [`RunMetrics::transport_conn_errors`], never a panic or a multi-GiB
 //! allocation.
 //!
-//! ## Topology & handshake
+//! Receivers route on the header, not on the connection: a frame for any
+//! valid site is delivered to that site's mailbox and its owner woken,
+//! so a frame arriving on an unexpected connection is *rerouted*, never
+//! dropped.
 //!
-//! Each site binds an ephemeral listener. Site `i` dials every site `j > i`
-//! and sends a 2-byte hello carrying its id; the accepting side learns the
-//! peer from the hello. Each established stream is used bidirectionally:
-//! a writer half (behind a mutex) and a reader thread that decodes frames
-//! into the node's inbox. `TCP_NODELAY` is set on every stream — Nagle
-//! would otherwise batch small frames and poison the latency tails the
-//! serve mode measures. TCP gives exactly the FIFO/reliability guarantees
-//! the protocols need per ordered pair.
+//! ## Coalesced writes
 //!
-//! At shutdown the mesh is torn down explicitly: both directions of every
-//! socket are `shutdown(Both)` (a blocked reader holds a dup of the fd, so
-//! merely dropping writers never produces the EOF that wakes it) and every
-//! reader thread is joined — nothing leaks.
+//! A site's send enqueues the frame on the connection's writer thread and
+//! returns. The writer drains everything queued at each wake into one
+//! buffer and ships it with a single `write_all` — one syscall per wake
+//! instead of one per frame (counted in `RunMetrics::syscall_writes`).
+//! Lane flushes from per-destination batching (PR8) land on the same
+//! queue, so a batch window closing produces exactly one coalesced write.
+//! A failed write marks the connection dead and un-counts the queued
+//! frames from the in-flight tally; later sends fail fast.
+//!
+//! ## Handshake & teardown
+//!
+//! Each worker binds an ephemeral listener; worker `a` dials every `b > a`
+//! and sends a 2-byte hello carrying its worker id. `TCP_NODELAY` is set
+//! on every stream — Nagle would otherwise delay small frames behind
+//! unacked data and poison the latency tails the serve mode measures.
+//! Teardown is ordered: drop the transport (disconnecting every writer's
+//! queue), join the writers, then `shutdown(Both)` each socket to wake the
+//! readers blocked in `read_exact` (they hold dups of the fd, so a plain
+//! drop would never deliver the EOF) and join them — nothing leaks.
 
-use crate::node::{Lanes, Node, OpDriver, Transport, Wire};
-use crate::runner::{drive, Cluster, RunOutcome, RuntimeConfig};
+use crate::node::{Node, OpDriver, Transport, Wire};
+use crate::runner::{
+    build_fabric, drive, resolve_workers, Quiesce, Routes, RunOutcome, RuntimeConfig,
+};
 use causal_proto::{build_site, wire, Msg, ProtocolConfig, Replication};
 use causal_types::{Error, Result, SiteId};
 use causal_workload::generate;
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Outgoing halves of one site's mesh: `writers[j]` sends to site `j`. A
-/// lane whose stream died is `None` inside the mutex — later sends fail
-/// fast instead of re-erroring on a broken socket.
-struct TcpTransport {
-    writers: Vec<Option<Mutex<Option<TcpStream>>>>,
+/// Coalescing bound: a writer stops draining its queue once the batched
+/// buffer reaches this size, ships it, and comes back for the rest.
+const WRITE_COALESCE_BYTES: usize = 256 * 1024;
+
+/// A blocked writer gives up (and declares the connection dead) after
+/// this long — insurance against a peer that stopped draining.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One frame queued toward a connection's writer thread.
+struct OutFrame {
+    src: SiteId,
+    dst: SiteId,
+    msg: Msg,
+    measured: bool,
+}
+
+/// One directed connection endpoint: the queue feeding its writer thread,
+/// and the flag the writer raises when the socket dies.
+struct Conn {
+    tx: Sender<OutFrame>,
+    dead: Arc<AtomicBool>,
+}
+
+/// The multiplexed transport every site shares: same-worker frames go
+/// straight to the destination mailbox, cross-worker frames are queued on
+/// the owning pair's connection.
+pub(crate) struct MuxTransport {
+    routes: Arc<Routes>,
+    workers: usize,
+    /// `conns[wa * workers + wb]` is the endpoint at worker `wa` writing
+    /// toward worker `wb`; `None` iff `wa == wb`.
+    conns: Vec<Option<Conn>>,
     conn_errors: Arc<AtomicU64>,
 }
 
-impl Transport for TcpTransport {
-    fn send(&self, _from: SiteId, to: SiteId, msg: &Msg, measured: bool) -> bool {
-        // Encode into the thread-local scratch and write the header and the
-        // body as two write_alls under one lock hold: no per-message
-        // allocation, frames stay contiguous, TCP keeps them ordered.
-        let mut ok = true;
-        wire::encode_with(msg, |bytes| {
-            let lane = self.writers[to.index()]
-                .as_ref()
-                .expect("no channel to self");
-            let mut guard = lane.lock();
-            let Some(stream) = guard.as_mut() else {
-                ok = false; // lane already torn down
-                return;
-            };
-            let mut header = [0u8; 5];
-            header[..4].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
-            header[4] = u8::from(measured);
-            if stream
-                .write_all(&header)
-                .and_then(|()| stream.write_all(bytes))
-                .is_err()
-            {
-                // The peer is gone (it processed Stop while this frame
-                // raced it). Tear the lane down instead of panicking.
-                *guard = None;
-                ok = false;
+impl Transport for MuxTransport {
+    fn send(&self, from: SiteId, to: SiteId, msg: &Msg, measured: bool) -> bool {
+        let wa = self.routes.owner(from.index());
+        let wb = self.routes.owner(to.index());
+        if wa == wb {
+            // Same shard: the frame never touches a socket, and the
+            // draining thread is the one executing this send — no wake
+            // needed.
+            let ok = self.routes.push(
+                to.index(),
+                Wire::Msg {
+                    from,
+                    msg: msg.clone(),
+                    measured,
+                },
+            );
+            if !ok {
+                self.conn_errors.fetch_add(1, Ordering::Relaxed);
             }
-        });
-        if !ok {
-            self.conn_errors.fetch_add(1, Ordering::Relaxed);
+            return ok;
         }
-        ok
+        let conn = self.conns[wa * self.workers + wb]
+            .as_ref()
+            .expect("mesh covers every cross-worker pair");
+        if conn.dead.load(Ordering::Relaxed)
+            || conn
+                .tx
+                .send(OutFrame {
+                    src: from,
+                    dst: to,
+                    msg: msg.clone(),
+                    measured,
+                })
+                .is_err()
+        {
+            self.conn_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
     }
 }
 
-/// Read framed messages from `stream`, decode, and push into the node's
-/// inbox until EOF (peer shutdown). A frame that fails validation — length
-/// beyond [`wire::MAX_FRAME`], reserved flag bits, or a body the codec
-/// rejects — counts a connection error and fails the connection cleanly.
-fn reader_loop(
+/// Append one framed routed message to the writer's coalescing buffer.
+fn append_frame(buf: &mut Vec<u8>, f: &OutFrame) {
+    wire::encode_routed_with(f.src, f.dst, &f.msg, |body| {
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.push(u8::from(f.measured));
+        buf.extend_from_slice(body);
+    });
+}
+
+/// One connection endpoint's writer: drain everything queued at each
+/// wake into a single buffered `write_all`. Exits when every sender is
+/// gone (transport dropped at teardown). A write failure marks the
+/// connection dead and un-counts the doomed frames from the in-flight
+/// tally so quiescence detection cannot hang on them.
+fn writer_loop(
     mut stream: TcpStream,
-    from: SiteId,
-    inbox: Sender<Wire>,
+    rx: Receiver<OutFrame>,
+    dead: Arc<AtomicBool>,
+    quiesce: Arc<Quiesce>,
     conn_errors: Arc<AtomicU64>,
+    syscall_writes: Arc<AtomicU64>,
 ) {
+    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    while let Ok(first) = rx.recv() {
+        if dead.load(Ordering::Relaxed) {
+            // The socket already failed; this frame is positively lost.
+            conn_errors.fetch_add(1, Ordering::Relaxed);
+            quiesce.frames_done(1);
+            continue;
+        }
+        buf.clear();
+        let mut batched: u64 = 1;
+        append_frame(&mut buf, &first);
+        while buf.len() < WRITE_COALESCE_BYTES {
+            match rx.try_recv() {
+                Ok(f) => {
+                    append_frame(&mut buf, &f);
+                    batched += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if stream.write_all(&buf).is_err() {
+            dead.store(true, Ordering::Relaxed);
+            conn_errors.fetch_add(batched, Ordering::Relaxed);
+            quiesce.frames_done(batched);
+            continue;
+        }
+        syscall_writes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One connection endpoint's reader: decode framed routed messages and
+/// deliver each to the mailbox its *header* names (waking the owning
+/// worker) until EOF. A frame that fails validation — length beyond
+/// [`wire::MAX_FRAME`], reserved flag bits, a body the codec rejects, or
+/// a destination outside the system — counts a connection error and fails
+/// the connection cleanly.
+fn reader_loop(mut stream: TcpStream, routes: Arc<Routes>, conn_errors: Arc<AtomicU64>) {
     let mut header = [0u8; 5];
     loop {
         if stream.read_exact(&mut header).is_err() {
@@ -122,44 +228,51 @@ fn reader_loop(
         if stream.read_exact(&mut buf).is_err() {
             return;
         }
-        let msg = match wire::decode(&buf) {
-            Ok(m) => m,
+        let routed = match wire::decode_routed(&buf) {
+            Ok(r) => r,
             Err(_) => {
                 conn_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.shutdown(Shutdown::Both);
                 return;
             }
         };
-        if inbox
-            .send(Wire::Msg {
-                from,
-                msg,
+        if routed.dst.index() >= routes.sites() {
+            conn_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        // Route on the header, not the connection: any in-range
+        // destination is honoured, so a wrong-shard frame is rerouted to
+        // its owner rather than dropped.
+        if !routes.deliver(
+            routed.dst.index(),
+            Wire::Msg {
+                from: routed.src,
+                msg: routed.msg,
                 measured,
-            })
-            .is_err()
-        {
+            },
+        ) {
             return; // node already gone
         }
     }
 }
 
-/// An established full mesh: per-site writer halves, the reader threads
-/// feeding the inboxes, and the teardown handles that wake them at
-/// shutdown.
+/// An established worker mesh: the shared transport, the writer and reader
+/// threads, and the teardown handles that wake blocked readers.
 pub(crate) struct Mesh {
-    writers: Vec<Vec<Option<Mutex<Option<TcpStream>>>>>,
+    transport: Arc<MuxTransport>,
+    writers: Vec<JoinHandle<()>>,
     readers: Vec<JoinHandle<()>>,
     shutdowns: Vec<TcpStream>,
     conn_errors: Arc<AtomicU64>,
+    syscall_writes: Arc<AtomicU64>,
 }
 
 impl Mesh {
-    /// The transport for site `i` (call once per site).
-    pub(crate) fn transport_for(&mut self, i: usize) -> Arc<dyn Transport> {
-        Arc::new(TcpTransport {
-            writers: std::mem::take(&mut self.writers[i]),
-            conn_errors: self.conn_errors.clone(),
-        })
+    /// The shared transport (clone per site). Every clone must be dropped
+    /// before [`Mesh::teardown`] can join the writers.
+    pub(crate) fn transport(&self) -> Arc<dyn Transport> {
+        self.transport.clone()
     }
 
     /// The mesh's connection-error counter (keep a clone across
@@ -168,152 +281,190 @@ impl Mesh {
         self.conn_errors.clone()
     }
 
-    /// Tear the mesh down: shutdown every socket (waking any reader still
-    /// blocked in `read_exact` — every thread holds a dup of its fd, so a
-    /// plain drop would never deliver the EOF) and join the reader
-    /// threads. Call after the site threads have exited.
+    /// The mesh's `write(2)` counter (one per coalesced writer wake).
+    pub(crate) fn syscall_write_counter(&self) -> Arc<AtomicU64> {
+        self.syscall_writes.clone()
+    }
+
+    /// Tear the mesh down, in dependency order. Call after the workers
+    /// have exited (their nodes hold transport clones).
     pub(crate) fn teardown(self) {
-        for s in &self.shutdowns {
+        let Mesh {
+            transport,
+            writers,
+            readers,
+            shutdowns,
+            ..
+        } = self;
+        // Dropping the last transport handle disconnects every writer's
+        // queue; the writers drain what is left and exit.
+        drop(transport);
+        for h in writers {
+            let _ = h.join();
+        }
+        // Readers block in read_exact on a dup of the fd — only an
+        // explicit shutdown delivers the EOF that wakes them.
+        for s in &shutdowns {
             let _ = s.shutdown(Shutdown::Both);
         }
-        for h in self.readers {
+        for h in readers {
             let _ = h.join();
         }
     }
 }
 
-/// Establish the full mesh: sockets with `TCP_NODELAY`, reader threads
-/// registered for joining, shutdown handles retained.
-pub(crate) fn build_mesh(n: usize, inboxes: &[Sender<Wire>]) -> Result<Mesh> {
-    let mut listeners = Vec::with_capacity(n);
-    let mut addrs = Vec::with_capacity(n);
-    for _ in 0..n {
+/// Establish the worker mesh over `routes`: one socket per unordered
+/// worker pair, `TCP_NODELAY` everywhere, one writer + one reader thread
+/// per endpoint (all counted in `threads`). With a single worker the mesh
+/// is empty — every site pair is same-shard and no socket exists.
+pub(crate) fn build_mesh(
+    routes: &Arc<Routes>,
+    quiesce: &Arc<Quiesce>,
+    threads: &Arc<AtomicU64>,
+) -> Result<Mesh> {
+    let w = routes.workers();
+    let conn_errors = Arc::new(AtomicU64::new(0));
+    let syscall_writes = Arc::new(AtomicU64::new(0));
+    let mut conns: Vec<Option<Conn>> = (0..w * w).map(|_| None).collect();
+    let mut writers = Vec::new();
+    let mut readers = Vec::new();
+    let mut shutdowns = Vec::new();
+
+    let mut listeners = Vec::with_capacity(w);
+    let mut addrs = Vec::with_capacity(w);
+    for _ in 0..w {
         let l = TcpListener::bind("127.0.0.1:0").map_err(|_| Error::ChannelClosed)?;
         addrs.push(l.local_addr().map_err(|_| Error::ChannelClosed)?);
         listeners.push(l);
     }
 
-    let conn_errors = Arc::new(AtomicU64::new(0));
-    let mut writers: Vec<Vec<Option<Mutex<Option<TcpStream>>>>> =
-        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-    let mut readers = Vec::new();
-    let mut shutdowns = Vec::new();
-
-    // Site i dials every j > i; the accepting side reads the 2-byte hello.
-    // Dialing and accepting are interleaved deterministically: for each
-    // (i, j) pair we connect and accept inline — loopback makes this
+    // Worker a dials every b > a; the accepting side reads the 2-byte
+    // hello. Dialing and accepting are interleaved deterministically: for
+    // each (a, b) pair we connect and accept inline — loopback makes this
     // immediate and avoids a thread per handshake.
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let out = TcpStream::connect(addrs[j]).map_err(|_| Error::ChannelClosed)?;
+    let sock_err = |_| Error::ChannelClosed;
+    for a in 0..w {
+        for b in (a + 1)..w {
+            let out = TcpStream::connect(addrs[b]).map_err(sock_err)?;
             // Nagle would delay small frames behind unacked data — fatal
             // for latency measurement on a chatty mesh.
-            out.set_nodelay(true).map_err(|_| Error::ChannelClosed)?;
-            let mut hello = out.try_clone().map_err(|_| Error::ChannelClosed)?;
-            hello
-                .write_all(&(i as u16).to_le_bytes())
-                .map_err(|_| Error::ChannelClosed)?;
-            let (inc, _) = listeners[j].accept().map_err(|_| Error::ChannelClosed)?;
-            inc.set_nodelay(true).map_err(|_| Error::ChannelClosed)?;
-            let mut hello_buf = [0u8; 2];
-            let mut inc_read = inc.try_clone().map_err(|_| Error::ChannelClosed)?;
-            inc_read
-                .read_exact(&mut hello_buf)
-                .map_err(|_| Error::ChannelClosed)?;
-            let from = SiteId(u16::from_le_bytes(hello_buf));
-            debug_assert_eq!(from, SiteId::from(i));
+            out.set_nodelay(true).map_err(sock_err)?;
+            out.set_write_timeout(Some(WRITE_TIMEOUT))
+                .map_err(sock_err)?;
+            out.try_clone()
+                .map_err(sock_err)?
+                .write_all(&(a as u16).to_le_bytes())
+                .map_err(sock_err)?;
+            let (inc, _) = listeners[b].accept().map_err(sock_err)?;
+            inc.set_nodelay(true).map_err(sock_err)?;
+            inc.set_write_timeout(Some(WRITE_TIMEOUT))
+                .map_err(sock_err)?;
+            let mut hello = [0u8; 2];
+            let mut inc_read = inc.try_clone().map_err(sock_err)?;
+            inc_read.read_exact(&mut hello).map_err(sock_err)?;
+            debug_assert_eq!(u16::from_le_bytes(hello) as usize, a);
 
-            shutdowns.push(out.try_clone().map_err(|_| Error::ChannelClosed)?);
-            shutdowns.push(inc.try_clone().map_err(|_| Error::ChannelClosed)?);
+            shutdowns.push(out.try_clone().map_err(sock_err)?);
+            shutdowns.push(inc.try_clone().map_err(sock_err)?);
 
-            // i → j: writer at i, reader thread feeding j.
-            writers[i][j] = Some(Mutex::new(Some(
-                out.try_clone().map_err(|_| Error::ChannelClosed)?,
-            )));
-            let inbox_j = inboxes[j].clone();
-            let errs = conn_errors.clone();
-            readers.push(std::thread::spawn(move || {
-                reader_loop(inc_read, from, inbox_j, errs)
-            }));
+            // Endpoint at a: writes a → b on `out`, reads b → a off `out`.
+            let (tx_ab, rx_ab) = unbounded::<OutFrame>();
+            let dead_ab = Arc::new(AtomicBool::new(false));
+            conns[a * w + b] = Some(Conn {
+                tx: tx_ab,
+                dead: dead_ab.clone(),
+            });
+            writers.push({
+                let (s, q, e, sw) = (
+                    out.try_clone().map_err(sock_err)?,
+                    quiesce.clone(),
+                    conn_errors.clone(),
+                    syscall_writes.clone(),
+                );
+                std::thread::spawn(move || writer_loop(s, rx_ab, dead_ab, q, e, sw))
+            });
+            readers.push({
+                let (r, e) = (routes.clone(), conn_errors.clone());
+                std::thread::spawn(move || reader_loop(out, r, e))
+            });
 
-            // j → i: writer at j over the same TCP stream's reverse
-            // direction, reader thread feeding i.
-            writers[j][i] = Some(Mutex::new(Some(inc)));
-            let inbox_i = inboxes[i].clone();
-            let back = out;
-            let from_j = SiteId::from(j);
-            let errs = conn_errors.clone();
-            readers.push(std::thread::spawn(move || {
-                reader_loop(back, from_j, inbox_i, errs)
-            }));
+            // Endpoint at b: writes b → a on `inc`, reads a → b off `inc`.
+            let (tx_ba, rx_ba) = unbounded::<OutFrame>();
+            let dead_ba = Arc::new(AtomicBool::new(false));
+            conns[b * w + a] = Some(Conn {
+                tx: tx_ba,
+                dead: dead_ba.clone(),
+            });
+            writers.push({
+                let (q, e, sw) = (quiesce.clone(), conn_errors.clone(), syscall_writes.clone());
+                std::thread::spawn(move || writer_loop(inc, rx_ba, dead_ba, q, e, sw))
+            });
+            readers.push({
+                let (r, e) = (routes.clone(), conn_errors.clone());
+                std::thread::spawn(move || reader_loop(inc_read, r, e))
+            });
+
+            threads.fetch_add(4, Ordering::Relaxed);
         }
     }
+
     Ok(Mesh {
+        transport: Arc::new(MuxTransport {
+            routes: routes.clone(),
+            workers: w,
+            conns,
+            conn_errors: conn_errors.clone(),
+        }),
         writers,
         readers,
         shutdowns,
         conn_errors,
+        syscall_writes,
     })
 }
 
-/// Run the workload over a real loopback-TCP mesh. Blocks until quiescent.
+/// Run the workload over the multiplexed loopback-TCP worker mesh. Blocks
+/// until quiescent.
 pub fn run_tcp(cfg: &RuntimeConfig) -> Result<RunOutcome> {
     let n = cfg.workload.n;
     assert_eq!(cfg.placement.n(), n);
     let schedule = generate(&cfg.workload);
     let start = Instant::now();
 
-    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Wire>()).unzip();
-    let mut mesh = build_mesh(n, &txs)?;
-    let in_flight = Arc::new(AtomicI64::new(0));
-    let finished = Arc::new(AtomicUsize::new(0));
+    let fabric = build_fabric(n, resolve_workers(cfg.workers, n));
+    let mesh = build_mesh(&fabric.routes, &fabric.quiesce, &fabric.threads)?;
     let repl: Arc<dyn Replication> = cfg.placement.clone();
-
-    let mut handles = Vec::with_capacity(n);
-    for (i, inbox) in rxs.into_iter().enumerate() {
+    let transport = mesh.transport();
+    let quiesce = fabric.quiesce.clone();
+    let cluster = fabric.spawn(|i| {
         let site = SiteId::from(i);
-        let finished = finished.clone();
-        let mut node = Node {
+        Node::new(
             site,
-            proto: build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
-            driver: OpDriver::replay(
+            build_site(cfg.protocol, site, repl.clone(), ProtocolConfig::default()),
+            OpDriver::replay(
                 schedule.per_site[i].clone(),
                 schedule.warmup_events,
                 cfg.time_scale,
             ),
             n,
-            payload_len: cfg.workload.payload_len,
-            transport: mesh.transport_for(i),
-            inbox,
-            in_flight: in_flight.clone(),
-            size_model: cfg.size_model,
-            batch: cfg.batch.map(Lanes::new),
-            on_schedule_done: None,
-            receipt: Default::default(),
-        };
-        node.on_schedule_done = Some(Box::new(move || {
-            finished.fetch_add(1, Ordering::SeqCst);
-        }));
-        handles.push(std::thread::spawn(move || node.run()));
-    }
+            cfg.workload.payload_len,
+            transport.clone(),
+            quiesce.clone(),
+            cfg.size_model,
+            cfg.batch,
+            start,
+        )
+    });
+    drop(transport);
 
-    let (history, mut metrics, final_pending) = drive(
-        Cluster {
-            txs,
-            in_flight,
-            finished,
-            handles,
-        },
-        &[],
-    );
-    // Join the reader threads before folding the error counter so teardown
-    // races are included.
-    let errors = {
-        let errs = mesh.conn_errors.clone();
-        mesh.teardown();
-        errs.load(Ordering::Relaxed)
-    };
-    metrics.transport_conn_errors += errors;
+    let (history, mut metrics, final_pending) = drive(cluster, &[]);
+    // Tear down before folding the counters so teardown races are
+    // included.
+    let errors = mesh.conn_error_counter();
+    let syscalls = mesh.syscall_write_counter();
+    mesh.teardown();
+    metrics.transport_conn_errors += errors.load(Ordering::Relaxed);
+    metrics.syscall_writes += syscalls.load(Ordering::Relaxed);
 
     Ok(RunOutcome {
         history,
@@ -326,9 +477,9 @@ pub fn run_tcp(cfg: &RuntimeConfig) -> Result<RunOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::test_fabric;
     use causal_proto::Fm;
     use causal_types::VarId;
-    use std::time::Duration;
 
     /// A connected loopback socket pair.
     fn pair() -> (TcpStream, TcpStream) {
@@ -338,35 +489,40 @@ mod tests {
         (a, b)
     }
 
+    fn spawn_reader(
+        stream: TcpStream,
+        routes: Arc<Routes>,
+        errs: Arc<AtomicU64>,
+    ) -> JoinHandle<()> {
+        std::thread::spawn(move || reader_loop(stream, routes, errs))
+    }
+
     #[test]
     fn oversized_length_prefix_fails_the_connection_not_the_process() {
         let (mut tx, rx) = pair();
-        let (inbox, msgs) = unbounded::<Wire>();
+        let (routes, mailboxes) = test_fabric(2, 1);
         let errs = Arc::new(AtomicU64::new(0));
-        let reader = {
-            let errs = errs.clone();
-            std::thread::spawn(move || reader_loop(rx, SiteId::from(0usize), inbox, errs))
-        };
+        let reader = spawn_reader(rx, routes, errs.clone());
         // A frame claiming 2 GiB: must be rejected before any allocation.
         let mut header = [0u8; 5];
         header[..4].copy_from_slice(&(2u32 << 30).to_le_bytes());
         tx.write_all(&header).unwrap();
         reader.join().expect("reader exits cleanly, no panic");
         assert_eq!(errs.load(Ordering::Relaxed), 1);
-        assert!(msgs.try_recv().is_err(), "no message reaches the inbox");
+        assert!(
+            mailboxes.iter().all(|m| m.try_recv_test().is_none()),
+            "no message reaches any mailbox"
+        );
     }
 
     #[test]
     fn corrupt_frame_tears_the_connection_down_cleanly() {
         let (mut tx, rx) = pair();
-        let (inbox, msgs) = unbounded::<Wire>();
+        let (routes, mailboxes) = test_fabric(2, 1);
         let errs = Arc::new(AtomicU64::new(0));
-        let reader = {
-            let errs = errs.clone();
-            std::thread::spawn(move || reader_loop(rx, SiteId::from(0usize), inbox, errs))
-        };
+        let reader = spawn_reader(rx, routes, errs.clone());
         // Well-formed header, garbage body: the codec must reject it and
-        // the reader must return (the old code panicked here).
+        // the reader must return (the pre-PR6 code panicked here).
         let body = [0xFFu8; 16];
         let mut header = [0u8; 5];
         header[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
@@ -374,18 +530,15 @@ mod tests {
         tx.write_all(&body).unwrap();
         reader.join().expect("reader exits cleanly, no panic");
         assert_eq!(errs.load(Ordering::Relaxed), 1);
-        assert!(msgs.try_recv().is_err());
+        assert!(mailboxes.iter().all(|m| m.try_recv_test().is_none()));
     }
 
     #[test]
     fn reserved_flag_bits_are_rejected() {
         let (mut tx, rx) = pair();
-        let (inbox, _msgs) = unbounded::<Wire>();
+        let (routes, _mailboxes) = test_fabric(2, 1);
         let errs = Arc::new(AtomicU64::new(0));
-        let reader = {
-            let errs = errs.clone();
-            std::thread::spawn(move || reader_loop(rx, SiteId::from(0usize), inbox, errs))
-        };
+        let reader = spawn_reader(rx, routes, errs.clone());
         let header = [0u8, 0, 0, 0, 0x80];
         tx.write_all(&header).unwrap();
         reader.join().expect("reader exits cleanly");
@@ -393,28 +546,150 @@ mod tests {
     }
 
     #[test]
-    fn send_to_dead_peer_reports_failure_instead_of_panicking() {
-        let (a, b) = pair();
-        drop(b); // peer exits
+    fn out_of_range_destination_fails_the_connection() {
+        let (mut tx, rx) = pair();
+        let (routes, mailboxes) = test_fabric(2, 1);
         let errs = Arc::new(AtomicU64::new(0));
-        let t = TcpTransport {
-            writers: vec![None, Some(Mutex::new(Some(a)))],
+        let reader = spawn_reader(rx, routes, errs.clone());
+        // Valid routed frame, but dst = 5 in a 2-site system.
+        let msg = Msg::Fm(Fm { var: VarId(0) });
+        let body =
+            wire::encode_routed_with(SiteId::from(0usize), SiteId::from(5usize), &msg, |b| {
+                b.to_vec()
+            });
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.push(0);
+        frame.extend_from_slice(&body);
+        tx.write_all(&frame).unwrap();
+        reader.join().expect("reader exits cleanly");
+        assert_eq!(errs.load(Ordering::Relaxed), 1);
+        assert!(mailboxes.iter().all(|m| m.try_recv_test().is_none()));
+    }
+
+    #[test]
+    fn wrong_shard_frame_is_rerouted_not_dropped() {
+        // 4 sites over 2 workers: sites {0, 2} on worker 0, {1, 3} on
+        // worker 1. A frame addressed to site 3 arriving on *any*
+        // connection must land in site 3's mailbox and wake worker 1 —
+        // the reader trusts the routing header, not the socket it came in
+        // on.
+        let (mut tx, rx) = pair();
+        let (routes, mailboxes) = test_fabric(4, 2);
+        let errs = Arc::new(AtomicU64::new(0));
+        let reader = spawn_reader(rx, routes.clone(), errs.clone());
+        let msg = Msg::Fm(Fm { var: VarId(7) });
+        let body =
+            wire::encode_routed_with(SiteId::from(0usize), SiteId::from(3usize), &msg, |b| {
+                b.to_vec()
+            });
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.push(1);
+        frame.extend_from_slice(&body);
+        tx.write_all(&frame).unwrap();
+
+        let delivered = mailboxes[3]
+            .recv_timeout(Duration::from_secs(5))
+            .expect("the frame reaches the header's destination");
+        match delivered {
+            Wire::Msg {
+                from,
+                msg: Msg::Fm(fm),
+                measured,
+            } => {
+                assert_eq!(from, SiteId::from(0usize));
+                assert_eq!(fm.var, VarId(7));
+                assert!(measured);
+            }
+            _ => panic!("expected the routed FM"),
+        }
+        assert!(
+            routes.take_wake(1, Duration::from_secs(5)),
+            "the destination's owner is woken"
+        );
+        assert!(
+            mailboxes[0].try_recv_test().is_none() && mailboxes[1].try_recv_test().is_none(),
+            "no other mailbox sees the frame"
+        );
+        assert_eq!(errs.load(Ordering::Relaxed), 0);
+        tx.shutdown(Shutdown::Both).unwrap();
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn dead_connection_fails_sends_fast_without_blocking() {
+        // Two sites on two workers with the connection already marked
+        // dead: the send must fail immediately (no socket interaction, no
+        // sleep-poll) and count a connection error.
+        let (routes, _mailboxes) = test_fabric(2, 2);
+        let (tx, _rx) = unbounded::<OutFrame>();
+        let errs = Arc::new(AtomicU64::new(0));
+        let mut conns: Vec<Option<Conn>> = (0..4).map(|_| None).collect();
+        let dead = Arc::new(AtomicBool::new(true));
+        conns[1] = Some(Conn {
+            tx: tx.clone(),
+            dead: dead.clone(),
+        });
+        conns[2] = Some(Conn { tx, dead });
+        let t = MuxTransport {
+            routes,
+            workers: 2,
+            conns,
             conn_errors: errs.clone(),
         };
         let msg = Msg::Fm(Fm { var: VarId(0) });
-        // The first writes may land in the kernel buffer before the RST
-        // comes back; keep sending until the failure surfaces.
-        let mut failed = false;
-        for _ in 0..10_000 {
-            if !t.send(SiteId::from(0usize), SiteId::from(1usize), &msg, true) {
-                failed = true;
-                break;
-            }
-            std::thread::sleep(Duration::from_micros(50));
-        }
-        assert!(failed, "a dead peer must surface as a failed send");
-        assert!(errs.load(Ordering::Relaxed) >= 1);
-        // The lane is torn down: subsequent sends fail fast.
         assert!(!t.send(SiteId::from(0usize), SiteId::from(1usize), &msg, true));
+        assert!(!t.send(SiteId::from(1usize), SiteId::from(0usize), &msg, true));
+        assert_eq!(errs.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn writer_marks_dead_peer_and_uncounts_inflight_frames() {
+        // The peer vanishes; the writer must surface the failure (dead
+        // flag + connection errors) and un-count every doomed frame from
+        // the in-flight tally, so quiescence cannot hang. The old
+        // transport needed a sleep-poll loop here; the writer thread's
+        // exit (queue disconnect) is now a deterministic sync point.
+        let (a, b) = pair();
+        drop(b);
+        a.set_write_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let quiesce = Arc::new(Quiesce::new(1));
+        let (tx, rx) = unbounded::<OutFrame>();
+        let dead = Arc::new(AtomicBool::new(false));
+        let errs = Arc::new(AtomicU64::new(0));
+        let syscalls = Arc::new(AtomicU64::new(0));
+        let writer = {
+            let (d, q, e, s) = (
+                dead.clone(),
+                quiesce.clone(),
+                errs.clone(),
+                syscalls.clone(),
+            );
+            std::thread::spawn(move || writer_loop(a, rx, d, q, e, s))
+        };
+        // Far more bytes than any socket buffer: with nothing draining,
+        // some write must fail (RST or timeout).
+        let msg = Msg::Fm(Fm { var: VarId(0) });
+        let sent: u64 = 100_000;
+        for _ in 0..sent {
+            quiesce.frame_sent();
+            tx.send(OutFrame {
+                src: SiteId::from(0usize),
+                dst: SiteId::from(0usize),
+                msg: msg.clone(),
+                measured: false,
+            })
+            .unwrap();
+        }
+        drop(tx);
+        writer
+            .join()
+            .expect("writer exits when the queue disconnects");
+        assert!(dead.load(Ordering::Relaxed), "the dead flag is raised");
+        let failed = errs.load(Ordering::Relaxed);
+        assert!(failed > 0, "some frames positively failed");
+        // Every frame either reached the kernel (still counted in flight —
+        // nothing received them in this test) or was un-counted as failed.
+        assert_eq!(quiesce.in_flight(), (sent - failed) as i64);
     }
 }

@@ -89,39 +89,71 @@ fn zero_think_shutdown_race_does_not_panic() {
 }
 
 #[test]
-fn optp_replay_counters_agree_byte_for_byte_across_transports() {
+fn optp_replay_counters_agree_byte_for_byte_across_transports_and_pool_sizes() {
     // optP is fully replicated (no FM/RM round trips) with a fixed-width
     // vector piggyback, so replaying one schedule must produce *identical*
-    // message counts and meta bytes on both fabrics — not just within a
-    // tolerance.
-    let cfg = RuntimeConfig::fast(ProtocolKind::OptP, 5, 0.4, 13, 40);
-    let chan = run_threaded(&cfg);
-    let tcp = run_tcp(&cfg).expect("tcp run");
-    for kind in [MsgKind::Sm, MsgKind::Fm, MsgKind::Rm] {
-        assert_eq!(
-            chan.metrics.all.count(kind),
-            tcp.metrics.all.count(kind),
-            "{kind:?} count"
-        );
-        assert_eq!(
-            chan.metrics.all.bytes(kind),
-            tcp.metrics.all.bytes(kind),
-            "{kind:?} meta bytes"
-        );
-        assert_eq!(
-            chan.metrics.measured.count(kind),
-            tcp.metrics.measured.count(kind),
-            "{kind:?} measured count"
-        );
-        assert_eq!(
-            chan.metrics.measured.bytes(kind),
-            tcp.metrics.measured.bytes(kind),
-            "{kind:?} measured meta bytes"
-        );
+    // message counts and meta bytes on both fabrics and at every scheduler
+    // pool size — not just within a tolerance. W = 5 (= n) emulates the old
+    // thread-per-site fabric, so this also pins new-fabric == old-fabric.
+    let mut cfg = RuntimeConfig::fast(ProtocolKind::OptP, 5, 0.4, 13, 40);
+    cfg.workers = 1;
+    let baseline = run_threaded(&cfg);
+    for workers in [1usize, 2, 4, 5] {
+        cfg.workers = workers;
+        let chan = run_threaded(&cfg);
+        let tcp = run_tcp(&cfg).expect("tcp run");
+        for (label, out) in [("channel", &chan), ("tcp", &tcp)] {
+            let tag = format!("W={workers}/{label}");
+            for kind in [MsgKind::Sm, MsgKind::Fm, MsgKind::Rm] {
+                assert_eq!(
+                    baseline.metrics.all.count(kind),
+                    out.metrics.all.count(kind),
+                    "{tag}: {kind:?} count"
+                );
+                assert_eq!(
+                    baseline.metrics.all.bytes(kind),
+                    out.metrics.all.bytes(kind),
+                    "{tag}: {kind:?} meta bytes"
+                );
+                assert_eq!(
+                    baseline.metrics.measured.count(kind),
+                    out.metrics.measured.count(kind),
+                    "{tag}: {kind:?} measured count"
+                );
+                assert_eq!(
+                    baseline.metrics.measured.bytes(kind),
+                    out.metrics.measured.bytes(kind),
+                    "{tag}: {kind:?} measured meta bytes"
+                );
+            }
+            assert_eq!(baseline.metrics.writes, out.metrics.writes, "{tag}");
+            assert_eq!(baseline.metrics.reads, out.metrics.reads, "{tag}");
+            assert_eq!(
+                baseline.metrics.remote_reads, out.metrics.remote_reads,
+                "{tag}"
+            );
+        }
     }
-    assert_eq!(chan.metrics.writes, tcp.metrics.writes);
-    assert_eq!(chan.metrics.reads, tcp.metrics.reads);
-    assert_eq!(chan.metrics.remote_reads, tcp.metrics.remote_reads);
+}
+
+#[test]
+fn duration_bounded_serve_retires_clients_at_the_deadline() {
+    // Time-bounded mode: clients stop issuing once their next op would
+    // fall past the deadline, well before the per-client safety cap.
+    let mut cfg = ServeConfig::quick(ProtocolKind::OptP, 4, ServeTransport::Channel, 71);
+    cfg.load.ops_per_client = 1 << 20; // safety cap, not the bound
+    cfg.load.duration = Some(Duration::from_millis(50));
+    cfg.load.think = Duration::from_millis(1);
+    let report = serve(&cfg).expect("serve runs");
+    assert!(report.ops > 0, "the deadline leaves room for some ops");
+    assert!(
+        report.ops < cfg.load.total_ops(4) as u64,
+        "the deadline, not the op budget, ended the run"
+    );
+    assert_eq!(report.latency.ops, report.ops, "every op timed");
+    assert_eq!(report.final_pending, 0);
+    let v = check(&report.history);
+    assert!(v.protocol_clean(), "{:?}", v.examples);
 }
 
 #[test]
